@@ -1,0 +1,41 @@
+"""Ablation: force every conditional branch into the 6-byte form.
+
+DESIGN.md choice #2: the 2-byte/6-byte branch mix decides where
+Table 3's BRK+FSV mass sits.  Building the daemon with
+``force_long_branches`` moves every Jcc to the ``0F 8x`` encoding, so
+the 2BC/2BO rows must empty out and 6BC2/6BO take over -- evidence
+that the location taxonomy measures the encoding, not the workload.
+"""
+
+from __future__ import annotations
+
+from repro.apps.ftpd import client1, FtpDaemon
+from repro.injection import run_campaign
+
+
+class LongBranchFtpDaemon(FtpDaemon):
+    FORCE_LONG_BRANCHES = True
+
+
+def test_ablation_branch_width(benchmark, cache, record_result):
+    baseline = cache.campaign("FTP", "Client1")
+
+    def run_long():
+        return run_campaign(LongBranchFtpDaemon(), "Client1", client1)
+
+    long_form = benchmark.pedantic(run_long, rounds=1, iterations=1)
+    base_locations = baseline.by_location()
+    long_locations = long_form.by_location()
+    text = ("ablation: natural branch relaxation vs all-6-byte Jcc "
+            "(FTP Client1)\n"
+            "BRK+FSV by location, natural: %s\n"
+            "BRK+FSV by location, forced long: %s"
+            % (base_locations, long_locations))
+    record_result("ablation_branch_width", text)
+
+    assert long_locations.get("2BC", 0) == 0
+    assert long_locations.get("2BO", 0) == 0
+    assert long_locations.get("6BC2", 0) + long_locations.get("6BO", 0) \
+        > 0
+    # the natural build has real 2-byte mass to lose
+    assert base_locations.get("2BC", 0) > 0

@@ -1,0 +1,51 @@
+"""Ablation: single vs multiple authentication entry points.
+
+Section 5.3 attributes sshd's higher break-in rate to its multiple
+points of entry (rhosts, password, RSA): "applications with multiple
+points of entry have a higher probability of being compromised than
+those with a single point of entry".  Rebuilding sshd with rhosts and
+RSA authentication disabled turns do_authentication() into a
+single-entry design; the attacker's BRK count should drop.
+"""
+
+from __future__ import annotations
+
+from repro.apps.sshd import client1, SshClient, SshDaemon
+from repro.injection import run_campaign
+
+
+class PasswordOnlySshDaemon(SshDaemon):
+    """sshd built with RhostsAuthentication and RSAAuthentication off."""
+
+    SOURCE = (SshDaemon.SOURCE
+              .replace("int rhosts_authentication = 1;",
+                       "int rhosts_authentication = 0;")
+              .replace("int rsa_authentication = 1;",
+                       "int rsa_authentication = 0;"))
+
+
+def password_only_client():
+    client = SshClient("alice", "open-sesame-wrong")
+    client.auth_methods = ["password"]
+    return client
+
+
+def test_ablation_entry_points(benchmark, cache, record_result):
+    multi = cache.campaign("SSH", "Client1")
+
+    def run_single():
+        daemon = PasswordOnlySshDaemon()
+        return run_campaign(daemon, "Client1", password_only_client)
+
+    single = benchmark.pedantic(run_single, rounds=1, iterations=1)
+    multi_brk = multi.counts()["BRK"]
+    single_brk = single.counts()["BRK"]
+    text = ("ablation: multiple vs single authentication entry points "
+            "(SSH Client1)\n"
+            "BRK with rhosts+password+rsa: %d (%.2f%% of activated)\n"
+            "BRK with password only:       %d (%.2f%% of activated)\n"
+            "paper's argument: fewer entry points -> fewer break-ins"
+            % (multi_brk, multi.percentage_of_activated("BRK"),
+               single_brk, single.percentage_of_activated("BRK")))
+    record_result("ablation_entry_points", text)
+    assert single_brk <= multi_brk

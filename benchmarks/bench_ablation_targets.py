@@ -1,0 +1,46 @@
+"""Ablation: include call instructions in the target set.
+
+DESIGN.md choice #1/#2: the paper's Table 2 taxonomy contains only
+conditional-branch locations plus a small MISC row, implying its
+"branch instructions" are Jcc+jmp.  Including the 5-byte ``call``
+(4 bytes of absolute-ish displacement) floods the experiment with
+always-crash corruptions: SD inflates and every other category's share
+shrinks.  This benchmark quantifies that sensitivity.
+"""
+
+from __future__ import annotations
+
+from repro.apps.ftpd import client1
+from repro.injection import (run_campaign, TARGET_KINDS_WITH_CALLS)
+
+
+def test_ablation_call_targets(benchmark, cache, record_result):
+    daemon = cache.daemon("FTP")
+    baseline = cache.campaign("FTP", "Client1")
+
+    def run_with_calls():
+        return run_campaign(daemon, "Client1", client1,
+                            kinds=TARGET_KINDS_WITH_CALLS)
+
+    with_calls = benchmark.pedantic(run_with_calls, rounds=1,
+                                    iterations=1)
+    base_sd = baseline.percentage_of_activated("SD")
+    call_sd = with_calls.percentage_of_activated("SD")
+    text = ("ablation: target set jcc+jmp (paper) vs jcc+jmp+call\n"
+            "runs: %d -> %d\n"
+            "SD%% of activated: %.1f -> %.1f\n"
+            "NM%%: %.1f -> %.1f\nFSV%%: %.1f -> %.1f\nBRK%%: "
+            "%.2f -> %.2f"
+            % (baseline.total_runs, with_calls.total_runs,
+               base_sd, call_sd,
+               baseline.percentage_of_activated("NM"),
+               with_calls.percentage_of_activated("NM"),
+               baseline.percentage_of_activated("FSV"),
+               with_calls.percentage_of_activated("FSV"),
+               baseline.percentage_of_activated("BRK"),
+               with_calls.percentage_of_activated("BRK")))
+    record_result("ablation_targets", text)
+
+    assert with_calls.total_runs > baseline.total_runs
+    assert call_sd > base_sd, \
+        "call displacements must inflate the crash share"

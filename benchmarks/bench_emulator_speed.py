@@ -1,0 +1,60 @@
+"""Infrastructure benchmark: raw emulator throughput.
+
+Not a paper experiment -- this tracks the cost model behind every
+campaign: instructions retired per second executing real compiled
+code (the crypt13 hash loop and a golden FTP connection).
+"""
+
+from __future__ import annotations
+
+from repro.cc import compile_program
+from repro.emu import Process
+from repro.injection import run_clean_connection
+from repro.apps.ftpd import client1
+from repro.kernel import Kernel
+
+HASH_LOOP = r"""
+int main() {
+    int i;
+    char *digest;
+    i = 0;
+    while (i < 50) {
+        digest = crypt13("benchmark-password", "bm");
+        i = i + 1;
+    }
+    return digest[2] & 0x7F;
+}
+"""
+
+
+def test_emulator_throughput(benchmark, record_result):
+    program = compile_program(HASH_LOOP)
+
+    def run_once():
+        process = Process(program.module, Kernel())
+        status = process.run(5_000_000)
+        assert status.kind == "exit"
+        return status.instret
+
+    instret = benchmark(run_once)
+    stats = benchmark.stats.stats
+    rate = instret / stats.mean if stats.mean else 0.0
+    record_result("emulator_speed",
+                  "emulated instructions per run: %d\n"
+                  "mean wall time: %.4f s\n"
+                  "throughput: %.0f instructions/second"
+                  % (instret, stats.mean, rate))
+    assert instret > 50_000
+    assert rate > 50_000, "emulator slower than 50k instr/s"
+
+
+def test_connection_throughput(benchmark, cache):
+    daemon = cache.daemon("FTP")
+
+    def run_once():
+        status, __, ___ = run_clean_connection(daemon, client1)
+        assert status.kind == "exit"
+        return status.instret
+
+    instret = benchmark(run_once)
+    assert instret > 5_000

@@ -1,0 +1,86 @@
+"""Extension experiments from the paper's Section 7 future-work list.
+
+1. *Error propagation and its impact* -- quantify, for the attacker's
+   break-in flips, how far the corrupted execution travels and how much
+   it says to the network before the run ends.
+2. *Other forms of security attacks* -- a path-traversal attacker
+   against the authorization (path validation) code.
+3. *Generality beyond x86* -- the SPARC Bicc condition field has the
+   same Hamming-distance-1 negation pairs, and the same parity fix
+   applies.
+"""
+
+from __future__ import annotations
+
+from repro.analysis import analyze_propagation, format_propagation
+from repro.apps.ftpd import client1, traversal_client
+from repro.encoding.sparc import (format_sparc_analysis,
+                                  minimum_distance, negation_pairs)
+from repro.injection import (record_golden, run_campaign,
+                             SECURITY_BREAKIN)
+from repro.x86 import disassemble_range
+
+
+def test_extension_propagation(benchmark, cache, record_result):
+    daemon = cache.daemon("FTP")
+    golden = record_golden(daemon, client1)
+    start, end = daemon.program.function_range("pass_")
+    branches = [i for i in disassemble_range(daemon.module.text,
+                                             daemon.module.text_base,
+                                             start, end)
+                if i.kind == "cond_branch"
+                and i.address in golden.coverage][:6]
+
+    def analyze_all():
+        return [analyze_propagation(daemon, client1, b.address,
+                                    b.address, 0) for b in branches]
+
+    reports = benchmark.pedantic(analyze_all, rounds=1, iterations=1)
+    lines = ["error propagation of opcode-bit flips on covered "
+             "branches of pass_():"]
+    for branch, report in zip(branches, reports):
+        lines.append("0x%08x %s" % (branch.address, branch.mnemonic))
+        lines.append("  " + format_propagation(report).replace(
+            "\n", "\n  "))
+    record_result("extension_propagation", "\n".join(lines))
+
+    activated = [r for r in reports if r.activated]
+    assert activated
+    # flipped branch decisions diverge quickly
+    diverged = [r for r in activated if r.diverged]
+    assert diverged
+    assert min(r.divergence_latency for r in diverged) == 0
+    # and the wounded server talks to the network afterwards
+    assert any(r.messages_after_divergence > 0 for r in diverged)
+
+
+def test_extension_traversal_attack(benchmark, cache, record_result):
+    daemon = cache.daemon("FTP")
+    ranges = [daemon.program.function_range("retrieve"),
+              daemon.program.function_range("safe_filename")]
+
+    def run():
+        return run_campaign(daemon, "Traversal", traversal_client,
+                            ranges=ranges)
+
+    campaign = benchmark.pedantic(run, rounds=1, iterations=1)
+    breakins = campaign.results_with_outcome(SECURITY_BREAKIN)
+    counts = campaign.counts()
+    text = ("path-traversal attack against the authorization code "
+            "(retrieve + safe_filename)\n"
+            "runs: %d, activated: %d\ncounts: %s\n"
+            "file-leaking flips: %d\n"
+            "-> the paper's mechanism applies beyond authentication: "
+            "one bit in the path check leaks files outside /pub"
+            % (campaign.total_runs, campaign.activated_count, counts,
+               len(breakins)))
+    record_result("extension_traversal", text)
+    assert breakins
+
+
+def test_extension_sparc_generality(benchmark, record_result):
+    pairs = benchmark.pedantic(negation_pairs, rounds=5, iterations=1)
+    record_result("extension_sparc", format_sparc_analysis())
+    assert all(pair.distance == 1 for pair in pairs)
+    assert minimum_distance("old") == 1
+    assert minimum_distance("new") == 2

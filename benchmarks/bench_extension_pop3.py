@@ -1,0 +1,43 @@
+"""Extension: a third security-sensitive application (POP3).
+
+Section 7: "clearly more experimentation is essential on a variety of
+applications".  POP3's authorization state has two entry points
+(USER/PASS and APOP), between wu-ftpd's one and sshd's three, so the
+paper's entry-point argument predicts its break-in exposure sits in
+between as well.  This benchmark runs the attacker campaign against
+pop3d and places all three daemons side by side.
+"""
+
+from __future__ import annotations
+
+from repro.analysis import build_table1, format_table1
+from repro.apps.pop3d import client1 as pop3_attacker, Pop3Daemon
+from repro.injection import run_campaign
+
+
+def test_pop3_campaign(benchmark, cache, record_result):
+    daemon = Pop3Daemon()
+
+    def run():
+        return run_campaign(daemon, "Client1", pop3_attacker)
+
+    campaign = benchmark.pedantic(run, rounds=1, iterations=1)
+    ftp = cache.campaign("FTP", "Client1")
+    ssh = cache.campaign("SSH", "Client1")
+
+    table = format_table1(build_table1([ftp, campaign, ssh]),
+                          "attacker campaigns across three daemons "
+                          "(old encoding)")
+    lines = [table, "",
+             "authentication entry points: ftpd=1, pop3d=2, sshd=3",
+             "BRK %% of activated: ftpd=%.2f pop3d=%.2f sshd=%.2f"
+             % (ftp.percentage_of_activated("BRK"),
+                campaign.percentage_of_activated("BRK"),
+                ssh.percentage_of_activated("BRK"))]
+    record_result("extension_pop3", "\n".join(lines))
+
+    counts = campaign.counts()
+    assert counts["BRK"] > 0
+    # same qualitative band as the other daemons
+    assert 25 <= campaign.percentage_of_activated("SD") <= 75
+    assert 15 <= campaign.percentage_of_activated("NM") <= 60

@@ -1,0 +1,60 @@
+"""Section 5.4: persistent/latent errors and the impact of system load.
+
+The paper argues that (a) a text-segment error persists across the
+fork-per-connection lifecycle, repeatedly crashing the server or
+opening the same hole, and (b) heavier, more *diverse* load raises the
+probability that a latent error is eventually activated.  This
+benchmark measures both with a seeded sample of random text faults.
+"""
+
+from __future__ import annotations
+
+from repro.apps.ftpd import CLIENT_FACTORIES
+from repro.injection import run_latent_study, sample_text_faults
+
+FAULTS = 60
+CONNECTIONS = 4
+
+
+def test_load_diversity_effect(benchmark, cache, record_result):
+    daemon = cache.daemon("FTP")
+    faults = sample_text_faults(daemon, FAULTS, seed=2001)
+    diverse_workload = sorted(CLIENT_FACTORIES.items())
+    homogeneous_workload = [("Client1", CLIENT_FACTORIES["Client1"])]
+
+    def run_both():
+        diverse = run_latent_study(daemon, diverse_workload, faults,
+                                   connections_per_fault=CONNECTIONS)
+        homogeneous = run_latent_study(daemon, homogeneous_workload,
+                                       faults,
+                                       connections_per_fault=CONNECTIONS)
+        return diverse, homogeneous
+
+    diverse, homogeneous = benchmark.pedantic(run_both, rounds=1,
+                                              iterations=1)
+    text = ("latent-error manifestation over %d random text faults, "
+            "%d connections each\n"
+            "homogeneous workload (Client1 only): %.1f%% manifested\n"
+            "diverse workload (Clients 1-4):      %.1f%% manifested\n"
+            "mean connections to first manifestation (diverse): %s\n"
+            "paper (Section 5.4): diversified client requests raise "
+            "the probability of latent-error manifestation"
+            % (FAULTS, CONNECTIONS,
+               100 * homogeneous.manifestation_rate,
+               100 * diverse.manifestation_rate,
+               diverse.mean_time_to_manifestation()))
+    record_result("latent_load", text)
+    assert diverse.manifestation_rate >= homogeneous.manifestation_rate
+
+    # Persistence: a fault that manifested does so *again* when the
+    # same client pattern reconnects (spot-check the first hit).
+    manifested = [r for r in diverse.results if r.manifested]
+    if manifested:
+        fault = manifested[0]
+        index = (fault.first_connection - 1) % len(diverse_workload)
+        same_pattern = [diverse_workload[index]]
+        repeat = run_latent_study(daemon, same_pattern,
+                                  [(fault.address, fault.bit)],
+                                  connections_per_fault=1)
+        assert repeat.results[0].manifested, \
+            "a persistent latent error must manifest again"

@@ -1,0 +1,50 @@
+"""Section 7's random-injection testbed: "about one out of 3,000
+single-bit errors causes security violation".
+
+Random single-bit faults over the *entire text segment* of the FTP
+daemon while a wrong-password client attacks.  Our binary is much
+smaller than wu-ftpd's, so the authentication section is a larger
+fraction of the text and the measured rate is expected to sit in the
+same order of magnitude but somewhat above 1/3000.
+"""
+
+from __future__ import annotations
+
+from repro.apps.ftpd import client1
+from repro.injection import run_random_campaign
+
+TRIALS = 3000
+
+
+def test_random_breakin_rate(benchmark, cache, record_result):
+    daemon = cache.daemon("FTP")
+
+    def run():
+        return run_random_campaign(daemon, client1, trials=TRIALS,
+                                   seed=2001)
+
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    text = ("random single-bit injection over the whole ftpd text "
+            "segment\n"
+            "trials: %d\noutcomes: %s\nbreak-ins: %d  (one in %.0f)\n"
+            "paper: about one out of 3,000"
+            % (result.trials, result.outcomes, result.breakin_count,
+               result.one_in))
+    record_result("random_rate", text)
+
+    assert result.trials == TRIALS
+    assert result.breakin_count >= 1, \
+        "a persistent random-fault attacker must eventually get in"
+    # Same order of magnitude as the paper: between 1/10000 and 1/50.
+    assert 50 <= result.one_in <= 10000
+
+
+def test_random_campaign_deterministic(benchmark, cache):
+    daemon = cache.daemon("FTP")
+    first = benchmark.pedantic(
+        lambda: run_random_campaign(daemon, client1, trials=300,
+                                    seed=7),
+        rounds=1, iterations=1)
+    second = run_random_campaign(daemon, client1, trials=300, seed=7)
+    assert first.outcomes == second.outcomes
+    assert first.breakins == second.breakins

@@ -1,0 +1,115 @@
+"""Section 3's worked examples as targeted experiments.
+
+Example 1: one bit in ftpd's pass_() lets a wrong-password client log
+in and fetch files (a *permanent* vulnerability window: the corrupted
+page serves every later connection until reloaded).
+
+Example 2: one bit in sshd's do_authentication() hands an attacker a
+shell.
+"""
+
+from __future__ import annotations
+
+from repro.apps.ftpd import client1 as ftp_attacker
+from repro.apps.sshd import client1 as ssh_attacker
+from repro.injection import (BreakpointSession, classify_completed_run,
+                             record_golden, SECURITY_BREAKIN)
+from repro.x86 import disassemble_range
+
+
+def _covered_jcc(daemon, function, golden):
+    start, end = daemon.program.function_range(function)
+    return [instruction for instruction in
+            disassemble_range(daemon.module.text,
+                              daemon.module.text_base, start, end)
+            if instruction.mnemonic in ("je", "jne")
+            and instruction.address in golden.coverage]
+
+
+def _find_breakins(daemon, client_factory, functions):
+    golden = record_golden(daemon, client_factory)
+    found = []
+    for function in functions:
+        for instruction in _covered_jcc(daemon, function, golden):
+            session = BreakpointSession(daemon, client_factory,
+                                        instruction.address)
+            status, kernel, client = session.run_with_flip(
+                instruction.address, 0)
+            outcome, __ = classify_completed_run(
+                golden, client,
+                kernel.channel.normalized_transcript(), status)
+            if outcome == SECURITY_BREAKIN:
+                found.append((function, instruction, client))
+    return found
+
+
+def test_example1_ftp_breakin(benchmark, cache, record_result):
+    daemon = cache.daemon("FTP")
+    breakins = benchmark.pedantic(
+        lambda: _find_breakins(daemon, ftp_attacker, ("pass_",)),
+        rounds=1, iterations=1)
+    assert breakins, "Example 1 must reproduce"
+    lines = ["Example 1 (ftpd pass): single-bit je<->jne flips that "
+             "grant access to a wrong-password client:"]
+    for function, instruction, client in breakins:
+        lines.append("  %s @0x%x: %s (%s) -> client retrieved %d files"
+                     % (function, instruction.address, instruction,
+                        instruction.raw.hex(),
+                        client.retrieved_files))
+    record_result("section3_example1", "\n".join(lines))
+    for __, ___, client in breakins:
+        assert client.granted and client.retrieved_files > 0
+
+
+def test_example2_ssh_breakin(benchmark, cache, record_result):
+    daemon = cache.daemon("SSH")
+    breakins = benchmark.pedantic(
+        lambda: _find_breakins(daemon, ssh_attacker,
+                               ("do_authentication", "auth_password")),
+        rounds=1, iterations=1)
+    assert breakins, "Example 2 must reproduce"
+    lines = ["Example 2 (sshd): single-bit flips that give an attacker "
+             "a shell:"]
+    for function, instruction, client in breakins:
+        lines.append("  %s @0x%x: %s" % (function, instruction.address,
+                                         instruction))
+    record_result("section3_example2", "\n".join(lines))
+    for __, ___, client in breakins:
+        assert client.got_shell
+
+
+def test_permanent_window(benchmark, cache, record_result):
+    """Section 5.4: the fault persists in the text page, so every
+    subsequent connection (forked child) is equally vulnerable until
+    the page is reloaded."""
+    daemon = cache.daemon("FTP")
+    breakins = benchmark.pedantic(
+        lambda: _find_breakins(daemon, ftp_attacker, ("pass_",)),
+        rounds=1, iterations=1)
+    assert breakins
+    __, instruction, ___ = breakins[0]
+
+    # Corrupt a long-lived image, then serve three consecutive
+    # attacker connections from forked children of that image.
+    from repro.emu import Process
+    parent = Process(daemon.module, None)
+    parent.flip_bit(instruction.address, 0)
+    results = []
+    for __ in range(3):
+        client = ftp_attacker()
+        child = parent.clone_for_connection(daemon.make_kernel(client))
+        child.run(400_000)
+        results.append(client.broke_in())
+    record_result("permanent_window",
+                  "three consecutive connections against the corrupted "
+                  "image -> break-ins: %s\n(permanent vulnerability "
+                  "window: every child inherits the flipped text page)"
+                  % results)
+    assert all(results)
+
+    # Reloading the page (fresh Process from the pristine module)
+    # closes the window.
+    client = ftp_attacker()
+    fresh = Process(daemon.module, daemon.make_kernel(client))
+    fresh.run(400_000)
+    assert not client.broke_in()

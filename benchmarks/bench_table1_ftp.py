@@ -1,0 +1,60 @@
+"""Table 1 (FTP columns): outcome distributions for Clients 1-4.
+
+Paper reference (percent of activated errors):
+
+    Client1: NM 46.80  SD 43.45  FSV  8.69  BRK 1.07
+    Client2: NM 39.12  SD 49.33  FSV 11.55  BRK -
+    Client3: NM 38.31  SD 55.04  FSV  6.65  BRK -
+    Client4: NM 30.10  SD 62.50  FSV  7.40  BRK -
+
+Expected shape: SD and NM dominate, FSV in the ~7-20 % band, BRK only
+for the wrong-password client at a few percent of activated errors.
+"""
+
+from __future__ import annotations
+
+from repro.analysis import (build_table1, format_comparison,
+                            format_table1, PAPER_TABLE1,
+                            PaperComparison)
+
+
+def test_table1_ftp(benchmark, cache, record_result):
+    def run_all():
+        return cache.all_old("FTP")
+
+    campaigns = benchmark.pedantic(run_all, rounds=1, iterations=1)
+    table = format_table1(build_table1(campaigns),
+                          "Table 1 (FTP): result distributions, "
+                          "old encoding")
+    rows = []
+    for campaign in campaigns:
+        paper = PAPER_TABLE1[("FTP", campaign.client_name)]
+        for outcome in ("NM", "SD", "FSV", "BRK"):
+            if paper[outcome] is None:
+                continue
+            rows.append(PaperComparison(
+                experiment="Table1 FTP %s" % campaign.client_name,
+                metric="%s %% of activated" % outcome,
+                paper_value=paper[outcome],
+                measured_value=campaign.percentage_of_activated(
+                    outcome)))
+    text = table + "\n\n" + format_comparison(rows)
+    record_result("table1_ftp", text)
+
+    # Shape assertions (who wins, roughly by how much).
+    for campaign in campaigns:
+        sd = campaign.percentage_of_activated("SD")
+        nm = campaign.percentage_of_activated("NM")
+        fsv = campaign.percentage_of_activated("FSV")
+        assert 30 <= sd <= 75, "SD share out of band: %s" % sd
+        assert 15 <= nm <= 60, "NM share out of band: %s" % nm
+        assert 2 <= fsv <= 25, "FSV share out of band: %s" % fsv
+    attacker = campaigns[0]
+    assert attacker.client_name == "Client1"
+    brk = attacker.percentage_of_activated("BRK")
+    assert 0.3 <= brk <= 6.0, \
+        "BRK for the attacker should be a few percent, got %s" % brk
+    # Authorized clients cannot break in.
+    for campaign in campaigns:
+        if campaign.client_name in ("Client2", "Client4"):
+            assert campaign.counts()["BRK"] == 0

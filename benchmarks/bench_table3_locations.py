@@ -1,0 +1,58 @@
+"""Tables 2 and 3: BRK+FSV cases broken down by error location.
+
+Paper reference: 38-63 % of BRK+FSV cases come from the opcode byte of
+2-byte conditional branches (2BC), 6.5-18 % from the second opcode
+byte of 6-byte conditional branches (6BC2); sshd shows noticeably more
+MISC than ftpd.
+"""
+
+from __future__ import annotations
+
+from repro.analysis import build_table3, format_table3
+from repro.injection import LOCATION_DEFINITIONS
+
+
+def test_table2_definitions(benchmark, record_result):
+    def build():
+        rows = ["Table 2: Error Location Abbreviations"]
+        for code, definition in LOCATION_DEFINITIONS.items():
+            rows.append("  %-5s %s" % (code, definition))
+        return rows
+
+    lines = benchmark.pedantic(build, rounds=1, iterations=1)
+    record_result("table2_locations", "\n".join(lines))
+    assert set(LOCATION_DEFINITIONS) == {"2BC", "2BO", "6BC1", "6BC2",
+                                         "6BO", "MISC"}
+
+
+def test_table3_locations(benchmark, cache, record_result):
+    def build():
+        campaigns = cache.all_old("FTP") + cache.all_old("SSH")
+        return campaigns, build_table3(campaigns)
+
+    campaigns, columns = benchmark.pedantic(build, rounds=1,
+                                            iterations=1)
+    table = format_table3(
+        columns, "Table 3: FTP and SSH break-ins and fail silence "
+                 "violations by location")
+    record_result("table3_locations", table +
+                  "\n\npaper: 2BC dominates (38-63%), 6BC2 second "
+                  "opcode byte contributes 6.5-18%, MISC larger for "
+                  "SSH than FTP")
+
+    # Shape: 2BC is the single largest conditional-branch category in
+    # most columns, and opcode corruptions (2BC+6BC2) dominate.
+    for column in columns:
+        if column.total < 10:
+            continue
+        pct_2bc = column.percentage("2BC")
+        assert pct_2bc >= 20, \
+            "%s: expected 2BC to dominate, got %.1f%%" \
+            % (column.label, pct_2bc)
+
+    ftp_misc = [column.percentage("MISC") for column in columns
+                if "Ftp" in column.label or "FTP" in column.label]
+    ssh_misc = [column.percentage("MISC") for column in columns
+                if "Ssh" in column.label or "SSH" in column.label]
+    if ftp_misc and ssh_misc:
+        assert max(ssh_misc) >= max(ftp_misc) * 0.5

@@ -1,0 +1,83 @@
+"""Shared state for the benchmark suite.
+
+Campaigns are expensive (seconds each), and several benchmarks consume
+the same ones (Table 1 columns feed Table 3 and Figure 4).  A lazy
+session-scoped cache runs each campaign exactly once per pytest
+session; the bench that first needs a campaign pays for (and times)
+it.
+
+Every benchmark also appends its reproduced table to
+``benchmarks/results/<name>.txt`` so the paper-shaped output survives
+pytest's capture.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+from repro.apps.ftpd import CLIENT_FACTORIES as FTP_CLIENTS, FtpDaemon
+from repro.apps.sshd import CLIENT_FACTORIES as SSH_CLIENTS, SshDaemon
+from repro.injection import ENCODING_NEW, ENCODING_OLD, run_campaign
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+class CampaignCache:
+    """Lazy (daemon, client, encoding) -> CampaignResult cache."""
+
+    def __init__(self):
+        self._daemons = {}
+        self._campaigns = {}
+
+    def daemon(self, app):
+        if app not in self._daemons:
+            self._daemons[app] = FtpDaemon() if app == "FTP" \
+                else SshDaemon()
+        return self._daemons[app]
+
+    def clients(self, app):
+        return FTP_CLIENTS if app == "FTP" else SSH_CLIENTS
+
+    def campaign(self, app, client_name, encoding=ENCODING_OLD):
+        key = (app, client_name, encoding)
+        if key not in self._campaigns:
+            factory = self.clients(app)[client_name]
+            self._campaigns[key] = run_campaign(
+                self.daemon(app), client_name, factory,
+                encoding=encoding)
+        return self._campaigns[key]
+
+    def all_old(self, app):
+        return [self.campaign(app, name)
+                for name in self.clients(app)]
+
+    def all_pairs(self, app):
+        return [(self.campaign(app, name, ENCODING_OLD),
+                 self.campaign(app, name, ENCODING_NEW))
+                for name in self.clients(app)]
+
+
+@pytest.fixture(scope="session")
+def cache():
+    return CampaignCache()
+
+
+@pytest.fixture(scope="session")
+def results_dir():
+    RESULTS_DIR.mkdir(exist_ok=True)
+    return RESULTS_DIR
+
+
+@pytest.fixture
+def record_result(results_dir, request):
+    """Write (and echo) a named result blob."""
+
+    def writer(name, text):
+        path = results_dir / ("%s.txt" % name)
+        path.write_text(text + "\n")
+        print("\n" + text)
+        return path
+
+    return writer

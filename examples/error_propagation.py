@@ -1,0 +1,42 @@
+#!/usr/bin/env python3
+"""Error propagation analysis (Section 7 future work).
+
+For a handful of single-bit branch corruptions in ftpd's pass_(),
+shows how quickly the corrupted execution departs from the golden
+path, which registers go bad, and how much the wounded server still
+says to the network.
+
+Run:  python3 examples/error_propagation.py
+"""
+
+from repro.analysis import analyze_propagation, format_propagation
+from repro.apps.ftpd import client1, FtpDaemon
+from repro.injection import record_golden
+from repro.x86 import disassemble_range
+
+
+def main():
+    daemon = FtpDaemon()
+    golden = record_golden(daemon, client1)
+    start, end = daemon.program.function_range("pass_")
+    targets = [instruction for instruction in
+               disassemble_range(daemon.module.text,
+                                 daemon.module.text_base, start, end)
+               if instruction.kind == "cond_branch"
+               and instruction.address in golden.coverage][:5]
+
+    print("how single-bit branch corruptions in pass_() propagate\n")
+    for instruction in targets:
+        for label, byte_offset in (("opcode", 0), ("offset", 1)):
+            report = analyze_propagation(
+                daemon, client1, instruction.address,
+                instruction.address + byte_offset, 0)
+            print("%s @0x%x, %s bit 0:"
+                  % (instruction.mnemonic, instruction.address, label))
+            print("  " + format_propagation(report).replace("\n",
+                                                            "\n  "))
+            print()
+
+
+if __name__ == "__main__":
+    main()

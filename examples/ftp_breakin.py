@@ -1,0 +1,70 @@
+#!/usr/bin/env python3
+"""Example 1 of the paper, end to end.
+
+Builds the wu-ftpd-like daemon, lets the attacker (existing user name,
+wrong password) fail against the clean server, then sweeps every
+single-bit flip of every conditional branch in ``pass_()`` and reports
+the ones that granted the attacker file access.
+
+Run:  python3 examples/ftp_breakin.py
+"""
+
+from repro.apps.ftpd import client1, FtpDaemon
+from repro.injection import (BreakpointSession, classify_completed_run,
+                             record_golden, SECURITY_BREAKIN)
+from repro.x86 import disassemble_range, format_listing
+
+
+def main():
+    daemon = FtpDaemon()
+    golden = record_golden(daemon, client1)
+
+    print("== clean run: the attacker is denied ==")
+    for direction, chunk in golden.transcript:
+        print("  %s %s" % (direction,
+                           chunk.decode("latin-1",
+                                        "replace").strip()[:70]))
+    print("  (attacker retrieved %d files)\n"
+          % golden.client_state["retrieved_files"])
+
+    start, end = daemon.program.function_range("pass_")
+    branches = [instruction for instruction in
+                disassemble_range(daemon.module.text,
+                                  daemon.module.text_base, start, end)
+                if instruction.kind == "cond_branch"
+                and instruction.address in golden.coverage]
+    print("== sweeping %d executed conditional branches in pass_() ==\n"
+          % len(branches))
+
+    breakins = []
+    for instruction in branches:
+        session = BreakpointSession(daemon, client1,
+                                    instruction.address)
+        for byte_offset in range(instruction.length):
+            for bit in range(8):
+                status, kernel, client = session.run_with_flip(
+                    instruction.address + byte_offset, bit)
+                outcome, __ = classify_completed_run(
+                    golden, client,
+                    kernel.channel.normalized_transcript(), status)
+                if outcome == SECURITY_BREAKIN:
+                    breakins.append((instruction, byte_offset, bit,
+                                     client))
+
+    print("single-bit flips that let the attacker in:")
+    for instruction, byte_offset, bit, client in breakins:
+        original = instruction.raw[byte_offset]
+        corrupted = original ^ (1 << bit)
+        print("  0x%08x byte %d bit %d: %02x -> %02x   %-18s "
+              "(retrieved %d files)"
+              % (instruction.address, byte_offset, bit, original,
+                 corrupted, str(instruction), client.retrieved_files))
+    if breakins:
+        share = 100.0 * len(breakins) / (8 * sum(i.length
+                                                 for i in branches))
+        print("\n%d of the swept bits (%.1f%%) created a security "
+              "hole -- the paper's Example 1." % (len(breakins), share))
+
+
+if __name__ == "__main__":
+    main()

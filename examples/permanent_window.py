@@ -1,0 +1,74 @@
+#!/usr/bin/env python3
+"""Section 5.4: the permanent window of vulnerability.
+
+A single-bit error in a text page "persists until the memory page is
+reloaded or the system is rebooted".  The daemons fork a child per
+connection, and every child shares the corrupted page -- so one bit
+turns the server into a door that is open for *every* subsequent
+attacker until the page is reloaded.
+
+Run:  python3 examples/permanent_window.py
+"""
+
+from repro.apps.ftpd import client1, FtpDaemon
+from repro.emu import Process
+from repro.injection import (BreakpointSession, classify_completed_run,
+                             record_golden, SECURITY_BREAKIN)
+from repro.x86 import disassemble_range
+
+
+def find_breaking_instruction(daemon, golden):
+    start, end = daemon.program.function_range("pass_")
+    for instruction in disassemble_range(daemon.module.text,
+                                         daemon.module.text_base,
+                                         start, end):
+        if instruction.kind != "cond_branch":
+            continue
+        if instruction.address not in golden.coverage:
+            continue
+        session = BreakpointSession(daemon, client1,
+                                    instruction.address)
+        status, kernel, client = session.run_with_flip(
+            instruction.address, 0)
+        outcome, __ = classify_completed_run(
+            golden, client, kernel.channel.normalized_transcript(),
+            status)
+        if outcome == SECURITY_BREAKIN:
+            return instruction
+    raise SystemExit("no breaking instruction found (unexpected)")
+
+
+def main():
+    daemon = FtpDaemon()
+    golden = record_golden(daemon, client1)
+    instruction = find_breaking_instruction(daemon, golden)
+    print("corrupting one bit of %s at 0x%x in the long-running "
+          "server image ..." % (instruction, instruction.address))
+
+    parent = Process(daemon.module, None)
+    parent.flip_bit(instruction.address, 0)
+
+    print("\nserving five consecutive attacker connections from "
+          "forked children of the corrupted image:")
+    for connection in range(1, 6):
+        client = client1()
+        child = parent.clone_for_connection(daemon.make_kernel(client))
+        child.run(400_000)
+        print("  connection %d: %s"
+              % (connection,
+                 "BREAK-IN (files retrieved: %d)"
+                 % client.retrieved_files
+                 if client.broke_in() else "denied"))
+
+    print("\nreloading the page (fresh server image):")
+    client = client1()
+    fresh = Process(daemon.module, daemon.make_kernel(client))
+    fresh.run(400_000)
+    print("  connection after reload: %s"
+          % ("BREAK-IN" if client.broke_in() else "denied"))
+    print("\n-> the window stays open for every connection until the "
+          "page is reloaded: a PERMANENT vulnerability window.")
+
+
+if __name__ == "__main__":
+    main()

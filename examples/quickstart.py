@@ -1,0 +1,82 @@
+#!/usr/bin/env python3
+"""Quickstart: the paper's core effect in fifty lines.
+
+Compiles a miniature password check with the mini-C compiler, shows
+that on real x86 encodings ``jne`` and ``je`` are one bit apart, flips
+that bit, and watches a wrong password get accepted.
+
+Run:  python3 examples/quickstart.py
+"""
+
+from repro.cc import compile_program
+from repro.emu import Process
+from repro.kernel import crypt13, Kernel, ScriptedClient
+from repro.x86 import disassemble_range, format_listing
+
+SOURCE = r"""
+int check_password(char *supplied) {
+    char *xpasswd;
+    int rval;
+    rval = 1;
+    xpasswd = crypt13(supplied, "al");
+    if (strcmp(xpasswd, "%HASH%") == 0) {
+        rval = 0;
+    }
+    if (rval) {
+        send_str("530 Login incorrect.\r\n");
+        return 1;
+    }
+    send_str("230 User logged in.\r\n");
+    return 0;
+}
+
+int main() {
+    return check_password("WRONG-password");
+}
+""".replace("%HASH%", crypt13("correcthorse", "al"))
+
+
+class Printer(ScriptedClient):
+    def receive(self, data):
+        print("   server says: %s" % data.decode().strip())
+
+
+def run(program, flip=None):
+    process = Process(program.module, Kernel.for_client(Printer()))
+    if flip is not None:
+        address, bit = flip
+        process.flip_bit(address, bit)
+    return process.run()
+
+
+def main():
+    program = compile_program(SOURCE)
+    start, end = program.function_range("check_password")
+    listing = disassemble_range(program.module.text,
+                                program.module.text_base, start, end)
+
+    print("== the compiled password check (excerpt) ==")
+    involved = [i for i in listing if i.mnemonic in ("jne", "je",
+                                                     "test", "call")]
+    print(format_listing(involved[:8]))
+
+    branch = next(i for i in listing if i.mnemonic == "jne")
+    print("\nthe deny/grant decision: %s at 0x%x, encoded %s"
+          % (branch, branch.address, branch.raw.hex()))
+    print("one flipped bit turns 0x%02x (jne) into 0x%02x (je)"
+          % (branch.raw[0], branch.raw[0] ^ 1))
+
+    print("\n== clean run (wrong password) ==")
+    status = run(program)
+    print("   exit status: %s" % status)
+
+    print("\n== same run with one bit flipped ==")
+    status = run(program, flip=(branch.address, 0))
+    print("   exit status: %s" % status)
+    if status.exit_code == 0:
+        print("\n-> the wrong password was ACCEPTED: "
+              "a single-bit error became a security hole.")
+
+
+if __name__ == "__main__":
+    main()

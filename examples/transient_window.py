@@ -1,0 +1,46 @@
+#!/usr/bin/env python3
+"""Figure 4: the transient window of vulnerability.
+
+Runs the FTP Client1 campaign, collects for every crash the number of
+instructions between error activation and the crash, and prints the
+paper's log2-binned histogram.  The long tail -- crashes hundreds to
+tens of thousands of instructions after the corrupted instruction --
+is the window during which the wounded server keeps talking to the
+network.
+
+Run:  python3 examples/transient_window.py     (takes ~10 s)
+"""
+
+from repro.analysis import build_histogram, format_histogram
+from repro.apps.ftpd import client1, FtpDaemon
+from repro.injection import run_campaign
+
+
+def main():
+    daemon = FtpDaemon()
+    print("running the FTP Client1 campaign ...")
+    campaign = run_campaign(daemon, "Client1", client1)
+    latencies = campaign.crash_latencies()
+
+    print()
+    print(format_histogram(build_histogram(latencies)))
+
+    print("\nslowest crashes (the transient window):")
+    slow = sorted(
+        (result for result in campaign.results
+         if result.outcome == "SD" and result.crash_latency
+         and result.crash_latency > 100),
+        key=lambda result: result.crash_latency, reverse=True)
+    for result in slow[:8]:
+        point = result.point
+        print("  %6d instructions  %-4s @0x%08x byte %d bit %d  (%s)"
+              % (result.crash_latency, point.mnemonic,
+                 point.instruction_address, point.byte_offset,
+                 point.bit, result.signal))
+    print("\npaper: 91.5%% of crashes within 100 instructions; the "
+          "remaining 8.5%% create transient windows of up to >16,000 "
+          "instructions.")
+
+
+if __name__ == "__main__":
+    main()

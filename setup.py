@@ -1,0 +1,11 @@
+"""Setup shim for environments without the ``wheel`` package.
+
+All project metadata lives in ``pyproject.toml``; this file only exists
+so that ``pip install -e .`` can fall back to the legacy editable-install
+path when PEP 660 builds are unavailable (offline machines without the
+``wheel`` backend).
+"""
+
+from setuptools import setup
+
+setup()

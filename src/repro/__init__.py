@@ -1,0 +1,36 @@
+"""repro -- reproduction of "An Experimental Study of Security
+Vulnerabilities Caused by Errors" (Xu, Chen, Kalbarczyk, Iyer;
+DSN 2001).
+
+The package rebuilds the study's entire stack from scratch:
+
+* :mod:`repro.x86` -- an IA-32 subset assembler/decoder with the real
+  opcode layout (the contiguous conditional-branch blocks are the
+  paper's root cause).
+* :mod:`repro.emu` -- a CPU emulator with faithful fault semantics
+  (#UD/#GP/#PF -> SIGILL/SIGSEGV) and process images.
+* :mod:`repro.kernel` -- syscalls, sockets, filesystem, accounts.
+* :mod:`repro.cc` -- a mini-C compiler emitting gcc-1999 idioms.
+* :mod:`repro.apps` -- wu-ftpd- and sshd-like daemons written in
+  mini-C, plus the paper's scripted clients.
+* :mod:`repro.injection` -- NFTAPE-style selective exhaustive
+  single-bit injection, outcome classification (NA/NM/SD/FSV/BRK),
+  campaigns, and the random-injection testbed.
+* :mod:`repro.encoding` -- the Table 4 branch re-encoding scheme and
+  its map->flip->map-back evaluation.
+* :mod:`repro.analysis` -- builders and ASCII renderers for Tables
+  1/3/5 and Figure 4.
+
+Quickstart::
+
+    from repro.apps.ftpd import FtpDaemon, client1
+    from repro.injection import run_campaign
+
+    campaign = run_campaign(FtpDaemon(), "Client1", client1)
+    print(campaign.counts())
+"""
+
+__version__ = "1.0.0"
+
+__all__ = ["x86", "emu", "kernel", "cc", "apps", "injection",
+           "encoding", "analysis"]

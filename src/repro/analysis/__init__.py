@@ -1,0 +1,27 @@
+"""Result analysis: table builders, Figure 4 histogram, reports."""
+
+from .histogram import (build_histogram, format_histogram,
+                        LatencyHistogram)
+from .propagation import (analyze_propagation, format_propagation,
+                          PropagationReport)
+from .serialize import (campaign_from_dict, campaign_to_dict,
+                        load_campaign, save_campaign)
+from .report import (format_comparison, format_table1, format_table3,
+                     format_table5)
+from .tables import (build_table1, build_table3, build_table5,
+                     DistributionColumn, distribution_column,
+                     LocationColumn, PAPER_TABLE1,
+                     PAPER_TABLE5_REDUCTIONS, PaperComparison,
+                     ReductionColumn, TABLE1_ROWS)
+
+__all__ = [
+    "build_histogram", "format_histogram", "LatencyHistogram",
+    "analyze_propagation", "format_propagation", "PropagationReport",
+    "campaign_to_dict", "campaign_from_dict", "save_campaign",
+    "load_campaign",
+    "format_table1", "format_table3", "format_table5",
+    "format_comparison", "build_table1", "build_table3", "build_table5",
+    "DistributionColumn", "distribution_column", "LocationColumn",
+    "ReductionColumn", "PaperComparison", "PAPER_TABLE1",
+    "PAPER_TABLE5_REDUCTIONS", "TABLE1_ROWS",
+]

@@ -1,0 +1,90 @@
+"""ASCII rendering of the reproduced tables, in the paper's layout."""
+
+from __future__ import annotations
+
+from ..injection.locations import ALL_LOCATIONS
+from .tables import TABLE1_ROWS
+
+
+def _cell(count, percentage):
+    if percentage is None:
+        return "%6d      -  " % count if count else "     -      -  "
+    return "%6d %6.2f%%" % (count, percentage)
+
+
+def format_table1(columns, title="Result Distributions"):
+    """Render Table 1 / the distribution half of Table 5."""
+    header = "Type " + "".join("%15s" % column.label[-12:]
+                               for column in columns)
+    lines = [title, header]
+    for outcome in TABLE1_ROWS:
+        cells = []
+        for column in columns:
+            count = column.counts.get(outcome, 0)
+            if outcome == "NA":
+                cells.append("%6d      -  " % count)
+            elif count == 0 and outcome == "BRK":
+                cells.append("     -      -  ")
+            else:
+                cells.append(_cell(count, column.percentage(outcome)))
+        lines.append("%-4s " % outcome + "".join(cells))
+    lines.append("runs " + "".join("%15d" % column.total_runs
+                                   for column in columns))
+    return "\n".join(lines)
+
+
+def format_table3(columns, title="Break-ins and Fail Silence "
+                                 "Violations by Location"):
+    """Render Table 3."""
+    header = "Loc  " + "".join("%15s" % column.label[-12:]
+                               for column in columns)
+    lines = [title, header]
+    for location in ALL_LOCATIONS:
+        cells = []
+        for column in columns:
+            count = column.counts.get(location, 0)
+            cells.append("%6d %6.2f%%" % (count,
+                                          column.percentage(location)))
+        lines.append("%-4s " % location + "".join(cells))
+    lines.append("Total" + "".join("%15d" % column.total
+                                   for column in columns))
+    return "\n".join(lines)
+
+
+def format_table5(columns, title="Results from New Encoding"):
+    """Render Table 5 (distribution + reduction rows)."""
+    lines = [format_table1([column.new for column in columns], title)]
+    fsv_cells = []
+    brk_cells = []
+    for column in columns:
+        fsv_cells.append("%6d %6.0f%%" % (column.fsv_reduction_count,
+                                          column.fsv_reduction_pct))
+        if column.old.counts.get("BRK", 0):
+            brk_cells.append("%6d %6.0f%%" % (column.brk_reduction_count,
+                                              column.brk_reduction_pct))
+        else:
+            brk_cells.append("     -      -  ")
+    lines.append("FSVr " + "".join(fsv_cells))
+    lines.append("BRKr " + "".join(brk_cells))
+    return "\n".join(lines)
+
+
+def format_comparison(rows, title="Paper vs measured"):
+    """Render PaperComparison rows for EXPERIMENTS.md."""
+    lines = [title,
+             "%-28s %-18s %12s %12s  %s" % ("experiment", "metric",
+                                            "paper", "measured", "note")]
+    for row in rows:
+        lines.append("%-28s %-18s %12s %12s  %s"
+                     % (row.experiment, row.metric,
+                        _fmt(row.paper_value), _fmt(row.measured_value),
+                        row.note))
+    return "\n".join(lines)
+
+
+def _fmt(value):
+    if value is None:
+        return "-"
+    if isinstance(value, float):
+        return "%.2f" % value
+    return str(value)

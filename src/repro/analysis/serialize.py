@@ -1,0 +1,96 @@
+"""Campaign result serialization.
+
+Campaigns take minutes; downstream analysis (plots, cross-machine
+comparisons, regression tracking) wants the raw per-experiment records
+without re-running anything.  This module round-trips
+:class:`~repro.injection.campaign.CampaignResult` through plain JSON.
+"""
+
+from __future__ import annotations
+
+import json
+
+from ..injection.campaign import CampaignResult
+from ..injection.outcomes import InjectionResult
+from ..injection.targets import InjectionPoint
+
+SCHEMA_VERSION = 1
+
+
+def campaign_to_dict(campaign):
+    """Plain-data snapshot of a campaign (golden run omitted: it is
+    reproducible from the daemon + client name)."""
+    return {
+        "schema": SCHEMA_VERSION,
+        "daemon": campaign.daemon_name,
+        "client": campaign.client_name,
+        "encoding": campaign.encoding,
+        "results": [_result_to_dict(result)
+                    for result in campaign.results],
+    }
+
+
+def _result_to_dict(result):
+    point = result.point
+    return {
+        "address": point.instruction_address,
+        "byte_offset": point.byte_offset,
+        "bit": point.bit,
+        "length": point.instruction_length,
+        "mnemonic": point.mnemonic,
+        "opcode": point.opcode,
+        "kind": point.kind,
+        "location": result.location,
+        "outcome": result.outcome,
+        "activated": result.activated,
+        "activation_instret": result.activation_instret,
+        "exit_kind": result.exit_kind,
+        "exit_code": result.exit_code,
+        "signal": result.signal,
+        "crash_latency": result.crash_latency,
+        "broke_in": result.broke_in,
+        "detail": result.detail,
+    }
+
+
+def campaign_from_dict(payload):
+    """Rebuild a :class:`CampaignResult` (without the golden run)."""
+    if payload.get("schema") != SCHEMA_VERSION:
+        raise ValueError("unsupported schema %r" % payload.get("schema"))
+    campaign = CampaignResult(daemon_name=payload["daemon"],
+                              client_name=payload["client"],
+                              encoding=payload["encoding"])
+    for record in payload["results"]:
+        point = InjectionPoint(
+            instruction_address=record["address"],
+            byte_offset=record["byte_offset"],
+            bit=record["bit"],
+            instruction_length=record["length"],
+            mnemonic=record["mnemonic"],
+            opcode=record["opcode"],
+            kind=record["kind"])
+        campaign.results.append(InjectionResult(
+            point=point,
+            location=record["location"],
+            outcome=record["outcome"],
+            activated=record["activated"],
+            activation_instret=record["activation_instret"],
+            exit_kind=record["exit_kind"],
+            exit_code=record["exit_code"],
+            signal=record["signal"],
+            crash_latency=record["crash_latency"],
+            broke_in=record["broke_in"],
+            detail=record["detail"]))
+    return campaign
+
+
+def save_campaign(campaign, path):
+    """Write a campaign to *path* as JSON."""
+    with open(path, "w") as handle:
+        json.dump(campaign_to_dict(campaign), handle, indent=1)
+
+
+def load_campaign(path):
+    """Read a campaign previously written by :func:`save_campaign`."""
+    with open(path) as handle:
+        return campaign_from_dict(json.load(handle))

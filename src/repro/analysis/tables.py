@@ -1,0 +1,177 @@
+"""Builders for the paper's result tables.
+
+* Table 1: outcome distribution per client (old encoding).
+* Table 3: BRK+FSV breakdown by error location.
+* Table 5: distributions under the new encoding plus FSV/BRK
+  reduction rows.
+
+Each builder consumes :class:`repro.injection.CampaignResult` objects
+and produces plain data structures; :mod:`repro.analysis.report`
+renders them in the paper's layout.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..injection.locations import ALL_LOCATIONS
+from ..injection.outcomes import (FAIL_SILENCE_VIOLATION, NOT_ACTIVATED,
+                                  NOT_MANIFESTED, SECURITY_BREAKIN,
+                                  SYSTEM_DETECTION)
+
+TABLE1_ROWS = (NOT_ACTIVATED, NOT_MANIFESTED, SYSTEM_DETECTION,
+               FAIL_SILENCE_VIOLATION, SECURITY_BREAKIN)
+
+
+@dataclass
+class DistributionColumn:
+    """One client's column in Table 1 / Table 5."""
+
+    label: str
+    counts: dict
+    activated: int
+    total_runs: int
+
+    def percentage(self, outcome):
+        if outcome == NOT_ACTIVATED or not self.activated:
+            return None
+        return 100.0 * self.counts.get(outcome, 0) / self.activated
+
+
+def _short_app_name(daemon_name):
+    lowered = daemon_name.lower()
+    if "ftp" in lowered:
+        return "FTP"
+    if "ssh" in lowered:
+        return "SSH"
+    if "pop" in lowered:
+        return "POP3"
+    return daemon_name
+
+
+def campaign_label(campaign):
+    """Column header in the paper's style, e.g. ``"FTP Client1"``."""
+    return "%s %s" % (_short_app_name(campaign.daemon_name),
+                      campaign.client_name)
+
+
+def distribution_column(campaign, label=None):
+    """Summarise one campaign as a Table 1 column."""
+    return DistributionColumn(
+        label=label or campaign_label(campaign),
+        counts=campaign.counts(),
+        activated=campaign.activated_count,
+        total_runs=campaign.total_runs)
+
+
+def build_table1(campaigns):
+    """Table 1: [DistributionColumn] in campaign order."""
+    return [distribution_column(campaign) for campaign in campaigns]
+
+
+@dataclass
+class LocationColumn:
+    """One client's column in Table 3 (BRK+FSV by location)."""
+
+    label: str
+    counts: dict
+    total: int
+
+    def percentage(self, location):
+        if not self.total:
+            return 0.0
+        return 100.0 * self.counts.get(location, 0) / self.total
+
+
+def build_table3(campaigns):
+    """Table 3: BRK and FSV cases broken down by error location."""
+    columns = []
+    for campaign in campaigns:
+        by_location = campaign.by_location(
+            outcomes=(SECURITY_BREAKIN, FAIL_SILENCE_VIOLATION))
+        total = sum(by_location.values())
+        counts = {location: by_location.get(location, 0)
+                  for location in ALL_LOCATIONS}
+        columns.append(LocationColumn(
+            label=campaign_label(campaign),
+            counts=counts, total=total))
+    return columns
+
+
+@dataclass
+class ReductionColumn:
+    """Table 5 column: new-encoding distribution plus reductions."""
+
+    label: str
+    new: DistributionColumn
+    old: DistributionColumn
+    fsv_reduction_count: int = 0
+    fsv_reduction_pct: float = 0.0
+    brk_reduction_count: int = 0
+    brk_reduction_pct: float = 0.0
+
+
+def build_table5(pairs):
+    """Table 5 from ``[(old_campaign, new_campaign)]`` pairs."""
+    columns = []
+    for old_campaign, new_campaign in pairs:
+        old_column = distribution_column(old_campaign)
+        new_column = distribution_column(new_campaign)
+        old_counts = old_column.counts
+        new_counts = new_column.counts
+        fsv_drop = old_counts[FAIL_SILENCE_VIOLATION] \
+            - new_counts[FAIL_SILENCE_VIOLATION]
+        brk_drop = old_counts[SECURITY_BREAKIN] \
+            - new_counts[SECURITY_BREAKIN]
+        columns.append(ReductionColumn(
+            label=new_column.label,
+            new=new_column, old=old_column,
+            fsv_reduction_count=fsv_drop,
+            fsv_reduction_pct=(100.0 * fsv_drop
+                               / old_counts[FAIL_SILENCE_VIOLATION]
+                               if old_counts[FAIL_SILENCE_VIOLATION]
+                               else 0.0),
+            brk_reduction_count=brk_drop,
+            brk_reduction_pct=(100.0 * brk_drop
+                               / old_counts[SECURITY_BREAKIN]
+                               if old_counts[SECURITY_BREAKIN] else 0.0)))
+    return columns
+
+
+@dataclass
+class PaperComparison:
+    """Paper-vs-measured record for EXPERIMENTS.md."""
+
+    experiment: str
+    metric: str
+    paper_value: object
+    measured_value: object
+    note: str = ""
+
+
+#: the paper's Table 1 percentages (of activated errors), for
+#: comparison reports.
+PAPER_TABLE1 = {
+    ("FTP", "Client1"): {"NM": 46.80, "SD": 43.45, "FSV": 8.69,
+                         "BRK": 1.07},
+    ("FTP", "Client2"): {"NM": 39.12, "SD": 49.33, "FSV": 11.55,
+                         "BRK": None},
+    ("FTP", "Client3"): {"NM": 38.31, "SD": 55.04, "FSV": 6.65,
+                         "BRK": None},
+    ("FTP", "Client4"): {"NM": 30.10, "SD": 62.50, "FSV": 7.40,
+                         "BRK": None},
+    ("SSH", "Client1"): {"NM": 40.16, "SD": 52.42, "FSV": 5.89,
+                         "BRK": 1.53},
+    ("SSH", "Client2"): {"NM": 39.81, "SD": 52.47, "FSV": 7.72,
+                         "BRK": None},
+}
+
+#: the paper's Table 5 reduction rows.
+PAPER_TABLE5_REDUCTIONS = {
+    ("FTP", "Client1"): {"FSV": 30.0, "BRK": 86.0},
+    ("FTP", "Client2"): {"FSV": 40.0, "BRK": None},
+    ("FTP", "Client3"): {"FSV": 21.0, "BRK": None},
+    ("FTP", "Client4"): {"FSV": 30.0, "BRK": None},
+    ("SSH", "Client1"): {"FSV": 38.36, "BRK": 21.05},
+    ("SSH", "Client2"): {"FSV": 34.02, "BRK": None},
+}

@@ -1,0 +1,7 @@
+"""Target applications: the FTP and SSH daemons plus their clients."""
+
+from .common import (CONNECTION_INSTRUCTION_BUDGET, Daemon,
+                     passwd_table_source)
+
+__all__ = ["Daemon", "passwd_table_source",
+           "CONNECTION_INSTRUCTION_BUDGET"]

@@ -1,0 +1,102 @@
+"""Pieces shared by both daemons: the generated passwd table and the
+connection-harness base class."""
+
+from __future__ import annotations
+
+from ..cc import compile_program
+from ..emu import Process
+from ..kernel import (FileSystem, Kernel, PasswdDatabase, default_database,
+                      default_ftp_files)
+
+# Instruction budget per connection: a golden run needs a few tens of
+# thousands; anything that exhausts this is a hung/looping server, the
+# emulator's analogue of a client-side timeout.
+CONNECTION_INSTRUCTION_BUDGET = 400_000
+
+
+def passwd_table_source(database):
+    """Generate the mini-C globals holding the account table.
+
+    Real daemons obtain this through getpwnam(3); here the same data
+    is baked into the data segment, which is equivalent for the study
+    because the paper only injects faults into the *text* segment of
+    the authentication functions.
+    """
+    names = ", ".join('"%s"' % a.name for a in database)
+    hashes = ", ".join('"%s"' % a.password_hash for a in database)
+    salts = ", ".join('"%s"' % a.salt for a in database)
+    uids = ", ".join(str(a.uid) for a in database)
+    denied = ", ".join(str(1 if a.denied else 0) for a in database)
+    rhosts = ", ".join(str(1 if a.rhosts_allowed else 0) for a in database)
+    empty_ok = ", ".join(str(1 if a.empty_password_ok else 0)
+                         for a in database)
+    return """
+int pw_count = %d;
+char *pw_names[] = {%s};
+char *pw_hashes[] = {%s};
+char *pw_salts[] = {%s};
+int pw_uids[] = {%s};
+int pw_denied[] = {%s};
+int pw_rhosts[] = {%s};
+int pw_emptyok[] = {%s};
+
+/* getpwnam(3) replacement: index into the table, -1 if absent. */
+int getpwnam_index(char *name) {
+    int i;
+    i = 0;
+    while (i < pw_count) {
+        if (strcmp(name, pw_names[i]) == 0) {
+            return i;
+        }
+        i = i + 1;
+    }
+    return 0 - 1;
+}
+""" % (len(database), names, hashes, salts, uids, denied, rhosts,
+       empty_ok)
+
+
+class Daemon:
+    """Base harness: compiles the daemon once, spawns per-connection
+    processes against scripted clients."""
+
+    #: subclasses set the mini-C source (sans passwd table).
+    SOURCE = ""
+    #: names of the functions the study injects faults into.
+    AUTH_FUNCTIONS = ()
+    #: ablation hook: build with every Jcc in the 6-byte form.
+    FORCE_LONG_BRANCHES = False
+
+    def __init__(self, database=None, files=None):
+        self.database = database if database is not None \
+            else default_database()
+        self.files = dict(files) if files is not None \
+            else default_ftp_files()
+        self.program = compile_program(
+            self.SOURCE,
+            extra_sources=(passwd_table_source(self.database),),
+            force_long_branches=self.FORCE_LONG_BRANCHES)
+
+    @property
+    def module(self):
+        return self.program.module
+
+    def auth_ranges(self):
+        """[(start, end)] address ranges of the injection targets."""
+        return [self.program.function_range(name)
+                for name in self.AUTH_FUNCTIONS]
+
+    def make_kernel(self, client):
+        return Kernel.for_client(client, FileSystem(self.files))
+
+    def spawn(self, client):
+        """Fresh process (pristine text) serving *client*."""
+        return Process(self.module, self.make_kernel(client))
+
+    def run_connection(self, client,
+                       budget=CONNECTION_INSTRUCTION_BUDGET):
+        """Run one full connection; returns (ExitStatus, kernel)."""
+        kernel = self.make_kernel(client)
+        process = Process(self.module, kernel)
+        status = process.run(budget)
+        return status, kernel

@@ -1,0 +1,10 @@
+"""FTP application: daemon, protocol constants and scripted clients."""
+
+from .clients import (CLIENT_FACTORIES, FtpClient, client1, client2,
+                      client3, client4, traversal_client)
+from .server import FtpDaemon
+from .source import FTPD_SOURCE
+
+__all__ = ["FtpDaemon", "FtpClient", "CLIENT_FACTORIES", "client1",
+           "client2", "client3", "client4", "traversal_client",
+           "FTPD_SOURCE"]

@@ -1,0 +1,172 @@
+"""Scripted FTP clients reproducing the paper's four access patterns.
+
+* Client1 -- existing user, wrong password (the attacker; the only
+  pattern for which BRK is defined).
+* Client2 -- existing user, correct password.
+* Client3 -- non-existing user name and password.
+* Client4 -- anonymous login.
+
+All clients try to retrieve files when the server authorises the
+login, because the paper's break-in criterion for ftpd is "a client
+successfully logged in and retrieved files from the server".
+"""
+
+from __future__ import annotations
+
+from ...kernel import ScriptedClient
+
+#: give up after this many unparseable/unexpected server lines.
+MAX_CONFUSION = 8
+
+
+class FtpClient(ScriptedClient):
+    """Reply-code-driven FTP user agent with outcome milestones."""
+
+    def __init__(self, username, password, retrieve=("readme.txt",
+                                                     "data.bin")):
+        super().__init__()
+        self.username = username
+        self.password = password
+        self.retrieve_queue = list(retrieve)
+        self.buffer = b""
+        self.in_data_mode = False
+        self.data_payload = b""
+        self.current_payload = b""
+        # Milestones used by outcome classification.
+        self.granted = False
+        self.denied = False
+        self.retrieved_files = 0
+        self.confusion = 0
+        self.quit_sent = False
+
+    # -- plumbing --------------------------------------------------------
+
+    def receive(self, data):
+        self.buffer += data
+        while b"\n" in self.buffer and not self.closed:
+            line, __, rest = self.buffer.partition(b"\n")
+            self.buffer = rest
+            self._handle_line(line.rstrip(b"\r"))
+
+    def describe_wait(self):
+        return "ftp client (user=%s) awaiting a reply" % self.username
+
+    def _give_up(self):
+        self.confusion += 1
+        if self.confusion >= MAX_CONFUSION:
+            self.close()
+
+    # -- protocol ---------------------------------------------------------
+
+    def _handle_line(self, line):
+        if self.in_data_mode:
+            if line.startswith(b"226"):
+                self.in_data_mode = False
+                if self.current_payload:
+                    self.retrieved_files += 1
+                    self.data_payload += self.current_payload
+                self._next_action()
+            else:
+                self.current_payload += line + b"\n"
+            return
+        code = self._parse_code(line)
+        if code is None:
+            self._give_up()
+            return
+        self._handle_reply(code)
+
+    @staticmethod
+    def _parse_code(line):
+        if len(line) < 3 or not line[:3].isdigit():
+            return None
+        return int(line[:3])
+
+    def _handle_reply(self, code):
+        if code == 220:
+            self.send("USER %s\r\n" % self.username)
+        elif code == 331:
+            self.send("PASS %s\r\n" % self.password)
+        elif code == 230:
+            self.granted = True
+            self._next_action()
+        elif code in (530, 503, 421):
+            self.denied = True
+            self._quit()
+        elif code == 150:
+            self.in_data_mode = True
+            self.current_payload = b""
+        elif code in (550, 553, 500):
+            # Failed transfer or rejected command: move on.
+            self._next_action()
+        elif code == 221:
+            self.close()
+        elif code in (200, 215, 226):
+            self._next_action()
+        else:
+            self._give_up()
+
+    def _next_action(self):
+        if not self.granted:
+            self._give_up()
+            return
+        if self.retrieve_queue:
+            target = self.retrieve_queue.pop(0)
+            self.send("RETR %s\r\n" % target)
+        else:
+            self._quit()
+
+    def _quit(self):
+        if self.quit_sent:
+            # Second terminal reply after QUIT: stop talking entirely.
+            self.close()
+            return
+        self.quit_sent = True
+        self.send("QUIT\r\n")
+
+    # -- outcome ----------------------------------------------------------
+
+    def broke_in(self):
+        """True when the server granted access AND served file data."""
+        return self.granted and self.retrieved_files > 0
+
+
+def client1():
+    """Existing user, wrong password (attacker)."""
+    return FtpClient("alice", "letmein-wrong")
+
+
+def client2():
+    """Existing user, correct password."""
+    return FtpClient("alice", "correcthorse")
+
+
+def client3():
+    """Non-existing user name and password."""
+    return FtpClient("mallory", "whatever123")
+
+
+def client4():
+    """Anonymous login."""
+    return FtpClient("anonymous", "guest@example.net")
+
+
+def traversal_client():
+    """Extension attack pattern (paper Section 7 future work: "other
+    forms of security attacks besides login with fake password").
+
+    Logs in legitimately as the anonymous guest, then attempts a path
+    traversal (``RETR ../etc/motd``).  The clean server refuses the
+    name, so golden retrieves nothing; any injected run in which the
+    client obtains the file is a break-in against the *authorization*
+    code rather than the authentication code.
+    """
+    return FtpClient("anonymous", "guest@example.net",
+                     retrieve=("../etc/motd",))
+
+
+CLIENT_FACTORIES = {
+    "Client1": client1,
+    "Client2": client2,
+    "Client3": client3,
+    "Client4": client4,
+}

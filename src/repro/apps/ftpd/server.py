@@ -1,0 +1,14 @@
+"""FTP daemon harness: compiles the mini-C server and exposes the
+injection-relevant metadata (the ``user``/``pass_`` address ranges)."""
+
+from __future__ import annotations
+
+from ..common import Daemon
+from .source import FTPD_SOURCE
+
+
+class FtpDaemon(Daemon):
+    """wu-ftpd-2.6.0-like daemon; see :mod:`.source` for the C code."""
+
+    SOURCE = FTPD_SOURCE
+    AUTH_FUNCTIONS = ("user", "pass_")

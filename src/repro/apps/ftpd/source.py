@@ -1,0 +1,547 @@
+'''Mini-C source of the FTP daemon (wu-ftpd-2.6.0-like).
+
+The authentication section -- ``user()`` and ``pass_()`` -- mirrors
+the structure and *breadth* of wu-ftpd's ftpd.c (the paper reports
+1211 lines of C for the two functions): guest/anonymous handling with
+its own policy block, /etc/ftpusers denial, shutdown checks, access
+classes with connection limits, name validation, the crypt+strcmp
+password comparison of the paper's Example 1, login attempt limits
+with lockout, account expiry, and post-grant bookkeeping.  The breadth
+matters experimentally: activation rate and the NM/SD/FSV/BRK split
+depend on how much policy code surrounds each decision point.
+
+Protocol simplification (documented in DESIGN.md): RETR streams the
+file inline on the control channel between the 150 and 226 replies
+instead of opening a data connection; the break-in criterion
+("client retrieved files") is unchanged.
+'''
+
+FTPD_SOURCE = r"""
+/* ---- server configuration --------------------------------------------- */
+
+int anon_allowed = 1;
+int server_shutdown = 0;
+int max_login_attempts = 3;
+int min_uid = 100;
+int guest_uid = 65534;
+int limit_real = 16;
+int limit_guest = 32;
+int deny_severity = 1;
+/* optional subsystems, disabled in the stock configuration -- their
+ * policy code is present in user()/pass_() (as in wu-ftpd) but not
+ * exercised by the standard client patterns */
+int use_host_acl = 0;
+int password_aging = 0;
+int use_skey = 0;
+int use_banner = 0;
+int guest_email_required = 0;
+int deny_host_count = 2;
+char *deny_hosts[] = {"cracker.example.org", "darkside.example.org"};
+char remote_host[32] = "client.example.com";
+char guest_root[32];
+
+/* ---- per-connection state ---------------------------------------------- */
+
+int logged_in;
+int askpasswd;
+int guest;
+int denied_user;
+int login_attempts;
+int anonymous_connections;
+int real_connections;
+int acl_class;
+int account_uid;
+char curname[32];
+char reply_buf[16];
+char guest_email[64];
+
+/* ---- replies ------------------------------------------------------------ */
+
+void reply(int code, char *text) {
+    itoa10(code, reply_buf);
+    send_str(reply_buf);
+    send_str(" ");
+    send_str(text);
+    send_str("\r\n");
+}
+
+void lreply(int code, char *text) {
+    itoa10(code, reply_buf);
+    send_str(reply_buf);
+    send_str("-");
+    send_str(text);
+    send_str("\r\n");
+}
+
+/* syslog(3) stand-in: severity-gated write to stderr */
+void log_event(int severity, char *message) {
+    if (severity <= deny_severity) {
+        write(2, message, strlen(message));
+        write(2, "\n", 1);
+    }
+}
+
+/* ---- policy helpers ------------------------------------------------------ */
+
+/* /etc/ftpusers check: non-zero when the account may not use FTP. */
+int checkuser(int idx) {
+    if (idx < 0) {
+        return 0;
+    }
+    if (pw_denied[idx]) {
+        return 1;
+    }
+    return 0;
+}
+
+/* System accounts (uid < min_uid) never get FTP access. */
+int uid_restricted(int idx) {
+    if (idx < 0) {
+        return 0;
+    }
+    if (pw_uids[idx] < min_uid) {
+        return 1;
+    }
+    return 0;
+}
+
+/* Access class determination (wu-ftpd's acl_getclass): 0 = real,
+ * 1 = guest, 2 = anonymous. */
+int acl_getclass(int is_guest, int idx) {
+    if (is_guest) {
+        return 2;
+    }
+    if (idx >= 0 && pw_uids[idx] >= guest_uid) {
+        return 1;
+    }
+    return 0;
+}
+
+/* Per-class connection limit check (acl_countusers). */
+int class_limit_reached(int class_id) {
+    if (class_id == 2) {
+        if (anonymous_connections >= limit_guest) {
+            return 1;
+        }
+        return 0;
+    }
+    if (real_connections >= limit_real) {
+        return 1;
+    }
+    return 0;
+}
+
+/* User names must be short and printable (wu-ftpd rejects others). */
+int valid_name(char *name) {
+    int i;
+    i = 0;
+    while (name[i]) {
+        if (name[i] < ' ') {
+            return 0;
+        }
+        if (name[i] > 126) {
+            return 0;
+        }
+        i = i + 1;
+        if (i >= 24) {
+            return 0;
+        }
+    }
+    if (i == 0) {
+        return 0;
+    }
+    return 1;
+}
+
+/* Guest passwords should look like an email address; wu-ftpd only
+ * warns, so the return value is advisory. */
+int looks_like_email(char *addr) {
+    int i;
+    int has_at;
+    int has_dot;
+    i = 0;
+    has_at = 0;
+    has_dot = 0;
+    while (addr[i]) {
+        if (addr[i] == '@') {
+            has_at = has_at + 1;
+        }
+        if (addr[i] == '.') {
+            has_dot = has_dot + 1;
+        }
+        i = i + 1;
+    }
+    if (has_at == 1 && has_dot >= 1) {
+        return 1;
+    }
+    return 0;
+}
+
+/* Account expiry stand-in (wu-ftpd consults pw_change/pw_expire). */
+int account_expired(int idx) {
+    int now;
+    if (idx < 0) {
+        return 0;
+    }
+    now = time_now();
+    if (now < 0) {
+        return 1;
+    }
+    return 0;
+}
+
+/* ---- USER ----------------------------------------------------------------- */
+
+void user(char *name) {
+    int idx;
+    int class_id;
+    int i;
+    int fd;
+    int n;
+    char banner_line[64];
+
+    if (logged_in) {
+        if (guest) {
+            reply(530, "Can't change user from guest login.");
+            return;
+        }
+        reply(530, "Already logged in.");
+        return;
+    }
+    logged_in = 0;
+    askpasswd = 0;
+    guest = 0;
+    denied_user = 0;
+    account_uid = 0 - 1;
+
+    if (name[0] == 0) {
+        reply(500, "USER: command requires a parameter.");
+        return;
+    }
+    if (valid_name(name) == 0) {
+        log_event(1, "refused bad user name");
+        reply(530, "Invalid user name.");
+        return;
+    }
+
+    /* tcp-wrappers-style host ACL (disabled in the stock config) */
+    if (use_host_acl) {
+        i = 0;
+        while (i < deny_host_count) {
+            if (strcmp(remote_host, deny_hosts[i]) == 0) {
+                log_event(0, "refused connection from denied host");
+                reply(530, "Access from your host is not allowed.");
+                exit(1);
+            }
+            i = i + 1;
+        }
+    }
+
+    if (strcasecmp_c(name, "ftp") == 0
+            || strcasecmp_c(name, "anonymous") == 0) {
+        /* ---- anonymous branch (wu-ftpd's guest block) ---- */
+        if (server_shutdown) {
+            lreply(530, "System shutdown in progress.");
+            reply(530, "No anonymous login during shutdown.");
+            return;
+        }
+        if (anon_allowed == 0) {
+            log_event(1, "anonymous access refused by configuration");
+            reply(530, "User anonymous access denied.");
+            return;
+        }
+        class_id = acl_getclass(1, 0 - 1);
+        if (class_limit_reached(class_id)) {
+            lreply(530, "Too many anonymous users right now.");
+            reply(530, "Try again later.");
+            return;
+        }
+        acl_class = class_id;
+        guest = 1;
+        askpasswd = 1;
+        account_uid = guest_uid;
+        anonymous_connections = anonymous_connections + 1;
+        strncpy(curname, "ftp", 32);
+        /* chroot jail setup for the guest account */
+        strcpy(guest_root, "/home/ftp");
+        if (use_banner) {
+            /* show the pre-login banner file line by line */
+            fd = open("/etc/ftpbanner");
+            if (fd >= 0) {
+                n = read(fd, banner_line, 63);
+                while (n > 0) {
+                    banner_line[n] = 0;
+                    lreply(331, banner_line);
+                    n = read(fd, banner_line, 63);
+                }
+                close(fd);
+            }
+        }
+        reply(331, "Guest login ok, send your email as password.");
+        return;
+    }
+
+    if (server_shutdown) {
+        lreply(530, "System shutdown in progress.");
+        reply(530, "Try again later.");
+        return;
+    }
+
+    idx = getpwnam_index(name);
+    if (idx >= 0) {
+        account_uid = pw_uids[idx];
+        if (checkuser(idx)) {
+            log_event(1, "user in ftpusers, marked for denial");
+            denied_user = 1;
+        }
+        if (uid_restricted(idx)) {
+            log_event(1, "system account, marked for denial");
+            denied_user = 1;
+        }
+        class_id = acl_getclass(0, idx);
+        if (class_limit_reached(class_id)) {
+            reply(530, "Too many users in your class, try later.");
+            return;
+        }
+        acl_class = class_id;
+    } else {
+        /* Unknown user: ask for a password anyway so the reply does
+         * not leak which accounts exist (wu-ftpd behaviour), but mark
+         * the session for denial. */
+        denied_user = 1;
+    }
+
+    strncpy(curname, name, 32);
+    askpasswd = 1;
+    reply(331, "Password required.");
+}
+
+/* ---- PASS ------------------------------------------------------------------ */
+
+void pass_(char *passwd) {
+    char *xpasswd;
+    int rval;
+    int idx;
+    int age;
+    int delay;
+
+    if (logged_in) {
+        reply(503, "Already logged in.");
+        return;
+    }
+    if (askpasswd == 0) {
+        reply(503, "Login with USER first.");
+        return;
+    }
+
+    if (guest == 0) {
+        rval = 1;
+        idx = getpwnam_index(curname);
+        if (idx >= 0 && denied_user == 0 && passwd[0] != 0
+                && (strcmp(crypt13(passwd, pw_salts[idx]),
+                           pw_hashes[idx]) == 0)) {
+            rval = 0;
+        }
+        if (rval == 0 && account_expired(idx)) {
+            reply(530, "Account expired, contact the administrator.");
+            askpasswd = 0;
+            return;
+        }
+        /* password-aging warnings (disabled in the stock config) */
+        if (password_aging) {
+            if (rval == 0) {
+                age = time_now() % 90;
+                if (age > 75) {
+                    lreply(230, "Your password expires in a few days.");
+                }
+                if (age > 85) {
+                    lreply(230, "Change it with passwd(1) soon.");
+                }
+            }
+        }
+        /* s/key one-time-password fallback (disabled) */
+        if (use_skey && rval) {
+            reply(331, "s/key 97 ke1234 -- respond with your one-time "
+                       "password");
+            askpasswd = 1;
+            return;
+        }
+        if (rval) {
+            reply(530, "Login incorrect.");
+            askpasswd = 0;
+            login_attempts = login_attempts + 1;
+            log_event(1, "failed login attempt");
+            if (login_attempts >= max_login_attempts) {
+                /* progressive back-off before dropping the link */
+                delay = 0;
+                while (delay < login_attempts * 8) {
+                    delay = delay + 1;
+                }
+                log_event(0, "repeated login failures, dropping link");
+                reply(421, "Too many login failures, goodbye.");
+                exit(1);
+            }
+            return;
+        }
+        real_connections = real_connections + 1;
+    } else {
+        /* Anonymous: any password accepted; remember the email and
+         * warn when it does not look like one (wu-ftpd behaviour). */
+        strncpy(guest_email, passwd, 64);
+        if (looks_like_email(passwd) == 0) {
+            if (guest_email_required) {
+                reply(530, "Guest login requires a valid e-mail "
+                           "address as password.");
+                askpasswd = 0;
+                return;
+            }
+            lreply(230, "Next time please use your e-mail address as "
+                        "your password.");
+        }
+    }
+
+    /* ---- grant path ---- */
+    login_attempts = 0;
+    logged_in = 1;
+    if (guest) {
+        log_event(1, "ANONYMOUS FTP LOGIN");
+        reply(230, "Guest login ok, access restrictions apply.");
+    } else {
+        log_event(1, "FTP LOGIN");
+        reply(230, "User logged in, proceed.");
+    }
+}
+
+/* ---- RETR ------------------------------------------------------------------- */
+
+/* File names must stay inside the /pub tree: no absolute paths, no
+ * ".." components (wu-ftpd's guest-path policing). */
+int safe_filename(char *name) {
+    int i;
+    if (name[0] == '/') {
+        return 0;
+    }
+    i = 0;
+    while (name[i]) {
+        if (name[i] == '.' && name[i + 1] == '.') {
+            return 0;
+        }
+        i = i + 1;
+    }
+    return 1;
+}
+
+void retrieve(char *name) {
+    int fd;
+    int n;
+    char buf[128];
+    char path[96];
+
+    if (logged_in == 0) {
+        reply(530, "Please login with USER and PASS.");
+        return;
+    }
+    if (name[0] == 0) {
+        reply(500, "RETR: command requires a parameter.");
+        return;
+    }
+    if (strlen(name) > 64) {
+        reply(553, "File name too long.");
+        return;
+    }
+    if (safe_filename(name) == 0) {
+        log_event(1, "path traversal attempt refused");
+        reply(553, "Path not allowed.");
+        return;
+    }
+    strcpy(path, "/pub/");
+    strcat(path, name);
+    fd = open(path);
+    if (fd < 0) {
+        reply(550, "No such file or directory.");
+        return;
+    }
+    reply(150, "Opening ASCII mode data connection.");
+    n = read(fd, buf, 128);
+    while (n > 0) {
+        write(1, buf, n);
+        n = read(fd, buf, 128);
+    }
+    close(fd);
+    send_str("\r\n");
+    reply(226, "Transfer complete.");
+}
+
+/* ---- command loop ------------------------------------------------------------ */
+
+void upcase(char *s) {
+    int i;
+    i = 0;
+    while (s[i]) {
+        if (s[i] >= 'a' && s[i] <= 'z') {
+            s[i] = s[i] - 32;
+        }
+        i = i + 1;
+    }
+}
+
+int main() {
+    char line[128];
+    char verb[8];
+    char *arg;
+    int n;
+    int i;
+    int commands;
+
+    logged_in = 0;
+    askpasswd = 0;
+    login_attempts = 0;
+    commands = 0;
+    reply(220, "repro FTP server (wu-ftpd-2.6.0 reproduction) ready.");
+
+    while (1) {
+        n = read_line(line, 128);
+        if (n < 0) {
+            return 0;
+        }
+        commands = commands + 1;
+        if (commands > 64) {
+            reply(421, "Command limit exceeded.");
+            return 1;
+        }
+
+        /* split verb from argument */
+        i = 0;
+        while (line[i] && line[i] != ' ' && i < 7) {
+            verb[i] = line[i];
+            i = i + 1;
+        }
+        verb[i] = 0;
+        arg = line + i;
+        while (arg[0] == ' ') {
+            arg = arg + 1;
+        }
+        upcase(verb);
+
+        if (strcmp(verb, "USER") == 0) {
+            user(arg);
+        } else if (strcmp(verb, "PASS") == 0) {
+            pass_(arg);
+        } else if (strcmp(verb, "RETR") == 0) {
+            retrieve(arg);
+        } else if (strcmp(verb, "SYST") == 0) {
+            reply(215, "UNIX Type: L8");
+        } else if (strcmp(verb, "NOOP") == 0) {
+            reply(200, "NOOP command successful.");
+        } else if (strcmp(verb, "TYPE") == 0) {
+            reply(200, "Type set.");
+        } else if (strcmp(verb, "QUIT") == 0) {
+            reply(221, "Goodbye.");
+            return 0;
+        } else {
+            reply(500, "Command not understood.");
+        }
+    }
+    return 0;
+}
+"""

@@ -1,0 +1,10 @@
+"""POP3 application (extension): daemon and scripted clients."""
+
+from .clients import (CLIENT_FACTORIES, client1, client2, client_apop,
+                      client_apop_attacker, Pop3Client)
+from .server import Pop3Daemon
+from .source import POP3D_SOURCE
+
+__all__ = ["Pop3Daemon", "Pop3Client", "CLIENT_FACTORIES", "client1",
+           "client2", "client_apop", "client_apop_attacker",
+           "POP3D_SOURCE"]

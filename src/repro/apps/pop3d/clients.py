@@ -1,0 +1,149 @@
+"""Scripted POP3 clients.
+
+Client1 is the attacker (existing user, wrong password), Client2 the
+legitimate user, ClientA an APOP user with the correct digest.
+Break-in for POP3 means the client *retrieved mail* it should not have
+been able to read.
+"""
+
+from __future__ import annotations
+
+import re
+
+from ...kernel import crypt13, ScriptedClient
+
+MAX_CONFUSION = 8
+
+_BANNER_SALT_RE = re.compile(rb"<\d+\.(\d+)@")
+
+
+class Pop3Client(ScriptedClient):
+    """+OK/-ERR driven POP3 user agent."""
+
+    def __init__(self, username, password, use_apop=False):
+        super().__init__()
+        self.username = username
+        self.password = password
+        self.use_apop = use_apop
+        self.buffer = b""
+        self.state = "banner"
+        self.in_message = False
+        # Milestones.
+        self.granted = False
+        self.denied = False
+        self.messages_read = 0
+        self.mail_payload = b""
+        self.confusion = 0
+
+    def receive(self, data):
+        self.buffer += data
+        while b"\n" in self.buffer and not self.closed:
+            line, __, self.buffer = self.buffer.partition(b"\n")
+            self._handle_line(line.rstrip(b"\r"))
+
+    def describe_wait(self):
+        return "pop3 client (user=%s) awaiting a reply" % self.username
+
+    def _give_up(self):
+        self.confusion += 1
+        if self.confusion >= MAX_CONFUSION:
+            self.close()
+
+    # -- protocol -----------------------------------------------------
+
+    def _handle_line(self, line):
+        if self.in_message:
+            if line == b".":
+                self.in_message = False
+                self.messages_read += 1
+                self.state = "quit"
+                self.send("QUIT\r\n")
+            else:
+                self.mail_payload += line + b"\n"
+            return
+        if line.startswith(b"+OK"):
+            self._advance(line)
+        elif line.startswith(b"-ERR"):
+            self._failed(line)
+        else:
+            self._give_up()
+
+    def _advance(self, line):
+        if self.state == "banner":
+            if self.use_apop:
+                digest = self._apop_digest(line)
+                self.state = "auth"
+                self.send("APOP %s %s\r\n" % (self.username, digest))
+            else:
+                self.state = "user"
+                self.send("USER %s\r\n" % self.username)
+        elif self.state == "user":
+            self.state = "auth"
+            self.send("PASS %s\r\n" % self.password)
+        elif self.state == "auth":
+            self.granted = True
+            self.state = "retr"
+            self.send("RETR 1\r\n")
+        elif self.state == "retr":
+            self.in_message = True
+        elif self.state == "quit":
+            self.close()
+        else:
+            self._give_up()
+
+    def _failed(self, line):
+        if self.state in ("user", "auth"):
+            self.denied = True
+            self.state = "quit"
+            self.send("QUIT\r\n")
+        elif self.state == "quit":
+            self.close()
+        else:
+            self._give_up()
+
+    def _apop_digest(self, banner):
+        """crypt13 of the account's stored hash, salted by the banner
+        timestamp (twin of the daemon's pop3_apop)."""
+        match = _BANNER_SALT_RE.search(banner)
+        salt = match.group(1).decode() if match else ".."
+        stored = crypt13(self.password, self._salt_for_user())
+        return crypt13(stored, salt)
+
+    def _salt_for_user(self):
+        # scripted clients know the account salts (same machine in the
+        # paper's testbed)
+        from ...kernel import default_database
+        account = default_database().lookup(self.username)
+        return account.salt if account else ".."
+
+    # -- outcome --------------------------------------------------------
+
+    def broke_in(self):
+        return self.granted and self.messages_read > 0
+
+
+def client1():
+    """Existing user, wrong password (attacker)."""
+    return Pop3Client("alice", "guessed-wrong")
+
+
+def client2():
+    """Existing user, correct password."""
+    return Pop3Client("alice", "correcthorse")
+
+
+def client_apop():
+    """Existing user authenticating via APOP with the right digest."""
+    return Pop3Client("carol", "wonderland", use_apop=True)
+
+
+def client_apop_attacker():
+    """APOP attempt with a wrong password (digest will not match)."""
+    return Pop3Client("carol", "not-wonderland", use_apop=True)
+
+
+CLIENT_FACTORIES = {
+    "Client1": client1,
+    "Client2": client2,
+    "ClientA": client_apop,
+}

@@ -1,0 +1,13 @@
+"""POP3 daemon harness."""
+
+from __future__ import annotations
+
+from ..common import Daemon
+from .source import MAILDROP_SOURCE, POP3D_SOURCE
+
+
+class Pop3Daemon(Daemon):
+    """qpopper-like POP3 daemon with USER/PASS and APOP entry points."""
+
+    SOURCE = MAILDROP_SOURCE + POP3D_SOURCE
+    AUTH_FUNCTIONS = ("pop3_user", "pop3_pass", "pop3_apop")

@@ -1,0 +1,304 @@
+'''Mini-C source of the POP3 daemon (extension application).
+
+The paper's Section 7 calls for "more experimentation ... on a variety
+of applications".  POP3 (RFC 1939) is a natural third target: its
+authorization state has *two* entry points -- USER/PASS and APOP --
+placing it between wu-ftpd (one mechanism) and sshd (three) on the
+paper's single-vs-multiple-points-of-entry axis.
+
+The daemon mirrors qpopper-era structure: a greeting banner carrying
+the APOP timestamp, an AUTHORIZATION state with ``pop3_user()``,
+``pop3_pass()`` and ``pop3_apop()`` (the injection targets), and a
+TRANSACTION state serving a per-account maildrop.  APOP's MD5 digest
+is replaced by the same ``crypt13`` used everywhere else (the digest
+input is banner + password, exactly APOP's shape).
+'''
+
+POP3D_SOURCE = r"""
+/* ---- configuration ------------------------------------------------------ */
+
+int apop_enabled = 1;
+int max_auth_failures = 3;
+
+/* ---- session state ------------------------------------------------------- */
+
+int authorized;
+int have_user;
+int auth_failures;
+int session_user_idx;
+char session_user[32];
+char apop_banner[32];
+
+/* ---- replies --------------------------------------------------------------- */
+
+void ok(char *text) {
+    send_str("+OK ");
+    send_str(text);
+    send_str("\r\n");
+}
+
+void err(char *text) {
+    send_str("-ERR ");
+    send_str(text);
+    send_str("\r\n");
+}
+
+/* ---- AUTHORIZATION state (injection targets) -------------------------------- */
+
+void pop3_user(char *name) {
+    if (authorized) {
+        err("already authenticated");
+        return;
+    }
+    if (name[0] == 0) {
+        err("USER requires a name");
+        return;
+    }
+    /* qpopper accepts any name here and fails at PASS, so account
+     * existence is not leaked. */
+    strncpy(session_user, name, 32);
+    session_user_idx = getpwnam_index(name);
+    have_user = 1;
+    ok("name is a valid mailbox");
+}
+
+void auth_failed() {
+    auth_failures = auth_failures + 1;
+    if (auth_failures >= max_auth_failures) {
+        err("too many authentication failures");
+        exit(1);
+    }
+    err("invalid password");
+}
+
+void pop3_pass(char *password) {
+    char *digest;
+    int rval;
+
+    if (authorized) {
+        err("already authenticated");
+        return;
+    }
+    if (have_user == 0) {
+        err("send USER first");
+        return;
+    }
+    rval = 1;
+    if (session_user_idx >= 0 && password[0] != 0
+            && pw_denied[session_user_idx] == 0
+            && (strcmp(crypt13(password, pw_salts[session_user_idx]),
+                       pw_hashes[session_user_idx]) == 0)) {
+        rval = 0;
+    }
+    if (rval) {
+        auth_failed();
+        return;
+    }
+    authorized = 1;
+    ok("maildrop locked and ready");
+}
+
+/* APOP name digest: digest must equal crypt13(password, banner salt).
+ * The second authentication entry point. */
+void pop3_apop(char *arguments) {
+    char name[32];
+    char *digest;
+    char *expected;
+    int i;
+    int j;
+    int idx;
+
+    if (authorized) {
+        err("already authenticated");
+        return;
+    }
+    if (apop_enabled == 0) {
+        err("APOP not supported");
+        return;
+    }
+    /* split "name digest" */
+    i = 0;
+    while (arguments[i] && arguments[i] != ' ' && i < 31) {
+        name[i] = arguments[i];
+        i = i + 1;
+    }
+    name[i] = 0;
+    while (arguments[i] == ' ') {
+        i = i + 1;
+    }
+    digest = arguments + i;
+    if (name[0] == 0 || digest[0] == 0) {
+        err("APOP requires name and digest");
+        return;
+    }
+    idx = getpwnam_index(name);
+    if (idx < 0) {
+        auth_failed();
+        return;
+    }
+    if (pw_denied[idx]) {
+        auth_failed();
+        return;
+    }
+    /* expected digest: crypt13 of the stored password hash, salted by
+     * the banner (stands in for MD5(banner + password)) */
+    expected = crypt13(pw_hashes[idx], apop_banner);
+    if (strcmp(digest, expected) != 0) {
+        auth_failed();
+        return;
+    }
+    strncpy(session_user, name, 32);
+    session_user_idx = idx;
+    authorized = 1;
+    ok("maildrop locked and ready");
+}
+
+/* ---- TRANSACTION state -------------------------------------------------------- */
+
+void stat_cmd() {
+    char count_buf[16];
+    if (authorized == 0) {
+        err("not authenticated");
+        return;
+    }
+    itoa10(mail_count, count_buf);
+    send_str("+OK ");
+    send_str(count_buf);
+    send_str(" messages\r\n");
+}
+
+void retr_cmd(char *argument) {
+    int index;
+    if (authorized == 0) {
+        err("not authenticated");
+        return;
+    }
+    index = atoi(argument);
+    if (index < 1 || index > mail_count) {
+        err("no such message");
+        return;
+    }
+    ok("message follows");
+    send_str(mail_bodies[index - 1]);
+    send_str("\r\n.\r\n");
+}
+
+/* ---- command loop ---------------------------------------------------------------- */
+
+void upcase4(char *s) {
+    int i;
+    i = 0;
+    while (s[i]) {
+        if (s[i] >= 'a' && s[i] <= 'z') {
+            s[i] = s[i] - 32;
+        }
+        i = i + 1;
+    }
+}
+
+int main() {
+    char line[128];
+    char verb[8];
+    char *arg;
+    int n;
+    int i;
+    int commands;
+
+    authorized = 0;
+    have_user = 0;
+    auth_failures = 0;
+    session_user_idx = 0 - 1;
+    commands = 0;
+    strcpy(apop_banner, "17");
+
+    send_str("+OK POP3 server ready <1207.17@repro>\r\n");
+
+    while (1) {
+        n = read_line(line, 128);
+        if (n < 0) {
+            return 0;
+        }
+        commands = commands + 1;
+        if (commands > 48) {
+            err("command limit exceeded");
+            return 1;
+        }
+        i = 0;
+        while (line[i] && line[i] != ' ' && i < 7) {
+            verb[i] = line[i];
+            i = i + 1;
+        }
+        verb[i] = 0;
+        arg = line + i;
+        while (arg[0] == ' ') {
+            arg = arg + 1;
+        }
+        upcase4(verb);
+
+        /* first-character dispatch, then exact match (qpopper's
+         * command table walks are switch-shaped like this) */
+        switch (verb[0]) {
+        case 'U':
+            if (strcmp(verb, "USER") == 0) {
+                pop3_user(arg);
+            } else {
+                err("unknown command");
+            }
+            break;
+        case 'P':
+            if (strcmp(verb, "PASS") == 0) {
+                pop3_pass(arg);
+            } else {
+                err("unknown command");
+            }
+            break;
+        case 'A':
+            if (strcmp(verb, "APOP") == 0) {
+                pop3_apop(arg);
+            } else {
+                err("unknown command");
+            }
+            break;
+        case 'S':
+            if (strcmp(verb, "STAT") == 0) {
+                stat_cmd();
+            } else {
+                err("unknown command");
+            }
+            break;
+        case 'R':
+            if (strcmp(verb, "RETR") == 0) {
+                retr_cmd(arg);
+            } else {
+                err("unknown command");
+            }
+            break;
+        case 'N':
+            if (strcmp(verb, "NOOP") == 0) {
+                ok("");
+            } else {
+                err("unknown command");
+            }
+            break;
+        case 'Q':
+            if (strcmp(verb, "QUIT") == 0) {
+                ok("bye");
+                return 0;
+            }
+            err("unknown command");
+            break;
+        default:
+            err("unknown command");
+        }
+    }
+    return 0;
+}
+"""
+
+MAILDROP_SOURCE = """
+int mail_count = 2;
+char *mail_bodies[] = {
+    "From: root@repro\\r\\nSubject: welcome\\r\\n\\r\\nhello",
+    "From: ops@repro\\r\\nSubject: reminder\\r\\n\\r\\nrotate the logs"
+};
+"""

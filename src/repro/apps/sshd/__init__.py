@@ -1,0 +1,8 @@
+"""SSH application: daemon and scripted clients."""
+
+from .clients import CLIENT_FACTORIES, SshClient, client1, client2
+from .server import SshDaemon
+from .source import SSHD_SOURCE
+
+__all__ = ["SshDaemon", "SshClient", "CLIENT_FACTORIES", "client1",
+           "client2", "SSHD_SOURCE"]

@@ -1,0 +1,171 @@
+"""Scripted SSH clients reproducing the paper's two access patterns.
+
+* Client1 -- existing user, wrong password (the attacker).
+* Client2 -- existing user, correct password.
+
+The client mirrors ssh-1.2.30's method ordering: it asks for rhosts
+authentication first, then falls back to password.  Break-in for sshd
+means "the remote client successfully got a login shell when it
+should not have", so the milestone tracked is the shell echo round
+trip, not just the auth-success packet.
+"""
+
+from __future__ import annotations
+
+from ...kernel import ScriptedClient
+
+SESSION_KEY = 20011
+_MASK32 = 0xFFFFFFFF
+
+MAX_CONFUSION = 8
+
+
+class SshClient(ScriptedClient):
+    """Packet-driven SSH-1-like user agent."""
+
+    def __init__(self, username, password, command="echo hello"):
+        super().__init__()
+        self.username = username
+        self.password = password
+        self.command = command
+        self.buffer = b""
+        self.version_sent = False
+        self.encrypting = False
+        # Independent per-direction keystreams (twins of the daemon's
+        # cipher_next_in / cipher_next_out).
+        self.cipher_state_out = 0   # client->server
+        self.cipher_state_in = 0    # server->client
+        self.auth_methods = ["rhosts", "password"]
+        # Milestones.
+        self.auth_success = False
+        self.got_shell = False
+        self.shell_output = b""
+        self.failures = 0
+        self.confusion = 0
+
+    # -- cipher (twins of the daemon's per-direction keystreams) ---------
+
+    def _keystream_out(self):
+        self.cipher_state_out = (self.cipher_state_out * 1103515245
+                                 + 12345) & _MASK32
+        return (self.cipher_state_out >> 16) & 0xFF
+
+    def _keystream_in(self):
+        self.cipher_state_in = (self.cipher_state_in * 69069 + 1) \
+            & _MASK32
+        return (self.cipher_state_in >> 16) & 0xFF
+
+    def _encrypt(self, payload):
+        return bytes(b ^ self._keystream_out() for b in payload)
+
+    def _decrypt(self, payload):
+        return bytes(b ^ self._keystream_in() for b in payload)
+
+    # -- packet layer ------------------------------------------------------
+
+    def _send_packet(self, type_byte, payload=b""):
+        if isinstance(payload, str):
+            payload = payload.encode("latin-1")
+        body = type_byte + payload
+        if self.encrypting:
+            body = self._encrypt(body)
+        self.send(bytes([len(body)]) + body)
+
+    def receive(self, data):
+        self.buffer += data
+        self._drain()
+
+    def _drain(self):
+        while not self.closed:
+            if not self.version_sent:
+                if b"\n" not in self.buffer:
+                    return
+                line, __, self.buffer = self.buffer.partition(b"\n")
+                self._handle_version(line)
+                continue
+            if not self.buffer:
+                return
+            want = self.buffer[0]
+            if len(self.buffer) < 1 + want:
+                return
+            body = self.buffer[1:1 + want]
+            self.buffer = self.buffer[1 + want:]
+            if self.encrypting:
+                body = self._decrypt(body)
+            if not body:
+                self._give_up()
+                continue
+            self._handle_packet(body[0:1], body[1:])
+
+    def describe_wait(self):
+        return "ssh client (user=%s) awaiting a packet" % self.username
+
+    def _give_up(self):
+        self.confusion += 1
+        if self.confusion >= MAX_CONFUSION:
+            self.close()
+
+    # -- protocol ----------------------------------------------------------
+
+    def _handle_version(self, line):
+        if not line.startswith(b"SSH-"):
+            self._give_up()
+            return
+        self.version_sent = True
+        self.send("SSH-1.5-repro_client\n")
+
+    def _handle_packet(self, type_byte, payload):
+        if type_byte == b"K":
+            self._send_packet(b"S", str(SESSION_KEY))
+            self.encrypting = True
+            self.cipher_state_out = SESSION_KEY
+            self.cipher_state_in = SESSION_KEY
+            self._send_packet(b"U", self.username)
+            self._try_next_method()
+        elif type_byte == b"F":
+            self.failures += 1
+            self._try_next_method()
+        elif type_byte == b"S":
+            self.auth_success = True
+            self._send_packet(b"E", self.command)
+        elif type_byte == b"O":
+            if payload.startswith(b"output:"):
+                self.got_shell = True
+                self.shell_output += payload
+                self._send_packet(b"Q")
+            else:
+                self.close()
+        else:
+            self._give_up()
+
+    def _try_next_method(self):
+        if not self.auth_methods:
+            self.close()
+            return
+        method = self.auth_methods.pop(0)
+        if method == "rhosts":
+            self._send_packet(b"R")
+        else:
+            self._send_packet(b"P", self.password)
+
+    # -- outcome -------------------------------------------------------------
+
+    def broke_in(self):
+        """True when the client obtained a working shell."""
+        return self.auth_success and self.got_shell
+
+
+def client1():
+    """Existing user, wrong password (attacker)."""
+    return SshClient("alice", "open-sesame-wrong")
+
+
+def client2():
+    """Existing user, correct password."""
+    return SshClient("alice", "correcthorse")
+
+
+CLIENT_FACTORIES = {
+    "Client1": client1,
+    "Client2": client2,
+}

@@ -1,0 +1,14 @@
+"""SSH daemon harness with the paper's three injection-target
+functions."""
+
+from __future__ import annotations
+
+from ..common import Daemon
+from .source import SSHD_SOURCE
+
+
+class SshDaemon(Daemon):
+    """ssh-1.2.30-like daemon; see :mod:`.source` for the C code."""
+
+    SOURCE = SSHD_SOURCE
+    AUTH_FUNCTIONS = ("do_authentication", "auth_rhosts", "auth_password")

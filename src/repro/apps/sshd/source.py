@@ -1,0 +1,392 @@
+'''Mini-C source of the SSH daemon (ssh-1.2.30-like).
+
+Mirrors the structure of sshd's auth.c/sshd.c that the paper targets:
+``do_authentication()`` with *multiple entry points* (rhosts, password,
+RSA), ``auth_rhosts()`` and ``auth_password()``.  The paper blames the
+multi-entry-point structure for sshd's higher break-in rate: a flip in
+*any* of the per-method accept branches grants a shell.
+
+Substitutions (see DESIGN.md): the session cipher is an XOR keystream
+(control-flow-equivalent stand-in for the SSH-1 stream cipher) and the
+wire format is 1 length byte + type byte + payload, reproducing the
+shape of ``packet_read()`` from the paper's Example 3 including its
+``sizeof(buf)`` bounds handling.  RSA authentication is present as an
+entry point but always refuses (the server has no host key pair) --
+matching a 1.2.30 deployment without RSA keys, where the code path
+still runs.
+'''
+
+SSHD_SOURCE = r"""
+/* ---- server configuration (sshd's ServerOptions) ------------------------ */
+
+int rhosts_authentication = 1;
+int password_authentication = 1;
+int rsa_authentication = 1;
+int permit_empty_passwd = 0;
+int permit_root_login = 0;
+int max_auth_attempts = 6;
+int strict_modes = 1;
+int log_level = 1;
+
+/* ---- session state ------------------------------------------------------- */
+
+int encryption_on;
+int cipher_state_in;     /* client->server keystream */
+int cipher_state_out;    /* server->client keystream */
+int authenticated;
+int auth_attempts;
+int failed_methods;
+int client_host_trusted = 0;    /* the scripted clients connect from an
+                                 * untrusted address */
+char client_host[32] = "evil.example.net";
+char session_user[32];
+int session_user_idx;
+
+/* hosts.equiv stand-in */
+int trusted_host_count = 2;
+char *trusted_hosts[] = {"trusted.example.net", "backup.example.net"};
+
+void sshd_log(int level, char *message) {
+    if (level <= log_level) {
+        write(2, message, strlen(message));
+        write(2, "\n", 1);
+    }
+}
+
+/* ---- packet layer (Example 3 of the paper) ----------------------------- */
+
+char packet_buf[256];
+int packet_len;
+
+/* Independent keystreams per direction, like the SSH-1 cipher
+ * contexts: receive and send never share state, so the streams stay
+ * in step regardless of message interleaving. */
+int cipher_next_in() {
+    cipher_state_in = cipher_state_in * 1103515245 + 12345;
+    return (cipher_state_in >> 16) & 255;
+}
+
+int cipher_next_out() {
+    cipher_state_out = cipher_state_out * 69069 + 1;
+    return (cipher_state_out >> 16) & 255;
+}
+
+/* Read one packet into packet_buf; returns the type byte or -1 on EOF.
+ * Wire format: 1 plain length byte, then length bytes (type+payload),
+ * encrypted after key exchange. */
+int packet_read() {
+    char head[4];
+    int n;
+    int i;
+    int want;
+
+    n = read(0, head, 1);
+    if (n <= 0) {
+        return 0 - 1;
+    }
+    want = head[0];
+    if (want > sizeof(packet_buf) - 1) {
+        /* oversized frame: protocol violation */
+        return 0 - 2;
+    }
+    i = 0;
+    while (i < want) {
+        n = read(0, packet_buf + i, want - i);
+        if (n <= 0) {
+            return 0 - 1;
+        }
+        i = i + n;
+    }
+    if (encryption_on) {
+        i = 0;
+        while (i < want) {
+            packet_buf[i] = packet_buf[i] ^ cipher_next_in();
+            i = i + 1;
+        }
+    }
+    packet_len = want;
+    packet_buf[want] = 0;
+    if (want == 0) {
+        return 0 - 2;
+    }
+    return packet_buf[0];
+}
+
+char packet_out[256];
+
+void packet_send(int type, char *payload) {
+    int length;
+    int i;
+    length = strlen(payload) + 1;
+    if (length > 255) {
+        length = 255;
+    }
+    packet_out[0] = length;
+    packet_out[1] = type;
+    i = 1;
+    while (i < length) {
+        packet_out[i + 1] = payload[i - 1];
+        i = i + 1;
+    }
+    if (encryption_on) {
+        i = 0;
+        while (i < length) {
+            packet_out[i + 1] = packet_out[i + 1] ^ cipher_next_out();
+            i = i + 1;
+        }
+    }
+    write(1, packet_out, length + 1);
+}
+
+/* ---- authentication methods (paper targets) ----------------------------- */
+
+/* Returns non-zero when the remote user may log in without a password
+ * based on hosts.equiv / ~/.rhosts -- the paper's Example 2 call site. */
+int auth_rhosts(int idx) {
+    int i;
+    int host_listed;
+
+    if (rhosts_authentication == 0) {
+        return 0;
+    }
+    if (idx < 0) {
+        return 0;
+    }
+    /* root may never log in via rhosts */
+    if (pw_uids[idx] == 0 && permit_root_login == 0) {
+        return 0;
+    }
+    /* hosts.equiv lookup */
+    host_listed = 0;
+    i = 0;
+    while (i < trusted_host_count) {
+        if (strcmp(client_host, trusted_hosts[i]) == 0) {
+            host_listed = 1;
+        }
+        i = i + 1;
+    }
+    if (host_listed == 0 && client_host_trusted == 0) {
+        return 0;
+    }
+    /* ~/.rhosts must exist for the account and pass strict-modes */
+    if (pw_rhosts[idx] == 0) {
+        return 0;
+    }
+    if (strict_modes && pw_denied[idx]) {
+        sshd_log(1, "rhosts refused: bad ownership or modes");
+        return 0;
+    }
+    sshd_log(1, "rhosts authentication accepted");
+    return 1;
+}
+
+/* Password authentication: crypt+strcmp, plus the empty-password
+ * policy ssh-1.2.30 implements. */
+int auth_password(int idx, char *password) {
+    char *encrypted;
+
+    if (password_authentication == 0) {
+        return 0;
+    }
+    if (idx < 0) {
+        return 0;
+    }
+    /* root password login may be disabled outright */
+    if (pw_uids[idx] == 0 && permit_root_login == 0) {
+        sshd_log(1, "root password login refused");
+        return 0;
+    }
+    if (password[0] == 0) {
+        if (permit_empty_passwd && pw_emptyok[idx]) {
+            sshd_log(1, "empty password accepted by policy");
+            return 1;
+        }
+        return 0;
+    }
+    if (strlen(password) > 48) {
+        sshd_log(1, "over-long password rejected");
+        return 0;
+    }
+    if (pw_denied[idx]) {
+        sshd_log(1, "account locked");
+        return 0;
+    }
+    encrypted = crypt13(password, pw_salts[idx]);
+    if (strcmp(encrypted, pw_hashes[idx]) == 0) {
+        return 1;
+    }
+    sshd_log(1, "password mismatch");
+    return 0;
+}
+
+/* RSA authentication entry point: the daemon has no host key pair, so
+ * every challenge is refused -- but the decision branch still runs. */
+int auth_rsa(int idx, char *challenge) {
+    if (rsa_authentication == 0) {
+        return 0;
+    }
+    if (idx < 0) {
+        return 0;
+    }
+    if (challenge[0] == 0) {
+        return 0;
+    }
+    sshd_log(1, "no RSA host key pair configured");
+    return 0;
+}
+
+/* The main authentication loop: reads auth request packets and tries
+ * each mechanism -- the multiple points of entry the paper analyses. */
+void do_authentication() {
+    int type;
+
+    authenticated = 0;
+    auth_attempts = 0;
+    failed_methods = 0;
+
+    /* Unknown accounts continue through the full exchange so the
+     * timing does not reveal which user names exist (sshd behaviour),
+     * relying on every method to refuse idx < 0. */
+    if (session_user_idx < 0) {
+        sshd_log(1, "authentication attempt for unknown user");
+    }
+
+    /* Try rhosts first, as the client requests it implicitly by
+     * connecting (ssh-1.2.30 behaviour with RhostsAuthentication). */
+    if (rhosts_authentication) {
+        if (auth_rhosts(session_user_idx)) {
+            /* Authentication accepted. */
+            authenticated = 1;
+        }
+    }
+
+    while (authenticated == 0) {
+        type = packet_read();
+        if (type < 0) {
+            sshd_log(1, "connection lost during authentication");
+            exit(255);
+        }
+        auth_attempts = auth_attempts + 1;
+        if (auth_attempts > max_auth_attempts) {
+            sshd_log(0, "too many authentication failures");
+            packet_send('F', "too many authentication failures");
+            exit(255);
+        }
+        if (type == 'R') {
+            if (rhosts_authentication == 0) {
+                packet_send('F', "rhosts authentication disabled");
+                continue;
+            }
+            if (auth_rhosts(session_user_idx)) {
+                authenticated = 1;
+                break;
+            }
+        } else if (type == 'P') {
+            if (password_authentication == 0) {
+                packet_send('F', "password authentication disabled");
+                continue;
+            }
+            if (auth_password(session_user_idx, packet_buf + 1)) {
+                authenticated = 1;
+                break;
+            }
+        } else if (type == 'A') {
+            if (rsa_authentication == 0) {
+                packet_send('F', "rsa authentication disabled");
+                continue;
+            }
+            if (auth_rsa(session_user_idx, packet_buf + 1)) {
+                authenticated = 1;
+                break;
+            }
+        } else {
+            packet_send('F', "unsupported authentication method");
+            continue;
+        }
+        failed_methods = failed_methods + 1;
+        sshd_log(1, "authentication method failed");
+        packet_send('F', "permission denied");
+    }
+
+    sshd_log(1, "authentication succeeded");
+    packet_send('S', "authentication accepted");
+}
+
+/* ---- shell session ------------------------------------------------------ */
+
+void do_shell() {
+    int type;
+    int commands;
+    char out[160];
+
+    commands = 0;
+    while (1) {
+        type = packet_read();
+        if (type < 0) {
+            return;
+        }
+        commands = commands + 1;
+        if (commands > 32) {
+            packet_send('F', "session limit");
+            return;
+        }
+        if (type == 'E') {
+            strcpy(out, "output: ");
+            strcat(out, packet_buf + 1);
+            packet_send('O', out);
+        } else if (type == 'Q') {
+            packet_send('O', "logout");
+            return;
+        } else {
+            packet_send('F', "unknown session request");
+        }
+    }
+}
+
+/* ---- connection setup ---------------------------------------------------- */
+
+int main() {
+    char line[64];
+    int n;
+    int type;
+
+    encryption_on = 0;
+    authenticated = 0;
+
+    /* version exchange (plaintext) */
+    send_str("SSH-1.5-repro_1.2.30\n");
+    n = read_line(line, 64);
+    if (n <= 0) {
+        return 255;
+    }
+    if (strncmp(line, "SSH-1.", 6) != 0) {
+        send_str("Protocol mismatch.\n");
+        return 255;
+    }
+
+    /* toy key exchange: send server key, receive session key */
+    packet_send('K', "0x517E55ED");
+    type = packet_read();
+    if (type != 'S') {
+        return 255;
+    }
+    cipher_state_in = atoi(packet_buf + 1);
+    cipher_state_out = atoi(packet_buf + 1);
+    encryption_on = 1;
+
+    /* user name packet */
+    type = packet_read();
+    if (type != 'U') {
+        return 255;
+    }
+    strncpy(session_user, packet_buf + 1, 32);
+    session_user_idx = getpwnam_index(session_user);
+
+    do_authentication();
+
+    if (authenticated) {
+        do_shell();
+    }
+    return 0;
+}
+"""

@@ -1,0 +1,17 @@
+"""Mini-C compiler: the C subset the reproduction's daemons are
+written in, compiled to the IA-32 subset with gcc-1999 idioms."""
+
+from .compiler import (CompiledProgram, compile_expression_test,
+                       compile_program, DEFAULT_DATA_BASE,
+                       DEFAULT_TEXT_BASE)
+from .errors import MiniCError, MiniCSyntaxError, MiniCTypeError
+from .lexer import Token, tokenize
+from .parser import parse
+from .runtime import RUNTIME_ASM, RUNTIME_C
+
+__all__ = [
+    "CompiledProgram", "compile_program", "compile_expression_test",
+    "DEFAULT_TEXT_BASE", "DEFAULT_DATA_BASE", "MiniCError",
+    "MiniCSyntaxError", "MiniCTypeError", "Token", "tokenize", "parse",
+    "RUNTIME_ASM", "RUNTIME_C",
+]

@@ -1,0 +1,180 @@
+"""AST node definitions for mini-C."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class Node:
+    line: int = 0
+
+
+# --- expressions -------------------------------------------------------
+
+@dataclass
+class NumberLiteral(Node):
+    value: int = 0
+
+
+@dataclass
+class StringLiteral(Node):
+    value: bytes = b""
+
+
+@dataclass
+class Identifier(Node):
+    name: str = ""
+
+
+@dataclass
+class BinaryOp(Node):
+    op: str = ""
+    left: Node = None
+    right: Node = None
+
+
+@dataclass
+class UnaryOp(Node):
+    op: str = ""       # "-", "~", "!", "*", "&"
+    operand: Node = None
+
+
+@dataclass
+class Assignment(Node):
+    op: str = "="      # "=", "+=", "-=", ...
+    target: Node = None
+    value: Node = None
+
+
+@dataclass
+class IncDec(Node):
+    op: str = "++"
+    target: Node = None
+    prefix: bool = False
+
+
+@dataclass
+class Call(Node):
+    name: str = ""
+    args: list = field(default_factory=list)
+
+
+@dataclass
+class Index(Node):
+    base: Node = None
+    index: Node = None
+
+
+@dataclass
+class SizeOf(Node):
+    target: object = None   # Identifier or CType
+
+
+@dataclass
+class Conditional(Node):
+    condition: Node = None
+    then_value: Node = None
+    else_value: Node = None
+
+
+# --- statements --------------------------------------------------------
+
+@dataclass
+class Block(Node):
+    statements: list = field(default_factory=list)
+
+
+@dataclass
+class Declaration(Node):
+    ctype: object = None
+    name: str = ""
+    initializer: Node = None
+
+
+@dataclass
+class ExpressionStatement(Node):
+    expression: Node = None
+
+
+@dataclass
+class If(Node):
+    condition: Node = None
+    then_branch: Node = None
+    else_branch: Node = None
+
+
+@dataclass
+class While(Node):
+    condition: Node = None
+    body: Node = None
+
+
+@dataclass
+class DoWhile(Node):
+    condition: Node = None
+    body: Node = None
+
+
+@dataclass
+class For(Node):
+    init: Node = None
+    condition: Node = None
+    step: Node = None
+    body: Node = None
+
+
+@dataclass
+class SwitchCase(Node):
+    value: object = None        # int constant, or None for default
+    statements: list = field(default_factory=list)
+
+
+@dataclass
+class Switch(Node):
+    expression: Node = None
+    cases: list = field(default_factory=list)
+
+
+@dataclass
+class Return(Node):
+    value: Node = None
+
+
+@dataclass
+class Break(Node):
+    pass
+
+
+@dataclass
+class Continue(Node):
+    pass
+
+
+# --- top level ---------------------------------------------------------
+
+@dataclass
+class Parameter(Node):
+    ctype: object = None
+    name: str = ""
+
+
+@dataclass
+class FunctionDef(Node):
+    return_type: object = None
+    name: str = ""
+    parameters: list = field(default_factory=list)
+    body: Block = None
+
+
+@dataclass
+class GlobalVar(Node):
+    ctype: object = None
+    name: str = ""
+    initializer: object = None   # NumberLiteral | StringLiteral | list
+
+
+@dataclass
+class Program(Node):
+    functions: list = field(default_factory=list)
+    globals: list = field(default_factory=list)

@@ -1,0 +1,787 @@
+"""Mini-C to IA-32 code generation.
+
+The output deliberately mirrors the gcc-compiled code shown in the
+paper's Section 3 examples, because the study's security findings come
+from the *shape* of compiled authentication code:
+
+* arguments pushed with ``pushl %eax`` / ``pushl $imm`` (one bit away
+  from ``pushl %ecx`` -- Example 1, case 1),
+* ``call`` + ``addl $N, %esp`` caller cleanup,
+* decisions lowered to ``test %eax, %eax`` / ``cmpl`` followed by a
+  conditional branch (``je``/``jne`` one bit apart -- Example 1,
+  cases 2 and 3),
+* short Jcc when the target is near, 6-byte ``0F 8x`` forms otherwise
+  (the assembler relaxes automatically), giving the 2BC/6BC2 error
+  location mix of Table 3.
+
+Values are computed into ``%eax``; binary expressions stage the left
+operand on the stack.  Only caller-saved registers are used, so no
+save/restore traffic clutters the generated code.
+"""
+
+from __future__ import annotations
+
+from . import ast_nodes as ast
+from .ctypes_ import (ArrayType, CHAR, CType, INT, PointerType, VOID,
+                      value_type)
+from .errors import MiniCTypeError
+from .symbols import (FunctionSymbol, GlobalSymbol, LocalSymbol,
+                      ScopeStack)
+
+_COMPARISON_SUFFIX = {"==": "e", "!=": "ne", "<": "l", "<=": "le",
+                      ">": "g", ">=": "ge"}
+_NEGATED_SUFFIX = {"e": "ne", "ne": "e", "l": "ge", "le": "g",
+                   "g": "le", "ge": "l"}
+
+
+class CodeGenerator:
+    """Single-pass AST walker emitting AT&T assembly text.
+
+    One instance compiles one translation unit; call :meth:`generate`
+    with the parsed :class:`~repro.cc.ast_nodes.Program`.
+    """
+
+    def __init__(self):
+        self.lines = []
+        self.data_lines = []
+        self.rodata_lines = []   # interned string literals, emitted last
+        self.label_counter = 0
+        self.string_labels = {}
+        self.globals = {}
+        self.functions = {}
+        self.scope = None
+        self.current_function = None
+        self.loop_stack = []  # (continue_label, break_label)
+
+    # ------------------------------------------------------------------
+
+    def emit(self, line):
+        self.lines.append("    " + line)
+
+    def emit_label(self, label):
+        self.lines.append(label + ":")
+
+    def new_label(self, hint="L"):
+        self.label_counter += 1
+        return ".%s%d" % (hint, self.label_counter)
+
+    # ------------------------------------------------------------------
+
+    def generate(self, program):
+        for declaration in program.globals:
+            self._declare_global(declaration)
+        for function in program.functions:
+            self.functions[function.name] = FunctionSymbol(
+                function.name, function.return_type,
+                [p.ctype for p in function.parameters])
+        for function in program.functions:
+            self._generate_function(function)
+        text = ".text\n" + "\n".join(self.lines)
+        data = ".data\n" + "\n".join(self.data_lines + self.rodata_lines)
+        return text + "\n" + data + "\n"
+
+    # ------------------------------------------------------------------
+    # Globals
+
+    def _declare_global(self, declaration):
+        name = declaration.name
+        if name in self.globals:
+            raise MiniCTypeError("redefinition of %r" % name,
+                                 declaration.line)
+        ctype = declaration.ctype
+        label = name
+        self.globals[name] = GlobalSymbol(name, ctype, label)
+        init = declaration.initializer
+        out = self.data_lines
+        out.append(".align 4")
+        out.append(label + ":")
+        if init is None:
+            out.append(".space %d" % max(1, ctype.size))
+            return
+        if isinstance(init, list):
+            self._emit_array_initializer(ctype, init, declaration.line)
+            return
+        if isinstance(init, ast.NumberLiteral):
+            if ctype.size == 1:
+                out.append(".byte %d" % (init.value & 0xFF))
+            else:
+                out.append(".long %d" % (init.value & 0xFFFFFFFF))
+            return
+        if isinstance(init, ast.StringLiteral):
+            if ctype.is_array():
+                body = init.value
+                text = _escape_bytes(body)
+                out.append('.asciz "%s"' % text)
+                declared = ctype.count or (len(body) + 1)
+                if declared > len(body) + 1:
+                    out.append(".space %d" % (declared - len(body) - 1))
+                if ctype.count == 0:
+                    self.globals[name] = GlobalSymbol(
+                        name, ArrayType(element=ctype.element,
+                                        count=len(body) + 1), label)
+                return
+            string_label = self._intern_string(init.value)
+            out.append(".long %s" % string_label)
+            return
+        raise MiniCTypeError("unsupported initializer for %r" % name,
+                             declaration.line)
+
+    def _emit_array_initializer(self, ctype, items, line):
+        if not ctype.is_array():
+            raise MiniCTypeError("brace initializer on non-array", line)
+        out = self.data_lines
+        for item in items:
+            if isinstance(item, ast.StringLiteral):
+                out.append(".long %s" % self._intern_string(item.value))
+            else:
+                out.append(".long %d" % (item.value & 0xFFFFFFFF))
+        remaining = ctype.count - len(items)
+        if remaining > 0:
+            out.append(".space %d" % (remaining * ctype.element.size))
+
+    def _intern_string(self, value):
+        if value in self.string_labels:
+            return self.string_labels[value]
+        label = ".LC%d" % len(self.string_labels)
+        self.string_labels[value] = label
+        self.rodata_lines.append(label + ":")
+        self.rodata_lines.append('.asciz "%s"' % _escape_bytes(value))
+        return label
+
+    # ------------------------------------------------------------------
+    # Functions
+
+    def _generate_function(self, function):
+        self.scope = ScopeStack()
+        self.current_function = function
+        offset = 8
+        for parameter in function.parameters:
+            self.scope.declare(LocalSymbol(parameter.name, parameter.ctype,
+                                           offset, is_param=True),
+                               parameter.line)
+            offset += 4
+        frame_size, offsets = self._assign_local_offsets(function.body)
+        self._local_offsets = offsets
+        self.emit_label(function.name)
+        self.emit("pushl %ebp")
+        self.emit("movl %esp, %ebp")
+        if frame_size:
+            self.emit("subl $%d, %%esp" % frame_size)
+        self.return_label = self.new_label("Lret")
+        self._gen_block(function.body)
+        self.emit_label(self.return_label)
+        self.emit("leave")
+        self.emit("ret")
+        self.scope = None
+        self.current_function = None
+
+    def _assign_local_offsets(self, body):
+        """Pre-scan the body, assigning an EBP offset to every local."""
+        offsets = {}
+        cursor = 0
+
+        def visit(node):
+            nonlocal cursor
+            if isinstance(node, ast.Declaration):
+                size = (node.ctype.size + 3) & ~3
+                cursor += size
+                offsets[id(node)] = -cursor
+            for child in _statement_children(node):
+                visit(child)
+
+        visit(body)
+        frame = (cursor + 15) & ~15  # gcc-style 16-byte rounding
+        return frame, offsets
+
+    # ------------------------------------------------------------------
+    # Statements
+
+    def _gen_statement(self, node):
+        if isinstance(node, ast.Block):
+            self.scope.push()
+            self._gen_block_inner(node)
+            self.scope.pop()
+        elif isinstance(node, ast.Declaration):
+            self._gen_declaration(node)
+        elif isinstance(node, ast.ExpressionStatement):
+            self._gen_expression(node.expression)
+        elif isinstance(node, ast.If):
+            self._gen_if(node)
+        elif isinstance(node, ast.While):
+            self._gen_while(node)
+        elif isinstance(node, ast.DoWhile):
+            self._gen_do_while(node)
+        elif isinstance(node, ast.For):
+            self._gen_for(node)
+        elif isinstance(node, ast.Switch):
+            self._gen_switch(node)
+        elif isinstance(node, ast.Return):
+            if node.value is not None:
+                self._gen_expression(node.value)
+            self.emit("jmp %s" % self.return_label)
+        elif isinstance(node, ast.Break):
+            if not self.loop_stack:
+                raise MiniCTypeError("break outside loop or switch",
+                                     node.line)
+            self.emit("jmp %s" % self.loop_stack[-1][1])
+        elif isinstance(node, ast.Continue):
+            # continue skips switch frames (they only own `break`)
+            targets = [entry[0] for entry in self.loop_stack
+                       if entry[0] is not None]
+            if not targets:
+                raise MiniCTypeError("continue outside loop", node.line)
+            self.emit("jmp %s" % targets[-1])
+        else:
+            raise MiniCTypeError("unsupported statement %r"
+                                 % type(node).__name__, node.line)
+
+    def _gen_block(self, block):
+        self.scope.push()
+        self._gen_block_inner(block)
+        self.scope.pop()
+
+    def _gen_block_inner(self, block):
+        for statement in block.statements:
+            self._gen_statement(statement)
+
+    def _gen_declaration(self, node):
+        offset = self._local_offsets[id(node)]
+        symbol = LocalSymbol(node.name, node.ctype, offset)
+        self.scope.declare(symbol, node.line)
+        if node.initializer is None:
+            return
+        if isinstance(node.initializer, ast.StringLiteral) \
+                and node.ctype.is_pointer():
+            label = self._intern_string(node.initializer.value)
+            self.emit("movl $%s, %d(%%ebp)" % (label, offset))
+            return
+        value_ctype = self._gen_expression(node.initializer)
+        self._store_to_local(symbol, value_ctype)
+
+    def _store_to_local(self, symbol, value_ctype):
+        if symbol.ctype.size == 1 and not symbol.ctype.is_pointer():
+            self.emit("movb %%al, %d(%%ebp)" % symbol.offset)
+        else:
+            self.emit("movl %%eax, %d(%%ebp)" % symbol.offset)
+
+    def _gen_if(self, node):
+        else_label = self.new_label("Lelse")
+        end_label = self.new_label("Lend")
+        target = else_label if node.else_branch is not None else end_label
+        self._gen_branch_if_false(node.condition, target)
+        self._gen_statement(node.then_branch)
+        if node.else_branch is not None:
+            self.emit("jmp %s" % end_label)
+            self.emit_label(else_label)
+            self._gen_statement(node.else_branch)
+        self.emit_label(end_label)
+
+    def _gen_while(self, node):
+        start_label = self.new_label("Lloop")
+        end_label = self.new_label("Lend")
+        self.loop_stack.append((start_label, end_label))
+        self.emit_label(start_label)
+        self._gen_branch_if_false(node.condition, end_label)
+        self._gen_statement(node.body)
+        self.emit("jmp %s" % start_label)
+        self.emit_label(end_label)
+        self.loop_stack.pop()
+
+    def _gen_do_while(self, node):
+        start_label = self.new_label("Lloop")
+        continue_label = self.new_label("Lcont")
+        end_label = self.new_label("Lend")
+        self.loop_stack.append((continue_label, end_label))
+        self.emit_label(start_label)
+        self._gen_statement(node.body)
+        self.emit_label(continue_label)
+        self._gen_branch_if_true(node.condition, start_label)
+        self.emit_label(end_label)
+        self.loop_stack.pop()
+
+    def _gen_for(self, node):
+        start_label = self.new_label("Lloop")
+        continue_label = self.new_label("Lcont")
+        end_label = self.new_label("Lend")
+        if node.init is not None:
+            self._gen_statement(node.init)
+        self.loop_stack.append((continue_label, end_label))
+        self.emit_label(start_label)
+        if node.condition is not None:
+            self._gen_branch_if_false(node.condition, end_label)
+        self._gen_statement(node.body)
+        self.emit_label(continue_label)
+        if node.step is not None:
+            self._gen_expression(node.step)
+        self.emit("jmp %s" % start_label)
+        self.emit_label(end_label)
+        self.loop_stack.pop()
+
+    def _gen_switch(self, node):
+        """gcc -O0 style: a compare chain over the case constants
+        followed by the case bodies with natural fallthrough."""
+        end_label = self.new_label("Lend")
+        self._gen_expression(node.expression)
+        case_labels = []
+        default_label = end_label
+        for case in node.cases:
+            label = self.new_label("Lcase")
+            case_labels.append(label)
+            if case.value is None:
+                default_label = label
+            else:
+                self.emit("cmpl $%d, %%eax"
+                          % (case.value & 0xFFFFFFFF))
+                self.emit("je %s" % label)
+        self.emit("jmp %s" % default_label)
+        self.loop_stack.append((None, end_label))
+        self.scope.push()
+        for case, label in zip(node.cases, case_labels):
+            self.emit_label(label)
+            for statement in case.statements:
+                self._gen_statement(statement)
+        self.scope.pop()
+        self.loop_stack.pop()
+        self.emit_label(end_label)
+
+    # ------------------------------------------------------------------
+    # Branch generation (produces the paper's test/cmp + Jcc shapes)
+
+    def _gen_branch_if_false(self, condition, target):
+        self._gen_branch(condition, target, jump_when=False)
+
+    def _gen_branch_if_true(self, condition, target):
+        self._gen_branch(condition, target, jump_when=True)
+
+    def _gen_branch(self, condition, target, jump_when):
+        if isinstance(condition, ast.UnaryOp) and condition.op == "!":
+            self._gen_branch(condition.operand, target,
+                             jump_when=not jump_when)
+            return
+        if isinstance(condition, ast.BinaryOp):
+            op = condition.op
+            if op in _COMPARISON_SUFFIX:
+                self._gen_comparison_branch(condition, target, jump_when)
+                return
+            if op == "&&":
+                if jump_when:
+                    skip = self.new_label("Lskip")
+                    self._gen_branch(condition.left, skip, jump_when=False)
+                    self._gen_branch(condition.right, target,
+                                     jump_when=True)
+                    self.emit_label(skip)
+                else:
+                    self._gen_branch(condition.left, target,
+                                     jump_when=False)
+                    self._gen_branch(condition.right, target,
+                                     jump_when=False)
+                return
+            if op == "||":
+                if jump_when:
+                    self._gen_branch(condition.left, target, jump_when=True)
+                    self._gen_branch(condition.right, target,
+                                     jump_when=True)
+                else:
+                    skip = self.new_label("Lskip")
+                    self._gen_branch(condition.left, skip, jump_when=True)
+                    self._gen_branch(condition.right, target,
+                                     jump_when=False)
+                    self.emit_label(skip)
+                return
+        # General expression: evaluate and test (the `test %eax,%eax`
+        # / `je` pair of the paper's Example 1).
+        self._gen_expression(condition)
+        self.emit("testl %eax, %eax")
+        self.emit("jne %s" % target if jump_when else "je %s" % target)
+
+    def _gen_comparison_branch(self, condition, target, jump_when):
+        suffix = _COMPARISON_SUFFIX[condition.op]
+        if not jump_when:
+            suffix = _NEGATED_SUFFIX[suffix]
+        right = condition.right
+        if isinstance(right, ast.NumberLiteral) and right.value == 0 \
+                and condition.op in ("==", "!="):
+            # gcc idiom: compare-with-zero becomes test.
+            self._gen_expression(condition.left)
+            self.emit("testl %eax, %eax")
+            self.emit("j%s %s" % (suffix, target))
+            return
+        self._gen_expression(condition.left)
+        self.emit("pushl %eax")
+        self._gen_expression(condition.right)
+        self.emit("movl %eax, %ecx")
+        self.emit("popl %eax")
+        self.emit("cmpl %ecx, %eax")
+        self.emit("j%s %s" % (suffix, target))
+
+    # ------------------------------------------------------------------
+    # Expressions: result in %eax, returns the value's CType.
+
+    def _gen_expression(self, node):
+        if isinstance(node, ast.NumberLiteral):
+            self.emit("movl $%d, %%eax" % (node.value & 0xFFFFFFFF))
+            return INT
+        if isinstance(node, ast.StringLiteral):
+            label = self._intern_string(node.value)
+            self.emit("movl $%s, %%eax" % label)
+            return PointerType(CHAR)
+        if isinstance(node, ast.Identifier):
+            return self._gen_load_identifier(node)
+        if isinstance(node, ast.BinaryOp):
+            return self._gen_binary(node)
+        if isinstance(node, ast.UnaryOp):
+            return self._gen_unary(node)
+        if isinstance(node, ast.Assignment):
+            return self._gen_assignment(node)
+        if isinstance(node, ast.IncDec):
+            return self._gen_incdec(node)
+        if isinstance(node, ast.Call):
+            return self._gen_call(node)
+        if isinstance(node, ast.Index):
+            return self._gen_index_load(node)
+        if isinstance(node, ast.SizeOf):
+            return self._gen_sizeof(node)
+        if isinstance(node, ast.Conditional):
+            return self._gen_conditional(node)
+        raise MiniCTypeError("unsupported expression %r"
+                             % type(node).__name__, node.line)
+
+    def _resolve(self, name, line):
+        symbol = self.scope.lookup(name)
+        if symbol is not None:
+            return symbol
+        if name in self.globals:
+            return self.globals[name]
+        raise MiniCTypeError("undeclared identifier %r" % name, line)
+
+    def _gen_load_identifier(self, node):
+        symbol = self._resolve(node.name, node.line)
+        ctype = symbol.ctype
+        if isinstance(symbol, LocalSymbol):
+            if ctype.is_array():
+                self.emit("leal %d(%%ebp), %%eax" % symbol.offset)
+                return ctype.decay()
+            if ctype.size == 1 and not ctype.is_pointer():
+                self.emit("movzbl %d(%%ebp), %%eax" % symbol.offset)
+                return INT
+            self.emit("movl %d(%%ebp), %%eax" % symbol.offset)
+            return ctype
+        if ctype.is_array():
+            self.emit("movl $%s, %%eax" % symbol.label)
+            return ctype.decay()
+        if ctype.size == 1 and not ctype.is_pointer():
+            self.emit("movzbl %s, %%eax" % symbol.label)
+            return INT
+        self.emit("movl %s, %%eax" % symbol.label)
+        return ctype
+
+    # -- lvalues ---------------------------------------------------------
+
+    def _gen_address(self, node):
+        """Leave the address of an lvalue in %eax; return element type."""
+        if isinstance(node, ast.Identifier):
+            symbol = self._resolve(node.name, node.line)
+            if isinstance(symbol, LocalSymbol):
+                self.emit("leal %d(%%ebp), %%eax" % symbol.offset)
+            else:
+                self.emit("movl $%s, %%eax" % symbol.label)
+            return symbol.ctype
+        if isinstance(node, ast.UnaryOp) and node.op == "*":
+            pointer_type = self._gen_expression(node.operand)
+            pointer_type = value_type(pointer_type)
+            if not pointer_type.is_pointer():
+                raise MiniCTypeError("dereference of non-pointer",
+                                     node.line)
+            return pointer_type.pointee
+        if isinstance(node, ast.Index):
+            return self._gen_index_address(node)
+        raise MiniCTypeError("expression is not an lvalue", node.line)
+
+    def _gen_index_address(self, node):
+        base_type = value_type(self._gen_expression(node.base))
+        if not base_type.is_pointer():
+            raise MiniCTypeError("indexing non-pointer", node.line)
+        self.emit("pushl %eax")
+        self._gen_expression(node.index)
+        stride = base_type.stride
+        if stride == 4:
+            self.emit("shll $2, %eax")
+        elif stride != 1:
+            self.emit("imull $%d, %%eax" % stride)
+        self.emit("movl %eax, %ecx")
+        self.emit("popl %eax")
+        self.emit("addl %ecx, %eax")
+        return base_type.pointee
+
+    def _load_through_eax(self, element_type):
+        if element_type.size == 1 and not element_type.is_pointer():
+            self.emit("movzbl (%eax), %eax")
+            return INT
+        self.emit("movl (%eax), %eax")
+        return element_type
+
+    def _gen_index_load(self, node):
+        element_type = self._gen_index_address(node)
+        if element_type.is_array():
+            return element_type.decay()
+        return self._load_through_eax(element_type)
+
+    # -- operators --------------------------------------------------------
+
+    def _gen_binary(self, node):
+        op = node.op
+        if op in _COMPARISON_SUFFIX:
+            return self._gen_comparison_value(node)
+        if op in ("&&", "||"):
+            return self._gen_logical_value(node)
+        left_type = value_type(self._gen_expression(node.left))
+        self.emit("pushl %eax")
+        right_type = value_type(self._gen_expression(node.right))
+        # Pointer arithmetic scaling.
+        if op == "+" and left_type.is_pointer() \
+                and not right_type.is_pointer():
+            self._scale_eax(left_type.stride)
+        elif op == "+" and right_type.is_pointer() \
+                and not left_type.is_pointer():
+            pass  # int + ptr: scale the int on the stack -- rare; the
+            # daemons always write ptr + int, which the line above
+            # handles.  Keep the unscaled form for int on the left.
+        elif op == "-" and left_type.is_pointer() \
+                and not right_type.is_pointer():
+            self._scale_eax(left_type.stride)
+        self.emit("movl %eax, %ecx")
+        self.emit("popl %eax")
+        result_type = left_type if left_type.is_pointer() else (
+            right_type if right_type.is_pointer() else INT)
+        if op == "+":
+            self.emit("addl %ecx, %eax")
+        elif op == "-":
+            self.emit("subl %ecx, %eax")
+            if left_type.is_pointer() and right_type.is_pointer():
+                stride = left_type.stride
+                if stride == 4:
+                    self.emit("sarl $2, %eax")
+                result_type = INT
+        elif op == "*":
+            self.emit("imull %ecx, %eax")
+        elif op in ("/", "%"):
+            self.emit("cltd")
+            self.emit("idivl %ecx")
+            if op == "%":
+                self.emit("movl %edx, %eax")
+        elif op == "&":
+            self.emit("andl %ecx, %eax")
+        elif op == "|":
+            self.emit("orl %ecx, %eax")
+        elif op == "^":
+            self.emit("xorl %ecx, %eax")
+        elif op == "<<":
+            self.emit("shll %cl, %eax")
+        elif op == ">>":
+            self.emit("shrl %cl, %eax")
+        else:
+            raise MiniCTypeError("unsupported operator %r" % op, node.line)
+        return result_type
+
+    def _scale_eax(self, stride):
+        if stride == 4:
+            self.emit("shll $2, %eax")
+        elif stride != 1:
+            self.emit("imull $%d, %%eax" % stride)
+
+    def _gen_comparison_value(self, node):
+        suffix = _COMPARISON_SUFFIX[node.op]
+        self._gen_expression(node.left)
+        self.emit("pushl %eax")
+        self._gen_expression(node.right)
+        self.emit("movl %eax, %ecx")
+        self.emit("popl %eax")
+        self.emit("cmpl %ecx, %eax")
+        self.emit("set%s %%al" % suffix)
+        self.emit("movzbl %al, %eax")
+        return INT
+
+    def _gen_logical_value(self, node):
+        false_label = self.new_label("Lfalse")
+        end_label = self.new_label("Lend")
+        if node.op == "&&":
+            self._gen_branch(node, false_label, jump_when=False)
+            self.emit("movl $1, %eax")
+        else:
+            self._gen_branch(node, false_label, jump_when=True)
+            self.emit("movl $0, %eax")
+        self.emit("jmp %s" % end_label)
+        self.emit_label(false_label)
+        if node.op == "&&":
+            self.emit("movl $0, %eax")
+        else:
+            self.emit("movl $1, %eax")
+        self.emit_label(end_label)
+        return INT
+
+    def _gen_unary(self, node):
+        op = node.op
+        if op == "-":
+            self._gen_expression(node.operand)
+            self.emit("negl %eax")
+            return INT
+        if op == "~":
+            self._gen_expression(node.operand)
+            self.emit("notl %eax")
+            return INT
+        if op == "!":
+            self._gen_expression(node.operand)
+            self.emit("testl %eax, %eax")
+            self.emit("sete %al")
+            self.emit("movzbl %al, %eax")
+            return INT
+        if op == "*":
+            pointer_type = value_type(self._gen_expression(node.operand))
+            if not pointer_type.is_pointer():
+                raise MiniCTypeError("dereference of non-pointer",
+                                     node.line)
+            pointee = pointer_type.pointee
+            if pointee.is_array():
+                return pointee.decay()
+            return self._load_through_eax(pointee)
+        if op == "&":
+            ctype = self._gen_address(node.operand)
+            return PointerType(ctype.element if ctype.is_array()
+                               else ctype)
+        raise MiniCTypeError("unsupported unary %r" % op, node.line)
+
+    def _gen_assignment(self, node):
+        if node.op != "=":
+            # Compound assignment: rewrite a op= b as a = a op b.
+            binary = ast.BinaryOp(line=node.line, op=node.op[:-1],
+                                  left=node.target, right=node.value)
+            rewritten = ast.Assignment(line=node.line, op="=",
+                                       target=node.target, value=binary)
+            return self._gen_assignment(rewritten)
+        target = node.target
+        if isinstance(target, ast.Identifier):
+            symbol = self._resolve(target.name, target.line)
+            value_ctype = self._gen_expression(node.value)
+            if isinstance(symbol, LocalSymbol):
+                self._store_to_local(symbol, value_ctype)
+            elif symbol.ctype.size == 1 and not symbol.ctype.is_pointer():
+                self.emit("movb %%al, %s" % symbol.label)
+            else:
+                self.emit("movl %%eax, %s" % symbol.label)
+            return symbol.ctype
+        element_type = self._gen_address(target)
+        self.emit("pushl %eax")
+        self._gen_expression(node.value)
+        self.emit("popl %ecx")
+        if element_type.size == 1 and not element_type.is_pointer():
+            self.emit("movb %al, (%ecx)")
+        else:
+            self.emit("movl %eax, (%ecx)")
+        return element_type
+
+    def _gen_incdec(self, node):
+        target = node.target
+        delta_op = "addl" if node.op == "++" else "subl"
+        if isinstance(target, ast.Identifier):
+            symbol = self._resolve(target.name, target.line)
+            stride = symbol.ctype.stride if symbol.ctype.is_pointer() else 1
+            if isinstance(symbol, LocalSymbol):
+                location = "%d(%%ebp)" % symbol.offset
+            else:
+                location = symbol.label
+            if symbol.ctype.size == 1 and not symbol.ctype.is_pointer():
+                self.emit("movzbl %s, %%eax" % location)
+                self.emit("%s $%d, %s" % ("addb" if node.op == "++"
+                                          else "subb", stride, location))
+                if node.prefix:
+                    self.emit("movzbl %s, %%eax" % location)
+                return INT
+            self.emit("movl %s, %%eax" % location)
+            self.emit("%s $%d, %s" % (delta_op, stride, location))
+            if node.prefix:
+                self.emit("movl %s, %%eax" % location)
+            return symbol.ctype
+        element_type = self._gen_address(target)
+        stride = element_type.stride if element_type.is_pointer() else 1
+        self.emit("movl %eax, %ecx")
+        if element_type.size == 1 and not element_type.is_pointer():
+            self.emit("movzbl (%ecx), %eax")
+            self.emit("%s $%d, (%%ecx)" % ("addb" if node.op == "++"
+                                           else "subb", stride))
+            if node.prefix:
+                self.emit("movzbl (%ecx), %eax")
+            return INT
+        self.emit("movl (%ecx), %eax")
+        self.emit("%s $%d, (%%ecx)" % (delta_op, stride))
+        if node.prefix:
+            self.emit("movl (%ecx), %eax")
+        return element_type
+
+    def _gen_call(self, node):
+        for argument in reversed(node.args):
+            self._gen_expression(argument)
+            self.emit("pushl %eax")
+        self.emit("call %s" % node.name)
+        if node.args:
+            self.emit("addl $%d, %%esp" % (4 * len(node.args)))
+        signature = self.functions.get(node.name)
+        return signature.return_type if signature else INT
+
+    def _gen_sizeof(self, node):
+        target = node.target
+        if isinstance(target, CType):
+            size = target.size
+        else:
+            symbol = self._resolve(target.name, target.line)
+            size = symbol.ctype.size
+        self.emit("movl $%d, %%eax" % size)
+        return INT
+
+    def _gen_conditional(self, node):
+        else_label = self.new_label("Lelse")
+        end_label = self.new_label("Lend")
+        self._gen_branch_if_false(node.condition, else_label)
+        self._gen_expression(node.then_value)
+        self.emit("jmp %s" % end_label)
+        self.emit_label(else_label)
+        self._gen_expression(node.else_value)
+        self.emit_label(end_label)
+        return INT
+
+
+def _statement_children(node):
+    """Yield child statements for the local-offset pre-scan."""
+    if isinstance(node, ast.Block):
+        return list(node.statements)
+    if isinstance(node, ast.Switch):
+        return [statement for case in node.cases
+                for statement in case.statements]
+    if isinstance(node, ast.If):
+        return [child for child in (node.then_branch, node.else_branch)
+                if child is not None]
+    if isinstance(node, (ast.While, ast.DoWhile)):
+        return [node.body]
+    if isinstance(node, ast.For):
+        return [child for child in (node.init, node.body)
+                if child is not None]
+    return []
+
+
+def _escape_bytes(value):
+    out = []
+    for byte in value:
+        if byte == 0x22:
+            out.append('\\"')
+        elif byte == 0x5C:
+            out.append("\\\\")
+        elif byte == 0x0A:
+            out.append("\\n")
+        elif byte == 0x0D:
+            out.append("\\r")
+        elif byte == 0x09:
+            out.append("\\t")
+        elif 0x20 <= byte < 0x7F:
+            out.append(chr(byte))
+        else:
+            out.append("\\x%02x" % byte)
+    return "".join(out)

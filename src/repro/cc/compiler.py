@@ -1,0 +1,73 @@
+"""Compiler driver: mini-C source -> assembled :class:`Module`.
+
+A *program* is the concatenation of the runtime (libc subset + syscall
+stubs) and one or more application sources, compiled as a single
+translation unit and assembled at the classic Linux i386 load
+addresses.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..x86.assembler import Assembler
+from .codegen import CodeGenerator
+from .parser import parse
+from .runtime import RUNTIME_ASM, RUNTIME_C
+
+DEFAULT_TEXT_BASE = 0x08048000
+DEFAULT_DATA_BASE = 0x0804C000
+
+
+@dataclass
+class CompiledProgram:
+    """Output of :func:`compile_program`."""
+
+    module: object          # repro.x86.assembler.Module
+    assembly: str           # full assembly text fed to the assembler
+    source: str             # concatenated mini-C source
+
+    def function_range(self, name):
+        return self.module.function_range(name)
+
+    def address_of(self, name):
+        return self.module.address_of(name)
+
+
+def compile_program(source, extra_sources=(), include_runtime=True,
+                    extra_asm="", text_base=DEFAULT_TEXT_BASE,
+                    data_base=DEFAULT_DATA_BASE,
+                    force_long_branches=False):
+    """Compile mini-C *source* (plus extras) into a loadable module.
+
+    The runtime is prepended so application code can call ``strcmp``,
+    ``crypt13``, ``read_line`` and friends; ``_start`` calls ``main``
+    and exits with its return value.
+    """
+    pieces = []
+    if include_runtime:
+        pieces.append(RUNTIME_C)
+    pieces.extend(extra_sources)
+    pieces.append(source)
+    combined = "\n".join(pieces)
+    program = parse(combined)
+    generator = CodeGenerator()
+    generated = generator.generate(program)
+    assembly = ""
+    if include_runtime:
+        assembly += RUNTIME_ASM + "\n"
+    if extra_asm:
+        assembly += extra_asm + "\n"
+    assembly += generated
+    assembler = Assembler(text_base, data_base,
+                          force_long_branches=force_long_branches)
+    module = assembler.assemble(assembly)
+    return CompiledProgram(module=module, assembly=assembly,
+                           source=combined)
+
+
+def compile_expression_test(body, include_runtime=True):
+    """Wrap *body* statements in ``int main()`` and compile -- a test
+    convenience used throughout the compiler test-suite."""
+    source = "int main() {\n%s\n}\n" % body
+    return compile_program(source, include_runtime=include_runtime)

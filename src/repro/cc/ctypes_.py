@@ -1,0 +1,96 @@
+"""Mini-C type system: int, char, pointers and arrays.
+
+Deliberately small: every scalar computation happens in 32-bit
+registers; ``char`` is unsigned (loads zero-extend), which keeps
+``strcmp`` on hash strings well-defined and matches how the daemons
+treat protocol bytes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+class CType:
+    """Base class; subclasses define ``size`` (bytes)."""
+
+    size = 4
+
+    def is_pointer(self):
+        return False
+
+    def is_array(self):
+        return False
+
+
+@dataclass(frozen=True)
+class IntType(CType):
+    size: int = 4
+
+    def __str__(self):
+        return "int"
+
+
+@dataclass(frozen=True)
+class CharType(CType):
+    size: int = 1
+
+    def __str__(self):
+        return "char"
+
+
+@dataclass(frozen=True)
+class VoidType(CType):
+    size: int = 0
+
+    def __str__(self):
+        return "void"
+
+
+@dataclass(frozen=True)
+class PointerType(CType):
+    pointee: CType = None
+    size: int = 4
+
+    def is_pointer(self):
+        return True
+
+    @property
+    def stride(self):
+        return max(1, self.pointee.size)
+
+    def __str__(self):
+        return "%s*" % self.pointee
+
+
+@dataclass(frozen=True)
+class ArrayType(CType):
+    element: CType = None
+    count: int = 0
+
+    def is_array(self):
+        return True
+
+    @property
+    def size(self):
+        return self.element.size * self.count
+
+    def decay(self):
+        return PointerType(self.element)
+
+    def __str__(self):
+        return "%s[%d]" % (self.element, self.count)
+
+
+INT = IntType()
+CHAR = CharType()
+VOID = VoidType()
+CHAR_PTR = PointerType(CHAR)
+INT_PTR = PointerType(INT)
+
+
+def value_type(ctype):
+    """The type an expression of *ctype* has after array decay."""
+    if ctype.is_array():
+        return ctype.decay()
+    return ctype

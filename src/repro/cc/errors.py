@@ -1,0 +1,21 @@
+"""Mini-C compiler error types."""
+
+from __future__ import annotations
+
+
+class MiniCError(Exception):
+    """Base class for compiler errors."""
+
+    def __init__(self, message, line=None):
+        if line is not None:
+            message = "line %d: %s" % (line, message)
+        super().__init__(message)
+        self.line = line
+
+
+class MiniCSyntaxError(MiniCError):
+    """Lexer/parser error."""
+
+
+class MiniCTypeError(MiniCError):
+    """Semantic/type error."""

@@ -1,0 +1,169 @@
+"""Lexer for mini-C, the C subset the daemons are written in.
+
+Token kinds: ``id``, ``num``, ``str``, ``char``, punctuation/operator
+(kind equals the lexeme), and keywords (kind equals the keyword).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .errors import MiniCSyntaxError
+
+KEYWORDS = frozenset({
+    "int", "char", "void", "if", "else", "while", "for", "do", "return",
+    "break", "continue", "sizeof", "static", "unsigned", "switch",
+    "case", "default",
+})
+
+# Longest-match-first operator list.
+OPERATORS = (
+    "<<=", ">>=", "==", "!=", "<=", ">=", "&&", "||", "<<", ">>", "++",
+    "--", "+=", "-=", "*=", "/=", "%=", "&=", "|=", "^=", "->",
+    "+", "-", "*", "/", "%", "=", "<", ">", "!", "&", "|", "^", "~",
+    "(", ")", "{", "}", "[", "]", ";", ",", "?", ":", ".",
+)
+
+_ESCAPES = {"n": 10, "t": 9, "r": 13, "0": 0, "\\": 92, "'": 39,
+            '"': 34, "b": 8, "f": 12, "v": 11, "a": 7}
+
+
+@dataclass(frozen=True)
+class Token:
+    kind: str
+    value: object
+    line: int
+
+    def __repr__(self):
+        return "Token(%r, %r, line=%d)" % (self.kind, self.value, self.line)
+
+
+def tokenize(source):
+    """Convert mini-C source text into a list of tokens (EOF-terminated)."""
+    tokens = []
+    index = 0
+    line = 1
+    length = len(source)
+    while index < length:
+        char = source[index]
+        if char == "\n":
+            line += 1
+            index += 1
+            continue
+        if char in " \t\r":
+            index += 1
+            continue
+        if source.startswith("//", index):
+            end = source.find("\n", index)
+            index = length if end == -1 else end
+            continue
+        if source.startswith("/*", index):
+            end = source.find("*/", index + 2)
+            if end == -1:
+                raise MiniCSyntaxError("unterminated comment", line)
+            line += source.count("\n", index, end)
+            index = end + 2
+            continue
+        if char.isdigit():
+            index, value = _lex_number(source, index, line)
+            tokens.append(Token("num", value, line))
+            continue
+        if char.isalpha() or char == "_":
+            start = index
+            while index < length and (source[index].isalnum()
+                                      or source[index] == "_"):
+                index += 1
+            word = source[start:index]
+            kind = word if word in KEYWORDS else "id"
+            tokens.append(Token(kind, word, line))
+            continue
+        if char == '"':
+            index, value = _lex_string(source, index, line)
+            tokens.append(Token("str", value, line))
+            continue
+        if char == "'":
+            index, value = _lex_char(source, index, line)
+            tokens.append(Token("num", value, line))
+            continue
+        for operator in OPERATORS:
+            if source.startswith(operator, index):
+                tokens.append(Token(operator, operator, line))
+                index += len(operator)
+                break
+        else:
+            raise MiniCSyntaxError("unexpected character %r" % char, line)
+    tokens.append(Token("eof", None, line))
+    return _merge_adjacent_strings(tokens)
+
+
+def _merge_adjacent_strings(tokens):
+    """C-style concatenation of adjacent string literals."""
+    merged = []
+    for token in tokens:
+        if (token.kind == "str" and merged
+                and merged[-1].kind == "str"):
+            merged[-1] = Token("str", merged[-1].value + token.value,
+                               merged[-1].line)
+        else:
+            merged.append(token)
+    return merged
+
+
+def _lex_number(source, index, line):
+    start = index
+    length = len(source)
+    if source.startswith(("0x", "0X"), index):
+        index += 2
+        while index < length and source[index] in "0123456789abcdefABCDEF":
+            index += 1
+        return index, int(source[start:index], 16)
+    while index < length and source[index].isdigit():
+        index += 1
+    return index, int(source[start:index])
+
+
+def _lex_string(source, index, line):
+    out = bytearray()
+    index += 1
+    length = len(source)
+    while index < length:
+        char = source[index]
+        if char == '"':
+            return index + 1, bytes(out)
+        if char == "\\":
+            escape = source[index + 1]
+            if escape == "x":
+                out.append(int(source[index + 2:index + 4], 16))
+                index += 4
+                continue
+            if escape not in _ESCAPES:
+                raise MiniCSyntaxError("bad escape \\%s" % escape, line)
+            out.append(_ESCAPES[escape])
+            index += 2
+            continue
+        if char == "\n":
+            raise MiniCSyntaxError("newline in string literal", line)
+        out.append(ord(char))
+        index += 1
+    raise MiniCSyntaxError("unterminated string literal", line)
+
+
+def _lex_char(source, index, line):
+    index += 1
+    char = source[index]
+    if char == "\\":
+        escape = source[index + 1]
+        if escape == "x":
+            value = int(source[index + 2:index + 4], 16)
+            index += 4
+        else:
+            if escape not in _ESCAPES:
+                raise MiniCSyntaxError("bad escape \\%s" % escape, line)
+            value = _ESCAPES[escape]
+            index += 2
+    else:
+        value = ord(char)
+        index += 1
+    if source[index] != "'":
+        raise MiniCSyntaxError("unterminated char literal", line)
+    return index + 1, value

@@ -1,0 +1,477 @@
+"""Recursive-descent parser for mini-C."""
+
+from __future__ import annotations
+
+from . import ast_nodes as ast
+from .ctypes_ import (ArrayType, CHAR, CType, INT, PointerType, VOID)
+from .errors import MiniCSyntaxError
+from .lexer import tokenize
+
+_ASSIGN_OPS = ("=", "+=", "-=", "*=", "/=", "%=", "&=", "|=", "^=",
+               "<<=", ">>=")
+
+# Binary operator precedence levels, low to high.
+_BINARY_LEVELS = (
+    ("||",),
+    ("&&",),
+    ("|",),
+    ("^",),
+    ("&",),
+    ("==", "!="),
+    ("<", ">", "<=", ">="),
+    ("<<", ">>"),
+    ("+", "-"),
+    ("*", "/", "%"),
+)
+
+
+class Parser:
+    def __init__(self, tokens):
+        self.tokens = tokens
+        self.position = 0
+
+    # ------------------------------------------------------------------
+    # Token plumbing
+
+    def peek(self, offset=0):
+        return self.tokens[min(self.position + offset,
+                               len(self.tokens) - 1)]
+
+    def next(self):
+        token = self.tokens[self.position]
+        self.position += 1
+        return token
+
+    def accept(self, kind):
+        if self.peek().kind == kind:
+            return self.next()
+        return None
+
+    def expect(self, kind):
+        token = self.peek()
+        if token.kind != kind:
+            raise MiniCSyntaxError("expected %r, found %r"
+                                   % (kind, token.value), token.line)
+        return self.next()
+
+    # ------------------------------------------------------------------
+    # Top level
+
+    def parse_program(self):
+        program = ast.Program(line=1)
+        while self.peek().kind != "eof":
+            self._parse_top_level(program)
+        return program
+
+    def _parse_top_level(self, program):
+        self.accept("static")
+        base_type = self._parse_base_type()
+        pointer_depth = 0
+        while self.accept("*"):
+            pointer_depth += 1
+        name_token = self.expect("id")
+        if self.peek().kind == "(":
+            function = self._parse_function(base_type, pointer_depth,
+                                            name_token)
+            program.functions.append(function)
+        else:
+            self._parse_global_tail(program, base_type, pointer_depth,
+                                    name_token)
+
+    def _parse_base_type(self):
+        self.accept("unsigned")
+        token = self.peek()
+        if token.kind == "int":
+            self.next()
+            return INT
+        if token.kind == "char":
+            self.next()
+            return CHAR
+        if token.kind == "void":
+            self.next()
+            return VOID
+        raise MiniCSyntaxError("expected type, found %r" % token.value,
+                               token.line)
+
+    def _apply_pointers(self, base, depth):
+        ctype = base
+        for __ in range(depth):
+            ctype = PointerType(ctype)
+        return ctype
+
+    def _parse_function(self, base_type, pointer_depth, name_token):
+        return_type = self._apply_pointers(base_type, pointer_depth)
+        self.expect("(")
+        parameters = []
+        if self.peek().kind != ")":
+            if self.peek().kind == "void" and self.peek(1).kind == ")":
+                self.next()
+            else:
+                while True:
+                    parameters.append(self._parse_parameter())
+                    if not self.accept(","):
+                        break
+        self.expect(")")
+        body = self._parse_block()
+        return ast.FunctionDef(line=name_token.line,
+                               return_type=return_type,
+                               name=name_token.value,
+                               parameters=parameters, body=body)
+
+    def _parse_parameter(self):
+        self.accept("unsigned")
+        base = self._parse_base_type()
+        depth = 0
+        while self.accept("*"):
+            depth += 1
+        name_token = self.expect("id")
+        ctype = self._apply_pointers(base, depth)
+        # Array parameters decay to pointers.
+        if self.accept("["):
+            self.accept("num")
+            self.expect("]")
+            ctype = PointerType(ctype)
+        return ast.Parameter(line=name_token.line, ctype=ctype,
+                             name=name_token.value)
+
+    def _parse_global_tail(self, program, base_type, pointer_depth,
+                           name_token):
+        while True:
+            ctype = self._apply_pointers(base_type, pointer_depth)
+            line = name_token.line
+            if self.accept("["):
+                count_token = self.accept("num")
+                self.expect("]")
+                count = count_token.value if count_token else 0
+                ctype = ArrayType(element=ctype, count=count)
+            initializer = None
+            if self.accept("="):
+                initializer = self._parse_global_initializer(ctype)
+                if (ctype.is_array() and ctype.count == 0
+                        and isinstance(initializer, list)):
+                    ctype = ArrayType(element=ctype.element,
+                                      count=len(initializer))
+            program.globals.append(ast.GlobalVar(
+                line=line, ctype=ctype, name=name_token.value,
+                initializer=initializer))
+            if not self.accept(","):
+                break
+            pointer_depth = 0
+            while self.accept("*"):
+                pointer_depth += 1
+            name_token = self.expect("id")
+        self.expect(";")
+
+    def _parse_global_initializer(self, ctype):
+        if self.accept("{"):
+            items = []
+            while self.peek().kind != "}":
+                items.append(self._parse_initializer_item())
+                if not self.accept(","):
+                    break
+            self.expect("}")
+            return items
+        return self._parse_initializer_item()
+
+    def _parse_initializer_item(self):
+        token = self.peek()
+        if token.kind == "str":
+            self.next()
+            return ast.StringLiteral(line=token.line, value=token.value)
+        if token.kind == "num":
+            self.next()
+            return ast.NumberLiteral(line=token.line, value=token.value)
+        if token.kind == "-" and self.peek(1).kind == "num":
+            self.next()
+            number = self.next()
+            return ast.NumberLiteral(line=token.line, value=-number.value)
+        raise MiniCSyntaxError("unsupported global initializer",
+                               token.line)
+
+    # ------------------------------------------------------------------
+    # Statements
+
+    def _parse_block(self):
+        open_token = self.expect("{")
+        block = ast.Block(line=open_token.line)
+        while self.peek().kind != "}":
+            block.statements.append(self._parse_statement())
+        self.expect("}")
+        return block
+
+    def _parse_statement(self):
+        token = self.peek()
+        kind = token.kind
+        if kind == "{":
+            return self._parse_block()
+        if kind in ("int", "char", "unsigned", "static"):
+            return self._parse_local_declaration()
+        if kind == "if":
+            return self._parse_if()
+        if kind == "while":
+            return self._parse_while()
+        if kind == "do":
+            return self._parse_do_while()
+        if kind == "for":
+            return self._parse_for()
+        if kind == "switch":
+            return self._parse_switch()
+        if kind == "return":
+            self.next()
+            value = None
+            if self.peek().kind != ";":
+                value = self._parse_expression()
+            self.expect(";")
+            return ast.Return(line=token.line, value=value)
+        if kind == "break":
+            self.next()
+            self.expect(";")
+            return ast.Break(line=token.line)
+        if kind == "continue":
+            self.next()
+            self.expect(";")
+            return ast.Continue(line=token.line)
+        if kind == ";":
+            self.next()
+            return ast.Block(line=token.line)
+        expression = self._parse_expression()
+        self.expect(";")
+        return ast.ExpressionStatement(line=token.line,
+                                       expression=expression)
+
+    def _parse_local_declaration(self):
+        self.accept("static")
+        base = self._parse_base_type()
+        declarations = []
+        line = self.peek().line
+        while True:
+            depth = 0
+            while self.accept("*"):
+                depth += 1
+            name_token = self.expect("id")
+            ctype = self._apply_pointers(base, depth)
+            if self.accept("["):
+                count = self.expect("num").value
+                self.expect("]")
+                ctype = ArrayType(element=ctype, count=count)
+            initializer = None
+            if self.accept("="):
+                initializer = self._parse_assignment_expression()
+            declarations.append(ast.Declaration(
+                line=name_token.line, ctype=ctype,
+                name=name_token.value, initializer=initializer))
+            if not self.accept(","):
+                break
+        self.expect(";")
+        if len(declarations) == 1:
+            return declarations[0]
+        return ast.Block(line=line, statements=declarations)
+
+    def _parse_if(self):
+        token = self.expect("if")
+        self.expect("(")
+        condition = self._parse_expression()
+        self.expect(")")
+        then_branch = self._parse_statement()
+        else_branch = None
+        if self.accept("else"):
+            else_branch = self._parse_statement()
+        return ast.If(line=token.line, condition=condition,
+                      then_branch=then_branch, else_branch=else_branch)
+
+    def _parse_while(self):
+        token = self.expect("while")
+        self.expect("(")
+        condition = self._parse_expression()
+        self.expect(")")
+        body = self._parse_statement()
+        return ast.While(line=token.line, condition=condition, body=body)
+
+    def _parse_do_while(self):
+        token = self.expect("do")
+        body = self._parse_statement()
+        self.expect("while")
+        self.expect("(")
+        condition = self._parse_expression()
+        self.expect(")")
+        self.expect(";")
+        return ast.DoWhile(line=token.line, condition=condition, body=body)
+
+    def _parse_for(self):
+        token = self.expect("for")
+        self.expect("(")
+        init = None
+        if self.peek().kind != ";":
+            init = ast.ExpressionStatement(
+                line=token.line, expression=self._parse_expression())
+        self.expect(";")
+        condition = None
+        if self.peek().kind != ";":
+            condition = self._parse_expression()
+        self.expect(";")
+        step = None
+        if self.peek().kind != ")":
+            step = self._parse_expression()
+        self.expect(")")
+        body = self._parse_statement()
+        return ast.For(line=token.line, init=init, condition=condition,
+                       step=step, body=body)
+
+    def _parse_switch(self):
+        token = self.expect("switch")
+        self.expect("(")
+        expression = self._parse_expression()
+        self.expect(")")
+        self.expect("{")
+        cases = []
+        seen_default = False
+        while self.peek().kind != "}":
+            case_token = self.peek()
+            if self.accept("case"):
+                value = self._parse_case_constant()
+                self.expect(":")
+                cases.append(ast.SwitchCase(line=case_token.line,
+                                            value=value))
+            elif self.accept("default"):
+                if seen_default:
+                    raise MiniCSyntaxError("duplicate default label",
+                                           case_token.line)
+                seen_default = True
+                self.expect(":")
+                cases.append(ast.SwitchCase(line=case_token.line,
+                                            value=None))
+            else:
+                if not cases:
+                    raise MiniCSyntaxError(
+                        "statement before first case label",
+                        case_token.line)
+                cases[-1].statements.append(self._parse_statement())
+        self.expect("}")
+        return ast.Switch(line=token.line, expression=expression,
+                          cases=cases)
+
+    def _parse_case_constant(self):
+        negative = bool(self.accept("-"))
+        token = self.expect("num")
+        return -token.value if negative else token.value
+
+    # ------------------------------------------------------------------
+    # Expressions
+
+    def _parse_expression(self):
+        return self._parse_assignment_expression()
+
+    def _parse_assignment_expression(self):
+        left = self._parse_conditional()
+        token = self.peek()
+        if token.kind in _ASSIGN_OPS:
+            self.next()
+            value = self._parse_assignment_expression()
+            return ast.Assignment(line=token.line, op=token.kind,
+                                  target=left, value=value)
+        return left
+
+    def _parse_conditional(self):
+        condition = self._parse_binary(0)
+        if self.accept("?"):
+            then_value = self._parse_expression()
+            self.expect(":")
+            else_value = self._parse_conditional()
+            return ast.Conditional(line=condition.line, condition=condition,
+                                   then_value=then_value,
+                                   else_value=else_value)
+        return condition
+
+    def _parse_binary(self, level):
+        if level >= len(_BINARY_LEVELS):
+            return self._parse_unary()
+        operators = _BINARY_LEVELS[level]
+        left = self._parse_binary(level + 1)
+        while self.peek().kind in operators:
+            token = self.next()
+            right = self._parse_binary(level + 1)
+            left = ast.BinaryOp(line=token.line, op=token.kind,
+                                left=left, right=right)
+        return left
+
+    def _parse_unary(self):
+        token = self.peek()
+        kind = token.kind
+        if kind in ("-", "~", "!", "*", "&"):
+            self.next()
+            operand = self._parse_unary()
+            if (kind == "-" and isinstance(operand, ast.NumberLiteral)):
+                return ast.NumberLiteral(line=token.line,
+                                         value=-operand.value)
+            return ast.UnaryOp(line=token.line, op=kind, operand=operand)
+        if kind in ("++", "--"):
+            self.next()
+            target = self._parse_unary()
+            return ast.IncDec(line=token.line, op=kind, target=target,
+                              prefix=True)
+        if kind == "sizeof":
+            self.next()
+            self.expect("(")
+            inner = self.peek()
+            if inner.kind in ("int", "char", "unsigned", "void"):
+                base = self._parse_base_type()
+                depth = 0
+                while self.accept("*"):
+                    depth += 1
+                self.expect(")")
+                return ast.SizeOf(line=token.line,
+                                  target=self._apply_pointers(base, depth))
+            name = self.expect("id")
+            self.expect(")")
+            return ast.SizeOf(line=token.line,
+                              target=ast.Identifier(line=name.line,
+                                                    name=name.value))
+        return self._parse_postfix()
+
+    def _parse_postfix(self):
+        expression = self._parse_primary()
+        while True:
+            token = self.peek()
+            if token.kind == "(" and isinstance(expression, ast.Identifier):
+                self.next()
+                args = []
+                if self.peek().kind != ")":
+                    while True:
+                        args.append(self._parse_assignment_expression())
+                        if not self.accept(","):
+                            break
+                self.expect(")")
+                expression = ast.Call(line=token.line,
+                                      name=expression.name, args=args)
+            elif token.kind == "[":
+                self.next()
+                index = self._parse_expression()
+                self.expect("]")
+                expression = ast.Index(line=token.line, base=expression,
+                                       index=index)
+            elif token.kind in ("++", "--"):
+                self.next()
+                expression = ast.IncDec(line=token.line, op=token.kind,
+                                        target=expression, prefix=False)
+            else:
+                return expression
+
+    def _parse_primary(self):
+        token = self.next()
+        if token.kind == "num":
+            return ast.NumberLiteral(line=token.line, value=token.value)
+        if token.kind == "str":
+            return ast.StringLiteral(line=token.line, value=token.value)
+        if token.kind == "id":
+            return ast.Identifier(line=token.line, name=token.value)
+        if token.kind == "(":
+            expression = self._parse_expression()
+            self.expect(")")
+            return expression
+        raise MiniCSyntaxError("unexpected token %r" % (token.value,),
+                               token.line)
+
+
+def parse(source):
+    """Parse mini-C *source* into an :class:`ast.Program`."""
+    return Parser(tokenize(source)).parse_program()

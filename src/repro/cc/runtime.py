@@ -1,0 +1,331 @@
+"""The mini-C runtime: libc subset plus syscall stubs.
+
+``RUNTIME_C`` is compiled into every program as part of the same
+translation unit; ``RUNTIME_ASM`` supplies ``_start`` and the cdecl
+syscall wrappers that mini-C cannot express (they need ``int $0x80``).
+
+``crypt13`` here must stay in lockstep with
+:func:`repro.kernel.passwd.crypt13`: the daemon computes hashes with
+this code *inside the emulator*, the experiment harness computes them
+in Python, and the password check only works because the two agree
+bit-for-bit (a property the test suite verifies exhaustively).
+"""
+
+from __future__ import annotations
+
+RUNTIME_ASM = """
+.text
+.global _start
+_start:
+    call main
+    movl %eax, %ebx
+    movl $1, %eax
+    int $0x80
+
+.global exit
+exit:
+    movl 4(%esp), %ebx
+    movl $1, %eax
+    int $0x80
+
+.global read
+read:
+    pushl %ebx
+    movl $3, %eax
+    movl 8(%esp), %ebx
+    movl 12(%esp), %ecx
+    movl 16(%esp), %edx
+    int $0x80
+    popl %ebx
+    ret
+
+.global write
+write:
+    pushl %ebx
+    movl $4, %eax
+    movl 8(%esp), %ebx
+    movl 12(%esp), %ecx
+    movl 16(%esp), %edx
+    int $0x80
+    popl %ebx
+    ret
+
+.global open
+open:
+    pushl %ebx
+    movl $5, %eax
+    movl 8(%esp), %ebx
+    movl $0, %ecx
+    int $0x80
+    popl %ebx
+    ret
+
+.global close
+close:
+    pushl %ebx
+    movl $6, %eax
+    movl 8(%esp), %ebx
+    int $0x80
+    popl %ebx
+    ret
+
+.global time_now
+time_now:
+    movl $13, %eax
+    int $0x80
+    ret
+
+.global getpid
+getpid:
+    movl $20, %eax
+    int $0x80
+    ret
+"""
+
+RUNTIME_C = r"""
+/* ---- string.h subset ------------------------------------------------ */
+
+int strlen(char *s) {
+    int n;
+    n = 0;
+    while (s[n]) {
+        n = n + 1;
+    }
+    return n;
+}
+
+int strcmp(char *a, char *b) {
+    int i;
+    i = 0;
+    while (a[i] && a[i] == b[i]) {
+        i = i + 1;
+    }
+    return a[i] - b[i];
+}
+
+int strncmp(char *a, char *b, int n) {
+    int i;
+    i = 0;
+    while (i < n) {
+        if (a[i] != b[i]) {
+            return a[i] - b[i];
+        }
+        if (a[i] == 0) {
+            return 0;
+        }
+        i = i + 1;
+    }
+    return 0;
+}
+
+char *strcpy(char *dst, char *src) {
+    int i;
+    i = 0;
+    while (src[i]) {
+        dst[i] = src[i];
+        i = i + 1;
+    }
+    dst[i] = 0;
+    return dst;
+}
+
+char *strncpy(char *dst, char *src, int n) {
+    int i;
+    i = 0;
+    while (i < n - 1 && src[i]) {
+        dst[i] = src[i];
+        i = i + 1;
+    }
+    dst[i] = 0;
+    return dst;
+}
+
+char *strcat(char *dst, char *src) {
+    int n;
+    n = strlen(dst);
+    strcpy(dst + n, src);
+    return dst;
+}
+
+void *memset(char *dst, int value, int count) {
+    int i;
+    i = 0;
+    while (i < count) {
+        dst[i] = value;
+        i = i + 1;
+    }
+    return dst;
+}
+
+void *memcpy(char *dst, char *src, int count) {
+    int i;
+    i = 0;
+    while (i < count) {
+        dst[i] = src[i];
+        i = i + 1;
+    }
+    return dst;
+}
+
+int tolower_c(int c) {
+    if (c >= 'A' && c <= 'Z') {
+        return c + 32;
+    }
+    return c;
+}
+
+/* Case-insensitive compare (wu-ftpd compares "anonymous"/"ftp" this
+ * way). */
+int strcasecmp_c(char *a, char *b) {
+    int i;
+    int ca;
+    int cb;
+    i = 0;
+    while (1) {
+        ca = tolower_c(a[i]);
+        cb = tolower_c(b[i]);
+        if (ca != cb) {
+            return ca - cb;
+        }
+        if (ca == 0) {
+            return 0;
+        }
+        i = i + 1;
+    }
+    return 0;
+}
+
+int atoi(char *s) {
+    int value;
+    int sign;
+    int i;
+    value = 0;
+    sign = 1;
+    i = 0;
+    if (s[0] == '-') {
+        sign = 0 - 1;
+        i = 1;
+    }
+    while (s[i] >= '0' && s[i] <= '9') {
+        value = value * 10 + (s[i] - '0');
+        i = i + 1;
+    }
+    return value * sign;
+}
+
+char *itoa10(int value, char *out) {
+    char tmp[16];
+    int i;
+    int j;
+    int negative;
+    negative = 0;
+    if (value < 0) {
+        negative = 1;
+        value = 0 - value;
+    }
+    i = 0;
+    if (value == 0) {
+        tmp[0] = '0';
+        i = 1;
+    }
+    while (value > 0) {
+        tmp[i] = '0' + value % 10;
+        value = value / 10;
+        i = i + 1;
+    }
+    j = 0;
+    if (negative) {
+        out[0] = '-';
+        j = 1;
+    }
+    while (i > 0) {
+        i = i - 1;
+        out[j] = tmp[i];
+        j = j + 1;
+    }
+    out[j] = 0;
+    return out;
+}
+
+/* ---- crypt ----------------------------------------------------------- */
+
+char crypt_buffer[16];
+char *crypt_alphabet =
+    "./0123456789ABCDEFGHIJKLMNOPQRSTUVWXYZabcdefghijklmnopqrstuvwxyz";
+
+/* Deterministic 13-character password hash; twin of
+ * repro.kernel.passwd.crypt13. */
+char *crypt13(char *password, char *salt) {
+    int h1;
+    int h2;
+    int i;
+    int c;
+    int index;
+    h1 = 5381;
+    h2 = 0x811C9DC5;
+    crypt_buffer[0] = salt[0];
+    crypt_buffer[1] = salt[1];
+    i = 0;
+    while (i < 2) {
+        c = crypt_buffer[i];
+        h1 = h1 * 33 + c;
+        h2 = (h2 ^ c) * 16777619;
+        i = i + 1;
+    }
+    i = 0;
+    while (password[i]) {
+        c = password[i];
+        h1 = h1 * 33 + c;
+        h2 = (h2 ^ c) * 16777619;
+        i = i + 1;
+    }
+    i = 0;
+    while (i < 11) {
+        if (i % 2 == 0) {
+            h1 = h1 * 1103515245 + 12345;
+            index = (h1 >> 16) & 63;
+        } else {
+            h2 = h2 * 69069 + 1;
+            index = (h2 >> 16) & 63;
+        }
+        crypt_buffer[2 + i] = crypt_alphabet[index];
+        i = i + 1;
+    }
+    crypt_buffer[13] = 0;
+    return crypt_buffer;
+}
+
+/* ---- line-oriented socket I/O ---------------------------------------- */
+
+/* Send a NUL-terminated string on the connection. */
+int send_str(char *s) {
+    return write(1, s, strlen(s));
+}
+
+/* Read one CRLF- or LF-terminated line into buf (at most max-1 bytes),
+ * stripping the terminator.  Returns the line length, or -1 on EOF. */
+int read_line(char *buf, int max) {
+    int used;
+    int got;
+    char one[4];
+    used = 0;
+    while (used < max - 1) {
+        got = read(0, one, 1);
+        if (got <= 0) {
+            if (used == 0) {
+                return 0 - 1;
+            }
+            break;
+        }
+        if (one[0] == '\n') {
+            break;
+        }
+        if (one[0] != '\r') {
+            buf[used] = one[0];
+            used = used + 1;
+        }
+    }
+    buf[used] = 0;
+    return used;
+}
+"""

@@ -1,0 +1,56 @@
+"""Symbol tables for the mini-C code generator."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .errors import MiniCTypeError
+
+
+@dataclass
+class LocalSymbol:
+    """A local variable or parameter; ``offset`` is EBP-relative."""
+
+    name: str
+    ctype: object
+    offset: int
+    is_param: bool = False
+
+
+@dataclass
+class GlobalSymbol:
+    name: str
+    ctype: object
+    label: str
+
+
+@dataclass
+class FunctionSymbol:
+    name: str
+    return_type: object
+    parameter_types: list
+
+
+class ScopeStack:
+    """Lexical scopes inside one function."""
+
+    def __init__(self):
+        self.scopes = [{}]
+
+    def push(self):
+        self.scopes.append({})
+
+    def pop(self):
+        self.scopes.pop()
+
+    def declare(self, symbol, line=None):
+        top = self.scopes[-1]
+        if symbol.name in top:
+            raise MiniCTypeError("redeclaration of %r" % symbol.name, line)
+        top[symbol.name] = symbol
+
+    def lookup(self, name):
+        for scope in reversed(self.scopes):
+            if name in scope:
+                return scope[name]
+        return None

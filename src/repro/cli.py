@@ -1,0 +1,191 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+
+``campaign``   run one selective-exhaustive injection campaign and
+               print its Table 1 column (optionally under the new
+               encoding).
+``disasm``     disassemble a daemon's authentication functions with
+               the injection targets marked.
+``table4``     print the regenerated branch re-encoding table.
+``figure4``    run the FTP attacker campaign and print the crash
+               latency histogram.
+``random``     run the Section 7 random-injection testbed.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from .analysis import (build_histogram, build_table1, build_table3,
+                       format_histogram, format_table1, format_table3)
+from .apps.ftpd import CLIENT_FACTORIES as FTP_CLIENTS, FtpDaemon
+from .apps.sshd import CLIENT_FACTORIES as SSH_CLIENTS, SshDaemon
+from .encoding import format_table4, minimum_branch_distance
+from .injection import (describe_targets, run_campaign,
+                        run_random_campaign)
+from .x86 import disassemble_range, format_listing
+
+
+def _make_daemon(app):
+    if app == "ftpd":
+        return FtpDaemon(), FTP_CLIENTS
+    return SshDaemon(), SSH_CLIENTS
+
+
+def _progress_printer(stream):
+    state = {"last": 0}
+
+    def progress(done, total):
+        if done - state["last"] >= 250 or done == total:
+            state["last"] = done
+            stream.write("  ... %d / %d experiments\n" % (done, total))
+            stream.flush()
+
+    return progress
+
+
+def cmd_campaign(args, out):
+    daemon, clients = _make_daemon(args.app)
+    if args.client not in clients:
+        raise SystemExit("unknown client %r (have: %s)"
+                         % (args.client, ", ".join(sorted(clients))))
+    campaign = run_campaign(
+        daemon, args.client, clients[args.client],
+        encoding=args.encoding,
+        max_points=args.max_points,
+        progress=_progress_printer(out) if args.progress else None)
+    if args.save:
+        from .analysis import save_campaign
+        save_campaign(campaign, args.save)
+        out.write("saved raw results to %s\n" % args.save)
+    out.write(format_table1(
+        build_table1([campaign]),
+        "%s %s (%s encoding)" % (args.app, args.client,
+                                 args.encoding)) + "\n")
+    out.write("\nBRK+FSV by location:\n")
+    out.write(format_table3(build_table3([campaign]), "") + "\n")
+    return 0
+
+
+def cmd_disasm(args, out):
+    daemon, __ = _make_daemon(args.app)
+    functions = ([args.function] if args.function
+                 else list(daemon.AUTH_FUNCTIONS))
+    info = describe_targets(daemon.module, daemon.auth_ranges())
+    out.write("injection targets: %d branch instructions / %d bits "
+              "(%.1f%% of the section bytes)\n\n"
+              % (info["instructions"], info["bits"],
+                 100 * info["branch_fraction"]))
+    for function in functions:
+        start, end = daemon.program.function_range(function)
+        out.write("%s: [0x%x, 0x%x)\n" % (function, start, end))
+        listing = disassemble_range(daemon.module.text,
+                                    daemon.module.text_base, start, end)
+        if args.branches_only:
+            listing = [i for i in listing
+                       if i.kind in ("cond_branch", "jump")]
+        out.write(format_listing(listing) + "\n\n")
+    return 0
+
+
+def cmd_table4(args, out):
+    out.write(format_table4() + "\n")
+    out.write("\nminimum intra-block Hamming distance: old=%d new=%d\n"
+              % (minimum_branch_distance("old"),
+                 minimum_branch_distance("new")))
+    return 0
+
+
+def cmd_figure4(args, out):
+    daemon, clients = _make_daemon(args.app)
+    campaign = run_campaign(
+        daemon, "Client1", clients["Client1"],
+        progress=_progress_printer(out) if args.progress else None)
+    histogram = build_histogram(campaign.crash_latencies())
+    out.write(format_histogram(histogram) + "\n")
+    return 0
+
+
+def cmd_random(args, out):
+    daemon, clients = _make_daemon(args.app)
+    result = run_random_campaign(daemon, clients["Client1"],
+                                 trials=args.trials, seed=args.seed)
+    out.write("trials: %d\n" % result.trials)
+    for outcome in sorted(result.outcomes):
+        out.write("  %-4s %d\n" % (outcome, result.outcomes[outcome]))
+    if result.breakin_count:
+        out.write("break-in rate: one in %.0f\n" % result.one_in)
+    else:
+        out.write("no break-ins in this sample\n")
+    return 0
+
+
+def build_parser():
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Reproduction of 'An Experimental Study of "
+                    "Security Vulnerabilities Caused by Errors' "
+                    "(DSN 2001)")
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    campaign = commands.add_parser(
+        "campaign", help="run an injection campaign")
+    campaign.add_argument("--app", choices=("ftpd", "sshd"),
+                          default="ftpd")
+    campaign.add_argument("--client", default="Client1")
+    campaign.add_argument("--encoding", choices=("old", "new"),
+                          default="old")
+    campaign.add_argument("--max-points", type=int, default=None,
+                          help="truncate the experiment list (smoke "
+                               "runs)")
+    campaign.add_argument("--progress", action="store_true")
+    campaign.add_argument("--save", default=None, metavar="PATH",
+                          help="write per-experiment records as JSON")
+    campaign.set_defaults(handler=cmd_campaign)
+
+    disasm = commands.add_parser(
+        "disasm", help="disassemble the authentication sections")
+    disasm.add_argument("--app", choices=("ftpd", "sshd"),
+                        default="ftpd")
+    disasm.add_argument("--function", default=None)
+    disasm.add_argument("--branches-only", action="store_true")
+    disasm.set_defaults(handler=cmd_disasm)
+
+    table4 = commands.add_parser(
+        "table4", help="print the branch re-encoding table")
+    table4.set_defaults(handler=cmd_table4)
+
+    figure4 = commands.add_parser(
+        "figure4", help="crash-latency histogram (Figure 4)")
+    figure4.add_argument("--app", choices=("ftpd", "sshd"),
+                         default="ftpd")
+    figure4.add_argument("--progress", action="store_true")
+    figure4.set_defaults(handler=cmd_figure4)
+
+    random_cmd = commands.add_parser(
+        "random", help="random-injection testbed (Section 7)")
+    random_cmd.add_argument("--app", choices=("ftpd", "sshd"),
+                            default="ftpd")
+    random_cmd.add_argument("--trials", type=int, default=1000)
+    random_cmd.add_argument("--seed", type=int, default=2001)
+    random_cmd.set_defaults(handler=cmd_random)
+
+    return parser
+
+
+def main(argv=None, out=None):
+    out = out if out is not None else sys.stdout
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.handler(args, out)
+    except BrokenPipeError:
+        # stdout went away (e.g. piped into head); exit quietly.
+        return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

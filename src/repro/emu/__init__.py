@@ -1,0 +1,18 @@
+"""CPU emulator: memory, faults, execution engine, process images."""
+
+from .cpu import CPU
+from .machine_exceptions import (BoundRangeFault, BreakpointTrap, CpuFault,
+                                 DebugTrap, DivideErrorFault,
+                                 GeneralProtectionFault, InvalidOpcodeFault,
+                                 OverflowTrap, PageFault)
+from .memory import Memory, Region
+from .process import (DEFAULT_MAX_INSTRUCTIONS, ExitStatus, Process,
+                      STACK_SIZE, STACK_TOP)
+
+__all__ = [
+    "CPU", "Memory", "Region", "Process", "ExitStatus",
+    "DEFAULT_MAX_INSTRUCTIONS", "STACK_SIZE", "STACK_TOP", "CpuFault",
+    "InvalidOpcodeFault", "GeneralProtectionFault", "PageFault",
+    "DivideErrorFault", "BoundRangeFault", "BreakpointTrap",
+    "OverflowTrap", "DebugTrap",
+]

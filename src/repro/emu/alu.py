@@ -1,0 +1,223 @@
+"""Flag-accurate integer ALU helpers.
+
+Every routine returns ``(result, flags)`` where *flags* contains the
+six status flags (CF PF AF ZF SF OF) computed exactly as IA-32 defines
+them for the given operand width.  Correct flags matter unusually much
+here: a single-bit opcode flip can turn ``je`` into ``jp`` or ``js``,
+and whether the corrupted branch is taken -- hence whether a run is NM,
+FSV or BRK -- depends on parity and sign bits most emulators skimp on.
+"""
+
+from __future__ import annotations
+
+from ..x86.flags import AF, CF, OF, PF, SF, ZF, parity_flag
+
+_MASKS = {1: 0xFF, 2: 0xFFFF, 4: 0xFFFFFFFF}
+_SIGN_BITS = {1: 0x80, 2: 0x8000, 4: 0x80000000}
+
+
+def _szp(result, size):
+    """SF/ZF/PF for a masked result."""
+    flags = parity_flag(result)
+    if result == 0:
+        flags |= ZF
+    if result & _SIGN_BITS[size]:
+        flags |= SF
+    return flags
+
+
+def add(a, b, size, carry_in=0):
+    mask = _MASKS[size]
+    sign = _SIGN_BITS[size]
+    a &= mask
+    b &= mask
+    total = a + b + carry_in
+    result = total & mask
+    flags = _szp(result, size)
+    if total > mask:
+        flags |= CF
+    if ((a ^ result) & (b ^ result)) & sign:
+        flags |= OF
+    if ((a ^ b ^ result) & 0x10):
+        flags |= AF
+    return result, flags
+
+
+def sub(a, b, size, borrow_in=0):
+    mask = _MASKS[size]
+    sign = _SIGN_BITS[size]
+    a &= mask
+    b &= mask
+    total = a - b - borrow_in
+    result = total & mask
+    flags = _szp(result, size)
+    if total < 0:
+        flags |= CF
+    if ((a ^ b) & (a ^ result)) & sign:
+        flags |= OF
+    if ((a ^ b ^ result) & 0x10):
+        flags |= AF
+    return result, flags
+
+
+def logic(result, size):
+    """Flags for AND/OR/XOR/TEST: CF=OF=0, AF undefined (cleared)."""
+    return result & _MASKS[size], _szp(result & _MASKS[size], size)
+
+
+def inc(a, size, old_flags):
+    """INC preserves CF."""
+    result, flags = add(a, 1, size)
+    return result, (flags & ~CF) | (old_flags & CF)
+
+
+def dec(a, size, old_flags):
+    """DEC preserves CF."""
+    result, flags = sub(a, 1, size)
+    return result, (flags & ~CF) | (old_flags & CF)
+
+
+def neg(a, size):
+    result, flags = sub(0, a, size)
+    # CF is set unless the operand was zero.
+    if a & _MASKS[size]:
+        flags |= CF
+    else:
+        flags &= ~CF
+    return result, flags
+
+
+def shl(a, count, size, old_flags):
+    mask = _MASKS[size]
+    sign = _SIGN_BITS[size]
+    count &= 0x1F
+    if count == 0:
+        return a & mask, old_flags
+    a &= mask
+    result = (a << count) & mask
+    flags = _szp(result, size)
+    carry_out = (a >> (_bits(size) - count)) & 1 if count <= _bits(size) \
+        else 0
+    if carry_out:
+        flags |= CF
+    # OF defined only for count == 1: set if sign changed.
+    if count == 1 and ((a ^ result) & sign):
+        flags |= OF
+    return result, flags
+
+
+def shr(a, count, size, old_flags):
+    mask = _MASKS[size]
+    count &= 0x1F
+    if count == 0:
+        return a & mask, old_flags
+    a &= mask
+    result = (a >> count) & mask
+    flags = _szp(result, size)
+    if (a >> (count - 1)) & 1:
+        flags |= CF
+    if count == 1 and (a & _SIGN_BITS[size]):
+        flags |= OF
+    return result, flags
+
+
+def sar(a, count, size, old_flags):
+    mask = _MASKS[size]
+    sign = _SIGN_BITS[size]
+    count &= 0x1F
+    if count == 0:
+        return a & mask, old_flags
+    a &= mask
+    signed = a - (sign << 1) if a & sign else a
+    result = (signed >> count) & mask
+    flags = _szp(result, size)
+    if (signed >> (count - 1)) & 1:
+        flags |= CF
+    return result, flags
+
+
+def rol(a, count, size, old_flags):
+    bits = _bits(size)
+    mask = _MASKS[size]
+    count &= 0x1F
+    effective = count % bits
+    a &= mask
+    if count == 0:
+        return a, old_flags
+    result = ((a << effective) | (a >> (bits - effective))) & mask \
+        if effective else a
+    flags = old_flags & ~(CF | OF)
+    if result & 1:
+        flags |= CF
+    if count == 1 and ((result ^ a) & _SIGN_BITS[size]):
+        flags |= OF
+    return result, flags
+
+
+def ror(a, count, size, old_flags):
+    bits = _bits(size)
+    mask = _MASKS[size]
+    count &= 0x1F
+    effective = count % bits
+    a &= mask
+    if count == 0:
+        return a, old_flags
+    result = ((a >> effective) | (a << (bits - effective))) & mask \
+        if effective else a
+    flags = old_flags & ~(CF | OF)
+    if result & _SIGN_BITS[size]:
+        flags |= CF
+    if count == 1:
+        top = bool(result & _SIGN_BITS[size])
+        next_top = bool(result & (_SIGN_BITS[size] >> 1))
+        if top != next_top:
+            flags |= OF
+    return result, flags
+
+
+def rcl(a, count, size, old_flags):
+    bits = _bits(size) + 1
+    mask = _MASKS[size]
+    count = (count & 0x1F) % bits
+    a &= mask
+    carry = 1 if old_flags & CF else 0
+    wide = (carry << _bits(size)) | a
+    if count:
+        wide = ((wide << count) | (wide >> (bits - count))) \
+            & ((1 << bits) - 1)
+    result = wide & mask
+    carry_out = (wide >> _bits(size)) & 1
+    flags = old_flags & ~(CF | OF)
+    if carry_out:
+        flags |= CF
+    return result, flags
+
+
+def rcr(a, count, size, old_flags):
+    bits = _bits(size) + 1
+    mask = _MASKS[size]
+    count = (count & 0x1F) % bits
+    a &= mask
+    carry = 1 if old_flags & CF else 0
+    wide = (carry << _bits(size)) | a
+    if count:
+        wide = ((wide >> count) | (wide << (bits - count))) \
+            & ((1 << bits) - 1)
+    result = wide & mask
+    carry_out = (wide >> _bits(size)) & 1
+    flags = old_flags & ~(CF | OF)
+    if carry_out:
+        flags |= CF
+    return result, flags
+
+
+def _bits(size):
+    return size * 8
+
+
+def signed(value, size):
+    """Two's-complement interpretation of *value* at width *size*."""
+    mask = _MASKS[size]
+    sign = _SIGN_BITS[size]
+    value &= mask
+    return value - (mask + 1) if value & sign else value

@@ -1,0 +1,88 @@
+"""CPU fault model and its mapping to Linux signals.
+
+The paper classifies a run as *System Detection* (SD) when the server
+process crashes, "usually caused by an illegal instruction or
+segmentation violation".  Faults raised by the emulator carry the same
+distinctions so campaign reports can break crashes down by signal, just
+like NFTAPE's logs did.
+"""
+
+from __future__ import annotations
+
+
+class CpuFault(Exception):
+    """Base class for architectural faults that kill a user process."""
+
+    #: Linux signal delivered for this fault.
+    signal = "SIGSEGV"
+    #: Intel mnemonic of the exception vector.
+    vector = "#GP"
+
+    def __init__(self, address, detail=""):
+        self.address = address
+        self.detail = detail
+        text = "%s at eip=0x%x" % (self.vector, address)
+        if detail:
+            text += " (%s)" % detail
+        super().__init__(text)
+
+
+class InvalidOpcodeFault(CpuFault):
+    """#UD: undefined opcode -> SIGILL."""
+
+    signal = "SIGILL"
+    vector = "#UD"
+
+
+class GeneralProtectionFault(CpuFault):
+    """#GP: privileged instruction, bad selector, bad int -> SIGSEGV."""
+
+    signal = "SIGSEGV"
+    vector = "#GP"
+
+
+class PageFault(CpuFault):
+    """#PF: access to unmapped memory or write to read-only -> SIGSEGV."""
+
+    signal = "SIGSEGV"
+    vector = "#PF"
+
+    def __init__(self, address, access="read", target=0):
+        self.access = access
+        self.target = target
+        super().__init__(address, "%s of 0x%x" % (access, target))
+
+
+class DivideErrorFault(CpuFault):
+    """#DE: divide by zero / quotient overflow -> SIGFPE."""
+
+    signal = "SIGFPE"
+    vector = "#DE"
+
+
+class BoundRangeFault(CpuFault):
+    """#BR: BOUND check failed -> SIGSEGV."""
+
+    signal = "SIGSEGV"
+    vector = "#BR"
+
+
+class BreakpointTrap(CpuFault):
+    """#BP: int3 executed without a debugger -> SIGTRAP."""
+
+    signal = "SIGTRAP"
+    vector = "#BP"
+
+
+class OverflowTrap(CpuFault):
+    """#OF: INTO with OF set -> SIGSEGV (Linux delivers SIGSEGV)."""
+
+    signal = "SIGSEGV"
+    vector = "#OF"
+
+
+class DebugTrap(CpuFault):
+    """#DB: icebp / int1 -> SIGTRAP."""
+
+    signal = "SIGTRAP"
+    vector = "#DB"

@@ -1,0 +1,190 @@
+"""Flat 32-bit paged memory with region permissions.
+
+The address-space layout mirrors a 2001-era Linux i386 process: text at
+0x08048000, data/bss above it, stack below 0xC0000000.  There is no NX
+bit (IA-32 gained one only in 2004), so *any* mapped page is
+executable -- a wild jump into the stack or data executes whatever
+bytes are there until something faults, which is exactly the crash
+behaviour the paper's SD category captures.
+
+Writes to the text region fault (#PF) as they would through a
+copy-on-write read-only mapping; the fault injector bypasses the
+permission check via :meth:`Memory.poke`, playing the role of
+ptrace(POKETEXT).
+"""
+
+from __future__ import annotations
+
+import struct
+
+from .machine_exceptions import PageFault
+
+
+class Region:
+    """A contiguous mapped range of the address space."""
+
+    __slots__ = ("name", "start", "data", "writable")
+
+    def __init__(self, name, start, size_or_data, writable=True):
+        self.name = name
+        self.start = start
+        if isinstance(size_or_data, int):
+            self.data = bytearray(size_or_data)
+        else:
+            self.data = bytearray(size_or_data)
+        self.writable = writable
+
+    @property
+    def end(self):
+        return self.start + len(self.data)
+
+    def contains(self, address):
+        return self.start <= address < self.end
+
+
+class Memory:
+    """Sparse region-based memory map."""
+
+    def __init__(self):
+        self.regions = []
+        self._last = None  # most-recently-hit region (locality cache)
+
+    def map_region(self, name, start, size_or_data, writable=True):
+        region = Region(name, start, size_or_data, writable)
+        for existing in self.regions:
+            if region.start < existing.end and existing.start < region.end:
+                raise ValueError("region %s overlaps %s"
+                                 % (name, existing.name))
+        self.regions.append(region)
+        self.regions.sort(key=lambda r: r.start)
+        self._last = region
+        return region
+
+    def region_named(self, name):
+        for region in self.regions:
+            if region.name == name:
+                return region
+        raise KeyError(name)
+
+    def _find(self, address):
+        last = self._last
+        if last is not None and last.start <= address < last.end:
+            return last
+        for region in self.regions:
+            if region.start <= address < region.end:
+                self._last = region
+                return region
+        return None
+
+    # -- reads ---------------------------------------------------------
+
+    def read8(self, address, eip=0):
+        address &= 0xFFFFFFFF
+        region = self._find(address)
+        if region is None:
+            raise PageFault(eip, "read", address)
+        return region.data[address - region.start]
+
+    def read16(self, address, eip=0):
+        address &= 0xFFFFFFFF
+        region = self._find(address)
+        if region is None or address + 2 > region.end:
+            return self._slow_read(address, 2, eip)
+        offset = address - region.start
+        return struct.unpack_from("<H", region.data, offset)[0]
+
+    def read32(self, address, eip=0):
+        address &= 0xFFFFFFFF
+        region = self._find(address)
+        if region is None or address + 4 > region.end:
+            return self._slow_read(address, 4, eip)
+        offset = address - region.start
+        return struct.unpack_from("<I", region.data, offset)[0]
+
+    def _slow_read(self, address, width, eip):
+        value = 0
+        for i in range(width):
+            value |= self.read8(address + i, eip) << (8 * i)
+        return value
+
+    def read_bytes(self, address, count, eip=0):
+        out = bytearray()
+        for i in range(count):
+            out.append(self.read8(address + i, eip))
+        return bytes(out)
+
+    def read_cstring(self, address, limit=4096, eip=0):
+        """Read a NUL-terminated string (kernel copy_from_user style)."""
+        out = bytearray()
+        for i in range(limit):
+            byte = self.read8(address + i, eip)
+            if byte == 0:
+                break
+            out.append(byte)
+        return bytes(out)
+
+    # -- writes --------------------------------------------------------
+
+    def write8(self, address, value, eip=0):
+        address &= 0xFFFFFFFF
+        region = self._find(address)
+        if region is None or not region.writable:
+            raise PageFault(eip, "write", address)
+        region.data[address - region.start] = value & 0xFF
+
+    def write16(self, address, value, eip=0):
+        address &= 0xFFFFFFFF
+        region = self._find(address)
+        if region is None or not region.writable or address + 2 > region.end:
+            self._slow_write(address, value, 2, eip)
+            return
+        struct.pack_into("<H", region.data, address - region.start,
+                         value & 0xFFFF)
+
+    def write32(self, address, value, eip=0):
+        address &= 0xFFFFFFFF
+        region = self._find(address)
+        if region is None or not region.writable or address + 4 > region.end:
+            self._slow_write(address, value, 4, eip)
+            return
+        struct.pack_into("<I", region.data, address - region.start,
+                         value & 0xFFFFFFFF)
+
+    def _slow_write(self, address, value, width, eip):
+        for i in range(width):
+            self.write8(address + i, (value >> (8 * i)) & 0xFF, eip)
+
+    def write_bytes(self, address, blob, eip=0):
+        for i, byte in enumerate(blob):
+            self.write8(address + i, byte, eip)
+
+    # -- special -------------------------------------------------------
+
+    def poke(self, address, value):
+        """Write one byte ignoring permissions (ptrace POKETEXT)."""
+        region = self._find(address & 0xFFFFFFFF)
+        if region is None:
+            raise PageFault(0, "poke", address)
+        region.data[(address & 0xFFFFFFFF) - region.start] = value & 0xFF
+
+    def peek(self, address):
+        """Read one byte ignoring permissions (ptrace PEEKTEXT)."""
+        region = self._find(address & 0xFFFFFFFF)
+        if region is None:
+            raise PageFault(0, "peek", address)
+        return region.data[(address & 0xFFFFFFFF) - region.start]
+
+    def fetch_window(self, address, count=15):
+        """Return up to *count* bytes for instruction fetch.
+
+        Raises :class:`PageFault` (an instruction-fetch fault) when the
+        first byte is unmapped; a window truncated by a region boundary
+        is returned short and the decoder faults if the instruction
+        needs the missing bytes.
+        """
+        address &= 0xFFFFFFFF
+        region = self._find(address)
+        if region is None:
+            raise PageFault(address, "exec", address)
+        offset = address - region.start
+        return bytes(region.data[offset:offset + count])

@@ -1,0 +1,35 @@
+"""The paper's parity rule for re-encoding conditional branches.
+
+Section 6.1: "the last bit of the most significant four bits of the
+old opcode is used as the parity bit for the least four significant
+bits (odd parity)".  Any parity code has minimum Hamming distance two,
+so no single-bit flip can turn one re-encoded conditional branch into
+another.
+"""
+
+from __future__ import annotations
+
+
+def odd_parity_bit(nibble):
+    """Parity bit such that (bit + popcount(nibble)) is odd."""
+    ones = bin(nibble & 0xF).count("1")
+    return 0 if ones % 2 else 1
+
+
+def reencode_opcode(opcode):
+    """Apply the parity rule to one opcode byte.
+
+    Bit 4 (the last bit of the high nibble) becomes the odd-parity bit
+    of the low nibble; the rest of the byte is unchanged.  For the
+    2-byte block this maps 0x70-0x7F into 0x60-0x7F; for the 6-byte
+    block's second byte it maps 0x80-0x8F into 0x80-0x9F.
+    """
+    low = opcode & 0xF
+    if odd_parity_bit(low):
+        return opcode | 0x10
+    return opcode & ~0x10
+
+
+def hamming_distance(a, b):
+    """Number of differing bits between two byte values."""
+    return bin((a ^ b) & 0xFF).count("1")

@@ -1,0 +1,137 @@
+"""The new instruction-set encoding (Table 4) and its evaluation trick.
+
+The scheme re-encodes the sixteen conditional branch opcodes of each
+block (2-byte ``0x70-0x7F``; second byte ``0x80-0x8F`` of the 6-byte
+``0F``-prefixed block) with an odd-parity bit, raising the minimum
+Hamming distance between any two conditional branches to two.  New
+encodings that collide with existing non-branch opcodes *swap* with
+them (e.g. ``jno`` takes 0x61 and ``popa`` moves to 0x71), so the map
+is a bijection on byte values.
+
+Evaluation works exactly as in Section 6.2: no re-encoded processor is
+built.  Instead, the instruction picked for injection is mapped
+old->new, the bit is flipped in the new encoding, and the result is
+mapped new->old and executed on the ordinary processor.  Any byte not
+named by Table 4 maps to itself.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .parity import hamming_distance, reencode_opcode
+
+_JCC2_RANGE = range(0x70, 0x80)
+_JCC6_RANGE = range(0x80, 0x90)   # second byte of 0F-prefixed Jcc
+
+_MNEMONICS = ("JO", "JNO", "JB", "JNB", "JE", "JNE", "JNA", "JA",
+              "JS", "JNS", "JP", "JNP", "JL", "JNL", "JNG", "JG")
+
+
+def _build_byte_map(block):
+    """Bijective byte map for one branch block (with swaps)."""
+    mapping = {byte: byte for byte in range(256)}
+    for opcode in block:
+        new = reencode_opcode(opcode)
+        mapping[opcode] = new
+        if new != opcode:
+            # the displaced non-branch opcode takes the branch's slot
+            mapping[new] = opcode
+    return mapping
+
+
+#: old->new map for the first opcode byte (2-byte Jcc block).
+TWO_BYTE_MAP = _build_byte_map(_JCC2_RANGE)
+#: old->new map for the second opcode byte of 0F-prefixed instructions.
+SIX_BYTE_MAP = _build_byte_map(_JCC6_RANGE)
+
+# Both maps are involutions (swap pairs), so old->new == new->old;
+# keep distinct names for readability at call sites.
+TWO_BYTE_INVERSE = TWO_BYTE_MAP
+SIX_BYTE_INVERSE = SIX_BYTE_MAP
+
+
+@dataclass(frozen=True)
+class MappingRow:
+    """One row of the paper's Table 4."""
+
+    mnemonic: str
+    two_byte_old: int
+    two_byte_new: int
+    six_byte_old: int
+    six_byte_new: int
+
+
+def table4_rows():
+    """Regenerate Table 4 from the parity rule."""
+    rows = []
+    for index, mnemonic in enumerate(_MNEMONICS):
+        old2 = 0x70 + index
+        old6 = 0x80 + index
+        rows.append(MappingRow(
+            mnemonic=mnemonic,
+            two_byte_old=old2, two_byte_new=TWO_BYTE_MAP[old2],
+            six_byte_old=old6, six_byte_new=SIX_BYTE_MAP[old6]))
+    return rows
+
+
+def minimum_branch_distance(encoding="new"):
+    """Minimum pairwise Hamming distance within each branch block."""
+    if encoding == "new":
+        two = [TWO_BYTE_MAP[b] for b in _JCC2_RANGE]
+        six = [SIX_BYTE_MAP[b] for b in _JCC6_RANGE]
+    else:
+        two = list(_JCC2_RANGE)
+        six = list(_JCC6_RANGE)
+    def min_distance(values):
+        return min(hamming_distance(a, b)
+                   for i, a in enumerate(values)
+                   for b in values[i + 1:])
+    return min(min_distance(two), min_distance(six))
+
+
+# ---------------------------------------------------------------------
+# Instruction-level mapping
+
+def map_instruction(raw, direction="to_new"):
+    """Map an instruction's bytes between encodings.
+
+    Only opcode bytes are re-encoded: byte 0 through the 2-byte map
+    and, when byte 0 is the 0F escape, byte 1 through the 6-byte map.
+    Prefix bytes ahead of the opcode are *themselves* potential swap
+    targets (0x64 fs: is je's new slot), which the byte map handles
+    uniformly; for the compiled daemons the opcode is always first.
+    """
+    mapping2 = TWO_BYTE_MAP if direction == "to_new" else TWO_BYTE_INVERSE
+    mapping6 = SIX_BYTE_MAP if direction == "to_new" else SIX_BYTE_INVERSE
+    out = bytearray(raw)
+    if not out:
+        return bytes(out)
+    out[0] = mapping2[out[0]]
+    if out[0] == 0x0F and len(out) > 1:
+        out[1] = mapping6[out[1]]
+    return bytes(out)
+
+
+def inject_under_new_encoding(raw, byte_offset, bit):
+    """The Section 6.2 procedure: map old->new, flip, map new->old.
+
+    Returns the byte string to execute on the ordinary processor.
+    """
+    new_bytes = bytearray(map_instruction(raw, "to_new"))
+    new_bytes[byte_offset] ^= (1 << bit)
+    return map_instruction(bytes(new_bytes), "to_old")
+
+
+def format_table4():
+    """Render Table 4 as ASCII (used by the benchmark)."""
+    lines = ["%-10s %-10s %-10s %-12s %-12s"
+             % ("Mnemonic", "2-byte Old", "2-byte New", "6-byte Old",
+                "6-byte New")]
+    for row in table4_rows():
+        lines.append("%-10s %-10s %-10s %-12s %-12s"
+                     % (row.mnemonic, "%02X" % row.two_byte_old,
+                        "%02X" % row.two_byte_new,
+                        "0F %02X" % row.six_byte_old,
+                        "0F %02X" % row.six_byte_new))
+    return "\n".join(lines)

@@ -1,0 +1,38 @@
+"""Fault-injection framework: targets, injector, outcomes, campaigns."""
+
+from .campaign import (CampaignResult, ENCODING_NEW, ENCODING_OLD,
+                       run_both_encodings, run_campaign)
+from .golden import GoldenRun, record_golden
+from .injector import (BreakpointSession, run_clean_connection,
+                       single_injection)
+from .locations import (ALL_LOCATIONS, classify_location,
+                        LOCATION_2BC, LOCATION_2BO, LOCATION_6BC1,
+                        LOCATION_6BC2, LOCATION_6BO,
+                        LOCATION_DEFINITIONS, LOCATION_MISC)
+from .outcomes import (ALL_OUTCOMES, classify_completed_run,
+                       FAIL_SILENCE_VIOLATION, InjectionResult,
+                       NOT_ACTIVATED, NOT_MANIFESTED,
+                       OUTCOME_DESCRIPTIONS, SECURITY_BREAKIN,
+                       SYSTEM_DETECTION)
+from .latent import (LatentErrorResult, LatentStudyResult,
+                     run_latent_study, sample_text_faults)
+from .random_campaign import RandomCampaignResult, run_random_campaign
+from .targets import (branch_instructions, DEFAULT_TARGET_KINDS,
+                      describe_targets, enumerate_points, InjectionPoint,
+                      TARGET_KINDS_WITH_CALLS)
+
+__all__ = [
+    "CampaignResult", "ENCODING_OLD", "ENCODING_NEW", "run_campaign",
+    "run_both_encodings", "GoldenRun", "record_golden",
+    "BreakpointSession", "single_injection", "run_clean_connection",
+    "ALL_LOCATIONS", "classify_location", "LOCATION_2BC", "LOCATION_2BO",
+    "LOCATION_6BC1", "LOCATION_6BC2", "LOCATION_6BO", "LOCATION_MISC",
+    "LOCATION_DEFINITIONS", "ALL_OUTCOMES", "classify_completed_run",
+    "InjectionResult", "NOT_ACTIVATED", "NOT_MANIFESTED",
+    "SYSTEM_DETECTION", "FAIL_SILENCE_VIOLATION", "SECURITY_BREAKIN",
+    "OUTCOME_DESCRIPTIONS", "branch_instructions", "describe_targets",
+    "enumerate_points", "InjectionPoint", "DEFAULT_TARGET_KINDS",
+    "TARGET_KINDS_WITH_CALLS", "RandomCampaignResult",
+    "run_random_campaign", "LatentErrorResult", "LatentStudyResult",
+    "run_latent_study", "sample_text_faults",
+]

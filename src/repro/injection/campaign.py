@@ -1,0 +1,161 @@
+"""Selective-exhaustive injection campaigns (Sections 4-6).
+
+A campaign fixes a daemon, a client access pattern and an encoding
+(old = stock IA-32, new = the Table 4 re-encoding), then runs one
+experiment per bit of every branch instruction in the authentication
+functions and tallies the outcome distribution.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+
+from ..apps.common import CONNECTION_INSTRUCTION_BUDGET
+from ..encoding import inject_under_new_encoding
+from ..x86 import decode
+from .golden import record_golden
+from .injector import BreakpointSession
+from .locations import classify_location
+from .outcomes import (ALL_OUTCOMES, classify_completed_run,
+                       FAIL_SILENCE_VIOLATION, InjectionResult,
+                       NOT_ACTIVATED, SECURITY_BREAKIN, SYSTEM_DETECTION)
+from .targets import DEFAULT_TARGET_KINDS, enumerate_points
+
+ENCODING_OLD = "old"
+ENCODING_NEW = "new"
+
+
+@dataclass
+class CampaignResult:
+    """All experiments of one (daemon, client, encoding) campaign."""
+
+    daemon_name: str
+    client_name: str
+    encoding: str
+    results: list = field(default_factory=list)
+    golden: object = None
+
+    @property
+    def total_runs(self):
+        return len(self.results)
+
+    def counts(self):
+        tally = Counter(result.outcome for result in self.results)
+        return {outcome: tally.get(outcome, 0) for outcome in ALL_OUTCOMES}
+
+    @property
+    def activated_count(self):
+        return sum(1 for result in self.results if result.activated)
+
+    def percentage_of_activated(self, outcome):
+        activated = self.activated_count
+        if not activated:
+            return 0.0
+        return 100.0 * self.counts()[outcome] / activated
+
+    def crash_latencies(self):
+        """Instruction counts between activation and crash (Figure 4)."""
+        return [result.crash_latency for result in self.results
+                if result.outcome == SYSTEM_DETECTION
+                and result.crash_latency is not None]
+
+    def by_location(self, outcomes=(SECURITY_BREAKIN,
+                                    FAIL_SILENCE_VIOLATION)):
+        """Location breakdown of selected outcomes (Table 3)."""
+        tally = Counter(result.location for result in self.results
+                        if result.outcome in outcomes)
+        return dict(tally)
+
+    def results_with_outcome(self, outcome):
+        return [result for result in self.results
+                if result.outcome == outcome]
+
+
+def run_campaign(daemon, client_name, client_factory,
+                 encoding=ENCODING_OLD, kinds=DEFAULT_TARGET_KINDS,
+                 budget=CONNECTION_INSTRUCTION_BUDGET, progress=None,
+                 max_points=None, ranges=None):
+    """Run one full selective-exhaustive campaign.
+
+    ``max_points`` truncates the experiment list (used by fast tests);
+    benchmarks always run the complete set.  ``ranges`` overrides the
+    injected code regions (default: the daemon's authentication
+    functions) -- used by extension experiments that target other
+    security-relevant sections, e.g. the path-validation code.
+    """
+    golden = record_golden(daemon, client_factory, budget)
+    if ranges is None:
+        ranges = daemon.auth_ranges()
+    points = enumerate_points(daemon.module, ranges, kinds)
+    if max_points is not None:
+        points = points[:max_points]
+    campaign = CampaignResult(daemon_name=type(daemon).__name__,
+                              client_name=client_name, encoding=encoding,
+                              golden=golden)
+    session = None
+    session_address = None
+    for index, point in enumerate(points):
+        location = classify_location(point)
+        if point.instruction_address not in golden.coverage:
+            campaign.results.append(InjectionResult(
+                point=point, location=location, outcome=NOT_ACTIVATED))
+            continue
+        if session_address != point.instruction_address:
+            session = BreakpointSession(daemon, client_factory,
+                                        point.instruction_address, budget)
+            session_address = point.instruction_address
+            if not session.reached:
+                # Defensive: coverage said reachable; treat as NA.
+                session = None
+                session_address = None
+                campaign.results.append(InjectionResult(
+                    point=point, location=location,
+                    outcome=NOT_ACTIVATED,
+                    detail="coverage/breakpoint disagreement"))
+                continue
+        if session is None:
+            campaign.results.append(InjectionResult(
+                point=point, location=location, outcome=NOT_ACTIVATED))
+            continue
+        if encoding == ENCODING_NEW:
+            raw = _instruction_bytes(daemon.module, point)
+            replacement = inject_under_new_encoding(raw, point.byte_offset,
+                                                    point.bit)
+            status, kernel, client = session.run_with_bytes(
+                point.instruction_address, replacement)
+        else:
+            status, kernel, client = session.run_with_flip(
+                point.flip_address, point.bit)
+        outcome, detail = classify_completed_run(
+            golden, client, kernel.channel.normalized_transcript(), status)
+        latency = None
+        if status.kind == "crash":
+            latency = status.instret - session.activation_instret
+        campaign.results.append(InjectionResult(
+            point=point, location=location, outcome=outcome,
+            activated=True,
+            activation_instret=session.activation_instret,
+            exit_kind=status.kind, exit_code=status.exit_code,
+            signal=status.signal, crash_latency=latency,
+            broke_in=client.broke_in(),
+            crashed_after_breakin=(outcome == SECURITY_BREAKIN
+                                   and status.kind == "crash"),
+            detail=detail))
+        if progress is not None:
+            progress(index + 1, len(points))
+    return campaign
+
+
+def _instruction_bytes(module, point):
+    offset = point.instruction_address - module.text_base
+    return bytes(module.text[offset:offset + point.instruction_length])
+
+
+def run_both_encodings(daemon, client_name, client_factory, **kwargs):
+    """Convenience: the Table 1 and Table 5 campaigns for one client."""
+    old = run_campaign(daemon, client_name, client_factory,
+                       encoding=ENCODING_OLD, **kwargs)
+    new = run_campaign(daemon, client_name, client_factory,
+                       encoding=ENCODING_NEW, **kwargs)
+    return old, new

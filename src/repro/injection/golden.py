@@ -1,0 +1,82 @@
+"""Golden (error-free) run recording.
+
+Outcome classification is differential: every injected run is compared
+against the golden run of the same (daemon, client) pair.  The golden
+run also records instruction-level coverage, which gives an exact NA
+(not-activated) oracle: execution before the first arrival at the
+breakpoint address is byte-for-byte identical to the golden run, so an
+address absent from golden coverage is provably never reached.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..apps.common import CONNECTION_INSTRUCTION_BUDGET
+from ..emu import Process
+from ..x86 import decode
+
+
+@dataclass
+class GoldenRun:
+    """Reference behaviour of one (daemon, client factory) pair."""
+
+    transcript: tuple
+    exit_kind: str
+    exit_code: int
+    broke_in: bool
+    granted: bool
+    coverage: frozenset
+    instret: int
+    client_state: dict = field(default_factory=dict)
+    #: individual text bytes fetched as part of any executed
+    #: instruction; a flip outside this set is provably NA.
+    coverage_bytes: frozenset = frozenset()
+
+
+def record_golden(daemon, client_factory,
+                  budget=CONNECTION_INSTRUCTION_BUDGET):
+    """Run one clean connection and capture the reference behaviour."""
+    client = client_factory()
+    kernel = daemon.make_kernel(client)
+    process = Process(daemon.module, kernel)
+    process.cpu.coverage = set()
+    status = process.run(budget)
+    if status.kind != "exit":
+        raise RuntimeError("golden run did not exit cleanly: %s" % status)
+    return GoldenRun(
+        transcript=kernel.channel.normalized_transcript(),
+        exit_kind=status.kind,
+        exit_code=status.exit_code,
+        broke_in=client.broke_in(),
+        granted=getattr(client, "granted",
+                        getattr(client, "auth_success", False)),
+        coverage=frozenset(process.cpu.coverage),
+        instret=status.instret,
+        client_state=_milestones(client),
+        coverage_bytes=_byte_coverage(daemon.module,
+                                      process.cpu.coverage),
+    )
+
+
+def _byte_coverage(module, instruction_starts):
+    """Expand executed instruction starts to the full byte ranges their
+    fetches consumed."""
+    covered = set()
+    text_start = module.text_base
+    text_end = module.text_base + len(module.text)
+    for address in instruction_starts:
+        if not text_start <= address < text_end:
+            continue
+        offset = address - text_start
+        instruction = decode(module.text[offset:offset + 15], address)
+        covered.update(range(address, address + instruction.length))
+    return frozenset(covered)
+
+
+def _milestones(client):
+    """Snapshot the milestone attributes a client exposes."""
+    names = ("granted", "denied", "retrieved_files", "auth_success",
+             "got_shell", "failures", "confusion")
+    return {name: getattr(client, name) for name in names
+            if hasattr(client, name)}

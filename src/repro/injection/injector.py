@@ -1,0 +1,150 @@
+"""Debugger-style single-bit injector (the NFTAPE role).
+
+For each experiment the injector loads the server, sets a breakpoint
+at the target instruction, lets a scripted client connect, and -- if
+the breakpoint fires -- flips one bit of the instruction and resumes.
+
+Because execution before the breakpoint is identical for every bit of
+a given instruction, the injector snapshots the whole machine (memory,
+CPU, kernel, client) at the breakpoint once and replays only the
+post-activation suffix for each of the instruction's bits.  Outcomes
+are exactly those of a naive per-bit rerun; campaigns just finish
+about an order of magnitude sooner.
+"""
+
+from __future__ import annotations
+
+import copy
+
+from ..apps.common import CONNECTION_INSTRUCTION_BUDGET
+from ..emu import Process
+from ..kernel import ServerHang
+
+
+class BreakpointSession:
+    """Server state captured at the first arrival at one instruction."""
+
+    def __init__(self, daemon, client_factory, breakpoint_address,
+                 budget=CONNECTION_INSTRUCTION_BUDGET):
+        self.daemon = daemon
+        self.budget = budget
+        self.breakpoint_address = breakpoint_address
+        client = client_factory()
+        kernel = daemon.make_kernel(client)
+        self.process = Process(daemon.module, kernel)
+        self.arrival = self.process.run_until(breakpoint_address, budget)
+        self.reached = self.arrival.kind == "breakpoint"
+        if self.reached:
+            self.activation_instret = self.process.cpu.instret
+            self._snap_regions = [bytes(region.data)
+                                  for region in self.process.memory.regions]
+            cpu = self.process.cpu
+            self._snap_cpu = (list(cpu.regs), cpu.eip, cpu.eflags,
+                              list(cpu.segments), cpu.instret)
+            self._snap_kernel = kernel
+
+    def _restore(self):
+        """Reset memory/CPU to the breakpoint and clone kernel+client."""
+        for region, blob in zip(self.process.memory.regions,
+                                self._snap_regions):
+            region.data[:] = blob
+        cpu = self.process.cpu
+        regs, eip, eflags, segments, instret = self._snap_cpu
+        cpu.regs = list(regs)
+        cpu.eip = eip
+        cpu.eflags = eflags
+        cpu.segments = list(segments)
+        cpu.instret = instret
+        cpu.halted = False
+        if hasattr(cpu, "exit_code"):
+            del cpu.exit_code
+        cpu.invalidate_cache()
+        kernel = copy.deepcopy(self._snap_kernel)
+        cpu.kernel = kernel
+        self.process.kernel = kernel
+        return kernel
+
+    def run_with_flip(self, flip_address, bit):
+        """Flip one bit at the breakpoint and run to completion.
+
+        Returns ``(status, kernel, client)`` where ``status.kind`` is
+        ``exit``/``crash``/``limit``/``hang``.
+        """
+        if not self.reached:
+            raise RuntimeError("breakpoint at 0x%x was never reached"
+                               % self.breakpoint_address)
+        kernel = self._restore()
+        self.process.flip_bit(flip_address, bit)
+        return self._finish(kernel)
+
+    def run_with_register_flip(self, register, bit):
+        """Flip one bit of a general-purpose register at the breakpoint
+        and resume -- a *data error* experiment (the paper's Example 3
+        family), in contrast to the text-segment control errors of the
+        main campaigns.
+
+        ``register`` is the hardware register index (EAX=0 ... EDI=7).
+        """
+        if not self.reached:
+            raise RuntimeError("breakpoint at 0x%x was never reached"
+                               % self.breakpoint_address)
+        kernel = self._restore()
+        cpu = self.process.cpu
+        cpu.regs[register] ^= (1 << bit)
+        return self._finish(kernel)
+
+    def run_with_bytes(self, address, replacement):
+        """Overwrite instruction bytes at the breakpoint and resume.
+
+        Used by the new-encoding evaluation (Section 6.2): the
+        replacement is the map->flip->map-back image of the original
+        instruction, which can differ from it in more than one bit of
+        the *old* encoding.
+        """
+        if not self.reached:
+            raise RuntimeError("breakpoint at 0x%x was never reached"
+                               % self.breakpoint_address)
+        kernel = self._restore()
+        for offset, value in enumerate(replacement):
+            self.process.memory.poke(address + offset, value)
+        self.process.cpu.invalidate_cache()
+        return self._finish(kernel)
+
+    def _finish(self, kernel):
+        try:
+            status = self.process.run(self.budget)
+        except ServerHang as hang:
+            status = self.process._status("limit", None)
+            status.kind = "hang"
+            status.fault_detail = str(hang)
+        return status, kernel, kernel.channel.client
+
+
+def single_injection(daemon, client_factory, instruction_address,
+                     flip_address, bit,
+                     budget=CONNECTION_INSTRUCTION_BUDGET):
+    """Run one complete injection experiment from scratch.
+
+    Convenience wrapper used by examples and tests; campaigns use
+    :class:`BreakpointSession` directly to amortise the prefix.
+    """
+    session = BreakpointSession(daemon, client_factory,
+                                instruction_address, budget)
+    if not session.reached:
+        return None
+    return session.run_with_flip(flip_address, bit)
+
+
+def run_clean_connection(daemon, client_factory,
+                         budget=CONNECTION_INSTRUCTION_BUDGET):
+    """Run an uninjected connection (used by tests and examples)."""
+    client = client_factory()
+    kernel = daemon.make_kernel(client)
+    process = Process(daemon.module, kernel)
+    try:
+        status = process.run(budget)
+    except ServerHang as hang:
+        status = process._status("limit", None)
+        status.kind = "hang"
+        status.fault_detail = str(hang)
+    return status, kernel, client

@@ -1,0 +1,51 @@
+"""Error-location taxonomy of the paper's Table 2.
+
+========  ==========================================================
+2BC       opcode byte of a 2-byte conditional branch
+2BO       operand (offset) byte of a 2-byte conditional branch
+6BC1      first opcode byte (0F) of a 6-byte conditional branch
+6BC2      second opcode byte of a 6-byte conditional branch
+6BO       operand (offset) bytes of a 6-byte conditional branch
+MISC      anything else (unconditional jmp, call, ...)
+========  ==========================================================
+"""
+
+from __future__ import annotations
+
+from ..x86 import KIND_COND_BRANCH
+
+LOCATION_2BC = "2BC"
+LOCATION_2BO = "2BO"
+LOCATION_6BC1 = "6BC1"
+LOCATION_6BC2 = "6BC2"
+LOCATION_6BO = "6BO"
+LOCATION_MISC = "MISC"
+
+ALL_LOCATIONS = (LOCATION_2BC, LOCATION_2BO, LOCATION_6BC1,
+                 LOCATION_6BC2, LOCATION_6BO, LOCATION_MISC)
+
+LOCATION_DEFINITIONS = {
+    LOCATION_2BC: "Opcode of 2-byte conditional branch instruction",
+    LOCATION_2BO: "Operand of 2-byte conditional branch instruction",
+    LOCATION_6BC1: "Byte 1 of opcode of 6-byte conditional branch "
+                   "instruction",
+    LOCATION_6BC2: "Byte 2 of opcode of 6-byte conditional branch "
+                   "instruction",
+    LOCATION_6BO: "Operand of 6-byte conditional branch instruction",
+    LOCATION_MISC: "Others",
+}
+
+
+def classify_location(point):
+    """Map an :class:`InjectionPoint` to its Table 2 location code."""
+    if point.kind == KIND_COND_BRANCH and point.instruction_length == 2 \
+            and 0x70 <= point.opcode <= 0x7F:
+        return LOCATION_2BC if point.byte_offset == 0 else LOCATION_2BO
+    if point.kind == KIND_COND_BRANCH and point.instruction_length == 6 \
+            and 0x0F80 <= point.opcode <= 0x0F8F:
+        if point.byte_offset == 0:
+            return LOCATION_6BC1
+        if point.byte_offset == 1:
+            return LOCATION_6BC2
+        return LOCATION_6BO
+    return LOCATION_MISC

@@ -1,0 +1,87 @@
+"""Enumeration of injection targets: every bit of every branch
+instruction inside the selected code regions.
+
+This is the paper's *selective exhaustive injection*: selective in
+targeting only the authentication functions, exhaustive in covering
+every bit of every branch instruction there (e.g. ``je $PC+5`` is two
+bytes, so it contributes sixteen single-bit experiments).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..x86 import KIND_CALL, KIND_COND_BRANCH, KIND_JUMP, disassemble_range
+
+#: which instruction kinds count as "branch instructions".  The paper
+#: targets conditional branches plus the unconditional jumps its
+#: Table 3 files under MISC; with jcc+jmp the branch fraction of our
+#: auth sections (~10 % of bytes) matches the paper's reported ~13 %.
+#: Calls can be added for the ablation benchmark.
+DEFAULT_TARGET_KINDS = frozenset({KIND_COND_BRANCH, KIND_JUMP})
+
+#: extended target set including calls (ablation: the paper's SD rate
+#: is sensitive to whether 4-byte call displacements are in scope).
+TARGET_KINDS_WITH_CALLS = frozenset({KIND_COND_BRANCH, KIND_JUMP,
+                                     KIND_CALL})
+
+
+@dataclass(frozen=True)
+class InjectionPoint:
+    """One single-bit experiment: flip *bit* of the byte at
+    ``instruction_address + byte_offset`` when the breakpoint at
+    ``instruction_address`` is reached."""
+
+    instruction_address: int
+    byte_offset: int
+    bit: int
+    instruction_length: int
+    mnemonic: str
+    opcode: int
+    kind: str
+
+    @property
+    def flip_address(self):
+        return self.instruction_address + self.byte_offset
+
+
+def branch_instructions(module, ranges, kinds=DEFAULT_TARGET_KINDS):
+    """All branch instructions of the module within *ranges*."""
+    found = []
+    for start, end in ranges:
+        for instruction in disassemble_range(module.text, module.text_base,
+                                             start, end):
+            if instruction.kind in kinds:
+                found.append(instruction)
+    return found
+
+
+def enumerate_points(module, ranges, kinds=DEFAULT_TARGET_KINDS):
+    """All (instruction, byte, bit) single-bit experiments in order."""
+    points = []
+    for instruction in branch_instructions(module, ranges, kinds):
+        for byte_offset in range(instruction.length):
+            for bit in range(8):
+                points.append(InjectionPoint(
+                    instruction_address=instruction.address,
+                    byte_offset=byte_offset, bit=bit,
+                    instruction_length=instruction.length,
+                    mnemonic=instruction.mnemonic,
+                    opcode=instruction.opcode,
+                    kind=instruction.kind))
+    return points
+
+
+def describe_targets(module, ranges, kinds=DEFAULT_TARGET_KINDS):
+    """Summary used by reports: counts of instructions, bytes, bits."""
+    instructions = branch_instructions(module, ranges, kinds)
+    total_bytes = sum(i.length for i in instructions)
+    region_bytes = sum(end - start for start, end in ranges)
+    return {
+        "instructions": len(instructions),
+        "bytes": total_bytes,
+        "bits": total_bytes * 8,
+        "region_bytes": region_bytes,
+        "branch_fraction": (total_bytes / region_bytes
+                            if region_bytes else 0.0),
+    }

@@ -1,0 +1,16 @@
+"""OS substrate: syscalls, channels, filesystem, accounts."""
+
+from .channels import (Channel, CLIENT_TO_SERVER, ScriptedClient,
+                       SERVER_TO_CLIENT)
+from .errors import KernelError, ServerHang
+from .filesystem import FileSystem, OpenFile, default_ftp_files
+from .passwd import (Account, CRYPT_ALPHABET, PasswdDatabase, crypt13,
+                     default_database)
+from .syscalls import Kernel
+
+__all__ = [
+    "Channel", "ScriptedClient", "SERVER_TO_CLIENT", "CLIENT_TO_SERVER",
+    "KernelError", "ServerHang", "FileSystem", "OpenFile",
+    "default_ftp_files", "Account", "PasswdDatabase", "crypt13",
+    "CRYPT_ALPHABET", "default_database", "Kernel",
+]

@@ -1,0 +1,103 @@
+"""Duplex byte channels connecting the emulated server to a scripted
+client.
+
+The channel records a full wire transcript.  Outcome classification
+(NM vs FSV vs BRK) compares transcripts against the golden run, so the
+transcript is normalised: consecutive chunks in the same direction are
+coalesced, because the *number of write() calls* is not part of the
+protocol -- only the byte stream and its interleaving are.
+"""
+
+from __future__ import annotations
+
+from .errors import ServerHang
+
+SERVER_TO_CLIENT = "S"
+CLIENT_TO_SERVER = "C"
+
+
+class Channel:
+    """Rendezvous between one server process and one scripted client."""
+
+    def __init__(self, client):
+        self.client = client
+        self.to_server = bytearray()
+        self.transcript = []
+        client.attach(self)
+
+    # -- client side ---------------------------------------------------
+
+    def client_send(self, data):
+        if not data:
+            return
+        self.to_server += data
+        self._record(CLIENT_TO_SERVER, data)
+
+    # -- server (syscall) side ------------------------------------------
+
+    def server_write(self, data):
+        if not data:
+            return 0
+        self._record(SERVER_TO_CLIENT, data)
+        self.client.receive(bytes(data))
+        return len(data)
+
+    def server_read(self, count):
+        if not self.to_server:
+            self.client.input_needed()
+        if not self.to_server:
+            if self.client.finished():
+                return b""  # EOF: client closed the connection
+            raise ServerHang("server read() with client waiting for %s"
+                             % self.client.describe_wait())
+        taken = bytes(self.to_server[:count])
+        del self.to_server[:len(taken)]
+        return taken
+
+    # -- transcript ------------------------------------------------------
+
+    def _record(self, direction, data):
+        if self.transcript and self.transcript[-1][0] == direction:
+            self.transcript[-1] = (direction,
+                                   self.transcript[-1][1] + bytes(data))
+        else:
+            self.transcript.append((direction, bytes(data)))
+
+    def normalized_transcript(self):
+        return tuple(self.transcript)
+
+
+class ScriptedClient:
+    """Base class for protocol clients driven by server output.
+
+    Subclasses implement :meth:`receive` (react to server bytes,
+    possibly queueing input with ``self.send``) and may override
+    :meth:`input_needed` for protocols where the client speaks first.
+    """
+
+    def __init__(self):
+        self.channel = None
+        self.closed = False
+
+    def attach(self, channel):
+        self.channel = channel
+
+    def send(self, data):
+        if isinstance(data, str):
+            data = data.encode("latin-1")
+        self.channel.client_send(data)
+
+    def close(self):
+        self.closed = True
+
+    def receive(self, data):
+        raise NotImplementedError
+
+    def input_needed(self):
+        """Called when the server reads with an empty input buffer."""
+
+    def finished(self):
+        return self.closed
+
+    def describe_wait(self):
+        return "client input"

@@ -1,0 +1,25 @@
+"""Kernel-level control-flow exceptions.
+
+These are *host-level* conditions, not CPU faults: they abort the
+emulated run from inside a syscall, the way a watchdog or client-side
+timeout would in the paper's NFTAPE testbed.
+"""
+
+from __future__ import annotations
+
+
+class ServerHang(Exception):
+    """The server blocked on a read no client will ever satisfy.
+
+    In the physical experiment this shows up as the client hanging
+    until a timeout; the paper files those runs under fail-silence
+    violations ("the server skips sending a required message the
+    client is waiting for, making the client hang").
+    """
+
+    def __init__(self, detail=""):
+        super().__init__(detail or "server blocked waiting for input")
+
+
+class KernelError(Exception):
+    """Internal kernel invariant violation (a bug, not an outcome)."""

@@ -1,0 +1,53 @@
+"""Tiny in-memory filesystem backing open/read/close syscalls.
+
+wu-ftpd's RETR path is part of the break-in criterion: a run counts as
+BRK only if the unauthorised client actually *retrieves a file*.  The
+filesystem provides those files deterministically.
+"""
+
+from __future__ import annotations
+
+O_RDONLY = 0
+
+
+class FileSystem:
+    """Path -> bytes mapping with a trivial open-file table."""
+
+    def __init__(self, files=None):
+        self.files = dict(files or {})
+
+    def add_file(self, path, content):
+        if isinstance(content, str):
+            content = content.encode("latin-1")
+        self.files[path] = bytes(content)
+
+    def exists(self, path):
+        return path in self.files
+
+    def read(self, path):
+        return self.files[path]
+
+
+class OpenFile:
+    """Kernel-side open file description with a cursor."""
+
+    __slots__ = ("path", "data", "position")
+
+    def __init__(self, path, data):
+        self.path = path
+        self.data = data
+        self.position = 0
+
+    def read(self, count):
+        chunk = self.data[self.position:self.position + count]
+        self.position += len(chunk)
+        return chunk
+
+
+def default_ftp_files():
+    """The file tree served by the reproduction's FTP daemon."""
+    return {
+        "/pub/readme.txt": b"Welcome to the repro FTP archive.\n",
+        "/pub/data.bin": bytes(range(64)),
+        "/etc/motd": b"research testbed - authorized use only\n",
+    }

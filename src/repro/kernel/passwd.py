@@ -1,0 +1,118 @@
+"""Account database and the deterministic ``crypt()`` replacement.
+
+The password check in both target daemons is the paper's Example 1:
+
+    if (... && (strcmp(xpasswd, pw->pw_passwd) == 0)) { rval = 0; }
+
+where ``xpasswd = crypt(password, salt)``.  Real DES-crypt is beside
+the point for a control-flow study, so this module defines CRYPT13, a
+small deterministic 13-character hash with the same shape as Unix
+crypt output (2 salt chars + 11 hash chars).  The identical algorithm
+is implemented in mini-C inside the daemon runtime
+(:mod:`repro.cc.runtime`); this Python twin generates the stored
+hashes baked into the daemon's data segment and lets tests verify the
+emulated computation bit-for-bit.
+
+All arithmetic is modulo 2**32 so the emulated IA-32 code and this
+reference produce identical strings.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+CRYPT_ALPHABET = ("./0123456789ABCDEFGHIJKLMNOPQRSTUVWXYZ"
+                  "abcdefghijklmnopqrstuvwxyz")
+
+_MASK32 = 0xFFFFFFFF
+
+
+def crypt13(password, salt):
+    """Hash *password* with the 2-character *salt* -> 13-char string.
+
+    Mirrors ``crypt13()`` in the mini-C runtime; both use two parallel
+    32-bit mixers (a djb2 variant and FNV-1a) and draw output symbols
+    from LCG steps, alternating between the two states.
+    """
+    if isinstance(password, str):
+        password = password.encode("latin-1")
+    if isinstance(salt, str):
+        salt = salt.encode("latin-1")
+    salt = (salt + b"..")[:2]
+    h1 = 5381
+    h2 = 0x811C9DC5
+    for byte in salt + password:
+        h1 = (h1 * 33 + byte) & _MASK32
+        h2 = ((h2 ^ byte) * 16777619) & _MASK32
+    out = bytearray(salt)
+    for position in range(11):
+        if position % 2 == 0:
+            h1 = (h1 * 1103515245 + 12345) & _MASK32
+            index = (h1 >> 16) & 63
+        else:
+            h2 = (h2 * 69069 + 1) & _MASK32
+            index = (h2 >> 16) & 63
+        out.append(ord(CRYPT_ALPHABET[index]))
+    return out.decode("latin-1")
+
+
+@dataclass
+class Account:
+    """One /etc/passwd-style entry plus the study's policy bits."""
+
+    name: str
+    password: str
+    uid: int = 1000
+    salt: str = "ab"
+    #: listed in /etc/ftpusers (wu-ftpd denies these even with the
+    #: right password).
+    denied: bool = False
+    #: the account's home host appears in hosts.equiv / ~/.rhosts, so
+    #: sshd's auth_rhosts() can admit it without a password.
+    rhosts_allowed: bool = False
+    #: account accepts an empty password (sshd permit_empty_passwd).
+    empty_password_ok: bool = False
+
+    @property
+    def password_hash(self):
+        return crypt13(self.password, self.salt)
+
+
+@dataclass
+class PasswdDatabase:
+    """The account set shared by both daemons and all clients."""
+
+    accounts: list = field(default_factory=list)
+
+    def add(self, account):
+        self.accounts.append(account)
+        return account
+
+    def lookup(self, name):
+        for account in self.accounts:
+            if account.name == name:
+                return account
+        return None
+
+    def __iter__(self):
+        return iter(self.accounts)
+
+    def __len__(self):
+        return len(self.accounts)
+
+
+def default_database():
+    """The fixed account population used across experiments.
+
+    ``alice`` is the existing user the paper's Client1/Client2 target;
+    ``bob`` exercises the denied-users check; ``trusted`` exists so
+    sshd's rhosts entry point is live (the multi-entry-point structure
+    the paper blames for sshd's higher break-in rate).
+    """
+    db = PasswdDatabase()
+    db.add(Account("alice", "correcthorse", uid=1001, salt="al"))
+    db.add(Account("bob", "builder123", uid=1002, salt="bo", denied=True))
+    db.add(Account("carol", "wonderland", uid=1003, salt="ca"))
+    db.add(Account("trusted", "sesame42", uid=1004, salt="tr",
+                   rhosts_allowed=True))
+    return db

@@ -1,0 +1,26 @@
+"""IA-32 subset ISA: decoder, assembler, disassembler and tables.
+
+This package reproduces, at the byte-encoding level, the part of the
+Intel architecture the DSN 2001 study depends on -- most importantly
+the contiguous conditional-branch opcode blocks (0x70-0x7F and
+0F 80-0F 8F) whose Hamming-distance-1 layout is the root cause of the
+measured security break-ins.
+"""
+
+from .assembler import Assembler, Module, Symbol, assemble
+from .decoder import decode
+from .disassembler import disassemble_range, format_listing
+from .errors import (AssemblerError, DecodeOutOfBytesError,
+                     InvalidOpcodeError, X86Error)
+from .instruction import (CONTROL_KINDS, FarPtr, Imm, Instruction,
+                          KIND_CALL, KIND_COND_BRANCH, KIND_JUMP,
+                          KIND_OTHER, KIND_RET, Mem, Reg, Rel, SegReg)
+
+__all__ = [
+    "Assembler", "Module", "Symbol", "assemble", "decode",
+    "disassemble_range", "format_listing", "AssemblerError",
+    "DecodeOutOfBytesError", "InvalidOpcodeError", "X86Error",
+    "CONTROL_KINDS", "FarPtr", "Imm", "Instruction", "KIND_CALL",
+    "KIND_COND_BRANCH", "KIND_JUMP", "KIND_OTHER", "KIND_RET", "Mem",
+    "Reg", "Rel", "SegReg",
+]

@@ -1,0 +1,891 @@
+"""Two-pass IA-32 assembler for an AT&T-flavoured syntax.
+
+The assembler exists so that the mini-C compiler (and hand-written
+runtime stubs) can be turned into *real machine code* that the fault
+injector flips bits in.  It emits the same encodings gcc -O0/-O1 used
+in 1999: ``push %reg`` as ``0x50+r``, ALU immediates through the
+0x83/0x81 group, and conditional branches relaxed between the 2-byte
+(``0x7cc``) and 6-byte (``0x0F 0x8cc``) forms -- the two blocks whose
+Hamming-distance-1 layout the paper analyses.
+
+Supported directives: ``.text``, ``.data``, ``.global``, ``.align``,
+``.byte``, ``.word``, ``.long``, ``.asciz``, ``.ascii``, ``.space``.
+"""
+
+from __future__ import annotations
+
+import re
+import struct
+from dataclasses import dataclass, field
+
+from .errors import AssemblerError
+from .flags import CONDITION_BY_SUFFIX
+from .instruction import Imm, Mem, Reg
+from .modrm import encode_modrm
+from .opcodes import ALU_OPS, GROUP_F7, SHIFT_OPS
+from .registers import (EAX, ECX, REG8_BY_NAME, REG16_BY_NAME,
+                        REG32_BY_NAME, SEG_BY_NAME)
+
+_ALU_INDEX = {name: i for i, name in enumerate(ALU_OPS)}
+_SHIFT_INDEX = {"rol": 0, "ror": 1, "rcl": 2, "rcr": 3,
+                "shl": 4, "sal": 4, "shr": 5, "sar": 7}
+_GROUP_F7_INDEX = {"not": 2, "neg": 3, "mul": 4, "imul1": 5,
+                   "div": 6, "idiv": 7}
+
+_STRING_OPS = {"movsb": 0xA4, "movsd": 0xA5, "cmpsb": 0xA6, "cmpsd": 0xA7,
+               "stosb": 0xAA, "stosd": 0xAB, "lodsb": 0xAC, "lodsd": 0xAD,
+               "scasb": 0xAE, "scasd": 0xAF}
+
+_SIMPLE_OPS = {"nop": b"\x90", "ret": b"\xC3", "leave": b"\xC9",
+               "cdq": b"\x99", "cwde": b"\x98", "pushf": b"\x9C",
+               "popf": b"\x9D", "sahf": b"\x9E", "lahf": b"\x9F",
+               "cltd": b"\x99", "cbtw": b"\x98",
+               "daa": b"\x27", "das": b"\x2F",
+               "aaa": b"\x37", "aas": b"\x3F",
+               "cli": b"\xFA", "sti": b"\xFB",
+               "in": b"\xEC", "out": b"\xEE",
+               "lret": b"\xCB", "iret": b"\xCF", "int1": b"\xF1",
+               "clc": b"\xF8", "stc": b"\xF9", "cmc": b"\xF5",
+               "cld": b"\xFC", "std": b"\xFD", "hlt": b"\xF4",
+               "int3": b"\xCC", "pusha": b"\x60", "popa": b"\x61",
+               "xlat": b"\xD7", "salc": b"\xD6"}
+
+_REP_PREFIXES = {"rep": 0xF3, "repe": 0xF3, "repz": 0xF3,
+                 "repne": 0xF2, "repnz": 0xF2}
+
+
+@dataclass
+class Symbol:
+    """A resolved assembler symbol."""
+
+    name: str
+    section: str
+    address: int
+    is_global: bool = False
+
+
+@dataclass
+class Module:
+    """Assembled output: raw section bytes plus the symbol table."""
+
+    text: bytes
+    data: bytes
+    text_base: int
+    data_base: int
+    symbols: dict = field(default_factory=dict)
+
+    def address_of(self, name):
+        return self.symbols[name].address
+
+    def function_symbols(self):
+        """Non-local symbols living in .text, sorted by address.
+
+        Labels starting with ``.`` are compiler-local (``.L42``) and do
+        not delimit functions, matching how a linker treats them.
+        """
+        in_text = [s for s in self.symbols.values()
+                   if s.section == "text" and not s.name.startswith(".")]
+        return sorted(in_text, key=lambda s: s.address)
+
+    def function_range(self, name):
+        """Return ``(start, end)`` addresses of the function *name*.
+
+        The end is the address of the next text symbol (or end of
+        .text), mirroring how a debugger derives function extents from
+        an ELF symbol table.
+        """
+        ordered = self.function_symbols()
+        for position, symbol in enumerate(ordered):
+            if symbol.name == name:
+                if position + 1 < len(ordered):
+                    return symbol.address, ordered[position + 1].address
+                return symbol.address, self.text_base + len(self.text)
+        raise KeyError(name)
+
+
+class _Expr:
+    """Deferred symbol+offset expression resolved in the final pass."""
+
+    __slots__ = ("symbol", "offset")
+
+    def __init__(self, symbol, offset=0):
+        self.symbol = symbol
+        self.offset = offset
+
+    def resolve(self, symbols, line):
+        if self.symbol not in symbols:
+            raise AssemblerError("undefined symbol %r" % self.symbol, line)
+        return symbols[self.symbol] + self.offset
+
+
+@dataclass
+class _Statement:
+    kind: str              # "label" | "insn" | directive name
+    section: str
+    mnemonic: str = ""
+    operands: tuple = ()
+    line: int = 0
+    payload: object = None
+    # Relaxation state for branch statements: True once forced long.
+    long_form: bool = False
+    size: int = 0
+    address: int = 0
+
+
+_NUMBER_RE = re.compile(r"^[+-]?(0[xX][0-9a-fA-F]+|\d+)$")
+_SYMBOL_RE = re.compile(r"^\.?[A-Za-z_][A-Za-z0-9_.$]*$")
+
+
+def _parse_number(token):
+    return int(token, 0)
+
+
+def _split_operands(text):
+    """Split an operand string on commas not inside parentheses or
+    quotes."""
+    parts = []
+    depth = 0
+    current = []
+    in_string = False
+    for char in text:
+        if in_string:
+            current.append(char)
+            if char == '"':
+                in_string = False
+            continue
+        if char == '"':
+            in_string = True
+            current.append(char)
+        elif char == "(":
+            depth += 1
+            current.append(char)
+        elif char == ")":
+            depth -= 1
+            current.append(char)
+        elif char == "," and depth == 0:
+            parts.append("".join(current).strip())
+            current = []
+        else:
+            current.append(char)
+    tail = "".join(current).strip()
+    if tail:
+        parts.append(tail)
+    return parts
+
+
+class Assembler:
+    """Assemble AT&T-lite source into a :class:`Module`.
+
+    ``force_long_branches`` disables rel8 relaxation so every
+    conditional branch uses the 6-byte ``0F 8x`` form (used by the
+    ablation benchmark that measures how the 2-byte/6-byte mix shifts
+    Table 3's error-location distribution).
+    """
+
+    def __init__(self, text_base=0x08048000, data_base=0x0804C000,
+                 force_long_branches=False):
+        self.text_base = text_base
+        self.data_base = data_base
+        self.force_long_branches = force_long_branches
+
+    def assemble(self, source):
+        statements = self._parse(source)
+        self._relax(statements)
+        return self._emit(statements)
+
+    # ------------------------------------------------------------------
+    # Parsing
+
+    def _parse(self, source):
+        statements = []
+        section = "text"
+        for line_number, raw_line in enumerate(source.splitlines(), 1):
+            line = self._strip_comment(raw_line).strip()
+            if not line:
+                continue
+            # A line may carry "label: insn".
+            while True:
+                match = re.match(r"^(\.?[A-Za-z_][A-Za-z0-9_.$]*)\s*:\s*",
+                                 line)
+                if not match:
+                    break
+                statements.append(_Statement("label", section,
+                                             payload=match.group(1),
+                                             line=line_number))
+                line = line[match.end():]
+            if not line:
+                continue
+            if line.startswith("."):
+                section = self._parse_directive(line, section, statements,
+                                                line_number)
+                continue
+            parts = line.split(None, 1)
+            mnemonic = parts[0].lower()
+            operand_text = parts[1] if len(parts) > 1 else ""
+            operands = tuple(_split_operands(operand_text))
+            statements.append(_Statement("insn", section, mnemonic,
+                                         operands, line_number))
+        return statements
+
+    @staticmethod
+    def _strip_comment(line):
+        out = []
+        in_string = False
+        for index, char in enumerate(line):
+            if char == '"':
+                in_string = not in_string
+            if char == "#" and not in_string:
+                break
+            out.append(char)
+        return "".join(out)
+
+    def _parse_directive(self, line, section, statements, line_number):
+        parts = line.split(None, 1)
+        name = parts[0]
+        argument = parts[1].strip() if len(parts) > 1 else ""
+        if name == ".text":
+            return "text"
+        if name == ".data":
+            return "data"
+        if name in (".global", ".globl"):
+            statements.append(_Statement("global", section,
+                                         payload=argument,
+                                         line=line_number))
+            return section
+        if name in (".byte", ".word", ".long", ".asciz", ".ascii",
+                    ".space", ".align"):
+            statements.append(_Statement(name, section, payload=argument,
+                                         line=line_number))
+            return section
+        raise AssemblerError("unknown directive %s" % name, line_number)
+
+    # ------------------------------------------------------------------
+    # Relaxation: compute sizes, expanding short branches as needed.
+
+    _BRANCH_MNEMONICS = None  # built lazily
+
+    def _is_relaxable_branch(self, mnemonic):
+        if mnemonic == "jmp":
+            return True
+        if mnemonic.startswith("j") and mnemonic[1:] in CONDITION_BY_SUFFIX:
+            return True
+        return False
+
+    def _relax(self, statements):
+        if self.force_long_branches:
+            for statement in statements:
+                if statement.kind == "insn" and self._is_relaxable_branch(
+                        statement.mnemonic):
+                    statement.long_form = True
+        # Iterate until no short branch needs expanding.  Start with
+        # everything short; each round recomputes the layout.
+        for _round in range(64):
+            symbols = self._layout(statements)
+            changed = False
+            for statement in statements:
+                if statement.kind != "insn":
+                    continue
+                if statement.long_form:
+                    continue
+                mnemonic = statement.mnemonic
+                if not self._is_relaxable_branch(mnemonic):
+                    continue
+                target_token = statement.operands[0]
+                if target_token.startswith("*"):
+                    continue  # indirect: not relaxable
+                if _NUMBER_RE.match(target_token):
+                    target = _parse_number(target_token)
+                else:
+                    if target_token not in symbols:
+                        # Unknown until emit; treat as long to be safe.
+                        statement.long_form = True
+                        changed = True
+                        continue
+                    target = symbols[target_token]
+                displacement = target - (statement.address + statement.size)
+                if not -128 <= displacement <= 127:
+                    statement.long_form = True
+                    changed = True
+            if not changed:
+                return
+        raise AssemblerError("branch relaxation did not converge")
+
+    def _layout(self, statements):
+        """Assign addresses and sizes; return the symbol table so far."""
+        symbols = {}
+        cursors = {"text": self.text_base, "data": self.data_base}
+        for statement in statements:
+            address = cursors[statement.section]
+            statement.address = address
+            if statement.kind == "label":
+                symbols[statement.payload] = address
+                statement.size = 0
+            elif statement.kind == "insn":
+                statement.size = self._insn_size(statement)
+            elif statement.kind == "global":
+                statement.size = 0
+            else:
+                statement.size = self._directive_size(statement)
+            cursors[statement.section] += statement.size
+        return symbols
+
+    def _insn_size(self, statement):
+        mnemonic = statement.mnemonic
+        if self._is_relaxable_branch(mnemonic) and not statement.operands[
+                0].startswith("*"):
+            if statement.long_form:
+                return 5 if mnemonic == "jmp" else 6
+            return 2
+        # Everything else encodes identically in every round; encode
+        # with a dummy symbol resolver to learn the length.
+        encoded = self._encode_insn(statement, _SizingSymbols(), final=False)
+        return len(encoded)
+
+    def _directive_size(self, statement):
+        name, payload = statement.kind, statement.payload
+        if name == ".byte":
+            return len(_split_operands(payload))
+        if name == ".word":
+            return 2 * len(_split_operands(payload))
+        if name == ".long":
+            return 4 * len(_split_operands(payload))
+        if name in (".asciz", ".ascii"):
+            value = _parse_string_literal(payload, statement.line)
+            return len(value) + (1 if name == ".asciz" else 0)
+        if name == ".space":
+            return _parse_number(payload)
+        if name == ".align":
+            alignment = _parse_number(payload)
+            remainder = statement.address % alignment
+            return (alignment - remainder) % alignment
+        raise AssemblerError("unhandled directive %s" % name,
+                             statement.line)
+
+    # ------------------------------------------------------------------
+    # Final emission
+
+    def _emit(self, statements):
+        symbols = self._layout(statements)
+        sections = {"text": bytearray(), "data": bytearray()}
+        globals_ = set()
+        symbol_sections = {}
+        for statement in statements:
+            if statement.kind == "label":
+                symbol_sections[statement.payload] = statement.section
+        for statement in statements:
+            if statement.kind == "label":
+                continue
+            if statement.kind == "global":
+                globals_.add(statement.payload)
+                continue
+            if statement.kind == "insn":
+                blob = self._encode_insn(statement, symbols, final=True)
+            else:
+                blob = self._encode_directive(statement, symbols)
+            expected = statement.size
+            if len(blob) != expected:
+                raise AssemblerError(
+                    "size drift for %r: laid out %d, emitted %d"
+                    % (statement.mnemonic or statement.kind, expected,
+                       len(blob)), statement.line)
+            sections[statement.section] += blob
+        table = {}
+        for name, address in symbols.items():
+            table[name] = Symbol(name, symbol_sections.get(name, "text"),
+                                 address, name in globals_)
+        return Module(bytes(sections["text"]), bytes(sections["data"]),
+                      self.text_base, self.data_base, table)
+
+    def _encode_directive(self, statement, symbols):
+        name, payload, line = (statement.kind, statement.payload,
+                               statement.line)
+        out = bytearray()
+        if name == ".byte":
+            for token in _split_operands(payload):
+                out.append(self._resolve_scalar(token, symbols, line) & 0xFF)
+        elif name == ".word":
+            for token in _split_operands(payload):
+                out += struct.pack(
+                    "<H", self._resolve_scalar(token, symbols, line)
+                    & 0xFFFF)
+        elif name == ".long":
+            for token in _split_operands(payload):
+                out += struct.pack(
+                    "<I", self._resolve_scalar(token, symbols, line)
+                    & 0xFFFFFFFF)
+        elif name in (".asciz", ".ascii"):
+            out += _parse_string_literal(payload, line)
+            if name == ".asciz":
+                out.append(0)
+        elif name == ".space":
+            out += bytes(_parse_number(payload))
+        elif name == ".align":
+            out += b"\x90" * statement.size
+        return bytes(out)
+
+    def _resolve_scalar(self, token, symbols, line):
+        token = token.strip()
+        if _NUMBER_RE.match(token):
+            return _parse_number(token)
+        expr = _parse_symbol_expression(token, line)
+        if isinstance(symbols, _SizingSymbols):
+            return 0
+        return expr.resolve(symbols, line)
+
+    # ------------------------------------------------------------------
+    # Instruction encoding
+
+    def _encode_insn(self, statement, symbols, final):
+        mnemonic = statement.mnemonic
+        operands = statement.operands
+        line = statement.line
+        try:
+            return self._encode_insn_inner(statement, mnemonic, operands,
+                                           symbols, final, line)
+        except AssemblerError:
+            raise
+        except (KeyError, ValueError, IndexError) as exc:
+            raise AssemblerError("cannot encode '%s %s' (%s)"
+                                 % (mnemonic, ", ".join(operands), exc),
+                                 line)
+
+    def _encode_insn_inner(self, statement, mnemonic, operands, symbols,
+                           final, line):
+        if mnemonic in _SIMPLE_OPS and not operands:
+            return _SIMPLE_OPS[mnemonic]
+        if mnemonic in _STRING_OPS:
+            return bytes([_STRING_OPS[mnemonic]])
+        if mnemonic in _REP_PREFIXES:
+            # "rep movsb" style: the remainder is a string instruction.
+            inner = operands[0] if operands else ""
+            if inner not in _STRING_OPS:
+                raise AssemblerError("rep with non-string op %r" % inner,
+                                     line)
+            return bytes([_REP_PREFIXES[mnemonic], _STRING_OPS[inner]])
+
+        # Branches and calls -------------------------------------------------
+        if mnemonic == "call":
+            return self._encode_call_jmp(statement, symbols, final,
+                                         is_call=True)
+        if mnemonic == "jmp":
+            return self._encode_call_jmp(statement, symbols, final,
+                                         is_call=False)
+        if mnemonic.startswith("j") and mnemonic[1:] in CONDITION_BY_SUFFIX:
+            return self._encode_jcc(statement, symbols, final)
+        if mnemonic in ("loop", "loope", "loopz", "loopne", "loopnz",
+                        "jecxz"):
+            return self._encode_loop(statement, symbols, final)
+        if mnemonic.startswith("set") and (mnemonic[3:]
+                                           in CONDITION_BY_SUFFIX):
+            condition = CONDITION_BY_SUFFIX[mnemonic[3:]]
+            operand = self._parse_operand(operands[0], symbols, line, size=1)
+            return (bytes([0x0F, 0x90 | condition])
+                    + encode_modrm(0, operand))
+        if mnemonic.startswith("cmov") and (mnemonic[4:]
+                                            in CONDITION_BY_SUFFIX):
+            condition = CONDITION_BY_SUFFIX[mnemonic[4:]]
+            src = self._parse_operand(operands[0], symbols, line)
+            dst = self._parse_operand(operands[1], symbols, line)
+            if dst.kind != "reg":
+                raise AssemblerError("cmov destination must be register",
+                                     line)
+            return (bytes([0x0F, 0x40 | condition])
+                    + encode_modrm(dst.index, src))
+
+        if mnemonic == "int":
+            value = self._immediate_value(operands[0], symbols, line)
+            return bytes([0xCD, value & 0xFF])
+        if mnemonic in ("aam", "aad"):
+            value = self._immediate_value(operands[0], symbols, line) \
+                if operands else 10
+            opcode = 0xD4 if mnemonic == "aam" else 0xD5
+            return bytes([opcode, value & 0xFF])
+        if mnemonic == "enter":
+            alloc = self._immediate_value(operands[0], symbols, line)
+            nesting = self._immediate_value(operands[1], symbols, line)
+            return (b"\xC8" + struct.pack("<H", alloc & 0xFFFF)
+                    + struct.pack("<B", nesting & 0xFF))
+        if mnemonic == "bswap":
+            operand = self._parse_operand(operands[0], symbols, line)
+            if operand.kind != "reg" or operand.size != 4:
+                raise AssemblerError("bswap needs a 32-bit register",
+                                     line)
+            return bytes([0x0F, 0xC8 + operand.index])
+        if mnemonic == "push" or mnemonic == "pushl":
+            return self._encode_push(operands[0], symbols, line)
+        if mnemonic == "pop" or mnemonic == "popl":
+            return self._encode_pop(operands[0], symbols, line)
+
+        normalized, size = _normalize_mnemonic(mnemonic)
+        if normalized in _ALU_INDEX:
+            return self._encode_alu(normalized, size, operands, symbols,
+                                    line)
+        if normalized == "mov":
+            return self._encode_mov(size, operands, symbols, line)
+        if normalized == "test":
+            return self._encode_test(size, operands, symbols, line)
+        if normalized == "lea":
+            src = self._parse_operand(operands[0], symbols, line)
+            dst = self._parse_operand(operands[1], symbols, line)
+            if src.kind != "mem" or dst.kind != "reg":
+                raise AssemblerError("lea needs mem, reg", line)
+            return b"\x8D" + encode_modrm(dst.index, src)
+        if normalized in ("inc", "dec"):
+            return self._encode_incdec(normalized, size, operands, symbols,
+                                       line)
+        if normalized in _GROUP_F7_INDEX or normalized == "imul":
+            return self._encode_group_f7(normalized, size, operands,
+                                         symbols, line)
+        if normalized in _SHIFT_INDEX:
+            return self._encode_shift(normalized, size, operands, symbols,
+                                      line)
+        if normalized == "xchg":
+            first = self._parse_operand(operands[0], symbols, line,
+                                        size=size)
+            second = self._parse_operand(operands[1], symbols, line,
+                                         size=size)
+            opcode = 0x86 if size == 1 else 0x87
+            if first.kind == "reg":
+                return bytes([opcode]) + encode_modrm(first.index, second)
+            if second.kind == "reg":
+                return bytes([opcode]) + encode_modrm(second.index, first)
+            raise AssemblerError("xchg needs a register operand", line)
+        if normalized in ("movzb", "movzw", "movsb_", "movsw_"):
+            table = {"movzb": (0xB6, 1), "movzw": (0xB7, 2),
+                     "movsb_": (0xBE, 1), "movsw_": (0xBF, 2)}
+            second_byte, src_size = table[normalized]
+            src = self._parse_operand(operands[0], symbols, line,
+                                      size=src_size)
+            dst = self._parse_operand(operands[1], symbols, line)
+            return (bytes([0x0F, second_byte])
+                    + encode_modrm(dst.index, src))
+        if normalized == "ret":
+            value = self._immediate_value(operands[0], symbols, line)
+            return b"\xC2" + struct.pack("<H", value & 0xFFFF)
+        raise AssemblerError("unknown mnemonic %r" % mnemonic, line)
+
+    def _encode_call_jmp(self, statement, symbols, final, is_call):
+        token = statement.operands[0]
+        line = statement.line
+        if token.startswith("*"):
+            operand = self._parse_operand(token[1:], symbols, line)
+            reg_field = 2 if is_call else 4
+            return b"\xFF" + encode_modrm(reg_field, operand)
+        target = self._branch_target(token, symbols, line, final)
+        if is_call:
+            displacement = target - (statement.address + 5)
+            return b"\xE8" + struct.pack("<i", displacement)
+        if statement.long_form:
+            displacement = target - (statement.address + 5)
+            return b"\xE9" + struct.pack("<i", displacement)
+        displacement = target - (statement.address + 2)
+        return b"\xEB" + struct.pack("<b", displacement)
+
+    def _encode_jcc(self, statement, symbols, final):
+        mnemonic = statement.mnemonic
+        line = statement.line
+        condition = CONDITION_BY_SUFFIX[mnemonic[1:]]
+        target = self._branch_target(statement.operands[0], symbols, line,
+                                     final)
+        if statement.long_form:
+            displacement = target - (statement.address + 6)
+            return (bytes([0x0F, 0x80 | condition])
+                    + struct.pack("<i", displacement))
+        displacement = target - (statement.address + 2)
+        return bytes([0x70 | condition]) + struct.pack("<b", displacement)
+
+    def _encode_loop(self, statement, symbols, final):
+        opcodes = {"loopne": 0xE0, "loopnz": 0xE0, "loope": 0xE1,
+                   "loopz": 0xE1, "loop": 0xE2, "jecxz": 0xE3}
+        target = self._branch_target(statement.operands[0], symbols,
+                                     statement.line, final)
+        displacement = target - (statement.address + 2)
+        if final and not -128 <= displacement <= 127:
+            raise AssemblerError("loop target out of rel8 range",
+                                 statement.line)
+        return (bytes([opcodes[statement.mnemonic]])
+                + struct.pack("<b", displacement if final else 0))
+
+    def _branch_target(self, token, symbols, line, final):
+        if _NUMBER_RE.match(token):
+            return _parse_number(token)
+        if not final or isinstance(symbols, _SizingSymbols):
+            return symbols[token] if (not isinstance(symbols,
+                                                     _SizingSymbols)
+                                      and token in symbols) else 0
+        if token not in symbols:
+            raise AssemblerError("undefined label %r" % token, line)
+        return symbols[token]
+
+    def _encode_push(self, token, symbols, line):
+        operand = self._parse_operand(token, symbols, line)
+        if operand.kind == "reg":
+            return bytes([0x50 + operand.index])
+        if operand.kind == "imm":
+            # Numeric immediates resolve identically in the sizing and
+            # final passes; symbol immediates resolve to a worst-case
+            # large value under sizing, so the form never shrinks.
+            value = operand.value
+            signed = value - 0x100000000 if value >= 0x80000000 else value
+            if -128 <= signed <= 127:
+                return b"\x6A" + struct.pack("<b", signed)
+            return b"\x68" + struct.pack("<I", value & 0xFFFFFFFF)
+        return b"\xFF" + encode_modrm(6, operand)
+
+    def _encode_pop(self, token, symbols, line):
+        operand = self._parse_operand(token, symbols, line)
+        if operand.kind == "reg":
+            return bytes([0x58 + operand.index])
+        return b"\x8F" + encode_modrm(0, operand)
+
+    def _encode_alu(self, op_name, size, operands, symbols, line):
+        index = _ALU_INDEX[op_name]
+        src = self._parse_operand(operands[0], symbols, line, size=size)
+        dst = self._parse_operand(operands[1], symbols, line, size=size)
+        if src.kind == "imm":
+            if size == 1:
+                return (bytes([0x80]) + encode_modrm(index, dst)
+                        + struct.pack("<B", src.value & 0xFF))
+            signed = (src.value - 0x100000000
+                      if src.value >= 0x80000000 else src.value)
+            if -128 <= signed <= 127:
+                return (b"\x83" + encode_modrm(index, dst)
+                        + struct.pack("<b", signed))
+            return (b"\x81" + encode_modrm(index, dst)
+                    + struct.pack("<I", src.value & 0xFFFFFFFF))
+        base = index << 3
+        if src.kind == "reg":
+            opcode = base | (0x00 if size == 1 else 0x01)
+            return bytes([opcode]) + encode_modrm(src.index, dst)
+        if dst.kind == "reg":
+            opcode = base | (0x02 if size == 1 else 0x03)
+            return bytes([opcode]) + encode_modrm(dst.index, src)
+        raise AssemblerError("memory-to-memory %s" % op_name, line)
+
+    def _encode_mov(self, size, operands, symbols, line):
+        src = self._parse_operand(operands[0], symbols, line, size=size)
+        dst = self._parse_operand(operands[1], symbols, line, size=size)
+        if src.kind == "imm":
+            if dst.kind == "reg":
+                if size == 1:
+                    return (bytes([0xB0 + dst.index])
+                            + struct.pack("<B", src.value & 0xFF))
+                return (bytes([0xB8 + dst.index])
+                        + struct.pack("<I", src.value & 0xFFFFFFFF))
+            if size == 1:
+                return (b"\xC6" + encode_modrm(0, dst)
+                        + struct.pack("<B", src.value & 0xFF))
+            return (b"\xC7" + encode_modrm(0, dst)
+                    + struct.pack("<I", src.value & 0xFFFFFFFF))
+        if src.kind == "reg":
+            opcode = 0x88 if size == 1 else 0x89
+            return bytes([opcode]) + encode_modrm(src.index, dst)
+        if dst.kind == "reg":
+            opcode = 0x8A if size == 1 else 0x8B
+            return bytes([opcode]) + encode_modrm(dst.index, src)
+        raise AssemblerError("memory-to-memory mov", line)
+
+    def _encode_test(self, size, operands, symbols, line):
+        src = self._parse_operand(operands[0], symbols, line, size=size)
+        dst = self._parse_operand(operands[1], symbols, line, size=size)
+        if src.kind == "imm":
+            opcode = 0xF6 if size == 1 else 0xF7
+            packed = (struct.pack("<B", src.value & 0xFF) if size == 1
+                      else struct.pack("<I", src.value & 0xFFFFFFFF))
+            return bytes([opcode]) + encode_modrm(0, dst) + packed
+        if src.kind == "reg":
+            opcode = 0x84 if size == 1 else 0x85
+            return bytes([opcode]) + encode_modrm(src.index, dst)
+        if dst.kind == "reg":
+            opcode = 0x84 if size == 1 else 0x85
+            return bytes([opcode]) + encode_modrm(dst.index, src)
+        raise AssemblerError("memory-to-memory test", line)
+
+    def _encode_incdec(self, op_name, size, operands, symbols, line):
+        operand = self._parse_operand(operands[0], symbols, line, size=size)
+        if operand.kind == "reg" and size == 4:
+            base = 0x40 if op_name == "inc" else 0x48
+            return bytes([base + operand.index])
+        reg_field = 0 if op_name == "inc" else 1
+        opcode = 0xFE if size == 1 else 0xFF
+        return bytes([opcode]) + encode_modrm(reg_field, operand)
+
+    def _encode_group_f7(self, op_name, size, operands, symbols, line):
+        if op_name == "imul":
+            if len(operands) == 1:
+                op_name = "imul1"
+            elif len(operands) == 2:
+                src = self._parse_operand(operands[0], symbols, line)
+                dst = self._parse_operand(operands[1], symbols, line)
+                return b"\x0F\xAF" + encode_modrm(dst.index, src)
+            else:
+                imm = self._parse_operand(operands[0], symbols, line)
+                src = self._parse_operand(operands[1], symbols, line)
+                dst = self._parse_operand(operands[2], symbols, line)
+                return (b"\x69" + encode_modrm(dst.index, src)
+                        + struct.pack("<I", imm.value & 0xFFFFFFFF))
+        reg_field = _GROUP_F7_INDEX[op_name]
+        operand = self._parse_operand(operands[0], symbols, line, size=size)
+        opcode = 0xF6 if size == 1 else 0xF7
+        return bytes([opcode]) + encode_modrm(reg_field, operand)
+
+    def _encode_shift(self, op_name, size, operands, symbols, line):
+        reg_field = _SHIFT_INDEX[op_name]
+        count = self._parse_operand(operands[0], symbols, line, size=1)
+        target = self._parse_operand(operands[1], symbols, line, size=size)
+        if count.kind == "imm":
+            if count.value == 1:
+                opcode = 0xD0 if size == 1 else 0xD1
+                return bytes([opcode]) + encode_modrm(reg_field, target)
+            opcode = 0xC0 if size == 1 else 0xC1
+            return (bytes([opcode]) + encode_modrm(reg_field, target)
+                    + struct.pack("<B", count.value & 0xFF))
+        if count.kind == "reg" and count.index == ECX and count.size == 1:
+            opcode = 0xD2 if size == 1 else 0xD3
+            return bytes([opcode]) + encode_modrm(reg_field, target)
+        raise AssemblerError("shift count must be imm or %cl", line)
+
+    # ------------------------------------------------------------------
+    # Operand parsing
+
+    def _parse_operand(self, token, symbols, line, size=4):
+        token = token.strip()
+        if token.startswith("%"):
+            name = token[1:].lower()
+            if name in REG32_BY_NAME:
+                return Reg(REG32_BY_NAME[name], 4)
+            if name in REG8_BY_NAME:
+                return Reg(REG8_BY_NAME[name], 1)
+            if name in REG16_BY_NAME:
+                return Reg(REG16_BY_NAME[name], 2)
+            if name in SEG_BY_NAME:
+                raise AssemblerError("segment register operands are not "
+                                     "assemblable here", line)
+            raise AssemblerError("unknown register %r" % token, line)
+        if token.startswith("$"):
+            value = self._immediate_value(token[1:], symbols, line)
+            return Imm(value & 0xFFFFFFFF, 4)
+        return self._parse_memory(token, symbols, line, size)
+
+    def _immediate_value(self, text, symbols, line):
+        text = text.strip()
+        if text.startswith("$"):
+            text = text[1:].strip()
+        if _NUMBER_RE.match(text):
+            return _parse_number(text)
+        expr = _parse_symbol_expression(text, line)
+        if isinstance(symbols, _SizingSymbols):
+            return 0x7FFFFFFF  # force imm32 sizing for symbols
+        return expr.resolve(symbols, line)
+
+    def _parse_memory(self, token, symbols, line, size):
+        match = re.match(r"^([^()]*)(\((.*)\))?$", token.strip())
+        if not match:
+            raise AssemblerError("cannot parse operand %r" % token, line)
+        disp_text = match.group(1).strip()
+        inner = match.group(3)
+        disp = 0
+        if disp_text:
+            if _NUMBER_RE.match(disp_text):
+                disp = _parse_number(disp_text)
+            else:
+                expr = _parse_symbol_expression(disp_text, line)
+                if isinstance(symbols, _SizingSymbols):
+                    disp = 0x10000000  # force disp32 sizing
+                else:
+                    disp = expr.resolve(symbols, line)
+        base = index = None
+        scale = 1
+        if inner is not None:
+            pieces = [piece.strip() for piece in inner.split(",")]
+            if pieces and pieces[0]:
+                base = self._register_index(pieces[0], line)
+            if len(pieces) > 1 and pieces[1]:
+                index = self._register_index(pieces[1], line)
+            if len(pieces) > 2 and pieces[2]:
+                scale = _parse_number(pieces[2])
+        return Mem(base=base, index=index, scale=scale, disp=disp,
+                   size=size)
+
+    @staticmethod
+    def _register_index(token, line):
+        token = token.strip()
+        if not token.startswith("%"):
+            raise AssemblerError("expected register, got %r" % token, line)
+        name = token[1:].lower()
+        if name not in REG32_BY_NAME:
+            raise AssemblerError("bad base/index register %r" % token, line)
+        return REG32_BY_NAME[name]
+
+
+class _SizingSymbols(dict):
+    """Symbol table stand-in for the sizing pass: every lookup resolves
+    to a worst-case address so layout never shrinks later."""
+
+    def __contains__(self, key):
+        return True
+
+    def __getitem__(self, key):
+        return 0x7FFFFFFF
+
+
+def _normalize_mnemonic(mnemonic):
+    """Map an AT&T mnemonic (+size suffix) to (base_name, size)."""
+    special = {"movzbl": ("movzb", 4), "movzwl": ("movzw", 4),
+               "movsbl": ("movsb_", 4), "movswl": ("movsw_", 4),
+               "cbtw": ("cbw", 4), "cltd": ("cdq", 4)}
+    if mnemonic in special:
+        return special[mnemonic]
+    for base in ("mov", "test", "lea", "inc", "dec", "not", "neg", "mul",
+                 "imul", "div", "idiv", "xchg", "ret", "add", "or", "adc",
+                 "sbb", "and", "sub", "xor", "cmp", "rol", "ror", "rcl",
+                 "rcr", "shl", "sal", "shr", "sar"):
+        if mnemonic == base:
+            return base, 4
+        if mnemonic == base + "l":
+            return base, 4
+        if mnemonic == base + "b":
+            return base, 1
+    raise KeyError(mnemonic)
+
+
+def _parse_symbol_expression(text, line):
+    match = re.match(r"^(\.?[A-Za-z_][A-Za-z0-9_.$]*)\s*([+-]\s*\d+)?$",
+                     text.strip())
+    if not match:
+        raise AssemblerError("cannot parse expression %r" % text, line)
+    offset = 0
+    if match.group(2):
+        offset = int(match.group(2).replace(" ", ""))
+    return _Expr(match.group(1), offset)
+
+
+def _parse_string_literal(text, line):
+    text = text.strip()
+    if not (text.startswith('"') and text.endswith('"')):
+        raise AssemblerError("expected string literal", line)
+    body = text[1:-1]
+    out = bytearray()
+    i = 0
+    while i < len(body):
+        char = body[i]
+        if char == "\\" and i + 1 < len(body):
+            escape = body[i + 1]
+            mapping = {"n": 10, "t": 9, "r": 13, "0": 0, "\\": 92,
+                       '"': 34}
+            if escape in mapping:
+                out.append(mapping[escape])
+                i += 2
+                continue
+            if escape == "x":
+                out.append(int(body[i + 2:i + 4], 16))
+                i += 4
+                continue
+        out.append(ord(char))
+        i += 1
+    return bytes(out)
+
+
+def assemble(source, text_base=0x08048000, data_base=0x0804C000):
+    """Convenience wrapper: assemble *source* into a :class:`Module`."""
+    return Assembler(text_base, data_base).assemble(source)

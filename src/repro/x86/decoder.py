@@ -1,0 +1,615 @@
+"""IA-32 instruction decoder (32-bit protected mode, flat model).
+
+The decoder covers the complete one-byte opcode map and the two-byte
+(0F escape) rows a 1999-era Pentium II/III implements that matter for
+single-bit-flip studies: Jcc rel32, SETcc, CMOVcc, MOVZX/MOVSX, bit
+tests, IMUL, BSWAP, CPUID, RDTSC and push/pop of FS/GS.  Undefined
+encodings raise :class:`InvalidOpcodeError`, which the CPU turns into
+SIGILL — the same visible outcome as on real hardware.
+
+Decoding an instruction never faults for *privileged* encodings (HLT,
+IN/OUT, CLI, ...): those decode fine and fault at execution time with
+#GP, matching silicon behaviour.
+"""
+
+from __future__ import annotations
+
+from .errors import InvalidOpcodeError
+from .instruction import (FarPtr, Imm, Instruction, KIND_CALL,
+                          KIND_COND_BRANCH, KIND_JUMP, KIND_OTHER, KIND_RET,
+                          Mem, Reg, Rel, SegReg)
+from .modrm import ByteReader, decode_modrm
+from .opcodes import (ALL_PREFIXES, ALU_OPS, GROUP_F7, GROUP_FF,
+                      MAX_INSTRUCTION_LENGTH, PREFIX_ADDRSIZE, PREFIX_LOCK,
+                      PREFIX_OPSIZE, PREFIX_REP, PREFIX_REPNE,
+                      SEGMENT_PREFIXES, SHIFT_OPS)
+from .registers import EAX, EBP, EBX, ESP
+from .flags import CONDITION_SUFFIXES
+
+
+def decode(data, address=0):
+    """Decode one instruction from *data* (bytes at *address*).
+
+    Returns an :class:`Instruction`.  Raises :class:`InvalidOpcodeError`
+    for undefined encodings and :class:`DecodeOutOfBytesError` when the
+    buffer ends mid-instruction.
+    """
+    reader = ByteReader(data, 0, address)
+    prefixes = []
+    segment = None
+    operand_size = 4
+    address_size = 4
+    rep = None
+
+    while True:
+        if reader.offset >= MAX_INSTRUCTION_LENGTH:
+            # >15 bytes of prefixes is a #GP on real hardware; modelled
+            # as an invalid opcode (same crash signal either way).
+            raise InvalidOpcodeError(address, "instruction too long")
+        byte = reader.read_u8()
+        if byte not in ALL_PREFIXES:
+            opcode = byte
+            break
+        prefixes.append(byte)
+        if byte in SEGMENT_PREFIXES:
+            segment = SEGMENT_PREFIXES[byte]
+        elif byte == PREFIX_OPSIZE:
+            operand_size = 2
+        elif byte == PREFIX_ADDRSIZE:
+            address_size = 2
+        elif byte in (PREFIX_REP, PREFIX_REPNE):
+            rep = byte
+        # PREFIX_LOCK recorded but otherwise ignored (flat uniprocessor).
+
+    ctx = _DecodeContext(reader, address, prefixes, segment, operand_size,
+                         address_size, rep)
+    if opcode == 0x0F:
+        return _decode_0f(ctx)
+    return _decode_one_byte(ctx, opcode)
+
+
+class _DecodeContext:
+    """Mutable state shared by the per-opcode decode helpers."""
+
+    __slots__ = ("reader", "address", "prefixes", "segment", "operand_size",
+                 "address_size", "rep")
+
+    def __init__(self, reader, address, prefixes, segment, operand_size,
+                 address_size, rep):
+        self.reader = reader
+        self.address = address
+        self.prefixes = prefixes
+        self.segment = segment
+        self.operand_size = operand_size
+        self.address_size = address_size
+        self.rep = rep
+
+    def modrm(self, size=None):
+        size = self.operand_size if size is None else size
+        if self.address_size == 2:
+            return _decode_modrm16(self.reader, size, self.segment)
+        return decode_modrm(self.reader, size, self.segment)
+
+    def imm(self, size=None):
+        size = self.operand_size if size is None else size
+        if size == 1:
+            return Imm(self.reader.read_u8(), 1)
+        if size == 2:
+            return Imm(self.reader.read_u16(), 2)
+        return Imm(self.reader.read_u32(), 4)
+
+    def rel(self, size):
+        if size == 1:
+            disp = self.reader.read_s8()
+        elif size == 2:
+            disp = self.reader.read_u16()
+            disp = disp - 0x10000 if disp >= 0x8000 else disp
+        else:
+            disp = self.reader.read_s32()
+        target = (self.address + self.reader.offset + disp) & 0xFFFFFFFF
+        if self.operand_size == 2:
+            # A 0x66 prefix truncates the branch target to 16 bits --
+            # on a flat Linux process this lands in unmapped memory.
+            target &= 0xFFFF
+        return Rel(target, size)
+
+    def finish(self, mnemonic, operands=(), opcode=0, condition=None,
+               kind=KIND_OTHER):
+        raw = bytes(self.reader.data[:self.reader.offset])
+        if len(raw) > MAX_INSTRUCTION_LENGTH:
+            raise InvalidOpcodeError(self.address, "instruction too long")
+        return Instruction(address=self.address, raw=raw, mnemonic=mnemonic,
+                           operands=tuple(operands), opcode=opcode,
+                           condition=condition, kind=kind,
+                           prefixes=tuple(self.prefixes), rep=self.rep,
+                           operand_size=self.operand_size)
+
+
+def _decode_modrm16(reader, operand_size, segment):
+    """16-bit address-size ModRM (reached only via a corrupted 0x67)."""
+    modrm = reader.read_u8()
+    mod = modrm >> 6
+    reg_field = (modrm >> 3) & 7
+    rm = modrm & 7
+    if mod == 3:
+        return reg_field, Reg(rm, operand_size)
+    # Base/index pairs of the 16-bit table, as (base, index) encodings.
+    pairs = ((EBX, 6), (EBX, 7), (EBP, 6), (EBP, 7),
+             (6, None), (7, None), (EBP, None), (EBX, None))
+    base, index = pairs[rm]
+    disp = 0
+    if mod == 0 and rm == 6:
+        base, index = None, None
+        disp = reader.read_u16()
+    elif mod == 1:
+        disp = reader.read_s8()
+    elif mod == 2:
+        disp = reader.read_u16()
+    return reg_field, Mem(base=base, index=index, scale=1, disp=disp,
+                          size=operand_size, segment=segment)
+
+
+def _invalid(ctx, message="invalid opcode"):
+    raise InvalidOpcodeError(ctx.address, message)
+
+
+def _decode_one_byte(ctx, opcode):
+    osize = ctx.operand_size
+
+    # --- 0x00-0x3F: the eight ALU families plus segment push/pop and
+    # the BCD adjust instructions occupying the x6/x7/xE/xF columns.
+    if opcode < 0x40:
+        low = opcode & 7
+        op_name = ALU_OPS[opcode >> 3]
+        if low == 0:
+            reg, rm = ctx.modrm(1)
+            return ctx.finish(op_name + "b", (Reg(reg, 1), rm), opcode)
+        if low == 1:
+            reg, rm = ctx.modrm()
+            return ctx.finish(op_name, (Reg(reg, osize), rm), opcode)
+        if low == 2:
+            reg, rm = ctx.modrm(1)
+            return ctx.finish(op_name + "b", (rm, Reg(reg, 1)), opcode)
+        if low == 3:
+            reg, rm = ctx.modrm()
+            return ctx.finish(op_name, (rm, Reg(reg, osize)), opcode)
+        if low == 4:
+            return ctx.finish(op_name + "b", (ctx.imm(1), Reg(EAX, 1)),
+                              opcode)
+        if low == 5:
+            return ctx.finish(op_name, (ctx.imm(), Reg(EAX, osize)), opcode)
+        # Columns 6/7 and E/F: segment ops / BCD / escape.
+        table = {
+            0x06: ("push_seg", SegReg(0)), 0x07: ("pop_seg", SegReg(0)),
+            0x0E: ("push_seg", SegReg(1)),
+            0x16: ("push_seg", SegReg(2)), 0x17: ("pop_seg", SegReg(2)),
+            0x1E: ("push_seg", SegReg(3)), 0x1F: ("pop_seg", SegReg(3)),
+            0x27: ("daa", None), 0x2F: ("das", None),
+            0x37: ("aaa", None), 0x3F: ("aas", None),
+        }
+        if opcode in table:
+            mnemonic, operand = table[opcode]
+            ops = (operand,) if operand is not None else ()
+            return ctx.finish(mnemonic, ops, opcode)
+        return _invalid(ctx)
+
+    if 0x40 <= opcode <= 0x47:
+        return ctx.finish("inc", (Reg(opcode - 0x40, osize),), opcode)
+    if 0x48 <= opcode <= 0x4F:
+        return ctx.finish("dec", (Reg(opcode - 0x48, osize),), opcode)
+    if 0x50 <= opcode <= 0x57:
+        return ctx.finish("push", (Reg(opcode - 0x50, osize),), opcode)
+    if 0x58 <= opcode <= 0x5F:
+        return ctx.finish("pop", (Reg(opcode - 0x58, osize),), opcode)
+
+    if opcode == 0x60:
+        return ctx.finish("pusha", (), opcode)
+    if opcode == 0x61:
+        return ctx.finish("popa", (), opcode)
+    if opcode == 0x62:
+        reg, rm = ctx.modrm()
+        if rm.kind != "mem":
+            return _invalid(ctx, "bound with register operand")
+        return ctx.finish("bound", (Reg(reg, osize), rm), opcode)
+    if opcode == 0x63:
+        reg, rm = ctx.modrm(2)
+        return ctx.finish("arpl", (Reg(reg, 2), rm), opcode)
+    if opcode == 0x68:
+        return ctx.finish("push", (ctx.imm(),), opcode)
+    if opcode == 0x69:
+        reg, rm = ctx.modrm()
+        return ctx.finish("imul", (ctx.imm(), rm, Reg(reg, osize)), opcode)
+    if opcode == 0x6A:
+        value = ctx.reader.read_s8() & 0xFFFFFFFF
+        return ctx.finish("push", (Imm(value, 4),), opcode)
+    if opcode == 0x6B:
+        reg, rm = ctx.modrm()
+        value = ctx.reader.read_s8() & 0xFFFFFFFF
+        return ctx.finish("imul", (Imm(value, 4), rm, Reg(reg, osize)),
+                          opcode)
+    if opcode in (0x6C, 0x6D, 0x6E, 0x6F):
+        names = {0x6C: "insb", 0x6D: "insd", 0x6E: "outsb", 0x6F: "outsd"}
+        return ctx.finish(names[opcode], (), opcode)
+
+    # --- 0x70-0x7F: the 2-byte conditional branch block.
+    if 0x70 <= opcode <= 0x7F:
+        condition = opcode & 0xF
+        target = ctx.rel(1)
+        return ctx.finish("j" + CONDITION_SUFFIXES[condition], (target,),
+                          opcode, condition, KIND_COND_BRANCH)
+
+    # --- 0x80-0x83: ALU immediate group.
+    if opcode in (0x80, 0x82):
+        reg, rm = ctx.modrm(1)
+        return ctx.finish(ALU_OPS[reg] + "b", (ctx.imm(1), rm), opcode)
+    if opcode == 0x81:
+        reg, rm = ctx.modrm()
+        return ctx.finish(ALU_OPS[reg], (ctx.imm(), rm), opcode)
+    if opcode == 0x83:
+        reg, rm = ctx.modrm()
+        value = ctx.reader.read_s8() & 0xFFFFFFFF
+        return ctx.finish(ALU_OPS[reg], (Imm(value, 4), rm), opcode)
+
+    if opcode == 0x84:
+        reg, rm = ctx.modrm(1)
+        return ctx.finish("testb", (Reg(reg, 1), rm), opcode)
+    if opcode == 0x85:
+        reg, rm = ctx.modrm()
+        return ctx.finish("test", (Reg(reg, osize), rm), opcode)
+    if opcode == 0x86:
+        reg, rm = ctx.modrm(1)
+        return ctx.finish("xchgb", (Reg(reg, 1), rm), opcode)
+    if opcode == 0x87:
+        reg, rm = ctx.modrm()
+        return ctx.finish("xchg", (Reg(reg, osize), rm), opcode)
+
+    if opcode == 0x88:
+        reg, rm = ctx.modrm(1)
+        return ctx.finish("movb", (Reg(reg, 1), rm), opcode)
+    if opcode == 0x89:
+        reg, rm = ctx.modrm()
+        return ctx.finish("mov", (Reg(reg, osize), rm), opcode)
+    if opcode == 0x8A:
+        reg, rm = ctx.modrm(1)
+        return ctx.finish("movb", (rm, Reg(reg, 1)), opcode)
+    if opcode == 0x8B:
+        reg, rm = ctx.modrm()
+        return ctx.finish("mov", (rm, Reg(reg, osize)), opcode)
+    if opcode == 0x8C:
+        reg, rm = ctx.modrm(2)
+        if reg > 5:
+            return _invalid(ctx, "mov from bad segment register")
+        return ctx.finish("mov_from_seg", (SegReg(reg), rm), opcode)
+    if opcode == 0x8D:
+        reg, rm = ctx.modrm()
+        if rm.kind != "mem":
+            return _invalid(ctx, "lea with register source")
+        return ctx.finish("lea", (rm, Reg(reg, osize)), opcode)
+    if opcode == 0x8E:
+        reg, rm = ctx.modrm(2)
+        if reg > 5 or reg == 1:  # cannot load CS
+            return _invalid(ctx, "mov to bad segment register")
+        return ctx.finish("mov_to_seg", (rm, SegReg(reg)), opcode)
+    if opcode == 0x8F:
+        reg, rm = ctx.modrm()
+        if reg != 0:
+            return _invalid(ctx, "group 1A /%d" % reg)
+        return ctx.finish("pop", (rm,), opcode)
+
+    if opcode == 0x90:
+        return ctx.finish("nop", (), opcode)
+    if 0x91 <= opcode <= 0x97:
+        return ctx.finish("xchg", (Reg(opcode - 0x90, osize),
+                                   Reg(EAX, osize)), opcode)
+    if opcode == 0x98:
+        return ctx.finish("cwde" if osize == 4 else "cbw", (), opcode)
+    if opcode == 0x99:
+        return ctx.finish("cdq" if osize == 4 else "cwd", (), opcode)
+    if opcode == 0x9A:
+        offset = ctx.reader.read_u32()
+        selector = ctx.reader.read_u16()
+        return ctx.finish("lcall", (FarPtr(selector, offset),), opcode,
+                          kind=KIND_CALL)
+    if opcode == 0x9B:
+        return ctx.finish("fwait", (), opcode)
+    if opcode == 0x9C:
+        return ctx.finish("pushf", (), opcode)
+    if opcode == 0x9D:
+        return ctx.finish("popf", (), opcode)
+    if opcode == 0x9E:
+        return ctx.finish("sahf", (), opcode)
+    if opcode == 0x9F:
+        return ctx.finish("lahf", (), opcode)
+
+    # --- 0xA0-0xA3: moffs forms of mov.
+    if opcode in (0xA0, 0xA1, 0xA2, 0xA3):
+        if ctx.address_size == 2:
+            offset = ctx.reader.read_u16()
+        else:
+            offset = ctx.reader.read_u32()
+        size = 1 if opcode in (0xA0, 0xA2) else osize
+        mem = Mem(disp=offset, size=size, segment=ctx.segment)
+        accumulator = Reg(EAX, size)
+        if opcode in (0xA0, 0xA1):
+            return ctx.finish("movb" if size == 1 else "mov",
+                              (mem, accumulator), opcode)
+        return ctx.finish("movb" if size == 1 else "mov",
+                          (accumulator, mem), opcode)
+
+    string_ops = {0xA4: "movsb", 0xA5: "movsd", 0xA6: "cmpsb",
+                  0xA7: "cmpsd", 0xAA: "stosb", 0xAB: "stosd",
+                  0xAC: "lodsb", 0xAD: "lodsd", 0xAE: "scasb",
+                  0xAF: "scasd"}
+    if opcode in string_ops:
+        return ctx.finish(string_ops[opcode], (), opcode)
+
+    if opcode == 0xA8:
+        return ctx.finish("testb", (ctx.imm(1), Reg(EAX, 1)), opcode)
+    if opcode == 0xA9:
+        return ctx.finish("test", (ctx.imm(), Reg(EAX, osize)), opcode)
+
+    if 0xB0 <= opcode <= 0xB7:
+        return ctx.finish("movb", (ctx.imm(1), Reg(opcode - 0xB0, 1)),
+                          opcode)
+    if 0xB8 <= opcode <= 0xBF:
+        return ctx.finish("mov", (ctx.imm(), Reg(opcode - 0xB8, osize)),
+                          opcode)
+
+    # --- shift groups.
+    if opcode in (0xC0, 0xC1):
+        size = 1 if opcode == 0xC0 else osize
+        reg, rm = ctx.modrm(size)
+        count = ctx.imm(1)
+        suffix = "b" if size == 1 else ""
+        return ctx.finish(SHIFT_OPS[reg] + suffix, (count, rm), opcode)
+    if opcode in (0xD0, 0xD1):
+        size = 1 if opcode == 0xD0 else osize
+        reg, rm = ctx.modrm(size)
+        suffix = "b" if size == 1 else ""
+        return ctx.finish(SHIFT_OPS[reg] + suffix, (Imm(1, 1), rm), opcode)
+    if opcode in (0xD2, 0xD3):
+        size = 1 if opcode == 0xD2 else osize
+        reg, rm = ctx.modrm(size)
+        suffix = "b" if size == 1 else ""
+        return ctx.finish(SHIFT_OPS[reg] + suffix, (Reg(1, 1), rm), opcode)
+
+    if opcode == 0xC2:
+        return ctx.finish("ret", (ctx.imm(2),), opcode, kind=KIND_RET)
+    if opcode == 0xC3:
+        return ctx.finish("ret", (), opcode, kind=KIND_RET)
+    if opcode in (0xC4, 0xC5):
+        reg, rm = ctx.modrm()
+        if rm.kind != "mem":
+            return _invalid(ctx, "les/lds with register operand")
+        mnemonic = "les" if opcode == 0xC4 else "lds"
+        return ctx.finish(mnemonic, (rm, Reg(reg, osize)), opcode)
+    if opcode == 0xC6:
+        reg, rm = ctx.modrm(1)
+        if reg != 0:
+            return _invalid(ctx, "group 11 /%d" % reg)
+        return ctx.finish("movb", (ctx.imm(1), rm), opcode)
+    if opcode == 0xC7:
+        reg, rm = ctx.modrm()
+        if reg != 0:
+            return _invalid(ctx, "group 11 /%d" % reg)
+        return ctx.finish("mov", (ctx.imm(), rm), opcode)
+    if opcode == 0xC8:
+        alloc = ctx.imm(2)
+        nesting = ctx.imm(1)
+        return ctx.finish("enter", (alloc, nesting), opcode)
+    if opcode == 0xC9:
+        return ctx.finish("leave", (), opcode)
+    if opcode == 0xCA:
+        return ctx.finish("lret", (ctx.imm(2),), opcode, kind=KIND_RET)
+    if opcode == 0xCB:
+        return ctx.finish("lret", (), opcode, kind=KIND_RET)
+    if opcode == 0xCC:
+        return ctx.finish("int3", (), opcode)
+    if opcode == 0xCD:
+        return ctx.finish("int", (ctx.imm(1),), opcode)
+    if opcode == 0xCE:
+        return ctx.finish("into", (), opcode)
+    if opcode == 0xCF:
+        return ctx.finish("iret", (), opcode)
+
+    if opcode == 0xD4:
+        return ctx.finish("aam", (ctx.imm(1),), opcode)
+    if opcode == 0xD5:
+        return ctx.finish("aad", (ctx.imm(1),), opcode)
+    if opcode == 0xD6:
+        return ctx.finish("salc", (), opcode)  # undocumented but real
+    if opcode == 0xD7:
+        return ctx.finish("xlat", (), opcode)
+
+    if 0xD8 <= opcode <= 0xDF:
+        # x87 escape: operands decode normally; the emulator treats the
+        # FPU as absent state but memory operands still fault on bad
+        # addresses, which is the behaviour that matters here.
+        reg, rm = ctx.modrm()
+        return ctx.finish("fpu", (Imm(opcode, 1), Imm(reg, 1), rm), opcode)
+
+    loop_ops = {0xE0: "loopne", 0xE1: "loope", 0xE2: "loop", 0xE3: "jecxz"}
+    if opcode in loop_ops:
+        target = ctx.rel(1)
+        return ctx.finish(loop_ops[opcode], (target,), opcode,
+                          kind=KIND_COND_BRANCH)
+
+    if opcode in (0xE4, 0xE5):
+        return ctx.finish("in", (ctx.imm(1),), opcode)
+    if opcode in (0xE6, 0xE7):
+        return ctx.finish("out", (ctx.imm(1),), opcode)
+    if opcode in (0xEC, 0xED):
+        return ctx.finish("in", (), opcode)
+    if opcode in (0xEE, 0xEF):
+        return ctx.finish("out", (), opcode)
+
+    if opcode == 0xE8:
+        size = 2 if osize == 2 else 4
+        return ctx.finish("call", (ctx.rel(size),), opcode, kind=KIND_CALL)
+    if opcode == 0xE9:
+        size = 2 if osize == 2 else 4
+        return ctx.finish("jmp", (ctx.rel(size),), opcode, kind=KIND_JUMP)
+    if opcode == 0xEA:
+        offset = ctx.reader.read_u32()
+        selector = ctx.reader.read_u16()
+        return ctx.finish("ljmp", (FarPtr(selector, offset),), opcode,
+                          kind=KIND_JUMP)
+    if opcode == 0xEB:
+        return ctx.finish("jmp", (ctx.rel(1),), opcode, kind=KIND_JUMP)
+
+    if opcode == 0xF1:
+        return ctx.finish("int1", (), opcode)
+    if opcode == 0xF4:
+        return ctx.finish("hlt", (), opcode)
+    if opcode == 0xF5:
+        return ctx.finish("cmc", (), opcode)
+
+    if opcode in (0xF6, 0xF7):
+        size = 1 if opcode == 0xF6 else osize
+        reg, rm = ctx.modrm(size)
+        mnemonic = GROUP_F7[reg]
+        suffix = "b" if size == 1 else ""
+        if mnemonic == "test":
+            return ctx.finish("test" + suffix, (ctx.imm(size), rm), opcode)
+        return ctx.finish(mnemonic + suffix, (rm,), opcode)
+
+    simple = {0xF8: "clc", 0xF9: "stc", 0xFA: "cli", 0xFB: "sti",
+              0xFC: "cld", 0xFD: "std"}
+    if opcode in simple:
+        return ctx.finish(simple[opcode], (), opcode)
+
+    if opcode == 0xFE:
+        reg, rm = ctx.modrm(1)
+        if reg == 0:
+            return ctx.finish("incb", (rm,), opcode)
+        if reg == 1:
+            return ctx.finish("decb", (rm,), opcode)
+        return _invalid(ctx, "group 4 /%d" % reg)
+    if opcode == 0xFF:
+        reg, rm = ctx.modrm()
+        mnemonic = GROUP_FF[reg]
+        if mnemonic is None:
+            return _invalid(ctx, "group 5 /7")
+        if mnemonic in ("lcall", "ljmp"):
+            if rm.kind != "mem":
+                return _invalid(ctx, "far transfer with register operand")
+            kind = KIND_CALL if mnemonic == "lcall" else KIND_JUMP
+            return ctx.finish(mnemonic + "_ind", (rm,), opcode, kind=kind)
+        if mnemonic == "call":
+            return ctx.finish("call_ind", (rm,), opcode, kind=KIND_CALL)
+        if mnemonic == "jmp":
+            return ctx.finish("jmp_ind", (rm,), opcode, kind=KIND_JUMP)
+        return ctx.finish(mnemonic, (rm,), opcode)
+
+    return _invalid(ctx)
+
+
+def _decode_0f(ctx):
+    second = ctx.reader.read_u8()
+    opcode = 0x0F00 | second
+    osize = ctx.operand_size
+
+    # Conditional branch rel16/rel32 block.
+    if 0x80 <= second <= 0x8F:
+        condition = second & 0xF
+        size = 2 if osize == 2 else 4
+        target = ctx.rel(size)
+        return ctx.finish("j" + CONDITION_SUFFIXES[condition], (target,),
+                          opcode, condition, KIND_COND_BRANCH)
+
+    # SETcc block.
+    if 0x90 <= second <= 0x9F:
+        condition = second & 0xF
+        __, rm = ctx.modrm(1)
+        return ctx.finish("set" + CONDITION_SUFFIXES[condition], (rm,),
+                          opcode, condition)
+
+    # CMOVcc block (P6 family onward).
+    if 0x40 <= second <= 0x4F:
+        condition = second & 0xF
+        reg, rm = ctx.modrm()
+        return ctx.finish("cmov" + CONDITION_SUFFIXES[condition],
+                          (rm, Reg(reg, osize)), opcode, condition)
+
+    if second in (0x00, 0x01):
+        # System descriptor-table group; every member is privileged.
+        reg, rm = ctx.modrm()
+        return ctx.finish("lgdt", (Imm(reg, 1), rm), opcode)
+    if second == 0x05:
+        return _invalid(ctx, "0F 05 undefined on IA-32")
+    if second == 0x06:
+        return ctx.finish("clts", (), opcode)
+    if second == 0x08:
+        return ctx.finish("invd", (), opcode)
+    if second == 0x09:
+        return ctx.finish("wbinvd", (), opcode)
+    if second == 0x0B:
+        return _invalid(ctx, "ud2")
+    if second == 0x1F:
+        __, rm = ctx.modrm()
+        return ctx.finish("nop", (rm,), opcode)
+    if second in (0x20, 0x21, 0x22, 0x23):
+        __, rm = ctx.modrm()
+        mnemonic = "mov_cr" if second in (0x20, 0x22) else "mov_dr"
+        return ctx.finish(mnemonic, (rm,), opcode)
+    if second == 0x30:
+        return ctx.finish("wrmsr", (), opcode)
+    if second == 0x31:
+        return ctx.finish("rdtsc", (), opcode)
+    if second == 0x32:
+        return ctx.finish("rdmsr", (), opcode)
+
+    if second == 0xA0:
+        return ctx.finish("push_seg", (SegReg(4),), opcode)
+    if second == 0xA1:
+        return ctx.finish("pop_seg", (SegReg(4),), opcode)
+    if second == 0xA8:
+        return ctx.finish("push_seg", (SegReg(5),), opcode)
+    if second == 0xA9:
+        return ctx.finish("pop_seg", (SegReg(5),), opcode)
+    if second == 0xA2:
+        return ctx.finish("cpuid", (), opcode)
+
+    if second in (0xA3, 0xAB, 0xB3, 0xBB):
+        names = {0xA3: "bt", 0xAB: "bts", 0xB3: "btr", 0xBB: "btc"}
+        reg, rm = ctx.modrm()
+        return ctx.finish(names[second], (Reg(reg, osize), rm), opcode)
+    if second == 0xBA:
+        reg, rm = ctx.modrm()
+        if reg < 4:
+            return _invalid(ctx, "group 8 /%d" % reg)
+        names = {4: "bt", 5: "bts", 6: "btr", 7: "btc"}
+        return ctx.finish(names[reg], (ctx.imm(1), rm), opcode)
+
+    if second == 0xAF:
+        reg, rm = ctx.modrm()
+        return ctx.finish("imul2", (rm, Reg(reg, osize)), opcode)
+
+    if second in (0xB0, 0xB1):
+        size = 1 if second == 0xB0 else osize
+        reg, rm = ctx.modrm(size)
+        return ctx.finish("cmpxchg" + ("b" if size == 1 else ""),
+                          (Reg(reg, size), rm), opcode)
+    if second in (0xC0, 0xC1):
+        size = 1 if second == 0xC0 else osize
+        reg, rm = ctx.modrm(size)
+        return ctx.finish("xadd" + ("b" if size == 1 else ""),
+                          (Reg(reg, size), rm), opcode)
+
+    if second in (0xB6, 0xB7, 0xBE, 0xBF):
+        src_size = 1 if second in (0xB6, 0xBE) else 2
+        signed = second in (0xBE, 0xBF)
+        reg, rm = ctx.modrm(src_size)
+        mnemonic = ("movsx" if signed else "movzx")
+        mnemonic += "b" if src_size == 1 else "w"
+        return ctx.finish(mnemonic, (rm, Reg(reg, osize)), opcode)
+
+    if second in (0xBC, 0xBD):
+        reg, rm = ctx.modrm()
+        return ctx.finish("bsf" if second == 0xBC else "bsr",
+                          (rm, Reg(reg, osize)), opcode)
+
+    if 0xC8 <= second <= 0xCF:
+        return ctx.finish("bswap", (Reg(second - 0xC8, 4),), opcode)
+
+    return _invalid(ctx, "0F %02X undefined" % second)

@@ -1,0 +1,46 @@
+"""Linear-sweep disassembler built on the decoder.
+
+Used by the injection layer to enumerate branch instructions inside the
+target functions (the "selected segments" of the paper) and by reports
+to show what a corrupted byte stream decodes to.
+"""
+
+from __future__ import annotations
+
+from .decoder import decode
+from .errors import X86Error
+from .instruction import Instruction
+
+
+def disassemble_range(data, base_address, start, end):
+    """Disassemble [start, end) inside *data* mapped at *base_address*.
+
+    Returns a list of :class:`Instruction`.  Undecodable bytes are
+    represented as pseudo ``(bad)`` instructions of length 1 so that a
+    sweep never stalls; with compiler-produced code this only happens
+    for inline data.
+    """
+    instructions = []
+    address = start
+    while address < end:
+        offset = address - base_address
+        window = data[offset:offset + 15]
+        try:
+            instruction = decode(window, address)
+        except X86Error:
+            instruction = Instruction(address=address,
+                                      raw=bytes(window[:1]),
+                                      mnemonic="(bad)")
+        instructions.append(instruction)
+        address += max(1, instruction.length)
+    return instructions
+
+
+def format_listing(instructions):
+    """Render instructions as an objdump-style listing."""
+    lines = []
+    for instruction in instructions:
+        hex_bytes = " ".join("%02x" % b for b in instruction.raw)
+        lines.append("%8x:\t%-21s\t%s"
+                     % (instruction.address, hex_bytes, instruction))
+    return "\n".join(lines)

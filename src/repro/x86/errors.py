@@ -1,0 +1,33 @@
+"""Exception types raised while decoding or assembling IA-32 code."""
+
+from __future__ import annotations
+
+
+class X86Error(Exception):
+    """Base class for ISA-level errors."""
+
+
+class InvalidOpcodeError(X86Error):
+    """The byte stream does not decode to a defined instruction (#UD)."""
+
+    def __init__(self, address, message="invalid opcode"):
+        super().__init__("%s at 0x%x" % (message, address))
+        self.address = address
+
+
+class DecodeOutOfBytesError(X86Error):
+    """The instruction runs past the end of the decodable region."""
+
+    def __init__(self, address):
+        super().__init__("instruction at 0x%x runs out of bytes" % (address,))
+        self.address = address
+
+
+class AssemblerError(X86Error):
+    """Malformed assembly source."""
+
+    def __init__(self, message, line=None):
+        if line is not None:
+            message = "line %d: %s" % (line, message)
+        super().__init__(message)
+        self.line = line

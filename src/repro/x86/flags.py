@@ -1,0 +1,90 @@
+"""EFLAGS register model and condition-code evaluation.
+
+The study revolves around conditional branches, so all sixteen IA-32
+condition codes (``jo`` ... ``jg``, encodings 0x0 ... 0xF) are modelled
+faithfully, including parity (PF) and adjust (AF) flags: a single-bit
+flip can legitimately turn ``je`` into ``jp``, and the outcome of that
+run depends on PF being computed correctly.
+"""
+
+from __future__ import annotations
+
+CF = 1 << 0   # carry
+PF = 1 << 2   # parity (of least significant result byte)
+AF = 1 << 4   # adjust (BCD carry out of bit 3)
+ZF = 1 << 6   # zero
+SF = 1 << 7   # sign
+TF = 1 << 8   # trap (single step)
+IF = 1 << 9   # interrupt enable (always set in user mode)
+DF = 1 << 10  # direction (string ops)
+OF = 1 << 11  # overflow
+
+# Bit 1 of EFLAGS is architecturally fixed to 1.
+FLAGS_FIXED_ONES = 0x2
+# Bits user code may actually modify via popf/sahf on Linux.
+FLAGS_USER_MASK = CF | PF | AF | ZF | SF | DF | OF
+STATUS_FLAGS = CF | PF | AF | ZF | SF | OF
+
+FLAG_NAMES = {CF: "CF", PF: "PF", AF: "AF", ZF: "ZF", SF: "SF",
+              TF: "TF", IF: "IF", DF: "DF", OF: "OF"}
+
+# Parity of each byte value, precomputed: PF is set when the low result
+# byte has an *even* number of one bits.
+_PARITY_EVEN = tuple(bin(value).count("1") % 2 == 0 for value in range(256))
+
+
+def parity_flag(result):
+    """Return PF if the low byte of *result* has even parity, else 0."""
+    return PF if _PARITY_EVEN[result & 0xFF] else 0
+
+
+# Condition code mnemonic suffixes in hardware encoding order; entry i is
+# the suffix of the Jcc/SETcc instruction with condition field i.
+CONDITION_SUFFIXES = (
+    "o", "no", "b", "ae", "e", "ne", "be", "a",
+    "s", "ns", "p", "np", "l", "ge", "le", "g",
+)
+
+CONDITION_BY_SUFFIX = {}
+for _index, _suffix in enumerate(CONDITION_SUFFIXES):
+    CONDITION_BY_SUFFIX[_suffix] = _index
+# Common mnemonic aliases (Intel manual, table B-1).
+CONDITION_BY_SUFFIX.update({
+    "c": 2, "nae": 2, "nb": 3, "nc": 3, "z": 4, "nz": 5,
+    "na": 6, "nbe": 7, "pe": 10, "po": 11, "nge": 12, "nl": 13,
+    "ng": 14, "nle": 15,
+})
+
+
+def condition_met(condition, flags):
+    """Evaluate condition code *condition* (0-15) against *flags*.
+
+    Implements the IA-32 condition table; odd condition codes are the
+    negation of the preceding even code.
+    """
+    base = condition & 0xE
+    if base == 0x0:          # o / no
+        result = bool(flags & OF)
+    elif base == 0x2:        # b / ae
+        result = bool(flags & CF)
+    elif base == 0x4:        # e / ne
+        result = bool(flags & ZF)
+    elif base == 0x6:        # be / a
+        result = bool(flags & (CF | ZF))
+    elif base == 0x8:        # s / ns
+        result = bool(flags & SF)
+    elif base == 0xA:        # p / np
+        result = bool(flags & PF)
+    elif base == 0xC:        # l / ge
+        result = bool(flags & SF) != bool(flags & OF)
+    else:                    # le / g
+        result = bool(flags & ZF) or (bool(flags & SF) != bool(flags & OF))
+    if condition & 1:
+        result = not result
+    return result
+
+
+def describe_flags(flags):
+    """Render set flags as a compact string, e.g. ``"ZF|PF"``."""
+    names = [name for bit, name in sorted(FLAG_NAMES.items()) if flags & bit]
+    return "|".join(names) if names else "-"

@@ -1,0 +1,167 @@
+"""Instruction and operand models shared by the decoder, assembler,
+disassembler and CPU.
+
+Operands are small immutable objects; the CPU reads and writes them
+through ``repro.emu.cpu`` accessors keyed on the operand's ``kind``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from .registers import reg8_name, reg16_name, reg32_name, seg_name
+
+
+@dataclass(frozen=True)
+class Reg:
+    """General purpose register operand (``size`` in bytes: 1, 2 or 4)."""
+
+    index: int
+    size: int = 4
+
+    @property
+    def name(self):
+        if self.size == 4:
+            return reg32_name(self.index)
+        if self.size == 2:
+            return reg16_name(self.index)
+        return reg8_name(self.index)
+
+    kind = "reg"
+
+    def __str__(self):
+        return "%" + self.name
+
+
+@dataclass(frozen=True)
+class SegReg:
+    """Segment register operand."""
+
+    index: int
+
+    kind = "seg"
+    size = 2
+
+    @property
+    def name(self):
+        return seg_name(self.index)
+
+    def __str__(self):
+        return "%" + self.name
+
+
+@dataclass(frozen=True)
+class Imm:
+    """Immediate operand; ``value`` is the raw unsigned encoding."""
+
+    value: int
+    size: int = 4
+
+    kind = "imm"
+
+    def __str__(self):
+        return "$0x%x" % (self.value,)
+
+
+@dataclass(frozen=True)
+class Mem:
+    """Memory operand: ``[base + index*scale + disp]`` with optional
+    segment override.  ``size`` is the access width in bytes."""
+
+    base: int | None = None
+    index: int | None = None
+    scale: int = 1
+    disp: int = 0
+    size: int = 4
+    segment: int | None = None
+
+    kind = "mem"
+
+    def __str__(self):
+        parts = ""
+        if self.disp or (self.base is None and self.index is None):
+            parts += "0x%x" % (self.disp & 0xFFFFFFFF,)
+        inner = []
+        if self.base is not None:
+            inner.append("%" + reg32_name(self.base))
+        if self.index is not None:
+            inner.append("%" + reg32_name(self.index))
+            inner.append(str(self.scale))
+        if inner:
+            parts += "(" + ",".join(inner) + ")"
+        if self.segment is not None:
+            parts = "%%%s:%s" % (seg_name(self.segment), parts)
+        return parts
+
+
+@dataclass(frozen=True)
+class Rel:
+    """Relative branch target; ``target`` is the absolute destination
+    address, ``size`` the width of the encoded displacement."""
+
+    target: int
+    size: int = 1
+
+    kind = "rel"
+
+    def __str__(self):
+        return "0x%x" % (self.target & 0xFFFFFFFF,)
+
+
+@dataclass(frozen=True)
+class FarPtr:
+    """Far pointer immediate (``ljmp``/``lcall`` seg:offset)."""
+
+    selector: int
+    offset: int
+
+    kind = "far"
+    size = 6
+
+    def __str__(self):
+        return "$0x%x,$0x%x" % (self.selector, self.offset)
+
+
+# Instruction classification used by injection targeting and analysis.
+KIND_COND_BRANCH = "cond_branch"   # jcc, jcxz, loop*
+KIND_JUMP = "jump"                 # jmp (direct or indirect)
+KIND_CALL = "call"
+KIND_RET = "ret"
+KIND_OTHER = "other"
+
+CONTROL_KINDS = frozenset({KIND_COND_BRANCH, KIND_JUMP, KIND_CALL, KIND_RET})
+
+
+@dataclass(frozen=True)
+class Instruction:
+    """A fully decoded instruction.
+
+    ``opcode`` is the primary opcode: the raw byte for one-byte opcodes
+    or ``0x0F00 | second_byte`` for two-byte (0F-escape) opcodes.
+    ``condition`` is the 4-bit condition code for Jcc/SETcc, else None.
+    """
+
+    address: int
+    raw: bytes
+    mnemonic: str
+    operands: tuple = ()
+    opcode: int = 0
+    condition: int | None = None
+    kind: str = KIND_OTHER
+    prefixes: tuple = ()
+    rep: int | None = None          # 0xF2 / 0xF3 when present
+    operand_size: int = 4           # 2 when a 0x66 prefix is active
+
+    @property
+    def length(self):
+        return len(self.raw)
+
+    @property
+    def end(self):
+        return self.address + len(self.raw)
+
+    def __str__(self):
+        if not self.operands:
+            return self.mnemonic
+        rendered = ", ".join(str(op) for op in self.operands)
+        return "%s %s" % (self.mnemonic, rendered)

@@ -1,0 +1,159 @@
+"""ModRM / SIB byte decoding and encoding for 32-bit addressing mode.
+
+Only the 32-bit address-size form is implemented; the emulator raises a
+fault when a corrupted 0x67 prefix requests 16-bit addressing (see
+``repro.emu.cpu``), which matches how such an instruction would behave
+in practice on a flat 32-bit Linux process: the 16-bit effective address
+would point into unmapped low memory.
+"""
+
+from __future__ import annotations
+
+import struct
+
+from .errors import DecodeOutOfBytesError
+from .instruction import Mem, Reg
+from .registers import EBP, ESP
+
+
+class ByteReader:
+    """Sequential byte reader over a buffer with bounds checking."""
+
+    def __init__(self, data, offset=0, address=0):
+        self.data = data
+        self.offset = offset
+        self.address = address  # address of the first instruction byte
+
+    def remaining(self):
+        return len(self.data) - self.offset
+
+    def read_u8(self):
+        if self.offset >= len(self.data):
+            raise DecodeOutOfBytesError(self.address)
+        value = self.data[self.offset]
+        self.offset += 1
+        return value
+
+    def read_u16(self):
+        if self.offset + 2 > len(self.data):
+            raise DecodeOutOfBytesError(self.address)
+        value = struct.unpack_from("<H", self.data, self.offset)[0]
+        self.offset += 2
+        return value
+
+    def read_u32(self):
+        if self.offset + 4 > len(self.data):
+            raise DecodeOutOfBytesError(self.address)
+        value = struct.unpack_from("<I", self.data, self.offset)[0]
+        self.offset += 4
+        return value
+
+    def read_s8(self):
+        value = self.read_u8()
+        return value - 0x100 if value >= 0x80 else value
+
+    def read_s32(self):
+        value = self.read_u32()
+        return value - 0x100000000 if value >= 0x80000000 else value
+
+
+def sign32(value):
+    """Interpret *value* as a signed 32-bit integer."""
+    value &= 0xFFFFFFFF
+    return value - 0x100000000 if value >= 0x80000000 else value
+
+
+def decode_modrm(reader, operand_size=4, segment=None):
+    """Decode a ModRM byte (plus SIB/displacement) from *reader*.
+
+    Returns ``(reg_field, rm_operand)`` where ``reg_field`` is the 3-bit
+    reg/opcode-extension field and ``rm_operand`` is a :class:`Reg` or
+    :class:`Mem` of width *operand_size*.
+    """
+    modrm = reader.read_u8()
+    mod = modrm >> 6
+    reg_field = (modrm >> 3) & 7
+    rm = modrm & 7
+
+    if mod == 3:
+        return reg_field, Reg(rm, operand_size)
+
+    base = None
+    index = None
+    scale = 1
+    disp = 0
+
+    if rm == 4:  # SIB byte follows
+        sib = reader.read_u8()
+        scale = 1 << (sib >> 6)
+        index_field = (sib >> 3) & 7
+        base_field = sib & 7
+        if index_field != ESP:     # ESP cannot be an index
+            index = index_field
+        if base_field == EBP and mod == 0:
+            disp = reader.read_s32()
+        else:
+            base = base_field
+    elif rm == EBP and mod == 0:   # disp32, no base
+        disp = reader.read_s32()
+    else:
+        base = rm
+
+    if mod == 1:
+        disp += reader.read_s8()
+    elif mod == 2:
+        disp += reader.read_s32()
+
+    return reg_field, Mem(base=base, index=index, scale=scale,
+                          disp=disp, size=operand_size, segment=segment)
+
+
+def encode_modrm(reg_field, operand):
+    """Encode *operand* (Reg or Mem) with the given reg field.
+
+    Returns the bytes of ModRM [+ SIB] [+ displacement].  The encoder
+    picks the shortest displacement form, mirroring what gcc emits.
+    """
+    if operand.kind == "reg":
+        return bytes([0xC0 | (reg_field << 3) | operand.index])
+
+    base, index, scale, disp = (operand.base, operand.index,
+                                operand.scale, operand.disp)
+    out = bytearray()
+
+    need_sib = index is not None or base == ESP
+    if base is None and index is None:
+        # Absolute disp32: mod=00 rm=101.
+        out.append((reg_field << 3) | 0x05)
+        out += struct.pack("<i", sign32(disp))
+        return bytes(out)
+
+    if base is None and index is not None:
+        # Index without base requires SIB with base=EBP, mod=00, disp32.
+        out.append((reg_field << 3) | 0x04)
+        out.append(_sib(scale, index, EBP))
+        out += struct.pack("<i", sign32(disp))
+        return bytes(out)
+
+    # Choose mod by displacement width; base EBP cannot use mod=00.
+    if disp == 0 and base != EBP:
+        mod = 0
+    elif -128 <= disp <= 127:
+        mod = 1
+    else:
+        mod = 2
+
+    rm = 0x04 if need_sib else base
+    out.append((mod << 6) | (reg_field << 3) | rm)
+    if need_sib:
+        out.append(_sib(scale, index if index is not None else ESP, base))
+    if mod == 1:
+        out += struct.pack("<b", disp)
+    elif mod == 2:
+        out += struct.pack("<i", sign32(disp))
+    return bytes(out)
+
+
+def _sib(scale, index, base):
+    scale_bits = {1: 0, 2: 1, 4: 2, 8: 3}[scale]
+    return (scale_bits << 6) | (index << 3) | base

@@ -1,0 +1,97 @@
+"""Shared IA-32 opcode tables.
+
+The experiment's validity rests on the *real* x86 opcode layout: a
+single-bit flip in a ``je`` (0x74) must land on exactly the neighbours
+it has on silicon (``jne`` 0x75, ``jna`` 0x76, ``jo`` 0x70, ``jl`` 0x7C,
+the ``fs`` prefix 0x64, ``push %esp`` 0x54, ``xor $imm8,%al`` 0x34 and
+``hlt`` 0xF4).  These tables pin that layout down in one place for the
+decoder, the assembler and the analysis code.
+"""
+
+from __future__ import annotations
+
+# Arithmetic/logic family selected by bits 5-3 of opcodes 0x00-0x3F and
+# by the reg field of the 0x80-0x83 immediate group.
+ALU_OPS = ("add", "or", "adc", "sbb", "and", "sub", "xor", "cmp")
+
+# Shift/rotate family selected by the reg field of 0xC0-0xC1, 0xD0-0xD3.
+SHIFT_OPS = ("rol", "ror", "rcl", "rcr", "shl", "shr", "shl", "sar")
+
+# Unary group selected by the reg field of 0xF6/0xF7.
+GROUP_F7 = ("test", "test", "not", "neg", "mul", "imul", "div", "idiv")
+
+# Group selected by the reg field of 0xFF ("/7" is undefined).
+GROUP_FF = ("inc", "dec", "call", "lcall", "jmp", "ljmp", "push", None)
+
+# Opcode ranges of the conditional branch blocks the paper studies.
+JCC_REL8_BASE = 0x70         # 0x70 - 0x7F
+JCC_REL32_ESCAPE_BASE = 0x80  # 0F 80 - 0F 8F
+SETCC_ESCAPE_BASE = 0x90      # 0F 90 - 0F 9F
+CMOV_ESCAPE_BASE = 0x40       # 0F 40 - 0F 4F
+
+# One-byte prefixes.
+SEGMENT_PREFIXES = {0x26: 0, 0x2E: 1, 0x36: 2, 0x3E: 3, 0x64: 4, 0x65: 5}
+PREFIX_OPSIZE = 0x66
+PREFIX_ADDRSIZE = 0x67
+PREFIX_LOCK = 0xF0
+PREFIX_REPNE = 0xF2
+PREFIX_REP = 0xF3
+ALL_PREFIXES = (frozenset(SEGMENT_PREFIXES)
+                | {PREFIX_OPSIZE, PREFIX_ADDRSIZE,
+                   PREFIX_LOCK, PREFIX_REPNE, PREFIX_REP})
+
+# Instructions that execute but immediately fault with #GP in ring 3 at
+# IOPL 0 (Linux default).  A flip landing on one of these crashes the
+# process with SIGSEGV, exactly like the paper's "hlt" neighbours.
+PRIVILEGED_MNEMONICS = frozenset({
+    "hlt", "cli", "sti", "in", "out", "insb", "insd", "outsb", "outsd",
+    "clts", "invd", "wbinvd", "wrmsr", "rdmsr", "lgdt", "lidt", "lmsw",
+    "ltr", "lldt", "mov_cr", "mov_dr", "iret",
+})
+
+MAX_INSTRUCTION_LENGTH = 15
+
+
+def is_jcc_rel8(opcode):
+    """True for the 2-byte conditional branch block 0x70-0x7F."""
+    return 0x70 <= opcode <= 0x7F
+
+
+def is_jcc_rel32(opcode):
+    """True for the 6-byte conditional branch block 0F 80 - 0F 8F.
+
+    *opcode* is the decoder's combined form ``0x0F00 | second_byte``.
+    """
+    return 0x0F80 <= opcode <= 0x0F8F
+
+
+def jcc_condition(opcode):
+    """Extract the 4-bit condition code from a Jcc opcode (either form)."""
+    return opcode & 0xF
+
+
+def describe_opcode_byte(byte):
+    """Human label for a one-byte opcode value (analysis/reporting)."""
+    if byte in SEGMENT_PREFIXES:
+        return "seg-prefix"
+    if byte in (PREFIX_OPSIZE, PREFIX_ADDRSIZE):
+        return "size-prefix"
+    if byte in (PREFIX_LOCK, PREFIX_REPNE, PREFIX_REP):
+        return "lock/rep-prefix"
+    if is_jcc_rel8(byte):
+        return "jcc-rel8"
+    if 0x50 <= byte <= 0x57:
+        return "push-reg"
+    if 0x58 <= byte <= 0x5F:
+        return "pop-reg"
+    if 0x40 <= byte <= 0x47:
+        return "inc-reg"
+    if 0x48 <= byte <= 0x4F:
+        return "dec-reg"
+    if byte < 0x40 and (byte & 7) < 6:
+        return ALU_OPS[byte >> 3]
+    if 0xB8 <= byte <= 0xBF:
+        return "mov-reg-imm32"
+    if 0xB0 <= byte <= 0xB7:
+        return "mov-reg-imm8"
+    return "0x%02X" % byte

@@ -1,0 +1,60 @@
+"""IA-32 register file definitions.
+
+The emulator models the eight 32-bit general purpose registers, the
+instruction pointer, the EFLAGS register and the six segment registers.
+Register *indices* follow the hardware encoding used in ModRM / opcode
+``+r`` forms (EAX=0 ... EDI=7), so the decoder can map encodings to
+registers without translation tables.
+"""
+
+from __future__ import annotations
+
+# 32-bit general purpose registers, in hardware encoding order.
+EAX, ECX, EDX, EBX, ESP, EBP, ESI, EDI = range(8)
+
+REG32_NAMES = ("eax", "ecx", "edx", "ebx", "esp", "ebp", "esi", "edi")
+
+# 16-bit views share the encoding of their 32-bit parents.
+REG16_NAMES = ("ax", "cx", "dx", "bx", "sp", "bp", "si", "di")
+
+# 8-bit registers: 0-3 are the low bytes of EAX..EBX, 4-7 the high bytes
+# of the same four registers (AH=4, CH=5, DH=6, BH=7).
+REG8_NAMES = ("al", "cl", "dl", "bl", "ah", "ch", "dh", "bh")
+
+AL, CL, DL, BL, AH, CH, DH, BH = range(8)
+
+# Segment registers, in the encoding order used by ``mov sreg`` (ES=0,
+# CS=1, SS=2, DS=3, FS=4, GS=5).
+ES, CS, SS, DS, FS, GS = range(6)
+
+SEG_NAMES = ("es", "cs", "ss", "ds", "fs", "gs")
+
+# Selector values a 32-bit Linux process actually holds; loading anything
+# else into a segment register raises #GP in the emulator, mirroring the
+# crash a corrupted ``pop es`` would cause on real hardware.
+VALID_SELECTORS = frozenset({0x0, 0x23, 0x2B, 0x33, 0x7B})
+
+REG32_BY_NAME = {name: idx for idx, name in enumerate(REG32_NAMES)}
+REG16_BY_NAME = {name: idx for idx, name in enumerate(REG16_NAMES)}
+REG8_BY_NAME = {name: idx for idx, name in enumerate(REG8_NAMES)}
+SEG_BY_NAME = {name: idx for idx, name in enumerate(SEG_NAMES)}
+
+
+def reg32_name(index):
+    """Return the canonical name of a 32-bit register encoding."""
+    return REG32_NAMES[index & 7]
+
+
+def reg16_name(index):
+    """Return the canonical name of a 16-bit register encoding."""
+    return REG16_NAMES[index & 7]
+
+
+def reg8_name(index):
+    """Return the canonical name of an 8-bit register encoding."""
+    return REG8_NAMES[index & 7]
+
+
+def seg_name(index):
+    """Return the canonical name of a segment register encoding."""
+    return SEG_NAMES[index % 6]

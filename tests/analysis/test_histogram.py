@@ -1,0 +1,68 @@
+"""Figure 4 histogram binning and transient-window statistics."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.analysis import build_histogram, format_histogram
+
+
+class TestBinning:
+    def test_bin_boundaries(self):
+        # bin(x) includes all crashes between 2^(x-1) and 2^x
+        histogram = build_histogram([1, 2, 3, 4, 5, 8, 9, 16, 17])
+        assert histogram.bins[0] == 1     # {1}
+        assert histogram.bins[1] == 1     # {2}
+        assert histogram.bins[2] == 2     # {3, 4}
+        assert histogram.bins[3] == 2     # {5, 8}
+        assert histogram.bins[4] == 2     # {9, 16}
+        assert histogram.bins[5] == 1     # {17..32}
+
+    def test_empty(self):
+        histogram = build_histogram([])
+        assert histogram.total == 0
+        assert histogram.max_latency() == 0
+
+    def test_zero_clamped_to_one(self):
+        histogram = build_histogram([0])
+        assert histogram.bins[0] == 1
+
+    def test_max_bin_truncation(self):
+        histogram = build_histogram([1, 1 << 20], max_bin=5)
+        assert len(histogram.bins) == 5
+        assert sum(histogram.bins) == 2
+
+
+class TestStatistics:
+    def test_fraction_within(self):
+        histogram = build_histogram([10, 20, 50, 200, 5000])
+        assert histogram.fraction_within(100) == pytest.approx(0.6)
+        assert histogram.fraction_beyond(100) == pytest.approx(0.4)
+
+    def test_transient_window_share(self):
+        histogram = build_histogram([1] * 90 + [1000] * 10)
+        assert histogram.transient_window_share() == pytest.approx(0.10)
+
+    @given(latencies=st.lists(st.integers(1, 100_000), min_size=1,
+                              max_size=200))
+    def test_bins_sum_to_total(self, latencies):
+        histogram = build_histogram(latencies)
+        assert sum(histogram.bins) == len(latencies)
+        assert histogram.total == len(latencies)
+
+    @given(latencies=st.lists(st.integers(1, 100_000), min_size=1,
+                              max_size=50))
+    def test_fractions_complementary(self, latencies):
+        histogram = build_histogram(latencies)
+        assert histogram.fraction_within(100) \
+            + histogram.fraction_beyond(100) == pytest.approx(1.0)
+
+
+class TestFormatting:
+    def test_render_contains_stats(self):
+        histogram = build_histogram([1, 50, 20000])
+        text = format_histogram(histogram)
+        assert "total crashes: 3" in text
+        assert "transient window" in text
+        assert "max latency: 20000" in text

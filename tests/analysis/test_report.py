@@ -1,0 +1,67 @@
+"""Report rendering edge cases."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis import (format_comparison, format_table1,
+                            PaperComparison)
+from repro.analysis.tables import DistributionColumn
+
+
+def make_column(label="FTP Client1", na=10, nm=5, sd=4, fsv=1, brk=0):
+    activated = nm + sd + fsv + brk
+    return DistributionColumn(
+        label=label,
+        counts={"NA": na, "NM": nm, "SD": sd, "FSV": fsv, "BRK": brk},
+        activated=activated,
+        total_runs=na + activated)
+
+
+class TestTable1Rendering:
+    def test_zero_brk_shows_dash(self):
+        text = format_table1([make_column(brk=0)])
+        brk_line = next(line for line in text.splitlines()
+                        if line.startswith("BRK"))
+        assert "-" in brk_line
+
+    def test_nonzero_brk_shows_percentage(self):
+        text = format_table1([make_column(brk=2)])
+        brk_line = next(line for line in text.splitlines()
+                        if line.startswith("BRK"))
+        assert "%" in brk_line
+
+    def test_zero_activated_column(self):
+        column = DistributionColumn(
+            label="X", counts={"NA": 8, "NM": 0, "SD": 0, "FSV": 0,
+                               "BRK": 0},
+            activated=0, total_runs=8)
+        assert column.percentage("SD") is None
+        text = format_table1([column])
+        assert "runs" in text
+
+    def test_multiple_columns_aligned(self):
+        text = format_table1([make_column("FTP Client1"),
+                              make_column("FTP Client2")])
+        lines = text.splitlines()
+        widths = {len(line) for line in lines[1:-1] if line.strip()}
+        assert len(widths) <= 2   # data rows line up
+
+
+class TestComparisonRendering:
+    def test_rows_and_none_values(self):
+        rows = [
+            PaperComparison("Table1 FTP Client1", "BRK %", 1.07, 2.40),
+            PaperComparison("Table1 FTP Client2", "BRK %", None, 0.0,
+                            note="not applicable"),
+        ]
+        text = format_comparison(rows)
+        assert "1.07" in text
+        assert "2.40" in text
+        assert "not applicable" in text
+        assert " - " in text or "  -" in text
+
+    def test_integer_values(self):
+        rows = [PaperComparison("Figure 4", "max latency", 16384, 1316)]
+        text = format_comparison(rows)
+        assert "16384" in text and "1316" in text

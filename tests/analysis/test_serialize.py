@@ -1,0 +1,61 @@
+"""Campaign JSON round-tripping."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.analysis import (build_table1, build_table3,
+                            campaign_from_dict, campaign_to_dict,
+                            load_campaign, save_campaign)
+from repro.apps.ftpd import client1
+from repro.injection import run_campaign
+
+
+@pytest.fixture(scope="module")
+def campaign(ftp_daemon):
+    return run_campaign(ftp_daemon, "Client1", client1, max_points=200)
+
+
+class TestRoundtrip:
+    def test_dict_roundtrip_preserves_outcomes(self, campaign):
+        rebuilt = campaign_from_dict(campaign_to_dict(campaign))
+        assert rebuilt.counts() == campaign.counts()
+        assert rebuilt.total_runs == campaign.total_runs
+        assert rebuilt.daemon_name == campaign.daemon_name
+        assert rebuilt.encoding == campaign.encoding
+
+    def test_per_result_fields(self, campaign):
+        rebuilt = campaign_from_dict(campaign_to_dict(campaign))
+        for original, copy in zip(campaign.results, rebuilt.results):
+            assert original.outcome == copy.outcome
+            assert original.location == copy.location
+            assert original.crash_latency == copy.crash_latency
+            assert original.point.instruction_address \
+                == copy.point.instruction_address
+            assert original.point.bit == copy.point.bit
+
+    def test_file_roundtrip(self, campaign, tmp_path):
+        path = tmp_path / "campaign.json"
+        save_campaign(campaign, path)
+        rebuilt = load_campaign(path)
+        assert rebuilt.counts() == campaign.counts()
+
+    def test_json_is_plain_data(self, campaign):
+        text = json.dumps(campaign_to_dict(campaign))
+        assert isinstance(json.loads(text), dict)
+
+    def test_schema_guard(self, campaign):
+        payload = campaign_to_dict(campaign)
+        payload["schema"] = 99
+        with pytest.raises(ValueError):
+            campaign_from_dict(payload)
+
+    def test_rebuilt_campaign_feeds_analysis(self, campaign):
+        """A deserialized campaign drives the table builders."""
+        rebuilt = campaign_from_dict(campaign_to_dict(campaign))
+        table1 = build_table1([rebuilt])
+        assert table1[0].total_runs == campaign.total_runs
+        table3 = build_table3([rebuilt])
+        assert table3[0].total == sum(campaign.by_location().values())

@@ -1,0 +1,86 @@
+"""Table builders and renderers over real (small) campaigns."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.apps.ftpd import client1
+from repro.analysis import (build_table1, build_table3, build_table5,
+                            format_table1, format_table3, format_table5,
+                            PAPER_TABLE1)
+from repro.injection import ENCODING_NEW, run_campaign
+
+SLICE = 200
+
+
+@pytest.fixture(scope="module")
+def old_campaign(ftp_daemon):
+    return run_campaign(ftp_daemon, "Client1", client1, max_points=SLICE)
+
+
+@pytest.fixture(scope="module")
+def new_campaign(ftp_daemon):
+    return run_campaign(ftp_daemon, "Client1", client1,
+                        encoding=ENCODING_NEW, max_points=SLICE)
+
+
+class TestTable1:
+    def test_columns(self, old_campaign):
+        columns = build_table1([old_campaign])
+        column = columns[0]
+        assert column.total_runs == SLICE
+        assert column.counts["NA"] + column.activated == SLICE
+
+    def test_percentages_of_activated(self, old_campaign):
+        column = build_table1([old_campaign])[0]
+        assert column.percentage("NA") is None
+        total = sum(column.percentage(outcome) or 0
+                    for outcome in ("NM", "SD", "FSV", "BRK"))
+        assert total == pytest.approx(100.0)
+
+    def test_render(self, old_campaign):
+        text = format_table1(build_table1([old_campaign]))
+        for row in ("NA", "NM", "SD", "FSV", "BRK"):
+            assert row in text
+
+
+class TestTable3:
+    def test_totals(self, old_campaign):
+        column = build_table3([old_campaign])[0]
+        counts = old_campaign.counts()
+        assert column.total == counts["BRK"] + counts["FSV"]
+
+    def test_percentages_sum(self, old_campaign):
+        column = build_table3([old_campaign])[0]
+        if column.total:
+            total = sum(column.percentage(location)
+                        for location in column.counts)
+            assert total == pytest.approx(100.0)
+
+    def test_render(self, old_campaign):
+        text = format_table3(build_table3([old_campaign]))
+        for location in ("2BC", "2BO", "6BC1", "6BC2", "6BO", "MISC"):
+            assert location in text
+
+
+class TestTable5:
+    def test_reductions(self, old_campaign, new_campaign):
+        column = build_table5([(old_campaign, new_campaign)])[0]
+        old_counts = old_campaign.counts()
+        new_counts = new_campaign.counts()
+        assert column.fsv_reduction_count \
+            == old_counts["FSV"] - new_counts["FSV"]
+        assert column.brk_reduction_count \
+            == old_counts["BRK"] - new_counts["BRK"]
+
+    def test_render(self, old_campaign, new_campaign):
+        text = format_table5(build_table5([(old_campaign,
+                                            new_campaign)]))
+        assert "FSVr" in text and "BRKr" in text
+
+
+class TestPaperReference:
+    def test_paper_table1_complete(self):
+        assert len(PAPER_TABLE1) == 6
+        assert PAPER_TABLE1[("FTP", "Client1")]["BRK"] == 1.07
+        assert PAPER_TABLE1[("SSH", "Client1")]["BRK"] == 1.53

@@ -1,0 +1,96 @@
+"""Scripted clients must survive arbitrary garbage from a corrupted
+server -- they are part of the measurement apparatus, so they may never
+crash or spin."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.apps.ftpd.clients import FtpClient, MAX_CONFUSION
+from repro.apps.pop3d.clients import Pop3Client
+from repro.apps.sshd.clients import SshClient
+from repro.kernel import Channel
+
+
+def feed(client, *chunks):
+    channel = Channel(client)
+    for chunk in chunks:
+        if client.closed:
+            break
+        client.receive(chunk)
+    return channel
+
+
+class TestFtpClientRobustness:
+    def test_garbage_lines_give_up_eventually(self):
+        client = FtpClient("alice", "pw")
+        feed(client, b"!!! not a reply\r\n" * (MAX_CONFUSION + 1))
+        assert client.closed
+
+    def test_unknown_code_tolerated(self):
+        client = FtpClient("alice", "pw")
+        feed(client, b"999 strange\r\n" * (MAX_CONFUSION + 1))
+        assert client.closed
+
+    def test_split_lines_reassembled(self):
+        client = FtpClient("alice", "pw")
+        channel = feed(client, b"220 wel", b"come\r\n")
+        sent = [chunk for direction, chunk in channel.transcript
+                if direction == "C"]
+        assert sent and sent[0].startswith(b"USER alice")
+
+    def test_empty_chunks_harmless(self):
+        client = FtpClient("alice", "pw")
+        feed(client, b"", b"220 hi\r\n", b"")
+        assert not client.closed
+
+    def test_binary_noise_in_data_mode(self):
+        client = FtpClient("alice", "pw")
+        feed(client, b"220 x\r\n331 x\r\n230 x\r\n150 x\r\n",
+             bytes(range(256)) + b"\r\n", b"226 done\r\n")
+        assert client.retrieved_files == 1
+
+
+class TestSshClientRobustness:
+    def test_non_ssh_banner_gives_up(self):
+        client = SshClient("alice", "pw")
+        feed(client, b"garbage banner\n" * 10)
+        assert client.closed
+
+    def test_empty_packet_counts_as_confusion(self):
+        client = SshClient("alice", "pw")
+        # valid version, then a stream of zero-length packets
+        feed(client, b"SSH-1.5-x\n", b"\x00" * 20)
+        assert client.closed
+
+    def test_partial_packet_waits(self):
+        client = SshClient("alice", "pw")
+        channel = feed(client, b"SSH-1.5-x\n", b"\x0bK0x517E55")
+        # length byte says 11, only 10 body bytes arrived: no reaction
+        assert not client.closed
+        assert client.buffer      # still buffered
+
+    def test_unknown_packet_type_tolerated_then_closed(self):
+        client = SshClient("alice", "pw")
+        frames = b"".join(b"\x02Zz" for __ in range(10))
+        feed(client, b"SSH-1.5-x\n", frames)
+        assert client.closed
+
+
+class TestPop3ClientRobustness:
+    def test_garbage_gives_up(self):
+        client = Pop3Client("alice", "pw")
+        feed(client, b"*** weird\r\n" * 10)
+        assert client.closed
+
+    def test_err_at_banner_state(self):
+        client = Pop3Client("alice", "pw")
+        feed(client, b"-ERR server too busy\r\n" * 10)
+        assert client.closed
+
+    def test_message_terminator_honoured(self):
+        client = Pop3Client("alice", "pw")
+        feed(client, b"+OK pop <1.2@x>\r\n", b"+OK\r\n", b"+OK\r\n",
+             b"+OK body follows\r\n", b"line one\r\nline two\r\n.\r\n")
+        assert client.messages_read == 1
+        assert b"line one" in client.mail_payload

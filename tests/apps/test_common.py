@@ -1,0 +1,98 @@
+"""The shared daemon harness and the generated passwd table."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.apps.common import Daemon, passwd_table_source
+from repro.cc import compile_program
+from repro.emu import Process
+from repro.kernel import (Account, default_database, Kernel,
+                          PasswdDatabase)
+
+
+class TestPasswdTableSource:
+    def test_contains_all_accounts(self):
+        source = passwd_table_source(default_database())
+        for account in default_database():
+            assert '"%s"' % account.name in source
+            assert account.password_hash in source
+
+    def test_getpwnam_in_emulator(self):
+        database = default_database()
+        source = passwd_table_source(database) + """
+int main() {
+    if (getpwnam_index("alice") != 0) { return 1; }
+    if (getpwnam_index("carol") != 2) { return 2; }
+    if (getpwnam_index("nobody") != -1) { return 3; }
+    return 0;
+}
+"""
+        program = compile_program(source)
+        status = Process(program.module, Kernel()).run()
+        assert status.kind == "exit"
+        assert status.exit_code == 0
+
+    def test_policy_arrays_in_emulator(self):
+        database = default_database()
+        source = passwd_table_source(database) + """
+int main() {
+    int bob;
+    int trusted;
+    bob = getpwnam_index("bob");
+    trusted = getpwnam_index("trusted");
+    if (pw_denied[bob] != 1) { return 1; }
+    if (pw_rhosts[trusted] != 1) { return 2; }
+    if (pw_uids[bob] != 1002) { return 3; }
+    return 0;
+}
+"""
+        program = compile_program(source)
+        status = Process(program.module, Kernel()).run()
+        assert status.exit_code == 0
+
+    def test_custom_database(self):
+        database = PasswdDatabase()
+        database.add(Account("solo", "pw", uid=500, salt="so"))
+        source = passwd_table_source(database)
+        assert "int pw_count = 1;" in source
+
+
+class TestDaemonHarness:
+    def test_auth_ranges_ordered_and_disjoint(self, ftp_daemon,
+                                              ssh_daemon):
+        for daemon in (ftp_daemon, ssh_daemon):
+            ranges = daemon.auth_ranges()
+            assert len(ranges) == len(daemon.AUTH_FUNCTIONS)
+            for start, end in ranges:
+                assert start < end
+            sorted_ranges = sorted(ranges)
+            for (__, first_end), (second_start, ___) in zip(
+                    sorted_ranges, sorted_ranges[1:]):
+                assert first_end <= second_start
+
+    def test_spawn_gives_fresh_process(self, ftp_daemon):
+        from repro.apps.ftpd import client1
+        first = ftp_daemon.spawn(client1())
+        second = ftp_daemon.spawn(client1())
+        assert first is not second
+        assert first.memory is not second.memory
+
+    def test_daemon_with_custom_database(self):
+        from repro.apps.ftpd import FtpClient, FtpDaemon
+        database = default_database()
+        database.add(Account("newbie", "fresh-pass", uid=1500,
+                             salt="nb"))
+        daemon = FtpDaemon(database=database)
+        client = FtpClient("newbie", "fresh-pass", retrieve=())
+        daemon.run_connection(client)
+        assert client.granted
+
+    def test_daemon_with_custom_files(self):
+        from repro.apps.ftpd import FtpClient, FtpDaemon
+        daemon = FtpDaemon(files={"/pub/custom.txt": b"custom!"})
+        client = FtpClient("alice", "correcthorse",
+                           retrieve=("custom.txt",))
+        daemon.run_connection(client)
+        assert client.retrieved_files == 1
+        assert b"custom!" in client.data_payload

@@ -1,0 +1,178 @@
+"""FTP daemon behaviour: the four paper clients plus policy edges."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.apps.ftpd import (client1, client2, client3, client4,
+                             FtpClient)
+from repro.kernel import ScriptedClient
+
+
+def transcript_text(kernel):
+    return b"".join(chunk for direction, chunk
+                    in kernel.channel.transcript if direction == "S")
+
+
+class TestPaperClients:
+    def test_client1_wrong_password_denied(self, ftp_daemon):
+        client = client1()
+        status, kernel = ftp_daemon.run_connection(client)
+        assert status.kind == "exit"
+        assert not client.granted
+        assert client.denied
+        assert not client.broke_in()
+        assert b"530 Login incorrect." in transcript_text(kernel)
+
+    def test_client2_correct_password_retrieves(self, ftp_daemon):
+        client = client2()
+        status, kernel = ftp_daemon.run_connection(client)
+        assert status.kind == "exit"
+        assert client.granted
+        assert client.retrieved_files == 2
+        assert client.broke_in()   # golden-granted; used only w/ golden
+        text = transcript_text(kernel)
+        assert b"230 User logged in" in text
+        assert b"226 Transfer complete." in text
+
+    def test_client3_unknown_user_denied(self, ftp_daemon):
+        client = client3()
+        status, kernel = ftp_daemon.run_connection(client)
+        assert not client.granted
+        # reply must not leak account existence: same 331 as known users
+        assert b"331 Password required." in transcript_text(kernel)
+        assert b"530 Login incorrect." in transcript_text(kernel)
+
+    def test_client4_anonymous_granted(self, ftp_daemon):
+        client = client4()
+        status, kernel = ftp_daemon.run_connection(client)
+        assert client.granted
+        assert client.retrieved_files == 2
+        assert b"Guest login ok" in transcript_text(kernel)
+
+    def test_file_content_served(self, ftp_daemon):
+        client = client2()
+        __, kernel = ftp_daemon.run_connection(client)
+        assert b"Welcome to the repro FTP archive." in client.data_payload
+
+
+class TestPolicyEdges:
+    def test_denied_user_rejected_with_correct_password(self, ftp_daemon):
+        client = FtpClient("bob", "builder123")
+        ftp_daemon.run_connection(client)
+        assert not client.granted
+        assert client.denied
+
+    def test_retr_without_login(self, ftp_daemon):
+        class Early(FtpClient):
+            def _handle_reply(self, code):
+                if code == 220:
+                    self.send("RETR readme.txt\r\n")
+                elif code == 530:
+                    self.denied = True
+                    self.send("QUIT\r\n")
+                elif code == 221:
+                    self.close()
+                else:
+                    super()._handle_reply(code)
+
+        client = Early("x", "y")
+        status, kernel = ftp_daemon.run_connection(client)
+        assert b"530 Please login with USER and PASS." \
+            in transcript_text(kernel)
+
+    def test_pass_before_user(self, ftp_daemon):
+        class PassFirst(FtpClient):
+            def _handle_reply(self, code):
+                if code == 220:
+                    self.send("PASS nothing\r\n")
+                elif code == 503:
+                    self.denied = True
+                    self.send("QUIT\r\n")
+                elif code == 221:
+                    self.close()
+                else:
+                    super()._handle_reply(code)
+
+        client = PassFirst("x", "y")
+        __, kernel = ftp_daemon.run_connection(client)
+        assert b"503 Login with USER first." in transcript_text(kernel)
+
+    def test_three_failures_disconnect(self, ftp_daemon):
+        class Persistent(ScriptedClient):
+            def __init__(self):
+                super().__init__()
+                self.buffer = b""
+                self.attempts = 0
+                self.saw_421 = False
+
+            def receive(self, data):
+                self.buffer += data
+                while b"\n" in self.buffer:
+                    line, __, self.buffer = self.buffer.partition(b"\n")
+                    self._line(line)
+
+            def _line(self, line):
+                if line.startswith(b"220") or line.startswith(b"530"):
+                    if line.startswith(b"530"):
+                        self.attempts += 1
+                    if self.attempts < 5:
+                        self.send("USER alice\r\n")
+                elif line.startswith(b"331"):
+                    self.send("PASS wrong-%d\r\n" % self.attempts)
+                elif line.startswith(b"421"):
+                    self.saw_421 = True
+                    self.close()
+
+            def broke_in(self):
+                return False
+
+        client = Persistent()
+        status, kernel = ftp_daemon.run_connection(client)
+        assert client.saw_421
+        assert status.kind == "exit"
+        assert status.exit_code == 1
+
+    def test_unknown_command(self, ftp_daemon):
+        class Weird(FtpClient):
+            def _handle_reply(self, code):
+                if code == 220:
+                    self.send("FROB x\r\n")
+                elif code == 500:
+                    self.send("QUIT\r\n")
+                elif code == 221:
+                    self.close()
+                else:
+                    super()._handle_reply(code)
+
+        client = Weird("x", "y")
+        __, kernel = ftp_daemon.run_connection(client)
+        assert b"500 Command not understood." in transcript_text(kernel)
+
+    def test_missing_file_550(self, ftp_daemon):
+        client = FtpClient("alice", "correcthorse",
+                           retrieve=("nothere.bin",))
+        ftp_daemon.run_connection(client)
+        assert client.granted
+        assert client.retrieved_files == 0
+
+    def test_anonymous_gets_email_warning(self, ftp_daemon):
+        client = FtpClient("anonymous", "not-an-email", retrieve=())
+        __, kernel = ftp_daemon.run_connection(client)
+        assert client.granted
+        assert b"230-Next time please use your e-mail" \
+            in transcript_text(kernel)
+
+    def test_ftp_alias_also_guest(self, ftp_daemon):
+        client = FtpClient("ftp", "me@example.org", retrieve=())
+        ftp_daemon.run_connection(client)
+        assert client.granted
+
+
+class TestDeterminism:
+    def test_identical_transcripts_across_runs(self, ftp_daemon):
+        first_status, first_kernel = ftp_daemon.run_connection(client2())
+        second_status, second_kernel = ftp_daemon.run_connection(client2())
+        assert first_kernel.channel.normalized_transcript() \
+            == second_kernel.channel.normalized_transcript()
+        assert first_status.instret == second_status.instret

@@ -1,0 +1,116 @@
+"""POP3 daemon (extension application)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.apps.pop3d import (client1, client2, client_apop,
+                              client_apop_attacker, Pop3Client,
+                              Pop3Daemon)
+from repro.injection import (record_golden, run_campaign,
+                             SECURITY_BREAKIN)
+
+
+@pytest.fixture(scope="module")
+def pop3_daemon():
+    return Pop3Daemon()
+
+
+def server_text(kernel):
+    return b"".join(chunk for direction, chunk
+                    in kernel.channel.transcript if direction == "S")
+
+
+class TestCleanBehaviour:
+    def test_attacker_denied(self, pop3_daemon):
+        client = client1()
+        status, kernel = pop3_daemon.run_connection(client)
+        assert status.kind == "exit"
+        assert not client.granted
+        assert client.denied
+        assert b"-ERR invalid password" in server_text(kernel)
+
+    def test_legit_user_reads_mail(self, pop3_daemon):
+        client = client2()
+        status, kernel = pop3_daemon.run_connection(client)
+        assert client.granted
+        assert client.messages_read == 1
+        assert b"Subject: welcome" in client.mail_payload
+
+    def test_apop_entry_point(self, pop3_daemon):
+        client = client_apop()
+        pop3_daemon.run_connection(client)
+        assert client.granted
+        assert client.messages_read == 1
+
+    def test_apop_wrong_password_denied(self, pop3_daemon):
+        client = client_apop_attacker()
+        pop3_daemon.run_connection(client)
+        assert not client.granted
+
+    def test_unknown_user_same_user_reply(self, pop3_daemon):
+        """USER accepts any name (no account leak); PASS fails."""
+        client = Pop3Client("mallory", "whatever")
+        __, kernel = pop3_daemon.run_connection(client)
+        text = server_text(kernel)
+        assert b"+OK name is a valid mailbox" in text
+        assert not client.granted
+
+    def test_retr_without_auth(self, pop3_daemon):
+        class Early(Pop3Client):
+            def _advance(self, line):
+                if self.state == "banner":
+                    self.state = "auth"
+                    self.send("RETR 1\r\n")
+                else:
+                    super()._advance(line)
+
+        client = Early("alice", "x")
+        __, kernel = pop3_daemon.run_connection(client)
+        assert b"-ERR not authenticated" in server_text(kernel)
+
+    def test_lockout_after_failures(self, pop3_daemon):
+        class Stubborn(Pop3Client):
+            def _failed(self, line):
+                if b"too many" in line:
+                    self.close()
+                    return
+                self.state = "user"
+                self.send("USER alice\r\n")
+
+        client = Stubborn("alice", "wrong")
+        status, kernel = pop3_daemon.run_connection(client)
+        assert status.exit_code == 1
+        assert b"too many authentication failures" \
+            in server_text(kernel)
+
+    def test_denied_account_rejected(self, pop3_daemon):
+        client = Pop3Client("bob", "builder123")   # locked account
+        pop3_daemon.run_connection(client)
+        assert not client.granted
+
+
+class TestInjection:
+    def test_attacker_campaign_has_breakins(self, pop3_daemon):
+        campaign = run_campaign(pop3_daemon, "Client1", client1)
+        counts = campaign.counts()
+        assert counts["BRK"] > 0
+        brk_pct = campaign.percentage_of_activated("BRK")
+        assert 0.2 <= brk_pct <= 8.0
+
+    def test_apop_attacker_campaign(self, pop3_daemon):
+        """The second entry point is independently breakable."""
+        campaign = run_campaign(pop3_daemon, "ClientA-bad",
+                                client_apop_attacker)
+        assert campaign.counts()["BRK"] > 0
+
+    def test_legit_campaign_no_breakins(self, pop3_daemon):
+        campaign = run_campaign(pop3_daemon, "Client2", client2,
+                                max_points=600)
+        assert campaign.counts()["BRK"] == 0
+
+    def test_golden_records(self, pop3_daemon):
+        golden = record_golden(pop3_daemon, client1)
+        assert not golden.broke_in
+        granted = record_golden(pop3_daemon, client2)
+        assert granted.broke_in

@@ -1,0 +1,179 @@
+"""SSH daemon behaviour: clients, multi-method auth, policy flags."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.apps.sshd import client1, client2, SshClient, SshDaemon
+from repro.kernel import Account, default_database
+
+
+class TestPaperClients:
+    def test_client1_wrong_password_denied(self, ssh_daemon):
+        client = client1()
+        status, kernel = ssh_daemon.run_connection(client)
+        assert status.kind == "exit"
+        assert status.exit_code == 255
+        assert not client.auth_success
+        assert not client.got_shell
+        assert client.failures == 2   # rhosts then password
+
+    def test_client2_correct_password_gets_shell(self, ssh_daemon):
+        client = client2()
+        status, kernel = ssh_daemon.run_connection(client)
+        assert status.kind == "exit"
+        assert status.exit_code == 0
+        assert client.auth_success
+        assert client.got_shell
+        assert b"output: echo hello" in client.shell_output
+
+    def test_traffic_encrypted_after_kex(self, ssh_daemon):
+        client = client2()
+        __, kernel = ssh_daemon.run_connection(client)
+        wire = b"".join(chunk for direction, chunk
+                        in kernel.channel.transcript
+                        if direction == "S")
+        # the auth-success payload must not appear in cleartext
+        assert b"authentication accepted" not in wire
+        assert b"SSH-1.5-repro_1.2.30" in wire   # version is plaintext
+
+    def test_wrong_user_denied(self, ssh_daemon):
+        client = SshClient("mallory", "anything")
+        status, __ = ssh_daemon.run_connection(client)
+        assert not client.auth_success
+        assert status.exit_code == 255
+
+
+class TestMultipleEntryPoints:
+    def test_rhosts_trusted_host_no_password(self):
+        daemon = SshDaemon()
+        # patch the daemon's view of the client host to a trusted one:
+        # easiest via a client logging in as the rhosts-allowed account
+        # from the trusted address -- the daemon source consults
+        # client_host_trusted, which tests toggle by rebuilding with a
+        # modified database/source; here we exercise the negative path.
+        client = SshClient("trusted", "wrong-password")
+        status, __ = daemon.run_connection(client)
+        # untrusted source address: rhosts must NOT admit even the
+        # rhosts-allowed account
+        assert not client.auth_success
+
+    def test_rhosts_accepts_from_trusted_host(self):
+        daemon = TrustedHostSshDaemon()
+        client = SshClient("trusted", "wrong-password")
+        status, __ = daemon.run_connection(client)
+        # rhosts fires before any password is needed
+        assert client.auth_success
+        assert client.got_shell
+
+    def test_rhosts_does_not_admit_non_rhosts_account(self):
+        daemon = TrustedHostSshDaemon()
+        client = SshClient("alice", "bad-password")
+        status, __ = daemon.run_connection(client)
+        assert not client.auth_success
+
+
+class TrustedHostSshDaemon(SshDaemon):
+    """SSH daemon built as if the client connects from a host listed in
+    hosts.equiv (client_host_trusted = 1)."""
+
+    SOURCE = SshDaemon.SOURCE.replace("int client_host_trusted = 0;",
+                                      "int client_host_trusted = 1;")
+
+
+class EmptyPasswdSshDaemon(SshDaemon):
+    SOURCE = SshDaemon.SOURCE.replace("int permit_empty_passwd = 0;",
+                                      "int permit_empty_passwd = 1;")
+
+
+class NoPasswordAuthSshDaemon(SshDaemon):
+    SOURCE = SshDaemon.SOURCE.replace("int password_authentication = 1;",
+                                      "int password_authentication = 0;")
+
+
+class TestPolicyFlags:
+    def test_empty_password_policy(self):
+        database = default_database()
+        database.add(Account("kiosk", "", uid=1010, salt="ki",
+                             empty_password_ok=True))
+        daemon = EmptyPasswdSshDaemon(database=database)
+        client = SshClient("kiosk", "")
+        ssh_status, __ = daemon.run_connection(client)
+        assert client.auth_success
+
+    def test_empty_password_rejected_by_default(self, ssh_daemon):
+        client = SshClient("alice", "")
+        ssh_daemon.run_connection(client)
+        assert not client.auth_success
+
+    def test_password_auth_disabled(self):
+        daemon = NoPasswordAuthSshDaemon()
+        client = SshClient("alice", "correcthorse")
+        status, __ = daemon.run_connection(client)
+        assert not client.auth_success
+
+    def test_locked_account_rejected(self, ssh_daemon):
+        client = SshClient("bob", "builder123")   # bob is denied/locked
+        ssh_daemon.run_connection(client)
+        assert not client.auth_success
+
+
+class TestProtocolEdges:
+    def test_protocol_mismatch(self, ssh_daemon):
+        class BadVersion(SshClient):
+            def _handle_version(self, line):
+                self.version_sent = True
+                self.send("TELNET/1.0\n")
+
+        client = BadVersion("alice", "x")
+        status, kernel = ssh_daemon.run_connection(client)
+        assert status.exit_code == 255
+        wire = b"".join(chunk for direction, chunk
+                        in kernel.channel.transcript if direction == "S")
+        assert b"Protocol mismatch." in wire
+
+    def test_too_many_auth_attempts(self, ssh_daemon):
+        class Stubborn(SshClient):
+            def _try_next_method(self):
+                if self.failures >= 10:
+                    self.close()
+                    return
+                self._send_packet(b"P", "never-right")
+
+        client = Stubborn("alice", "x")
+        status, __ = ssh_daemon.run_connection(client)
+        assert status.exit_code == 255
+        assert client.failures >= 6
+
+    def test_unknown_auth_method_gets_failure(self, ssh_daemon):
+        class Odd(SshClient):
+            def __init__(self, *args):
+                super().__init__(*args)
+                self.sent_odd = False
+
+            def _try_next_method(self):
+                if not self.sent_odd:
+                    self.sent_odd = True
+                    self._send_packet(b"Z", "weird")
+                else:
+                    super()._try_next_method()
+
+        client = Odd("alice", "correcthorse")
+        status, __ = ssh_daemon.run_connection(client)
+        # after the odd method fails, password succeeds
+        assert client.auth_success
+
+    def test_shell_echo_roundtrip(self, ssh_daemon):
+        client = SshClient("alice", "correcthorse",
+                           command="cat /etc/hosts")
+        ssh_daemon.run_connection(client)
+        assert b"output: cat /etc/hosts" in client.shell_output
+
+
+class TestDeterminism:
+    def test_identical_runs(self, ssh_daemon):
+        first_status, first_kernel = ssh_daemon.run_connection(client1())
+        second_status, second_kernel = ssh_daemon.run_connection(client1())
+        assert first_kernel.channel.normalized_transcript() \
+            == second_kernel.channel.normalized_transcript()
+        assert first_status.instret == second_status.instret

@@ -1,0 +1,63 @@
+"""SSH packet-layer edges (the paper's Example 3 territory)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.apps.sshd import SshClient
+
+
+class TestPacketSizes:
+    def test_max_length_command(self, ssh_daemon):
+        """A command that fills the frame to its 255-byte limit must
+        round-trip without smashing anything."""
+        long_command = "x" * 120
+        client = SshClient("alice", "correcthorse",
+                           command=long_command)
+        status, __ = ssh_daemon.run_connection(client)
+        assert status.kind == "exit"
+        assert client.got_shell
+        assert long_command.encode() in client.shell_output
+
+    def test_empty_password_packet(self, ssh_daemon):
+        client = SshClient("alice", "")
+        status, __ = ssh_daemon.run_connection(client)
+        assert not client.auth_success
+
+    def test_long_password_rejected_by_policy(self, ssh_daemon):
+        client = SshClient("alice", "p" * 60)   # > 48 chars
+        status, __ = ssh_daemon.run_connection(client)
+        assert not client.auth_success
+
+    def test_oversized_frame_is_protocol_violation(self, ssh_daemon):
+        """A length byte announcing more than the server ever reads is
+        a hang/closed connection, not a buffer overflow: packet_read's
+        bounds check (Example 3's code) holds."""
+        class Oversizer(SshClient):
+            def _handle_packet(self, type_byte, payload):
+                if type_byte == b"K":
+                    # claim 200 bytes, send only 3, then hang up
+                    self.send(b"\xc8abc")
+                    self.close()
+                else:
+                    super()._handle_packet(type_byte, payload)
+
+        client = Oversizer("alice", "pw")
+        status, __ = ssh_daemon.run_connection(client)
+        assert status.kind == "exit"
+        assert status.exit_code == 255   # server saw EOF mid-frame
+
+    def test_zero_length_frame_disconnects_cleanly(self, ssh_daemon):
+        class ZeroSender(SshClient):
+            def _handle_packet(self, type_byte, payload):
+                if type_byte == b"K":
+                    self.send(b"\x00")
+                    self.close()
+                else:
+                    super()._handle_packet(type_byte, payload)
+
+        client = ZeroSender("alice", "pw")
+        status, __ = ssh_daemon.run_connection(client)
+        # packet_read returns -2 (protocol violation) -> main exits
+        assert status.kind == "exit"
+        assert status.exit_code == 255

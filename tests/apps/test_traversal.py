@@ -1,0 +1,60 @@
+"""Path-traversal attack extension (Section 7 future work)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.apps.ftpd import FtpClient, traversal_client
+from repro.injection import (record_golden, run_campaign,
+                             SECURITY_BREAKIN)
+
+
+class TestCleanBehaviour:
+    def test_traversal_refused(self, ftp_daemon):
+        client = traversal_client()
+        status, kernel = ftp_daemon.run_connection(client)
+        assert client.granted            # anonymous login is legal
+        assert client.retrieved_files == 0
+        wire = b"".join(chunk for direction, chunk
+                        in kernel.channel.transcript if direction == "S")
+        assert b"553 Path not allowed." in wire
+
+    def test_absolute_path_refused(self, ftp_daemon):
+        client = FtpClient("anonymous", "a@b.c",
+                           retrieve=("/etc/motd",))
+        ftp_daemon.run_connection(client)
+        assert client.retrieved_files == 0
+
+    def test_kernel_resolves_dotdot(self, ftp_daemon):
+        """The VFS normalises paths, so only the daemon's check stands
+        between the attacker and /etc/motd."""
+        kernel = ftp_daemon.make_kernel(traversal_client())
+        assert kernel.filesystem.exists("/etc/motd")
+
+    def test_golden_not_a_breakin(self, ftp_daemon):
+        golden = record_golden(ftp_daemon, traversal_client)
+        assert not golden.broke_in
+
+
+class TestInjectedTraversal:
+    def test_flips_in_path_check_can_leak_files(self, ftp_daemon):
+        """Single-bit errors in the authorization (path validation)
+        code can leak files outside the served tree -- the same
+        mechanism as the authentication break-ins, one layer up."""
+        ranges = [ftp_daemon.program.function_range("retrieve"),
+                  ftp_daemon.program.function_range("safe_filename")]
+        campaign = run_campaign(ftp_daemon, "Traversal",
+                                traversal_client, ranges=ranges)
+        breakins = campaign.results_with_outcome(SECURITY_BREAKIN)
+        assert breakins, "no flip leaked a file (unexpected)"
+        # and the majority of experiments must not leak
+        assert len(breakins) < campaign.activated_count / 4
+
+    def test_traversal_campaign_deterministic(self, ftp_daemon):
+        ranges = [ftp_daemon.program.function_range("safe_filename")]
+        first = run_campaign(ftp_daemon, "Traversal", traversal_client,
+                             ranges=ranges)
+        second = run_campaign(ftp_daemon, "Traversal", traversal_client,
+                              ranges=ranges)
+        assert [r.outcome for r in first.results] \
+            == [r.outcome for r in second.results]

@@ -1,0 +1,39 @@
+"""Compile-and-run helper for compiler tests."""
+
+from __future__ import annotations
+
+from repro.cc import compile_program
+from repro.emu import Process
+from repro.kernel import Kernel, ScriptedClient
+
+
+class Sink(ScriptedClient):
+    """Collects whatever the program writes to the socket."""
+
+    def __init__(self):
+        super().__init__()
+        self.data = b""
+
+    def receive(self, data):
+        self.data += data
+
+
+def run_c(source, budget=2_000_000):
+    """Compile *source* (must define main) and run it to exit.
+
+    Returns ``(exit_code, socket_output, kernel)``.
+    """
+    program = compile_program(source)
+    sink = Sink()
+    kernel = Kernel.for_client(sink)
+    process = Process(program.module, kernel)
+    status = process.run(budget)
+    assert status.kind == "exit", "program did not exit: %s" % status
+    return status.exit_code, sink.data, kernel
+
+
+def expr_value(expression, prelude=""):
+    """Evaluate an int expression via main's exit status (mod 256)."""
+    source = "%s\nint main() { return %s; }" % (prelude, expression)
+    exit_code, __, ___ = run_c(source)
+    return exit_code

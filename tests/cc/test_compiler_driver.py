@@ -1,0 +1,94 @@
+"""Compiler driver options."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cc import (compile_expression_test, compile_program,
+                      DEFAULT_DATA_BASE, DEFAULT_TEXT_BASE)
+from repro.emu import Process
+from repro.kernel import Kernel
+from repro.x86 import disassemble_range
+
+
+class TestDriverOptions:
+    def test_default_bases(self):
+        program = compile_program("int main() { return 0; }")
+        assert program.module.text_base == DEFAULT_TEXT_BASE
+        assert program.module.data_base == DEFAULT_DATA_BASE
+
+    def test_custom_bases(self):
+        program = compile_program("int main() { return 0; }",
+                                  text_base=0x400000,
+                                  data_base=0x600000)
+        assert program.module.text_base == 0x400000
+        assert program.address_of("main") >= 0x400000
+
+    def test_without_runtime_no_libc(self):
+        program = compile_program("int main() { return 3; }",
+                                  include_runtime=False)
+        with pytest.raises(KeyError):
+            program.address_of("strcmp")
+
+    def test_without_runtime_has_no_start(self):
+        program = compile_program("int main() { return 3; }",
+                                  include_runtime=False)
+        with pytest.raises(KeyError):
+            program.address_of("_start")
+
+    def test_extra_asm_is_linked(self):
+        program = compile_program("""
+int main() { return magic(); }
+""", extra_asm="""
+.text
+.global magic
+magic:
+    movl $99, %eax
+    ret
+""")
+        status = Process(program.module, Kernel()).run()
+        assert status.exit_code == 99
+
+    def test_extra_sources_concatenated(self):
+        program = compile_program(
+            "int main() { return shared_value; }",
+            extra_sources=("int shared_value = 41;",))
+        status = Process(program.module, Kernel()).run()
+        assert status.exit_code == 41
+
+    def test_force_long_branches(self):
+        source = """
+int main() {
+    int x;
+    x = 1;
+    if (x) {
+        x = 2;
+    }
+    return x;
+}
+"""
+        short_build = compile_program(source)
+        long_build = compile_program(source, force_long_branches=True)
+        assert len(long_build.module.text) > len(short_build.module.text)
+        # no 2-byte Jcc anywhere in the long build's main
+        start, end = long_build.function_range("main")
+        for instruction in disassemble_range(
+                long_build.module.text, long_build.module.text_base,
+                start, end):
+            if instruction.kind == "cond_branch":
+                assert instruction.length == 6
+        # semantics unchanged
+        assert Process(long_build.module, Kernel()).run().exit_code == 2
+
+    def test_expression_test_helper(self):
+        program = compile_expression_test("return 6 * 7;")
+        status = Process(program.module, Kernel()).run()
+        assert status.exit_code == 42
+
+    def test_compiled_program_accessors(self):
+        program = compile_program("int main() { return 0; }")
+        start, end = program.function_range("main")
+        assert start < end
+        assert program.address_of("main") == start
+        assert "main:" in program.assembly
+        assert "int main()" in program.source

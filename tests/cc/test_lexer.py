@@ -1,0 +1,76 @@
+"""Mini-C lexer."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cc import MiniCSyntaxError, tokenize
+
+
+def kinds(source):
+    return [token.kind for token in tokenize(source)][:-1]
+
+
+def values(source):
+    return [token.value for token in tokenize(source)][:-1]
+
+
+class TestBasics:
+    def test_keywords_vs_identifiers(self):
+        assert kinds("int x while whilst") == ["int", "id", "while", "id"]
+
+    def test_numbers(self):
+        assert values("0 42 0x1F") == [0, 42, 31]
+
+    def test_char_literals(self):
+        assert values("'a' '\\n' '\\x41' '\\0'") == [97, 10, 65, 0]
+
+    def test_string_literal(self):
+        tokens = tokenize('"hi\\n"')
+        assert tokens[0].kind == "str"
+        assert tokens[0].value == b"hi\n"
+
+    def test_string_escapes(self):
+        assert tokenize(r'"\r\t\\\""')[0].value == b'\r\t\\"'
+
+    def test_adjacent_strings_concatenate(self):
+        tokens = tokenize('"ab" "cd"')
+        assert tokens[0].value == b"abcd"
+        assert tokens[1].kind == "eof"
+
+    def test_operators_longest_match(self):
+        assert kinds("a<<=b") == ["id", "<<=", "id"]
+        assert kinds("a<=b") == ["id", "<=", "id"]
+        assert kinds("a<b") == ["id", "<", "id"]
+        assert kinds("a==b = c") == ["id", "==", "id", "=", "id"]
+        assert kinds("x++ + ++y") == ["id", "++", "+", "++", "id"]
+
+    def test_line_numbers(self):
+        tokens = tokenize("a\nb\n\nc")
+        assert [t.line for t in tokens[:3]] == [1, 2, 4]
+
+
+class TestComments:
+    def test_line_comment(self):
+        assert kinds("a // comment\nb") == ["id", "id"]
+
+    def test_block_comment(self):
+        assert kinds("a /* x\ny */ b") == ["id", "id"]
+
+    def test_unterminated_block_comment(self):
+        with pytest.raises(MiniCSyntaxError):
+            tokenize("/* never ends")
+
+
+class TestErrors:
+    def test_bad_character(self):
+        with pytest.raises(MiniCSyntaxError):
+            tokenize("a ` b")
+
+    def test_unterminated_string(self):
+        with pytest.raises(MiniCSyntaxError):
+            tokenize('"abc')
+
+    def test_bad_escape(self):
+        with pytest.raises(MiniCSyntaxError):
+            tokenize(r'"\q"')

@@ -1,0 +1,182 @@
+"""Mini-C parser: AST shapes and syntax errors."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cc import MiniCSyntaxError, parse
+from repro.cc import ast_nodes as ast
+from repro.cc.ctypes_ import ArrayType, PointerType
+
+
+def parse_main(body):
+    program = parse("int main() { %s }" % body)
+    return program.functions[0].body.statements
+
+
+class TestTopLevel:
+    def test_function_signature(self):
+        program = parse("int add(int a, char *b) { return a; }")
+        function = program.functions[0]
+        assert function.name == "add"
+        assert len(function.parameters) == 2
+        assert function.parameters[1].ctype.is_pointer()
+
+    def test_void_function(self):
+        program = parse("void f() { return; }")
+        assert str(program.functions[0].return_type) == "void"
+
+    def test_void_parameter_list(self):
+        program = parse("int f(void) { return 0; }")
+        assert program.functions[0].parameters == []
+
+    def test_global_scalar(self):
+        program = parse("int counter = 5;")
+        declaration = program.globals[0]
+        assert declaration.name == "counter"
+        assert declaration.initializer.value == 5
+
+    def test_global_array_inferred_size(self):
+        program = parse('char *names[] = {"a", "b", "c"};')
+        declaration = program.globals[0]
+        assert isinstance(declaration.ctype, ArrayType)
+        assert declaration.ctype.count == 3
+
+    def test_global_char_array_string(self):
+        program = parse('char banner[32] = "hello";')
+        assert program.globals[0].ctype.count == 32
+
+    def test_multiple_globals_one_line(self):
+        program = parse("int a, b, c;")
+        assert [g.name for g in program.globals] == ["a", "b", "c"]
+
+
+class TestStatements:
+    def test_if_else(self):
+        statements = parse_main("if (1) { return 1; } else { return 2; }")
+        node = statements[0]
+        assert isinstance(node, ast.If)
+        assert node.else_branch is not None
+
+    def test_dangling_else_binds_inner(self):
+        statements = parse_main(
+            "if (1) if (2) return 1; else return 2;")
+        outer = statements[0]
+        assert outer.else_branch is None
+        assert outer.then_branch.else_branch is not None
+
+    def test_while(self):
+        statements = parse_main("while (x) { x = x - 1; }")
+        assert isinstance(statements[0], ast.While)
+
+    def test_for(self):
+        statements = parse_main("for (i = 0; i < 3; i++) { }")
+        node = statements[0]
+        assert isinstance(node, ast.For)
+        assert node.init is not None and node.step is not None
+
+    def test_do_while(self):
+        statements = parse_main("do { x = 1; } while (x);")
+        assert isinstance(statements[0], ast.DoWhile)
+
+    def test_declaration_with_initializer(self):
+        statements = parse_main("int x = 5;")
+        assert isinstance(statements[0], ast.Declaration)
+        assert statements[0].initializer.value == 5
+
+    def test_multi_declaration_splits(self):
+        statements = parse_main("int a, b;")
+        block = statements[0]
+        assert isinstance(block, ast.Block)
+        assert len(block.statements) == 2
+
+    def test_local_array(self):
+        statements = parse_main("char buf[64];")
+        assert isinstance(statements[0].ctype, ArrayType)
+        assert statements[0].ctype.size == 64
+
+    def test_break_continue(self):
+        statements = parse_main("while (1) { break; continue; }")
+        body = statements[0].body
+        assert isinstance(body.statements[0], ast.Break)
+        assert isinstance(body.statements[1], ast.Continue)
+
+
+class TestExpressions:
+    def expr(self, text):
+        return parse_main("x = %s;" % text)[0].expression.value
+
+    def test_precedence_mul_over_add(self):
+        node = self.expr("1 + 2 * 3")
+        assert node.op == "+"
+        assert node.right.op == "*"
+
+    def test_precedence_comparison_over_logical(self):
+        node = self.expr("a < b && c > d")
+        assert node.op == "&&"
+        assert node.left.op == "<"
+
+    def test_parentheses_override(self):
+        node = self.expr("(1 + 2) * 3")
+        assert node.op == "*"
+        assert node.left.op == "+"
+
+    def test_unary_minus_constant_folds(self):
+        node = self.expr("-5")
+        assert isinstance(node, ast.NumberLiteral)
+        assert node.value == -5
+
+    def test_call_with_args(self):
+        node = self.expr("f(1, g(2), 3)")
+        assert isinstance(node, ast.Call)
+        assert len(node.args) == 3
+        assert isinstance(node.args[1], ast.Call)
+
+    def test_index_chain(self):
+        node = self.expr("a[i]")
+        assert isinstance(node, ast.Index)
+
+    def test_assignment_right_associative(self):
+        statements = parse_main("a = b = 1;")
+        outer = statements[0].expression
+        assert isinstance(outer.value, ast.Assignment)
+
+    def test_compound_assignment(self):
+        statements = parse_main("a += 2;")
+        assert statements[0].expression.op == "+="
+
+    def test_ternary(self):
+        node = self.expr("a ? b : c")
+        assert isinstance(node, ast.Conditional)
+
+    def test_sizeof_identifier(self):
+        node = self.expr("sizeof(buf)")
+        assert isinstance(node, ast.SizeOf)
+
+    def test_address_of_and_deref(self):
+        node = self.expr("*p + &q")
+        assert node.left.op == "*"
+        assert node.right.op == "&"
+
+    def test_postfix_vs_prefix_incdec(self):
+        post = parse_main("i++;")[0].expression
+        pre = parse_main("++i;")[0].expression
+        assert not post.prefix and pre.prefix
+
+
+class TestErrors:
+    def test_missing_semicolon(self):
+        with pytest.raises(MiniCSyntaxError):
+            parse("int main() { return 1 }")
+
+    def test_missing_paren(self):
+        with pytest.raises(MiniCSyntaxError):
+            parse("int main() { if (1 { } }")
+
+    def test_bad_top_level(self):
+        with pytest.raises(MiniCSyntaxError):
+            parse("return 5;")
+
+    def test_unclosed_block(self):
+        with pytest.raises(MiniCSyntaxError):
+            parse("int main() { ")

@@ -1,0 +1,211 @@
+"""The mini-C runtime library, exercised inside the emulator."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.kernel import crypt13
+
+from .harness import run_c
+
+
+def runtime_expr(expression, prelude=""):
+    source = "%s\nint main() { return %s; }" % (prelude, expression)
+    return run_c(source)[0]
+
+
+class TestStringFunctions:
+    def test_strlen(self):
+        assert runtime_expr('strlen("")') == 0
+        assert runtime_expr('strlen("abcde")') == 5
+
+    @pytest.mark.parametrize("a,b,expected_sign", [
+        ("abc", "abc", 0),
+        ("abc", "abd", -1),
+        ("abd", "abc", 1),
+        ("ab", "abc", -1),
+        ("abc", "ab", 1),
+        ("", "", 0),
+    ])
+    def test_strcmp_sign(self, a, b, expected_sign):
+        source = """
+int main() {
+    int r;
+    r = strcmp("%s", "%s");
+    if (r < 0) { return 1; }
+    if (r > 0) { return 2; }
+    return 0;
+}
+""" % (a, b)
+        mapping = {0: 0, -1: 1, 1: 2}
+        assert run_c(source)[0] == mapping[expected_sign]
+
+    def test_strncmp(self):
+        assert runtime_expr('strncmp("abcdef", "abcxyz", 3)') == 0
+        assert runtime_expr('strncmp("abc", "abc", 10)') == 0
+
+    def test_strcpy_strcat(self):
+        source = """
+int main() {
+    char buf[32];
+    strcpy(buf, "foo");
+    strcat(buf, "bar");
+    if (strcmp(buf, "foobar") == 0) {
+        return strlen(buf);
+    }
+    return 99;
+}
+"""
+        assert run_c(source)[0] == 6
+
+    def test_strncpy_truncates(self):
+        source = """
+int main() {
+    char buf[4];
+    strncpy(buf, "longer-than-four", 4);
+    return strlen(buf);
+}
+"""
+        assert run_c(source)[0] == 3
+
+    def test_memset_memcpy(self):
+        source = """
+int main() {
+    char a[8];
+    char b[8];
+    memset(a, 'x', 7);
+    a[7] = 0;
+    memcpy(b, a, 8);
+    return strlen(b);
+}
+"""
+        assert run_c(source)[0] == 7
+
+    def test_strcasecmp(self):
+        assert runtime_expr('strcasecmp_c("FTP", "ftp")') == 0
+        assert runtime_expr('strcasecmp_c("Anonymous", "anonymous")') == 0
+        source = """
+int main() {
+    if (strcasecmp_c("abc", "abd") < 0) { return 1; }
+    return 0;
+}
+"""
+        assert run_c(source)[0] == 1
+
+
+class TestConversions:
+    @pytest.mark.parametrize("text,value", [
+        ("0", 0), ("7", 7), ("123", 123), ("255", 255),
+    ])
+    def test_atoi(self, text, value):
+        assert runtime_expr('atoi("%s")' % text) == value
+
+    def test_atoi_negative(self):
+        source = 'int main() { return atoi("-5") + 10; }'
+        assert run_c(source)[0] == 5
+
+    def test_atoi_stops_at_nondigit(self):
+        assert runtime_expr('atoi("42abc")') == 42
+
+    def test_itoa10_roundtrip(self):
+        source = """
+int main() {
+    char buf[16];
+    itoa10(230, buf);
+    return atoi(buf);
+}
+"""
+        assert run_c(source)[0] == 230
+
+    def test_itoa10_renders_digits(self):
+        source = """
+int main() {
+    char buf[16];
+    itoa10(530, buf);
+    if (buf[0] != '5') { return 1; }
+    if (buf[1] != '3') { return 2; }
+    if (buf[2] != '0') { return 3; }
+    if (buf[3] != 0) { return 4; }
+    return 0;
+}
+"""
+        assert run_c(source)[0] == 0
+
+    def test_itoa10_zero(self):
+        source = """
+int main() {
+    char buf[16];
+    itoa10(0, buf);
+    return buf[0];
+}
+"""
+        assert run_c(source)[0] == ord("0")
+
+
+class TestCrypt13Parity:
+    """The emulated crypt13 must agree bit-for-bit with the Python
+    reference in repro.kernel.passwd -- the password check depends on
+    it."""
+
+    @pytest.mark.parametrize("password,salt", [
+        ("correcthorse", "al"),
+        ("builder123", "bo"),
+        ("", "xx"),
+        ("a", "zz"),
+        ("with spaces ok", "s "),
+        ("0123456789" * 2, "99"),
+    ])
+    def test_matches_python_twin(self, password, salt):
+        source = """
+int main() {
+    char *digest;
+    digest = crypt13("%s", "%s");
+    write(1, digest, 13);
+    return 0;
+}
+""" % (password, salt)
+        __, output, ___ = run_c(source)
+        assert output.decode("latin-1") == crypt13(password, salt)
+
+
+class TestIo:
+    def test_send_str(self):
+        source = 'int main() { return send_str("net!"); }'
+        exit_code, output, __ = run_c(source)
+        assert output == b"net!"
+        assert exit_code == 4
+
+    def test_read_line_strips_crlf(self):
+        from repro.cc import compile_program
+        from repro.emu import Process
+        from repro.kernel import Kernel, ScriptedClient
+
+        class LineSender(ScriptedClient):
+            def __init__(self):
+                super().__init__()
+                self.echo = b""
+
+            def receive(self, data):
+                self.echo += data
+
+            def input_needed(self):
+                if not self.echo:
+                    self.send(b"USER alice\r\n")
+                else:
+                    self.close()
+
+        source = """
+int main() {
+    char line[64];
+    int n;
+    n = read_line(line, 64);
+    write(1, line, n);
+    return n;
+}
+"""
+        program = compile_program(source)
+        client = LineSender()
+        kernel = Kernel.for_client(client)
+        status = Process(program.module, kernel).run()
+        assert status.exit_code == len("USER alice")
+        assert client.echo == b"USER alice"

@@ -1,0 +1,106 @@
+"""Compiler semantic-error paths."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cc import compile_program, MiniCTypeError
+
+
+def expect_type_error(source):
+    with pytest.raises(MiniCTypeError):
+        compile_program(source, include_runtime=False)
+
+
+class TestNameErrors:
+    def test_undeclared_identifier(self):
+        expect_type_error("int main() { return nothere; }")
+
+    def test_undeclared_assignment_target(self):
+        expect_type_error("int main() { ghost = 1; return 0; }")
+
+    def test_redeclaration_in_same_scope(self):
+        expect_type_error("int main() { int a; int a; return 0; }")
+
+    def test_shadowing_in_inner_scope_allowed(self):
+        compile_program("""
+int main() {
+    int a;
+    a = 1;
+    {
+        int a;
+        a = 2;
+    }
+    return a;
+}
+""", include_runtime=False)
+
+    def test_global_redefinition(self):
+        expect_type_error("int x;\nint x;\nint main() { return 0; }")
+
+
+class TestControlFlowErrors:
+    def test_break_outside_loop(self):
+        expect_type_error("int main() { break; return 0; }")
+
+    def test_continue_outside_loop(self):
+        expect_type_error("int main() { continue; return 0; }")
+
+
+class TestTypeErrors:
+    def test_deref_of_int(self):
+        expect_type_error("""
+int main() {
+    int a;
+    a = 1;
+    return *a;
+}
+""")
+
+    def test_assign_through_nonpointer(self):
+        expect_type_error("""
+int main() {
+    int a;
+    *a = 5;
+    return 0;
+}
+""")
+
+    def test_index_of_scalar(self):
+        expect_type_error("""
+int main() {
+    int a;
+    return a[0];
+}
+""")
+
+    def test_non_lvalue_assignment(self):
+        expect_type_error("int main() { 5 = 3; return 0; }")
+
+    def test_non_lvalue_address_of(self):
+        expect_type_error("int main() { return &5; }")
+
+
+class TestValidPrograms:
+    """Near-miss constructs that must compile."""
+
+    def test_pointer_of_pointer(self):
+        compile_program("""
+int value;
+int main() {
+    int *p;
+    p = &value;
+    *p = 3;
+    return *p;
+}
+""", include_runtime=False)
+
+    def test_nested_index(self):
+        compile_program("""
+char *rows[] = {"ab", "cd"};
+int main() { return rows[1][0]; }
+""", include_runtime=False)
+
+    def test_empty_function_body(self):
+        compile_program("void nothing() { }\nint main() { return 0; }",
+                        include_runtime=False)

@@ -1,0 +1,191 @@
+"""switch/case/default code generation."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cc import MiniCSyntaxError, parse
+
+from .harness import run_c
+
+
+class TestSwitchExecution:
+    @pytest.mark.parametrize("selector,expected", [
+        (1, 10), (2, 20), (3, 30), (9, 99),
+    ])
+    def test_dispatch_with_breaks(self, selector, expected):
+        source = """
+int pick(int which) {
+    switch (which) {
+    case 1:
+        return 10;
+    case 2:
+        return 20;
+    case 3:
+        return 30;
+    default:
+        return 99;
+    }
+}
+int main() { return pick(%d); }
+""" % selector
+        assert run_c(source)[0] == expected
+
+    def test_fallthrough(self):
+        source = """
+int main() {
+    int total;
+    total = 0;
+    switch (2) {
+    case 1:
+        total = total + 1;
+    case 2:
+        total = total + 10;
+    case 3:
+        total = total + 100;
+        break;
+    case 4:
+        total = total + 1000;
+    }
+    return total;   /* falls from 2 through 3: 110 */
+}
+"""
+        assert run_c(source)[0] == 110
+
+    def test_no_match_no_default(self):
+        source = """
+int main() {
+    int result;
+    result = 5;
+    switch (42) {
+    case 1:
+        result = 1;
+        break;
+    }
+    return result;
+}
+"""
+        assert run_c(source)[0] == 5
+
+    def test_default_in_middle(self):
+        source = """
+int main() {
+    int result;
+    result = 0;
+    switch (7) {
+    case 1:
+        result = 1;
+        break;
+    default:
+        result = 50;
+        break;
+    case 2:
+        result = 2;
+        break;
+    }
+    return result;
+}
+"""
+        assert run_c(source)[0] == 50
+
+    def test_negative_and_char_cases(self):
+        source = """
+int classify(int c) {
+    switch (c) {
+    case 'U':
+        return 1;
+    case 'P':
+        return 2;
+    case -1:
+        return 3;
+    }
+    return 0;
+}
+int main() {
+    return classify('U') * 100 + classify('P') * 10
+        + classify(0 - 1);
+}
+"""
+        assert run_c(source)[0] == 123
+
+    def test_break_inside_loop_inside_switch(self):
+        source = """
+int main() {
+    int i;
+    int total;
+    total = 0;
+    switch (1) {
+    case 1:
+        for (i = 0; i < 10; i++) {
+            if (i == 3) {
+                break;      /* leaves the for, not the switch */
+            }
+            total = total + 1;
+        }
+        total = total + 100;
+        break;
+    case 2:
+        total = 999;
+    }
+    return total;   /* 3 + 100 */
+}
+"""
+        assert run_c(source)[0] == 103
+
+    def test_continue_skips_switch_frame(self):
+        source = """
+int main() {
+    int i;
+    int total;
+    total = 0;
+    for (i = 0; i < 5; i++) {
+        switch (i) {
+        case 2:
+            continue;   /* continues the for loop */
+        }
+        total = total + 1;
+    }
+    return total;   /* i=2 skipped: 4 */
+}
+"""
+        assert run_c(source)[0] == 4
+
+    def test_locals_inside_cases(self):
+        source = """
+int main() {
+    switch (1) {
+    case 1: {
+        int inner;
+        inner = 77;
+        return inner;
+    }
+    }
+    return 0;
+}
+"""
+        assert run_c(source)[0] == 77
+
+
+class TestSwitchParsing:
+    def test_duplicate_default_rejected(self):
+        with pytest.raises(MiniCSyntaxError):
+            parse("""
+int main() {
+    switch (1) {
+    default: break;
+    default: break;
+    }
+    return 0;
+}
+""")
+
+    def test_statement_before_case_rejected(self):
+        with pytest.raises(MiniCSyntaxError):
+            parse("""
+int main() {
+    switch (1) {
+        return 0;
+    case 1: break;
+    }
+}
+""")

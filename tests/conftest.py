@@ -1,0 +1,18 @@
+"""Shared fixtures: daemons are compiled once per test session."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.apps.ftpd import FtpDaemon
+from repro.apps.sshd import SshDaemon
+
+
+@pytest.fixture(scope="session")
+def ftp_daemon():
+    return FtpDaemon()
+
+
+@pytest.fixture(scope="session")
+def ssh_daemon():
+    return SshDaemon()

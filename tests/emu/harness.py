@@ -1,0 +1,45 @@
+"""Test harness: assemble a snippet and run it on a bare CPU."""
+
+from __future__ import annotations
+
+from repro.emu import CPU, Memory
+from repro.x86 import assemble
+
+TEXT_BASE = 0x08048000
+DATA_BASE = 0x0804C000
+STACK_TOP = 0xBFFF0000
+
+
+def make_cpu(source, data="", kernel=None):
+    """Assemble ``.text`` *source* (plus optional .data) onto a CPU.
+
+    The program should end with ``hlt``-free clean code; use
+    :func:`run_snippet` to execute a bounded number of steps.
+    """
+    module = assemble(".text\n" + source + "\n.data\n" + data + "\n",
+                      TEXT_BASE, DATA_BASE)
+    memory = Memory()
+    memory.map_region("text", TEXT_BASE, module.text or b"\x90",
+                      writable=False)
+    memory.map_region("data", DATA_BASE,
+                      bytearray(module.data) + bytearray(4096))
+    memory.map_region("stack", STACK_TOP - 0x10000, 0x10000)
+    cpu = CPU(memory, kernel)
+    cpu.eip = TEXT_BASE
+    cpu.regs[4] = STACK_TOP - 16
+    return cpu, module
+
+
+def run_snippet(source, data="", steps=10_000, kernel=None):
+    """Run until the text is exhausted (EIP past the end) or *steps*.
+
+    Returns the CPU for state assertions.
+    """
+    cpu, module = make_cpu(source, data, kernel)
+    end = TEXT_BASE + len(module.text)
+    executed = 0
+    while cpu.eip != end and not cpu.halted and executed < steps:
+        cpu.step()
+        executed += 1
+    assert executed < steps, "snippet did not terminate"
+    return cpu

@@ -1,0 +1,183 @@
+"""ALU flag semantics, including hypothesis properties against a
+Python big-int reference."""
+
+from __future__ import annotations
+
+from hypothesis import given, strategies as st
+
+from repro.emu import alu
+from repro.x86.flags import AF, CF, OF, PF, SF, ZF
+
+u32 = st.integers(0, 0xFFFFFFFF)
+u8 = st.integers(0, 0xFF)
+
+
+class TestAdd:
+    def test_simple(self):
+        result, flags = alu.add(1, 2, 4)
+        assert result == 3
+        assert not flags & (CF | ZF | SF | OF)
+
+    def test_carry(self):
+        result, flags = alu.add(0xFFFFFFFF, 1, 4)
+        assert result == 0
+        assert flags & CF and flags & ZF
+
+    def test_signed_overflow(self):
+        __, flags = alu.add(0x7FFFFFFF, 1, 4)
+        assert flags & OF and flags & SF and not flags & CF
+
+    def test_negative_plus_negative_carry_no_overflow(self):
+        __, flags = alu.add(0x80000000, 0x80000000, 4)
+        assert flags & CF and flags & OF  # -2^31 + -2^31 overflows
+
+    def test_adjust_flag(self):
+        __, flags = alu.add(0x0F, 1, 4)
+        assert flags & AF
+        __, flags = alu.add(0x01, 1, 4)
+        assert not flags & AF
+
+    def test_byte_width(self):
+        result, flags = alu.add(0xFF, 1, 1)
+        assert result == 0 and flags & CF and flags & ZF
+
+
+class TestSub:
+    def test_simple(self):
+        result, flags = alu.sub(5, 3, 4)
+        assert result == 2 and not flags & CF
+
+    def test_borrow(self):
+        result, flags = alu.sub(3, 5, 4)
+        assert result == 0xFFFFFFFE
+        assert flags & CF and flags & SF
+
+    def test_equal_sets_zf(self):
+        __, flags = alu.sub(7, 7, 4)
+        assert flags & ZF and not flags & CF
+
+    def test_signed_overflow(self):
+        __, flags = alu.sub(0x80000000, 1, 4)
+        assert flags & OF
+
+
+class TestLogicIncDec:
+    def test_logic_clears_cf_of(self):
+        __, flags = alu.logic(0xFF, 4)
+        assert not flags & (CF | OF)
+
+    def test_inc_preserves_cf(self):
+        __, flags = alu.inc(5, 4, CF)
+        assert flags & CF
+        __, flags = alu.inc(5, 4, 0)
+        assert not flags & CF
+
+    def test_dec_zero_wraps(self):
+        result, flags = alu.dec(0, 4, 0)
+        assert result == 0xFFFFFFFF and flags & SF
+
+    def test_neg(self):
+        result, flags = alu.neg(1, 4)
+        assert result == 0xFFFFFFFF and flags & CF
+        result, flags = alu.neg(0, 4)
+        assert result == 0 and not flags & CF
+
+
+class TestShifts:
+    def test_shl_carry_out(self):
+        result, flags = alu.shl(0x80000000, 1, 4, 0)
+        assert result == 0 and flags & CF and flags & ZF
+
+    def test_shl_zero_count_preserves_flags(self):
+        __, flags = alu.shl(1, 0, 4, CF | ZF)
+        assert flags == CF | ZF
+
+    def test_shr_logical(self):
+        result, __ = alu.shr(0x80000000, 4, 4, 0)
+        assert result == 0x08000000
+
+    def test_sar_arithmetic(self):
+        result, __ = alu.sar(0x80000000, 4, 4, 0)
+        assert result == 0xF8000000
+
+    def test_shr_carry_is_last_bit_out(self):
+        __, flags = alu.shr(0b110, 2, 4, 0)
+        assert flags & CF
+
+    def test_rol_ror_inverse(self):
+        value = 0x12345678
+        rolled, __ = alu.rol(value, 8, 4, 0)
+        back, __ = alu.ror(rolled, 8, 4, 0)
+        assert back == value
+
+    def test_rcl_through_carry(self):
+        # 1-bit rcl of 0 with CF set pulls the carry into bit 0.
+        result, flags = alu.rcl(0, 1, 4, CF)
+        assert result == 1 and not flags & CF
+
+    def test_rcr_through_carry(self):
+        result, flags = alu.rcr(0, 1, 4, CF)
+        assert result == 0x80000000 and not flags & CF
+
+
+class TestSigned:
+    def test_signed_boundaries(self):
+        assert alu.signed(0x7FFFFFFF, 4) == 0x7FFFFFFF
+        assert alu.signed(0x80000000, 4) == -0x80000000
+        assert alu.signed(0xFF, 1) == -1
+        assert alu.signed(0x7F, 1) == 127
+
+
+# --------------------------------------------------------------------
+# Property tests against the obvious big-int reference
+
+@given(a=u32, b=u32)
+def test_add_matches_reference(a, b):
+    result, flags = alu.add(a, b, 4)
+    assert result == (a + b) & 0xFFFFFFFF
+    assert bool(flags & CF) == (a + b > 0xFFFFFFFF)
+    assert bool(flags & ZF) == (result == 0)
+    assert bool(flags & SF) == bool(result & 0x80000000)
+    signed_sum = alu.signed(a, 4) + alu.signed(b, 4)
+    assert bool(flags & OF) == not_in_s32(signed_sum)
+
+
+@given(a=u32, b=u32)
+def test_sub_matches_reference(a, b):
+    result, flags = alu.sub(a, b, 4)
+    assert result == (a - b) & 0xFFFFFFFF
+    assert bool(flags & CF) == (a < b)
+    assert bool(flags & ZF) == (a == b)
+    signed_diff = alu.signed(a, 4) - alu.signed(b, 4)
+    assert bool(flags & OF) == not_in_s32(signed_diff)
+
+
+@given(a=u32, b=u32, carry=st.booleans())
+def test_adc_matches_reference(a, b, carry):
+    result, flags = alu.add(a, b, 4, 1 if carry else 0)
+    total = a + b + (1 if carry else 0)
+    assert result == total & 0xFFFFFFFF
+    assert bool(flags & CF) == (total > 0xFFFFFFFF)
+
+
+@given(a=u8, b=u8)
+def test_byte_add_matches_reference(a, b):
+    result, flags = alu.add(a, b, 1)
+    assert result == (a + b) & 0xFF
+    assert bool(flags & CF) == (a + b > 0xFF)
+
+
+@given(a=u32, count=st.integers(0, 31))
+def test_shl_matches_reference(a, count):
+    result, __ = alu.shl(a, count, 4, 0)
+    assert result == (a << count) & 0xFFFFFFFF
+
+
+@given(a=u32, count=st.integers(0, 31))
+def test_sar_matches_reference(a, count):
+    result, __ = alu.sar(a, count, 4, 0)
+    assert result == (alu.signed(a, 4) >> count) & 0xFFFFFFFF
+
+
+def not_in_s32(value):
+    return not -0x80000000 <= value <= 0x7FFFFFFF

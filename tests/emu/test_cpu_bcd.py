@@ -1,0 +1,136 @@
+"""BCD adjust instructions -- the odd corners a flipped bit can land
+on (0x27/0x2F/0x37/0x3F sit one bit from the ALU columns)."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.x86.flags import AF, CF, ZF
+from repro.x86.registers import EAX
+
+from .harness import run_snippet
+
+
+def bcd_result(setup, op):
+    return run_snippet("%s\n    %s" % (setup, op))
+
+
+class TestDaa:
+    def test_simple_decimal_adjust(self):
+        # 0x15 + 0x27 = 0x3C -> daa -> 0x42 (15 + 27 = 42 decimal)
+        cpu = run_snippet("""
+    movb $0x15, %al
+    addb $0x27, %al
+    daa
+""")
+        assert cpu.read_reg(EAX, 1) == 0x42
+
+    def test_carry_out(self):
+        # 0x99 + 0x01 -> daa -> 0x00 with CF
+        cpu = run_snippet("""
+    movb $0x99, %al
+    addb $0x01, %al
+    daa
+""")
+        assert cpu.read_reg(EAX, 1) == 0x00
+        assert cpu.eflags & CF
+        assert cpu.eflags & ZF
+
+    @given(a=st.integers(0, 99), b=st.integers(0, 99))
+    def test_packed_bcd_addition(self, a, b):
+        """add + daa implements packed-BCD addition for any two
+        2-digit decimal operands."""
+        packed_a = ((a // 10) << 4) | (a % 10)
+        packed_b = ((b // 10) << 4) | (b % 10)
+        cpu = run_snippet("""
+    movb $%d, %%al
+    addb $%d, %%al
+    daa
+""" % (packed_a, packed_b))
+        total = (a + b) % 100
+        expected = ((total // 10) << 4) | (total % 10)
+        assert cpu.read_reg(EAX, 1) == expected
+        assert bool(cpu.eflags & CF) == (a + b > 99)
+
+
+class TestDas:
+    @given(a=st.integers(0, 99), b=st.integers(0, 99))
+    def test_packed_bcd_subtraction(self, a, b):
+        packed_a = ((a // 10) << 4) | (a % 10)
+        packed_b = ((b // 10) << 4) | (b % 10)
+        cpu = run_snippet("""
+    movb $%d, %%al
+    subb $%d, %%al
+    das
+""" % (packed_a, packed_b))
+        total = (a - b) % 100
+        expected = ((total // 10) << 4) | (total % 10)
+        assert cpu.read_reg(EAX, 1) == expected
+        assert bool(cpu.eflags & CF) == (a < b)
+
+
+class TestAaaAas:
+    def test_aaa_adjusts_overflowing_nibble(self):
+        # 9 + 7 = 0x10 in AL -> aaa -> AH incremented, AL = 6
+        cpu = run_snippet("""
+    movl $0, %eax
+    movb $9, %al
+    addb $7, %al
+    aaa
+""")
+        assert cpu.read_reg(EAX, 1) == 6
+        assert cpu.read_reg(4, 1) == 1   # AH
+        assert cpu.eflags & CF
+
+    def test_aaa_no_adjust_needed(self):
+        cpu = run_snippet("""
+    movl $0, %eax
+    movb $3, %al
+    addb $4, %al
+    aaa
+""")
+        assert cpu.read_reg(EAX, 1) == 7
+        assert not cpu.eflags & CF
+
+    def test_aas(self):
+        cpu = run_snippet("""
+    movl $0x0107, %eax   # AH=1 AL=7
+    movb $7, %al
+    subb $9, %al
+    aas
+""")
+        # 7 - 9 borrows: AL = (7-9-6)&0x0F = 8, AH decremented
+        assert cpu.read_reg(EAX, 1) == 8
+        assert cpu.read_reg(4, 1) == 0
+        assert cpu.eflags & CF
+
+
+class TestAamAad:
+    @given(value=st.integers(0, 255))
+    def test_aam_splits_by_ten(self, value):
+        cpu = run_snippet("""
+    movb $%d, %%al
+    aam $10
+""" % value)
+        assert cpu.read_reg(4, 1) == value // 10
+        assert cpu.read_reg(EAX, 1) == value % 10
+
+    def test_aam_custom_base(self):
+        cpu = run_snippet("""
+    movb $0x2A, %al
+    aam $16
+""")
+        assert cpu.read_reg(4, 1) == 2
+        assert cpu.read_reg(EAX, 1) == 10
+
+    @given(al=st.integers(0, 9), ah=st.integers(0, 9))
+    def test_aad_inverse_of_aam(self, al, ah):
+        cpu = run_snippet("""
+    movl $0, %%eax
+    movb $%d, %%ah
+    movb $%d, %%al
+    aad $10
+""" % (ah, al))
+        assert cpu.read_reg(EAX, 1) == (ah * 10 + al) & 0xFF
+        assert cpu.read_reg(4, 1) == 0

@@ -1,0 +1,157 @@
+"""Bit-string, atomic and prefix-oddity instructions -- the kinds of
+instructions corrupted bytes frequently decode into."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.emu import CPU, Memory
+from repro.x86.flags import CF, ZF
+from repro.x86.registers import EAX, EBX, ECX, EDX
+
+from .harness import DATA_BASE, run_snippet
+
+
+def raw_cpu(blob, regs=None, data=None):
+    """Execute raw bytes (for forms the assembler does not emit)."""
+    memory = Memory()
+    memory.map_region("text", 0x1000, blob, writable=False)
+    if data is not None:
+        memory.map_region("data", 0x2000, bytearray(data) + bytearray(64))
+    memory.map_region("stack", 0x8000, 256)
+    cpu = CPU(memory)
+    cpu.eip = 0x1000
+    cpu.regs[4] = 0x8080
+    for index, value in (regs or {}).items():
+        cpu.regs[index] = value
+    end = 0x1000 + len(blob)
+    while cpu.eip != end and not cpu.halted:
+        cpu.step()
+    return cpu
+
+
+class TestBitTest:
+    def test_bt_register(self):
+        # bt %ecx, %eax = 0F A3 C8
+        cpu = raw_cpu(b"\x0F\xA3\xC8", regs={EAX: 0b100, ECX: 2})
+        assert cpu.eflags & CF
+
+    def test_bt_register_clear_bit(self):
+        cpu = raw_cpu(b"\x0F\xA3\xC8", regs={EAX: 0b100, ECX: 3})
+        assert not cpu.eflags & CF
+
+    def test_bts_sets(self):
+        # bts %ecx, %eax = 0F AB C8
+        cpu = raw_cpu(b"\x0F\xAB\xC8", regs={EAX: 0, ECX: 5})
+        assert cpu.regs[EAX] == 32
+        assert not cpu.eflags & CF
+
+    def test_btr_clears(self):
+        cpu = raw_cpu(b"\x0F\xB3\xC8", regs={EAX: 0xFF, ECX: 0})
+        assert cpu.regs[EAX] == 0xFE
+        assert cpu.eflags & CF
+
+    def test_btc_toggles(self):
+        cpu = raw_cpu(b"\x0F\xBB\xC8", regs={EAX: 0, ECX: 1})
+        assert cpu.regs[EAX] == 2
+
+    def test_bt_bit_index_wraps_register_width(self):
+        cpu = raw_cpu(b"\x0F\xA3\xC8", regs={EAX: 1, ECX: 32})
+        assert cpu.eflags & CF   # 32 % 32 == 0
+
+    def test_bt_memory_form_addresses_beyond_operand(self):
+        # bt %ecx, (%ebx) with bit 11: byte 1 bit 3 of the string
+        blob = b"\x0F\xA3\x0B"
+        cpu = raw_cpu(blob, regs={3: 0x2000, ECX: 11},
+                      data=b"\x00\x08\x00\x00")
+        assert cpu.eflags & CF
+
+
+class TestScanAndSwap:
+    def test_bsf(self):
+        # bsf %eax, %ecx = 0F BC C8
+        cpu = raw_cpu(b"\x0F\xBC\xC8", regs={EAX: 0b101000})
+        assert cpu.regs[ECX] == 3
+        assert not cpu.eflags & ZF
+
+    def test_bsr(self):
+        cpu = raw_cpu(b"\x0F\xBD\xC8", regs={EAX: 0b101000})
+        assert cpu.regs[ECX] == 5
+
+    def test_bsf_zero_sets_zf_keeps_dst(self):
+        cpu = raw_cpu(b"\x0F\xBC\xC8", regs={EAX: 0, ECX: 0x1234})
+        assert cpu.eflags & ZF
+        assert cpu.regs[ECX] == 0x1234
+
+    def test_xadd(self):
+        # xadd %ecx, %eax = 0F C1 C8
+        cpu = raw_cpu(b"\x0F\xC1\xC8", regs={EAX: 10, ECX: 5})
+        assert cpu.regs[EAX] == 15
+        assert cpu.regs[ECX] == 10
+
+    def test_cmpxchg_match(self):
+        # cmpxchg %ecx, %ebx = 0F B1 CB; EAX == EBX -> EBX = ECX
+        cpu = raw_cpu(b"\x0F\xB1\xCB",
+                      regs={EAX: 7, EBX: 7, ECX: 99})
+        assert cpu.regs[EBX] == 99
+        assert cpu.eflags & ZF
+
+    def test_cmpxchg_mismatch(self):
+        cpu = raw_cpu(b"\x0F\xB1\xCB",
+                      regs={EAX: 1, EBX: 7, ECX: 99})
+        assert cpu.regs[EAX] == 7      # loaded with the current value
+        assert cpu.regs[EBX] == 7
+        assert not cpu.eflags & ZF
+
+
+class TestPrefixOddities:
+    def test_operand_size_prefixed_mov(self):
+        # 66 B8 34 12: mov $0x1234, %ax leaves the high half alone
+        cpu = raw_cpu(b"\x66\xB8\x34\x12", regs={EAX: 0xAABB0000})
+        assert cpu.regs[EAX] == 0xAABB1234
+
+    def test_operand_size_prefixed_alu(self):
+        # 66 05 01 00: add $1, %ax with 16-bit wrap
+        cpu = raw_cpu(b"\x66\x05\x01\x00", regs={EAX: 0x1FFFF})
+        assert cpu.regs[EAX] == 0x10000
+        assert cpu.eflags & ZF
+
+    def test_fs_prefix_with_zero_base_is_transparent(self):
+        # 64 8B 03: mov %fs:(%ebx), %eax -- fs base is 0 on our Linux
+        cpu = raw_cpu(b"\x64\x8B\x03", regs={3: 0x2000},
+                      data=b"\x78\x56\x34\x12")
+        assert cpu.regs[EAX] == 0x12345678
+
+    def test_rep_with_zero_count_is_noop(self):
+        cpu = run_snippet("""
+    movl $dst, %edi
+    movb $0x41, %al
+    movl $0, %ecx
+    rep stosb
+""", data="dst: .space 4")
+        assert cpu.memory.read8(DATA_BASE) == 0
+
+    def test_salc_and_xlat_together(self):
+        cpu = run_snippet("""
+    movl $table, %ebx
+    movb $2, %al
+    xlat
+""", data="table: .byte 10, 20, 30, 40")
+        assert cpu.read_reg(EAX, 1) == 30
+
+
+class TestCpuidRdtsc:
+    def test_cpuid_vendor_string(self):
+        cpu = raw_cpu(b"\x0F\xA2", regs={EAX: 0})
+        vendor = b"".join(cpu.regs[r].to_bytes(4, "little")
+                          for r in (EBX, EDX, ECX))
+        assert vendor == b"GenuineIntel"
+
+    def test_cpuid_family_leaf(self):
+        cpu = raw_cpu(b"\x0F\xA2", regs={EAX: 1})
+        assert cpu.regs[EAX] == 0x00000673
+
+    def test_rdtsc_monotonic_with_instret(self):
+        cpu = raw_cpu(b"\x90\x90\x0F\x31")
+        assert cpu.regs[EAX] == 2   # two nops retired before rdtsc
+        assert cpu.regs[EDX] == 0

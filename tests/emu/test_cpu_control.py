@@ -1,0 +1,192 @@
+"""Control transfer: conditional branches, calls, loops, rets."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.x86.registers import EAX, EBX, ECX, ESP
+
+from .harness import run_snippet, STACK_TOP, TEXT_BASE
+
+
+class TestConditionalBranches:
+    def test_je_taken(self):
+        cpu = run_snippet("""
+    movl $5, %eax
+    cmpl $5, %eax
+    je equal
+    movl $0, %ebx
+    jmp done
+equal:
+    movl $1, %ebx
+done:
+    nop
+""")
+        assert cpu.regs[EBX] == 1
+
+    def test_jne_fallthrough(self):
+        cpu = run_snippet("""
+    movl $5, %eax
+    cmpl $5, %eax
+    jne diff
+    movl $2, %ebx
+    jmp done
+diff:
+    movl $3, %ebx
+done:
+    nop
+""")
+        assert cpu.regs[EBX] == 2
+
+    @pytest.mark.parametrize("value,expected", [(3, 1), (7, 0)])
+    def test_jl_signed(self, value, expected):
+        cpu = run_snippet("""
+    movl $%d, %%eax
+    cmpl $5, %%eax
+    jl less
+    movl $0, %%ebx
+    jmp done
+less:
+    movl $1, %%ebx
+done:
+    nop
+""" % value)
+        assert cpu.regs[EBX] == expected
+
+    def test_signed_vs_unsigned_comparison(self):
+        # -1 < 5 signed (jl taken) but 0xFFFFFFFF > 5 unsigned (ja taken)
+        cpu = run_snippet("""
+    movl $-1, %eax
+    cmpl $5, %eax
+    jl signed_less
+    movl $0, %ebx
+    jmp part2
+signed_less:
+    movl $1, %ebx
+part2:
+    cmpl $5, %eax
+    ja unsigned_above
+    movl $0, %ecx
+    jmp done
+unsigned_above:
+    movl $1, %ecx
+done:
+    nop
+""")
+        assert cpu.regs[EBX] == 1
+        assert cpu.regs[ECX] == 1
+
+    def test_jp_parity(self):
+        cpu = run_snippet("""
+    movl $3, %eax
+    testl %eax, %eax     # low byte 0b11 -> even parity, PF set
+    jp parity
+    movl $0, %ebx
+    jmp done
+parity:
+    movl $1, %ebx
+done:
+    nop
+""")
+        assert cpu.regs[EBX] == 1
+
+    def test_loop_counts_ecx(self):
+        cpu = run_snippet("""
+    movl $5, %ecx
+    movl $0, %eax
+top:
+    incl %eax
+    loop top
+""")
+        assert cpu.regs[EAX] == 5
+        assert cpu.regs[ECX] == 0
+
+    def test_jecxz(self):
+        cpu = run_snippet("""
+    movl $0, %ecx
+    jecxz empty
+    movl $9, %ebx
+    jmp done
+empty:
+    movl $1, %ebx
+done:
+    nop
+""")
+        assert cpu.regs[EBX] == 1
+
+
+class TestCallRet:
+    def test_call_pushes_return_address(self):
+        cpu = run_snippet("""
+    call func
+    jmp done
+func:
+    popl %eax       # return address
+    pushl %eax
+    ret
+done:
+    nop
+""")
+        # return address = address right after the call (text base + 5)
+        assert cpu.regs[EAX] == TEXT_BASE + 5
+
+    def test_call_ret_roundtrip(self):
+        cpu = run_snippet("""
+    movl $1, %eax
+    call double
+    call double
+    jmp done
+double:
+    addl %eax, %eax
+    ret
+done:
+    nop
+""")
+        assert cpu.regs[EAX] == 4
+
+    def test_indirect_call(self):
+        cpu = run_snippet("""
+    movl $target, %eax
+    call *%eax
+    jmp done
+target:
+    movl $77, %ebx
+    ret
+done:
+    nop
+""")
+        assert cpu.regs[EBX] == 77
+
+    def test_ret_imm_pops_arguments(self):
+        cpu = run_snippet("""
+    pushl $10
+    pushl $20
+    call func
+    jmp done
+func:
+    ret $8
+done:
+    nop
+""")
+        assert cpu.regs[ESP] == STACK_TOP - 16
+
+    def test_cmov(self):
+        cpu = run_snippet("""
+    movl $1, %eax
+    movl $42, %ecx
+    movl $0, %ebx
+    testl %eax, %eax
+    cmovne %ecx, %ebx
+""")
+        assert cpu.regs[EBX] == 42
+
+
+class TestInstructionCounting:
+    def test_instret_counts_each_step(self):
+        cpu = run_snippet("""
+    movl $3, %ecx
+top:
+    loop top
+""")
+        # 1 mov + 3 loop iterations
+        assert cpu.instret == 4

@@ -1,0 +1,159 @@
+"""Less-travelled CPU handlers: segment loads, far corners, traps."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.emu import (CPU, GeneralProtectionFault, Memory,
+                       OverflowTrap)
+from repro.x86.flags import CF, OF, ZF
+from repro.x86.registers import EAX, EBX, ECX, EDX, ESI
+
+from .harness import run_snippet
+
+
+def raw_cpu(blob, regs=None, data=None, steps=64):
+    memory = Memory()
+    memory.map_region("text", 0x1000, blob, writable=False)
+    if data is not None:
+        memory.map_region("data", 0x2000, bytearray(data) + bytearray(64))
+    memory.map_region("stack", 0x8000, 256)
+    cpu = CPU(memory)
+    cpu.eip = 0x1000
+    cpu.regs[4] = 0x8080
+    for index, value in (regs or {}).items():
+        cpu.regs[index] = value
+    end = 0x1000 + len(blob)
+    executed = 0
+    while cpu.eip != end and not cpu.halted and executed < steps:
+        cpu.step()
+        executed += 1
+    return cpu
+
+
+class TestSegmentLoads:
+    def test_les_with_valid_selector(self):
+        # les (%ebx), %eax = C4 03 ; memory: offset + selector 0x2B
+        cpu = raw_cpu(b"\xC4\x03", regs={EBX: 0x2000},
+                      data=b"\x78\x56\x34\x12\x2B\x00")
+        assert cpu.regs[EAX] == 0x12345678
+        assert cpu.segments[0] == 0x2B
+
+    def test_lds_with_bad_selector_faults(self):
+        memory = Memory()
+        memory.map_region("text", 0x1000, b"\xC5\x03")
+        memory.map_region("data", 0x2000,
+                          b"\x00\x00\x00\x00\x99\x88")
+        cpu = CPU(memory)
+        cpu.eip = 0x1000
+        cpu.regs[EBX] = 0x2000
+        with pytest.raises(GeneralProtectionFault):
+            cpu.step()
+
+    def test_mov_from_segment_register(self):
+        # mov %ss, %eax = 8C D0
+        cpu = raw_cpu(b"\x8C\xD0")
+        assert cpu.regs[EAX] == 0x2B
+
+    def test_push_pop_fs_via_0f(self):
+        # push %fs (0F A0) then pop %fs (0F A1)
+        cpu = raw_cpu(b"\x0F\xA0\x0F\xA1")
+        assert cpu.segments[4] == 0x0
+
+
+class TestArpl:
+    def test_arpl_raises_rpl_and_sets_zf(self):
+        # arpl %cx, %ax = 63 C8 : dst rpl 0 < src rpl 3
+        cpu = raw_cpu(b"\x63\xC8", regs={EAX: 0x10, ECX: 0x13})
+        assert cpu.read_reg(EAX, 2) == 0x13
+        assert cpu.eflags & ZF
+
+    def test_arpl_no_change_clears_zf(self):
+        cpu = raw_cpu(b"\x63\xC8", regs={EAX: 0x13, ECX: 0x10})
+        assert cpu.read_reg(EAX, 2) == 0x13
+        assert not cpu.eflags & ZF
+
+
+class TestEnterNesting:
+    def test_enter_level_one_copies_frame_pointer(self):
+        cpu = run_snippet("""
+    enter $8, $0
+    enter $8, $1
+    leave
+    leave
+""")
+        # surviving both leaves restores the original stack
+        from .harness import STACK_TOP
+        assert cpu.regs[4] == STACK_TOP - 16
+
+
+class TestIntoTrap:
+    def test_into_with_overflow_traps(self):
+        memory = Memory()
+        # add eax,eax with 0x7FFFFFFF sets OF; then into (CE)
+        memory.map_region("text", 0x1000, b"\x01\xC0\xCE")
+        cpu = CPU(memory)
+        cpu.eip = 0x1000
+        cpu.regs[EAX] = 0x7FFFFFFF
+        cpu.step()
+        assert cpu.eflags & OF
+        with pytest.raises(OverflowTrap):
+            cpu.step()
+
+
+class TestStringOpsWithoutRep:
+    def test_single_cmpsb_sets_flags(self):
+        cpu = raw_cpu(b"\xA6", regs={ESI: 0x2000, 7: 0x2001},
+                      data=b"AB")
+        assert not cpu.eflags & ZF       # 'A' != 'B'
+        assert cpu.regs[ESI] == 0x2001
+
+    def test_single_scasd(self):
+        cpu = raw_cpu(b"\xAF", regs={EAX: 0x11223344, 7: 0x2000},
+                      data=b"\x44\x33\x22\x11")
+        assert cpu.eflags & ZF
+
+
+class TestXchgMemory:
+    def test_xchg_reg_memory(self):
+        cpu = raw_cpu(b"\x87\x03", regs={EAX: 0xAAAA, EBX: 0x2000},
+                      data=b"\xBB\xBB\x00\x00")
+        assert cpu.regs[EAX] == 0xBBBB
+        assert cpu.memory.read32(0x2000) == 0xAAAA
+
+    def test_xchg_eax_short_form(self):
+        # 0x93 = xchg %ebx, %eax
+        cpu = raw_cpu(b"\x93", regs={EAX: 1, EBX: 2})
+        assert cpu.regs[EAX] == 2 and cpu.regs[EBX] == 1
+
+
+class TestMoffsForms:
+    def test_a1_load_accumulator(self):
+        cpu = raw_cpu(b"\xA1\x00\x20\x00\x00",
+                      data=b"\x0D\xF0\xAD\x8B")
+        assert cpu.regs[EAX] == 0x8BADF00D
+
+    def test_a3_store_accumulator(self):
+        cpu = raw_cpu(b"\xA3\x04\x20\x00\x00", regs={EAX: 0x1234},
+                      data=bytes(8))
+        assert cpu.memory.read32(0x2004) == 0x1234
+
+    def test_a0_byte_load(self):
+        cpu = raw_cpu(b"\xA0\x02\x20\x00\x00", data=b"\x00\x00\x5A")
+        assert cpu.read_reg(EAX, 1) == 0x5A
+
+
+class TestFpuEscapes:
+    def test_fpu_register_form_is_noop(self):
+        cpu = raw_cpu(b"\xD8\xC0\x90")   # fadd st(0) ; nop
+        assert cpu.instret == 2
+
+    def test_fpu_memory_form_touches_memory(self):
+        from repro.emu import PageFault
+        memory = Memory()
+        memory.map_region("text", 0x1000, b"\xD8\x03")  # fadd (%ebx)
+        cpu = CPU(memory)
+        cpu.eip = 0x1000
+        cpu.regs[EBX] = 0x99999999   # unmapped
+        with pytest.raises(PageFault):
+            cpu.step()

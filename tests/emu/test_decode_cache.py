@@ -1,0 +1,86 @@
+"""Decode-cache correctness: stale decodes after a flip would corrupt
+every campaign, so invalidation is load-bearing."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.emu import CPU, Memory
+
+
+def machine(blob):
+    memory = Memory()
+    memory.map_region("text", 0x1000, blob, writable=False)
+    memory.map_region("stack", 0x8000, 256)
+    cpu = CPU(memory)
+    cpu.cacheable = (0x1000, 0x1000 + len(blob))
+    cpu.eip = 0x1000
+    cpu.regs[4] = 0x8080
+    return cpu, memory
+
+
+class TestCaching:
+    def test_cache_populated_inside_cacheable_range(self):
+        cpu, __ = machine(b"\x90\x90")
+        cpu.step()
+        assert 0x1000 in cpu.decode_cache
+
+    def test_cache_not_populated_outside_range(self):
+        cpu, memory = machine(b"\x90\x90")
+        cpu.cacheable = (0x1000, 0x1001)
+        cpu.step()
+        cpu.step()
+        assert 0x1001 not in cpu.decode_cache
+
+    def test_cache_hit_returns_same_object(self):
+        # loop: jmp to self-ish; run twice over the same address
+        cpu, __ = machine(b"\x90\xEB\xFD")   # nop; jmp -3 (to the nop)
+        cpu.step()
+        first = cpu.decode_cache[0x1000]
+        cpu.step()   # jmp back
+        cpu.step()   # nop again (cache hit)
+        assert cpu.decode_cache[0x1000] is first
+
+    def test_invalidate_after_poke(self):
+        cpu, memory = machine(b"\xB8\x01\x00\x00\x00"   # mov $1, %eax
+                              b"\xB8\x02\x00\x00\x00")  # mov $2, %eax
+        cpu.step()
+        assert cpu.regs[0] == 1
+        # corrupt the first instruction's immediate and re-execute it
+        memory.poke(0x1001, 0x07)
+        cpu.invalidate_cache()
+        cpu.eip = 0x1000
+        cpu.step()
+        assert cpu.regs[0] == 7
+
+    def test_stale_cache_would_lie(self):
+        """Demonstrates *why* invalidation matters: without it the old
+        decode executes."""
+        cpu, memory = machine(b"\xB8\x01\x00\x00\x00")
+        cpu.step()
+        memory.poke(0x1001, 0x07)
+        # deliberately NOT invalidating
+        cpu.eip = 0x1000
+        cpu.step()
+        assert cpu.regs[0] == 1   # stale decode; the hazard exists
+
+    def test_process_flip_bit_invalidates(self):
+        from repro.x86 import assemble
+        from repro.emu import Process
+        from repro.kernel import Kernel
+        module = assemble("""
+.text
+.global _start
+_start:
+    movl $5, %ebx
+    movl $1, %eax
+    int $0x80
+""")
+        process = Process(module, Kernel())
+        # warm the cache by running to the exit syscall address
+        process.run_until(module.address_of("_start") + 5)
+        # flip imm bit of the first instruction (already executed, so
+        # the flip matters only if we re-enter -- but the cache must
+        # still drop the entry)
+        process.flip_bit(module.address_of("_start") + 1, 1)
+        assert process.cpu.decode_cache == {}

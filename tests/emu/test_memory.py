@@ -1,0 +1,101 @@
+"""Memory map semantics: regions, permissions, faults, poke/peek."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.emu import Memory, PageFault
+
+
+@pytest.fixture
+def memory():
+    m = Memory()
+    m.map_region("text", 0x1000, b"\x90" * 256, writable=False)
+    m.map_region("data", 0x2000, 256)
+    return m
+
+
+class TestReadWrite:
+    def test_read8(self, memory):
+        assert memory.read8(0x1000) == 0x90
+
+    def test_write_read_32(self, memory):
+        memory.write32(0x2000, 0x11223344)
+        assert memory.read32(0x2000) == 0x11223344
+        assert memory.read8(0x2000) == 0x44   # little endian
+
+    def test_write_read_16(self, memory):
+        memory.write16(0x2010, 0xBEEF)
+        assert memory.read16(0x2010) == 0xBEEF
+
+    def test_read_bytes(self, memory):
+        memory.write_bytes(0x2020, b"hello")
+        assert memory.read_bytes(0x2020, 5) == b"hello"
+
+    def test_read_cstring(self, memory):
+        memory.write_bytes(0x2030, b"abc\x00def")
+        assert memory.read_cstring(0x2030) == b"abc"
+
+    def test_cstring_limit(self, memory):
+        memory.write_bytes(0x2040, b"x" * 32)
+        assert len(memory.read_cstring(0x2040, limit=8)) == 8
+
+    def test_cross_region_boundary_read_faults(self, memory):
+        with pytest.raises(PageFault):
+            memory.read32(0x10FE)   # last 2 bytes of text + unmapped
+
+
+class TestFaults:
+    def test_unmapped_read(self, memory):
+        with pytest.raises(PageFault):
+            memory.read8(0x5000)
+
+    def test_unmapped_write(self, memory):
+        with pytest.raises(PageFault):
+            memory.write8(0x5000, 1)
+
+    def test_text_write_faults(self, memory):
+        with pytest.raises(PageFault):
+            memory.write8(0x1000, 0xCC)
+
+    def test_fault_reports_access_and_target(self, memory):
+        with pytest.raises(PageFault) as info:
+            memory.write8(0x1000, 0xCC, eip=0x1234)
+        assert info.value.access == "write"
+        assert info.value.target == 0x1000
+        assert info.value.address == 0x1234
+
+    def test_fetch_unmapped_faults(self, memory):
+        with pytest.raises(PageFault):
+            memory.fetch_window(0x9000)
+
+
+class TestPokePeek:
+    def test_poke_bypasses_write_protection(self, memory):
+        memory.poke(0x1000, 0xCC)
+        assert memory.peek(0x1000) == 0xCC
+        assert memory.read8(0x1000) == 0xCC
+
+    def test_poke_unmapped_faults(self, memory):
+        with pytest.raises(PageFault):
+            memory.poke(0x8000, 0)
+
+
+class TestRegions:
+    def test_overlap_rejected(self, memory):
+        with pytest.raises(ValueError):
+            memory.map_region("bad", 0x1080, 16)
+
+    def test_region_named(self, memory):
+        assert memory.region_named("text").start == 0x1000
+        with pytest.raises(KeyError):
+            memory.region_named("nope")
+
+    def test_fetch_window_truncates_at_boundary(self, memory):
+        window = memory.fetch_window(0x10F8, 15)
+        assert len(window) == 8
+
+    def test_address_wraparound_masked(self, memory):
+        # addresses are masked to 32 bits
+        memory.write8(0x2000 + 0x100000000, 7)
+        assert memory.read8(0x2000) == 7

@@ -1,0 +1,159 @@
+"""Process image loading, exit status, cloning, fault injection hooks."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.emu import Process
+from repro.kernel import Kernel, ScriptedClient
+from repro.x86 import assemble
+
+EXIT_42 = """
+.text
+.global _start
+_start:
+    movl $1, %eax
+    movl $42, %ebx
+    int $0x80
+"""
+
+
+class NullClient(ScriptedClient):
+    def receive(self, data):
+        pass
+
+
+def build(source=EXIT_42):
+    return assemble(source)
+
+
+class TestRun:
+    def test_exit_status(self):
+        process = Process(build(), Kernel.for_client(NullClient()))
+        status = process.run()
+        assert status.kind == "exit"
+        assert status.exit_code == 42
+        assert status.instret == 3
+
+    def test_instruction_limit(self):
+        module = build("""
+.text
+.global _start
+_start:
+    jmp _start
+""")
+        process = Process(module, Kernel())
+        status = process.run(max_instructions=100)
+        assert status.kind == "limit"
+        assert status.instret == 100
+
+    def test_crash_status_fields(self):
+        module = build("""
+.text
+.global _start
+_start:
+    hlt
+""")
+        process = Process(module, Kernel())
+        status = process.run()
+        assert status.crashed
+        assert status.signal == "SIGSEGV"
+        assert status.vector == "#GP"
+        assert status.fault_eip == module.address_of("_start")
+
+    def test_run_until_breakpoint(self):
+        module = build("""
+.text
+.global _start
+_start:
+    movl $1, %ecx
+    movl $2, %edx
+target:
+    movl $1, %eax
+    movl $0, %ebx
+    int $0x80
+""")
+        process = Process(module, Kernel())
+        status = process.run_until(module.address_of("target"))
+        assert status.kind == "breakpoint"
+        assert process.cpu.instret == 2
+        assert process.cpu.eip == module.address_of("target")
+
+    def test_str_of_statuses(self):
+        process = Process(build(), Kernel.for_client(NullClient()))
+        assert "exit(42)" in str(process.run())
+
+
+class TestInjectionHooks:
+    def test_flip_bit_and_restore(self):
+        module = build()
+        process = Process(module, Kernel())
+        address = module.address_of("_start")
+        original = process.flip_bit(address, 0)
+        assert process.memory.peek(address) == original ^ 1
+        process.restore_byte(address, original)
+        assert process.memory.peek(address) == original
+
+    def test_flip_changes_behaviour(self):
+        module = build()
+        process = Process(module, Kernel())
+        # flip bit 1 of `movl $42, %ebx` opcode: BB -> B9 (mov ecx)
+        address = module.address_of("_start") + 5
+        process.flip_bit(address, 1)
+        status = process.run()
+        assert status.kind == "exit"
+        assert status.exit_code == 0   # ebx was never set
+
+    def test_decode_cache_invalidated(self):
+        module = build("""
+.text
+.global _start
+loop_head:
+    nop
+_start:
+    movl $1, %eax
+    movl $7, %ebx
+    int $0x80
+""")
+        process = Process(module, Kernel())
+        # warm the cache
+        process.run_until(module.address_of("_start") + 5)
+        process.flip_bit(module.address_of("_start") + 6, 0)  # imm 1->0? bit0 of imm low byte: 7->6
+        status = process.run()
+        assert status.exit_code == 6
+
+
+class TestClone:
+    def test_clone_shares_corrupted_text(self):
+        module = build()
+        parent = Process(module, Kernel())
+        address = module.address_of("_start") + 5
+        parent.flip_bit(address, 1)
+        child = parent.clone_for_connection(Kernel())
+        assert child.memory.peek(address) == parent.memory.peek(address)
+        status = child.run()
+        assert status.exit_code == 0   # fault persisted into the child
+
+    def test_clone_gets_fresh_data(self):
+        module = assemble("""
+.text
+.global _start
+_start:
+    incl counter
+    movl counter, %ebx
+    movl $1, %eax
+    int $0x80
+.data
+counter: .long 0
+""")
+        parent = Process(module, Kernel())
+        assert parent.run().exit_code == 1
+        child = parent.clone_for_connection(Kernel())
+        assert child.run().exit_code == 1   # counter reset in the child
+
+    def test_pristine_image_unaffected_by_earlier_run(self):
+        module = build()
+        first = Process(module, Kernel())
+        first.flip_bit(module.address_of("_start"), 3)
+        second = Process(module, Kernel())
+        assert second.run().exit_code == 42

@@ -1,0 +1,65 @@
+"""Parity rule of the re-encoding scheme."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.encoding import (hamming_distance, odd_parity_bit,
+                            reencode_opcode)
+
+
+class TestParityBit:
+    def test_zero_nibble_needs_one(self):
+        assert odd_parity_bit(0b0000) == 1
+
+    def test_one_bit_nibble_needs_zero(self):
+        assert odd_parity_bit(0b0001) == 0
+        assert odd_parity_bit(0b1000) == 0
+
+    def test_full_nibble(self):
+        assert odd_parity_bit(0b1111) == 1
+
+    @given(nibble=st.integers(0, 15))
+    def test_total_parity_is_odd(self, nibble):
+        bit = odd_parity_bit(nibble)
+        assert (bit + bin(nibble).count("1")) % 2 == 1
+
+
+class TestReencode:
+    def test_paper_examples(self):
+        # jo 0x70 keeps its encoding; jno 0x71 moves to 0x61
+        assert reencode_opcode(0x70) == 0x70
+        assert reencode_opcode(0x71) == 0x61
+        assert reencode_opcode(0x74) == 0x64   # je
+        assert reencode_opcode(0x75) == 0x75   # jne
+
+    def test_six_byte_second_bytes(self):
+        assert reencode_opcode(0x80) == 0x90
+        assert reencode_opcode(0x81) == 0x81
+        assert reencode_opcode(0x84) == 0x84
+        assert reencode_opcode(0x85) == 0x95
+
+    @given(opcode=st.integers(0x70, 0x7F))
+    def test_reencoded_block_distance_two(self, opcode):
+        """Any two re-encoded conditional branches differ in >= 2
+        bits."""
+        for other in range(0x70, 0x80):
+            if other == opcode:
+                continue
+            distance = hamming_distance(reencode_opcode(opcode),
+                                        reencode_opcode(other))
+            assert distance >= 2
+
+    @given(opcode=st.integers(0, 255))
+    def test_reencode_changes_at_most_bit4(self, opcode):
+        assert (reencode_opcode(opcode) ^ opcode) & ~0x10 == 0
+
+
+class TestHamming:
+    @pytest.mark.parametrize("a,b,expected", [
+        (0x74, 0x75, 1), (0x74, 0x74, 0), (0x00, 0xFF, 8),
+        (0x64, 0x75, 2),
+    ])
+    def test_distances(self, a, b, expected):
+        assert hamming_distance(a, b) == expected

@@ -1,0 +1,135 @@
+"""The Table 4 byte maps and the map->flip->map-back procedure."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.encoding import (format_table4, inject_under_new_encoding,
+                            map_instruction, minimum_branch_distance,
+                            SIX_BYTE_MAP, table4_rows, TWO_BYTE_MAP)
+from repro.x86 import decode
+from repro.x86.errors import X86Error
+
+# Table 4 of the paper, verbatim.
+PAPER_TWO_BYTE_NEW = [0x70, 0x61, 0x62, 0x73, 0x64, 0x75, 0x76, 0x67,
+                      0x68, 0x79, 0x7A, 0x6B, 0x7C, 0x6D, 0x6E, 0x7F]
+PAPER_SIX_BYTE_NEW = [0x90, 0x81, 0x82, 0x93, 0x84, 0x95, 0x96, 0x87,
+                      0x88, 0x99, 0x9A, 0x8B, 0x9C, 0x8D, 0x8E, 0x9F]
+
+
+class TestTable4:
+    def test_two_byte_column_matches_paper(self):
+        rows = table4_rows()
+        assert [row.two_byte_new for row in rows] == PAPER_TWO_BYTE_NEW
+
+    def test_six_byte_column_matches_paper(self):
+        rows = table4_rows()
+        assert [row.six_byte_new for row in rows] == PAPER_SIX_BYTE_NEW
+
+    def test_mnemonic_order(self):
+        rows = table4_rows()
+        assert rows[4].mnemonic == "JE"
+        assert rows[5].mnemonic == "JNE"
+
+    def test_format_contains_all_rows(self):
+        text = format_table4()
+        for row in table4_rows():
+            assert row.mnemonic in text
+
+
+class TestByteMaps:
+    def test_bijection(self):
+        assert sorted(TWO_BYTE_MAP.values()) == list(range(256))
+        assert sorted(SIX_BYTE_MAP.values()) == list(range(256))
+
+    def test_involution(self):
+        """Swap construction makes the map its own inverse."""
+        for byte in range(256):
+            assert TWO_BYTE_MAP[TWO_BYTE_MAP[byte]] == byte
+            assert SIX_BYTE_MAP[SIX_BYTE_MAP[byte]] == byte
+
+    def test_displaced_opcodes_swap(self):
+        # popa (0x61) must take jno's old slot (0x71)
+        assert TWO_BYTE_MAP[0x61] == 0x71
+        assert TWO_BYTE_MAP[0x64] == 0x74   # fs prefix <-> je
+
+    def test_untouched_bytes_identity(self):
+        for byte in (0x00, 0x50, 0x90, 0xC3, 0xE8, 0xFF, 0x65):
+            assert TWO_BYTE_MAP[byte] == byte
+
+    def test_minimum_distances(self):
+        assert minimum_branch_distance("old") == 1
+        assert minimum_branch_distance("new") == 2
+
+
+class TestMapInstruction:
+    def test_jcc_rel8(self):
+        assert map_instruction(b"\x74\x06") == b"\x64\x06"
+        assert map_instruction(b"\x64\x06", "to_old") == b"\x74\x06"
+
+    def test_jcc_rel32(self):
+        mapped = map_instruction(b"\x0F\x85\x00\x01\x00\x00")
+        assert mapped == b"\x0F\x95\x00\x01\x00\x00"
+
+    def test_non_branch_untouched(self):
+        assert map_instruction(b"\x89\xE5") == b"\x89\xE5"
+
+    def test_displaced_non_branch(self):
+        # push imm32 (0x68) is displaced to js's old slot (0x78)
+        assert map_instruction(b"\x68\x01\x00\x00\x00")[0] == 0x78
+
+
+class TestInjectionProcedure:
+    def test_paper_worked_example_forward(self):
+        # je 0x74 -> new 0x64; flip LSB -> 0x65; map back -> 0x65
+        result = inject_under_new_encoding(b"\x74\x06", 0, 0)
+        assert result[0] == 0x65
+
+    def test_paper_worked_example_reverse(self):
+        # 0x65 -> new 0x65; flip LSB -> 0x64; map back -> 0x74 (je)
+        result = inject_under_new_encoding(b"\x65\x90", 0, 0)
+        assert result[0] == 0x74
+
+    def test_offset_flip_passes_through(self):
+        result = inject_under_new_encoding(b"\x74\x06", 1, 3)
+        assert result == b"\x74\x0E"
+
+    @given(index=st.integers(0, 15), bit=st.integers(0, 7))
+    def test_no_single_bit_yields_other_jcc(self, index, bit):
+        """The scheme's whole point: under the new encoding no
+        single-bit opcode flip turns one conditional branch into
+        another."""
+        original = bytes([0x70 + index, 0x06])
+        corrupted = inject_under_new_encoding(original, 0, bit)
+        if corrupted == original:
+            return
+        if 0x70 <= corrupted[0] <= 0x7F:
+            pytest.fail("flip bit %d of %s gave another Jcc %s"
+                        % (bit, original.hex(), corrupted.hex()))
+
+    @given(index=st.integers(0, 15), bit=st.integers(0, 7))
+    def test_no_single_bit_yields_other_jcc_rel32(self, index, bit):
+        original = bytes([0x0F, 0x80 + index, 1, 0, 0, 0])
+        corrupted = inject_under_new_encoding(original, 1, bit)
+        if corrupted == original:
+            return
+        assert not (corrupted[0] == 0x0F
+                    and 0x80 <= corrupted[1] <= 0x8F)
+
+    @given(byte0=st.integers(0, 255), bit=st.integers(0, 7))
+    def test_procedure_total(self, byte0, bit):
+        """map->flip->map-back is defined for every byte value and
+        always returns same-length bytes."""
+        blob = bytes([byte0, 0x00, 0x00])
+        out = inject_under_new_encoding(blob, 0, bit)
+        assert len(out) == len(blob)
+
+    def test_old_encoding_flip_gives_jcc_for_contrast(self):
+        """Without the scheme, je's low-bit neighbours are all Jcc --
+        the vulnerability the paper measures."""
+        for bit in range(4):
+            corrupted = 0x74 ^ (1 << bit)
+            assert 0x70 <= corrupted <= 0x7F
+            instruction = decode(bytes([corrupted, 0x06]), 0)
+            assert instruction.kind == "cond_branch"

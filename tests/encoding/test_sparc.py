@@ -1,0 +1,61 @@
+"""SPARC generality analysis (the paper's "also observed in the Sun
+SPARC instruction set")."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.encoding.sparc import (condition_distance,
+                                  format_sparc_analysis,
+                                  minimum_distance, negation_pairs,
+                                  reencode_condition,
+                                  SPARC_BICC_CONDITIONS)
+
+
+class TestStockEncoding:
+    def test_sixteen_conditions(self):
+        assert len(SPARC_BICC_CONDITIONS) == 16
+
+    def test_be_bne_one_bit_apart(self):
+        """SPARC's analogue of je/jne: BE=0001, BNE=1001."""
+        assert condition_distance(0b0001, 0b1001) == 1
+
+    def test_every_negation_pair_distance_one(self):
+        for pair in negation_pairs():
+            assert pair.distance == 1, pair
+
+    def test_pairs_are_logical_negations(self):
+        names = {(p.condition, p.negation) for p in negation_pairs()}
+        assert ("BE", "BNE") in names
+        assert ("BL", "BGE") in names
+        assert ("BLE", "BG") in names
+        assert ("BN", "BA") in names   # never <-> always!
+
+    def test_minimum_distance_is_one(self):
+        assert minimum_distance("old") == 1
+
+
+class TestParityReencoding:
+    def test_minimum_distance_two(self):
+        assert minimum_distance("new") == 2
+
+    @given(cond=st.integers(0, 15))
+    def test_reencoding_preserves_cond_bits(self, cond):
+        assert reencode_condition(cond) & 0xF == cond
+
+    @given(cond=st.integers(0, 15), bit=st.integers(0, 4))
+    def test_single_flip_leaves_the_code(self, cond, bit):
+        """No single-bit flip of a re-encoded condition lands on
+        another valid re-encoded condition."""
+        valid = {reencode_condition(c) for c in range(16)}
+        flipped = reencode_condition(cond) ^ (1 << bit)
+        assert flipped not in valid
+
+
+class TestFormat:
+    def test_analysis_text(self):
+        text = format_sparc_analysis()
+        assert "BE" in text and "BNE" in text
+        assert "old=1" in text
+        assert "re-encoding=2" in text

@@ -1,0 +1,53 @@
+"""CampaignResult accessors and run_both_encodings."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.apps.ftpd import client1
+from repro.injection import (run_both_encodings, run_campaign,
+                             SYSTEM_DETECTION)
+
+
+@pytest.fixture(scope="module")
+def campaign(ftp_daemon):
+    return run_campaign(ftp_daemon, "Client1", client1, max_points=320)
+
+
+class TestAccessors:
+    def test_results_with_outcome(self, campaign):
+        crashes = campaign.results_with_outcome(SYSTEM_DETECTION)
+        assert all(r.outcome == "SD" for r in crashes)
+        assert len(crashes) == campaign.counts()["SD"]
+
+    def test_crash_latencies_align_with_sd(self, campaign):
+        latencies = campaign.crash_latencies()
+        assert len(latencies) == campaign.counts()["SD"]
+        assert all(value >= 0 for value in latencies)
+
+    def test_by_location_custom_outcomes(self, campaign):
+        only_sd = campaign.by_location(outcomes=("SD",))
+        assert sum(only_sd.values()) == campaign.counts()["SD"]
+
+    def test_percentage_of_activated_handles_zero(self, ftp_daemon):
+        empty = run_campaign(ftp_daemon, "Client1", client1,
+                             max_points=0)
+        assert empty.percentage_of_activated("SD") == 0.0
+        assert empty.total_runs == 0
+
+    def test_metadata_fields(self, campaign):
+        assert campaign.daemon_name == "FtpDaemon"
+        assert campaign.client_name == "Client1"
+        assert campaign.encoding == "old"
+        assert campaign.golden is not None
+
+
+class TestRunBothEncodings:
+    def test_pair_shares_client_and_targets(self, ftp_daemon):
+        old, new = run_both_encodings(ftp_daemon, "Client1", client1,
+                                      max_points=160)
+        assert old.encoding == "old" and new.encoding == "new"
+        assert old.total_runs == new.total_runs
+        old_points = [r.point for r in old.results]
+        new_points = [r.point for r in new.results]
+        assert old_points == new_points

@@ -1,0 +1,55 @@
+"""Golden-run recording: coverage and determinism."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.apps.ftpd import client1, client2
+from repro.injection import record_golden
+
+
+class TestGoldenRun:
+    def test_clean_exit_required(self, ftp_daemon):
+        golden = record_golden(ftp_daemon, client1)
+        assert golden.exit_kind == "exit"
+
+    def test_milestones(self, ftp_daemon):
+        denied = record_golden(ftp_daemon, client1)
+        granted = record_golden(ftp_daemon, client2)
+        assert not denied.broke_in and not denied.granted
+        assert granted.granted
+        assert granted.client_state["retrieved_files"] == 2
+
+    def test_coverage_contains_auth_entry(self, ftp_daemon):
+        golden = record_golden(ftp_daemon, client1)
+        user_start, __ = ftp_daemon.program.function_range("user")
+        assert user_start in golden.coverage
+
+    def test_unreached_code_not_covered(self, ftp_daemon):
+        golden = record_golden(ftp_daemon, client1)
+        # client1 never logs in, so retrieve()'s body is not reached
+        retr_start, retr_end = ftp_daemon.program.function_range(
+            "retrieve")
+        reached = [a for a in golden.coverage
+                   if retr_start + 20 <= a < retr_end]
+        assert not reached
+
+    def test_byte_coverage_superset_of_starts(self, ftp_daemon):
+        golden = record_golden(ftp_daemon, client1)
+        text_start = ftp_daemon.module.text_base
+        text_end = text_start + len(ftp_daemon.module.text)
+        starts_in_text = {a for a in golden.coverage
+                          if text_start <= a < text_end}
+        assert starts_in_text <= golden.coverage_bytes
+
+    def test_deterministic(self, ftp_daemon):
+        first = record_golden(ftp_daemon, client1)
+        second = record_golden(ftp_daemon, client1)
+        assert first.transcript == second.transcript
+        assert first.coverage == second.coverage
+        assert first.instret == second.instret
+
+    def test_different_clients_different_coverage(self, ftp_daemon):
+        wrong_pw = record_golden(ftp_daemon, client1)
+        correct = record_golden(ftp_daemon, client2)
+        assert wrong_pw.coverage != correct.coverage

@@ -1,0 +1,106 @@
+"""The breakpoint injector: snapshot/replay fidelity."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.apps.ftpd import client1
+from repro.emu import Process
+from repro.injection import (BreakpointSession, enumerate_points,
+                             record_golden, run_clean_connection)
+from repro.kernel import ServerHang
+
+
+@pytest.fixture(scope="module")
+def covered_points(ftp_daemon):
+    golden = record_golden(ftp_daemon, client1)
+    points = enumerate_points(ftp_daemon.module, ftp_daemon.auth_ranges())
+    return [point for point in points
+            if point.instruction_address in golden.coverage]
+
+
+class TestBreakpointSession:
+    def test_reaches_covered_breakpoint(self, ftp_daemon,
+                                        covered_points):
+        point = covered_points[0]
+        session = BreakpointSession(ftp_daemon, client1,
+                                    point.instruction_address)
+        assert session.reached
+        assert session.activation_instret > 0
+
+    def test_unreached_breakpoint(self, ftp_daemon):
+        golden = record_golden(ftp_daemon, client1)
+        points = enumerate_points(ftp_daemon.module,
+                                  ftp_daemon.auth_ranges())
+        uncovered = [p for p in points
+                     if p.instruction_address not in golden.coverage]
+        assert uncovered, "expected some NA points"
+        session = BreakpointSession(ftp_daemon, client1,
+                                    uncovered[0].instruction_address)
+        assert not session.reached
+        with pytest.raises(RuntimeError):
+            session.run_with_flip(uncovered[0].flip_address, 0)
+
+    def test_snapshot_replay_equals_fresh_run(self, ftp_daemon,
+                                              covered_points):
+        """The amortised snapshot/replay must give bit-identical
+        results to a from-scratch run with a debugger breakpoint."""
+        point = covered_points[len(covered_points) // 2]
+        session = BreakpointSession(ftp_daemon, client1,
+                                    point.instruction_address)
+        replay_status, replay_kernel, __ = session.run_with_flip(
+            point.flip_address, 3)
+
+        # fresh, naive run of the same experiment
+        fresh = BreakpointSession(ftp_daemon, client1,
+                                  point.instruction_address)
+        fresh_status, fresh_kernel, __ = fresh.run_with_flip(
+            point.flip_address, 3)
+
+        assert replay_status.kind == fresh_status.kind
+        assert replay_status.instret == fresh_status.instret
+        assert replay_kernel.channel.normalized_transcript() \
+            == fresh_kernel.channel.normalized_transcript()
+
+    def test_session_reusable_across_bits(self, ftp_daemon,
+                                          covered_points):
+        """Running several bits through one session must match running
+        each through its own session."""
+        point = covered_points[0]
+        shared = BreakpointSession(ftp_daemon, client1,
+                                   point.instruction_address)
+        for bit in range(4):
+            shared_status, shared_kernel, __ = shared.run_with_flip(
+                point.flip_address, bit)
+            own = BreakpointSession(ftp_daemon, client1,
+                                    point.instruction_address)
+            own_status, own_kernel, __ = own.run_with_flip(
+                point.flip_address, bit)
+            assert shared_status.kind == own_status.kind
+            assert shared_status.instret == own_status.instret
+            assert shared_kernel.channel.normalized_transcript() \
+                == own_kernel.channel.normalized_transcript()
+
+    def test_zero_flip_via_bytes_is_clean(self, ftp_daemon,
+                                          covered_points):
+        """Writing back the original bytes must reproduce the golden
+        run exactly (sanity check of run_with_bytes)."""
+        golden = record_golden(ftp_daemon, client1)
+        point = covered_points[0]
+        offset = point.instruction_address - ftp_daemon.module.text_base
+        original = bytes(ftp_daemon.module.text[
+            offset:offset + point.instruction_length])
+        session = BreakpointSession(ftp_daemon, client1,
+                                    point.instruction_address)
+        status, kernel, client = session.run_with_bytes(
+            point.instruction_address, original)
+        assert status.kind == "exit"
+        assert kernel.channel.normalized_transcript() == golden.transcript
+
+
+class TestCleanConnection:
+    def test_clean_run_matches_golden(self, ftp_daemon):
+        golden = record_golden(ftp_daemon, client1)
+        status, kernel, client = run_clean_connection(ftp_daemon, client1)
+        assert status.kind == "exit"
+        assert kernel.channel.normalized_transcript() == golden.transcript

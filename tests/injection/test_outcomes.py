@@ -1,0 +1,99 @@
+"""Outcome classifier unit tests with synthetic inputs."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.emu import ExitStatus
+from repro.injection import (classify_completed_run,
+                             FAIL_SILENCE_VIOLATION, NOT_MANIFESTED,
+                             SECURITY_BREAKIN, SYSTEM_DETECTION)
+
+
+@dataclass
+class FakeGolden:
+    transcript: tuple
+    broke_in: bool = False
+
+
+class FakeClient:
+    def __init__(self, broke_in=False):
+        self._broke_in = broke_in
+
+    def broke_in(self):
+        return self._broke_in
+
+
+GOLDEN = FakeGolden(transcript=(("S", b"220 hi"), ("C", b"USER x")))
+
+
+def classify(client=None, transcript=GOLDEN.transcript,
+             status=None, golden=GOLDEN):
+    client = client or FakeClient()
+    status = status or ExitStatus(kind="exit")
+    return classify_completed_run(golden, client, transcript, status)
+
+
+class TestClassifier:
+    def test_identical_is_nm(self):
+        outcome, __ = classify()
+        assert outcome == NOT_MANIFESTED
+
+    def test_crash_is_sd(self):
+        outcome, detail = classify(
+            status=ExitStatus(kind="crash", signal="SIGSEGV",
+                              vector="#PF"))
+        assert outcome == SYSTEM_DETECTION
+        assert "SIGSEGV" in detail
+
+    def test_transcript_divergence_is_fsv(self):
+        outcome, detail = classify(
+            transcript=(("S", b"220 hi"), ("C", b"USER y")))
+        assert outcome == FAIL_SILENCE_VIOLATION
+        assert "differs" in detail
+
+    def test_missing_message_is_fsv(self):
+        outcome, detail = classify(transcript=(("S", b"220 hi"),))
+        assert outcome == FAIL_SILENCE_VIOLATION
+        assert "missing" in detail
+
+    def test_extra_message_is_fsv(self):
+        outcome, detail = classify(
+            transcript=GOLDEN.transcript + (("S", b"999 ???"),))
+        assert outcome == FAIL_SILENCE_VIOLATION
+        assert "extra" in detail
+
+    def test_hang_is_fsv(self):
+        outcome, detail = classify(status=ExitStatus(kind="hang"))
+        assert outcome == FAIL_SILENCE_VIOLATION
+        assert "hang" in detail
+
+    def test_budget_exhaustion_is_fsv(self):
+        outcome, __ = classify(status=ExitStatus(kind="limit"))
+        assert outcome == FAIL_SILENCE_VIOLATION
+
+    def test_breakin_beats_everything(self):
+        outcome, __ = classify(client=FakeClient(broke_in=True))
+        assert outcome == SECURITY_BREAKIN
+
+    def test_breakin_then_crash_still_brk(self):
+        outcome, detail = classify(
+            client=FakeClient(broke_in=True),
+            status=ExitStatus(kind="crash", signal="SIGSEGV",
+                              vector="#GP"))
+        assert outcome == SECURITY_BREAKIN
+        assert "crashed afterwards" in detail
+
+    def test_no_brk_when_golden_already_granted(self):
+        golden = FakeGolden(transcript=GOLDEN.transcript, broke_in=True)
+        outcome, __ = classify(client=FakeClient(broke_in=True),
+                               golden=golden)
+        assert outcome == NOT_MANIFESTED
+
+    def test_grant_to_deny_is_fsv_not_brk(self):
+        golden = FakeGolden(
+            transcript=(("S", b"230 granted"),), broke_in=True)
+        outcome, __ = classify(
+            client=FakeClient(broke_in=False), golden=golden,
+            transcript=(("S", b"530 denied"),))
+        assert outcome == FAIL_SILENCE_VIOLATION

@@ -1,0 +1,82 @@
+"""Data-error (register) injection -- the Example 3 family."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.apps.ftpd import client1
+from repro.injection import (BreakpointSession, classify_completed_run,
+                             record_golden)
+from repro.x86 import disassemble_range
+from repro.x86.registers import EAX, ESP
+
+
+@pytest.fixture(scope="module")
+def golden(ftp_daemon):
+    return record_golden(ftp_daemon, client1)
+
+
+def covered_test_instructions(ftp_daemon, golden):
+    """All covered `test %eax,%eax` decision points in pass_()."""
+    start, end = ftp_daemon.program.function_range("pass_")
+    found = [instruction for instruction in
+             disassemble_range(ftp_daemon.module.text,
+                               ftp_daemon.module.text_base, start, end)
+             if instruction.mnemonic == "test"
+             and instruction.address in golden.coverage]
+    assert found, "no covered test instruction"
+    return found
+
+
+def covered_test_instruction(ftp_daemon, golden):
+    return covered_test_instructions(ftp_daemon, golden)[0]
+
+
+class TestRegisterInjection:
+    def test_eax_flips_at_decision_points(self, ftp_daemon, golden):
+        """Corrupting EAX just before the `test %eax,%eax` decision
+        points of pass_() produces a mix of outcomes: some flips are
+        absorbed (a nonzero value stays nonzero -> same branch, NM),
+        some invert a decision (FSV/BRK)."""
+        outcomes = set()
+        for instruction in covered_test_instructions(ftp_daemon,
+                                                     golden):
+            for bit in (0, 7, 31):
+                session = BreakpointSession(ftp_daemon, client1,
+                                            instruction.address)
+                status, kernel, client = \
+                    session.run_with_register_flip(EAX, bit)
+                outcome, __ = classify_completed_run(
+                    golden, client,
+                    kernel.channel.normalized_transcript(), status)
+                outcomes.add(outcome)
+        # data errors both get absorbed and change visible behaviour
+        assert "NM" in outcomes
+        assert outcomes & {"FSV", "BRK", "SD"}
+
+    def test_stack_pointer_corruption_crashes(self, ftp_daemon, golden):
+        instruction = covered_test_instruction(ftp_daemon, golden)
+        session = BreakpointSession(ftp_daemon, client1,
+                                    instruction.address)
+        # flip a high ESP bit: the stack moves to unmapped space
+        status, __, ___ = session.run_with_register_flip(ESP, 30)
+        assert status.kind == "crash"
+        assert status.signal == "SIGSEGV"
+
+    def test_register_flip_is_transient(self, ftp_daemon, golden):
+        """Unlike text flips, register corruption does not persist:
+        a rerun of the same session with no flip matches golden."""
+        instruction = covered_test_instruction(ftp_daemon, golden)
+        session = BreakpointSession(ftp_daemon, client1,
+                                    instruction.address)
+        session.run_with_register_flip(EAX, 0)
+        status, kernel, client = session.run_with_flip(
+            instruction.address, 0)  # restore happens inside
+        # now run completely clean through run_with_bytes(original)
+        offset = instruction.address - ftp_daemon.module.text_base
+        original = bytes(ftp_daemon.module.text[
+            offset:offset + instruction.length])
+        status, kernel, client = session.run_with_bytes(
+            instruction.address, original)
+        assert kernel.channel.normalized_transcript() \
+            == golden.transcript

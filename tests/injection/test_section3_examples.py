@@ -1,0 +1,162 @@
+"""The paper's Section 3 examples, reproduced at the binary level.
+
+Example 1 (ftpd pass()): single-bit flips that grant access to a
+wrong-password client -- ``jne`` <-> ``je`` around the strcmp result
+and the final grant/deny branch.
+
+Example 2 (sshd do_authentication()): flipping the branch on
+auth_rhosts' return value logs an unauthorised user in.
+
+Example 3 (sshd packet_read()): corrupting the buffer-size constant.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.apps.ftpd import client1 as ftp_attacker
+from repro.apps.sshd import client1 as ssh_attacker
+from repro.injection import (BreakpointSession, record_golden,
+                             classify_completed_run, SECURITY_BREAKIN)
+from repro.x86 import decode, disassemble_range
+
+
+def find_instructions(daemon, function, mnemonic):
+    start, end = daemon.program.function_range(function)
+    return [instruction for instruction in
+            disassemble_range(daemon.module.text,
+                              daemon.module.text_base, start, end)
+            if instruction.mnemonic == mnemonic]
+
+
+def run_flip(daemon, client_factory, instruction, bit, byte_offset=0):
+    session = BreakpointSession(daemon, client_factory,
+                                instruction.address)
+    if not session.reached:
+        return None
+    status, kernel, client = session.run_with_flip(
+        instruction.address + byte_offset, bit)
+    golden = record_golden(daemon, client_factory)
+    outcome, detail = classify_completed_run(
+        golden, client, kernel.channel.normalized_transcript(), status)
+    return outcome, client
+
+
+class TestExample1FtpPass:
+    """A wrong-password FTP client gets in via one bit in pass_()."""
+
+    def test_some_branch_flip_breaks_in(self, ftp_daemon):
+        golden = record_golden(ftp_daemon, ftp_attacker)
+        breakins = []
+        for mnemonic in ("je", "jne"):
+            for instruction in find_instructions(ftp_daemon, "pass_",
+                                                 mnemonic):
+                if instruction.address not in golden.coverage:
+                    continue
+                result = run_flip(ftp_daemon, ftp_attacker, instruction,
+                                  bit=0)
+                if result and result[0] == SECURITY_BREAKIN:
+                    breakins.append((instruction, result[1]))
+        assert breakins, "no je/jne flip in pass_() granted access"
+        __, client = breakins[0]
+        assert client.granted
+        assert client.retrieved_files > 0
+
+    def test_flip_is_je_jne_inversion(self, ftp_daemon):
+        """The breaking flip turns one conditional into its negation
+        (Hamming distance 1 in the opcode)."""
+        golden = record_golden(ftp_daemon, ftp_attacker)
+        checked = 0
+        for instruction in find_instructions(ftp_daemon, "pass_", "jne"):
+            if instruction.address not in golden.coverage:
+                continue
+            if instruction.length != 2:
+                continue   # the 6-byte form is covered by 6BC2 tests
+            flipped = decode(bytes([instruction.raw[0] ^ 1,
+                                    instruction.raw[1]]),
+                             instruction.address)
+            assert flipped.mnemonic == "je"
+            checked += 1
+        assert checked > 0
+
+    def test_unflipped_run_still_denies(self, ftp_daemon):
+        golden = record_golden(ftp_daemon, ftp_attacker)
+        assert not golden.broke_in
+
+
+class TestExample2SshAuth:
+    """One bit in do_authentication() gives an attacker a shell."""
+
+    def test_branch_flip_grants_shell(self, ssh_daemon):
+        golden = record_golden(ssh_daemon, ssh_attacker)
+        breakins = []
+        for mnemonic in ("je", "jne"):
+            for instruction in find_instructions(
+                    ssh_daemon, "do_authentication", mnemonic):
+                if instruction.address not in golden.coverage:
+                    continue
+                result = run_flip(ssh_daemon, ssh_attacker, instruction,
+                                  bit=0)
+                if result and result[0] == SECURITY_BREAKIN:
+                    breakins.append(result[1])
+        assert breakins, "no flip in do_authentication() gave a shell"
+        client = breakins[0]
+        assert client.auth_success
+        assert client.got_shell
+
+    def test_auth_password_flip_can_break_in(self, ssh_daemon):
+        golden = record_golden(ssh_daemon, ssh_attacker)
+        outcomes = set()
+        for mnemonic in ("je", "jne"):
+            for instruction in find_instructions(ssh_daemon,
+                                                 "auth_password",
+                                                 mnemonic):
+                if instruction.address not in golden.coverage:
+                    continue
+                result = run_flip(ssh_daemon, ssh_attacker, instruction,
+                                  bit=0)
+                if result:
+                    outcomes.add(result[0])
+        assert SECURITY_BREAKIN in outcomes
+
+
+class TestExample3PacketRead:
+    """Corrupting packet_read's size handling (a data-value error in
+    the instruction stream) changes behaviour without being a branch
+    flip."""
+
+    def test_buffer_size_constant_is_in_text(self, ssh_daemon):
+        start, end = ssh_daemon.program.function_range("packet_read")
+        listing = disassemble_range(ssh_daemon.module.text,
+                                    ssh_daemon.module.text_base,
+                                    start, end)
+        # sizeof(packet_buf) = 256 appears as an immediate (the
+        # analogue of the paper's `push $0x2000`)
+        immediates = [op.value for instruction in listing
+                      for op in instruction.operands
+                      if op.kind == "imm"]
+        assert 256 in immediates
+
+    def test_corrupting_size_check_changes_outcome(self, ssh_daemon):
+        start, end = ssh_daemon.program.function_range("packet_read")
+        listing = disassemble_range(ssh_daemon.module.text,
+                                    ssh_daemon.module.text_base,
+                                    start, end)
+        target = None
+        for instruction in listing:
+            for operand in instruction.operands:
+                if operand.kind == "imm" and operand.value == 256:
+                    target = instruction
+        assert target is not None
+        golden = record_golden(ssh_daemon, ssh_attacker)
+        assert target.address in golden.coverage
+        # flip a high bit of the immediate: the bounds check now
+        # compares against a tiny (or huge) limit
+        session = BreakpointSession(ssh_daemon, ssh_attacker,
+                                    target.address)
+        status, kernel, client = session.run_with_flip(
+            target.address + len(target.raw) - 1, 7)
+        outcome, __ = classify_completed_run(
+            golden, client, kernel.channel.normalized_transcript(),
+            status)
+        assert outcome in ("SD", "FSV", "NM")

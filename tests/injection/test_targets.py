@@ -1,0 +1,107 @@
+"""Target enumeration and error-location classification."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.injection import (branch_instructions, classify_location,
+                             describe_targets, enumerate_points,
+                             InjectionPoint, LOCATION_2BC, LOCATION_2BO,
+                             LOCATION_6BC1, LOCATION_6BC2, LOCATION_6BO,
+                             LOCATION_MISC, TARGET_KINDS_WITH_CALLS)
+from repro.x86 import assemble, KIND_COND_BRANCH, KIND_JUMP
+
+
+@pytest.fixture(scope="module")
+def mixed_module():
+    filler = "    nop\n" * 200
+    return assemble("""
+.text
+func:
+    je near
+    jne far
+    jmp near
+    call helper
+near:
+    ret
+""" + filler + """
+far:
+    ret
+helper:
+    ret
+""")
+
+
+class TestEnumeration:
+    def test_branch_kinds_default(self, mixed_module):
+        start, end = mixed_module.function_range("func")
+        found = branch_instructions(mixed_module, [(start, end)])
+        kinds = sorted(i.kind for i in found)
+        assert kinds == [KIND_COND_BRANCH, KIND_COND_BRANCH, KIND_JUMP]
+
+    def test_calls_included_on_request(self, mixed_module):
+        start, end = mixed_module.function_range("func")
+        found = branch_instructions(mixed_module, [(start, end)],
+                                    TARGET_KINDS_WITH_CALLS)
+        assert len(found) == 4
+
+    def test_eight_points_per_byte(self, mixed_module):
+        start, end = mixed_module.function_range("func")
+        instructions = branch_instructions(mixed_module, [(start, end)])
+        points = enumerate_points(mixed_module, [(start, end)])
+        assert len(points) == 8 * sum(i.length for i in instructions)
+
+    def test_point_fields(self, mixed_module):
+        start, end = mixed_module.function_range("func")
+        point = enumerate_points(mixed_module, [(start, end)])[0]
+        assert point.instruction_address == start
+        assert point.byte_offset == 0
+        assert point.bit == 0
+        assert point.flip_address == start
+
+    def test_describe(self, mixed_module):
+        start, end = mixed_module.function_range("func")
+        info = describe_targets(mixed_module, [(start, end)])
+        assert info["bits"] == info["bytes"] * 8
+        assert 0 < info["branch_fraction"] <= 1
+
+    def test_ranges_are_respected(self, mixed_module):
+        start, end = mixed_module.function_range("helper")
+        assert branch_instructions(mixed_module, [(start, end)]) == []
+
+
+class TestLocationClassification:
+    def make_point(self, kind, length, opcode, byte_offset):
+        return InjectionPoint(instruction_address=0x1000,
+                              byte_offset=byte_offset, bit=0,
+                              instruction_length=length,
+                              mnemonic="x", opcode=opcode, kind=kind)
+
+    def test_2byte_conditional(self):
+        point = self.make_point(KIND_COND_BRANCH, 2, 0x74, 0)
+        assert classify_location(point) == LOCATION_2BC
+        point = self.make_point(KIND_COND_BRANCH, 2, 0x74, 1)
+        assert classify_location(point) == LOCATION_2BO
+
+    def test_6byte_conditional(self):
+        for byte_offset, expected in ((0, LOCATION_6BC1),
+                                      (1, LOCATION_6BC2),
+                                      (2, LOCATION_6BO),
+                                      (5, LOCATION_6BO)):
+            point = self.make_point(KIND_COND_BRANCH, 6, 0x0F84,
+                                    byte_offset)
+            assert classify_location(point) == expected
+
+    def test_jump_is_misc(self):
+        point = self.make_point(KIND_JUMP, 2, 0xEB, 0)
+        assert classify_location(point) == LOCATION_MISC
+
+    def test_real_daemon_has_both_forms(self, ftp_daemon):
+        points = enumerate_points(ftp_daemon.module,
+                                  ftp_daemon.auth_ranges())
+        locations = {classify_location(point) for point in points}
+        assert LOCATION_2BC in locations
+        assert LOCATION_2BO in locations
+        assert LOCATION_6BC2 in locations
+        assert LOCATION_6BO in locations
+        assert LOCATION_MISC in locations

@@ -1,0 +1,72 @@
+"""Channel transcripts, coalescing and hang detection."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.kernel import Channel, ScriptedClient, ServerHang
+
+
+class EchoOnce(ScriptedClient):
+    def __init__(self):
+        super().__init__()
+        self.seen = b""
+
+    def receive(self, data):
+        self.seen += data
+        if b"?" in data and b"!" not in self.seen:
+            self.send(b"!")
+            self.seen += b"!"
+
+
+class TestTranscript:
+    def test_directions_recorded(self):
+        channel = Channel(EchoOnce())
+        channel.server_write(b"hello?")
+        assert channel.server_read(10) == b"!"
+        transcript = channel.normalized_transcript()
+        assert transcript == (("S", b"hello?"), ("C", b"!"))
+
+    def test_consecutive_writes_coalesce(self):
+        channel = Channel(EchoOnce())
+        channel.server_write(b"he")
+        channel.server_write(b"llo")
+        assert channel.normalized_transcript() == (("S", b"hello"),)
+
+    def test_empty_write_ignored(self):
+        channel = Channel(EchoOnce())
+        assert channel.server_write(b"") == 0
+        assert channel.normalized_transcript() == ()
+
+
+class TestReadSemantics:
+    def test_partial_read(self):
+        client = EchoOnce()
+        channel = Channel(client)
+        channel.server_write(b"?")
+        assert channel.server_read(0) == b""  # zero-byte read? we take 0
+        first = channel.server_read(1)
+        assert first == b"!"[:1]
+
+    def test_eof_after_client_close(self):
+        client = EchoOnce()
+        channel = Channel(client)
+        client.close()
+        assert channel.server_read(10) == b""
+
+    def test_hang_when_client_waiting(self):
+        client = EchoOnce()
+        channel = Channel(client)
+        with pytest.raises(ServerHang):
+            channel.server_read(10)   # client never got its "?"
+
+    def test_input_needed_hook(self):
+        class Pusher(ScriptedClient):
+            def receive(self, data):
+                pass
+
+            def input_needed(self):
+                self.send(b"late")
+
+        channel = Channel(Pusher())
+        assert channel.server_read(10) == b"late"

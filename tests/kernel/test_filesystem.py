@@ -1,0 +1,35 @@
+"""In-memory filesystem behaviour."""
+
+from __future__ import annotations
+
+from repro.kernel import default_ftp_files, FileSystem, OpenFile
+
+
+class TestFileSystem:
+    def test_add_and_read(self):
+        fs = FileSystem()
+        fs.add_file("/a", "hello")
+        assert fs.exists("/a")
+        assert fs.read("/a") == b"hello"
+
+    def test_bytes_content(self):
+        fs = FileSystem({"/b": b"\x00\x01"})
+        assert fs.read("/b") == b"\x00\x01"
+
+    def test_missing(self):
+        fs = FileSystem()
+        assert not fs.exists("/nope")
+
+    def test_default_tree(self):
+        files = default_ftp_files()
+        assert "/pub/readme.txt" in files
+        assert "/pub/data.bin" in files
+
+
+class TestOpenFile:
+    def test_sequential_reads(self):
+        handle = OpenFile("/x", b"abcdef")
+        assert handle.read(2) == b"ab"
+        assert handle.read(2) == b"cd"
+        assert handle.read(10) == b"ef"
+        assert handle.read(10) == b""

@@ -1,0 +1,73 @@
+"""crypt13 and the account database."""
+
+from __future__ import annotations
+
+from hypothesis import given, strategies as st
+
+from repro.kernel import (Account, crypt13, CRYPT_ALPHABET,
+                          default_database, PasswdDatabase)
+
+printable = st.text(st.characters(min_codepoint=33, max_codepoint=126),
+                    min_size=0, max_size=24)
+
+
+class TestCrypt13:
+    def test_deterministic(self):
+        assert crypt13("secret", "ab") == crypt13("secret", "ab")
+
+    def test_length_is_13(self):
+        assert len(crypt13("anything", "xy")) == 13
+
+    def test_salt_prefix_preserved(self):
+        assert crypt13("pw", "zq").startswith("zq")
+
+    def test_different_passwords_differ(self):
+        assert crypt13("alpha", "ab") != crypt13("beta", "ab")
+
+    def test_different_salts_differ(self):
+        assert crypt13("same", "aa") != crypt13("same", "bb")
+
+    def test_bytes_and_str_agree(self):
+        assert crypt13(b"pw", b"ab") == crypt13("pw", "ab")
+
+    def test_short_salt_padded(self):
+        assert crypt13("pw", "a") == crypt13("pw", "a.")
+
+    @given(password=printable)
+    def test_output_alphabet(self, password):
+        digest = crypt13(password, "ab")
+        assert len(digest) == 13
+        for symbol in digest[2:]:
+            assert symbol in CRYPT_ALPHABET
+
+    @given(first=printable, second=printable)
+    def test_collision_resistance_smoke(self, first, second):
+        if first != second:
+            # not cryptographically strong, but distinct short inputs
+            # should essentially never collide
+            assert crypt13(first, "ab") != crypt13(second, "ab") \
+                or first == second
+
+
+class TestDatabase:
+    def test_default_population(self):
+        database = default_database()
+        assert len(database) == 4
+        assert database.lookup("alice") is not None
+        assert database.lookup("nosuch") is None
+
+    def test_password_hash_matches_crypt(self):
+        account = Account("u", "pw", salt="qq")
+        assert account.password_hash == crypt13("pw", "qq")
+
+    def test_policy_bits(self):
+        database = default_database()
+        assert database.lookup("bob").denied
+        assert database.lookup("trusted").rhosts_allowed
+        assert not database.lookup("alice").denied
+
+    def test_add_and_iterate(self):
+        database = PasswdDatabase()
+        database.add(Account("x", "y"))
+        names = [account.name for account in database]
+        assert names == ["x"]

@@ -1,0 +1,207 @@
+"""Syscall layer: Linux error semantics under corruption."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.emu import Process
+from repro.kernel import (FileSystem, Kernel, ScriptedClient,
+                          default_ftp_files)
+from repro.x86 import assemble
+
+
+class Collector(ScriptedClient):
+    def __init__(self):
+        super().__init__()
+        self.data = b""
+
+    def receive(self, data):
+        self.data += data
+
+
+def run_asm(body, client=None, files=None):
+    source = ".text\n.global _start\n_start:\n" + body + """
+    movl $1, %eax
+    movl $0, %ebx
+    int $0x80
+"""
+    module = assemble(source)
+    kernel = Kernel.for_client(client or Collector())
+    if files:
+        kernel.filesystem = FileSystem(files)
+    process = Process(module, kernel)
+    status = process.run()
+    return status, kernel, process
+
+
+class TestWrite:
+    def test_write_to_socket(self):
+        client = Collector()
+        status, kernel, __ = run_asm("""
+    movl $4, %eax
+    movl $1, %ebx
+    movl $0x0804C000, %ecx
+    movl $3, %edx
+    int $0x80
+""", client)
+        assert status.exit_code == 0
+        assert len(client.data) == 3
+
+    def test_write_bad_pointer_returns_efault(self):
+        status, __, process = run_asm("""
+    movl $4, %eax
+    movl $1, %ebx
+    movl $0x10, %ecx
+    movl $4, %edx
+    int $0x80
+    movl %eax, %ebx
+    movl $1, %eax
+    int $0x80
+""")
+        assert status.kind == "exit"
+        assert status.exit_code == (-14) & 0xFF   # EFAULT, not a crash
+
+    def test_write_bad_fd_returns_ebadf(self):
+        status, __, ___ = run_asm("""
+    movl $4, %eax
+    movl $9, %ebx
+    movl $0x0804C000, %ecx
+    movl $1, %edx
+    int $0x80
+    movl %eax, %ebx
+    movl $1, %eax
+    int $0x80
+""")
+        assert status.exit_code == (-9) & 0xFF
+
+    def test_stderr_goes_to_log(self):
+        __, kernel, ___ = run_asm("""
+    movl $4, %eax
+    movl $2, %ebx
+    movl $msg, %ecx
+    movl $5, %edx
+    int $0x80
+""" .replace("$msg", "$0x0804C000"))
+        assert len(kernel.stderr_log) == 5
+
+
+class TestOpenReadClose:
+    def test_open_missing_returns_enoent(self):
+        module = assemble("""
+.text
+.global _start
+_start:
+    movl $5, %eax
+    movl $path, %ebx
+    int $0x80
+    movl %eax, %ebx
+    movl $1, %eax
+    int $0x80
+.data
+path: .asciz "/no/such/file"
+""")
+        kernel = Kernel.for_client(Collector())
+        status = Process(module, kernel).run()
+        assert status.exit_code == (-2) & 0xFF
+
+    def test_full_file_roundtrip(self):
+        module = assemble("""
+.text
+.global _start
+_start:
+    movl $5, %eax
+    movl $path, %ebx
+    int $0x80
+    movl %eax, %edi
+    movl $3, %eax
+    movl %edi, %ebx
+    movl $buf, %ecx
+    movl $64, %edx
+    int $0x80
+    movl %eax, %esi
+    movl $4, %eax
+    movl $1, %ebx
+    movl $buf, %ecx
+    movl %esi, %edx
+    int $0x80
+    movl $6, %eax
+    movl %edi, %ebx
+    int $0x80
+    movl $1, %eax
+    movl $0, %ebx
+    int $0x80
+.data
+path: .asciz "/etc/motd"
+buf: .space 64
+""")
+        client = Collector()
+        kernel = Kernel.for_client(client)
+        kernel.filesystem = FileSystem(default_ftp_files())
+        status = Process(module, kernel).run()
+        assert status.exit_code == 0
+        assert client.data == default_ftp_files()["/etc/motd"]
+
+
+class TestMisc:
+    def test_unknown_syscall_returns_enosys(self):
+        status, __, ___ = run_asm("""
+    movl $9999, %eax
+    int $0x80
+    movl %eax, %ebx
+    movl $1, %eax
+    int $0x80
+""")
+        assert status.exit_code == (-38) & 0xFF
+
+    def test_time_and_getpid_deterministic(self):
+        first, __, ___ = run_asm("""
+    movl $13, %eax
+    int $0x80
+    movl %eax, %ebx
+    movl $20, %eax
+    int $0x80
+    addl %eax, %ebx
+    movl $1, %eax
+    int $0x80
+""")
+        second, __, ___ = run_asm("""
+    movl $13, %eax
+    int $0x80
+    movl %eax, %ebx
+    movl $20, %eax
+    int $0x80
+    addl %eax, %ebx
+    movl $1, %eax
+    int $0x80
+""")
+        assert first.exit_code == second.exit_code
+
+    def test_read_caps_oversized_count(self):
+        # corrupted length register: read(0, buf, 0xFFFFFFFF) must not
+        # blow up; returns what the client gave (or EOF).
+        class Once(ScriptedClient):
+            def __init__(self):
+                super().__init__()
+                self.sent = False
+
+            def receive(self, data):
+                pass
+
+            def input_needed(self):
+                if not self.sent:
+                    self.sent = True
+                    self.send(b"xyz")
+                else:
+                    self.close()
+
+        status, __, ___ = run_asm("""
+    movl $3, %eax
+    movl $0, %ebx
+    movl $0x0804C000, %ecx
+    movl $0xFFFFFFFF, %edx
+    int $0x80
+    movl %eax, %ebx
+    movl $1, %eax
+    int $0x80
+""", client=Once())
+        assert status.exit_code == 3

@@ -1,0 +1,68 @@
+"""Rotate instructions vs a bit-twiddling reference."""
+
+from __future__ import annotations
+
+from hypothesis import given, strategies as st
+
+from repro.emu import alu
+from repro.x86.flags import CF
+
+u32 = st.integers(0, 0xFFFFFFFF)
+count5 = st.integers(0, 31)
+
+
+def rol_reference(value, count, bits=32):
+    count %= bits
+    mask = (1 << bits) - 1
+    if count == 0:
+        return value & mask
+    return ((value << count) | (value >> (bits - count))) & mask
+
+
+@given(value=u32, count=count5)
+def test_rol_matches_reference(value, count):
+    result, __ = alu.rol(value, count, 4, 0)
+    assert result == rol_reference(value, count)
+
+
+@given(value=u32, count=count5)
+def test_ror_matches_reference(value, count):
+    result, __ = alu.ror(value, count, 4, 0)
+    assert result == rol_reference(value, (32 - count) % 32)
+
+
+@given(value=u32, count=count5)
+def test_rol_then_ror_identity(value, count):
+    rolled, __ = alu.rol(value, count, 4, 0)
+    back, __ = alu.ror(rolled, count, 4, 0)
+    assert back == value
+
+
+@given(value=u32, count=count5, carry=st.booleans())
+def test_rcl_then_rcr_identity(value, count, carry):
+    flags = CF if carry else 0
+    rolled, mid_flags = alu.rcl(value, count, 4, flags)
+    back, out_flags = alu.rcr(rolled, count, 4, mid_flags)
+    assert back == value
+    assert bool(out_flags & CF) == carry
+
+
+@given(value=u32, carry=st.booleans())
+def test_rcl_by_one_moves_carry_into_bit0(value, carry):
+    flags = CF if carry else 0
+    result, out_flags = alu.rcl(value, 1, 4, flags)
+    assert (result & 1) == (1 if carry else 0)
+    assert bool(out_flags & CF) == bool(value & 0x80000000)
+
+
+@given(value=u32, count=count5)
+def test_rotate_full_width_is_identity(value, count):
+    result, __ = alu.rol(value, 32, 4, 0)
+    # count is masked to 5 bits, so 32 behaves as 0
+    assert result == value
+
+
+@given(value=st.integers(0, 0xFF), count=st.integers(0, 31))
+def test_byte_rotates_wrap_at_eight(value, count):
+    result, __ = alu.rol(value, count, 1, 0)
+    assert result == rol_reference(value, count % 8, bits=8)

@@ -1,0 +1,121 @@
+"""Cross-cutting invariants of the injection framework, checked by
+sampling real experiments."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.apps.ftpd import client1
+from repro.emu import Process
+from repro.injection import (BreakpointSession, enumerate_points,
+                             record_golden)
+from repro.injection.locations import (classify_location, LOCATION_2BO,
+                                       LOCATION_6BO)
+from repro.encoding import inject_under_new_encoding
+from repro.kernel import ServerHang
+
+
+@pytest.fixture(scope="module")
+def context(ftp_daemon):
+    golden = record_golden(ftp_daemon, client1)
+    points = enumerate_points(ftp_daemon.module,
+                              ftp_daemon.auth_ranges())
+    return ftp_daemon, golden, points
+
+
+class TestNaFastPathSoundness:
+    """The campaign skips running experiments whose breakpoint address
+    is absent from golden coverage.  That is sound only if a static
+    (load-time) flip at such an address leaves the run byte-identical
+    -- verify by actually running a sample."""
+
+    def test_uncovered_static_flips_change_nothing(self, context):
+        daemon, golden, points = context
+        uncovered = [p for p in points
+                     if p.instruction_address not in golden.coverage]
+        sample = uncovered[:: max(1, len(uncovered) // 12)][:12]
+        assert sample
+        for point in sample:
+            client = client1()
+            kernel = daemon.make_kernel(client)
+            process = Process(daemon.module, kernel)
+            process.flip_bit(point.flip_address, point.bit)
+            try:
+                status = process.run(400_000)
+            except ServerHang:
+                pytest.fail("uncovered flip caused a hang: %s" % (point,))
+            assert status.kind == "exit"
+            assert kernel.channel.normalized_transcript() \
+                == golden.transcript, \
+                "uncovered flip at 0x%x changed the transcript" \
+                % point.flip_address
+
+
+class TestEncodingEquivalenceOnOffsets:
+    """Table 4 re-encodes *opcode* bytes only; offset-byte experiments
+    must therefore behave identically under both encodings."""
+
+    def test_offset_flips_identical_under_both_encodings(self, context):
+        daemon, golden, points = context
+        offset_points = [p for p in points
+                         if classify_location(p) in (LOCATION_2BO,
+                                                     LOCATION_6BO)
+                         and p.instruction_address in golden.coverage]
+        sample = offset_points[:: max(1, len(offset_points) // 10)][:10]
+        assert sample
+        for point in sample:
+            raw = _instruction_bytes(daemon.module, point)
+            replacement = inject_under_new_encoding(
+                raw, point.byte_offset, point.bit)
+            flipped = bytearray(raw)
+            flipped[point.byte_offset] ^= (1 << point.bit)
+            assert replacement == bytes(flipped), \
+                "offset flip altered by the encoding map at 0x%x" \
+                % point.flip_address
+
+    def test_outcomes_match_for_an_offset_flip(self, context):
+        daemon, golden, points = context
+        point = next(p for p in points
+                     if classify_location(p) == LOCATION_2BO
+                     and p.instruction_address in golden.coverage)
+        session = BreakpointSession(daemon, client1,
+                                    point.instruction_address)
+        old_status, old_kernel, __ = session.run_with_flip(
+            point.flip_address, point.bit)
+        raw = _instruction_bytes(daemon.module, point)
+        replacement = inject_under_new_encoding(raw, point.byte_offset,
+                                                point.bit)
+        new_status, new_kernel, __ = session.run_with_bytes(
+            point.instruction_address, replacement)
+        assert old_status.kind == new_status.kind
+        assert old_status.instret == new_status.instret
+        assert old_kernel.channel.normalized_transcript() \
+            == new_kernel.channel.normalized_transcript()
+
+
+class TestSessionStateHygiene:
+    """Back-to-back experiments through one BreakpointSession must not
+    leak state: an all-zero flip (flip then flip back via double use)
+    reproduces golden."""
+
+    def test_double_flip_restores_golden(self, context):
+        daemon, golden, points = context
+        point = next(p for p in points
+                     if p.instruction_address in golden.coverage)
+        session = BreakpointSession(daemon, client1,
+                                    point.instruction_address)
+        # corrupt once (whatever happens, happens)
+        session.run_with_flip(point.flip_address, point.bit)
+        # then run with the original bytes: must equal golden
+        raw = _instruction_bytes(daemon.module, point)
+        status, kernel, __ = session.run_with_bytes(
+            point.instruction_address, raw)
+        assert status.kind == "exit"
+        assert kernel.channel.normalized_transcript() \
+            == golden.transcript
+
+
+def _instruction_bytes(module, point):
+    offset = point.instruction_address - module.text_base
+    return bytes(module.text[offset:offset + point.instruction_length])

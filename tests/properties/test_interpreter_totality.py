@@ -1,0 +1,78 @@
+"""Interpreter totality: the CPU must handle *anything* a bit flip can
+produce -- every outcome is either normal execution or a defined
+architectural fault, never a Python-level error.
+
+This is the property the whole study leans on: corrupted byte streams
+execute as (possibly weird) IA-32 programs.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.emu import CPU, CpuFault, Memory
+from repro.kernel import Kernel, ScriptedClient
+
+
+class NullClient(ScriptedClient):
+    def receive(self, data):
+        pass
+
+    def input_needed(self):
+        self.close()
+
+
+def execute_bytes(blob, steps=200):
+    """Run raw bytes on a fully mapped scratch machine."""
+    memory = Memory()
+    memory.map_region("text", 0x1000, bytes(blob) + b"\xF4" * 16,
+                      writable=False)
+    memory.map_region("data", 0x2000, 4096)
+    memory.map_region("stack", 0x8000, 4096)
+    cpu = CPU(memory, Kernel.for_client(NullClient()))
+    cpu.eip = 0x1000
+    cpu.regs[:] = [0x2100, 0x2200, 0x2300, 0x2400,
+                   0x8800, 0x8800, 0x2500, 0x2600]
+    executed = 0
+    try:
+        while not cpu.halted and executed < steps:
+            cpu.step()
+            executed += 1
+    except CpuFault:
+        return "fault"
+    except RecursionError:
+        raise
+    return "ran"
+
+
+@pytest.mark.parametrize("opcode", list(range(256)))
+def test_every_single_byte_opcode_is_total(opcode):
+    """Each one-byte opcode (with benign operand bytes) either runs or
+    faults architecturally."""
+    blob = bytes([opcode, 0x03, 0x02, 0x01, 0x00, 0x00, 0x00, 0x00])
+    assert execute_bytes(blob) in ("ran", "fault")
+
+
+@pytest.mark.parametrize("second", list(range(0, 256, 3)))
+def test_0f_escape_rows_are_total(second):
+    blob = bytes([0x0F, second, 0xC1, 0x01, 0x00, 0x00, 0x00])
+    assert execute_bytes(blob) in ("ran", "fault")
+
+
+@settings(max_examples=120, deadline=None)
+@given(blob=st.binary(min_size=1, max_size=24))
+def test_random_byte_soup_is_total(blob):
+    assert execute_bytes(blob) in ("ran", "fault")
+
+
+@settings(max_examples=60, deadline=None)
+@given(prefix_count=st.integers(0, 6),
+       prefixes=st.lists(st.sampled_from([0x66, 0x67, 0x64, 0x65,
+                                          0xF0, 0xF2, 0xF3, 0x2E]),
+                         min_size=0, max_size=6),
+       opcode=st.integers(0, 255))
+def test_prefix_storms_are_total(prefix_count, prefixes, opcode):
+    blob = bytes(prefixes[:prefix_count]) \
+        + bytes([opcode, 0xC1, 0x00, 0x00, 0x00, 0x00])
+    assert execute_bytes(blob) in ("ran", "fault")

@@ -1,0 +1,84 @@
+"""Command-line interface."""
+
+from __future__ import annotations
+
+import io
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+def run_cli(*argv):
+    out = io.StringIO()
+    code = main(list(argv), out=out)
+    return code, out.getvalue()
+
+
+class TestTable4Command:
+    def test_prints_mapping(self):
+        code, text = run_cli("table4")
+        assert code == 0
+        assert "JNE" in text
+        assert "old=1 new=2" in text
+
+
+class TestDisasmCommand:
+    def test_default_functions(self):
+        code, text = run_cli("disasm", "--app", "ftpd")
+        assert code == 0
+        assert "user:" in text
+        assert "pass_:" in text
+        assert "injection targets:" in text
+
+    def test_single_function_branches_only(self):
+        code, text = run_cli("disasm", "--app", "sshd",
+                             "--function", "auth_password",
+                             "--branches-only")
+        assert code == 0
+        assert "auth_password:" in text
+        # branches-only listings contain jumps but no mov
+        assert "\tmov" not in text
+
+    def test_unknown_function_raises(self):
+        with pytest.raises(KeyError):
+            run_cli("disasm", "--function", "nonexistent")
+
+
+class TestCampaignCommand:
+    def test_smoke_campaign(self):
+        code, text = run_cli("campaign", "--app", "ftpd",
+                             "--client", "Client1",
+                             "--max-points", "80")
+        assert code == 0
+        assert "NA" in text and "BRK" in text
+        assert "2BC" in text
+
+    def test_new_encoding(self):
+        code, text = run_cli("campaign", "--app", "ftpd",
+                             "--client", "Client1",
+                             "--encoding", "new",
+                             "--max-points", "80")
+        assert code == 0
+        assert "new encoding" in text
+
+    def test_unknown_client(self):
+        with pytest.raises(SystemExit):
+            run_cli("campaign", "--client", "Client9")
+
+
+class TestRandomCommand:
+    def test_small_sample(self):
+        code, text = run_cli("random", "--trials", "60", "--seed", "3")
+        assert code == 0
+        assert "trials: 60" in text
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_rejects_unknown_app(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["campaign", "--app", "telnetd"])

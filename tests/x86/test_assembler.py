@@ -1,0 +1,220 @@
+"""Assembler tests: encodings, relaxation, directives, errors."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.x86 import assemble, AssemblerError, decode
+
+
+def asm_bytes(line):
+    module = assemble(".text\n" + line + "\n")
+    return module.text
+
+
+class TestInstructionEncodings:
+    def test_push_reg_is_50_plus_r(self):
+        assert asm_bytes("pushl %eax") == b"\x50"
+        assert asm_bytes("pushl %ecx") == b"\x51"
+        assert asm_bytes("pushl %ebp") == b"\x55"
+
+    def test_pop_reg(self):
+        assert asm_bytes("popl %ebx") == b"\x5B"
+
+    def test_mov_esp_ebp(self):
+        assert asm_bytes("movl %esp, %ebp") == b"\x89\xE5"
+
+    def test_mov_imm_reg_uses_b8(self):
+        assert asm_bytes("movl $1, %eax") == b"\xB8\x01\x00\x00\x00"
+
+    def test_small_alu_imm_uses_83(self):
+        assert asm_bytes("subl $24, %esp") == b"\x83\xEC\x18"
+
+    def test_large_alu_imm_uses_81(self):
+        encoded = asm_bytes("addl $1000, %eax")
+        assert encoded[0] == 0x81
+
+    def test_test_eax_eax(self):
+        assert asm_bytes("testl %eax, %eax") == b"\x85\xC0"
+
+    def test_xor_self(self):
+        assert asm_bytes("xorl %ebx, %ebx") == b"\x31\xDB"
+
+    def test_push_imm8_vs_imm32(self):
+        assert asm_bytes("pushl $8") == b"\x6A\x08"
+        assert asm_bytes("pushl $0x8062907")[0] == 0x68
+
+    def test_frame_ops(self):
+        assert asm_bytes("leave") == b"\xC9"
+        assert asm_bytes("ret") == b"\xC3"
+
+    def test_mov_mem_forms(self):
+        assert asm_bytes("movl 8(%ebp), %eax") == b"\x8B\x45\x08"
+        assert asm_bytes("movl %eax, -12(%ebp)") == b"\x89\x45\xF4"
+
+    def test_byte_ops(self):
+        assert asm_bytes("movb (%ecx), %al") == b"\x8A\x01"
+        assert asm_bytes("cmpb (%edx), %al") == b"\x3A\x02"
+        assert asm_bytes("testb %al, %al") == b"\x84\xC0"
+
+    def test_movzbl(self):
+        assert asm_bytes("movzbl %al, %eax") == b"\x0F\xB6\xC0"
+
+    def test_setcc(self):
+        assert asm_bytes("sete %al") == b"\x0F\x94\xC0"
+
+    def test_int(self):
+        assert asm_bytes("int $0x80") == b"\xCD\x80"
+
+    def test_inc_dec_reg_short_form(self):
+        assert asm_bytes("incl %ecx") == b"\x41"
+        assert asm_bytes("decl %edx") == b"\x4A"
+
+    def test_shifts(self):
+        assert asm_bytes("shll $2, %eax") == b"\xC1\xE0\x02"
+        assert asm_bytes("shll $1, %eax") == b"\xD1\xE0"
+        assert asm_bytes("shrl %cl, %eax") == b"\xD3\xE8"
+
+    def test_idiv_cdq(self):
+        assert asm_bytes("cltd") == b"\x99"
+        assert asm_bytes("idivl %ecx") == b"\xF7\xF9"
+
+    def test_indirect_call_and_jmp(self):
+        assert asm_bytes("call *%eax") == b"\xFF\xD0"
+        assert asm_bytes("jmp *%edx") == b"\xFF\xE2"
+
+    def test_sib_encoding(self):
+        encoded = asm_bytes("movl (%eax,%ebx,4), %ecx")
+        assert encoded == b"\x8B\x0C\x98"
+
+    def test_string_ops_and_rep(self):
+        assert asm_bytes("movsb") == b"\xA4"
+        assert asm_bytes("rep movsb") == b"\xF3\xA4"
+
+
+class TestBranchRelaxation:
+    def test_short_forward_branch(self):
+        module = assemble("""
+.text
+start:
+    je near
+    nop
+near:
+    ret
+""")
+        assert module.text[0] == 0x74   # 2-byte form
+
+    def test_long_forward_branch_uses_0f_form(self):
+        filler = "    nop\n" * 200
+        module = assemble(".text\nstart:\n    je far\n" + filler
+                          + "far:\n    ret\n")
+        assert module.text[0] == 0x0F
+        assert module.text[1] == 0x84
+
+    def test_backward_short_branch(self):
+        module = assemble("""
+.text
+loop_top:
+    nop
+    jne loop_top
+""")
+        assert module.text[1] == 0x75
+        # rel8 of -3: back over the 2-byte branch plus the nop
+        assert module.text[2] == 0xFD
+
+    def test_jmp_relaxation(self):
+        short = assemble(".text\n jmp next\nnext: ret\n")
+        assert short.text[0] == 0xEB
+        filler = "    nop\n" * 200
+        long_ = assemble(".text\n jmp far\n" + filler + "far: ret\n")
+        assert long_.text[0] == 0xE9
+
+    def test_mixed_program_decodes_cleanly(self):
+        filler = "    nop\n" * 150
+        module = assemble(".text\nstart:\n    je far\n    jne start\n"
+                          + filler + "far:\n    ret\n")
+        # Walk the whole text; every byte must decode.
+        address = module.text_base
+        end = module.text_base + len(module.text)
+        while address < end:
+            instruction = decode(
+                module.text[address - module.text_base:
+                            address - module.text_base + 15], address)
+            address += instruction.length
+        assert address == end
+
+
+class TestDirectivesAndSymbols:
+    def test_data_labels_and_strings(self):
+        module = assemble("""
+.text
+    ret
+.data
+msg: .asciz "hi"
+value: .long 0x11223344
+""")
+        assert module.data[:3] == b"hi\x00"
+        offset = module.address_of("value") - module.data_base
+        assert module.data[offset:offset + 4] == b"\x44\x33\x22\x11"
+
+    def test_space_and_byte(self):
+        module = assemble(".data\nbuf: .space 8\nb: .byte 1, 2, 3\n")
+        assert module.data == bytes(8) + b"\x01\x02\x03"
+
+    def test_align(self):
+        module = assemble(".data\n.byte 1\n.align 4\nval: .long 2\n")
+        assert module.address_of("val") % 4 == 0
+
+    def test_escape_sequences(self):
+        module = assemble('.data\ns: .asciz "a\\r\\n\\x41"\n')
+        assert module.data == b"a\r\nA\x00"
+
+    def test_symbol_immediates(self):
+        module = assemble("""
+.text
+    movl $msg, %eax
+.data
+msg: .asciz "x"
+""")
+        instruction = decode(module.text, module.text_base)
+        assert instruction.operands[0].value == module.address_of("msg")
+
+    def test_function_ranges_skip_local_labels(self):
+        module = assemble("""
+.text
+first:
+    nop
+.Llocal:
+    nop
+second:
+    ret
+""")
+        start, end = module.function_range("first")
+        assert start == module.address_of("first")
+        assert end == module.address_of("second")
+
+    def test_comments_stripped(self):
+        module = assemble(".text\n    nop  # trailing comment\n")
+        assert module.text == b"\x90"
+
+
+class TestErrors:
+    def test_unknown_mnemonic(self):
+        with pytest.raises(AssemblerError):
+            assemble(".text\n    bogus %eax\n")
+
+    def test_undefined_label(self):
+        with pytest.raises(AssemblerError):
+            assemble(".text\n    jmp nowhere\n")
+
+    def test_bad_register(self):
+        with pytest.raises(AssemblerError):
+            assemble(".text\n    movl %rax, %eax\n")
+
+    def test_memory_to_memory_rejected(self):
+        with pytest.raises(AssemblerError):
+            assemble(".text\n    movl (%eax), (%ebx)\n")
+
+    def test_unknown_directive(self):
+        with pytest.raises(AssemblerError):
+            assemble(".text\n.bogus 4\n")

@@ -1,0 +1,261 @@
+"""Decoder tests against hand-checked IA-32 encodings.
+
+The paper's core claim lives at this level: 0x74 decodes to ``je``,
+0x75 to ``jne``, 0x50 to ``push %eax`` and 0x51 to ``push %ecx`` --
+one Hamming bit apart in each pair.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.x86 import (decode, InvalidOpcodeError, KIND_CALL,
+                       KIND_COND_BRANCH, KIND_JUMP, KIND_RET)
+from repro.x86.errors import DecodeOutOfBytesError
+
+
+def d(*byte_values, address=0x1000):
+    return decode(bytes(byte_values), address)
+
+
+class TestPaperCriticalPairs:
+    """The exact single-bit neighbours from Section 3."""
+
+    def test_je_jne_one_bit_apart(self):
+        je = d(0x74, 0x06)
+        jne = d(0x75, 0x06)
+        assert je.mnemonic == "je"
+        assert jne.mnemonic == "jne"
+        assert je.raw[0] ^ jne.raw[0] == 0x01
+
+    def test_push_eax_push_ecx_one_bit_apart(self):
+        push_eax = d(0x50)
+        push_ecx = d(0x51)
+        assert str(push_eax) == "push %eax"
+        assert str(push_ecx) == "push %ecx"
+
+    def test_je_rel8_target(self):
+        # je $PC+5 from the paper: encoding 0x7406 branches over 6
+        # bytes past the 2-byte instruction.
+        instruction = d(0x74, 0x06, address=0x100)
+        assert instruction.operands[0].target == 0x100 + 2 + 6
+
+    def test_all_sixteen_jcc_rel8(self):
+        expected = ["jo", "jno", "jb", "jae", "je", "jne", "jbe", "ja",
+                    "js", "jns", "jp", "jnp", "jl", "jge", "jle", "jg"]
+        for index, mnemonic in enumerate(expected):
+            instruction = d(0x70 + index, 0x00)
+            assert instruction.mnemonic == mnemonic
+            assert instruction.kind == KIND_COND_BRANCH
+            assert instruction.condition == index
+
+    def test_all_sixteen_jcc_rel32(self):
+        for index in range(16):
+            instruction = d(0x0F, 0x80 + index, 0, 0, 0, 0)
+            assert instruction.kind == KIND_COND_BRANCH
+            assert instruction.condition == index
+            assert instruction.length == 6
+
+
+class TestBasicEncodings:
+    def test_nop(self):
+        assert d(0x90).mnemonic == "nop"
+
+    def test_mov_imm_reg(self):
+        instruction = d(0xB8, 0x01, 0x00, 0x00, 0x00)
+        assert str(instruction) == "mov $0x1, %eax"
+
+    def test_mov_reg_reg(self):
+        instruction = d(0x89, 0xE5)   # mov %esp, %ebp
+        assert str(instruction) == "mov %esp, %ebp"
+
+    def test_mov_mem_disp8(self):
+        instruction = d(0x8B, 0x45, 0x08)   # mov 0x8(%ebp), %eax
+        assert instruction.mnemonic == "mov"
+        mem = instruction.operands[0]
+        assert mem.kind == "mem"
+        assert mem.base == 5 and mem.disp == 8
+
+    def test_sub_imm8(self):
+        instruction = d(0x83, 0xEC, 0x18)   # sub $0x18, %esp
+        assert instruction.mnemonic == "sub"
+        assert instruction.operands[0].value == 0x18
+
+    def test_test_reg_reg(self):
+        instruction = d(0x85, 0xC0)
+        assert str(instruction) == "test %eax, %eax"
+
+    def test_call_rel32(self):
+        instruction = d(0xE8, 0x10, 0x00, 0x00, 0x00, address=0x400)
+        assert instruction.kind == KIND_CALL
+        assert instruction.operands[0].target == 0x400 + 5 + 0x10
+
+    def test_ret(self):
+        assert d(0xC3).kind == KIND_RET
+
+    def test_ret_imm16(self):
+        instruction = d(0xC2, 0x08, 0x00)
+        assert instruction.kind == KIND_RET
+        assert instruction.operands[0].value == 8
+
+    def test_jmp_rel8_backward(self):
+        instruction = d(0xEB, 0xFE, address=0x500)   # jmp self
+        assert instruction.kind == KIND_JUMP
+        assert instruction.operands[0].target == 0x500
+
+    def test_lea(self):
+        instruction = d(0x8D, 0x45, 0xF8)
+        assert instruction.mnemonic == "lea"
+
+    def test_push_imm8_sign_extended(self):
+        instruction = d(0x6A, 0xFF)
+        assert instruction.operands[0].value == 0xFFFFFFFF
+
+    def test_xor_reg(self):
+        instruction = d(0x31, 0xDB)   # xor %ebx, %ebx
+        assert str(instruction) == "xor %ebx, %ebx"
+
+    def test_byte_alu(self):
+        instruction = d(0x3A, 0x02)   # cmp (%edx), %al
+        assert instruction.mnemonic == "cmpb"
+        assert instruction.operands[1].size == 1
+
+    def test_inc_dec(self):
+        assert d(0x41).mnemonic == "inc"
+        assert d(0x49).mnemonic == "dec"
+
+    def test_int_0x80(self):
+        instruction = d(0xCD, 0x80)
+        assert instruction.mnemonic == "int"
+        assert instruction.operands[0].value == 0x80
+
+
+class TestModRMForms:
+    def test_sib_scaled_index(self):
+        # mov (%eax,%ebx,4), %ecx = 8B 0C 98
+        instruction = d(0x8B, 0x0C, 0x98)
+        mem = instruction.operands[0]
+        assert mem.base == 0 and mem.index == 3 and mem.scale == 4
+
+    def test_disp32_absolute(self):
+        # mov 0x804c000, %eax = A1
+        instruction = d(0xA1, 0x00, 0xC0, 0x04, 0x08)
+        assert instruction.operands[0].disp == 0x0804C000
+
+    def test_mod00_rm5_disp32(self):
+        instruction = d(0x8B, 0x05, 0x10, 0x00, 0x00, 0x00)
+        mem = instruction.operands[0]
+        assert mem.base is None and mem.disp == 0x10
+
+    def test_esp_base_requires_sib(self):
+        instruction = d(0x8B, 0x04, 0x24)   # mov (%esp), %eax
+        assert instruction.operands[0].base == 4
+
+    def test_negative_disp8(self):
+        instruction = d(0x8B, 0x45, 0xF4)   # mov -0xc(%ebp), %eax
+        assert instruction.operands[0].disp == -12
+
+
+class TestPrefixes:
+    def test_fs_prefix_consumed(self):
+        # 0x64 then nop: je's bit-4 neighbour becomes a prefixed insn
+        instruction = d(0x64, 0x90)
+        assert instruction.mnemonic == "nop"
+        assert 0x64 in instruction.prefixes
+        assert instruction.length == 2
+
+    def test_operand_size_prefix(self):
+        instruction = d(0x66, 0xB8, 0x34, 0x12)   # mov $0x1234, %ax
+        assert instruction.operand_size == 2
+        assert instruction.operands[0].value == 0x1234
+        assert instruction.length == 4
+
+    def test_opsize_jcc_truncates_target(self):
+        # 66 74 xx: branch target truncated to 16 bits
+        instruction = d(0x66, 0x74, 0x10, address=0x08048000)
+        assert instruction.operands[0].target <= 0xFFFF
+
+    def test_rep_prefix(self):
+        instruction = d(0xF3, 0xA4)   # rep movsb
+        assert instruction.mnemonic == "movsb"
+        assert instruction.rep == 0xF3
+
+    def test_too_many_prefixes_fault(self):
+        with pytest.raises(InvalidOpcodeError):
+            decode(bytes([0x66] * 15 + [0x90]), 0)
+
+    def test_addr_size_prefix_16bit_modrm(self):
+        # 67 8B 46 08 = mov 0x8(%bp... 16-bit table: rm6 -> (%ebp)
+        instruction = d(0x67, 0x8B, 0x46, 0x08)
+        mem = instruction.operands[0]
+        assert mem.base == 5    # EBP per the 16-bit table
+        assert mem.disp == 8
+
+
+class TestInvalidAndPrivileged:
+    def test_ud2_is_invalid(self):
+        with pytest.raises(InvalidOpcodeError):
+            d(0x0F, 0x0B)
+
+    def test_undefined_0f_row_invalid(self):
+        with pytest.raises(InvalidOpcodeError):
+            d(0x0F, 0x27)
+
+    def test_lea_with_register_invalid(self):
+        with pytest.raises(InvalidOpcodeError):
+            d(0x8D, 0xC0)
+
+    def test_group5_slot7_invalid(self):
+        with pytest.raises(InvalidOpcodeError):
+            d(0xFF, 0xF8)
+
+    def test_hlt_decodes_fine(self):
+        # Privileged instructions decode; they fault at execution.
+        assert d(0xF4).mnemonic == "hlt"
+
+    def test_in_out_decode(self):
+        assert d(0xE4, 0x60).mnemonic == "in"
+        assert d(0xEE).mnemonic == "out"
+
+    def test_truncated_instruction(self):
+        with pytest.raises(DecodeOutOfBytesError):
+            decode(bytes([0xB8, 0x01]), 0)   # mov imm32 needs 4 bytes
+
+    def test_every_one_byte_opcode_defined_or_faults_cleanly(self):
+        """The full one-byte map either decodes or raises a decoder
+        error -- never an unexpected exception."""
+        for opcode in range(256):
+            blob = bytes([opcode]) + bytes(14)
+            try:
+                instruction = decode(blob, 0)
+            except (InvalidOpcodeError, DecodeOutOfBytesError):
+                continue
+            assert instruction.length >= 1
+
+
+class TestTwoByteOpcodes:
+    def test_movzx(self):
+        instruction = d(0x0F, 0xB6, 0x00)   # movzbl (%eax), %eax
+        assert instruction.mnemonic == "movzxb"
+
+    def test_setcc(self):
+        instruction = d(0x0F, 0x94, 0xC0)   # sete %al
+        assert instruction.mnemonic == "sete"
+        assert instruction.condition == 4
+
+    def test_cmovcc(self):
+        instruction = d(0x0F, 0x44, 0xC8)   # cmove %eax, %ecx
+        assert instruction.mnemonic == "cmove"
+
+    def test_imul_two_operand(self):
+        instruction = d(0x0F, 0xAF, 0xC1)
+        assert instruction.mnemonic == "imul2"
+
+    def test_bswap(self):
+        instruction = d(0x0F, 0xC9)
+        assert instruction.mnemonic == "bswap"
+        assert instruction.operands[0].index == 1
+
+    def test_cpuid_rdtsc(self):
+        assert d(0x0F, 0xA2).mnemonic == "cpuid"
+        assert d(0x0F, 0x31).mnemonic == "rdtsc"

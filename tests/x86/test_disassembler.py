@@ -1,0 +1,79 @@
+"""Linear-sweep disassembler."""
+
+from __future__ import annotations
+
+from repro.x86 import (assemble, disassemble_range, format_listing,
+                       Instruction)
+
+
+def build():
+    return assemble("""
+.text
+entry:
+    pushl %ebp
+    movl %esp, %ebp
+    je done
+    call helper
+done:
+    leave
+    ret
+helper:
+    ret
+""")
+
+
+class TestSweep:
+    def test_instruction_sequence(self):
+        module = build()
+        listing = disassemble_range(module.text, module.text_base,
+                                    module.text_base,
+                                    module.text_base + len(module.text))
+        mnemonics = [i.mnemonic for i in listing]
+        assert mnemonics == ["push", "mov", "je", "call", "leave",
+                             "ret", "ret"]
+
+    def test_addresses_contiguous(self):
+        module = build()
+        listing = disassemble_range(module.text, module.text_base,
+                                    module.text_base,
+                                    module.text_base + len(module.text))
+        for first, second in zip(listing, listing[1:]):
+            assert first.address + first.length == second.address
+
+    def test_subrange(self):
+        module = build()
+        start, end = module.function_range("helper")
+        listing = disassemble_range(module.text, module.text_base,
+                                    start, end)
+        assert len(listing) == 1
+        assert listing[0].mnemonic == "ret"
+
+    def test_bad_bytes_become_pseudo_instructions(self):
+        # 0F 0B is ud2 -> undecodable -> (bad) of length 1, sweep
+        # continues
+        data = b"\x90\x0F\x0B\x90"
+        listing = disassemble_range(data, 0x1000, 0x1000, 0x1004)
+        mnemonics = [i.mnemonic for i in listing]
+        assert mnemonics[0] == "nop"
+        assert "(bad)" in mnemonics
+        assert mnemonics[-1] == "nop"
+        assert sum(i.length for i in listing) == 4
+
+
+class TestFormatting:
+    def test_listing_contains_hex_and_text(self):
+        module = build()
+        listing = disassemble_range(module.text, module.text_base,
+                                    module.text_base,
+                                    module.text_base + 3)
+        text = format_listing(listing)
+        assert "55" in text               # push %ebp encoding
+        assert "push %ebp" in text
+        assert "%x:" % module.text_base in text
+
+    def test_listing_one_line_per_instruction(self):
+        module = build()
+        listing = disassemble_range(module.text, module.text_base,
+                                    module.text_base,
+                                    module.text_base + len(module.text))
+        assert len(format_listing(listing).splitlines()) == len(listing)

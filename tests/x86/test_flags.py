@@ -1,0 +1,105 @@
+"""Condition-code evaluation and parity tables."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.x86.flags import (AF, CF, condition_met, CONDITION_BY_SUFFIX,
+                             CONDITION_SUFFIXES, describe_flags, OF,
+                             parity_flag, PF, SF, ZF)
+
+
+class TestParity:
+    def test_zero_has_even_parity(self):
+        assert parity_flag(0) == PF
+
+    def test_one_bit_is_odd(self):
+        for bit in range(8):
+            assert parity_flag(1 << bit) == 0
+
+    def test_two_bits_is_even(self):
+        assert parity_flag(0b11) == PF
+        assert parity_flag(0b101) == PF
+
+    def test_only_low_byte_counts(self):
+        assert parity_flag(0x100) == PF      # low byte 0x00
+        assert parity_flag(0x1FF) == PF      # low byte 0xFF (8 ones)
+        assert parity_flag(0x101) == 0       # low byte 0x01
+
+
+class TestConditions:
+    def test_jo_jno(self):
+        assert condition_met(0x0, OF)
+        assert not condition_met(0x0, 0)
+        assert condition_met(0x1, 0)
+        assert not condition_met(0x1, OF)
+
+    def test_jb_jae(self):
+        assert condition_met(0x2, CF)
+        assert condition_met(0x3, 0)
+
+    def test_je_jne(self):
+        assert condition_met(0x4, ZF)
+        assert not condition_met(0x4, 0)
+        assert condition_met(0x5, 0)
+        assert not condition_met(0x5, ZF)
+
+    def test_jbe_ja(self):
+        assert condition_met(0x6, CF)
+        assert condition_met(0x6, ZF)
+        assert condition_met(0x6, CF | ZF)
+        assert condition_met(0x7, 0)
+        assert not condition_met(0x7, CF)
+
+    def test_js_jns(self):
+        assert condition_met(0x8, SF)
+        assert condition_met(0x9, 0)
+
+    def test_jp_jnp(self):
+        assert condition_met(0xA, PF)
+        assert condition_met(0xB, 0)
+
+    def test_jl_jge_signed(self):
+        # less: SF != OF
+        assert condition_met(0xC, SF)
+        assert condition_met(0xC, OF)
+        assert not condition_met(0xC, SF | OF)
+        assert condition_met(0xD, SF | OF)
+        assert condition_met(0xD, 0)
+
+    def test_jle_jg(self):
+        assert condition_met(0xE, ZF)
+        assert condition_met(0xE, SF)
+        assert not condition_met(0xE, 0)
+        assert condition_met(0xF, 0)
+        assert not condition_met(0xF, ZF)
+        assert not condition_met(0xF, SF)
+
+    @pytest.mark.parametrize("condition", range(16))
+    def test_odd_conditions_negate_even(self, condition):
+        for flags in (0, CF, ZF, SF, OF, PF, CF | ZF, SF | OF,
+                      ZF | SF | OF, CF | PF | AF | ZF | SF | OF):
+            even = condition_met(condition & 0xE, flags)
+            odd = condition_met(condition | 1, flags)
+            assert even != odd
+
+    def test_suffix_table_roundtrip(self):
+        for index, suffix in enumerate(CONDITION_SUFFIXES):
+            assert CONDITION_BY_SUFFIX[suffix] == index
+
+    def test_aliases(self):
+        assert CONDITION_BY_SUFFIX["z"] == CONDITION_BY_SUFFIX["e"]
+        assert CONDITION_BY_SUFFIX["nz"] == CONDITION_BY_SUFFIX["ne"]
+        assert CONDITION_BY_SUFFIX["c"] == CONDITION_BY_SUFFIX["b"]
+        assert CONDITION_BY_SUFFIX["na"] == CONDITION_BY_SUFFIX["be"]
+
+
+class TestDescribeFlags:
+    def test_empty(self):
+        assert describe_flags(0) == "-"
+
+    def test_some(self):
+        text = describe_flags(ZF | CF)
+        assert "ZF" in text
+        assert "CF" in text
+        assert "SF" not in text

@@ -1,0 +1,84 @@
+"""ModRM/SIB encode/decode agreement."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.x86.instruction import Mem, Reg
+from repro.x86.modrm import ByteReader, decode_modrm, encode_modrm
+
+
+def roundtrip(reg_field, operand):
+    blob = encode_modrm(reg_field, operand)
+    reader = ByteReader(blob)
+    decoded_field, decoded = decode_modrm(reader, operand.size)
+    assert reader.offset == len(blob), "trailing bytes"
+    return decoded_field, decoded
+
+
+class TestRegisterForm:
+    @pytest.mark.parametrize("index", range(8))
+    def test_register_roundtrip(self, index):
+        field, decoded = roundtrip(3, Reg(index, 4))
+        assert field == 3
+        assert decoded == Reg(index, 4)
+
+
+class TestMemoryForms:
+    def test_plain_base(self):
+        __, decoded = roundtrip(0, Mem(base=1, size=4))
+        assert decoded.base == 1 and decoded.disp == 0
+
+    def test_disp8(self):
+        __, decoded = roundtrip(2, Mem(base=5, disp=8, size=4))
+        assert decoded.base == 5 and decoded.disp == 8
+
+    def test_negative_disp8(self):
+        __, decoded = roundtrip(0, Mem(base=5, disp=-12, size=4))
+        assert decoded.disp == -12
+
+    def test_disp32(self):
+        __, decoded = roundtrip(0, Mem(base=0, disp=0x1234, size=4))
+        assert decoded.disp == 0x1234
+
+    def test_absolute(self):
+        __, decoded = roundtrip(0, Mem(disp=0x0804C000, size=4))
+        assert decoded.base is None and decoded.index is None
+        assert decoded.disp == 0x0804C000
+
+    def test_sib_scale4(self):
+        __, decoded = roundtrip(1, Mem(base=0, index=3, scale=4, size=4))
+        assert (decoded.base, decoded.index, decoded.scale) == (0, 3, 4)
+
+    def test_esp_base_needs_sib(self):
+        blob = encode_modrm(0, Mem(base=4, size=4))
+        assert len(blob) == 2   # modrm + sib
+
+    def test_ebp_base_needs_disp(self):
+        blob = encode_modrm(0, Mem(base=5, size=4))
+        assert len(blob) == 2   # modrm + disp8(0)
+
+    def test_index_without_base(self):
+        __, decoded = roundtrip(0, Mem(index=2, scale=8, disp=0x100,
+                                       size=4))
+        assert decoded.base is None
+        assert decoded.index == 2 and decoded.scale == 8
+        assert decoded.disp == 0x100
+
+
+@given(reg_field=st.integers(0, 7),
+       base=st.one_of(st.none(), st.integers(0, 7)),
+       index=st.one_of(st.none(), st.integers(0, 7).filter(lambda i:
+                                                           i != 4)),
+       scale=st.sampled_from([1, 2, 4, 8]),
+       disp=st.integers(-0x80000000, 0x7FFFFFFF))
+def test_modrm_roundtrip_property(reg_field, base, index, scale, disp):
+    operand = Mem(base=base, index=index, scale=scale, disp=disp, size=4)
+    decoded_field, decoded = roundtrip(reg_field, operand)
+    assert decoded_field == reg_field
+    assert decoded.base == operand.base
+    assert decoded.index == operand.index
+    assert decoded.disp == operand.disp
+    if operand.index is not None:
+        assert decoded.scale == operand.scale

@@ -1,0 +1,133 @@
+"""Encoding-level fidelity: single-bit neighbourhoods of the opcodes
+the study cares about must decode to the same instructions as on real
+IA-32 silicon.
+
+These tables are the ground truth behind the whole experiment: if a
+neighbourhood were wrong, every campaign distribution would shift.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.x86 import decode, InvalidOpcodeError
+from repro.x86.errors import DecodeOutOfBytesError
+
+# (base opcode, bit, expected mnemonic of the flipped byte)
+# Padding bytes are 0x06 so branch targets/immediates stay decodable.
+JE_NEIGHBOURHOOD = [
+    (0x74, 0, "jne"),    # the paper's grant/deny inversion
+    (0x74, 1, "jbe"),
+    (0x74, 2, "jo"),
+    (0x74, 3, "jl"),
+    (0x74, 4, None),     # 0x64: fs prefix consumes the offset byte
+    (0x74, 5, "push"),   # 0x54: push %esp
+    (0x74, 6, "xorb"),   # 0x34: xor $imm8, %al
+    (0x74, 7, "hlt"),    # 0xF4
+]
+
+JNE_NEIGHBOURHOOD = [
+    (0x75, 0, "je"),
+    (0x75, 1, "ja"),
+    (0x75, 2, "jno"),
+    (0x75, 3, "jge"),
+    (0x75, 5, "push"),   # 0x55: push %ebp
+    (0x75, 7, "cmc"),    # 0xF5
+]
+
+class TestJeNeighbourhood:
+    @pytest.mark.parametrize("opcode,bit,expected", JE_NEIGHBOURHOOD)
+    def test_flip(self, opcode, bit, expected):
+        flipped = opcode ^ (1 << bit)
+        blob = bytes([flipped, 0x06, 0x06, 0x06, 0x06, 0x06])
+        instruction = decode(blob, 0x1000)
+        if expected is None:
+            # prefix case: the instruction is whatever follows
+            assert 0x64 in instruction.prefixes
+        else:
+            assert instruction.mnemonic == expected, \
+                "0x%02x bit %d -> 0x%02x decoded %s, expected %s" \
+                % (opcode, bit, flipped, instruction.mnemonic, expected)
+
+    def test_low_nibble_flips_stay_in_jcc_block(self):
+        for bit in range(4):
+            flipped = 0x74 ^ (1 << bit)
+            instruction = decode(bytes([flipped, 0x06]), 0)
+            assert instruction.kind == "cond_branch"
+
+    @pytest.mark.parametrize("opcode,bit,expected", JNE_NEIGHBOURHOOD)
+    def test_jne_flip(self, opcode, bit, expected):
+        flipped = opcode ^ (1 << bit)
+        blob = bytes([flipped, 0x06, 0x06, 0x06, 0x06, 0x06])
+        instruction = decode(blob, 0x1000)
+        assert instruction.mnemonic == expected
+
+
+class TestPushNeighbourhood:
+    def test_push_eax_to_push_ecx(self):
+        """Example 1 case 1: 0x50 -> 0x51."""
+        push_eax = decode(b"\x50", 0)
+        push_ecx = decode(b"\x51", 0)
+        assert str(push_eax) == "push %eax"
+        assert str(push_ecx) == "push %ecx"
+
+    def test_all_register_pushes(self):
+        names = ("eax", "ecx", "edx", "ebx", "esp", "ebp", "esi", "edi")
+        for index, name in enumerate(names):
+            instruction = decode(bytes([0x50 + index]), 0)
+            assert str(instruction) == "push %" + name
+
+    def test_bit3_gives_pop(self):
+        assert decode(b"\x58", 0).mnemonic == "pop"
+
+    def test_bit4_gives_inc(self):
+        assert decode(b"\x40", 0).mnemonic == "inc"
+
+    def test_bit5_gives_jcc(self):
+        assert decode(b"\x70\x00", 0).mnemonic == "jo"
+
+
+class TestSixByteNeighbourhood:
+    def test_0f85_bit0_gives_0f84(self):
+        """6BC2: jne rel32 <-> je rel32."""
+        jne = decode(b"\x0F\x85\x00\x01\x00\x00", 0)
+        je = decode(b"\x0F\x84\x00\x01\x00\x00", 0)
+        assert jne.mnemonic == "jne" and je.mnemonic == "je"
+
+    def test_0f84_bit4_gives_setcc(self):
+        """0F 94 = sete: a flipped 6-byte branch can become a setcc."""
+        instruction = decode(b"\x0F\x94\xC0", 0)
+        assert instruction.mnemonic == "sete"
+
+    def test_0f_to_something_else(self):
+        """6BC1: flipping the 0F escape byte reinterprets everything.
+        0x0F ^ 0x01 = 0x0E = push %cs."""
+        instruction = decode(b"\x0E", 0)
+        assert instruction.mnemonic == "push_seg"
+
+    def test_offset_flips_change_target_only(self):
+        base = decode(b"\x0F\x84\x10\x00\x00\x00", 0x1000)
+        flipped = decode(b"\x0F\x84\x11\x00\x00\x00", 0x1000)
+        assert flipped.mnemonic == base.mnemonic
+        assert flipped.operands[0].target \
+            == base.operands[0].target + 1
+
+    def test_high_offset_flip_wild_target(self):
+        flipped = decode(b"\x0F\x84\x10\x00\x00\x80", 0x1000)
+        assert flipped.operands[0].target != 0x1000 + 6 + 0x10
+        assert flipped.operands[0].target > 0x10000000 \
+            or flipped.operands[0].target < 0x1000
+
+
+def test_every_jcc_byte_decodes_totally():
+    """Every single-bit corruption of every 2-byte Jcc either decodes
+    or raises one of the two defined decoder errors -- no surprises."""
+    for opcode in range(0x70, 0x80):
+        for byte_offset in range(2):
+            for bit in range(8):
+                blob = bytearray([opcode, 0x06] + [0x06] * 13)
+                blob[byte_offset] ^= (1 << bit)
+                try:
+                    decode(bytes(blob), 0x1000)
+                except (InvalidOpcodeError, DecodeOutOfBytesError):
+                    pass

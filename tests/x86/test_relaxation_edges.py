@@ -1,0 +1,80 @@
+"""Branch relaxation edge cases: targets at exactly the rel8 limits."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.x86 import assemble, decode
+
+
+def program_with_gap(nop_count, backward=False):
+    if backward:
+        return (".text\ntarget:\n" + "    nop\n" * nop_count
+                + "    jne target\n")
+    return (".text\n    jne target\n" + "    nop\n" * nop_count
+            + "target:\n    ret\n")
+
+
+class TestForwardLimits:
+    def test_exactly_127_forward_stays_short(self):
+        module = assemble(program_with_gap(127))
+        assert module.text[0] == 0x75
+        assert module.text[1] == 127
+
+    def test_128_forward_goes_long(self):
+        module = assemble(program_with_gap(128))
+        assert module.text[0] == 0x0F
+        assert module.text[1] == 0x85
+
+    @given(gap=st.integers(0, 260))
+    @settings(max_examples=25, deadline=None)
+    def test_every_gap_resolves_to_the_right_target(self, gap):
+        module = assemble(program_with_gap(gap))
+        instruction = decode(module.text, module.text_base)
+        assert instruction.operands[0].target \
+            == module.address_of("target")
+
+
+class TestBackwardLimits:
+    def test_backward_within_range_stays_short(self):
+        # 2-byte branch: displacement = -(gap + 2); short while >= -128
+        module = assemble(program_with_gap(126, backward=True))
+        offset = 126
+        assert module.text[offset] == 0x75
+
+    def test_backward_128_goes_long(self):
+        module = assemble(program_with_gap(127, backward=True))
+        offset = 127
+        assert module.text[offset] == 0x0F
+
+    @given(gap=st.integers(0, 300))
+    @settings(max_examples=25, deadline=None)
+    def test_backward_targets_resolve(self, gap):
+        module = assemble(program_with_gap(gap, backward=True))
+        offset = gap
+        window = module.text[offset:offset + 15]
+        instruction = decode(window, module.text_base + offset)
+        assert instruction.operands[0].target == module.text_base
+
+
+class TestCascadingRelaxation:
+    def test_two_branches_push_each_other_long(self):
+        """Branch A fits only if branch B stays short and vice versa;
+        relaxation must reach a stable (all-long) solution, not
+        oscillate."""
+        filler = "    nop\n" * 124
+        module = assemble(".text\nstart:\n    je end\n    jne end\n"
+                          + filler + "end:\n    ret\n")
+        # decode the whole text: every branch targets `end`
+        address = module.text_base
+        end_address = module.address_of("end")
+        branch_targets = []
+        while address < module.text_base + len(module.text):
+            offset = address - module.text_base
+            instruction = decode(module.text[offset:offset + 15],
+                                 address)
+            if instruction.kind == "cond_branch":
+                branch_targets.append(instruction.operands[0].target)
+            address += instruction.length
+        assert branch_targets == [end_address, end_address]

