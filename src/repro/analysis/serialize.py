@@ -3,18 +3,26 @@
 Campaigns take minutes; downstream analysis (plots, cross-machine
 comparisons, regression tracking) wants the raw per-experiment records
 without re-running anything.  This module round-trips
-:class:`~repro.injection.campaign.CampaignResult` through plain JSON.
+:class:`~repro.injection.campaign.CampaignResult` through plain JSON,
+and exposes per-record converters (:func:`result_to_dict` /
+:func:`result_from_dict`) used by the fault-tolerant runner's JSONL
+journal.
+
+Schema history: v1 had no ``crashed_after_breakin``,
+``hang_eip_range`` or ``quarantined`` fields; v1 payloads still load,
+with those fields defaulted.
 """
 
 from __future__ import annotations
 
 import json
 
-from ..injection.campaign import CampaignResult
+from ..injection.campaign import CampaignResult, QuarantinedPoint
 from ..injection.outcomes import InjectionResult
 from ..injection.targets import InjectionPoint
 
-SCHEMA_VERSION = 1
+SCHEMA_VERSION = 2
+_LOADABLE_SCHEMAS = (1, 2)
 
 
 def campaign_to_dict(campaign):
@@ -25,13 +33,14 @@ def campaign_to_dict(campaign):
         "daemon": campaign.daemon_name,
         "client": campaign.client_name,
         "encoding": campaign.encoding,
-        "results": [_result_to_dict(result)
+        "results": [result_to_dict(result)
                     for result in campaign.results],
+        "quarantined": [_quarantined_to_dict(entry)
+                        for entry in campaign.quarantined],
     }
 
 
-def _result_to_dict(result):
-    point = result.point
+def point_to_dict(point):
     return {
         "address": point.instruction_address,
         "byte_offset": point.byte_offset,
@@ -40,6 +49,23 @@ def _result_to_dict(result):
         "mnemonic": point.mnemonic,
         "opcode": point.opcode,
         "kind": point.kind,
+    }
+
+
+def point_from_dict(record):
+    return InjectionPoint(
+        instruction_address=record["address"],
+        byte_offset=record["byte_offset"],
+        bit=record["bit"],
+        instruction_length=record["length"],
+        mnemonic=record["mnemonic"],
+        opcode=record["opcode"],
+        kind=record["kind"])
+
+
+def result_to_dict(result):
+    record = point_to_dict(result.point)
+    record.update({
         "location": result.location,
         "outcome": result.outcome,
         "activated": result.activated,
@@ -49,38 +75,62 @@ def _result_to_dict(result):
         "signal": result.signal,
         "crash_latency": result.crash_latency,
         "broke_in": result.broke_in,
+        "crashed_after_breakin": result.crashed_after_breakin,
         "detail": result.detail,
+        "hang_eip_range": (None if result.hang_eip_range is None
+                           else list(result.hang_eip_range)),
+    })
+    return record
+
+
+def result_from_dict(record):
+    hang_eip_range = record.get("hang_eip_range")
+    return InjectionResult(
+        point=point_from_dict(record),
+        location=record["location"],
+        outcome=record["outcome"],
+        activated=record["activated"],
+        activation_instret=record["activation_instret"],
+        exit_kind=record["exit_kind"],
+        exit_code=record["exit_code"],
+        signal=record["signal"],
+        crash_latency=record["crash_latency"],
+        broke_in=record["broke_in"],
+        crashed_after_breakin=record.get("crashed_after_breakin",
+                                         False),
+        detail=record["detail"],
+        hang_eip_range=(None if hang_eip_range is None
+                        else tuple(hang_eip_range)))
+
+
+def _quarantined_to_dict(entry):
+    return {
+        "point": point_to_dict(entry.point),
+        "location": entry.location,
+        "outcomes": list(entry.outcomes),
+        "rounds": entry.rounds,
     }
+
+
+def _quarantined_from_dict(record):
+    return QuarantinedPoint(
+        point=point_from_dict(record["point"]),
+        location=record["location"],
+        outcomes=tuple(record["outcomes"]),
+        rounds=record["rounds"])
 
 
 def campaign_from_dict(payload):
     """Rebuild a :class:`CampaignResult` (without the golden run)."""
-    if payload.get("schema") != SCHEMA_VERSION:
+    if payload.get("schema") not in _LOADABLE_SCHEMAS:
         raise ValueError("unsupported schema %r" % payload.get("schema"))
     campaign = CampaignResult(daemon_name=payload["daemon"],
                               client_name=payload["client"],
                               encoding=payload["encoding"])
     for record in payload["results"]:
-        point = InjectionPoint(
-            instruction_address=record["address"],
-            byte_offset=record["byte_offset"],
-            bit=record["bit"],
-            instruction_length=record["length"],
-            mnemonic=record["mnemonic"],
-            opcode=record["opcode"],
-            kind=record["kind"])
-        campaign.results.append(InjectionResult(
-            point=point,
-            location=record["location"],
-            outcome=record["outcome"],
-            activated=record["activated"],
-            activation_instret=record["activation_instret"],
-            exit_kind=record["exit_kind"],
-            exit_code=record["exit_code"],
-            signal=record["signal"],
-            crash_latency=record["crash_latency"],
-            broke_in=record["broke_in"],
-            detail=record["detail"]))
+        campaign.results.append(result_from_dict(record))
+    for record in payload.get("quarantined", ()):
+        campaign.quarantined.append(_quarantined_from_dict(record))
     return campaign
 
 

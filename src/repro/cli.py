@@ -56,7 +56,14 @@ def cmd_campaign(args, out):
         daemon, args.client, clients[args.client],
         encoding=args.encoding,
         max_points=args.max_points,
+        journal=args.journal, resume=args.resume,
+        retries=args.retries,
         progress=_progress_printer(out) if args.progress else None)
+    if args.journal:
+        out.write("journal: %s\n" % args.journal)
+    if campaign.quarantined_count:
+        out.write("quarantined (unstable, excluded from percentages): "
+                  "%d\n" % campaign.quarantined_count)
     if args.save:
         from .analysis import save_campaign
         save_campaign(campaign, args.save)
@@ -144,6 +151,18 @@ def build_parser():
     campaign.add_argument("--progress", action="store_true")
     campaign.add_argument("--save", default=None, metavar="PATH",
                           help="write per-experiment records as JSON")
+    campaign.add_argument("--journal", default=None, metavar="PATH",
+                          help="append-only JSONL run journal (one "
+                               "record per completed experiment)")
+    campaign.add_argument("--resume", action="store_true",
+                          help="skip experiments already present in "
+                               "the journal and rebuild their records "
+                               "from it")
+    campaign.add_argument("--retries", type=int, default=0,
+                          metavar="N",
+                          help="re-execute each activated experiment "
+                               "N times; quarantine points whose "
+                               "outcome will not stabilise")
     campaign.set_defaults(handler=cmd_campaign)
 
     disasm = commands.add_parser(

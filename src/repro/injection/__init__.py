@@ -1,18 +1,22 @@
 """Fault-injection framework: targets, injector, outcomes, campaigns."""
 
 from .campaign import (CampaignResult, ENCODING_NEW, ENCODING_OLD,
-                       run_both_encodings, run_campaign)
+                       QuarantinedPoint, run_both_encodings,
+                       run_campaign)
 from .golden import GoldenRun, record_golden
-from .injector import (BreakpointSession, run_clean_connection,
-                       single_injection)
+from .injector import (BreakpointSession, plain_run,
+                       run_clean_connection, single_injection)
+from .runner import (CampaignJournal, CampaignRunner, JournalError,
+                     run_resilient_campaign, Watchdog, WatchdogConfig)
 from .locations import (ALL_LOCATIONS, classify_location,
                         LOCATION_2BC, LOCATION_2BO, LOCATION_6BC1,
                         LOCATION_6BC2, LOCATION_6BO,
                         LOCATION_DEFINITIONS, LOCATION_MISC)
 from .outcomes import (ALL_OUTCOMES, classify_completed_run,
-                       FAIL_SILENCE_VIOLATION, InjectionResult,
-                       NOT_ACTIVATED, NOT_MANIFESTED,
-                       OUTCOME_DESCRIPTIONS, SECURITY_BREAKIN,
+                       FAIL_SILENCE_VIOLATION, FOLD_TO_PAPER, HANG,
+                       HARNESS_FAULT, InjectionResult, NOT_ACTIVATED,
+                       NOT_MANIFESTED, OUTCOME_DESCRIPTIONS,
+                       REFINED_OUTCOMES, SECURITY_BREAKIN,
                        SYSTEM_DETECTION)
 from .latent import (LatentErrorResult, LatentStudyResult,
                      run_latent_study, sample_text_faults)
@@ -23,8 +27,12 @@ from .targets import (branch_instructions, DEFAULT_TARGET_KINDS,
 
 __all__ = [
     "CampaignResult", "ENCODING_OLD", "ENCODING_NEW", "run_campaign",
-    "run_both_encodings", "GoldenRun", "record_golden",
-    "BreakpointSession", "single_injection", "run_clean_connection",
+    "run_both_encodings", "QuarantinedPoint", "GoldenRun",
+    "record_golden", "BreakpointSession", "plain_run",
+    "single_injection", "run_clean_connection", "CampaignRunner",
+    "CampaignJournal", "JournalError", "run_resilient_campaign",
+    "Watchdog", "WatchdogConfig", "HANG", "HARNESS_FAULT",
+    "REFINED_OUTCOMES", "FOLD_TO_PAPER",
     "ALL_LOCATIONS", "classify_location", "LOCATION_2BC", "LOCATION_2BO",
     "LOCATION_6BC1", "LOCATION_6BC2", "LOCATION_6BO", "LOCATION_MISC",
     "LOCATION_DEFINITIONS", "ALL_OUTCOMES", "classify_completed_run",

@@ -4,6 +4,12 @@ A campaign fixes a daemon, a client access pattern and an encoding
 (old = stock IA-32, new = the Table 4 re-encoding), then runs one
 experiment per bit of every branch instruction in the authentication
 functions and tallies the outcome distribution.
+
+Execution is delegated to the fault-tolerant engine in
+:mod:`repro.injection.runner`: experiments are isolated (a harness
+exception becomes one ``HARNESS_FAULT`` record instead of killing the
+campaign), hangs are caught by a watchdog, and an optional JSONL
+journal makes campaigns resumable (``journal=path, resume=True``).
 """
 
 from __future__ import annotations
@@ -12,18 +18,25 @@ from collections import Counter
 from dataclasses import dataclass, field
 
 from ..apps.common import CONNECTION_INSTRUCTION_BUDGET
-from ..encoding import inject_under_new_encoding
-from ..x86 import decode
-from .golden import record_golden
-from .injector import BreakpointSession
-from .locations import classify_location
-from .outcomes import (ALL_OUTCOMES, classify_completed_run,
-                       FAIL_SILENCE_VIOLATION, InjectionResult,
-                       NOT_ACTIVATED, SECURITY_BREAKIN, SYSTEM_DETECTION)
-from .targets import DEFAULT_TARGET_KINDS, enumerate_points
+from .outcomes import (ALL_OUTCOMES, FAIL_SILENCE_VIOLATION,
+                       FOLD_TO_PAPER, HANG, REFINED_OUTCOMES,
+                       SECURITY_BREAKIN, SYSTEM_DETECTION)
+from .targets import DEFAULT_TARGET_KINDS
 
 ENCODING_OLD = "old"
 ENCODING_NEW = "new"
+
+
+@dataclass
+class QuarantinedPoint:
+    """A point whose outcome would not stabilise across re-executions
+    (nondeterminism smoke signal); excluded from every tally, counted
+    explicitly."""
+
+    point: object
+    location: str
+    outcomes: tuple          # the disagreeing outcomes observed
+    rounds: int              # retry rounds spent before giving up
 
 
 @dataclass
@@ -35,14 +48,32 @@ class CampaignResult:
     encoding: str
     results: list = field(default_factory=list)
     golden: object = None
+    #: points excluded after quarantine-with-retry; never part of
+    #: ``results`` or any percentage.
+    quarantined: list = field(default_factory=list)
 
     @property
     def total_runs(self):
         return len(self.results)
 
-    def counts(self):
+    @property
+    def quarantined_count(self):
+        return len(self.quarantined)
+
+    def counts(self, refined=False):
+        """Outcome tally.  The default folds the runner's refinements
+        back onto the paper's five-way taxonomy (HANG into FSV, HF
+        into NA) so Tables 1/3/5 are directly comparable; pass
+        ``refined=True`` for the full seven-way breakdown."""
         tally = Counter(result.outcome for result in self.results)
-        return {outcome: tally.get(outcome, 0) for outcome in ALL_OUTCOMES}
+        if refined:
+            return {outcome: tally.get(outcome, 0)
+                    for outcome in REFINED_OUTCOMES}
+        folded = Counter()
+        for outcome, count in tally.items():
+            folded[FOLD_TO_PAPER.get(outcome, outcome)] += count
+        return {outcome: folded.get(outcome, 0)
+                for outcome in ALL_OUTCOMES}
 
     @property
     def activated_count(self):
@@ -52,7 +83,8 @@ class CampaignResult:
         activated = self.activated_count
         if not activated:
             return 0.0
-        return 100.0 * self.counts()[outcome] / activated
+        table = self.counts(refined=outcome not in ALL_OUTCOMES)
+        return 100.0 * table[outcome] / activated
 
     def crash_latencies(self):
         """Instruction counts between activation and crash (Figure 4)."""
@@ -61,8 +93,9 @@ class CampaignResult:
                 and result.crash_latency is not None]
 
     def by_location(self, outcomes=(SECURITY_BREAKIN,
-                                    FAIL_SILENCE_VIOLATION)):
-        """Location breakdown of selected outcomes (Table 3)."""
+                                    FAIL_SILENCE_VIOLATION, HANG)):
+        """Location breakdown of selected outcomes (Table 3).  HANG is
+        included by default because it folds into FSV there."""
         tally = Counter(result.location for result in self.results
                         if result.outcome in outcomes)
         return dict(tally)
@@ -75,7 +108,8 @@ class CampaignResult:
 def run_campaign(daemon, client_name, client_factory,
                  encoding=ENCODING_OLD, kinds=DEFAULT_TARGET_KINDS,
                  budget=CONNECTION_INSTRUCTION_BUDGET, progress=None,
-                 max_points=None, ranges=None):
+                 max_points=None, ranges=None, journal=None,
+                 resume=False, retries=0, watchdog=None):
     """Run one full selective-exhaustive campaign.
 
     ``max_points`` truncates the experiment list (used by fast tests);
@@ -83,68 +117,21 @@ def run_campaign(daemon, client_name, client_factory,
     injected code regions (default: the daemon's authentication
     functions) -- used by extension experiments that target other
     security-relevant sections, e.g. the path-validation code.
+
+    ``journal`` appends every result to a JSONL file as it completes;
+    with ``resume=True`` already-journaled points are skipped, so a
+    killed campaign restarts where it stopped with identical tallies.
+    ``retries`` re-executes each activated experiment that many times
+    and quarantines points whose outcome will not stabilise.
     """
-    golden = record_golden(daemon, client_factory, budget)
-    if ranges is None:
-        ranges = daemon.auth_ranges()
-    points = enumerate_points(daemon.module, ranges, kinds)
-    if max_points is not None:
-        points = points[:max_points]
-    campaign = CampaignResult(daemon_name=type(daemon).__name__,
-                              client_name=client_name, encoding=encoding,
-                              golden=golden)
-    session = None
-    session_address = None
-    for index, point in enumerate(points):
-        location = classify_location(point)
-        if point.instruction_address not in golden.coverage:
-            campaign.results.append(InjectionResult(
-                point=point, location=location, outcome=NOT_ACTIVATED))
-            continue
-        if session_address != point.instruction_address:
-            session = BreakpointSession(daemon, client_factory,
-                                        point.instruction_address, budget)
-            session_address = point.instruction_address
-            if not session.reached:
-                # Defensive: coverage said reachable; treat as NA.
-                session = None
-                session_address = None
-                campaign.results.append(InjectionResult(
-                    point=point, location=location,
-                    outcome=NOT_ACTIVATED,
-                    detail="coverage/breakpoint disagreement"))
-                continue
-        if session is None:
-            campaign.results.append(InjectionResult(
-                point=point, location=location, outcome=NOT_ACTIVATED))
-            continue
-        if encoding == ENCODING_NEW:
-            raw = _instruction_bytes(daemon.module, point)
-            replacement = inject_under_new_encoding(raw, point.byte_offset,
-                                                    point.bit)
-            status, kernel, client = session.run_with_bytes(
-                point.instruction_address, replacement)
-        else:
-            status, kernel, client = session.run_with_flip(
-                point.flip_address, point.bit)
-        outcome, detail = classify_completed_run(
-            golden, client, kernel.channel.normalized_transcript(), status)
-        latency = None
-        if status.kind == "crash":
-            latency = status.instret - session.activation_instret
-        campaign.results.append(InjectionResult(
-            point=point, location=location, outcome=outcome,
-            activated=True,
-            activation_instret=session.activation_instret,
-            exit_kind=status.kind, exit_code=status.exit_code,
-            signal=status.signal, crash_latency=latency,
-            broke_in=client.broke_in(),
-            crashed_after_breakin=(outcome == SECURITY_BREAKIN
-                                   and status.kind == "crash"),
-            detail=detail))
-        if progress is not None:
-            progress(index + 1, len(points))
-    return campaign
+    from .runner import CampaignRunner
+    runner = CampaignRunner(daemon, client_name, client_factory,
+                            encoding=encoding, kinds=kinds,
+                            budget=budget, progress=progress,
+                            max_points=max_points, ranges=ranges,
+                            journal=journal, resume=resume,
+                            retries=retries, watchdog=watchdog)
+    return runner.run()
 
 
 def _instruction_bytes(module, point):
@@ -153,9 +140,18 @@ def _instruction_bytes(module, point):
 
 
 def run_both_encodings(daemon, client_name, client_factory, **kwargs):
-    """Convenience: the Table 1 and Table 5 campaigns for one client."""
+    """Convenience: the Table 1 and Table 5 campaigns for one client.
+
+    A ``journal`` argument is split into ``<journal>.old`` and
+    ``<journal>.new`` so the two campaigns never share a file.
+    """
+    journal = kwargs.pop("journal", None)
     old = run_campaign(daemon, client_name, client_factory,
-                       encoding=ENCODING_OLD, **kwargs)
+                       encoding=ENCODING_OLD,
+                       journal=None if journal is None
+                       else "%s.old" % journal, **kwargs)
     new = run_campaign(daemon, client_name, client_factory,
-                       encoding=ENCODING_NEW, **kwargs)
+                       encoding=ENCODING_NEW,
+                       journal=None if journal is None
+                       else "%s.new" % journal, **kwargs)
     return old, new

@@ -21,13 +21,31 @@ from ..emu import Process
 from ..kernel import ServerHang
 
 
+def plain_run(process, budget):
+    """Run *process* to completion under *budget*, mapping a kernel
+    :class:`ServerHang` onto a ``hang`` exit status."""
+    try:
+        status = process.run(budget)
+    except ServerHang as hang:
+        status = process._status("limit", None)
+        status.kind = "hang"
+        status.fault_detail = str(hang)
+    return status
+
+
 class BreakpointSession:
-    """Server state captured at the first arrival at one instruction."""
+    """Server state captured at the first arrival at one instruction.
+
+    ``run_fn(process, budget)`` executes the post-activation suffix;
+    the default simply runs to completion, the fault-tolerant runner
+    substitutes a watchdog-instrumented executor.
+    """
 
     def __init__(self, daemon, client_factory, breakpoint_address,
-                 budget=CONNECTION_INSTRUCTION_BUDGET):
+                 budget=CONNECTION_INSTRUCTION_BUDGET, run_fn=None):
         self.daemon = daemon
         self.budget = budget
+        self.run_fn = run_fn if run_fn is not None else plain_run
         self.breakpoint_address = breakpoint_address
         client = client_factory()
         kernel = daemon.make_kernel(client)
@@ -111,12 +129,7 @@ class BreakpointSession:
         return self._finish(kernel)
 
     def _finish(self, kernel):
-        try:
-            status = self.process.run(self.budget)
-        except ServerHang as hang:
-            status = self.process._status("limit", None)
-            status.kind = "hang"
-            status.fault_detail = str(hang)
+        status = self.run_fn(self.process, self.budget)
         return status, kernel, kernel.channel.client
 
 
@@ -141,10 +154,4 @@ def run_clean_connection(daemon, client_factory,
     client = client_factory()
     kernel = daemon.make_kernel(client)
     process = Process(daemon.module, kernel)
-    try:
-        status = process.run(budget)
-    except ServerHang as hang:
-        status = process._status("limit", None)
-        status.kind = "hang"
-        status.fault_detail = str(hang)
-    return status, kernel, client
+    return plain_run(process, budget), kernel, client

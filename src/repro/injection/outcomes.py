@@ -11,8 +11,24 @@ SYSTEM_DETECTION = "SD"
 FAIL_SILENCE_VIOLATION = "FSV"
 SECURITY_BREAKIN = "BRK"
 
+#: refinements introduced by the fault-tolerant runner (not part of
+#: the paper's five-way taxonomy; fold back via FOLD_TO_PAPER).
+HANG = "HANG"
+HARNESS_FAULT = "HF"
+
 ALL_OUTCOMES = (NOT_ACTIVATED, NOT_MANIFESTED, SYSTEM_DETECTION,
                 FAIL_SILENCE_VIOLATION, SECURITY_BREAKIN)
+
+#: the full tally produced by the runner: the paper's five outcomes
+#: plus the two refinements.
+REFINED_OUTCOMES = ALL_OUTCOMES + (HANG, HARNESS_FAULT)
+
+#: how the refinements map back onto the paper's taxonomy for Table
+#: 1/3/5 comparisons: a detected tight loop was classified FSV
+#: ("server looping") before the watchdog existed, and a harness
+#: fault yields no valid observation of the target at all, like NA.
+FOLD_TO_PAPER = {HANG: FAIL_SILENCE_VIOLATION,
+                 HARNESS_FAULT: NOT_ACTIVATED}
 
 OUTCOME_DESCRIPTIONS = {
     NOT_ACTIVATED: "breakpoint never reached; behaviour unchanged",
@@ -22,6 +38,10 @@ OUTCOME_DESCRIPTIONS = {
     FAIL_SILENCE_VIOLATION: "communication inconsistent with the "
                             "error-free run",
     SECURITY_BREAKIN: "access granted when it should have been denied",
+    HANG: "watchdog: server stuck in a tight loop / no forward "
+          "progress (refines FSV)",
+    HARNESS_FAULT: "harness/emulator raised an unexpected exception; "
+                   "no valid observation (excluded like NA)",
 }
 
 
@@ -41,6 +61,9 @@ class InjectionResult:
     broke_in: bool = False
     crashed_after_breakin: bool = False
     detail: str = ""
+    #: (low, high) EIP bounds of the loop body when outcome is HANG
+    #: and the instruction-rate probe identified a tight loop.
+    hang_eip_range: tuple | None = None
 
 
 def classify_completed_run(golden, client, transcript, status):

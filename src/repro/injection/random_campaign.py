@@ -51,9 +51,17 @@ class RandomCampaignResult:
 
 
 def run_random_campaign(daemon, client_factory, trials=3000, seed=2001,
-                        budget=CONNECTION_INSTRUCTION_BUDGET):
-    """Estimate the random single-bit-error break-in rate."""
-    rng = random.Random(seed)
+                        budget=CONNECTION_INSTRUCTION_BUDGET,
+                        rng=None):
+    """Estimate the random single-bit-error break-in rate.
+
+    The fault sequence is drawn from an explicit
+    :class:`random.Random` -- pass ``rng`` to share one generator
+    across retried/resumed partial campaigns; by default a fresh
+    ``random.Random(seed)`` makes the whole run a pure function of
+    ``seed``, so repeated runs are reproducible bit for bit.
+    """
+    rng = rng if rng is not None else random.Random(seed)
     golden = record_golden(daemon, client_factory, budget)
     text = daemon.module.text
     text_base = daemon.module.text_base

@@ -1,0 +1,564 @@
+"""Fault-tolerant campaign execution engine (the NFTAPE control host).
+
+The paper's methodology only works if thousands of injection
+experiments run to completion and the tally can be trusted; NFTAPE
+was built so that one faulted run could never corrupt the campaign.
+This module gives our campaigns the same property, four capabilities
+deep:
+
+* **experiment isolation** -- each injection runs inside a guard that
+  converts unexpected harness/emulator exceptions into a
+  ``HARNESS_FAULT`` record (traceback attached) instead of aborting
+  the campaign;
+* **hang watchdog** -- a wall-clock + instruction-rate watchdog that
+  separates "budget exhausted while making progress" (still FSV)
+  from "stuck in a tight loop" (the new ``HANG`` outcome, with the
+  loop's EIP range recorded);
+* **append-only JSONL journal** -- every result is serialized as it
+  completes; ``resume=True`` skips already-journaled points, so a
+  killed campaign restarts exactly where it stopped and produces
+  identical tallies;
+* **quarantine-with-retry** -- a point whose outcome is not stable
+  across ``retries`` re-executions (the emulator must be
+  deterministic, so instability is a harness smoke signal) is
+  re-queued with capped backoff and, if still unstable, quarantined
+  and excluded from percentages with an explicit count.
+
+:func:`repro.injection.campaign.run_campaign` is a thin wrapper over
+:class:`CampaignRunner`, so every benchmark, example and CLI command
+picks this up with no call-site churn.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+import traceback
+from collections import deque
+from dataclasses import dataclass, field
+
+from ..apps.common import CONNECTION_INSTRUCTION_BUDGET
+from ..emu.machine_exceptions import CpuFault
+from ..encoding import inject_under_new_encoding
+from ..kernel import ServerHang
+from .golden import record_golden
+from .injector import BreakpointSession
+from .locations import classify_location
+from .outcomes import (classify_completed_run, FAIL_SILENCE_VIOLATION,
+                       HANG, HARNESS_FAULT, InjectionResult,
+                       NOT_ACTIVATED, SECURITY_BREAKIN)
+from .targets import DEFAULT_TARGET_KINDS, enumerate_points
+
+#: unstable points are re-queued at most this many times before being
+#: quarantined (the "capped backoff" of the experiment list).
+MAX_RETRY_ROUNDS = 3
+
+#: cap on the number of confirmation re-executions per retry round
+#: (the per-round count doubles each round up to this ceiling).
+MAX_CONFIRMATIONS_PER_ROUND = 8
+
+JOURNAL_SCHEMA = 2
+
+
+class JournalError(RuntimeError):
+    """The journal file does not match the campaign being run."""
+
+
+@dataclass
+class WatchdogConfig:
+    """Tunables for the per-experiment watchdog.
+
+    ``wall_clock_limit`` bounds one experiment's real time (an
+    emulator that spins forever inside a single instruction handler
+    would otherwise stall the campaign); ``probe_instructions`` and
+    ``loop_eip_limit`` drive the post-budget tight-loop probe: after
+    the instruction budget is exhausted the CPU is single-stepped a
+    little further, and if it visits at most ``loop_eip_limit``
+    distinct EIPs the run is a ``HANG``, not a plain FSV.
+    """
+
+    wall_clock_limit: float | None = 60.0
+    slice_instructions: int = 65_536
+    probe_instructions: int = 512
+    loop_eip_limit: int = 32
+
+
+@dataclass
+class HangProbe:
+    """Outcome of the post-budget instruction-rate probe."""
+
+    tight_loop: bool = False
+    distinct_eips: int = 0
+    eip_low: int = 0
+    eip_high: int = 0
+    wall_clock: bool = False
+    elapsed: float = 0.0
+
+
+class Watchdog:
+    """Budgeted executor: runs a process in slices, enforcing the
+    wall clock, and probes ``limit`` endings for tight loops."""
+
+    def __init__(self, config=None):
+        self.config = config if config is not None else WatchdogConfig()
+
+    def __call__(self, process, budget):
+        return self.run(process, budget)
+
+    def run(self, process, budget):
+        config = self.config
+        started = time.monotonic()
+        try:
+            while True:
+                ceiling = min(process.cpu.instret
+                              + config.slice_instructions, budget)
+                status = process.run(ceiling)
+                if status.kind != "limit" or ceiling >= budget:
+                    break
+                if config.wall_clock_limit is not None:
+                    elapsed = time.monotonic() - started
+                    if elapsed > config.wall_clock_limit:
+                        status.hang_probe = HangProbe(
+                            tight_loop=True, wall_clock=True,
+                            eip_low=process.cpu.eip,
+                            eip_high=process.cpu.eip,
+                            elapsed=elapsed)
+                        return status
+        except ServerHang as hang:
+            status = process._status("limit", None)
+            status.kind = "hang"
+            status.fault_detail = str(hang)
+            return status
+        if status.kind == "limit":
+            status.hang_probe = self._probe(process)
+        return status
+
+    def _probe(self, process):
+        """Single-step past the budget and measure EIP diversity."""
+        config = self.config
+        cpu = process.cpu
+        seen = set()
+        try:
+            for __ in range(config.probe_instructions):
+                if cpu.halted:
+                    return HangProbe()        # exited: was progressing
+                seen.add(cpu.eip)
+                cpu.step()
+        except (CpuFault, ServerHang):
+            return HangProbe()                # faulted: was progressing
+        except Exception:
+            return HangProbe()                # inconclusive
+        seen.add(cpu.eip)
+        tight = len(seen) <= config.loop_eip_limit
+        return HangProbe(tight_loop=tight, distinct_eips=len(seen),
+                         eip_low=min(seen), eip_high=max(seen))
+
+
+def refine_limit_outcome(outcome, detail, status):
+    """Upgrade an FSV "server looping" verdict to HANG when the
+    watchdog probe saw a tight loop.  Returns
+    ``(outcome, detail, hang_eip_range)``."""
+    probe = getattr(status, "hang_probe", None)
+    if (outcome != FAIL_SILENCE_VIOLATION or status.kind != "limit"
+            or probe is None or not probe.tight_loop):
+        return outcome, detail, None
+    eip_range = (probe.eip_low, probe.eip_high)
+    if probe.wall_clock:
+        detail = ("wall-clock watchdog fired after %.1fs near "
+                  "eip=0x%x" % (probe.elapsed, probe.eip_low))
+    else:
+        detail = ("tight loop in [0x%x, 0x%x] (%d distinct eips)"
+                  % (probe.eip_low, probe.eip_high,
+                     probe.distinct_eips))
+    return HANG, detail, eip_range
+
+
+# ----------------------------------------------------------------------
+# JSONL journal
+
+def _point_key(point):
+    return "%x:%d:%d" % (point.instruction_address, point.byte_offset,
+                         point.bit)
+
+
+class CampaignJournal:
+    """Append-only JSONL record of a campaign in progress.
+
+    Line types: one ``meta`` header, then one ``result`` line per
+    completed experiment and one ``quarantine`` line per quarantined
+    point.  A half-written final line (the signature of a SIGKILL
+    mid-append) is tolerated on load.
+    """
+
+    def __init__(self, path):
+        self.path = str(path)
+        self._handle = None
+
+    # -- writing -------------------------------------------------------
+
+    def open(self, meta, append=False):
+        if append:
+            # A SIGKILL can leave a half-written final line; appending
+            # straight after it would corrupt the next record, so drop
+            # any unparseable tail first.
+            self._truncate_partial_tail()
+            self._handle = open(self.path, "a")
+        else:
+            self._handle = open(self.path, "w")
+            self._write({"type": "meta", "schema": JOURNAL_SCHEMA,
+                         **meta})
+
+    def _truncate_partial_tail(self):
+        try:
+            with open(self.path) as handle:
+                text = handle.read()
+        except FileNotFoundError:
+            return
+        lines = text.splitlines(keepends=True)
+        while lines:
+            last = lines[-1]
+            try:
+                complete = last.endswith("\n") and (not last.strip()
+                                                    or json.loads(last)
+                                                    is not None)
+            except json.JSONDecodeError:
+                complete = False
+            if complete:
+                break
+            lines.pop()
+        cleaned = "".join(lines)
+        if cleaned != text:
+            with open(self.path, "w") as handle:
+                handle.write(cleaned)
+
+    def append_result(self, result):
+        from ..analysis.serialize import result_to_dict
+        self._write({"type": "result", "key": _point_key(result.point),
+                     **result_to_dict(result)})
+
+    def append_quarantine(self, point, location, outcomes, rounds):
+        from ..analysis.serialize import point_to_dict
+        self._write({"type": "quarantine", "key": _point_key(point),
+                     "point": point_to_dict(point),
+                     "location": location,
+                     "outcomes": list(outcomes), "rounds": rounds})
+
+    def _write(self, record):
+        self._handle.write(json.dumps(record) + "\n")
+        self._handle.flush()
+
+    def close(self):
+        if self._handle is not None:
+            self._handle.close()
+            self._handle = None
+
+    # -- reading -------------------------------------------------------
+
+    @staticmethod
+    def load(path):
+        """Parse a journal into ``(meta, results, quarantined)`` with
+        the latter two keyed by point.  Tolerates a truncated final
+        line; any other malformed line raises :class:`JournalError`."""
+        meta = None
+        results = {}
+        quarantined = {}
+        with open(path) as handle:
+            lines = handle.read().splitlines()
+        for index, line in enumerate(lines):
+            if not line.strip():
+                continue
+            try:
+                record = json.loads(line)
+            except json.JSONDecodeError:
+                if index == len(lines) - 1:
+                    break                     # killed mid-append
+                raise JournalError("corrupt journal line %d in %s"
+                                   % (index + 1, path))
+            kind = record.get("type")
+            if kind == "meta":
+                meta = record
+            elif kind == "result":
+                results[record["key"]] = record
+            elif kind == "quarantine":
+                quarantined[record["key"]] = record
+            else:
+                raise JournalError("unknown journal record %r" % kind)
+        return meta, results, quarantined
+
+
+# ----------------------------------------------------------------------
+# The runner
+
+@dataclass
+class _PendingPoint:
+    point: object
+    location: str
+    round: int = 0
+    observed: list = field(default_factory=list)
+
+
+class CampaignRunner:
+    """Executes one selective-exhaustive campaign fault-tolerantly.
+
+    Construction mirrors :func:`repro.injection.campaign.run_campaign`
+    (which is now a thin wrapper); :meth:`run` returns the populated
+    :class:`~repro.injection.campaign.CampaignResult`.
+    """
+
+    def __init__(self, daemon, client_name, client_factory,
+                 encoding=None, kinds=DEFAULT_TARGET_KINDS,
+                 budget=CONNECTION_INSTRUCTION_BUDGET, progress=None,
+                 max_points=None, ranges=None, journal=None,
+                 resume=False, retries=0, watchdog=None):
+        from .campaign import ENCODING_OLD
+        self.daemon = daemon
+        self.client_name = client_name
+        self.client_factory = client_factory
+        self.encoding = encoding if encoding is not None else ENCODING_OLD
+        self.kinds = kinds
+        self.budget = budget
+        self.progress = progress
+        self.max_points = max_points
+        self.ranges = ranges
+        self.journal_path = journal
+        self.resume = resume
+        self.retries = retries
+        self.watchdog = (watchdog if isinstance(watchdog, Watchdog)
+                         else Watchdog(watchdog))
+        # Per-campaign session cache: one live session plus the set of
+        # addresses whose breakpoint provably cannot be reached, so a
+        # disagreeing address is probed once, not once per bit.
+        self._session = None
+        self._session_address = None
+        self._unreachable = {}
+
+    # -- public entry point --------------------------------------------
+
+    def run(self):
+        from .campaign import CampaignResult, QuarantinedPoint
+        golden = record_golden(self.daemon, self.client_factory,
+                               self.budget)
+        self._golden = golden
+        if self.ranges is not None:
+            ranges = self.ranges
+        else:
+            ranges = self.daemon.auth_ranges()
+        points = enumerate_points(self.daemon.module, ranges, self.kinds)
+        if self.max_points is not None:
+            points = points[:self.max_points]
+        campaign = CampaignResult(daemon_name=type(self.daemon).__name__,
+                                  client_name=self.client_name,
+                                  encoding=self.encoding, golden=golden)
+        journaled, quarantined_records = self._load_journal(campaign)
+        journal = None
+        if self.journal_path is not None:
+            journal = CampaignJournal(self.journal_path)
+            journal.open(self._meta(), append=bool(journaled
+                                                   or quarantined_records))
+        try:
+            self._run_points(campaign, points, journaled,
+                             quarantined_records, journal)
+        finally:
+            if journal is not None:
+                journal.close()
+        for record in quarantined_records.values():
+            campaign.quarantined.append(QuarantinedPoint(
+                point=self._point_from_record(record["point"]),
+                location=record["location"],
+                outcomes=tuple(record["outcomes"]),
+                rounds=record["rounds"]))
+        return campaign
+
+    # -- journal plumbing ----------------------------------------------
+
+    def _meta(self):
+        return {"daemon": type(self.daemon).__name__,
+                "client": self.client_name, "encoding": self.encoding,
+                "budget": self.budget}
+
+    def _load_journal(self, campaign):
+        """Returns ``(results_by_key, quarantine_by_key)`` from an
+        existing journal when resuming (else empty dicts)."""
+        if not (self.resume and self.journal_path is not None):
+            return {}, {}
+        try:
+            meta, results, quarantined = CampaignJournal.load(
+                self.journal_path)
+        except FileNotFoundError:
+            return {}, {}
+        if meta is not None:
+            expected = self._meta()
+            for field_name in ("daemon", "client", "encoding"):
+                if meta.get(field_name) != expected[field_name]:
+                    raise JournalError(
+                        "journal %s was recorded for %s=%r, campaign "
+                        "wants %r" % (self.journal_path, field_name,
+                                      meta.get(field_name),
+                                      expected[field_name]))
+        return results, quarantined
+
+    @staticmethod
+    def _point_from_record(record):
+        from ..analysis.serialize import point_from_dict
+        return point_from_dict(record)
+
+    # -- main loop -----------------------------------------------------
+
+    def _run_points(self, campaign, points, journaled,
+                    quarantined_records, journal):
+        from ..analysis.serialize import result_from_dict
+        total = len(points)
+        queue = deque()
+        for point in points:
+            key = _point_key(point)
+            if key in quarantined_records:
+                continue                      # stays quarantined
+            if key in journaled:
+                campaign.results.append(
+                    result_from_dict(journaled[key]))
+                self._report(campaign, quarantined_records, total)
+                continue
+            queue.append(_PendingPoint(point=point,
+                                       location=classify_location(point)))
+        while queue:
+            pending = queue.popleft()
+            result = self._guarded_experiment(pending)
+            if result is None:
+                # Unstable across re-executions: back off on the
+                # experiment list, or quarantine once the cap is hit.
+                if pending.round + 1 < MAX_RETRY_ROUNDS:
+                    pending.round += 1
+                    queue.append(pending)
+                    continue
+                self._quarantine(campaign, pending,
+                                 quarantined_records, journal)
+            else:
+                campaign.results.append(result)
+                if journal is not None:
+                    journal.append_result(result)
+            self._report(campaign, quarantined_records, total)
+
+    def _report(self, campaign, quarantined_records, total):
+        if self.progress is not None:
+            done = len(campaign.results) + len(quarantined_records)
+            self.progress(done, total)
+
+    def _quarantine(self, campaign, pending, quarantined_records,
+                    journal):
+        from ..analysis.serialize import point_to_dict
+        record = {"point": point_to_dict(pending.point),
+                  "location": pending.location,
+                  "outcomes": list(pending.observed),
+                  "rounds": pending.round + 1}
+        quarantined_records[_point_key(pending.point)] = record
+        if journal is not None:
+            journal.append_quarantine(pending.point, pending.location,
+                                      pending.observed,
+                                      pending.round + 1)
+
+    # -- one experiment, isolated --------------------------------------
+
+    def _guarded_experiment(self, pending):
+        """Run one point (plus confirmation re-executions).  Returns
+        the accepted :class:`InjectionResult`, or ``None`` when the
+        outcome was unstable and the point should be retried."""
+        try:
+            result = self._execute(pending.point, pending.location)
+        except Exception:
+            return self._harness_fault(pending)
+        if self.retries <= 0 or not result.activated:
+            return result
+        confirmations = min(self.retries * (2 ** pending.round),
+                            MAX_CONFIRMATIONS_PER_ROUND)
+        signature = (result.outcome, result.exit_kind,
+                     result.crash_latency)
+        pending.observed.append(result.outcome)
+        for __ in range(confirmations):
+            try:
+                confirm = self._execute(pending.point, pending.location)
+            except Exception:
+                return self._harness_fault(pending)
+            if (confirm.outcome, confirm.exit_kind,
+                    confirm.crash_latency) != signature:
+                pending.observed.append(confirm.outcome)
+                return None
+        return result
+
+    def _harness_fault(self, pending):
+        """Convert an escaped exception into a HARNESS_FAULT record;
+        the cached session may be corrupted, so drop it."""
+        self._session = None
+        self._session_address = None
+        detail = traceback.format_exc(limit=8).strip()
+        return InjectionResult(point=pending.point,
+                               location=pending.location,
+                               outcome=HARNESS_FAULT,
+                               detail=detail[-1000:])
+
+    def _execute(self, point, location):
+        golden = self._golden
+        if point.instruction_address not in golden.coverage:
+            return InjectionResult(point=point, location=location,
+                                   outcome=NOT_ACTIVATED)
+        session = self._session_for(point.instruction_address)
+        if session is None:
+            # Defensive: coverage said reachable, the breakpoint run
+            # disagreed.  Record the disagreement so it is visible in
+            # the journal rather than silently folded into NA.
+            return InjectionResult(
+                point=point, location=location, outcome=NOT_ACTIVATED,
+                detail="coverage/breakpoint disagreement at 0x%x"
+                       % point.instruction_address)
+        from .campaign import ENCODING_NEW, _instruction_bytes
+        if self.encoding == ENCODING_NEW:
+            raw = _instruction_bytes(self.daemon.module, point)
+            replacement = inject_under_new_encoding(
+                raw, point.byte_offset, point.bit)
+            status, kernel, client = session.run_with_bytes(
+                point.instruction_address, replacement)
+        else:
+            status, kernel, client = session.run_with_flip(
+                point.flip_address, point.bit)
+        outcome, detail = classify_completed_run(
+            golden, client, kernel.channel.normalized_transcript(),
+            status)
+        outcome, detail, eip_range = refine_limit_outcome(
+            outcome, detail, status)
+        latency = None
+        if status.kind == "crash":
+            latency = status.instret - session.activation_instret
+        return InjectionResult(
+            point=point, location=location, outcome=outcome,
+            activated=True,
+            activation_instret=session.activation_instret,
+            exit_kind=status.kind, exit_code=status.exit_code,
+            signal=status.signal, crash_latency=latency,
+            broke_in=client.broke_in(),
+            crashed_after_breakin=(outcome == SECURITY_BREAKIN
+                                   and status.kind == "crash"),
+            detail=detail, hang_eip_range=eip_range)
+
+    def _session_for(self, address):
+        """Breakpoint session for *address*, cached across the bits of
+        one instruction; ``None`` when the breakpoint is unreachable
+        (cached too, so the disagreement is probed only once)."""
+        if self._session_address == address:
+            return self._session
+        if address in self._unreachable:
+            return None
+        session = BreakpointSession(self.daemon, self.client_factory,
+                                    address, self.budget,
+                                    run_fn=self.watchdog)
+        if not session.reached:
+            self._unreachable[address] = True
+            return None
+        self._session = session
+        self._session_address = address
+        return session
+
+def run_resilient_campaign(daemon, client_name, client_factory,
+                           **kwargs):
+    """Functional facade over :class:`CampaignRunner`."""
+    runner = CampaignRunner(daemon, client_name, client_factory,
+                            **kwargs)
+    return runner.run()

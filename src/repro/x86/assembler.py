@@ -231,10 +231,18 @@ class Assembler:
     def _strip_comment(line):
         out = []
         in_string = False
-        for index, char in enumerate(line):
-            if char == '"':
-                in_string = not in_string
-            if char == "#" and not in_string:
+        escaped = False
+        for char in line:
+            if in_string:
+                if escaped:
+                    escaped = False
+                elif char == "\\":
+                    escaped = True
+                elif char == '"':
+                    in_string = False
+            elif char == '"':
+                in_string = True
+            elif char == "#":
                 break
             out.append(char)
         return "".join(out)

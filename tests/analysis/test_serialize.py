@@ -52,6 +52,48 @@ class TestRoundtrip:
         with pytest.raises(ValueError):
             campaign_from_dict(payload)
 
+    def test_schema_v1_payload_still_loads(self, campaign):
+        """v1 payloads lack the runner-era fields; they load with
+        defaults."""
+        payload = campaign_to_dict(campaign)
+        payload["schema"] = 1
+        del payload["quarantined"]
+        for record in payload["results"]:
+            del record["crashed_after_breakin"]
+            del record["hang_eip_range"]
+        rebuilt = campaign_from_dict(payload)
+        assert rebuilt.counts() == campaign.counts()
+        assert rebuilt.quarantined == []
+
+    def test_result_roundtrip_preserves_runner_fields(self, campaign):
+        from repro.analysis import result_from_dict, result_to_dict
+        from repro.injection.outcomes import InjectionResult
+        original = campaign.results[0]
+        hang = InjectionResult(point=original.point,
+                               location=original.location,
+                               outcome="HANG", activated=True,
+                               exit_kind="limit",
+                               detail="tight loop",
+                               hang_eip_range=(0x8048000, 0x8048010))
+        rebuilt = result_from_dict(result_to_dict(hang))
+        assert rebuilt == hang
+        assert rebuilt.hang_eip_range == (0x8048000, 0x8048010)
+
+    def test_quarantine_section_roundtrips(self, campaign):
+        import copy
+        from repro.injection import QuarantinedPoint
+        augmented = copy.copy(campaign)
+        augmented.quarantined = [QuarantinedPoint(
+            point=campaign.results[0].point, location="2BC",
+            outcomes=("NM", "HANG"), rounds=3)]
+        rebuilt = campaign_from_dict(campaign_to_dict(augmented))
+        assert len(rebuilt.quarantined) == 1
+        entry = rebuilt.quarantined[0]
+        assert entry.outcomes == ("NM", "HANG")
+        assert entry.rounds == 3
+        assert entry.point == campaign.results[0].point
+        assert rebuilt.quarantined_count == 1
+
     def test_rebuilt_campaign_feeds_analysis(self, campaign):
         """A deserialized campaign drives the table builders."""
         rebuilt = campaign_from_dict(campaign_to_dict(campaign))

@@ -19,6 +19,13 @@ class TestStringFunctions:
         assert runtime_expr('strlen("")') == 0
         assert runtime_expr('strlen("abcde")') == 5
 
+    def test_strlen_quote_then_hash(self):
+        # Falsifying example from the strlen property test: an escaped
+        # quote followed by '#' was truncated by the assembler's
+        # comment stripper, so strlen returned 1 instead of 2.
+        assert runtime_expr(r'strlen("\"#")') == 2
+        assert runtime_expr(r'strlen("a\"#b#\"c")') == 7
+
     @pytest.mark.parametrize("a,b,expected_sign", [
         ("abc", "abc", 0),
         ("abc", "abd", -1),

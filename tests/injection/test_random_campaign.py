@@ -1,0 +1,47 @@
+"""Random-injection testbed: seed threading and reproducibility."""
+
+from __future__ import annotations
+
+import random
+
+from repro.apps.ftpd import client1
+from repro.injection import run_random_campaign
+
+TRIALS = 40
+
+
+class TestSeedStability:
+    def test_same_seed_same_tally(self, ftp_daemon):
+        first = run_random_campaign(ftp_daemon, client1, trials=TRIALS,
+                                    seed=97)
+        second = run_random_campaign(ftp_daemon, client1, trials=TRIALS,
+                                     seed=97)
+        assert first.outcomes == second.outcomes
+        assert first.breakins == second.breakins
+
+    def test_explicit_rng_matches_seed(self, ftp_daemon):
+        seeded = run_random_campaign(ftp_daemon, client1, trials=TRIALS,
+                                     seed=97)
+        threaded = run_random_campaign(ftp_daemon, client1,
+                                       trials=TRIALS, seed=0,
+                                       rng=random.Random(97))
+        assert seeded.outcomes == threaded.outcomes
+        assert seeded.breakins == threaded.breakins
+
+    def test_split_run_with_shared_rng_resumes_the_sequence(
+            self, ftp_daemon):
+        """Two half-length runs sharing one generator reproduce the
+        single full-length run -- the property a retried/resumed
+        random campaign needs."""
+        full = run_random_campaign(ftp_daemon, client1, trials=TRIALS,
+                                   seed=97)
+        rng = random.Random(97)
+        head = run_random_campaign(ftp_daemon, client1,
+                                   trials=TRIALS // 2, rng=rng)
+        tail = run_random_campaign(ftp_daemon, client1,
+                                   trials=TRIALS // 2, rng=rng)
+        merged = dict(head.outcomes)
+        for outcome, count in tail.outcomes.items():
+            merged[outcome] = merged.get(outcome, 0) + count
+        assert merged == full.outcomes
+        assert head.breakins + tail.breakins == full.breakins

@@ -66,6 +66,29 @@ class TestCampaignCommand:
         with pytest.raises(SystemExit):
             run_cli("campaign", "--client", "Client9")
 
+    def test_journal_and_resume(self, tmp_path):
+        journal = str(tmp_path / "run.jsonl")
+        code, text = run_cli("campaign", "--app", "ftpd",
+                             "--max-points", "40",
+                             "--journal", journal)
+        assert code == 0
+        assert journal in text
+        with open(journal) as handle:
+            complete = sum(1 for line in handle)
+        assert complete == 41  # meta + one record per experiment
+        code, text = run_cli("campaign", "--app", "ftpd",
+                             "--max-points", "40",
+                             "--journal", journal, "--resume")
+        assert code == 0
+        with open(journal) as handle:
+            assert sum(1 for line in handle) == complete
+
+    def test_retries_flag(self):
+        code, text = run_cli("campaign", "--app", "ftpd",
+                             "--max-points", "24", "--retries", "1")
+        assert code == 0
+        assert "quarantined" not in text
+
 
 class TestRandomCommand:
     def test_small_sample(self):

@@ -169,6 +169,17 @@ value: .long 0x11223344
         module = assemble('.data\ns: .asciz "a\\r\\n\\x41"\n')
         assert module.data == b"a\r\nA\x00"
 
+    def test_hash_after_escaped_quote_is_not_a_comment(self):
+        # Regression: the comment stripper used to toggle its
+        # in-string state on the escaped quote, truncating the
+        # directive at the '#'.
+        module = assemble('.data\ns: .asciz "\\"#"\n')
+        assert module.data == b'"#\x00'
+
+    def test_hash_inside_string_literal(self):
+        module = assemble('.data\ns: .asciz "a#b"  # trailing comment\n')
+        assert module.data == b"a#b\x00"
+
     def test_symbol_immediates(self):
         module = assemble("""
 .text
