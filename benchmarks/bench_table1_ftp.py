@@ -18,11 +18,13 @@ from repro.analysis import (build_table1, format_comparison,
                             PaperComparison)
 
 
-def test_table1_ftp(benchmark, cache, record_result):
+def test_table1_ftp(benchmark, cache, record_result, record_json):
     def run_all():
         return cache.all_old("FTP")
 
     campaigns = benchmark.pedantic(run_all, rounds=1, iterations=1)
+    record_json("table1_ftp_timing",
+                cache.timing_payload(keys=("FTP",)))
     table = format_table1(build_table1(campaigns),
                           "Table 1 (FTP): result distributions, "
                           "old encoding")

@@ -25,13 +25,14 @@ def test_table2_definitions(benchmark, record_result):
                                          "6BO", "MISC"}
 
 
-def test_table3_locations(benchmark, cache, record_result):
+def test_table3_locations(benchmark, cache, record_result, record_json):
     def build():
         campaigns = cache.all_old("FTP") + cache.all_old("SSH")
         return campaigns, build_table3(campaigns)
 
     campaigns, columns = benchmark.pedantic(build, rounds=1,
                                             iterations=1)
+    record_json("table3_timing", cache.timing_payload())
     table = format_table3(
         columns, "Table 3: FTP and SSH break-ins and fail silence "
                  "violations by location")

@@ -15,9 +15,11 @@ from repro.analysis import (build_table5, format_comparison,
                             PaperComparison)
 
 
-def test_table5_ftp(benchmark, cache, record_result):
+def test_table5_ftp(benchmark, cache, record_result, record_json):
     pairs = benchmark.pedantic(lambda: cache.all_pairs("FTP"),
                                rounds=1, iterations=1)
+    record_json("table5_ftp_timing",
+                cache.timing_payload(keys=("FTP",)))
     columns = build_table5(pairs)
     rows = _comparison_rows("FTP", columns)
     record_result("table5_ftp",
@@ -31,9 +33,11 @@ def test_table5_ftp(benchmark, cache, record_result):
         % attacker.brk_reduction_pct
 
 
-def test_table5_ssh(benchmark, cache, record_result):
+def test_table5_ssh(benchmark, cache, record_result, record_json):
     pairs = benchmark.pedantic(lambda: cache.all_pairs("SSH"),
                                rounds=1, iterations=1)
+    record_json("table5_ssh_timing",
+                cache.timing_payload(keys=("SSH",)))
     columns = build_table5(pairs)
     rows = _comparison_rows("SSH", columns)
     record_result("table5_ssh",

@@ -4,8 +4,10 @@ from .histogram import (build_histogram, format_histogram,
                         LatencyHistogram)
 from .propagation import (analyze_propagation, format_propagation,
                           PropagationReport)
-from .serialize import (campaign_from_dict, campaign_to_dict,
+from .serialize import (campaign_from_dict,
+                        campaign_from_shard_journals, campaign_to_dict,
                         load_campaign, point_from_dict, point_to_dict,
+                        quarantined_from_dict, quarantined_to_dict,
                         result_from_dict, result_to_dict,
                         save_campaign)
 from .report import (format_comparison, format_table1, format_table3,
@@ -19,9 +21,11 @@ from .tables import (build_table1, build_table3, build_table5,
 __all__ = [
     "build_histogram", "format_histogram", "LatencyHistogram",
     "analyze_propagation", "format_propagation", "PropagationReport",
-    "campaign_to_dict", "campaign_from_dict", "save_campaign",
+    "campaign_to_dict", "campaign_from_dict",
+    "campaign_from_shard_journals", "save_campaign",
     "load_campaign", "result_to_dict", "result_from_dict",
-    "point_to_dict", "point_from_dict",
+    "point_to_dict", "point_from_dict", "quarantined_to_dict",
+    "quarantined_from_dict",
     "format_table1", "format_table3", "format_table5",
     "format_comparison", "build_table1", "build_table3", "build_table5",
     "DistributionColumn", "distribution_column", "LocationColumn",

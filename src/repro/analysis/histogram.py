@@ -30,6 +30,11 @@ class LatencyHistogram:
         return within / len(self.latencies)
 
     def fraction_beyond(self, limit):
+        # An empty campaign has no crashes at all, hence no crashes
+        # beyond the limit -- not "all of them" (1 - 0.0 would report
+        # a 100% transient window for zero observations).
+        if not self.latencies:
+            return 0.0
         return 1.0 - self.fraction_within(limit)
 
     def max_latency(self):
@@ -67,7 +72,14 @@ def format_histogram(histogram, width=50):
         high = 1 << index
         bar = "#" * max(1 if count else 0,
                         int(round(width * count / peak)))
-        lines.append("%10s-%-10s |%5d %s" % (low, high, count, bar))
+        if (index == len(histogram.bins) - 1
+                and histogram.max_latency() > high):
+            # build_histogram(max_bin=...) folded every overflow
+            # latency into this bin, so its upper edge is open.
+            label = "%21s" % (">= %d" % low)
+        else:
+            label = "%10s-%-10s" % (low, high)
+        lines.append("%s |%5d %s" % (label, count, bar))
     lines.append("total crashes: %d" % histogram.total)
     lines.append("within 100 instructions: %.1f%%"
                  % (100 * histogram.fraction_within(100)))

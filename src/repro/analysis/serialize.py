@@ -9,8 +9,8 @@ and exposes per-record converters (:func:`result_to_dict` /
 journal.
 
 Schema history: v1 had no ``crashed_after_breakin``,
-``hang_eip_range`` or ``quarantined`` fields; v1 payloads still load,
-with those fields defaulted.
+``hang_eip_range`` or ``quarantined`` fields; v2 had no ``timing``.
+Older payloads still load, with the missing fields defaulted.
 """
 
 from __future__ import annotations
@@ -21,8 +21,8 @@ from ..injection.campaign import CampaignResult, QuarantinedPoint
 from ..injection.outcomes import InjectionResult
 from ..injection.targets import InjectionPoint
 
-SCHEMA_VERSION = 2
-_LOADABLE_SCHEMAS = (1, 2)
+SCHEMA_VERSION = 3
+_LOADABLE_SCHEMAS = (1, 2, 3)
 
 
 def campaign_to_dict(campaign):
@@ -35,8 +35,9 @@ def campaign_to_dict(campaign):
         "encoding": campaign.encoding,
         "results": [result_to_dict(result)
                     for result in campaign.results],
-        "quarantined": [_quarantined_to_dict(entry)
+        "quarantined": [quarantined_to_dict(entry)
                         for entry in campaign.quarantined],
+        "timing": campaign.timing,
     }
 
 
@@ -103,7 +104,7 @@ def result_from_dict(record):
                         else tuple(hang_eip_range)))
 
 
-def _quarantined_to_dict(entry):
+def quarantined_to_dict(entry):
     return {
         "point": point_to_dict(entry.point),
         "location": entry.location,
@@ -112,12 +113,17 @@ def _quarantined_to_dict(entry):
     }
 
 
-def _quarantined_from_dict(record):
+def quarantined_from_dict(record):
     return QuarantinedPoint(
         point=point_from_dict(record["point"]),
         location=record["location"],
         outcomes=tuple(record["outcomes"]),
         rounds=record["rounds"])
+
+
+# Pre-v3 private names, kept for callers of the old spelling.
+_quarantined_to_dict = quarantined_to_dict
+_quarantined_from_dict = quarantined_from_dict
 
 
 def campaign_from_dict(payload):
@@ -130,7 +136,8 @@ def campaign_from_dict(payload):
     for record in payload["results"]:
         campaign.results.append(result_from_dict(record))
     for record in payload.get("quarantined", ()):
-        campaign.quarantined.append(_quarantined_from_dict(record))
+        campaign.quarantined.append(quarantined_from_dict(record))
+    campaign.timing = payload.get("timing")
     return campaign
 
 
@@ -144,3 +151,48 @@ def load_campaign(path):
     """Read a campaign previously written by :func:`save_campaign`."""
     with open(path) as handle:
         return campaign_from_dict(json.load(handle))
+
+
+def campaign_from_shard_journals(journal):
+    """Reconstruct a :class:`CampaignResult` from the per-shard JSONL
+    journals of a parallel campaign (see
+    :mod:`repro.injection.parallel`).
+
+    *journal* is either the campaign's base journal path (shard files
+    are discovered as ``<journal>.shardK``) or an explicit iterable of
+    shard file paths.  Results are ordered by point (address, byte,
+    bit), which matches enumeration order for a contiguous auth
+    section; tallies are order-independent either way.
+    """
+    from ..injection.parallel import (discover_shard_journals,
+                                      load_shard_journals)
+    if isinstance(journal, (str, bytes)) or hasattr(journal,
+                                                    "__fspath__"):
+        paths = discover_shard_journals(str(journal))
+    else:
+        paths = list(journal)
+    if not paths:
+        raise FileNotFoundError("no shard journals found for %r"
+                                % journal)
+    metas, results, quarantined = load_shard_journals(paths)
+    for meta in metas[1:]:
+        for field in ("daemon", "client", "encoding"):
+            if meta.get(field) != metas[0].get(field):
+                raise ValueError(
+                    "shard journals disagree on %s: %r vs %r"
+                    % (field, metas[0].get(field), meta.get(field)))
+    head = metas[0] if metas else {}
+    campaign = CampaignResult(daemon_name=head.get("daemon", ""),
+                              client_name=head.get("client", ""),
+                              encoding=head.get("encoding", ""))
+
+    def point_order(record):
+        return (record["address"], record["byte_offset"],
+                record["bit"])
+
+    for record in sorted(results.values(), key=point_order):
+        campaign.results.append(result_from_dict(record))
+    for record in sorted(quarantined.values(),
+                         key=lambda entry: point_order(entry["point"])):
+        campaign.quarantined.append(quarantined_from_dict(record))
+    return campaign

@@ -47,6 +47,17 @@ def _progress_printer(stream):
     return progress
 
 
+def _write_timing(out, campaign):
+    timing = campaign.timing
+    if not timing:
+        return
+    out.write("timing: %.1fs wall clock, %d experiments "
+              "(%.1f/sec, %d worker%s)\n"
+              % (timing["wall_clock"], timing["experiments"],
+                 timing["experiments_per_sec"], timing["workers"],
+                 "" if timing["workers"] == 1 else "s"))
+
+
 def cmd_campaign(args, out):
     daemon, clients = _make_daemon(args.app)
     if args.client not in clients:
@@ -57,10 +68,15 @@ def cmd_campaign(args, out):
         encoding=args.encoding,
         max_points=args.max_points,
         journal=args.journal, resume=args.resume,
-        retries=args.retries,
+        retries=args.retries, workers=args.workers,
         progress=_progress_printer(out) if args.progress else None)
     if args.journal:
-        out.write("journal: %s\n" % args.journal)
+        if args.workers and args.workers > 1:
+            out.write("journal: %s.shard0..%d\n"
+                      % (args.journal, args.workers - 1))
+        else:
+            out.write("journal: %s\n" % args.journal)
+    _write_timing(out, campaign)
     if campaign.quarantined_count:
         out.write("quarantined (unstable, excluded from percentages): "
                   "%d\n" % campaign.quarantined_count)
@@ -110,9 +126,11 @@ def cmd_figure4(args, out):
     daemon, clients = _make_daemon(args.app)
     campaign = run_campaign(
         daemon, "Client1", clients["Client1"],
+        workers=args.workers,
         progress=_progress_printer(out) if args.progress else None)
     histogram = build_histogram(campaign.crash_latencies())
     out.write(format_histogram(histogram) + "\n")
+    _write_timing(out, campaign)
     return 0
 
 
@@ -163,6 +181,12 @@ def build_parser():
                           help="re-execute each activated experiment "
                                "N times; quarantine points whose "
                                "outcome will not stabilise")
+    campaign.add_argument("--workers", type=int, default=None,
+                          metavar="N",
+                          help="shard the experiment list across N "
+                               "processes; tallies are identical to "
+                               "a serial run (journals become "
+                               "per-shard <journal>.shardK files)")
     campaign.set_defaults(handler=cmd_campaign)
 
     disasm = commands.add_parser(
@@ -182,6 +206,9 @@ def build_parser():
     figure4.add_argument("--app", choices=("ftpd", "sshd"),
                          default="ftpd")
     figure4.add_argument("--progress", action="store_true")
+    figure4.add_argument("--workers", type=int, default=None,
+                         metavar="N",
+                         help="shard the campaign across N processes")
     figure4.set_defaults(handler=cmd_figure4)
 
     random_cmd = commands.add_parser(

@@ -165,9 +165,28 @@ class CPU:
             self.decode_cache[address] = instruction
         return instruction
 
+    #: longest encodable IA-32 instruction; a cached decode starting
+    #: up to this many bytes before a modified address may cover it.
+    MAX_INSTRUCTION_LENGTH = 15
+
     def invalidate_cache(self, address=None):
-        """Drop cached decodes (after a bit flip in the text segment)."""
-        self.decode_cache.clear()
+        """Drop cached decodes after text-segment modification.
+
+        With no *address* the whole cache is dropped (arbitrary bytes
+        may have changed).  With an *address*, only cached
+        instructions whose byte range covers that address are evicted
+        -- a single-bit flip then costs a handful of evictions instead
+        of a full re-decode of the auth section on every experiment.
+        """
+        if address is None:
+            self.decode_cache.clear()
+            return
+        cache = self.decode_cache
+        for start in range(address - self.MAX_INSTRUCTION_LENGTH + 1,
+                           address + 1):
+            cached = cache.get(start)
+            if cached is not None and start + len(cached.raw) > address:
+                del cache[start]
 
     def step(self):
         """Execute one instruction; raises CpuFault on a crash."""

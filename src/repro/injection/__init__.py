@@ -6,8 +6,12 @@ from .campaign import (CampaignResult, ENCODING_NEW, ENCODING_OLD,
 from .golden import GoldenRun, record_golden
 from .injector import (BreakpointSession, plain_run,
                        run_clean_connection, single_injection)
-from .runner import (CampaignJournal, CampaignRunner, JournalError,
-                     run_resilient_campaign, Watchdog, WatchdogConfig)
+from .runner import (campaign_timing, CampaignJournal, CampaignRunner,
+                     JournalError, run_resilient_campaign, Watchdog,
+                     WatchdogConfig)
+from .parallel import (discover_shard_journals, load_shard_journals,
+                       ParallelCampaignRunner, run_parallel_campaign,
+                       shard_journal_path, shard_points)
 from .locations import (ALL_LOCATIONS, classify_location,
                         LOCATION_2BC, LOCATION_2BO, LOCATION_6BC1,
                         LOCATION_6BC2, LOCATION_6BO,
@@ -31,6 +35,9 @@ __all__ = [
     "record_golden", "BreakpointSession", "plain_run",
     "single_injection", "run_clean_connection", "CampaignRunner",
     "CampaignJournal", "JournalError", "run_resilient_campaign",
+    "campaign_timing", "ParallelCampaignRunner",
+    "run_parallel_campaign", "shard_points", "shard_journal_path",
+    "discover_shard_journals", "load_shard_journals",
     "Watchdog", "WatchdogConfig", "HANG", "HARNESS_FAULT",
     "REFINED_OUTCOMES", "FOLD_TO_PAPER",
     "ALL_LOCATIONS", "classify_location", "LOCATION_2BC", "LOCATION_2BO",

@@ -51,6 +51,10 @@ class CampaignResult:
     #: points excluded after quarantine-with-retry; never part of
     #: ``results`` or any percentage.
     quarantined: list = field(default_factory=list)
+    #: wall-clock/throughput record (see
+    #: :func:`repro.injection.runner.campaign_timing`); observational
+    #: metadata only -- never part of any tally or comparison.
+    timing: dict | None = None
 
     @property
     def total_runs(self):
@@ -109,7 +113,8 @@ def run_campaign(daemon, client_name, client_factory,
                  encoding=ENCODING_OLD, kinds=DEFAULT_TARGET_KINDS,
                  budget=CONNECTION_INSTRUCTION_BUDGET, progress=None,
                  max_points=None, ranges=None, journal=None,
-                 resume=False, retries=0, watchdog=None):
+                 resume=False, retries=0, watchdog=None, workers=None,
+                 daemon_factory=None):
     """Run one full selective-exhaustive campaign.
 
     ``max_points`` truncates the experiment list (used by fast tests);
@@ -123,7 +128,22 @@ def run_campaign(daemon, client_name, client_factory,
     killed campaign restarts where it stopped with identical tallies.
     ``retries`` re-executes each activated experiment that many times
     and quarantines points whose outcome will not stabilise.
+
+    ``workers=N`` (N > 1) shards the experiment list across N
+    processes (:mod:`repro.injection.parallel`); tallies and tables
+    are identical to a serial run, the journal becomes one
+    ``<journal>.shardK`` file per worker, and ``daemon_factory``
+    optionally overrides how each worker rebuilds its daemon.
     """
+    if workers is not None and workers > 1:
+        from .parallel import ParallelCampaignRunner
+        runner = ParallelCampaignRunner(
+            daemon, client_name, client_factory, workers=workers,
+            encoding=encoding, kinds=kinds, budget=budget,
+            progress=progress, max_points=max_points, ranges=ranges,
+            journal=journal, resume=resume, retries=retries,
+            watchdog=watchdog, daemon_factory=daemon_factory)
+        return runner.run()
     from .runner import CampaignRunner
     runner = CampaignRunner(daemon, client_name, client_factory,
                             encoding=encoding, kinds=kinds,

@@ -50,6 +50,9 @@ class BreakpointSession:
         client = client_factory()
         kernel = daemon.make_kernel(client)
         self.process = Process(daemon.module, kernel)
+        #: text addresses poked since the snapshot; the only ones whose
+        #: cached decodes can be stale once the snapshot is restored.
+        self._dirty = set()
         self.arrival = self.process.run_until(breakpoint_address, budget)
         self.reached = self.arrival.kind == "breakpoint"
         if self.reached:
@@ -76,7 +79,13 @@ class BreakpointSession:
         cpu.halted = False
         if hasattr(cpu, "exit_code"):
             del cpu.exit_code
-        cpu.invalidate_cache()
+        # Text is back to the snapshot image, from which the prefix run
+        # (and every clean suffix decode) was cached -- only decodes
+        # overlapping bytes poked since the snapshot can be stale, so
+        # evict those and keep the rest of the auth-section cache warm.
+        for address in self._dirty:
+            cpu.invalidate_cache(address)
+        self._dirty.clear()
         kernel = copy.deepcopy(self._snap_kernel)
         cpu.kernel = kernel
         self.process.kernel = kernel
@@ -93,6 +102,7 @@ class BreakpointSession:
                                % self.breakpoint_address)
         kernel = self._restore()
         self.process.flip_bit(flip_address, bit)
+        self._dirty.add(flip_address)
         return self._finish(kernel)
 
     def run_with_register_flip(self, register, bit):
@@ -125,7 +135,8 @@ class BreakpointSession:
         kernel = self._restore()
         for offset, value in enumerate(replacement):
             self.process.memory.poke(address + offset, value)
-        self.process.cpu.invalidate_cache()
+            self.process.cpu.invalidate_cache(address + offset)
+            self._dirty.add(address + offset)
         return self._finish(kernel)
 
     def _finish(self, kernel):

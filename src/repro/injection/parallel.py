@@ -1,0 +1,428 @@
+"""Parallel sharded campaign execution.
+
+The selective-exhaustive campaigns of Tables 1/3/5 run thousands of
+independent single-bit experiments; on a pure-Python emulator they are
+the dominant wall-clock cost of every benchmark.  Injection analyses
+are embarrassingly parallel over injection points (FastFlip makes the
+same observation), and everything here is deterministic, so the
+experiment list can be sharded across processes with no shared state:
+
+* the parent enumerates the full point list (the same enumeration a
+  serial run uses) and assigns *whole instructions* to shards
+  round-robin -- all bits of one instruction stay together so each
+  worker keeps the per-instruction ``BreakpointSession`` amortisation;
+* each worker rebuilds its own daemon and golden run from a picklable
+  recipe, then drives its slice through the ordinary fault-tolerant
+  :class:`~repro.injection.runner.CampaignRunner` (isolation,
+  watchdog, retries, quarantine all apply per shard);
+* each worker journals to its own ``<journal>.shardK`` JSONL file;
+  resume merges *every* existing shard file first (so the worker
+  count may change between runs) and only re-runs missing points;
+* the parent merges shard results back into point-enumeration order,
+  so ``counts()``, Tables 1/3/5 and Figure 4 are byte-identical to a
+  serial campaign.
+
+Workers communicate over a single queue: ``progress`` ticks while
+running, one ``done`` payload (plain dicts, via
+:mod:`repro.analysis.serialize`) per shard, or an ``error`` carrying
+the traceback.  Worker crashes therefore surface as exceptions in the
+parent instead of hanging the campaign.
+"""
+
+from __future__ import annotations
+
+import glob
+import multiprocessing
+import re
+import time
+import traceback
+from queue import Empty
+
+from ..apps.common import CONNECTION_INSTRUCTION_BUDGET
+from .golden import record_golden
+from .runner import (_point_key, CampaignJournal, campaign_timing,
+                     CampaignRunner, JournalError, Watchdog,
+                     WatchdogConfig)
+from .targets import DEFAULT_TARGET_KINDS, enumerate_points
+
+#: how long the parent waits on the message queue before checking
+#: whether a worker died without reporting.
+_QUEUE_POLL_SECONDS = 1.0
+
+
+# ----------------------------------------------------------------------
+# Worker-side daemon reconstruction
+
+class RebuildDaemon:
+    """Picklable recipe that rebuilds the parent's daemon in a worker.
+
+    Daemons are deterministic compilations of fixed source, so a
+    rebuild from the same class and constructor data is bit-identical
+    to the parent's instance.
+    """
+
+    def __init__(self, daemon_class, kwargs):
+        self.daemon_class = daemon_class
+        self.kwargs = kwargs
+
+    def __call__(self):
+        return self.daemon_class(**self.kwargs)
+
+
+def default_daemon_factory(daemon):
+    """Zero-config factory for the stock daemons: reuse the class,
+    carrying over the password database and FTP file tree when the
+    daemon has them (the app-layer :class:`~repro.apps.common.Daemon`
+    protocol)."""
+    kwargs = {}
+    for name in ("database", "files"):
+        if hasattr(daemon, name):
+            kwargs[name] = getattr(daemon, name)
+    return RebuildDaemon(type(daemon), kwargs)
+
+
+# ----------------------------------------------------------------------
+# Shard journals
+
+_SHARD_SUFFIX = re.compile(r"\.shard\d+$")
+
+
+def shard_journal_path(journal, shard):
+    return "%s.shard%d" % (journal, shard)
+
+
+def discover_shard_journals(journal):
+    """Existing shard files for a journal base path, sorted, for any
+    previous worker count."""
+    return sorted(path for path in glob.glob("%s.shard*" % journal)
+                  if _SHARD_SUFFIX.search(path))
+
+
+def load_shard_journals(paths):
+    """Merge a set of shard journals into ``(metas, results,
+    quarantined)`` with the latter two keyed by point.  Duplicate keys
+    (a point that moved shards between resumes) are harmless: the
+    emulator is deterministic, so every copy carries the same record.
+    """
+    metas = []
+    results = {}
+    quarantined = {}
+    for path in paths:
+        meta, shard_results, shard_quarantined = \
+            CampaignJournal.load(path)
+        if meta is not None:
+            metas.append(meta)
+        results.update(shard_results)
+        quarantined.update(shard_quarantined)
+    return metas, results, quarantined
+
+
+def _record_key(record):
+    """Point key of a serialized result record (journal records carry
+    an explicit ``key``; worker payloads inline the point fields)."""
+    key = record.get("key")
+    if key is not None:
+        return key
+    return "%x:%d:%d" % (record["address"], record["byte_offset"],
+                         record["bit"])
+
+
+# ----------------------------------------------------------------------
+# Sharding
+
+def shard_points(points, workers):
+    """Split *points* into at most *workers* shards, keeping all bits
+    of one instruction in the same shard (preserving the per-shard
+    breakpoint-session amortisation) and distributing instructions
+    round-robin for balance."""
+    groups = []
+    for point in points:
+        if (groups and groups[-1][-1].instruction_address
+                == point.instruction_address):
+            groups[-1].append(point)
+        else:
+            groups.append([point])
+    shards = [[] for __ in range(workers)]
+    for index, group in enumerate(groups):
+        shards[index % workers].extend(group)
+    return [shard for shard in shards if shard]
+
+
+# ----------------------------------------------------------------------
+# Worker main
+
+def _shard_worker_main(spec, queue):
+    """Run one shard start-to-finish inside a worker process."""
+    shard = spec["shard"]
+    try:
+        from ..analysis.serialize import (quarantined_to_dict,
+                                          result_to_dict)
+        started = time.monotonic()
+        daemon = spec["daemon_factory"]()
+        setup = time.monotonic() - started
+
+        def progress(done, total):
+            queue.put(("progress", shard, done, total))
+
+        runner = CampaignRunner(
+            daemon, spec["client_name"], spec["client_factory"],
+            encoding=spec["encoding"], kinds=spec["kinds"],
+            budget=spec["budget"],
+            progress=progress if spec["progress"] else None,
+            points=spec["points"], journal=spec["journal"],
+            resume=spec["resume"], retries=spec["retries"],
+            watchdog=Watchdog(spec["watchdog_config"]))
+        campaign = runner.run()
+        timing = dict(campaign.timing or {})
+        timing.update(shard=shard, setup=setup,
+                      points=len(spec["points"]))
+        queue.put(("done", shard, {
+            "results": [result_to_dict(result)
+                        for result in campaign.results],
+            "quarantined": [quarantined_to_dict(entry)
+                            for entry in campaign.quarantined],
+            "timing": timing,
+        }))
+    except BaseException:
+        queue.put(("error", shard, traceback.format_exc()))
+
+
+# ----------------------------------------------------------------------
+# The parent runner
+
+class ParallelCampaignRunner:
+    """Shards one selective-exhaustive campaign across N processes.
+
+    Construction mirrors :func:`repro.injection.campaign.run_campaign`
+    plus ``workers`` and an optional ``daemon_factory`` (any picklable
+    zero-argument callable; defaults to rebuilding ``type(daemon)``
+    with the parent's database/files).
+    """
+
+    def __init__(self, daemon, client_name, client_factory, workers=2,
+                 encoding=None, kinds=DEFAULT_TARGET_KINDS,
+                 budget=CONNECTION_INSTRUCTION_BUDGET, progress=None,
+                 max_points=None, ranges=None, journal=None,
+                 resume=False, retries=0, watchdog=None,
+                 daemon_factory=None):
+        from .campaign import ENCODING_OLD
+        if workers < 1:
+            raise ValueError("workers must be >= 1, got %r" % workers)
+        self.daemon = daemon
+        self.client_name = client_name
+        self.client_factory = client_factory
+        self.workers = workers
+        self.encoding = encoding if encoding is not None else ENCODING_OLD
+        self.kinds = kinds
+        self.budget = budget
+        self.progress = progress
+        self.max_points = max_points
+        self.ranges = ranges
+        self.journal_path = journal
+        self.resume = resume
+        self.retries = retries
+        if isinstance(watchdog, Watchdog):
+            self.watchdog_config = watchdog.config
+        else:
+            self.watchdog_config = (watchdog if watchdog is not None
+                                    else WatchdogConfig())
+        self.daemon_factory = (daemon_factory if daemon_factory
+                               is not None
+                               else default_daemon_factory(daemon))
+
+    # -- public entry point --------------------------------------------
+
+    def run(self):
+        from ..analysis.serialize import (quarantined_from_dict,
+                                          result_from_dict)
+        from .campaign import CampaignResult
+        started = time.monotonic()
+        golden = record_golden(self.daemon, self.client_factory,
+                               self.budget)
+        points = self._enumerate()
+        order = {_point_key(point): index
+                 for index, point in enumerate(points)}
+        done_results, done_quarantined = self._load_resume(order)
+        remaining = [point for point in points
+                     if _point_key(point) not in done_results
+                     and _point_key(point) not in done_quarantined]
+        shards = shard_points(remaining, self.workers)
+        payloads = self._run_shards(shards, len(points),
+                                    len(done_results)
+                                    + len(done_quarantined))
+        results = dict(done_results)
+        quarantined = dict(done_quarantined)
+        for payload in payloads:
+            for record in payload["results"]:
+                results[_record_key(record)] = record
+            for record in payload["quarantined"]:
+                key = _point_key(self._quarantine_point(record))
+                quarantined[key] = record
+        campaign = CampaignResult(daemon_name=type(self.daemon).__name__,
+                                  client_name=self.client_name,
+                                  encoding=self.encoding, golden=golden)
+        campaign.results = [
+            result_from_dict(results[key])
+            for key in sorted(results, key=order.__getitem__)]
+        campaign.quarantined = [
+            quarantined_from_dict(quarantined[key])
+            for key in sorted(quarantined, key=order.__getitem__)]
+        campaign.timing = campaign_timing(
+            wall_clock=time.monotonic() - started,
+            experiments=len(campaign.results)
+            + len(campaign.quarantined),
+            executed=sum(payload["timing"].get("executed", 0)
+                         for payload in payloads),
+            workers=max(1, len(shards)),
+            shards=sorted((payload["timing"] for payload in payloads),
+                          key=lambda timing: timing["shard"]))
+        return campaign
+
+    # -- enumeration / resume ------------------------------------------
+
+    def _enumerate(self):
+        """The exact experiment list a serial run would use."""
+        ranges = (self.ranges if self.ranges is not None
+                  else self.daemon.auth_ranges())
+        points = enumerate_points(self.daemon.module, ranges,
+                                  self.kinds)
+        if self.max_points is not None:
+            points = points[:self.max_points]
+        return points
+
+    def _load_resume(self, order):
+        """Already-completed records from every existing shard file
+        (any previous worker count), restricted to known points."""
+        if not (self.resume and self.journal_path is not None):
+            return {}, {}
+        paths = discover_shard_journals(self.journal_path)
+        metas, results, quarantined = load_shard_journals(paths)
+        expected = self._meta()
+        for meta in metas:
+            for field in ("daemon", "client", "encoding"):
+                if meta.get(field) != expected[field]:
+                    raise JournalError(
+                        "shard journal of %s was recorded for %s=%r, "
+                        "campaign wants %r"
+                        % (self.journal_path, field, meta.get(field),
+                           expected[field]))
+        results = {key: record for key, record in results.items()
+                   if key in order}
+        quarantined = {key: record
+                       for key, record in quarantined.items()
+                       if key in order}
+        return results, quarantined
+
+    def _meta(self):
+        return {"daemon": type(self.daemon).__name__,
+                "client": self.client_name, "encoding": self.encoding,
+                "budget": self.budget}
+
+    @staticmethod
+    def _quarantine_point(record):
+        from ..analysis.serialize import point_from_dict
+        return point_from_dict(record["point"])
+
+    # -- process management --------------------------------------------
+
+    def _context(self):
+        # fork is both the fastest start and the most permissive about
+        # what a spec may carry (locally defined daemon classes in
+        # tests); fall back to the platform default elsewhere.
+        methods = multiprocessing.get_all_start_methods()
+        if "fork" in methods:
+            return multiprocessing.get_context("fork")
+        return multiprocessing.get_context()
+
+    def _spec(self, shard, points):
+        journal = None
+        if self.journal_path is not None:
+            journal = shard_journal_path(self.journal_path, shard)
+        return {
+            "shard": shard,
+            "points": points,
+            "client_name": self.client_name,
+            "client_factory": self.client_factory,
+            "encoding": self.encoding,
+            "kinds": self.kinds,
+            "budget": self.budget,
+            "progress": self.progress is not None,
+            "journal": journal,
+            # resume so an existing shard file is appended to (and its
+            # meta validated) instead of truncated.
+            "resume": self.resume,
+            "retries": self.retries,
+            "watchdog_config": self.watchdog_config,
+            "daemon_factory": self.daemon_factory,
+        }
+
+    def _run_shards(self, shards, total_points, resumed_points):
+        if not shards:
+            return []
+        context = self._context()
+        queue = context.Queue()
+        processes = []
+        for shard, points in enumerate(shards):
+            process = context.Process(
+                target=_shard_worker_main,
+                args=(self._spec(shard, points), queue))
+            process.daemon = True
+            process.start()
+            processes.append(process)
+        try:
+            payloads = self._collect(processes, queue, len(shards),
+                                     total_points, resumed_points)
+        finally:
+            for process in processes:
+                if process.is_alive():
+                    process.terminate()
+            for process in processes:
+                process.join()
+        return payloads
+
+    def _collect(self, processes, queue, shard_count, total_points,
+                 resumed_points):
+        payloads = {}
+        shard_progress = {}
+        pending = set(range(shard_count))
+        while pending:
+            try:
+                message = queue.get(timeout=_QUEUE_POLL_SECONDS)
+            except Empty:
+                dead = [shard for shard in pending
+                        if not processes[shard].is_alive()
+                        and processes[shard].exitcode != 0]
+                if dead:
+                    raise RuntimeError(
+                        "shard worker(s) %s died without reporting "
+                        "(exit codes %s)"
+                        % (sorted(dead),
+                           [processes[shard].exitcode
+                            for shard in sorted(dead)]))
+                continue
+            kind = message[0]
+            if kind == "progress":
+                __, shard, done, __total = message
+                shard_progress[shard] = done
+                if self.progress is not None:
+                    self.progress(resumed_points
+                                  + sum(shard_progress.values()),
+                                  total_points)
+            elif kind == "done":
+                __, shard, payload = message
+                payloads[shard] = payload
+                pending.discard(shard)
+            elif kind == "error":
+                __, shard, detail = message
+                raise RuntimeError("shard %d failed:\n%s"
+                                   % (shard, detail))
+        return [payloads[shard] for shard in sorted(payloads)]
+
+
+def run_parallel_campaign(daemon, client_name, client_factory,
+                          workers=2, **kwargs):
+    """Functional facade over :class:`ParallelCampaignRunner`."""
+    runner = ParallelCampaignRunner(daemon, client_name,
+                                    client_factory, workers=workers,
+                                    **kwargs)
+    return runner.run()

@@ -173,6 +173,28 @@ def refine_limit_outcome(outcome, detail, status):
     return HANG, detail, eip_range
 
 
+def campaign_timing(wall_clock, experiments, executed, workers=1,
+                    shards=None):
+    """Timing record attached to ``CampaignResult.timing``.
+
+    ``experiments`` counts every record in the final tally (including
+    ones reconstructed from a journal); ``executed`` only the
+    experiments actually run this invocation, so ``experiments_per_sec``
+    measures real throughput, not resume speed.
+    """
+    timing = {
+        "wall_clock": wall_clock,
+        "experiments": experiments,
+        "executed": executed,
+        "experiments_per_sec": (executed / wall_clock
+                                if wall_clock > 0 else 0.0),
+        "workers": workers,
+    }
+    if shards is not None:
+        timing["shards"] = shards
+    return timing
+
+
 # ----------------------------------------------------------------------
 # JSONL journal
 
@@ -309,7 +331,7 @@ class CampaignRunner:
                  encoding=None, kinds=DEFAULT_TARGET_KINDS,
                  budget=CONNECTION_INSTRUCTION_BUDGET, progress=None,
                  max_points=None, ranges=None, journal=None,
-                 resume=False, retries=0, watchdog=None):
+                 resume=False, retries=0, watchdog=None, points=None):
         from .campaign import ENCODING_OLD
         self.daemon = daemon
         self.client_name = client_name
@@ -325,6 +347,9 @@ class CampaignRunner:
         self.retries = retries
         self.watchdog = (watchdog if isinstance(watchdog, Watchdog)
                          else Watchdog(watchdog))
+        #: explicit experiment list (one shard of a parallel campaign);
+        #: ``None`` enumerates the daemon's auth sections as usual.
+        self.points = points
         # Per-campaign session cache: one live session plus the set of
         # addresses whose breakpoint provably cannot be reached, so a
         # disagreeing address is probed once, not once per bit.
@@ -336,14 +361,19 @@ class CampaignRunner:
 
     def run(self):
         from .campaign import CampaignResult, QuarantinedPoint
+        started = time.monotonic()
         golden = record_golden(self.daemon, self.client_factory,
                                self.budget)
         self._golden = golden
-        if self.ranges is not None:
-            ranges = self.ranges
+        if self.points is not None:
+            points = list(self.points)
         else:
-            ranges = self.daemon.auth_ranges()
-        points = enumerate_points(self.daemon.module, ranges, self.kinds)
+            if self.ranges is not None:
+                ranges = self.ranges
+            else:
+                ranges = self.daemon.auth_ranges()
+            points = enumerate_points(self.daemon.module, ranges,
+                                      self.kinds)
         if self.max_points is not None:
             points = points[:self.max_points]
         campaign = CampaignResult(daemon_name=type(self.daemon).__name__,
@@ -355,6 +385,7 @@ class CampaignRunner:
             journal = CampaignJournal(self.journal_path)
             journal.open(self._meta(), append=bool(journaled
                                                    or quarantined_records))
+        self._resumed = 0
         try:
             self._run_points(campaign, points, journaled,
                              quarantined_records, journal)
@@ -367,6 +398,12 @@ class CampaignRunner:
                 location=record["location"],
                 outcomes=tuple(record["outcomes"]),
                 rounds=record["rounds"]))
+        campaign.timing = campaign_timing(
+            wall_clock=time.monotonic() - started,
+            experiments=len(campaign.results)
+            + len(campaign.quarantined),
+            executed=len(campaign.results) + len(campaign.quarantined)
+            - self._resumed)
         return campaign
 
     # -- journal plumbing ----------------------------------------------
@@ -412,10 +449,12 @@ class CampaignRunner:
         for point in points:
             key = _point_key(point)
             if key in quarantined_records:
+                self._resumed += 1
                 continue                      # stays quarantined
             if key in journaled:
                 campaign.results.append(
                     result_from_dict(journaled[key]))
+                self._resumed += 1
                 self._report(campaign, quarantined_records, total)
                 continue
             queue.append(_PendingPoint(point=point,

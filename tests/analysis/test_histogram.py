@@ -44,6 +44,14 @@ class TestStatistics:
         histogram = build_histogram([1] * 90 + [1000] * 10)
         assert histogram.transient_window_share() == pytest.approx(0.10)
 
+    def test_empty_campaign_has_no_transient_window(self):
+        # Regression: fraction_beyond used to return 1.0 (and thus a
+        # 100% transient window) for a campaign with zero crashes.
+        histogram = build_histogram([])
+        assert histogram.fraction_beyond(100) == 0.0
+        assert histogram.transient_window_share() == 0.0
+        assert histogram.fraction_within(100) == 0.0
+
     @given(latencies=st.lists(st.integers(1, 100_000), min_size=1,
                               max_size=200))
     def test_bins_sum_to_total(self, latencies):
@@ -66,3 +74,17 @@ class TestFormatting:
         assert "total crashes: 3" in text
         assert "transient window" in text
         assert "max latency: 20000" in text
+
+    def test_clamped_final_bin_rendered_open_ended(self):
+        # build_histogram(max_bin=5) folds the 2^20 latency into the
+        # last bin; its label must not pretend the bin tops out at 16.
+        histogram = build_histogram([1, 1 << 20], max_bin=5)
+        text = format_histogram(histogram)
+        assert ">= 9" in text
+        assert "9-16" not in text
+
+    def test_unclamped_final_bin_keeps_closed_range(self):
+        histogram = build_histogram([1, 16])
+        text = format_histogram(histogram)
+        assert "9-16" in text
+        assert ">=" not in text

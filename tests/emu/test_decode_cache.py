@@ -64,6 +64,89 @@ class TestCaching:
         cpu.step()
         assert cpu.regs[0] == 1   # stale decode; the hazard exists
 
+    def test_selective_invalidation_keeps_other_entries(self):
+        # two adjacent 5-byte movs; poking the first must not evict
+        # the second's decode
+        cpu, memory = machine(b"\xB8\x01\x00\x00\x00"   # 0x1000
+                              b"\xB8\x02\x00\x00\x00")  # 0x1005
+        cpu.step()
+        cpu.step()
+        assert 0x1000 in cpu.decode_cache
+        assert 0x1005 in cpu.decode_cache
+        memory.poke(0x1001, 0x07)
+        cpu.invalidate_cache(0x1001)
+        assert 0x1000 not in cpu.decode_cache
+        assert 0x1005 in cpu.decode_cache
+        cpu.eip = 0x1000
+        cpu.step()
+        assert cpu.regs[0] == 7   # re-decoded, not stale
+
+    def test_selective_invalidation_is_range_exact(self):
+        cpu, memory = machine(b"\xB8\x01\x00\x00\x00"
+                              b"\xB8\x02\x00\x00\x00")
+        cpu.step()
+        cpu.step()
+        # last byte of the first instruction: evicts only it
+        cpu.invalidate_cache(0x1004)
+        assert 0x1000 not in cpu.decode_cache
+        assert 0x1005 in cpu.decode_cache
+        cpu.eip = 0x1000
+        cpu.step()
+        # first byte of the second instruction: evicts only it
+        cpu.invalidate_cache(0x1005)
+        assert 0x1000 in cpu.decode_cache
+        assert 0x1005 not in cpu.decode_cache
+
+    def test_breakpoint_session_keeps_cache_warm(self):
+        """Across injection experiments only decodes overlapping the
+        flipped byte are dropped; the rest of the (auth-section) cache
+        survives the snapshot restore."""
+        from repro.injection import BreakpointSession
+        from repro.kernel import Kernel, ScriptedClient
+        from repro.x86 import assemble
+
+        class NullClient(ScriptedClient):
+            def receive(self, data):
+                pass
+
+            def broke_in(self):
+                return False
+
+        class TinyDaemon:
+            def __init__(self):
+                self.module = assemble("""
+.text
+.global _start
+_start:
+    movl $3, %ecx
+loop:
+    nop
+    dec %ecx
+    jnz loop
+    movl $0, %ebx
+    movl $1, %eax
+    int $0x80
+""")
+
+            def make_kernel(self, client):
+                return Kernel.for_client(client)
+
+        daemon = TinyDaemon()
+        branch = daemon.module.address_of("loop") + 2  # the jnz
+        session = BreakpointSession(daemon, NullClient, branch,
+                                    budget=5_000)
+        assert session.reached
+        session.run_with_flip(branch + 1, 0)
+        warm_before = set(session.process.cpu.decode_cache)
+        assert warm_before                      # prefix decodes cached
+        session.run_with_flip(branch + 1, 1)
+        warm_after = set(session.process.cpu.decode_cache)
+        # everything cached before the second experiment survived its
+        # restore except decodes covering the flipped byte
+        evictable = {address for address in warm_before
+                     if address <= branch + 1}
+        assert warm_before - evictable <= warm_after
+
     def test_process_flip_bit_invalidates(self):
         from repro.x86 import assemble
         from repro.emu import Process
