@@ -27,13 +27,16 @@ int main() {
 """
 
 
-def test_emulator_throughput(benchmark, record_result):
+def test_emulator_throughput(benchmark, record_result, record_json):
     program = compile_program(HASH_LOOP)
+    last_perf = {}
 
     def run_once():
         process = Process(program.module, Kernel())
         status = process.run(5_000_000)
         assert status.kind == "exit"
+        last_perf.clear()
+        last_perf.update(process.cpu.perf.as_dict())
         return status.instret
 
     instret = benchmark(run_once)
@@ -42,8 +45,25 @@ def test_emulator_throughput(benchmark, record_result):
     record_result("emulator_speed",
                   "emulated instructions per run: %d\n"
                   "mean wall time: %.4f s\n"
-                  "throughput: %.0f instructions/second"
-                  % (instret, stats.mean, rate))
+                  "throughput: %.0f instructions/second\n"
+                  "engine: %d prepared-op hits / %d misses, "
+                  "%d flags forced / %d elided, %d supersteps "
+                  "(%d instructions), %d syscalls"
+                  % (instret, stats.mean, rate,
+                     last_perf.get("prepared_hits", 0),
+                     last_perf.get("prepared_misses", 0),
+                     last_perf.get("flags_forced", 0),
+                     last_perf.get("flags_elided", 0),
+                     last_perf.get("superstep_entries", 0),
+                     last_perf.get("superstep_instructions", 0),
+                     last_perf.get("syscalls", 0)))
+    record_json("emulator_speed", {
+        "instructions_per_run": instret,
+        "mean_seconds": stats.mean,
+        "min_seconds": stats.min,
+        "instructions_per_sec": rate,
+        "perf": dict(last_perf),
+    })
     assert instret > 50_000
     assert rate > 50_000, "emulator slower than 50k instr/s"
 

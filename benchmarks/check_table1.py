@@ -1,0 +1,135 @@
+#!/usr/bin/env python
+"""Nightly campaign gate: Table 1 counts must match the reference.
+
+Runs the full ftpd and sshd injection campaigns (every client, old
+encoding) and compares the exact Table 1 tallies -- NA/NM/SD/FSV/BRK
+counts, activated counts and total runs per client -- against the
+committed reference in ``benchmarks/results/table1_counts.json``.
+The campaigns are deterministic, so *any* difference is a behaviour
+change in the emulator, injector, kernel or analysis layers and fails
+the gate.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/check_table1.py \
+        --workers 2 --journal-dir /tmp/journals
+
+    # regenerate the reference after an intended behaviour change
+    PYTHONPATH=src python benchmarks/check_table1.py --update
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import sys
+
+from repro.analysis import build_table1
+from repro.apps.ftpd import CLIENT_FACTORIES as FTP_CLIENTS, FtpDaemon
+from repro.apps.sshd import CLIENT_FACTORIES as SSH_CLIENTS, SshDaemon
+from repro.injection import run_campaign
+
+REFERENCE = (pathlib.Path(__file__).parent / "results"
+             / "table1_counts.json")
+APPS = ("ftpd", "sshd")
+
+
+def campaign_counts(app, workers=None, journal_dir=None):
+    """Run every client campaign for *app*; returns
+    ``{client: {counts, activated, runs}}``."""
+    daemon = FtpDaemon() if app == "ftpd" else SshDaemon()
+    clients = FTP_CLIENTS if app == "ftpd" else SSH_CLIENTS
+    out = {}
+    for name, factory in clients.items():
+        journal = None
+        if journal_dir is not None:
+            journal = str(pathlib.Path(journal_dir)
+                          / ("%s_%s.jsonl" % (app, name)))
+        campaign = run_campaign(daemon, name, factory,
+                                workers=workers, journal=journal)
+        column = build_table1([campaign])[0]
+        out[name] = {
+            "counts": dict(column.counts),
+            "activated": column.activated,
+            "runs": column.total_runs,
+        }
+    return out
+
+
+def diff_counts(reference, measured):
+    """Return human-readable mismatch lines (empty == identical)."""
+    problems = []
+    for app in sorted(set(reference) | set(measured)):
+        ref_app = reference.get(app)
+        got_app = measured.get(app)
+        if ref_app is None or got_app is None:
+            problems.append("%s: present in %s only"
+                            % (app,
+                               "measured" if ref_app is None
+                               else "reference"))
+            continue
+        for client in sorted(set(ref_app) | set(got_app)):
+            ref = ref_app.get(client)
+            got = got_app.get(client)
+            if ref != got:
+                problems.append("%s %s: reference %s != measured %s"
+                                % (app, client,
+                                   json.dumps(ref, sort_keys=True),
+                                   json.dumps(got, sort_keys=True)))
+    return problems
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--apps", nargs="+", choices=APPS, default=APPS)
+    parser.add_argument("--workers", type=int, default=None)
+    parser.add_argument("--journal-dir", default=None,
+                        help="write per-campaign JSONL journals here")
+    parser.add_argument("--update", action="store_true",
+                        help="write the measured counts as the new "
+                             "reference")
+    args = parser.parse_args(argv)
+
+    if args.journal_dir:
+        pathlib.Path(args.journal_dir).mkdir(parents=True, exist_ok=True)
+
+    measured = {}
+    for app in args.apps:
+        print("running %s campaigns..." % app, flush=True)
+        measured[app] = campaign_counts(app, workers=args.workers,
+                                        journal_dir=args.journal_dir)
+
+    if args.update:
+        existing = {}
+        if REFERENCE.exists():
+            existing = json.loads(REFERENCE.read_text())
+        existing.update(measured)
+        REFERENCE.write_text(json.dumps(existing, indent=1,
+                                        sort_keys=True) + "\n")
+        print("reference updated: %s" % REFERENCE)
+        return 0
+
+    if not REFERENCE.exists():
+        print("no reference at %s -- run with --update first"
+              % REFERENCE, file=sys.stderr)
+        return 1
+    reference = json.loads(REFERENCE.read_text())
+    reference = {app: reference[app] for app in args.apps
+                 if app in reference}
+    problems = diff_counts(reference, measured)
+    if problems:
+        print("Table 1 counts DIVERGED from the reference:",
+              file=sys.stderr)
+        for problem in problems:
+            print("  - " + problem, file=sys.stderr)
+        print("If the change is intended, regenerate with "
+              "--update and commit %s." % REFERENCE, file=sys.stderr)
+        return 1
+    print("Table 1 counts match the reference for: %s"
+          % ", ".join(args.apps))
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -9,8 +9,10 @@ and exposes per-record converters (:func:`result_to_dict` /
 journal.
 
 Schema history: v1 had no ``crashed_after_breakin``,
-``hang_eip_range`` or ``quarantined`` fields; v2 had no ``timing``.
-Older payloads still load, with the missing fields defaulted.
+``hang_eip_range`` or ``quarantined`` fields; v2 had no ``timing``;
+v3's ``timing`` had no execution-engine ``perf`` counter dict (see
+:class:`repro.emu.perf.PerfCounters`).  Older payloads still load,
+with the missing fields defaulted.
 """
 
 from __future__ import annotations
@@ -21,8 +23,8 @@ from ..injection.campaign import CampaignResult, QuarantinedPoint
 from ..injection.outcomes import InjectionResult
 from ..injection.targets import InjectionPoint
 
-SCHEMA_VERSION = 3
-_LOADABLE_SCHEMAS = (1, 2, 3)
+SCHEMA_VERSION = 4
+_LOADABLE_SCHEMAS = (1, 2, 3, 4)
 
 
 def campaign_to_dict(campaign):

@@ -56,6 +56,18 @@ def _write_timing(out, campaign):
               % (timing["wall_clock"], timing["experiments"],
                  timing["experiments_per_sec"], timing["workers"],
                  "" if timing["workers"] == 1 else "s"))
+    perf = timing.get("perf")
+    if perf:
+        out.write("engine: %d prepared-op hits / %d misses, "
+                  "%d flags forced / %d elided, %d supersteps "
+                  "(%d instructions), %d syscalls\n"
+                  % (perf.get("prepared_hits", 0),
+                     perf.get("prepared_misses", 0),
+                     perf.get("flags_forced", 0),
+                     perf.get("flags_elided", 0),
+                     perf.get("superstep_entries", 0),
+                     perf.get("superstep_instructions", 0),
+                     perf.get("syscalls", 0)))
 
 
 def cmd_campaign(args, out):

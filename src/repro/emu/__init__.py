@@ -6,11 +6,12 @@ from .machine_exceptions import (BoundRangeFault, BreakpointTrap, CpuFault,
                                  GeneralProtectionFault, InvalidOpcodeFault,
                                  OverflowTrap, PageFault)
 from .memory import Memory, Region
+from .perf import PerfCounters
 from .process import (DEFAULT_MAX_INSTRUCTIONS, ExitStatus, Process,
                       STACK_SIZE, STACK_TOP)
 
 __all__ = [
-    "CPU", "Memory", "Region", "Process", "ExitStatus",
+    "CPU", "Memory", "Region", "Process", "ExitStatus", "PerfCounters",
     "DEFAULT_MAX_INSTRUCTIONS", "STACK_SIZE", "STACK_TOP", "CpuFault",
     "InvalidOpcodeFault", "GeneralProtectionFault", "PageFault",
     "DivideErrorFault", "BoundRangeFault", "BreakpointTrap",

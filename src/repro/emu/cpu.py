@@ -2,9 +2,25 @@
 
 Executes instructions decoded by :mod:`repro.x86.decoder` against a
 :class:`repro.emu.memory.Memory`.  The engine favours architectural
-fidelity over speed in semantics but keeps the hot loop tight enough
-for exhaustive injection campaigns (a decode cache over the text
-segment, dictionary dispatch per mnemonic).
+fidelity over speed in semantics, but the hot loop is built for the
+exhaustive injection campaigns (see ``DESIGN.md`` section 10):
+
+* a **prepared-op cache** over the text segment: each cached entry is
+  ``(callable, instruction, fall-through eip)``, so a retire costs one
+  dict probe and one call instead of re-hashing the mnemonic and
+  re-walking operands; the most frequent instruction forms get
+  specialised closures with their operand accessors pre-resolved;
+* **lazy EFLAGS**: ALU fast paths record the last op's operands
+  instead of computing SF/ZF/PF/AF/OF/CF; the flags materialise only
+  when something actually reads ``cpu.eflags`` (a Jcc, ``pushf``, a
+  snapshot, a test) -- flags clobbered unread are never computed;
+* **basic-block supersteps**: ``run``/``run_until`` execute
+  straight-line runs of prepared ops without per-instruction
+  breakpoint/budget bookkeeping between branch boundaries.
+
+The reference path (:meth:`CPU.slow_step`) keeps the original
+decode-and-dispatch semantics and is differentially tested against
+the fast path.  Perf counters live on :attr:`CPU.perf`.
 
 Anything a corrupted byte stream can decode into is executable here:
 BCD adjusts, rotate-through-carry, string ops, segment pops, x87
@@ -18,8 +34,9 @@ from __future__ import annotations
 from ..x86 import decoder as x86_decoder
 from ..x86.errors import DecodeOutOfBytesError, InvalidOpcodeError
 from ..x86.flags import (AF, CF, DF, FLAGS_FIXED_ONES, FLAGS_USER_MASK, IF,
-                         OF, PF, SF, ZF, condition_met, parity_flag)
-from ..x86.instruction import Mem
+                         OF, PF, SF, STATUS_FLAGS, ZF, condition_met,
+                         parity_flag)
+from ..x86.instruction import CONTROL_KINDS, Mem
 from ..x86.registers import (EAX, EBP, EBX, ECX, EDI, EDX, ESI, ESP,
                              VALID_SELECTORS)
 from . import alu
@@ -27,6 +44,7 @@ from .machine_exceptions import (BoundRangeFault, BreakpointTrap, CpuFault,
                                  DebugTrap, DivideErrorFault,
                                  GeneralProtectionFault, InvalidOpcodeFault,
                                  OverflowTrap, PageFault)
+from .perf import PerfCounters
 
 _ALU_NAMES = ("add", "or", "adc", "sbb", "and", "sub", "xor", "cmp")
 _SHIFT_NAMES = ("rol", "ror", "rcl", "rcr", "shl", "shr", "sar")
@@ -35,6 +53,29 @@ _JCC_SUFFIXES = ("o", "no", "b", "ae", "e", "ne", "be", "a",
 
 # Linux i386 user-mode selector values.
 _INITIAL_SEGMENTS = [0x2B, 0x23, 0x2B, 0x2B, 0x0, 0x33]
+
+#: mnemonics that end a basic block even though their ``kind`` is not a
+#: control kind: they can halt the CPU, trap, or loop, so the run loop
+#: must regain control right after them.
+_BLOCK_TERMINATORS = frozenset({
+    "int3", "int1", "into", "iret", "hlt",
+    "loop", "loope", "loopne", "jecxz",
+})
+
+#: mnemonics that may never join a block at all: they read or write
+#: ``instret`` mid-execution (``int 0x80`` hands the kernel a CPU whose
+#: retire count must be exact, ``rdtsc`` returns it, the string ops
+#: self-adjust it per iteration), so they only run through
+#: :meth:`CPU.step`, whose accounting is per-instruction.
+#: Rep-prefixed instructions are excluded for the same reason (their
+#: ``instret`` contribution is data-dependent).
+_BLOCK_EXCLUDED = frozenset({
+    "int", "rdtsc",
+    "movsb", "movsd", "cmpsb", "cmpsd",
+    "stosb", "stosd", "lodsb", "lodsd", "scasb", "scasd",
+})
+
+_MASK32 = 0xFFFFFFFF
 
 
 class CPU:
@@ -45,11 +86,15 @@ class CPU:
         self.kernel = kernel
         self.regs = [0] * 8
         self.eip = 0
-        self.eflags = FLAGS_FIXED_ONES | IF
+        self.perf = PerfCounters()
+        self._lazy = None         # pending lazy-EFLAGS record
+        self._eflags = FLAGS_FIXED_ONES | IF
         self.segments = list(_INITIAL_SEGMENTS)
         self.instret = 0          # instructions retired
         self.halted = False
         self.decode_cache = {}
+        self.prepared = {}        # address -> (fn, instruction, next_eip)
+        self.blocks = {}          # address -> basic block of prepared ops
         self.cacheable = None     # (start, end) range eligible for caching
         self.coverage = None      # optional set of executed EIPs
         self.trace_hook = None    # optional fn(cpu, instruction) per step
@@ -140,11 +185,50 @@ class CPU:
         return value
 
     # ------------------------------------------------------------------
-    # Flag helpers
+    # Flag helpers (lazy EFLAGS materialisation)
+    #
+    # The fast-path ALU closures do not compute status flags; they
+    # stash ``("add"|"sub"|"logic", operands...)`` in ``_lazy`` and the
+    # flags are computed -- through the same :mod:`repro.emu.alu`
+    # routines the eager path uses -- only when ``eflags`` is read.  A
+    # record overwritten before any read is counted as elided.
 
-    def set_status_flags(self, new_flags,
-                         mask=CF | PF | AF | ZF | SF | OF):
-        self.eflags = (self.eflags & ~mask) | (new_flags & mask)
+    @property
+    def eflags(self):
+        if self._lazy is not None:
+            self._materialise_flags()
+        return self._eflags
+
+    @eflags.setter
+    def eflags(self, value):
+        if self._lazy is not None:
+            self._lazy = None
+            self.perf.flags_elided += 1
+        self._eflags = value
+
+    def _materialise_flags(self):
+        lazy = self._lazy
+        self._lazy = None
+        kind = lazy[0]
+        if kind == "sub":
+            __, flags = alu.sub(lazy[1], lazy[2], lazy[3], lazy[4])
+        elif kind == "add":
+            __, flags = alu.add(lazy[1], lazy[2], lazy[3], lazy[4])
+        else:  # logic
+            __, flags = alu.logic(lazy[1], lazy[2])
+        self._eflags = (self._eflags & ~STATUS_FLAGS) | flags
+        self.perf.flags_forced += 1
+
+    def set_status_flags(self, new_flags, mask=STATUS_FLAGS):
+        if self._lazy is not None:
+            if mask & STATUS_FLAGS == STATUS_FLAGS:
+                # Every lazily pending bit is about to be overwritten:
+                # the record can be dropped unmaterialised.
+                self._lazy = None
+                self.perf.flags_elided += 1
+            else:
+                self._materialise_flags()
+        self._eflags = (self._eflags & ~mask) | (new_flags & mask)
 
     # ------------------------------------------------------------------
     # Execution loop
@@ -170,26 +254,161 @@ class CPU:
     MAX_INSTRUCTION_LENGTH = 15
 
     def invalidate_cache(self, address=None):
-        """Drop cached decodes after text-segment modification.
+        """Drop cached decodes, prepared ops and basic blocks after a
+        text-segment modification.
 
-        With no *address* the whole cache is dropped (arbitrary bytes
-        may have changed).  With an *address*, only cached
-        instructions whose byte range covers that address are evicted
-        -- a single-bit flip then costs a handful of evictions instead
-        of a full re-decode of the auth section on every experiment.
+        With no *address* every cache is dropped (arbitrary bytes may
+        have changed).  With an *address*, only cached entries whose
+        byte range covers that address are evicted -- a single-bit
+        flip then costs a handful of evictions instead of a full
+        re-decode of the auth section on every experiment.  Blocks are
+        range-checked against their whole byte span, so a block is
+        evicted whenever any of its member instructions is.
         """
         if address is None:
             self.decode_cache.clear()
+            self.prepared.clear()
+            self.blocks.clear()
             return
         cache = self.decode_cache
+        prepared = self.prepared
         for start in range(address - self.MAX_INSTRUCTION_LENGTH + 1,
                            address + 1):
             cached = cache.get(start)
             if cached is not None and start + len(cached.raw) > address:
                 del cache[start]
+            entry = prepared.get(start)
+            if entry is not None \
+                    and start + len(entry[1].raw) > address:
+                del prepared[start]
+        if self.blocks:
+            dead = [start for start, block in self.blocks.items()
+                    if start <= address < block[2]]
+            for start in dead:
+                del self.blocks[start]
+
+    # -- prepared-op fast path -----------------------------------------
+
+    def _prepare(self, address):
+        """Build the prepared entry ``(fn, instruction, next_eip)`` for
+        the instruction at *address*.
+
+        ``fn()`` performs the instruction's full architectural effect
+        -- including advancing ``eip`` to the fall-through or branch
+        target -- but not the ``instret``/coverage/trace bookkeeping,
+        which stays with the caller.  On a fault ``fn`` raises with
+        ``eip`` still at *address*, exactly like the reference path.
+
+        Raises the same :class:`CpuFault` the reference path would for
+        undecodable or unimplemented instructions.
+        """
+        instruction = self.fetch_decode(address)
+        next_eip = address + len(instruction.raw)
+        builder = _SPECIALISERS.get(instruction.mnemonic)
+        fn = None
+        if builder is not None:
+            fn = builder(self, instruction, address, next_eip)
+        if fn is None:
+            handler = self._dispatch.get(instruction.mnemonic)
+            if handler is None:
+                raise InvalidOpcodeFault(address, "unimplemented %s"
+                                         % instruction.mnemonic)
+
+            def fn(handler=handler, instruction=instruction,
+                   next_eip=next_eip):
+                self._next_eip = next_eip
+                handler(instruction)
+                self.eip = self._next_eip
+        entry = (fn, instruction, next_eip)
+        self.perf.prepared_misses += 1
+        if self.cacheable and (self.cacheable[0] <= address
+                               < self.cacheable[1]):
+            self.prepared[address] = entry
+        return entry
+
+    #: basic blocks stop growing at this many instructions; bounds the
+    #: cost of an eviction and of an over-long straight-line run.
+    MAX_BLOCK_INSTRUCTIONS = 128
+
+    def _block_at(self, address):
+        """Build (and cache) the basic block starting at *address*.
+
+        A block is ``(fns, inner_addresses, end_address, addresses)``:
+        a tuple of prepared callables for a straight-line run, the set
+        of member instruction addresses after the first (the ones a
+        breakpoint check must consult), the end of the block's byte
+        range (for eviction), and the per-op address tuple (used to
+        recover the retired count when a mid-block op faults, since
+        every op raises with ``eip`` still at its own address).
+        Returns ``None`` outside the cacheable range, or when the
+        first instruction may not join a block.
+
+        The block ends at the first control transfer, block-terminating
+        mnemonic (traps / ``loop`` family), undecodable tail
+        instruction, or cacheable-range boundary.  ``int``/``rdtsc``
+        and rep-prefixed string ops never join a block at all -- they
+        observe or adjust ``instret`` mid-execution, so they only run
+        through :meth:`step`, whose accounting is exact per
+        instruction.
+        """
+        cacheable = self.cacheable
+        if not cacheable or not (cacheable[0] <= address < cacheable[1]):
+            return None
+        fns = []
+        addrs = []
+        pc = address
+        end = address
+        limit = cacheable[1]
+        entry = self.prepared.get(pc)
+        if entry is None:
+            entry = self._prepare(pc)      # first decode fault escapes
+        while True:
+            fn, instruction, next_eip = entry
+            if (instruction.mnemonic in _BLOCK_EXCLUDED
+                    or instruction.rep is not None):
+                break
+            fns.append(fn)
+            addrs.append(pc)
+            end = next_eip
+            if (instruction.kind in CONTROL_KINDS
+                    or instruction.mnemonic in _BLOCK_TERMINATORS
+                    or next_eip >= limit
+                    or len(fns) >= self.MAX_BLOCK_INSTRUCTIONS):
+                break
+            pc = next_eip
+            entry = self.prepared.get(pc)
+            if entry is None:
+                try:
+                    entry = self._prepare(pc)
+                except CpuFault:
+                    # A later instruction is undecodable: end the block
+                    # before it and let step() raise it naturally, with
+                    # eip/instret reflecting the instructions before.
+                    break
+        if not fns:
+            return None
+        block = (tuple(fns), frozenset(addrs[1:]), end, tuple(addrs))
+        self.blocks[address] = block
+        return block
 
     def step(self):
         """Execute one instruction; raises CpuFault on a crash."""
+        if self.coverage is not None or self.trace_hook is not None:
+            return self.slow_step()
+        entry = self.prepared.get(self.eip)
+        if entry is None:
+            entry = self._prepare(self.eip)
+        else:
+            self.perf.prepared_hits += 1
+        entry[0]()
+        self.instret += 1
+
+    def slow_step(self):
+        """Reference path: decode-and-dispatch one instruction with no
+        prepared-op involvement.  Kept both as the executable spec the
+        fast path is differentially tested against and as the path
+        that honours ``coverage``/``trace_hook`` instrumentation.
+        """
         eip = self.eip
         if self.coverage is not None:
             self.coverage.add(eip)
@@ -211,11 +430,52 @@ class CPU:
         Returns ``("exit", code)``, ``("crash", fault)`` or
         ``("limit", None)``.
         """
+        if self.coverage is not None or self.trace_hook is not None:
+            return self._run_stepwise(max_instructions)
+        perf = self.perf
+        blocks = self.blocks
+        try:
+            while not self.halted:
+                remaining = max_instructions - self.instret
+                if remaining <= 0:
+                    return ("limit", None)
+                block = blocks.get(self.eip)
+                if block is None:
+                    block = self._block_at(self.eip)
+                if block is not None and len(block[0]) <= remaining:
+                    fns = block[0]
+                    try:
+                        for fn in fns:
+                            fn()
+                    except BaseException:
+                        # Every op raises with eip still at its own
+                        # address, so eip identifies the faulting op;
+                        # retire exactly the ones before it.
+                        executed = block[3].index(self.eip)
+                        self.instret += executed
+                        perf.superstep_entries += 1
+                        perf.superstep_instructions += executed
+                        perf.prepared_hits += executed
+                        raise
+                    count = len(fns)
+                    self.instret += count
+                    perf.superstep_entries += 1
+                    perf.superstep_instructions += count
+                    perf.prepared_hits += count
+                    continue
+                self.step()
+        except CpuFault as fault:
+            return ("crash", fault)
+        return ("exit", getattr(self, "exit_code", 0))
+
+    def _run_stepwise(self, max_instructions):
+        """Reference run loop (used whenever instrumentation needs a
+        hook between every instruction)."""
         try:
             while not self.halted:
                 if self.instret >= max_instructions:
                     return ("limit", None)
-                self.step()
+                self.slow_step()
         except CpuFault as fault:
             return ("crash", fault)
         return ("exit", getattr(self, "exit_code", 0))
@@ -226,13 +486,55 @@ class CPU:
         ``("breakpoint", None)``, ``("exit", code)``,
         ``("crash", fault)``, ``("limit", None)``.
         """
+        if self.coverage is not None or self.trace_hook is not None:
+            return self._run_until_stepwise(breakpoint_address,
+                                            max_instructions)
+        perf = self.perf
+        blocks = self.blocks
+        try:
+            while not self.halted:
+                eip = self.eip
+                if eip == breakpoint_address:
+                    return ("breakpoint", None)
+                if self.instret >= max_instructions:
+                    return ("limit", None)
+                block = blocks.get(eip)
+                if block is None:
+                    block = self._block_at(eip)
+                if (block is not None
+                        and len(block[0]) <= max_instructions
+                        - self.instret
+                        and breakpoint_address not in block[1]):
+                    fns = block[0]
+                    try:
+                        for fn in fns:
+                            fn()
+                    except BaseException:
+                        executed = block[3].index(self.eip)
+                        self.instret += executed
+                        perf.superstep_entries += 1
+                        perf.superstep_instructions += executed
+                        perf.prepared_hits += executed
+                        raise
+                    count = len(fns)
+                    self.instret += count
+                    perf.superstep_entries += 1
+                    perf.superstep_instructions += count
+                    perf.prepared_hits += count
+                    continue
+                self.step()
+        except CpuFault as fault:
+            return ("crash", fault)
+        return ("exit", getattr(self, "exit_code", 0))
+
+    def _run_until_stepwise(self, breakpoint_address, max_instructions):
         try:
             while not self.halted:
                 if self.eip == breakpoint_address:
                     return ("breakpoint", None)
                 if self.instret >= max_instructions:
                     return ("limit", None)
-                self.step()
+                self.slow_step()
         except CpuFault as fault:
             return ("crash", fault)
         return ("exit", getattr(self, "exit_code", 0))
@@ -705,6 +1007,7 @@ class CPU:
     def _op_int(self, instruction):
         vector = instruction.operands[0].value
         if vector == 0x80 and self.kernel is not None:
+            self.perf.syscalls += 1
             self.kernel.syscall(self)
             return
         # int n into an unprimed IDT entry -> #GP(selector) -> SIGSEGV.
@@ -1128,3 +1431,405 @@ class CPU:
     def _op_rdtsc(self, instruction):
         self.regs[EAX] = self.instret & 0xFFFFFFFF
         self.regs[EDX] = (self.instret >> 32) & 0xFFFFFFFF
+
+
+# ----------------------------------------------------------------------
+# Fast-path closure specialisers
+#
+# Each builder receives ``(cpu, instruction, address, next_eip)`` and
+# returns a zero-argument closure implementing the instruction with
+# its operand accessors pre-resolved, or ``None`` to fall back to the
+# generic dispatch wrapper.  Two aliasing rules shape every closure:
+#
+# * ``cpu.regs`` is REBOUND by ``Process.reset_cpu`` and by
+#   ``BreakpointSession._restore`` (``cpu.regs = list(regs)``), so a
+#   closure must fetch ``cpu.regs`` at call time, never capture the
+#   list itself;
+# * ``cpu.memory`` is never rebound (snapshots restore region bytes in
+#   place), so bound methods like ``memory.read32`` may be captured.
+#
+# The instruction's own address is baked in as the fault PC, which is
+# correct because a prepared op only ever runs with ``eip`` equal to
+# the address it was prepared at.
+
+def _ea_closure(cpu, mem):
+    """Pre-resolved effective-address calculator for a Mem operand."""
+    base, index, scale, disp = mem.base, mem.index, mem.scale, mem.disp
+    if index is None:
+        if base is None:
+            fixed = disp & _MASK32
+            return lambda: fixed
+        return lambda: (cpu.regs[base] + disp) & _MASK32
+    if base is None:
+        return lambda: (cpu.regs[index] * scale + disp) & _MASK32
+    return lambda: (cpu.regs[base] + cpu.regs[index] * scale
+                    + disp) & _MASK32
+
+
+def _value_closure(cpu, operand, address):
+    """Pre-resolved value reader for a reg4/imm/mem4 source operand,
+    or ``None`` when the operand shape is not specialised."""
+    if operand.kind == "reg" and operand.size == 4:
+        si = operand.index
+        return lambda: cpu.regs[si]
+    if operand.kind == "imm":
+        value = operand.value
+        return lambda: value
+    if operand.kind == "mem" and operand.size == 4:
+        ea = _ea_closure(cpu, operand)
+        read32 = cpu.memory.read32
+        return lambda: read32(ea(), address)
+    return None
+
+
+def _spec_mov(cpu, ins, address, next_eip):
+    src, dst = ins.operands
+    if dst.kind == "reg" and dst.size == 4:
+        di = dst.index
+        if src.kind == "reg" and src.size == 4:
+            si = src.index
+
+            def fn():
+                cpu.regs[di] = cpu.regs[si]
+                cpu.eip = next_eip
+            return fn
+        if src.kind == "imm":
+            value = src.value & _MASK32
+
+            def fn():
+                cpu.regs[di] = value
+                cpu.eip = next_eip
+            return fn
+        if src.kind == "mem" and src.size == 4:
+            ea = _ea_closure(cpu, src)
+            read32 = cpu.memory.read32
+
+            def fn():
+                cpu.regs[di] = read32(ea(), address)
+                cpu.eip = next_eip
+            return fn
+        return None
+    if dst.kind == "mem" and dst.size == 4:
+        ea = _ea_closure(cpu, dst)
+        write32 = cpu.memory.write32
+        if src.kind == "reg" and src.size == 4:
+            si = src.index
+
+            def fn():
+                write32(ea(), cpu.regs[si], address)
+                cpu.eip = next_eip
+            return fn
+        if src.kind == "imm":
+            value = src.value & _MASK32
+
+            def fn():
+                write32(ea(), value, address)
+                cpu.eip = next_eip
+            return fn
+    return None
+
+
+def _spec_lea(cpu, ins, address, next_eip):
+    src, dst = ins.operands
+    if dst.size != 4 or src.kind != "mem":
+        return None
+    di = dst.index
+    ea = _ea_closure(cpu, src)
+
+    def fn():
+        cpu.regs[di] = ea()
+        cpu.eip = next_eip
+    return fn
+
+
+def _spec_push(cpu, ins, address, next_eip):
+    if ins.operand_size == 2:
+        return None
+    op = ins.operands[0]
+    write32 = cpu.memory.write32
+    if op.kind == "reg" and op.size == 4:
+        si = op.index
+
+        def fn():
+            regs = cpu.regs
+            esp = (regs[ESP] - 4) & _MASK32
+            write32(esp, regs[si], address)
+            regs[ESP] = esp
+            cpu.eip = next_eip
+        return fn
+    if op.kind == "imm":
+        value = op.value & _MASK32
+
+        def fn():
+            regs = cpu.regs
+            esp = (regs[ESP] - 4) & _MASK32
+            write32(esp, value, address)
+            regs[ESP] = esp
+            cpu.eip = next_eip
+        return fn
+    return None
+
+
+def _spec_pop(cpu, ins, address, next_eip):
+    op = ins.operands[0]
+    # pop %esp writes the popped value into the register that the
+    # ESP update would then clobber; leave that rarity to the
+    # reference-ordered generic handler.
+    if (ins.operand_size == 2 or op.kind != "reg" or op.size != 4
+            or op.index == ESP):
+        return None
+    di = op.index
+    read32 = cpu.memory.read32
+
+    def fn():
+        regs = cpu.regs
+        esp = regs[ESP]
+        regs[di] = read32(esp, address)
+        regs[ESP] = (esp + 4) & _MASK32
+        cpu.eip = next_eip
+    return fn
+
+
+def _alu_specialiser(kind):
+    """Builder family for the lazy-flag ALU fast paths (32-bit
+    register destinations; cmp/test also take memory destinations
+    since they write nothing back)."""
+
+    def build(cpu, ins, address, next_eip, _kind=kind):
+        src, dst = ins.operands
+        get_b = _value_closure(cpu, src, address)
+        if get_b is None:
+            return None
+        perf = cpu.perf
+        if dst.kind == "reg" and dst.size == 4:
+            di = dst.index
+
+            def get_a():
+                return cpu.regs[di]
+        elif (dst.kind == "mem" and dst.size == 4
+                and _kind in ("cmp", "test")):
+            ea = _ea_closure(cpu, dst)
+            read32 = cpu.memory.read32
+
+            def get_a():
+                return read32(ea(), address)
+        else:
+            return None
+        if _kind == "cmp":
+            def fn():
+                a = get_a()
+                b = get_b()
+                if cpu._lazy is not None:
+                    perf.flags_elided += 1
+                cpu._lazy = ("sub", a, b, 4, 0)
+                cpu.eip = next_eip
+        elif _kind == "test":
+            def fn():
+                result = get_a() & get_b()
+                if cpu._lazy is not None:
+                    perf.flags_elided += 1
+                cpu._lazy = ("logic", result, 4)
+                cpu.eip = next_eip
+        elif _kind == "add":
+            def fn():
+                regs = cpu.regs
+                a = regs[di]
+                b = get_b()
+                regs[di] = (a + b) & _MASK32
+                if cpu._lazy is not None:
+                    perf.flags_elided += 1
+                cpu._lazy = ("add", a, b, 4, 0)
+                cpu.eip = next_eip
+        elif _kind == "sub":
+            def fn():
+                regs = cpu.regs
+                a = regs[di]
+                b = get_b()
+                regs[di] = (a - b) & _MASK32
+                if cpu._lazy is not None:
+                    perf.flags_elided += 1
+                cpu._lazy = ("sub", a, b, 4, 0)
+                cpu.eip = next_eip
+        elif _kind == "and":
+            def fn():
+                regs = cpu.regs
+                result = (regs[di] & get_b()) & _MASK32
+                regs[di] = result
+                if cpu._lazy is not None:
+                    perf.flags_elided += 1
+                cpu._lazy = ("logic", result, 4)
+                cpu.eip = next_eip
+        elif _kind == "or":
+            def fn():
+                regs = cpu.regs
+                result = (regs[di] | get_b()) & _MASK32
+                regs[di] = result
+                if cpu._lazy is not None:
+                    perf.flags_elided += 1
+                cpu._lazy = ("logic", result, 4)
+                cpu.eip = next_eip
+        else:  # xor
+            def fn():
+                regs = cpu.regs
+                result = (regs[di] ^ get_b()) & _MASK32
+                regs[di] = result
+                if cpu._lazy is not None:
+                    perf.flags_elided += 1
+                cpu._lazy = ("logic", result, 4)
+                cpu.eip = next_eip
+        return fn
+    return build
+
+
+def _inc_dec_specialiser(delta):
+    def build(cpu, ins, address, next_eip, _delta=delta):
+        op = ins.operands[0]
+        if op.kind != "reg" or op.size != 4:
+            return None
+        di = op.index
+        routine = alu.inc if _delta > 0 else alu.dec
+
+        def fn():
+            result, flags = routine(cpu.regs[di], 4, cpu.eflags)
+            cpu.regs[di] = result
+            cpu._eflags = (cpu._eflags & ~STATUS_FLAGS) | flags
+            cpu.eip = next_eip
+        return fn
+    return build
+
+
+def _spec_movzx(cpu, ins, address, next_eip):
+    src, dst = ins.operands
+    if dst.kind != "reg" or dst.size != 4:
+        return None
+    di = dst.index
+    if src.kind == "mem":
+        ea = _ea_closure(cpu, src)
+        if src.size == 1:
+            read8 = cpu.memory.read8
+
+            def fn():
+                cpu.regs[di] = read8(ea(), address)
+                cpu.eip = next_eip
+            return fn
+        read16 = cpu.memory.read16
+
+        def fn():
+            cpu.regs[di] = read16(ea(), address)
+            cpu.eip = next_eip
+        return fn
+    if src.kind == "reg":
+        get_b = _narrow_reg_closure(cpu, src)
+
+        def fn():
+            cpu.regs[di] = get_b()
+            cpu.eip = next_eip
+        return fn
+    return None
+
+
+def _narrow_reg_closure(cpu, reg):
+    """Reader for an 8/16-bit register source (zero-extended)."""
+    si = reg.index
+    if reg.size == 2:
+        return lambda: cpu.regs[si] & 0xFFFF
+    if si < 4:
+        return lambda: cpu.regs[si] & 0xFF
+    sj = si - 4
+    return lambda: (cpu.regs[sj] >> 8) & 0xFF
+
+
+def _spec_imul2(cpu, ins, address, next_eip):
+    src, dst = ins.operands
+    if dst.kind != "reg" or dst.size != 4:
+        return None
+    get_b = _value_closure(cpu, src, address)
+    if get_b is None or src.kind == "imm":
+        return None
+    di = dst.index
+    signed = alu.signed
+
+    def fn():
+        product = signed(get_b(), 4) * signed(cpu.regs[di], 4)
+        cpu.regs[di] = product & _MASK32
+        cpu._set_mul_flags(product, 4)
+        cpu.eip = next_eip
+    return fn
+
+
+def _spec_jcc(cpu, ins, address, next_eip):
+    target = ins.operands[0].target
+    condition = ins.condition
+
+    def fn():
+        if condition_met(condition, cpu.eflags):
+            cpu.eip = target
+        else:
+            cpu.eip = next_eip
+    return fn
+
+
+def _spec_jmp(cpu, ins, address, next_eip):
+    target = ins.operands[0].target
+
+    def fn():
+        cpu.eip = target
+    return fn
+
+
+def _spec_call(cpu, ins, address, next_eip):
+    target = ins.operands[0].target
+    write32 = cpu.memory.write32
+
+    def fn():
+        regs = cpu.regs
+        esp = (regs[ESP] - 4) & _MASK32
+        write32(esp, next_eip, address)
+        regs[ESP] = esp
+        cpu.eip = target
+    return fn
+
+
+def _spec_ret(cpu, ins, address, next_eip):
+    read32 = cpu.memory.read32
+    extra = ins.operands[0].value if ins.operands else 0
+
+    def fn():
+        regs = cpu.regs
+        esp = regs[ESP]
+        cpu.eip = read32(esp, address)
+        regs[ESP] = (esp + 4 + extra) & _MASK32
+    return fn
+
+
+def _spec_nop(cpu, ins, address, next_eip):
+    def fn():
+        cpu.eip = next_eip
+    return fn
+
+
+_SPECIALISERS = {
+    "mov": _spec_mov,
+    "lea": _spec_lea,
+    "push": _spec_push,
+    "pop": _spec_pop,
+    "add": _alu_specialiser("add"),
+    "sub": _alu_specialiser("sub"),
+    "and": _alu_specialiser("and"),
+    "or": _alu_specialiser("or"),
+    "xor": _alu_specialiser("xor"),
+    "cmp": _alu_specialiser("cmp"),
+    "test": _alu_specialiser("test"),
+    "inc": _inc_dec_specialiser(1),
+    "dec": _inc_dec_specialiser(-1),
+    "movzxb": _spec_movzx,
+    "movzxw": _spec_movzx,
+    "imul2": _spec_imul2,
+    "jmp": _spec_jmp,
+    "call": _spec_call,
+    "ret": _spec_ret,
+    "nop": _spec_nop,
+}
+for _suffix in _JCC_SUFFIXES:
+    _SPECIALISERS["j" + _suffix] = _spec_jcc
+del _suffix

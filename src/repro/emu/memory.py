@@ -19,11 +19,24 @@ import struct
 
 from .machine_exceptions import PageFault
 
+# Pre-bound Struct methods: the emulator calls these on every 16/32-bit
+# memory access, and a bound Struct method skips the per-call format
+# parse of the module-level struct functions.
+_unpack_u16 = struct.Struct("<H").unpack_from
+_unpack_u32 = struct.Struct("<I").unpack_from
+_pack_u16 = struct.Struct("<H").pack_into
+_pack_u32 = struct.Struct("<I").pack_into
+
 
 class Region:
-    """A contiguous mapped range of the address space."""
+    """A contiguous mapped range of the address space.
 
-    __slots__ = ("name", "start", "data", "writable")
+    ``end`` is precomputed: regions never resize after mapping
+    (snapshot restores replace ``data`` contents in place), and the
+    bound is checked on every memory access in the emulator hot loop.
+    """
+
+    __slots__ = ("name", "start", "data", "writable", "end")
 
     def __init__(self, name, start, size_or_data, writable=True):
         self.name = name
@@ -33,10 +46,7 @@ class Region:
         else:
             self.data = bytearray(size_or_data)
         self.writable = writable
-
-    @property
-    def end(self):
-        return self.start + len(self.data)
+        self.end = start + len(self.data)
 
     def contains(self, address):
         return self.start <= address < self.end
@@ -77,29 +87,40 @@ class Memory:
         return None
 
     # -- reads ---------------------------------------------------------
+    #
+    # The locality cache check is inlined into each accessor: the
+    # emulator's hot loop issues one of these per memory operand, and a
+    # ``_find`` call on every access is measurable.  On a miss (or a
+    # region-boundary straddle) they fall back to the general path.
 
     def read8(self, address, eip=0):
         address &= 0xFFFFFFFF
-        region = self._find(address)
-        if region is None:
-            raise PageFault(eip, "read", address)
+        region = self._last
+        if region is None or not (region.start <= address < region.end):
+            region = self._find(address)
+            if region is None:
+                raise PageFault(eip, "read", address)
         return region.data[address - region.start]
 
     def read16(self, address, eip=0):
         address &= 0xFFFFFFFF
-        region = self._find(address)
-        if region is None or address + 2 > region.end:
-            return self._slow_read(address, 2, eip)
-        offset = address - region.start
-        return struct.unpack_from("<H", region.data, offset)[0]
+        region = self._last
+        if (region is None or address < region.start
+                or address + 2 > region.end):
+            region = self._find(address)
+            if region is None or address + 2 > region.end:
+                return self._slow_read(address, 2, eip)
+        return _unpack_u16(region.data, address - region.start)[0]
 
     def read32(self, address, eip=0):
         address &= 0xFFFFFFFF
-        region = self._find(address)
-        if region is None or address + 4 > region.end:
-            return self._slow_read(address, 4, eip)
-        offset = address - region.start
-        return struct.unpack_from("<I", region.data, offset)[0]
+        region = self._last
+        if (region is None or address < region.start
+                or address + 4 > region.end):
+            region = self._find(address)
+            if region is None or address + 4 > region.end:
+                return self._slow_read(address, 4, eip)
+        return _unpack_u32(region.data, address - region.start)[0]
 
     def _slow_read(self, address, width, eip):
         value = 0
@@ -127,28 +148,38 @@ class Memory:
 
     def write8(self, address, value, eip=0):
         address &= 0xFFFFFFFF
-        region = self._find(address)
-        if region is None or not region.writable:
+        region = self._last
+        if region is None or not (region.start <= address < region.end):
+            region = self._find(address)
+            if region is None:
+                raise PageFault(eip, "write", address)
+        if not region.writable:
             raise PageFault(eip, "write", address)
         region.data[address - region.start] = value & 0xFF
 
     def write16(self, address, value, eip=0):
         address &= 0xFFFFFFFF
-        region = self._find(address)
-        if region is None or not region.writable or address + 2 > region.end:
-            self._slow_write(address, value, 2, eip)
-            return
-        struct.pack_into("<H", region.data, address - region.start,
-                         value & 0xFFFF)
+        region = self._last
+        if (region is None or address < region.start
+                or address + 2 > region.end or not region.writable):
+            region = self._find(address)
+            if (region is None or not region.writable
+                    or address + 2 > region.end):
+                self._slow_write(address, value, 2, eip)
+                return
+        _pack_u16(region.data, address - region.start, value & 0xFFFF)
 
     def write32(self, address, value, eip=0):
         address &= 0xFFFFFFFF
-        region = self._find(address)
-        if region is None or not region.writable or address + 4 > region.end:
-            self._slow_write(address, value, 4, eip)
-            return
-        struct.pack_into("<I", region.data, address - region.start,
-                         value & 0xFFFFFFFF)
+        region = self._last
+        if (region is None or address < region.start
+                or address + 4 > region.end or not region.writable):
+            region = self._find(address)
+            if (region is None or not region.writable
+                    or address + 4 > region.end):
+                self._slow_write(address, value, 4, eip)
+                return
+        _pack_u32(region.data, address - region.start, value & 0xFFFFFFFF)
 
     def _slow_write(self, address, value, width, eip):
         for i in range(width):

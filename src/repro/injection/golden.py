@@ -32,6 +32,9 @@ class GoldenRun:
     #: individual text bytes fetched as part of any executed
     #: instruction; a flip outside this set is provably NA.
     coverage_bytes: frozenset = frozenset()
+    #: execution-engine counters of the golden run (the golden run
+    #: records coverage, so it exercises the reference stepwise path).
+    perf: dict = field(default_factory=dict)
 
 
 def record_golden(daemon, client_factory,
@@ -56,6 +59,7 @@ def record_golden(daemon, client_factory,
         client_state=_milestones(client),
         coverage_bytes=_byte_coverage(daemon.module,
                                       process.cpu.coverage),
+        perf=process.cpu.perf.as_dict(),
     )
 
 

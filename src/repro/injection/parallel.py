@@ -39,6 +39,7 @@ import traceback
 from queue import Empty
 
 from ..apps.common import CONNECTION_INSTRUCTION_BUDGET
+from ..emu.perf import PerfCounters
 from .golden import record_golden
 from .runner import (_point_key, CampaignJournal, campaign_timing,
                      CampaignRunner, JournalError, Watchdog,
@@ -267,6 +268,13 @@ class ParallelCampaignRunner:
         campaign.quarantined = [
             quarantined_from_dict(quarantined[key])
             for key in sorted(quarantined, key=order.__getitem__)]
+        # Aggregate counters: the parent's golden run plus every
+        # shard's campaign-wide counters (each already includes the
+        # shard's own golden run).
+        perf = PerfCounters()
+        perf.absorb_dict(golden.perf)
+        for payload in payloads:
+            perf.absorb_dict(payload["timing"].get("perf"))
         campaign.timing = campaign_timing(
             wall_clock=time.monotonic() - started,
             experiments=len(campaign.results)
@@ -275,7 +283,8 @@ class ParallelCampaignRunner:
                          for payload in payloads),
             workers=max(1, len(shards)),
             shards=sorted((payload["timing"] for payload in payloads),
-                          key=lambda timing: timing["shard"]))
+                          key=lambda timing: timing["shard"]),
+            perf=perf.as_dict())
         return campaign
 
     # -- enumeration / resume ------------------------------------------

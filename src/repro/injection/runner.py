@@ -39,6 +39,7 @@ from dataclasses import dataclass, field
 
 from ..apps.common import CONNECTION_INSTRUCTION_BUDGET
 from ..emu.machine_exceptions import CpuFault
+from ..emu.perf import PerfCounters
 from ..encoding import inject_under_new_encoding
 from ..kernel import ServerHang
 from .golden import record_golden
@@ -174,13 +175,15 @@ def refine_limit_outcome(outcome, detail, status):
 
 
 def campaign_timing(wall_clock, experiments, executed, workers=1,
-                    shards=None):
+                    shards=None, perf=None):
     """Timing record attached to ``CampaignResult.timing``.
 
     ``experiments`` counts every record in the final tally (including
     ones reconstructed from a journal); ``executed`` only the
     experiments actually run this invocation, so ``experiments_per_sec``
-    measures real throughput, not resume speed.
+    measures real throughput, not resume speed.  ``perf``, when given,
+    is the campaign's aggregated execution-engine counter dict (see
+    :class:`repro.emu.perf.PerfCounters`).
     """
     timing = {
         "wall_clock": wall_clock,
@@ -192,6 +195,8 @@ def campaign_timing(wall_clock, experiments, executed, workers=1,
     }
     if shards is not None:
         timing["shards"] = shards
+    if perf is not None:
+        timing["perf"] = perf
     return timing
 
 
@@ -362,8 +367,10 @@ class CampaignRunner:
     def run(self):
         from .campaign import CampaignResult, QuarantinedPoint
         started = time.monotonic()
+        self._perf = PerfCounters()
         golden = record_golden(self.daemon, self.client_factory,
                                self.budget)
+        self._perf.absorb_dict(golden.perf)
         self._golden = golden
         if self.points is not None:
             points = list(self.points)
@@ -398,12 +405,14 @@ class CampaignRunner:
                 location=record["location"],
                 outcomes=tuple(record["outcomes"]),
                 rounds=record["rounds"]))
+        self._retire_session()
         campaign.timing = campaign_timing(
             wall_clock=time.monotonic() - started,
             experiments=len(campaign.results)
             + len(campaign.quarantined),
             executed=len(campaign.results) + len(campaign.quarantined)
-            - self._resumed)
+            - self._resumed,
+            perf=self._perf.as_dict())
         return campaign
 
     # -- journal plumbing ----------------------------------------------
@@ -523,11 +532,19 @@ class CampaignRunner:
                 return None
         return result
 
-    def _harness_fault(self, pending):
-        """Convert an escaped exception into a HARNESS_FAULT record;
-        the cached session may be corrupted, so drop it."""
+    def _retire_session(self):
+        """Drop the cached session, folding its CPU's perf counters
+        into the campaign aggregate first."""
+        if self._session is not None:
+            self._perf.absorb(self._session.process.cpu.perf)
         self._session = None
         self._session_address = None
+
+    def _harness_fault(self, pending):
+        """Convert an escaped exception into a HARNESS_FAULT record;
+        the cached session may be corrupted, so drop it (its counters
+        are plain integers and stay trustworthy, so they are kept)."""
+        self._retire_session()
         detail = traceback.format_exc(limit=8).strip()
         return InjectionResult(point=pending.point,
                                location=pending.location,
@@ -585,11 +602,13 @@ class CampaignRunner:
             return self._session
         if address in self._unreachable:
             return None
+        self._retire_session()
         session = BreakpointSession(self.daemon, self.client_factory,
                                     address, self.budget,
                                     run_fn=self.watchdog)
         if not session.reached:
             self._unreachable[address] = True
+            self._perf.absorb(session.process.cpu.perf)
             return None
         self._session = session
         self._session_address = address

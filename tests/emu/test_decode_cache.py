@@ -147,6 +147,64 @@ loop:
                      if address <= branch + 1}
         assert warm_before - evictable <= warm_after
 
+    def test_prepared_ops_bounded_outside_cacheable(self):
+        """Outside the cacheable window nothing is retained: a wild
+        jump into data must not grow the prepared/decode/block caches
+        without bound."""
+        cpu, __ = machine(b"\x90\x90\x90\x90")
+        cpu.cacheable = (0x1000, 0x1002)
+        for _ in range(4):
+            cpu.step()
+        assert all(0x1000 <= a < 0x1002 for a in cpu.decode_cache)
+        assert all(0x1000 <= a < 0x1002 for a in cpu.prepared)
+        assert all(0x1000 <= a < 0x1002 for a in cpu.blocks)
+
+    def test_poke_mid_instruction_never_runs_stale_prepared_op(self):
+        """Execution-level stale check: corrupting a *middle* byte of
+        an instruction that sits inside a warm superstep block must
+        re-prepare it -- the old closure may never run again."""
+        # mov $1,%eax ; mov $2,%ebx ; mov $3,%ecx ; jmp back to start
+        blob = (b"\xB8\x01\x00\x00\x00"
+                b"\xBB\x02\x00\x00\x00"
+                b"\xB9\x03\x00\x00\x00"
+                b"\xEB\xEF")
+        cpu, memory = machine(blob)
+        cpu.run(4)                       # warm block + prepared ops
+        assert cpu.regs[0] == 1 and cpu.regs[3] == 2 and cpu.regs[1] == 3
+        # corrupt the immediate (3rd byte) of the middle instruction
+        memory.poke(0x1007, 0x7F)
+        cpu.invalidate_cache(0x1007)
+        cpu.eip = 0x1000
+        cpu.run(cpu.instret + 4)
+        assert cpu.regs[3] == 0x7F02     # new bytes executed, not stale
+
+    def test_flip_bit_mid_block_reexecutes_fresh(self):
+        """Same property through the Process.flip_bit plumbing used by
+        real experiments."""
+        from repro.x86 import assemble
+        from repro.emu import Process
+        from repro.kernel import Kernel
+        module = assemble("""
+.text
+.global _start
+_start:
+    movl $1, %eax
+    movl $2, %ebx
+    movl $0, %ebx
+    movl $1, %eax
+    int $0x80
+""")
+        process = Process(module, Kernel())
+        start = module.address_of("_start")
+        process.run_until(start + 10)    # warm caches over the block
+        # flip a bit inside the exit-code mov's immediate (mid-block);
+        # a stale prepared op would still exit with status 0
+        process.flip_bit(start + 11, 4)
+        process.reset_cpu()
+        status = process.run(1_000)
+        assert status.kind == "exit"
+        assert status.exit_code == 0x10  # fresh bytes, not the stale op
+
     def test_process_flip_bit_invalidates(self):
         from repro.x86 import assemble
         from repro.emu import Process
@@ -160,10 +218,17 @@ _start:
     int $0x80
 """)
         process = Process(module, Kernel())
-        # warm the cache by running to the exit syscall address
-        process.run_until(module.address_of("_start") + 5)
+        # warm the caches by running to the exit syscall address (the
+        # block builder may legitimately predecode *beyond* the first
+        # instruction; those entries are still valid after the flip)
+        start = module.address_of("_start")
+        process.run_until(start + 5)
+        assert start in process.cpu.decode_cache
         # flip imm bit of the first instruction (already executed, so
-        # the flip matters only if we re-enter -- but the cache must
-        # still drop the entry)
-        process.flip_bit(module.address_of("_start") + 1, 1)
-        assert process.cpu.decode_cache == {}
+        # the flip matters only if we re-enter -- but every cache layer
+        # must drop any entry covering the flipped byte)
+        process.flip_bit(start + 1, 1)
+        assert start not in process.cpu.decode_cache
+        assert start not in process.cpu.prepared
+        assert all(not (addr <= start + 1 < block[2])
+                   for addr, block in process.cpu.blocks.items())

@@ -1,0 +1,124 @@
+"""Unit tests for the CI gate scripts in ``benchmarks/``.
+
+The regression gate must demonstrably fail on a synthetic 2x slowdown
+(that is the whole point of committing baselines), and the nightly
+Table 1 checker must flag any count drift.
+"""
+
+from __future__ import annotations
+
+import importlib.util
+import pathlib
+
+BENCHMARKS = pathlib.Path(__file__).parent.parent / "benchmarks"
+
+
+def _load(name):
+    spec = importlib.util.spec_from_file_location(
+        name, BENCHMARKS / ("%s.py" % name))
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+check_regression = _load("check_regression")
+check_table1 = _load("check_table1")
+
+
+class TestCompareMetric:
+    def test_equal_passes(self):
+        assert check_regression.compare_metric(
+            "emulator_speed", "instructions_per_sec",
+            1_000_000.0, 1_000_000.0) is None
+
+    def test_synthetic_2x_slowdown_fails(self):
+        failure = check_regression.compare_metric(
+            "emulator_speed", "instructions_per_sec",
+            1_000_000.0, 500_000.0)
+        assert failure is not None
+        assert "regressed 50.0%" in failure
+
+    def test_improvement_passes(self):
+        assert check_regression.compare_metric(
+            "emulator_speed", "instructions_per_sec",
+            1_000_000.0, 2_000_000.0) is None
+
+    def test_within_threshold_passes(self):
+        assert check_regression.compare_metric(
+            "emulator_speed", "instructions_per_sec",
+            1_000_000.0, 800_000.0) is None
+
+    def test_just_past_threshold_fails(self):
+        assert check_regression.compare_metric(
+            "emulator_speed", "instructions_per_sec",
+            1_000_000.0, 740_000.0) is not None
+
+    def test_missing_values_fail(self):
+        assert check_regression.compare_metric(
+            "x", "k", None, 1.0) is not None
+        assert check_regression.compare_metric(
+            "x", "k", 1.0, None) is not None
+
+
+class TestCompareAll:
+    def _payloads(self, rate):
+        return {
+            "emulator_speed": {"instructions_per_sec": rate},
+            "table1_ftp_timing": {"experiments_per_sec": 300.0},
+        }
+
+    def test_identical_payloads_pass(self):
+        base = self._payloads(1_000_000.0)
+        assert check_regression.compare_all(base, base) == []
+
+    def test_synthetic_2x_slowdown_fails_gate(self):
+        base = self._payloads(1_000_000.0)
+        slow = self._payloads(500_000.0)
+        failures = check_regression.compare_all(base, slow)
+        assert len(failures) == 1
+        assert "instructions_per_sec" in failures[0]
+
+    def test_missing_baseline_fails_with_instructions(self):
+        failures = check_regression.compare_all(
+            {}, self._payloads(1.0))
+        assert failures
+        assert any("baselines" in failure for failure in failures)
+
+    def test_missing_current_result_fails(self):
+        failures = check_regression.compare_all(
+            self._payloads(1.0), {})
+        assert failures
+        assert any("did the bench fail" in failure
+                   for failure in failures)
+
+    def test_committed_baselines_match_metric_spec(self):
+        """Every tracked metric has a committed baseline file with the
+        expected key, so the CI gate can actually run."""
+        import json
+        for name, keys in check_regression.METRICS.items():
+            path = check_regression.BASELINE_DIR / ("%s.json" % name)
+            assert path.exists(), "missing baseline %s" % path
+            payload = json.loads(path.read_text())
+            for key in keys:
+                assert isinstance(payload.get(key), (int, float))
+
+
+class TestTable1Diff:
+    REF = {"ftpd": {"Client1": {"counts": {"NA": 976, "SD": 281},
+                                "activated": 584, "runs": 1560}}}
+
+    def test_identical_counts_pass(self):
+        assert check_table1.diff_counts(self.REF, self.REF) == []
+
+    def test_single_count_drift_fails(self):
+        drifted = {"ftpd": {"Client1": {"counts": {"NA": 976,
+                                                   "SD": 282},
+                                        "activated": 584,
+                                        "runs": 1560}}}
+        problems = check_table1.diff_counts(self.REF, drifted)
+        assert len(problems) == 1
+        assert "Client1" in problems[0]
+
+    def test_missing_app_fails(self):
+        problems = check_table1.diff_counts(self.REF, {})
+        assert problems
