@@ -1,8 +1,9 @@
 #!/usr/bin/env python
 """Nightly campaign gate: Table 1 counts must match the reference.
 
-Runs the full ftpd and sshd injection campaigns (every client, old
-encoding) and compares the exact Table 1 tallies -- NA/NM/SD/FSV/BRK
+Runs the full injection campaigns for every registered daemon
+(``repro.apps.registry``; every client, old encoding) and compares
+the exact Table 1 tallies -- NA/NM/SD/FSV/BRK
 counts, activated counts and total runs per client -- against the
 committed reference in ``benchmarks/results/table1_counts.json``.
 The campaigns are deterministic, so *any* difference is a behaviour
@@ -26,22 +27,21 @@ import pathlib
 import sys
 
 from repro.analysis import build_table1
-from repro.apps.ftpd import CLIENT_FACTORIES as FTP_CLIENTS, FtpDaemon
-from repro.apps.sshd import CLIENT_FACTORIES as SSH_CLIENTS, SshDaemon
+from repro.apps.registry import available_daemons, get_daemon_spec
 from repro.injection import run_campaign
 
 REFERENCE = (pathlib.Path(__file__).parent / "results"
              / "table1_counts.json")
-APPS = ("ftpd", "sshd")
+APPS = tuple(available_daemons())
 
 
 def campaign_counts(app, workers=None, journal_dir=None):
     """Run every client campaign for *app*; returns
     ``{client: {counts, activated, runs}}``."""
-    daemon = FtpDaemon() if app == "ftpd" else SshDaemon()
-    clients = FTP_CLIENTS if app == "ftpd" else SSH_CLIENTS
+    spec = get_daemon_spec(app)
+    daemon = spec.build()
     out = {}
-    for name, factory in clients.items():
+    for name, factory in spec.client_factories.items():
         journal = None
         if journal_dir is not None:
             journal = str(pathlib.Path(journal_dir)

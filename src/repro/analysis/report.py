@@ -69,6 +69,14 @@ def format_table5(columns, title="Results from New Encoding"):
     return "\n".join(lines)
 
 
+def format_model_table(columns, title="Result Distributions by "
+                                      "Fault Model"):
+    """Render the fault-model extension table (same layout as
+    Table 1; columns come from
+    :func:`repro.analysis.tables.build_model_table`)."""
+    return format_table1(columns, title=title)
+
+
 def format_comparison(rows, title="Paper vs measured"):
     """Render PaperComparison rows for EXPERIMENTS.md."""
     lines = [title,

@@ -11,20 +11,23 @@ journal.
 Schema history: v1 had no ``crashed_after_breakin``,
 ``hang_eip_range`` or ``quarantined`` fields; v2 had no ``timing``;
 v3's ``timing`` had no execution-engine ``perf`` counter dict (see
-:class:`repro.emu.perf.PerfCounters`).  Older payloads still load,
-with the missing fields defaulted.
+:class:`repro.emu.perf.PerfCounters`); v4 predates the fault-model
+registry (no ``fault_model`` field, and every point record is a
+branch-bit point with no ``ptype`` discriminator).  Older payloads
+still load, with the missing fields defaulted -- a v3/v4 payload
+loads as a ``branch-bit`` campaign, which is what it was.
 """
 
 from __future__ import annotations
 
 import json
 
+from ..injection import faultmodels
 from ..injection.campaign import CampaignResult, QuarantinedPoint
 from ..injection.outcomes import InjectionResult
-from ..injection.targets import InjectionPoint
 
-SCHEMA_VERSION = 4
-_LOADABLE_SCHEMAS = (1, 2, 3, 4)
+SCHEMA_VERSION = 5
+_LOADABLE_SCHEMAS = (1, 2, 3, 4, 5)
 
 
 def campaign_to_dict(campaign):
@@ -35,6 +38,7 @@ def campaign_to_dict(campaign):
         "daemon": campaign.daemon_name,
         "client": campaign.client_name,
         "encoding": campaign.encoding,
+        "fault_model": campaign.fault_model,
         "results": [result_to_dict(result)
                     for result in campaign.results],
         "quarantined": [quarantined_to_dict(entry)
@@ -44,26 +48,14 @@ def campaign_to_dict(campaign):
 
 
 def point_to_dict(point):
-    return {
-        "address": point.instruction_address,
-        "byte_offset": point.byte_offset,
-        "bit": point.bit,
-        "length": point.instruction_length,
-        "mnemonic": point.mnemonic,
-        "opcode": point.opcode,
-        "kind": point.kind,
-    }
+    """Serialize any fault model's point.  Branch-bit points keep the
+    legacy record shape (no ``ptype``); other models stamp their
+    discriminator, which :func:`point_from_dict` dispatches on."""
+    return faultmodels.point_to_dict(point)
 
 
 def point_from_dict(record):
-    return InjectionPoint(
-        instruction_address=record["address"],
-        byte_offset=record["byte_offset"],
-        bit=record["bit"],
-        instruction_length=record["length"],
-        mnemonic=record["mnemonic"],
-        opcode=record["opcode"],
-        kind=record["kind"])
+    return faultmodels.point_from_dict(record)
 
 
 def result_to_dict(result):
@@ -134,7 +126,9 @@ def campaign_from_dict(payload):
         raise ValueError("unsupported schema %r" % payload.get("schema"))
     campaign = CampaignResult(daemon_name=payload["daemon"],
                               client_name=payload["client"],
-                              encoding=payload["encoding"])
+                              encoding=payload["encoding"],
+                              fault_model=payload.get("fault_model",
+                                                      "branch-bit"))
     for record in payload["results"]:
         campaign.results.append(result_from_dict(record))
     for record in payload.get("quarantined", ()):
@@ -178,7 +172,7 @@ def campaign_from_shard_journals(journal):
                                 % journal)
     metas, results, quarantined = load_shard_journals(paths)
     for meta in metas[1:]:
-        for field in ("daemon", "client", "encoding"):
+        for field in ("daemon", "client", "encoding", "model"):
             if meta.get(field) != metas[0].get(field):
                 raise ValueError(
                     "shard journals disagree on %s: %r vs %r"
@@ -186,11 +180,12 @@ def campaign_from_shard_journals(journal):
     head = metas[0] if metas else {}
     campaign = CampaignResult(daemon_name=head.get("daemon", ""),
                               client_name=head.get("client", ""),
-                              encoding=head.get("encoding", ""))
+                              encoding=head.get("encoding", ""),
+                              fault_model=head.get("model",
+                                                   "branch-bit"))
 
     def point_order(record):
-        return (record["address"], record["byte_offset"],
-                record["bit"])
+        return point_from_dict(record).sort_key
 
     for record in sorted(results.values(), key=point_order):
         campaign.results.append(result_from_dict(record))

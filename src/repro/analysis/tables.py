@@ -138,6 +138,28 @@ def build_table5(pairs):
     return columns
 
 
+def build_model_table(campaigns):
+    """Extension table: outcome distribution per fault model.
+
+    One :class:`DistributionColumn` per campaign, labelled by its
+    fault-model name so sweeps over
+    :func:`repro.injection.enumerate_specs` render side by side.  When
+    several campaigns share a model (e.g. the same model over two
+    daemons) the campaign label is prefixed to keep columns distinct.
+    """
+    from collections import Counter
+    per_model = Counter(campaign.fault_model for campaign in campaigns)
+    columns = []
+    for campaign in campaigns:
+        if per_model[campaign.fault_model] > 1:
+            label = "%s %s" % (campaign_label(campaign),
+                               campaign.fault_model)
+        else:
+            label = campaign.fault_model
+        columns.append(distribution_column(campaign, label=label))
+    return columns
+
+
 @dataclass
 class PaperComparison:
     """Paper-vs-measured record for EXPERIMENTS.md."""

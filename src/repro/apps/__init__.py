@@ -1,7 +1,16 @@
-"""Target applications: the FTP and SSH daemons plus their clients."""
+"""Target applications: the registered daemons plus their clients.
+
+``repro.apps.registry`` is the discovery point: every daemon the
+injection pipeline can target (ftpd, sshd, pop3d, ...) registers a
+:class:`~repro.apps.registry.DaemonSpec` there.
+"""
 
 from .common import (CONNECTION_INSTRUCTION_BUDGET, Daemon,
                      passwd_table_source)
+from .registry import (available_daemons, DaemonSpec, get_daemon_spec,
+                       make_daemon, register_daemon)
 
 __all__ = ["Daemon", "passwd_table_source",
-           "CONNECTION_INSTRUCTION_BUDGET"]
+           "CONNECTION_INSTRUCTION_BUDGET", "DaemonSpec",
+           "available_daemons", "get_daemon_spec", "make_daemon",
+           "register_daemon"]

@@ -1,0 +1,103 @@
+"""Daemon registry: first-class, discoverable injection targets.
+
+Before the registry, the ftpd/sshd pair was baked into if/else chains
+in the CLI, the nightly gate and every benchmark, and wiring a new
+daemon meant touching all of them.  A :class:`DaemonSpec` now carries
+everything the injection pipeline needs to know about one target --
+how to build it, which scripted clients drive it, which client is the
+attacker -- and the campaign layers look targets up by name.
+
+Adding a daemon is one :func:`register_daemon` call; it then appears
+in ``--daemon`` choices, the CI plugin matrix and
+:func:`repro.injection.campaign.enumerate_specs` with no further code
+changes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from .ftpd import CLIENT_FACTORIES as _FTP_CLIENTS, FtpDaemon
+from .pop3d import CLIENT_FACTORIES as _POP3_CLIENTS, Pop3Daemon
+from .sshd import CLIENT_FACTORIES as _SSH_CLIENTS, SshDaemon
+
+
+@dataclass(frozen=True)
+class DaemonSpec:
+    """Registry entry for one injectable server."""
+
+    name: str                      # CLI identifier ("ftpd")
+    daemon_class: type             # apps.common.Daemon subclass
+    client_factories: dict = field(default_factory=dict)
+    #: the access pattern BRK is defined for (wrong credentials).
+    attacker_client: str = "Client1"
+    description: str = ""
+
+    def build(self, **kwargs):
+        """Compile a fresh daemon instance."""
+        return self.daemon_class(**kwargs)
+
+    def client_factory(self, client):
+        try:
+            return self.client_factories[client]
+        except KeyError:
+            raise KeyError(
+                "daemon %r has no client %r (have: %s)"
+                % (self.name, client,
+                   ", ".join(sorted(self.client_factories))))
+
+    def clients(self):
+        """Client names in their canonical (insertion) order."""
+        return tuple(self.client_factories)
+
+
+_REGISTRY = {}
+
+
+def register_daemon(spec):
+    """Publish *spec*; returns it so modules can keep a handle.
+
+    Names are unique -- re-registration is almost always an import
+    mistake, so it raises instead of silently shadowing.
+    """
+    if spec.name in _REGISTRY:
+        raise ValueError("daemon %r already registered" % spec.name)
+    _REGISTRY[spec.name] = spec
+    return spec
+
+
+def available_daemons():
+    """Registered daemon names, sorted for stable CLI/help output."""
+    return sorted(_REGISTRY)
+
+
+def get_daemon_spec(name):
+    """Look a daemon up by name (KeyError lists what exists)."""
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        raise KeyError("unknown daemon %r (have: %s)"
+                       % (name, ", ".join(available_daemons())))
+
+
+def make_daemon(name, **kwargs):
+    """Compile a registered daemon by name."""
+    return get_daemon_spec(name).build(**kwargs)
+
+
+register_daemon(DaemonSpec(
+    name="ftpd", daemon_class=FtpDaemon,
+    client_factories=dict(_FTP_CLIENTS),
+    description="wu-ftpd-2.6.0-like FTP daemon (user/pass_)"))
+
+register_daemon(DaemonSpec(
+    name="sshd", daemon_class=SshDaemon,
+    client_factories=dict(_SSH_CLIENTS),
+    description="ssh-1.2.30-like SSH daemon (do_authentication, "
+                "auth_rhosts, auth_password)"))
+
+register_daemon(DaemonSpec(
+    name="pop3d", daemon_class=Pop3Daemon,
+    client_factories=dict(_POP3_CLIENTS),
+    description="qpopper-like POP3 daemon (pop3_user, pop3_pass, "
+                "pop3_apop)"))

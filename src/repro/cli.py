@@ -12,6 +12,13 @@ Commands
 ``figure4``    run the FTP attacker campaign and print the crash
                latency histogram.
 ``random``     run the Section 7 random-injection testbed.
+
+Every command takes ``--daemon`` (any daemon registered in
+:mod:`repro.apps.registry`; ``--app`` is a back-compat alias), and
+``campaign`` takes ``--fault-model`` (any model registered in
+:mod:`repro.injection.faultmodels`).  An option-first invocation such
+as ``python -m repro --daemon pop3d --fault-model register-bit``
+implies the ``campaign`` command.
 """
 
 from __future__ import annotations
@@ -21,18 +28,28 @@ import sys
 
 from .analysis import (build_histogram, build_table1, build_table3,
                        format_histogram, format_table1, format_table3)
-from .apps.ftpd import CLIENT_FACTORIES as FTP_CLIENTS, FtpDaemon
-from .apps.sshd import CLIENT_FACTORIES as SSH_CLIENTS, SshDaemon
+from .apps.registry import available_daemons, get_daemon_spec
 from .encoding import format_table4, minimum_branch_distance
-from .injection import (describe_targets, run_campaign,
+from .injection import (available_fault_models, DEFAULT_FAULT_MODEL,
+                        describe_targets, run_campaign,
                         run_random_campaign)
 from .x86 import disassemble_range, format_listing
 
 
-def _make_daemon(app):
-    if app == "ftpd":
-        return FtpDaemon(), FTP_CLIENTS
-    return SshDaemon(), SSH_CLIENTS
+def _make_daemon(name):
+    """Resolve a daemon name through the registry
+    (:mod:`repro.apps.registry`): compiled daemon + client factories."""
+    spec = get_daemon_spec(name)
+    return spec.build(), spec.client_factories
+
+
+def _add_daemon_arg(parser):
+    """``--daemon`` with every registered daemon as a choice;
+    ``--app`` is kept as an alias for pre-registry scripts."""
+    parser.add_argument("--daemon", "--app", dest="daemon",
+                        choices=available_daemons(), default="ftpd",
+                        help="target daemon (registered: %s)"
+                             % ", ".join(available_daemons()))
 
 
 def _progress_printer(stream):
@@ -71,13 +88,14 @@ def _write_timing(out, campaign):
 
 
 def cmd_campaign(args, out):
-    daemon, clients = _make_daemon(args.app)
+    daemon, clients = _make_daemon(args.daemon)
     if args.client not in clients:
         raise SystemExit("unknown client %r (have: %s)"
                          % (args.client, ", ".join(sorted(clients))))
     campaign = run_campaign(
         daemon, args.client, clients[args.client],
         encoding=args.encoding,
+        fault_model=args.fault_model,
         max_points=args.max_points,
         journal=args.journal, resume=args.resume,
         retries=args.retries, workers=args.workers,
@@ -96,17 +114,19 @@ def cmd_campaign(args, out):
         from .analysis import save_campaign
         save_campaign(campaign, args.save)
         out.write("saved raw results to %s\n" % args.save)
-    out.write(format_table1(
-        build_table1([campaign]),
-        "%s %s (%s encoding)" % (args.app, args.client,
-                                 args.encoding)) + "\n")
+    title = "%s %s (%s encoding)" % (args.daemon, args.client,
+                                     args.encoding)
+    if args.fault_model != DEFAULT_FAULT_MODEL:
+        title = "%s %s (%s encoding, %s faults)" % (
+            args.daemon, args.client, args.encoding, args.fault_model)
+    out.write(format_table1(build_table1([campaign]), title) + "\n")
     out.write("\nBRK+FSV by location:\n")
     out.write(format_table3(build_table3([campaign]), "") + "\n")
     return 0
 
 
 def cmd_disasm(args, out):
-    daemon, __ = _make_daemon(args.app)
+    daemon, __ = _make_daemon(args.daemon)
     functions = ([args.function] if args.function
                  else list(daemon.AUTH_FUNCTIONS))
     info = describe_targets(daemon.module, daemon.auth_ranges())
@@ -135,9 +155,10 @@ def cmd_table4(args, out):
 
 
 def cmd_figure4(args, out):
-    daemon, clients = _make_daemon(args.app)
+    daemon, clients = _make_daemon(args.daemon)
+    attacker = get_daemon_spec(args.daemon).attacker_client
     campaign = run_campaign(
-        daemon, "Client1", clients["Client1"],
+        daemon, attacker, clients[attacker],
         workers=args.workers,
         progress=_progress_printer(out) if args.progress else None)
     histogram = build_histogram(campaign.crash_latencies())
@@ -147,8 +168,9 @@ def cmd_figure4(args, out):
 
 
 def cmd_random(args, out):
-    daemon, clients = _make_daemon(args.app)
-    result = run_random_campaign(daemon, clients["Client1"],
+    daemon, clients = _make_daemon(args.daemon)
+    attacker = get_daemon_spec(args.daemon).attacker_client
+    result = run_random_campaign(daemon, clients[attacker],
                                  trials=args.trials, seed=args.seed)
     out.write("trials: %d\n" % result.trials)
     for outcome in sorted(result.outcomes):
@@ -170,11 +192,16 @@ def build_parser():
 
     campaign = commands.add_parser(
         "campaign", help="run an injection campaign")
-    campaign.add_argument("--app", choices=("ftpd", "sshd"),
-                          default="ftpd")
+    _add_daemon_arg(campaign)
     campaign.add_argument("--client", default="Client1")
     campaign.add_argument("--encoding", choices=("old", "new"),
                           default="old")
+    campaign.add_argument("--fault-model",
+                          choices=available_fault_models(),
+                          default=DEFAULT_FAULT_MODEL,
+                          help="injected fault family (registered "
+                               "models: %s)"
+                               % ", ".join(available_fault_models()))
     campaign.add_argument("--max-points", type=int, default=None,
                           help="truncate the experiment list (smoke "
                                "runs)")
@@ -203,8 +230,7 @@ def build_parser():
 
     disasm = commands.add_parser(
         "disasm", help="disassemble the authentication sections")
-    disasm.add_argument("--app", choices=("ftpd", "sshd"),
-                        default="ftpd")
+    _add_daemon_arg(disasm)
     disasm.add_argument("--function", default=None)
     disasm.add_argument("--branches-only", action="store_true")
     disasm.set_defaults(handler=cmd_disasm)
@@ -215,8 +241,7 @@ def build_parser():
 
     figure4 = commands.add_parser(
         "figure4", help="crash-latency histogram (Figure 4)")
-    figure4.add_argument("--app", choices=("ftpd", "sshd"),
-                         default="ftpd")
+    _add_daemon_arg(figure4)
     figure4.add_argument("--progress", action="store_true")
     figure4.add_argument("--workers", type=int, default=None,
                          metavar="N",
@@ -225,8 +250,7 @@ def build_parser():
 
     random_cmd = commands.add_parser(
         "random", help="random-injection testbed (Section 7)")
-    random_cmd.add_argument("--app", choices=("ftpd", "sshd"),
-                            default="ftpd")
+    _add_daemon_arg(random_cmd)
     random_cmd.add_argument("--trials", type=int, default=1000)
     random_cmd.add_argument("--seed", type=int, default=2001)
     random_cmd.set_defaults(handler=cmd_random)
@@ -236,6 +260,12 @@ def build_parser():
 
 def main(argv=None, out=None):
     out = out if out is not None else sys.stdout
+    argv = list(sys.argv[1:]) if argv is None else list(argv)
+    # ``python -m repro --daemon pop3d --fault-model register-bit``:
+    # option-first invocations implicitly mean "campaign".
+    if argv and argv[0].startswith("-") and argv[0] not in ("-h",
+                                                            "--help"):
+        argv = ["campaign"] + argv
     parser = build_parser()
     args = parser.parse_args(argv)
     try:

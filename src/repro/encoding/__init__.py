@@ -1,14 +1,16 @@
 """The proposed branch re-encoding scheme (paper Section 6)."""
 
 from .parity import hamming_distance, odd_parity_bit, reencode_opcode
-from .scheme import (format_table4, inject_under_new_encoding,
-                     map_instruction, MappingRow, minimum_branch_distance,
-                     SIX_BYTE_MAP, table4_rows, TWO_BYTE_MAP)
+from .scheme import (format_table4, inject_mask_under_new_encoding,
+                     inject_under_new_encoding, map_instruction,
+                     MappingRow, minimum_branch_distance, SIX_BYTE_MAP,
+                     table4_rows, TWO_BYTE_MAP)
 from . import sparc
 
 __all__ = [
     "hamming_distance", "odd_parity_bit", "reencode_opcode",
-    "format_table4", "inject_under_new_encoding", "map_instruction",
+    "format_table4", "inject_mask_under_new_encoding",
+    "inject_under_new_encoding", "map_instruction",
     "MappingRow", "minimum_branch_distance", "SIX_BYTE_MAP",
     "table4_rows", "TWO_BYTE_MAP", "sparc",
 ]

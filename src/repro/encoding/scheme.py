@@ -118,8 +118,19 @@ def inject_under_new_encoding(raw, byte_offset, bit):
 
     Returns the byte string to execute on the ordinary processor.
     """
+    return inject_mask_under_new_encoding(raw, byte_offset, 1 << bit)
+
+
+def inject_mask_under_new_encoding(raw, byte_offset, mask):
+    """Section 6.2 generalised to an arbitrary error *mask*.
+
+    Fault models are free to corrupt more than one bit of a byte
+    (e.g. the two-adjacent-bit bursts that stress the Table 4
+    minimum-distance claim); the map->flip->map-back evaluation is the
+    same, only the XOR differs.
+    """
     new_bytes = bytearray(map_instruction(raw, "to_new"))
-    new_bytes[byte_offset] ^= (1 << bit)
+    new_bytes[byte_offset] ^= mask & 0xFF
     return map_instruction(bytes(new_bytes), "to_old")
 
 

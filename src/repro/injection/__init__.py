@@ -1,8 +1,15 @@
 """Fault-injection framework: targets, injector, outcomes, campaigns."""
 
-from .campaign import (CampaignResult, ENCODING_NEW, ENCODING_OLD,
+from .campaign import (ALL_ENCODINGS, CampaignResult, CampaignSpec,
+                       ENCODING_NEW, ENCODING_OLD, enumerate_specs,
                        QuarantinedPoint, run_both_encodings,
-                       run_campaign)
+                       run_campaign, run_spec)
+from .faultmodels import (available_fault_models, BranchBitFlip,
+                          BurstInjectionPoint, DEFAULT_FAULT_MODEL,
+                          FAULT_MODELS, FaultModel, get_fault_model,
+                          MemoryBitFlip, MemoryInjectionPoint,
+                          MultiBitBurst, register_fault_model,
+                          RegisterBitFlip, RegisterInjectionPoint)
 from .golden import GoldenRun, record_golden
 from .injector import (BreakpointSession, plain_run,
                        run_clean_connection, single_injection)
@@ -30,6 +37,12 @@ from .targets import (branch_instructions, DEFAULT_TARGET_KINDS,
                       TARGET_KINDS_WITH_CALLS)
 
 __all__ = [
+    "ALL_ENCODINGS", "CampaignSpec", "enumerate_specs", "run_spec",
+    "FaultModel", "FAULT_MODELS", "DEFAULT_FAULT_MODEL",
+    "available_fault_models", "get_fault_model", "register_fault_model",
+    "BranchBitFlip", "MultiBitBurst", "RegisterBitFlip", "MemoryBitFlip",
+    "BurstInjectionPoint", "RegisterInjectionPoint",
+    "MemoryInjectionPoint",
     "CampaignResult", "ENCODING_OLD", "ENCODING_NEW", "run_campaign",
     "run_both_encodings", "QuarantinedPoint", "GoldenRun",
     "record_golden", "BreakpointSession", "plain_run",

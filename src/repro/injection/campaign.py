@@ -1,9 +1,13 @@
 """Selective-exhaustive injection campaigns (Sections 4-6).
 
-A campaign fixes a daemon, a client access pattern and an encoding
-(old = stock IA-32, new = the Table 4 re-encoding), then runs one
-experiment per bit of every branch instruction in the authentication
-functions and tallies the outcome distribution.
+A campaign fixes a daemon, a client access pattern, an encoding
+(old = stock IA-32, new = the Table 4 re-encoding) and a fault model
+(:mod:`repro.injection.faultmodels`; default: the paper's single-bit
+branch flips), then runs the model's full experiment list over the
+authentication functions and tallies the outcome distribution.
+:class:`CampaignSpec` names one cell of that
+daemon x client x encoding x fault-model space; specs are what get
+enumerated, sharded, journaled and resumed.
 
 Execution is delegated to the fault-tolerant engine in
 :mod:`repro.injection.runner`: experiments are isolated (a harness
@@ -25,6 +29,71 @@ from .targets import DEFAULT_TARGET_KINDS
 
 ENCODING_OLD = "old"
 ENCODING_NEW = "new"
+ALL_ENCODINGS = (ENCODING_OLD, ENCODING_NEW)
+
+
+@dataclass(frozen=True)
+class CampaignSpec:
+    """One cell of the campaign design space: which daemon, driven by
+    which scripted client, under which instruction encoding, injected
+    with which fault model.
+
+    A spec is pure data (names, not objects), so it is picklable,
+    journal-stampable and cheap to enumerate; :meth:`build_daemon`,
+    :meth:`client_factory` and :meth:`model` resolve the names through
+    the daemon and fault-model registries when a run is actually
+    wanted.
+    """
+
+    daemon: str = "ftpd"
+    client: str = "Client1"
+    encoding: str = ENCODING_OLD
+    fault_model: str = "branch-bit"
+
+    def daemon_spec(self):
+        from ..apps.registry import get_daemon_spec
+        return get_daemon_spec(self.daemon)
+
+    def build_daemon(self, **kwargs):
+        return self.daemon_spec().build(**kwargs)
+
+    def client_factory(self):
+        return self.daemon_spec().client_factory(self.client)
+
+    def model(self):
+        from .faultmodels import get_fault_model
+        return get_fault_model(self.fault_model)
+
+    def label(self):
+        return "%s %s %s %s" % (self.daemon, self.client,
+                                self.encoding, self.fault_model)
+
+
+def enumerate_specs(daemons=None, clients=None, encodings=(ENCODING_OLD,),
+                    fault_models=None):
+    """The daemon x client x encoding x fault-model product, as specs.
+
+    ``None`` means "everything registered" for daemons and fault
+    models, and "every client of that daemon" for clients.  This is
+    the sweep the CI plugin matrix and extension studies iterate.
+    """
+    from ..apps.registry import available_daemons, get_daemon_spec
+    from .faultmodels import available_fault_models
+    if daemons is None:
+        daemons = available_daemons()
+    if fault_models is None:
+        fault_models = available_fault_models()
+    specs = []
+    for daemon in daemons:
+        daemon_clients = (clients if clients is not None
+                          else get_daemon_spec(daemon).clients())
+        for client in daemon_clients:
+            for encoding in encodings:
+                for fault_model in fault_models:
+                    specs.append(CampaignSpec(
+                        daemon=daemon, client=client,
+                        encoding=encoding, fault_model=fault_model))
+    return specs
 
 
 @dataclass
@@ -46,6 +115,7 @@ class CampaignResult:
     daemon_name: str
     client_name: str
     encoding: str
+    fault_model: str = "branch-bit"
     results: list = field(default_factory=list)
     golden: object = None
     #: points excluded after quarantine-with-retry; never part of
@@ -114,8 +184,13 @@ def run_campaign(daemon, client_name, client_factory,
                  budget=CONNECTION_INSTRUCTION_BUDGET, progress=None,
                  max_points=None, ranges=None, journal=None,
                  resume=False, retries=0, watchdog=None, workers=None,
-                 daemon_factory=None):
+                 daemon_factory=None, fault_model=None):
     """Run one full selective-exhaustive campaign.
+
+    ``fault_model`` selects the injected fault family by registry name
+    or instance (:mod:`repro.injection.faultmodels`); the default is
+    the paper's ``branch-bit`` model, under which campaigns are
+    byte-identical to the pre-plugin pipeline.
 
     ``max_points`` truncates the experiment list (used by fast tests);
     benchmarks always run the complete set.  ``ranges`` overrides the
@@ -142,7 +217,8 @@ def run_campaign(daemon, client_name, client_factory,
             encoding=encoding, kinds=kinds, budget=budget,
             progress=progress, max_points=max_points, ranges=ranges,
             journal=journal, resume=resume, retries=retries,
-            watchdog=watchdog, daemon_factory=daemon_factory)
+            watchdog=watchdog, daemon_factory=daemon_factory,
+            fault_model=fault_model)
         return runner.run()
     from .runner import CampaignRunner
     runner = CampaignRunner(daemon, client_name, client_factory,
@@ -150,8 +226,24 @@ def run_campaign(daemon, client_name, client_factory,
                             budget=budget, progress=progress,
                             max_points=max_points, ranges=ranges,
                             journal=journal, resume=resume,
-                            retries=retries, watchdog=watchdog)
+                            retries=retries, watchdog=watchdog,
+                            fault_model=fault_model)
     return runner.run()
+
+
+def run_spec(spec, daemon=None, **kwargs):
+    """Run the campaign a :class:`CampaignSpec` names.
+
+    The daemon is compiled through the registry (pass ``daemon=`` to
+    reuse an already-compiled instance); every execution option of
+    :func:`run_campaign` (``workers``, ``journal``, ``resume``, ...)
+    passes through unchanged.
+    """
+    if daemon is None:
+        daemon = spec.build_daemon()
+    return run_campaign(daemon, spec.client, spec.client_factory(),
+                        encoding=spec.encoding,
+                        fault_model=spec.fault_model, **kwargs)
 
 
 def _instruction_bytes(module, point):

@@ -1,0 +1,498 @@
+"""Pluggable fault models.
+
+The paper's experiment -- single-bit flips in the branch instructions
+of the authentication sections -- is one point in a much larger design
+space.  A :class:`FaultModel` packages everything the campaign engine
+needs to sweep one region of that space:
+
+* **point enumeration** -- which experiments exist for a module and a
+  set of code ranges (``enumerate_points``);
+* **fault application** -- how one experiment's corruption is applied
+  at the breakpoint (``apply``), including how it composes with the
+  Table 4 re-encoding evaluation when the model mutates text bytes;
+* **serialization** -- how its points round-trip through the JSONL
+  journal and campaign JSON (``point_to_dict``/``point_from_dict``),
+  so journaled campaigns of any model resume correctly.
+
+Models register themselves in :data:`FAULT_MODELS` under a CLI-stable
+name; :func:`get_fault_model` resolves names (or instances) anywhere a
+campaign is constructed.  The paper's original experiment is
+:class:`BranchBitFlip`, and stays the default everywhere -- a default
+campaign is byte-identical to the pre-plugin pipeline.
+
+Shipped models
+--------------
+
+==============  ============  ==================================================
+class           name          fault
+==============  ============  ==================================================
+BranchBitFlip   branch-bit    one bit of one branch-instruction byte (the paper)
+MultiBitBurst   burst2        two adjacent bits of one branch byte (stresses the
+                              Table 4 minimum-Hamming-distance-2 claim)
+RegisterBitFlip register-bit  one bit of one GPR at activation (data error,
+                              Example 3 family)
+MemoryBitFlip   memory-bit    one bit of a stack or data byte at activation
+==============  ============  ==================================================
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..encoding import inject_mask_under_new_encoding
+from ..x86.registers import REG32_NAMES
+from .locations import classify_location, LOCATION_MISC
+from .targets import (branch_instructions, DEFAULT_TARGET_KINDS,
+                      enumerate_points as enumerate_branch_points)
+
+#: registry of fault-model classes keyed by their CLI name.
+FAULT_MODELS = {}
+
+#: the model every pre-plugin campaign implicitly used.
+DEFAULT_FAULT_MODEL = "branch-bit"
+
+
+def register_fault_model(cls):
+    """Class decorator: publish a model under its ``name``."""
+    if not cls.name:
+        raise ValueError("fault model %r has no name" % cls)
+    FAULT_MODELS[cls.name] = cls
+    return cls
+
+
+def available_fault_models():
+    """Registered model names, sorted for stable CLI/help output."""
+    return sorted(FAULT_MODELS)
+
+
+def get_fault_model(model=None):
+    """Resolve *model* (name, class, instance or ``None``) to an
+    instance.  ``None`` means the paper's :class:`BranchBitFlip`."""
+    if model is None:
+        model = DEFAULT_FAULT_MODEL
+    if isinstance(model, FaultModel):
+        return model
+    if isinstance(model, type) and issubclass(model, FaultModel):
+        return model()
+    try:
+        return FAULT_MODELS[model]()
+    except KeyError:
+        raise KeyError("unknown fault model %r (have: %s)"
+                       % (model, ", ".join(available_fault_models())))
+
+
+# ----------------------------------------------------------------------
+# The interface
+
+class FaultModel:
+    """One family of injectable faults.
+
+    Subclasses set ``name`` (the registry/CLI identifier) and
+    ``ptype`` (the discriminator stamped into serialized points;
+    ``None`` keeps the legacy pre-plugin record shape so old journals
+    and new BranchBitFlip journals are interchangeable).
+    """
+
+    name = ""
+    ptype = None
+    #: whether the model corrupts *text* bytes, i.e. whether the
+    #: Section 6.2 map->flip->map-back evaluation changes what is
+    #: injected under ``encoding="new"``.  Data-error models run
+    #: identically under both encodings.
+    reencodes = False
+
+    def enumerate_points(self, module, ranges,
+                         kinds=DEFAULT_TARGET_KINDS):
+        """Deterministic, ordered experiment list for *module* within
+        *ranges*.  Every point must carry ``instruction_address`` (the
+        activation breakpoint), a unique ``key`` and a ``sort_key``
+        matching enumeration order."""
+        raise NotImplementedError
+
+    def location(self, point):
+        """Table 2 location code of a point (MISC for data errors)."""
+        return LOCATION_MISC
+
+    def point_key(self, point):
+        """Journal/resume identity of a point within one campaign."""
+        return point.key
+
+    def point_to_dict(self, point):
+        raise NotImplementedError
+
+    def point_from_dict(self, record):
+        raise NotImplementedError
+
+    def apply(self, session, point, encoding, module):
+        """Apply the point's fault at *session*'s breakpoint and run
+        the suffix; returns ``(status, kernel, client)``."""
+        raise NotImplementedError
+
+
+# ----------------------------------------------------------------------
+# BranchBitFlip -- the paper's model
+
+@register_fault_model
+class BranchBitFlip(FaultModel):
+    """Single-bit flips in branch-instruction bytes (Sections 4-6).
+
+    Points are :class:`~repro.injection.targets.InjectionPoint` and
+    serialize in the legacy (pre-plugin) record shape, so journals
+    written before the registry existed resume under this model
+    unchanged.
+    """
+
+    name = "branch-bit"
+    ptype = None
+    reencodes = True
+
+    def enumerate_points(self, module, ranges,
+                         kinds=DEFAULT_TARGET_KINDS):
+        return enumerate_branch_points(module, ranges, kinds)
+
+    def location(self, point):
+        return classify_location(point)
+
+    def point_to_dict(self, point):
+        return {
+            "address": point.instruction_address,
+            "byte_offset": point.byte_offset,
+            "bit": point.bit,
+            "length": point.instruction_length,
+            "mnemonic": point.mnemonic,
+            "opcode": point.opcode,
+            "kind": point.kind,
+        }
+
+    def point_from_dict(self, record):
+        from .targets import InjectionPoint
+        return InjectionPoint(
+            instruction_address=record["address"],
+            byte_offset=record["byte_offset"],
+            bit=record["bit"],
+            instruction_length=record["length"],
+            mnemonic=record["mnemonic"],
+            opcode=record["opcode"],
+            kind=record["kind"])
+
+    def apply(self, session, point, encoding, module):
+        if encoding == "new":
+            raw = _instruction_bytes(module, point)
+            replacement = inject_mask_under_new_encoding(
+                raw, point.byte_offset, 1 << point.bit)
+            return session.run_with_bytes(point.instruction_address,
+                                          replacement)
+        return session.run_with_flip(point.flip_address, point.bit)
+
+
+def _instruction_bytes(module, point):
+    offset = point.instruction_address - module.text_base
+    return bytes(module.text[offset:offset + point.instruction_length])
+
+
+# ----------------------------------------------------------------------
+# MultiBitBurst -- the Table 4 stress test
+
+@dataclass(frozen=True)
+class BurstInjectionPoint:
+    """Flip bits ``bit`` and ``bit+1`` of one branch byte."""
+
+    instruction_address: int
+    byte_offset: int
+    bit: int                       # low bit of the adjacent pair
+    instruction_length: int
+    mnemonic: str
+    opcode: int
+    kind: str
+
+    @property
+    def flip_address(self):
+        return self.instruction_address + self.byte_offset
+
+    @property
+    def mask(self):
+        return (1 << self.bit) | (1 << (self.bit + 1))
+
+    @property
+    def key(self):
+        return "burst:%x:%d:%d" % (self.instruction_address,
+                                   self.byte_offset, self.bit)
+
+    @property
+    def sort_key(self):
+        return (self.instruction_address, self.byte_offset, self.bit)
+
+
+@register_fault_model
+class MultiBitBurst(FaultModel):
+    """Two-adjacent-bit flips in branch bytes.
+
+    The Table 4 re-encoding guarantees a minimum Hamming distance of
+    *two* between conditional branches, so it defeats every
+    single-bit error by construction -- and stops there.  This model
+    injects the cheapest error the scheme does not cover (a burst of
+    two adjacent bits, the classic coupled-cell fault) and so measures
+    the claim's boundary directly: under ``encoding="new"`` a burst
+    can still turn one re-encoded branch into another.
+    """
+
+    name = "burst2"
+    ptype = "burst"
+    reencodes = True
+
+    def enumerate_points(self, module, ranges,
+                         kinds=DEFAULT_TARGET_KINDS):
+        points = []
+        for instruction in branch_instructions(module, ranges, kinds):
+            for byte_offset in range(instruction.length):
+                for bit in range(7):          # pairs (0,1) .. (6,7)
+                    points.append(BurstInjectionPoint(
+                        instruction_address=instruction.address,
+                        byte_offset=byte_offset, bit=bit,
+                        instruction_length=instruction.length,
+                        mnemonic=instruction.mnemonic,
+                        opcode=instruction.opcode,
+                        kind=instruction.kind))
+        return points
+
+    def location(self, point):
+        return classify_location(point)
+
+    def point_to_dict(self, point):
+        return {
+            "ptype": self.ptype,
+            "address": point.instruction_address,
+            "byte_offset": point.byte_offset,
+            "bit": point.bit,
+            "length": point.instruction_length,
+            "mnemonic": point.mnemonic,
+            "opcode": point.opcode,
+            "kind": point.kind,
+        }
+
+    def point_from_dict(self, record):
+        return BurstInjectionPoint(
+            instruction_address=record["address"],
+            byte_offset=record["byte_offset"],
+            bit=record["bit"],
+            instruction_length=record["length"],
+            mnemonic=record["mnemonic"],
+            opcode=record["opcode"],
+            kind=record["kind"])
+
+    def apply(self, session, point, encoding, module):
+        raw = _instruction_bytes(module, point)
+        if encoding == "new":
+            replacement = inject_mask_under_new_encoding(
+                raw, point.byte_offset, point.mask)
+        else:
+            replacement = bytearray(raw)
+            replacement[point.byte_offset] ^= point.mask
+            replacement = bytes(replacement)
+        return session.run_with_bytes(point.instruction_address,
+                                      replacement)
+
+
+# ----------------------------------------------------------------------
+# RegisterBitFlip -- data errors in the register file
+
+@dataclass(frozen=True)
+class RegisterInjectionPoint:
+    """Flip one bit of one GPR when execution reaches the anchor
+    instruction (the paper's Example 3 family)."""
+
+    instruction_address: int
+    register: int                  # hardware index, EAX=0 .. EDI=7
+    bit: int
+    mnemonic: str = ""
+    kind: str = ""
+
+    @property
+    def register_name(self):
+        return REG32_NAMES[self.register]
+
+    @property
+    def key(self):
+        return "reg:%x:%d:%d" % (self.instruction_address,
+                                 self.register, self.bit)
+
+    @property
+    def sort_key(self):
+        return (self.instruction_address, self.register, self.bit)
+
+
+@register_fault_model
+class RegisterBitFlip(FaultModel):
+    """Single-bit flips of one general-purpose register at activation.
+
+    Anchored at the same branch instructions as the text models (the
+    decision points of the auth sections), but the corruption is
+    *transient data*: it does not persist in the text image, so there
+    is no permanent vulnerability window -- only the decision made
+    with the corrupted value.
+    """
+
+    name = "register-bit"
+    ptype = "register"
+    reencodes = False
+
+    #: default bit plane: every bit of the low byte plus the sign-ish
+    #: bits that flip comparison outcomes; 8 registers x 11 bits keeps
+    #: a full campaign in the same ballpark as branch-bit.
+    BITS = (0, 1, 2, 3, 4, 5, 6, 7, 15, 23, 31)
+
+    def __init__(self, registers=range(8), bits=BITS):
+        self.registers = tuple(registers)
+        self.bits = tuple(bits)
+
+    def enumerate_points(self, module, ranges,
+                         kinds=DEFAULT_TARGET_KINDS):
+        points = []
+        for instruction in branch_instructions(module, ranges, kinds):
+            for register in self.registers:
+                for bit in self.bits:
+                    points.append(RegisterInjectionPoint(
+                        instruction_address=instruction.address,
+                        register=register, bit=bit,
+                        mnemonic=instruction.mnemonic,
+                        kind=instruction.kind))
+        return points
+
+    def point_to_dict(self, point):
+        return {
+            "ptype": self.ptype,
+            "address": point.instruction_address,
+            "register": point.register,
+            "bit": point.bit,
+            "mnemonic": point.mnemonic,
+            "kind": point.kind,
+        }
+
+    def point_from_dict(self, record):
+        return RegisterInjectionPoint(
+            instruction_address=record["address"],
+            register=record["register"],
+            bit=record["bit"],
+            mnemonic=record.get("mnemonic", ""),
+            kind=record.get("kind", ""))
+
+    def apply(self, session, point, encoding, module):
+        return session.run_with_register_flip(point.register, point.bit)
+
+
+# ----------------------------------------------------------------------
+# MemoryBitFlip -- data errors in stack/data bytes
+
+@dataclass(frozen=True)
+class MemoryInjectionPoint:
+    """Flip one bit of one stack or data byte at activation.
+
+    ``space="stack"`` offsets are relative to ESP at the breakpoint
+    (the live frame: saved registers, locals, argument words);
+    ``space="data"`` offsets are relative to the module's data base
+    (globals -- for the daemons, the head of the passwd tables).
+    """
+
+    instruction_address: int
+    space: str                     # "stack" | "data"
+    offset: int
+    bit: int
+
+    @property
+    def key(self):
+        return "mem:%x:%s:%d:%d" % (self.instruction_address,
+                                    self.space, self.offset, self.bit)
+
+    @property
+    def sort_key(self):
+        return (self.instruction_address,
+                0 if self.space == "stack" else 1, self.offset,
+                self.bit)
+
+
+@register_fault_model
+class MemoryBitFlip(FaultModel):
+    """Single-bit flips of stack/data bytes at activation.
+
+    Like :class:`RegisterBitFlip` a data-error model, but aimed at
+    memory operands: the stack window covers the current frame's
+    saved state and arguments, the data window the daemon's globals.
+    """
+
+    name = "memory-bit"
+    ptype = "memory"
+    reencodes = False
+
+    def __init__(self, stack_window=8, data_window=8):
+        self.stack_window = stack_window
+        self.data_window = data_window
+
+    def enumerate_points(self, module, ranges,
+                         kinds=DEFAULT_TARGET_KINDS):
+        points = []
+        for instruction in branch_instructions(module, ranges, kinds):
+            for space, window in (("stack", self.stack_window),
+                                  ("data", self.data_window)):
+                for offset in range(window):
+                    for bit in range(8):
+                        points.append(MemoryInjectionPoint(
+                            instruction_address=instruction.address,
+                            space=space, offset=offset, bit=bit))
+        return points
+
+    def point_to_dict(self, point):
+        return {
+            "ptype": self.ptype,
+            "address": point.instruction_address,
+            "space": point.space,
+            "offset": point.offset,
+            "bit": point.bit,
+        }
+
+    def point_from_dict(self, record):
+        return MemoryInjectionPoint(
+            instruction_address=record["address"],
+            space=record["space"],
+            offset=record["offset"],
+            bit=record["bit"])
+
+    def apply(self, session, point, encoding, module):
+        if point.space == "stack":
+            return session.run_with_stack_relative_flip(point.offset,
+                                                        point.bit)
+        return session.run_with_memory_flip(
+            module.data_base + point.offset, point.bit)
+
+
+# ----------------------------------------------------------------------
+# Serialization dispatch (used by repro.analysis.serialize)
+
+def point_to_dict(point):
+    """Serialize any registered model's point (dispatch on type)."""
+    if isinstance(point, BurstInjectionPoint):
+        return MultiBitBurst().point_to_dict(point)
+    if isinstance(point, RegisterInjectionPoint):
+        return RegisterBitFlip().point_to_dict(point)
+    if isinstance(point, MemoryInjectionPoint):
+        return MemoryBitFlip().point_to_dict(point)
+    return BranchBitFlip().point_to_dict(point)
+
+
+_PTYPE_MODELS = {
+    "burst": MultiBitBurst,
+    "register": RegisterBitFlip,
+    "memory": MemoryBitFlip,
+}
+
+
+def point_from_dict(record):
+    """Deserialize a point record (``ptype`` discriminates; records
+    without one are legacy/BranchBitFlip)."""
+    ptype = record.get("ptype")
+    if ptype is None:
+        return BranchBitFlip().point_from_dict(record)
+    try:
+        model = _PTYPE_MODELS[ptype]()
+    except KeyError:
+        raise ValueError("unknown point type %r" % ptype)
+    return model.point_from_dict(record)

@@ -121,6 +121,42 @@ class BreakpointSession:
         cpu.regs[register] ^= (1 << bit)
         return self._finish(kernel)
 
+    def run_with_memory_flip(self, address, bit):
+        """Flip one bit of one byte at an absolute address at the
+        breakpoint and resume -- a *data error* against memory (the
+        stack/data counterpart of :meth:`run_with_register_flip`).
+
+        Text addresses are handled too (the decode cache is kept
+        coherent), though the text-fault models use
+        :meth:`run_with_flip`/:meth:`run_with_bytes` directly.
+        """
+        if not self.reached:
+            raise RuntimeError("breakpoint at 0x%x was never reached"
+                               % self.breakpoint_address)
+        kernel = self._restore()
+        return self._memory_flip(address, bit, kernel)
+
+    def run_with_stack_relative_flip(self, offset, bit):
+        """Flip one bit of the byte at ``ESP + offset`` as of the
+        breakpoint (the live frame: saved state, locals, argument
+        words) and resume."""
+        if not self.reached:
+            raise RuntimeError("breakpoint at 0x%x was never reached"
+                               % self.breakpoint_address)
+        kernel = self._restore()
+        address = (self.process.cpu.regs[4] + offset) & 0xFFFFFFFF
+        return self._memory_flip(address, bit, kernel)
+
+    def _memory_flip(self, address, bit, kernel):
+        memory = self.process.memory
+        memory.poke(address, memory.peek(address) ^ (1 << bit))
+        cpu = self.process.cpu
+        low, high = getattr(cpu, "cacheable", (0, 0))
+        if low <= address < high:
+            cpu.invalidate_cache(address)
+            self._dirty.add(address)
+        return self._finish(kernel)
+
     def run_with_bytes(self, address, replacement):
         """Overwrite instruction bytes at the breakpoint and resume.
 

@@ -40,11 +40,12 @@ from queue import Empty
 
 from ..apps.common import CONNECTION_INSTRUCTION_BUDGET
 from ..emu.perf import PerfCounters
+from .faultmodels import get_fault_model
 from .golden import record_golden
 from .runner import (_point_key, CampaignJournal, campaign_timing,
-                     CampaignRunner, JournalError, Watchdog,
+                     CampaignRunner, validate_journal_meta, Watchdog,
                      WatchdogConfig)
-from .targets import DEFAULT_TARGET_KINDS, enumerate_points
+from .targets import DEFAULT_TARGET_KINDS
 
 #: how long the parent waits on the message queue before checking
 #: whether a worker died without reporting.
@@ -124,8 +125,8 @@ def _record_key(record):
     key = record.get("key")
     if key is not None:
         return key
-    return "%x:%d:%d" % (record["address"], record["byte_offset"],
-                         record["bit"])
+    from ..analysis.serialize import point_from_dict
+    return point_from_dict(record).key
 
 
 # ----------------------------------------------------------------------
@@ -172,7 +173,8 @@ def _shard_worker_main(spec, queue):
             progress=progress if spec["progress"] else None,
             points=spec["points"], journal=spec["journal"],
             resume=spec["resume"], retries=spec["retries"],
-            watchdog=Watchdog(spec["watchdog_config"]))
+            watchdog=Watchdog(spec["watchdog_config"]),
+            fault_model=spec.get("fault_model"))
         campaign = runner.run()
         timing = dict(campaign.timing or {})
         timing.update(shard=shard, setup=setup,
@@ -205,7 +207,7 @@ class ParallelCampaignRunner:
                  budget=CONNECTION_INSTRUCTION_BUDGET, progress=None,
                  max_points=None, ranges=None, journal=None,
                  resume=False, retries=0, watchdog=None,
-                 daemon_factory=None):
+                 daemon_factory=None, fault_model=None):
         from .campaign import ENCODING_OLD
         if workers < 1:
             raise ValueError("workers must be >= 1, got %r" % workers)
@@ -214,6 +216,7 @@ class ParallelCampaignRunner:
         self.client_factory = client_factory
         self.workers = workers
         self.encoding = encoding if encoding is not None else ENCODING_OLD
+        self.model = get_fault_model(fault_model)
         self.kinds = kinds
         self.budget = budget
         self.progress = progress
@@ -261,7 +264,9 @@ class ParallelCampaignRunner:
                 quarantined[key] = record
         campaign = CampaignResult(daemon_name=type(self.daemon).__name__,
                                   client_name=self.client_name,
-                                  encoding=self.encoding, golden=golden)
+                                  encoding=self.encoding,
+                                  fault_model=self.model.name,
+                                  golden=golden)
         campaign.results = [
             result_from_dict(results[key])
             for key in sorted(results, key=order.__getitem__)]
@@ -293,8 +298,8 @@ class ParallelCampaignRunner:
         """The exact experiment list a serial run would use."""
         ranges = (self.ranges if self.ranges is not None
                   else self.daemon.auth_ranges())
-        points = enumerate_points(self.daemon.module, ranges,
-                                  self.kinds)
+        points = self.model.enumerate_points(self.daemon.module,
+                                             ranges, self.kinds)
         if self.max_points is not None:
             points = points[:self.max_points]
         return points
@@ -308,13 +313,7 @@ class ParallelCampaignRunner:
         metas, results, quarantined = load_shard_journals(paths)
         expected = self._meta()
         for meta in metas:
-            for field in ("daemon", "client", "encoding"):
-                if meta.get(field) != expected[field]:
-                    raise JournalError(
-                        "shard journal of %s was recorded for %s=%r, "
-                        "campaign wants %r"
-                        % (self.journal_path, field, meta.get(field),
-                           expected[field]))
+            validate_journal_meta(meta, expected, self.journal_path)
         results = {key: record for key, record in results.items()
                    if key in order}
         quarantined = {key: record
@@ -325,7 +324,7 @@ class ParallelCampaignRunner:
     def _meta(self):
         return {"daemon": type(self.daemon).__name__,
                 "client": self.client_name, "encoding": self.encoding,
-                "budget": self.budget}
+                "model": self.model.name, "budget": self.budget}
 
     @staticmethod
     def _quarantine_point(record):
@@ -363,6 +362,9 @@ class ParallelCampaignRunner:
             "retries": self.retries,
             "watchdog_config": self.watchdog_config,
             "daemon_factory": self.daemon_factory,
+            # model instances are tiny module-level objects, picklable
+            # under any start method.
+            "fault_model": self.model,
         }
 
     def _run_shards(self, shards, total_points, resumed_points):

@@ -40,15 +40,14 @@ from dataclasses import dataclass, field
 from ..apps.common import CONNECTION_INSTRUCTION_BUDGET
 from ..emu.machine_exceptions import CpuFault
 from ..emu.perf import PerfCounters
-from ..encoding import inject_under_new_encoding
 from ..kernel import ServerHang
+from .faultmodels import get_fault_model
 from .golden import record_golden
 from .injector import BreakpointSession
-from .locations import classify_location
 from .outcomes import (classify_completed_run, FAIL_SILENCE_VIOLATION,
                        HANG, HARNESS_FAULT, InjectionResult,
                        NOT_ACTIVATED, SECURITY_BREAKIN)
-from .targets import DEFAULT_TARGET_KINDS, enumerate_points
+from .targets import DEFAULT_TARGET_KINDS
 
 #: unstable points are re-queued at most this many times before being
 #: quarantined (the "capped backoff" of the experiment list).
@@ -58,7 +57,12 @@ MAX_RETRY_ROUNDS = 3
 #: (the per-round count doubles each round up to this ceiling).
 MAX_CONFIRMATIONS_PER_ROUND = 8
 
-JOURNAL_SCHEMA = 2
+#: journal format version.  v2 journals predate the fault-model
+#: registry (no ``model`` in meta, legacy point records); v5 aligns
+#: the journal with the campaign-JSON schema and stamps the fault
+#: model.  The reader accepts both (a missing model is
+#: ``branch-bit``), so v2-v4 journals still load and resume.
+JOURNAL_SCHEMA = 5
 
 
 class JournalError(RuntimeError):
@@ -204,8 +208,28 @@ def campaign_timing(wall_clock, experiments, executed, workers=1,
 # JSONL journal
 
 def _point_key(point):
-    return "%x:%d:%d" % (point.instruction_address, point.byte_offset,
-                         point.bit)
+    """Journal/resume identity: every fault model's point class
+    exposes a campaign-unique ``key``."""
+    return point.key
+
+
+def validate_journal_meta(meta, expected, path):
+    """Reject a journal recorded for a different campaign.
+
+    Journals written before the fault-model registry existed
+    (schema <= 4) carry no ``model`` field; every pre-registry
+    campaign was branch-bit by construction, so a missing model
+    matches (and only matches) a branch-bit resume.
+    """
+    for field_name in ("daemon", "client", "encoding", "model"):
+        recorded = meta.get(field_name)
+        if field_name == "model" and recorded is None:
+            recorded = "branch-bit"
+        if recorded != expected[field_name]:
+            raise JournalError(
+                "journal %s was recorded for %s=%r, campaign wants "
+                "%r" % (path, field_name, recorded,
+                        expected[field_name]))
 
 
 class CampaignJournal:
@@ -336,12 +360,14 @@ class CampaignRunner:
                  encoding=None, kinds=DEFAULT_TARGET_KINDS,
                  budget=CONNECTION_INSTRUCTION_BUDGET, progress=None,
                  max_points=None, ranges=None, journal=None,
-                 resume=False, retries=0, watchdog=None, points=None):
+                 resume=False, retries=0, watchdog=None, points=None,
+                 fault_model=None):
         from .campaign import ENCODING_OLD
         self.daemon = daemon
         self.client_name = client_name
         self.client_factory = client_factory
         self.encoding = encoding if encoding is not None else ENCODING_OLD
+        self.model = get_fault_model(fault_model)
         self.kinds = kinds
         self.budget = budget
         self.progress = progress
@@ -379,13 +405,15 @@ class CampaignRunner:
                 ranges = self.ranges
             else:
                 ranges = self.daemon.auth_ranges()
-            points = enumerate_points(self.daemon.module, ranges,
-                                      self.kinds)
+            points = self.model.enumerate_points(self.daemon.module,
+                                                 ranges, self.kinds)
         if self.max_points is not None:
             points = points[:self.max_points]
         campaign = CampaignResult(daemon_name=type(self.daemon).__name__,
                                   client_name=self.client_name,
-                                  encoding=self.encoding, golden=golden)
+                                  encoding=self.encoding,
+                                  fault_model=self.model.name,
+                                  golden=golden)
         journaled, quarantined_records = self._load_journal(campaign)
         journal = None
         if self.journal_path is not None:
@@ -420,7 +448,7 @@ class CampaignRunner:
     def _meta(self):
         return {"daemon": type(self.daemon).__name__,
                 "client": self.client_name, "encoding": self.encoding,
-                "budget": self.budget}
+                "model": self.model.name, "budget": self.budget}
 
     def _load_journal(self, campaign):
         """Returns ``(results_by_key, quarantine_by_key)`` from an
@@ -433,14 +461,7 @@ class CampaignRunner:
         except FileNotFoundError:
             return {}, {}
         if meta is not None:
-            expected = self._meta()
-            for field_name in ("daemon", "client", "encoding"):
-                if meta.get(field_name) != expected[field_name]:
-                    raise JournalError(
-                        "journal %s was recorded for %s=%r, campaign "
-                        "wants %r" % (self.journal_path, field_name,
-                                      meta.get(field_name),
-                                      expected[field_name]))
+            validate_journal_meta(meta, self._meta(), self.journal_path)
         return results, quarantined
 
     @staticmethod
@@ -466,8 +487,8 @@ class CampaignRunner:
                 self._resumed += 1
                 self._report(campaign, quarantined_records, total)
                 continue
-            queue.append(_PendingPoint(point=point,
-                                       location=classify_location(point)))
+            queue.append(_PendingPoint(
+                point=point, location=self.model.location(point)))
         while queue:
             pending = queue.popleft()
             result = self._guarded_experiment(pending)
@@ -565,16 +586,8 @@ class CampaignRunner:
                 point=point, location=location, outcome=NOT_ACTIVATED,
                 detail="coverage/breakpoint disagreement at 0x%x"
                        % point.instruction_address)
-        from .campaign import ENCODING_NEW, _instruction_bytes
-        if self.encoding == ENCODING_NEW:
-            raw = _instruction_bytes(self.daemon.module, point)
-            replacement = inject_under_new_encoding(
-                raw, point.byte_offset, point.bit)
-            status, kernel, client = session.run_with_bytes(
-                point.instruction_address, replacement)
-        else:
-            status, kernel, client = session.run_with_flip(
-                point.flip_address, point.bit)
+        status, kernel, client = self.model.apply(
+            session, point, self.encoding, self.daemon.module)
         outcome, detail = classify_completed_run(
             golden, client, kernel.channel.normalized_transcript(),
             status)

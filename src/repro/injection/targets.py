@@ -44,6 +44,17 @@ class InjectionPoint:
     def flip_address(self):
         return self.instruction_address + self.byte_offset
 
+    @property
+    def key(self):
+        """Journal/resume identity (unique within one campaign)."""
+        return "%x:%d:%d" % (self.instruction_address,
+                             self.byte_offset, self.bit)
+
+    @property
+    def sort_key(self):
+        """Total order matching enumeration order."""
+        return (self.instruction_address, self.byte_offset, self.bit)
+
 
 def branch_instructions(module, ranges, kinds=DEFAULT_TARGET_KINDS):
     """All branch instructions of the module within *ranges*."""

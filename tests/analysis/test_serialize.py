@@ -94,6 +94,26 @@ class TestRoundtrip:
         assert entry.point == campaign.results[0].point
         assert rebuilt.quarantined_count == 1
 
+    def test_schema_is_v5_and_stamps_fault_model(self, campaign):
+        from repro.analysis.serialize import SCHEMA_VERSION
+        payload = campaign_to_dict(campaign)
+        assert SCHEMA_VERSION == 5
+        assert payload["schema"] == 5
+        assert payload["fault_model"] == "branch-bit"
+        assert campaign_from_dict(payload).fault_model == "branch-bit"
+
+    def test_non_default_model_roundtrips(self, ftp_daemon):
+        rich = run_campaign(ftp_daemon, "Client1", client1,
+                            fault_model="memory-bit", max_points=8)
+        payload = campaign_to_dict(rich)
+        assert payload["fault_model"] == "memory-bit"
+        assert all(record["ptype"] == "memory"
+                   for record in payload["results"])
+        rebuilt = campaign_from_dict(payload)
+        assert rebuilt.fault_model == "memory-bit"
+        assert [result.point for result in rebuilt.results] \
+            == [result.point for result in rich.results]
+
     def test_rebuilt_campaign_feeds_analysis(self, campaign):
         """A deserialized campaign drives the table builders."""
         rebuilt = campaign_from_dict(campaign_to_dict(campaign))

@@ -5,8 +5,10 @@ from __future__ import annotations
 import pytest
 
 from repro.apps.ftpd import client1
-from repro.analysis import (build_table1, build_table3, build_table5,
-                            format_table1, format_table3, format_table5,
+from repro.analysis import (build_model_table, build_table1,
+                            build_table3, build_table5,
+                            format_model_table, format_table1,
+                            format_table3, format_table5,
                             PAPER_TABLE1)
 from repro.injection import ENCODING_NEW, run_campaign
 
@@ -77,6 +79,30 @@ class TestTable5:
         text = format_table5(build_table5([(old_campaign,
                                             new_campaign)]))
         assert "FSVr" in text and "BRKr" in text
+
+
+class TestModelTable:
+    @pytest.fixture(scope="class")
+    def model_campaigns(self, ftp_daemon):
+        return [run_campaign(ftp_daemon, "Client1", client1,
+                             fault_model=model, max_points=12)
+                for model in ("branch-bit", "register-bit")]
+
+    def test_columns_labelled_by_model(self, model_campaigns):
+        columns = build_model_table(model_campaigns)
+        assert [column.label for column in columns] \
+            == ["branch-bit", "register-bit"]
+        assert all(column.total_runs == 12 for column in columns)
+
+    def test_shared_model_gets_campaign_prefix(self, model_campaigns):
+        columns = build_model_table([model_campaigns[0],
+                                     model_campaigns[0]])
+        assert columns[0].label == "FTP Client1 branch-bit"
+
+    def test_render(self, model_campaigns):
+        text = format_model_table(build_model_table(model_campaigns))
+        assert "Fault Model" in text
+        assert "register-bit" in text
 
 
 class TestPaperReference:

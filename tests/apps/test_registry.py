@@ -1,0 +1,71 @@
+"""Daemon registry: discovery, construction, client resolution."""
+
+import pytest
+
+from repro.apps import (available_daemons, get_daemon_spec,
+                        make_daemon, register_daemon)
+from repro.apps.ftpd import FtpDaemon
+from repro.apps.pop3d import Pop3Daemon
+from repro.apps.registry import DaemonSpec
+from repro.apps.sshd import SshDaemon
+
+
+def test_all_three_daemons_registered():
+    assert available_daemons() == ["ftpd", "pop3d", "sshd"]
+
+
+def test_specs_resolve_to_daemon_classes():
+    assert get_daemon_spec("ftpd").daemon_class is FtpDaemon
+    assert get_daemon_spec("sshd").daemon_class is SshDaemon
+    assert get_daemon_spec("pop3d").daemon_class is Pop3Daemon
+
+
+def test_unknown_daemon_lists_available():
+    with pytest.raises(KeyError) as excinfo:
+        get_daemon_spec("telnetd")
+    message = str(excinfo.value)
+    assert "telnetd" in message
+    assert "ftpd" in message and "pop3d" in message
+
+
+def test_client_factories_and_attacker():
+    spec = get_daemon_spec("ftpd")
+    assert spec.attacker_client == "Client1"
+    assert set(spec.clients()) == set(spec.client_factories)
+    assert "Client1" in spec.clients()
+    factory = spec.client_factory("Client1")
+    assert callable(factory)
+
+
+def test_unknown_client_lists_available():
+    spec = get_daemon_spec("sshd")
+    with pytest.raises(KeyError) as excinfo:
+        spec.client_factory("Client9")
+    assert "Client9" in str(excinfo.value)
+    assert "Client1" in str(excinfo.value)
+
+
+def test_make_daemon_builds_pop3d(pop3_daemon):
+    # session fixture proves registry construction produces a usable
+    # compiled daemon; cheap identity checks only here.
+    assert pop3_daemon.AUTH_FUNCTIONS
+    assert pop3_daemon.module.text
+
+
+def test_spec_is_immutable():
+    spec = get_daemon_spec("ftpd")
+    assert isinstance(spec, DaemonSpec)
+    with pytest.raises(Exception):
+        spec.name = "other"
+
+
+def test_register_daemon_rejects_duplicates():
+    with pytest.raises(ValueError):
+        register_daemon(DaemonSpec(
+            name="ftpd", daemon_class=FtpDaemon,
+            client_factories={}, description="dup"))
+
+
+def test_make_daemon_roundtrip():
+    daemon = make_daemon("ftpd")
+    assert isinstance(daemon, FtpDaemon)

@@ -5,6 +5,7 @@ from __future__ import annotations
 import pytest
 
 from repro.apps.ftpd import FtpDaemon
+from repro.apps.pop3d import Pop3Daemon
 from repro.apps.sshd import SshDaemon
 
 
@@ -16,3 +17,8 @@ def ftp_daemon():
 @pytest.fixture(scope="session")
 def ssh_daemon():
     return SshDaemon()
+
+
+@pytest.fixture(scope="session")
+def pop3_daemon():
+    return Pop3Daemon()

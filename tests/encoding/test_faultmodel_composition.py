@@ -1,0 +1,136 @@
+"""Re-encoding x fault-model composition.
+
+The Table 4 scheme's guarantee is *per single-bit error*: parity gives
+the branch blocks minimum Hamming distance two.  These tests pin the
+guarantee (and its boundary) directly against the fault-model API --
+``inject_mask_under_new_encoding`` is the one place every text-mutating
+model composes with the re-encoding.
+"""
+
+import pytest
+
+from repro.encoding import (hamming_distance,
+                            inject_mask_under_new_encoding,
+                            inject_under_new_encoding, map_instruction,
+                            minimum_branch_distance, odd_parity_bit,
+                            reencode_opcode, sparc, TWO_BYTE_MAP)
+from repro.injection import get_fault_model
+
+JCC2 = range(0x70, 0x80)
+
+
+# ----------------------------------------------------------------------
+# parity.py under the mask API
+
+def test_odd_parity_bit_definition():
+    for nibble in range(16):
+        ones = bin(nibble).count("1") + odd_parity_bit(nibble)
+        assert ones % 2 == 1
+
+
+def test_reencoded_block_has_distance_two():
+    codes = [reencode_opcode(opcode) for opcode in JCC2]
+    assert len(set(codes)) == len(codes)
+    for i, a in enumerate(codes):
+        for b in codes[i + 1:]:
+            assert hamming_distance(a, b) >= 2
+    assert minimum_branch_distance("new") >= 2
+    assert minimum_branch_distance("old") == 1
+
+
+def test_single_bit_mask_never_lands_on_a_branch():
+    """Under the new encoding no single-bit opcode error yields
+    another conditional branch -- the flipped byte either leaves the
+    re-encoded block (detected) or maps back onto itself."""
+    for opcode in JCC2:
+        raw = bytes([opcode, 0x05])
+        for bit in range(8):
+            corrupted = inject_mask_under_new_encoding(raw, 0,
+                                                       1 << bit)
+            if corrupted[0] in JCC2:
+                # a survivor must be the identity, never a *different*
+                # branch condition
+                assert corrupted[0] == opcode
+    # sanity: the old encoding does convert je<->jne with one bit
+    assert (0x74 ^ 0x75) == 1
+
+
+def test_mask_api_generalizes_single_bit():
+    raw = bytes([0x74, 0x0A])
+    for bit in range(8):
+        assert (inject_under_new_encoding(raw, 0, bit)
+                == inject_mask_under_new_encoding(raw, 0, 1 << bit))
+
+
+def test_burst_mask_can_defeat_distance_two():
+    """The burst model's adjacent-bit pairs are exactly the cheapest
+    error class the parity scheme does not cover: some burst turns one
+    re-encoded branch into another (changed but undetected)."""
+    model = get_fault_model("burst2")
+    assert model.reencodes
+    defeated = 0
+    for opcode in JCC2:
+        raw = bytes([opcode, 0x05])
+        for bit in range(7):
+            mask = (1 << bit) | (1 << (bit + 1))
+            corrupted = inject_mask_under_new_encoding(raw, 0, mask)
+            if corrupted[0] in JCC2 and corrupted[0] != opcode:
+                defeated += 1
+    assert defeated > 0
+
+
+def test_displacement_bytes_compose_transparently():
+    """Non-opcode bytes are not re-encoded: a mask there is a plain
+    XOR regardless of the encoding."""
+    raw = bytes([0x74, 0x0A])
+    for mask in (0x01, 0x03, 0x80):
+        corrupted = inject_mask_under_new_encoding(raw, 1, mask)
+        assert corrupted[0] == 0x74
+        assert corrupted[1] == 0x0A ^ mask
+
+
+def test_mapping_is_involutive_for_branch_bytes():
+    for opcode in range(256):
+        mapped = TWO_BYTE_MAP[TWO_BYTE_MAP[opcode]]
+        assert mapped == opcode
+    raw = bytes([0x74, 0x0A])
+    assert map_instruction(map_instruction(raw, "to_new"),
+                           "to_old") == raw
+
+
+# ----------------------------------------------------------------------
+# sparc.py under the same construction
+
+def test_sparc_negations_are_distance_one_on_stock_hardware():
+    pairs = sparc.negation_pairs()
+    assert len(pairs) == 8
+    assert all(pair.distance == 1 for pair in pairs)
+    assert sparc.minimum_distance("old") == 1
+
+
+def test_sparc_parity_reencoding_reaches_distance_two():
+    assert sparc.minimum_distance("new") >= 2
+    codes = [sparc.reencode_condition(cond) for cond in range(16)]
+    assert len(set(codes)) == 16
+
+
+def test_sparc_parity_also_defeated_by_adjacent_bursts():
+    """The burst observation is architecture-independent: distance-2
+    parity codes on the SPARC cond field fall to some 2-adjacent-bit
+    error too."""
+    codes = {sparc.reencode_condition(cond) for cond in range(16)}
+    defeated = 0
+    for cond in range(16):
+        encoded = sparc.reencode_condition(cond)
+        for bit in range(4):
+            mask = (1 << bit) | (1 << (bit + 1))
+            if (encoded ^ mask) in codes:
+                defeated += 1
+    assert defeated > 0
+
+
+@pytest.mark.parametrize("model_name", ["register-bit", "memory-bit"])
+def test_data_models_do_not_reencode(model_name):
+    """Data-error models are encoding-invariant by contract: the
+    re-encoding only rewrites text bytes, which they never touch."""
+    assert not get_fault_model(model_name).reencodes

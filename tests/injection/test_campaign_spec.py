@@ -1,0 +1,80 @@
+"""CampaignSpec: the daemon x client x encoding x fault-model cell."""
+
+import pytest
+
+from repro.apps.pop3d import Pop3Daemon
+from repro.injection import (ALL_ENCODINGS, BranchBitFlip,
+                             CampaignSpec, enumerate_specs,
+                             RegisterBitFlip, run_spec)
+
+
+def test_defaults_name_the_paper_experiment():
+    spec = CampaignSpec()
+    assert (spec.daemon, spec.client) == ("ftpd", "Client1")
+    assert spec.encoding == "old"
+    assert spec.fault_model == "branch-bit"
+    assert isinstance(spec.model(), BranchBitFlip)
+
+
+def test_spec_resolves_registries():
+    spec = CampaignSpec(daemon="pop3d", client="Client1",
+                        fault_model="register-bit")
+    assert spec.daemon_spec().daemon_class is Pop3Daemon
+    assert callable(spec.client_factory())
+    assert isinstance(spec.model(), RegisterBitFlip)
+    assert spec.label() == "pop3d Client1 old register-bit"
+
+
+def test_spec_is_hashable_pure_data():
+    spec = CampaignSpec(daemon="sshd", fault_model="burst2")
+    assert spec == CampaignSpec(daemon="sshd", fault_model="burst2")
+    assert len({spec, CampaignSpec(daemon="sshd",
+                                   fault_model="burst2")}) == 1
+
+
+def test_unknown_names_fail_at_resolution_not_construction():
+    spec = CampaignSpec(daemon="telnetd", fault_model="cosmic-ray")
+    with pytest.raises(KeyError):
+        spec.daemon_spec()
+    with pytest.raises(KeyError):
+        spec.model()
+
+
+def test_enumerate_specs_full_product():
+    specs = enumerate_specs()
+    daemons = {spec.daemon for spec in specs}
+    models = {spec.fault_model for spec in specs}
+    assert daemons == {"ftpd", "pop3d", "sshd"}
+    assert models == {"branch-bit", "burst2", "memory-bit",
+                      "register-bit"}
+    assert all(spec.encoding == "old" for spec in specs)
+    assert len(specs) == len(set(specs))      # no duplicates
+
+
+def test_enumerate_specs_restricted():
+    specs = enumerate_specs(daemons=("ftpd",), clients=("Client1",),
+                            encodings=ALL_ENCODINGS,
+                            fault_models=("branch-bit",))
+    assert len(specs) == 2
+    assert {spec.encoding for spec in specs} == set(ALL_ENCODINGS)
+
+
+def test_run_spec_pop3d_campaign_smoke(pop3_daemon, tmp_path):
+    spec = CampaignSpec(daemon="pop3d", client="Client1",
+                        fault_model="register-bit")
+    journal = str(tmp_path / "pop3.jsonl")
+    campaign = run_spec(spec, daemon=pop3_daemon, max_points=8,
+                        journal=journal, resume=True)
+    assert campaign.total_runs == 8
+    assert campaign.fault_model == "register-bit"
+    resumed = run_spec(spec, daemon=pop3_daemon, max_points=8,
+                       journal=journal, resume=True)
+    assert resumed.timing["executed"] == 0
+    assert resumed.counts() == campaign.counts()
+
+
+def test_run_spec_builds_daemon_when_not_supplied():
+    spec = CampaignSpec(daemon="ftpd", client="Client1")
+    campaign = run_spec(spec, max_points=2)
+    assert campaign.total_runs == 2
+    assert campaign.daemon_name == "FtpDaemon"

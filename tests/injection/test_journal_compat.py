@@ -1,0 +1,106 @@
+"""Backward compatibility: pre-registry journals and campaign JSON
+(schema v2-v4) must keep loading and resuming under schema v5."""
+
+import json
+import os
+
+import pytest
+
+from repro.analysis import (campaign_from_dict, campaign_to_dict,
+                            result_from_dict)
+from repro.apps.ftpd import CLIENT_FACTORIES as FTP_CLIENTS
+from repro.injection import run_campaign
+from repro.injection.runner import CampaignJournal, JOURNAL_SCHEMA
+from repro.injection.targets import InjectionPoint
+
+FIXTURE = os.path.join(os.path.dirname(__file__), "fixtures",
+                       "journal_schema2.jsonl")
+
+
+def test_schema_constants():
+    assert JOURNAL_SCHEMA == 5
+
+
+def test_old_fixture_journal_loads():
+    meta, results, quarantined = CampaignJournal.load(FIXTURE)
+    assert meta["schema"] == 2
+    assert "model" not in meta
+    assert set(results) == {"804a1c2:0:3", "804a1c2:1:7"}
+    for key, record in results.items():
+        result = result_from_dict(record)
+        assert isinstance(result.point, InjectionPoint)
+        assert result.point.key == key
+    assert set(quarantined) == {"804a1d0:0:0"}
+
+
+def _downgrade_journal(path):
+    """Rewrite a v5 journal as its pre-registry (v2) equivalent:
+    schema stamp back, no ``model`` in meta."""
+    with open(path) as handle:
+        lines = [json.loads(line) for line in handle
+                 if line.strip()]
+    assert lines[0]["type"] == "meta"
+    lines[0]["schema"] = 2
+    del lines[0]["model"]
+    with open(path, "w") as handle:
+        for record in lines:
+            handle.write(json.dumps(record) + "\n")
+
+
+def test_resume_from_pre_registry_journal(ftp_daemon, tmp_path):
+    """A journal written before the fault-model registry existed (no
+    ``model`` in meta, legacy point records) resumes as branch-bit
+    with identical records."""
+    journal = str(tmp_path / "old.jsonl")
+    first = run_campaign(ftp_daemon, "Client1",
+                         FTP_CLIENTS["Client1"], max_points=10,
+                         journal=journal, resume=True)
+    _downgrade_journal(journal)
+    resumed = run_campaign(ftp_daemon, "Client1",
+                           FTP_CLIENTS["Client1"], max_points=10,
+                           journal=journal, resume=True)
+    assert resumed.timing["executed"] == 0
+    first_payload = campaign_to_dict(first)
+    resumed_payload = campaign_to_dict(resumed)
+    assert first_payload["results"] == resumed_payload["results"]
+    assert resumed_payload["fault_model"] == "branch-bit"
+
+
+def test_pre_registry_journal_rejects_non_branch_models(ftp_daemon,
+                                                        tmp_path):
+    """The missing ``model`` field means branch-bit and nothing else:
+    resuming a register-bit campaign from it must fail loudly."""
+    from repro.injection import JournalError
+    journal = str(tmp_path / "old.jsonl")
+    run_campaign(ftp_daemon, "Client1", FTP_CLIENTS["Client1"],
+                 max_points=4, journal=journal, resume=True)
+    _downgrade_journal(journal)
+    with pytest.raises(JournalError):
+        run_campaign(ftp_daemon, "Client1", FTP_CLIENTS["Client1"],
+                     fault_model="register-bit", max_points=4,
+                     journal=journal, resume=True)
+
+
+def test_v4_campaign_payload_loads_as_branch_bit(ftp_daemon):
+    """Campaign JSON written by schema v4 (no ``fault_model``, legacy
+    point records) round-trips into a v5 CampaignResult."""
+    campaign = run_campaign(ftp_daemon, "Client1",
+                            FTP_CLIENTS["Client1"], max_points=6)
+    payload = campaign_to_dict(campaign)
+    # what a v4 writer produced
+    payload["schema"] = 4
+    del payload["fault_model"]
+    loaded = campaign_from_dict(payload)
+    assert loaded.fault_model == "branch-bit"
+    assert loaded.counts() == campaign.counts()
+    # and the re-serialized form is a clean v5 payload
+    upgraded = campaign_to_dict(loaded)
+    assert upgraded["schema"] == 5
+    assert upgraded["fault_model"] == "branch-bit"
+    assert upgraded["results"] == campaign_to_dict(campaign)["results"]
+
+
+def test_unsupported_future_schema_rejected():
+    with pytest.raises(ValueError):
+        campaign_from_dict({"schema": 99, "daemon": "", "client": "",
+                            "encoding": "", "results": []})

@@ -89,6 +89,39 @@ class TestCampaignCommand:
         assert code == 0
         assert "quarantined" not in text
 
+    def test_daemon_flag_reaches_pop3d(self):
+        code, text = run_cli("campaign", "--daemon", "pop3d",
+                             "--max-points", "24")
+        assert code == 0
+        assert "pop3d Client1 (old encoding)" in text
+        assert "POP3 Client1" in text
+
+    def test_fault_model_flag(self):
+        code, text = run_cli("campaign", "--daemon", "ftpd",
+                             "--fault-model", "register-bit",
+                             "--max-points", "24")
+        assert code == 0
+        assert "register-bit faults" in text
+
+    def test_implicit_campaign_command(self, tmp_path):
+        """``python -m repro --daemon pop3d --fault-model
+        register-bit`` means ``campaign`` (the PR's acceptance
+        invocation), journaled and resumable."""
+        journal = str(tmp_path / "imp.jsonl")
+        code, text = run_cli("--daemon", "pop3d",
+                             "--fault-model", "register-bit",
+                             "--max-points", "16",
+                             "--journal", journal, "--resume")
+        assert code == 0
+        assert "register-bit faults" in text
+        with open(journal) as handle:
+            assert sum(1 for line in handle) == 17
+        code, __ = run_cli("--daemon", "pop3d",
+                           "--fault-model", "register-bit",
+                           "--max-points", "16",
+                           "--journal", journal, "--resume")
+        assert code == 0
+
 
 class TestRandomCommand:
     def test_small_sample(self):
@@ -105,3 +138,18 @@ class TestParser:
     def test_rejects_unknown_app(self):
         with pytest.raises(SystemExit):
             build_parser().parse_args(["campaign", "--app", "telnetd"])
+
+    def test_app_alias_still_parses(self):
+        args = build_parser().parse_args(["campaign", "--app", "sshd"])
+        assert args.daemon == "sshd"
+
+    def test_every_registered_daemon_is_a_choice(self):
+        for daemon in ("ftpd", "pop3d", "sshd"):
+            args = build_parser().parse_args(["disasm", "--daemon",
+                                              daemon])
+            assert args.daemon == daemon
+
+    def test_rejects_unknown_fault_model(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["campaign", "--fault-model",
+                                       "cosmic-ray"])
