@@ -78,3 +78,44 @@ def test_connection_throughput(benchmark, cache):
 
     instret = benchmark(run_once)
     assert instret > 5_000
+
+
+def test_forensic_ring_overhead(record_result, record_json):
+    """The forensics acceptance gate: the block-granularity ring costs
+    under 5% on the fast path when attached, and exactly nothing when
+    not (``run()`` branches to a separate loop, so the plain path is
+    untouched -- asserted structurally by the campaign equivalence
+    tests; measured here for the attached case)."""
+    import time
+
+    from repro.obs.forensics import make_forensic_ring
+
+    program = compile_program(HASH_LOOP)
+
+    def run_once(with_ring):
+        process = Process(program.module, Kernel())
+        if with_ring:
+            process.cpu.forensic_ring = make_forensic_ring()
+        started = time.perf_counter()
+        status = process.run(5_000_000)
+        elapsed = time.perf_counter() - started
+        assert status.kind == "exit"
+        return elapsed, status.instret
+
+    # best-of-N on both variants so scheduler noise cannot fake a
+    # regression (or hide one)
+    rounds = 5
+    run_once(False)                      # warm the prepared-op cache
+    plain = min(run_once(False)[0] for __ in range(rounds))
+    ringed = min(run_once(True)[0] for __ in range(rounds))
+    overhead = (ringed - plain) / plain if plain else 0.0
+    record_result("forensic_ring_overhead",
+                  "plain: %.4f s  ring: %.4f s  overhead: %.1f%%"
+                  % (plain, ringed, 100 * overhead))
+    record_json("forensic_ring_overhead", {
+        "plain_seconds": plain,
+        "ring_seconds": ringed,
+        "overhead_fraction": overhead,
+    })
+    assert overhead < 0.05, (
+        "forensic ring costs %.1f%% (budget: 5%%)" % (100 * overhead))

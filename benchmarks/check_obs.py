@@ -1,0 +1,160 @@
+#!/usr/bin/env python
+"""CI observability-artifact gate.
+
+Validates the trace and metrics files a smoke campaign wrote:
+
+``trace``
+    the file loads as Chrome-trace/Perfetto JSON, every event carries
+    the required keys (``ph``/``ts``/``pid``/``tid``/``name``), and
+    the span tree nests temporally -- every event falls inside the
+    single ``campaign`` root span, every ``experiment`` span falls
+    inside a ``shard`` span when shards are present.
+
+``metrics-equal``
+    two metrics-registry dumps agree on the deterministic core
+    (everything outside the ``volatile`` section).  CI feeds it a
+    serial and a ``--workers 3`` run of the same campaign: the
+    emulator is deterministic, so any difference is an aggregation
+    bug in the shard merge.
+
+Usage::
+
+    python benchmarks/check_obs.py trace smoke-trace.json
+    python benchmarks/check_obs.py metrics-equal serial.json sharded.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import sys
+
+REQUIRED_EVENT_KEYS = ("ph", "ts", "pid", "tid", "name")
+
+
+def load_events(path):
+    payload = json.loads(pathlib.Path(path).read_text())
+    if isinstance(payload, dict):
+        payload = payload.get("traceEvents")
+    if not isinstance(payload, list):
+        raise SystemExit("%s: not a Chrome-trace file (expected an "
+                         "object with traceEvents or a bare array)" % path)
+    return payload
+
+
+def _contains(outer, inner):
+    return (outer["ts"] <= inner["ts"]
+            and inner["ts"] + inner.get("dur", 0)
+            <= outer["ts"] + outer.get("dur", 0))
+
+
+def check_trace(path):
+    """Return a list of failure messages for one trace file."""
+    events = load_events(path)
+    failures = []
+    if not events:
+        return ["%s: trace is empty" % path]
+    for index, event in enumerate(events):
+        missing = [key for key in REQUIRED_EVENT_KEYS if key not in event]
+        if missing:
+            failures.append("%s: event #%d (%r) missing keys %s"
+                            % (path, index, event.get("name"),
+                               ", ".join(missing)))
+    by_name = {}
+    for event in events:
+        by_name.setdefault(event.get("name"), []).append(event)
+    roots = by_name.get("campaign", [])
+    if len(roots) != 1:
+        failures.append("%s: expected exactly one campaign span, got %d"
+                        % (path, len(roots)))
+        return failures
+    (root,) = roots
+    for event in events:
+        if not _contains(root, event):
+            failures.append(
+                "%s: %r span at ts=%d escapes the campaign span"
+                % (path, event.get("name"), event.get("ts", -1)))
+    shards = by_name.get("shard", [])
+    for experiment in by_name.get("experiment", []):
+        candidates = ([shard for shard in shards
+                       if shard["tid"] == experiment["tid"]]
+                      if shards else [root])
+        if not any(_contains(outer, experiment)
+                   for outer in candidates):
+            failures.append(
+                "%s: experiment %r (tid %d) outside its shard span"
+                % (path, experiment.get("args", {}).get("point"),
+                   experiment.get("tid", -1)))
+    if not by_name.get("golden-run"):
+        failures.append("%s: no golden-run span" % path)
+    return failures
+
+
+def deterministic_core(registry):
+    registry = dict(registry)
+    registry.pop("volatile", None)
+    return registry
+
+
+def check_metrics_equal(left_path, right_path):
+    """Return failure messages unless the deterministic cores match."""
+    left = json.loads(pathlib.Path(left_path).read_text())
+    right = json.loads(pathlib.Path(right_path).read_text())
+    failures = []
+    for side, registry in ((left_path, left), (right_path, right)):
+        if "counters" not in registry:
+            failures.append("%s: no counters section -- not a metrics "
+                            "registry dump" % side)
+    if failures:
+        return failures
+    left_core = deterministic_core(left)
+    right_core = deterministic_core(right)
+    if left_core != right_core:
+        for section in sorted(set(left_core) | set(right_core)):
+            if left_core.get(section) != right_core.get(section):
+                failures.append(
+                    "deterministic core differs in %r:\n  %s: %s\n  %s: %s"
+                    % (section, left_path,
+                       json.dumps(left_core.get(section), sort_keys=True),
+                       right_path,
+                       json.dumps(right_core.get(section), sort_keys=True)))
+    return failures
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    commands = parser.add_subparsers(dest="command", required=True)
+    trace = commands.add_parser(
+        "trace", help="validate Chrome-trace shape and span nesting")
+    trace.add_argument("paths", nargs="+")
+    equal = commands.add_parser(
+        "metrics-equal",
+        help="two registry dumps share a deterministic core")
+    equal.add_argument("left")
+    equal.add_argument("right")
+    args = parser.parse_args(argv)
+
+    if args.command == "trace":
+        failures = []
+        for path in args.paths:
+            failures.extend(check_trace(path))
+            if not failures:
+                events = load_events(path)
+                print("%s: %d event(s), span tree nests ok"
+                      % (path, len(events)))
+    else:
+        failures = check_metrics_equal(args.left, args.right)
+        if not failures:
+            print("%s and %s agree on the deterministic core"
+                  % (args.left, args.right))
+    if failures:
+        print("observability gate FAILED:", file=sys.stderr)
+        for failure in failures:
+            print("  - " + failure, file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

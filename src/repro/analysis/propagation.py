@@ -23,6 +23,8 @@ from ..apps.common import CONNECTION_INSTRUCTION_BUDGET
 from ..emu import Process
 from ..injection.injector import BreakpointSession
 from ..kernel import ServerHang
+from ..obs.forensics import first_divergence
+from ..obs.ring import TraceRecorder
 from ..x86.registers import REG32_NAMES
 
 
@@ -52,18 +54,6 @@ class PropagationReport:
         return self.divergence_latency is not None
 
 
-class _TraceRecorder:
-    """Captures (eip, regs) per retired instruction."""
-
-    def __init__(self):
-        self.eips = []
-        self.regs = []
-
-    def hook(self, cpu, instruction):
-        self.eips.append(cpu.eip)
-        self.regs.append(tuple(cpu.regs))
-
-
 def analyze_propagation(daemon, client_factory, instruction_address,
                         flip_address, bit,
                         budget=CONNECTION_INSTRUCTION_BUDGET,
@@ -73,12 +63,13 @@ def analyze_propagation(daemon, client_factory, instruction_address,
     """
     golden = _trace_from_breakpoint(daemon, client_factory,
                                     instruction_address, budget,
-                                    flip=None)
+                                    flip=None, max_trace=max_trace)
     if golden is None:
         return PropagationReport(activated=False)
     injected = _trace_from_breakpoint(daemon, client_factory,
                                       instruction_address, budget,
-                                      flip=(flip_address, bit))
+                                      flip=(flip_address, bit),
+                                      max_trace=max_trace)
     golden_trace, __, ___ = golden
     trace, kernel, status = injected
 
@@ -86,15 +77,9 @@ def analyze_propagation(daemon, client_factory, instruction_address,
                                instructions_after_activation=len(
                                    trace.eips))
 
-    # Control-flow divergence: first index where the EIP streams differ.
-    divergence_index = None
-    for index in range(min(len(trace.eips), len(golden_trace.eips))):
-        if trace.eips[index] != golden_trace.eips[index]:
-            divergence_index = index
-            break
-    if divergence_index is None and len(trace.eips) != len(
-            golden_trace.eips):
-        divergence_index = min(len(trace.eips), len(golden_trace.eips))
+    # Control-flow divergence: first index where the EIP streams
+    # differ (shared with the forensics CLI's divergence locator).
+    divergence_index = first_divergence(golden_trace.eips, trace.eips)
 
     if divergence_index is not None:
         report.divergence_latency = divergence_index
@@ -127,7 +112,7 @@ def analyze_propagation(daemon, client_factory, instruction_address,
 
 
 def _trace_from_breakpoint(daemon, client_factory, instruction_address,
-                           budget, flip):
+                           budget, flip, max_trace=None):
     """Run to the breakpoint, then trace the remainder (optionally with
     the bit flipped).  Returns (recorder, kernel, status) or None when
     the breakpoint is never reached."""
@@ -139,7 +124,10 @@ def _trace_from_breakpoint(daemon, client_factory, instruction_address,
         return None
     if flip is not None:
         process.flip_bit(*flip)
-    recorder = _TraceRecorder()
+    # Head capture (repro.obs.ring.TraceRecorder): divergence is
+    # searched from the activation point forward, so the *first*
+    # max_trace instructions are the ones that matter.
+    recorder = TraceRecorder(limit=max_trace)
     process.cpu.trace_hook = recorder.hook
     try:
         status = process.run(budget)

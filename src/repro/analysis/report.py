@@ -96,3 +96,29 @@ def _fmt(value):
     if isinstance(value, float):
         return "%.2f" % value
     return str(value)
+
+
+def format_forensics(campaign, limit=5,
+                     title="Crash forensics (last instructions at "
+                           "fault time)"):
+    """Render the forensics snapshots of a campaign's SD/HANG/HF
+    records (campaigns run with ``forensics=True``; see
+    :mod:`repro.obs.forensics`).  Returns ``""`` when the campaign
+    carries no snapshots, so callers can append unconditionally."""
+    from ..obs.forensics import format_forensics_record
+    captured = [result for result in campaign.results
+                if result.forensics is not None]
+    if not captured:
+        return ""
+    lines = [title]
+    for result in captured[:limit]:
+        lines.append("")
+        lines.append("%s  %s at %s  (%s)"
+                     % (result.point.key, result.outcome,
+                        result.location, result.detail or "-"))
+        lines.append(format_forensics_record(result.forensics))
+    if len(captured) > limit:
+        lines.append("")
+        lines.append("... %d more snapshot(s) not shown"
+                     % (len(captured) - limit))
+    return "\n".join(lines)

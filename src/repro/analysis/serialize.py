@@ -13,9 +13,12 @@ Schema history: v1 had no ``crashed_after_breakin``,
 v3's ``timing`` had no execution-engine ``perf`` counter dict (see
 :class:`repro.emu.perf.PerfCounters`); v4 predates the fault-model
 registry (no ``fault_model`` field, and every point record is a
-branch-bit point with no ``ptype`` discriminator).  Older payloads
-still load, with the missing fields defaulted -- a v3/v4 payload
-loads as a ``branch-bit`` campaign, which is what it was.
+branch-bit point with no ``ptype`` discriminator); v5 predates the
+observability layer (no per-record ``forensics`` snapshot and no
+campaign ``metrics`` registry dump -- both optional in v6 and simply
+absent from older records).  Older payloads still load, with the
+missing fields defaulted -- a v3/v4 payload loads as a ``branch-bit``
+campaign, which is what it was.
 """
 
 from __future__ import annotations
@@ -26,8 +29,8 @@ from ..injection import faultmodels
 from ..injection.campaign import CampaignResult, QuarantinedPoint
 from ..injection.outcomes import InjectionResult
 
-SCHEMA_VERSION = 5
-_LOADABLE_SCHEMAS = (1, 2, 3, 4, 5)
+SCHEMA_VERSION = 6
+_LOADABLE_SCHEMAS = (1, 2, 3, 4, 5, 6)
 
 
 def campaign_to_dict(campaign):
@@ -44,6 +47,7 @@ def campaign_to_dict(campaign):
         "quarantined": [quarantined_to_dict(entry)
                         for entry in campaign.quarantined],
         "timing": campaign.timing,
+        "metrics": campaign.metrics,
     }
 
 
@@ -75,6 +79,10 @@ def result_to_dict(result):
         "hang_eip_range": (None if result.hang_eip_range is None
                            else list(result.hang_eip_range)),
     })
+    # Optional and omitted when absent: journals stay one compact line
+    # per record unless the campaign actually ran with forensics on.
+    if result.forensics is not None:
+        record["forensics"] = result.forensics
     return record
 
 
@@ -95,7 +103,8 @@ def result_from_dict(record):
                                          False),
         detail=record["detail"],
         hang_eip_range=(None if hang_eip_range is None
-                        else tuple(hang_eip_range)))
+                        else tuple(hang_eip_range)),
+        forensics=record.get("forensics"))
 
 
 def quarantined_to_dict(entry):
@@ -134,6 +143,7 @@ def campaign_from_dict(payload):
     for record in payload.get("quarantined", ()):
         campaign.quarantined.append(quarantined_from_dict(record))
     campaign.timing = payload.get("timing")
+    campaign.metrics = payload.get("metrics")
     return campaign
 
 

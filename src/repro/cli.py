@@ -12,13 +12,18 @@ Commands
 ``figure4``    run the FTP attacker campaign and print the crash
                latency histogram.
 ``random``     run the Section 7 random-injection testbed.
+``forensics``  render the crash-forensics snapshots stored in a
+               campaign journal (``--divergence`` replays a point and
+               locates where it left the golden path).
 
 Every command takes ``--daemon`` (any daemon registered in
 :mod:`repro.apps.registry`; ``--app`` is a back-compat alias), and
 ``campaign`` takes ``--fault-model`` (any model registered in
 :mod:`repro.injection.faultmodels`).  An option-first invocation such
 as ``python -m repro --daemon pop3d --fault-model register-bit``
-implies the ``campaign`` command.
+implies the ``campaign`` command.  ``--verbose`` / ``--quiet`` adjust
+the ``repro`` logger (:mod:`repro.obs.log`); progress and warnings go
+to stderr, results to stdout.
 """
 
 from __future__ import annotations
@@ -27,12 +32,14 @@ import argparse
 import sys
 
 from .analysis import (build_histogram, build_table1, build_table3,
-                       format_histogram, format_table1, format_table3)
+                       format_forensics, format_histogram,
+                       format_table1, format_table3)
 from .apps.registry import available_daemons, get_daemon_spec
 from .encoding import format_table4, minimum_branch_distance
 from .injection import (available_fault_models, DEFAULT_FAULT_MODEL,
                         describe_targets, run_campaign,
                         run_random_campaign)
+from .obs import configure_logging, ProgressReporter
 from .x86 import disassemble_range, format_listing
 
 
@@ -52,16 +59,10 @@ def _add_daemon_arg(parser):
                              % ", ".join(available_daemons()))
 
 
-def _progress_printer(stream):
-    state = {"last": 0}
-
-    def progress(done, total):
-        if done - state["last"] >= 250 or done == total:
-            state["last"] = done
-            stream.write("  ... %d / %d experiments\n" % (done, total))
-            stream.flush()
-
-    return progress
+def _progress(args):
+    """``--progress`` now routes through the ``repro.campaign`` logger
+    (so ``--quiet`` silences it) instead of ad-hoc stream writes."""
+    return ProgressReporter() if args.progress else None
 
 
 def _write_timing(out, campaign):
@@ -99,13 +100,18 @@ def cmd_campaign(args, out):
         max_points=args.max_points,
         journal=args.journal, resume=args.resume,
         retries=args.retries, workers=args.workers,
-        progress=_progress_printer(out) if args.progress else None)
+        trace=args.trace, metrics=args.metrics,
+        forensics=args.forensics, progress=_progress(args))
     if args.journal:
         if args.workers and args.workers > 1:
             out.write("journal: %s.shard0..%d\n"
                       % (args.journal, args.workers - 1))
         else:
             out.write("journal: %s\n" % args.journal)
+    if args.trace:
+        out.write("trace: %s\n" % args.trace)
+    if args.metrics:
+        out.write("metrics: %s\n" % args.metrics)
     _write_timing(out, campaign)
     if campaign.quarantined_count:
         out.write("quarantined (unstable, excluded from percentages): "
@@ -122,6 +128,10 @@ def cmd_campaign(args, out):
     out.write(format_table1(build_table1([campaign]), title) + "\n")
     out.write("\nBRK+FSV by location:\n")
     out.write(format_table3(build_table3([campaign]), "") + "\n")
+    if args.forensics:
+        section = format_forensics(campaign)
+        if section:
+            out.write("\n" + section + "\n")
     return 0
 
 
@@ -159,8 +169,8 @@ def cmd_figure4(args, out):
     attacker = get_daemon_spec(args.daemon).attacker_client
     campaign = run_campaign(
         daemon, attacker, clients[attacker],
-        workers=args.workers,
-        progress=_progress_printer(out) if args.progress else None)
+        workers=args.workers, trace=args.trace, metrics=args.metrics,
+        progress=_progress(args))
     histogram = build_histogram(campaign.crash_latencies())
     out.write(format_histogram(histogram) + "\n")
     _write_timing(out, campaign)
@@ -182,16 +192,96 @@ def cmd_random(args, out):
     return 0
 
 
+def _spec_from_journal_meta(meta):
+    """Map a journal's recorded daemon class name ("FtpDaemon") back to
+    its registry spec, so the ``forensics`` command can rebuild the
+    campaign for a divergence replay."""
+    recorded = meta.get("daemon")
+    for name in available_daemons():
+        spec = get_daemon_spec(name)
+        if spec.daemon_class.__name__ == recorded:
+            return spec
+    raise SystemExit("journal daemon %r matches no registered daemon "
+                     "(have: %s)" % (recorded,
+                                     ", ".join(available_daemons())))
+
+
+def cmd_forensics(args, out):
+    from .analysis import point_from_dict
+    from .injection.runner import CampaignJournal
+    from .obs.forensics import format_forensics_record
+    meta, results, __ = CampaignJournal.load(args.journal)
+    if meta is None:
+        raise SystemExit("journal %s has no meta header" % args.journal)
+    records = sorted(results.values(),
+                     key=lambda record: point_from_dict(record).sort_key)
+    if args.key:
+        records = [record for record in records
+                   if record.get("key") == args.key]
+        if not records:
+            raise SystemExit("no journaled record with key %r"
+                             % args.key)
+    snapshots = [record for record in records
+                 if record.get("forensics")]
+    if not snapshots:
+        out.write("no forensics snapshots in %s (campaign ran without "
+                  "--forensics?)\n" % args.journal)
+        return 1
+    shown = snapshots[:args.limit] if args.limit else snapshots
+    out.write("%d snapshot(s) in %s (showing %d)\n"
+              % (len(snapshots), args.journal, len(shown)))
+    for record in shown:
+        out.write("\n%s  %s at %s  (%s)\n"
+                  % (record["key"], record["outcome"],
+                     record["location"], record.get("detail") or "-"))
+        out.write(format_forensics_record(record["forensics"]) + "\n")
+        if args.divergence:
+            _write_divergence(out, meta, record)
+    return 0
+
+
+def _write_divergence(out, meta, record):
+    """Replay one journaled point (clean vs flipped) and report where
+    the faulty run left the golden path (offline divergence locator:
+    two traced replays per point are far too slow to run in-campaign).
+    """
+    from .analysis import analyze_propagation, format_propagation
+    point = None
+    try:
+        from .analysis import point_from_dict
+        point = point_from_dict(record)
+        flip_address = point.flip_address
+    except (KeyError, AttributeError):
+        out.write("  (divergence replay supports bit-flip points "
+                  "only)\n")
+        return
+    spec = _spec_from_journal_meta(meta)
+    daemon = spec.build()
+    client_factory = spec.client_factory(meta["client"])
+    report = analyze_propagation(
+        daemon, client_factory, point.instruction_address,
+        flip_address, point.bit,
+        budget=meta.get("budget") or 2_000_000)
+    out.write(format_propagation(report) + "\n")
+
+
 def build_parser():
     parser = argparse.ArgumentParser(
         prog="repro",
         description="Reproduction of 'An Experimental Study of "
                     "Security Vulnerabilities Caused by Errors' "
                     "(DSN 2001)")
+    verbosity = argparse.ArgumentParser(add_help=False)
+    verbosity.add_argument("-v", "--verbose", action="count",
+                           default=0,
+                           help="per-component debug detail on stderr")
+    verbosity.add_argument("-q", "--quiet", action="count", default=0,
+                           help="warnings only on stderr")
     commands = parser.add_subparsers(dest="command", required=True)
 
     campaign = commands.add_parser(
-        "campaign", help="run an injection campaign")
+        "campaign", parents=[verbosity],
+        help="run an injection campaign")
     _add_daemon_arg(campaign)
     campaign.add_argument("--client", default="Client1")
     campaign.add_argument("--encoding", choices=("old", "new"),
@@ -226,36 +316,77 @@ def build_parser():
                                "processes; tallies are identical to "
                                "a serial run (journals become "
                                "per-shard <journal>.shardK files)")
+    _add_obs_args(campaign)
+    campaign.add_argument("--forensics", action="store_true",
+                          help="capture the last-instructions ring and "
+                               "a register/flags snapshot on every "
+                               "SD/HANG/HF record (see the "
+                               "'forensics' command)")
     campaign.set_defaults(handler=cmd_campaign)
 
     disasm = commands.add_parser(
-        "disasm", help="disassemble the authentication sections")
+        "disasm", parents=[verbosity],
+        help="disassemble the authentication sections")
     _add_daemon_arg(disasm)
     disasm.add_argument("--function", default=None)
     disasm.add_argument("--branches-only", action="store_true")
     disasm.set_defaults(handler=cmd_disasm)
 
     table4 = commands.add_parser(
-        "table4", help="print the branch re-encoding table")
+        "table4", parents=[verbosity],
+        help="print the branch re-encoding table")
     table4.set_defaults(handler=cmd_table4)
 
     figure4 = commands.add_parser(
-        "figure4", help="crash-latency histogram (Figure 4)")
+        "figure4", parents=[verbosity],
+        help="crash-latency histogram (Figure 4)")
     _add_daemon_arg(figure4)
     figure4.add_argument("--progress", action="store_true")
     figure4.add_argument("--workers", type=int, default=None,
                          metavar="N",
                          help="shard the campaign across N processes")
+    _add_obs_args(figure4)
     figure4.set_defaults(handler=cmd_figure4)
 
     random_cmd = commands.add_parser(
-        "random", help="random-injection testbed (Section 7)")
+        "random", parents=[verbosity],
+        help="random-injection testbed (Section 7)")
     _add_daemon_arg(random_cmd)
     random_cmd.add_argument("--trials", type=int, default=1000)
     random_cmd.add_argument("--seed", type=int, default=2001)
     random_cmd.set_defaults(handler=cmd_random)
 
+    forensics = commands.add_parser(
+        "forensics", parents=[verbosity],
+        help="render crash-forensics snapshots from a campaign "
+             "journal")
+    forensics.add_argument("journal",
+                           help="JSONL journal written by 'campaign "
+                                "--journal ... --forensics'")
+    forensics.add_argument("--key", default=None,
+                           metavar="ADDR:BYTE:BIT",
+                           help="show only the record with this point "
+                                "key")
+    forensics.add_argument("--limit", type=int, default=10,
+                           metavar="N",
+                           help="show at most N snapshots (0 = all)")
+    forensics.add_argument("--divergence", action="store_true",
+                           help="replay each shown point and report "
+                                "where it left the golden path")
+    forensics.set_defaults(handler=cmd_forensics)
+
     return parser
+
+
+def _add_obs_args(parser):
+    parser.add_argument("--trace", default=None, metavar="FILE",
+                        help="write a Chrome-trace span file "
+                             "(chrome://tracing / Perfetto); parallel "
+                             "runs merge per-shard sinks into FILE")
+    parser.add_argument("--metrics", default=None, metavar="FILE",
+                        help="write the unified metrics registry "
+                             "(outcome tallies, crash-latency "
+                             "histogram, engine counters) as JSON")
 
 
 def main(argv=None, out=None):
@@ -268,6 +399,8 @@ def main(argv=None, out=None):
         argv = ["campaign"] + argv
     parser = build_parser()
     args = parser.parse_args(argv)
+    configure_logging(getattr(args, "verbose", 0)
+                      - getattr(args, "quiet", 0))
     try:
         return args.handler(args, out)
     except BrokenPipeError:

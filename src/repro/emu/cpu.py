@@ -98,6 +98,15 @@ class CPU:
         self.cacheable = None     # (start, end) range eligible for caching
         self.coverage = None      # optional set of executed EIPs
         self.trace_hook = None    # optional fn(cpu, instruction) per step
+        #: optional forensic EIP ring (:mod:`repro.obs.forensics`).
+        #: ``None`` keeps the plain fast loops byte-for-byte untouched
+        #: (zero overhead); a ring switches :meth:`run` to the
+        #: forensic loop, which appends at basic-block granularity --
+        #: whole ``block[3]`` address tuples, no per-instruction
+        #: bookkeeping -- and single EIPs on the step path.  The ring
+        #: ends with the *faulting* instruction after a crash (it did
+        #: not retire; ``instret`` stays exact).
+        self.forensic_ring = None
         self._next_eip = 0
         self._dispatch = self._build_dispatch()
 
@@ -432,6 +441,8 @@ class CPU:
         """
         if self.coverage is not None or self.trace_hook is not None:
             return self._run_stepwise(max_instructions)
+        if self.forensic_ring is not None:
+            return self._run_forensic(max_instructions)
         perf = self.perf
         blocks = self.blocks
         try:
@@ -463,6 +474,55 @@ class CPU:
                     perf.superstep_instructions += count
                     perf.prepared_hits += count
                     continue
+                self.step()
+        except CpuFault as fault:
+            return ("crash", fault)
+        return ("exit", getattr(self, "exit_code", 0))
+
+    def _run_forensic(self, max_instructions):
+        """:meth:`run` with the forensic ring attached.
+
+        A separate loop (rather than an in-loop ``if ring``) so the
+        plain fast path pays nothing when forensics is off.  Ring
+        appends reuse the block's prebuilt ``block[3]`` address tuple
+        -- one append per superstep, no tuple construction -- and a
+        mid-block fault truncates the final entry to the ops up to and
+        including the faulting one, so the ring always ends at the
+        instruction the crash report points at.
+        """
+        perf = self.perf
+        blocks = self.blocks
+        ring = self.forensic_ring
+        ring_append = ring.append
+        try:
+            while not self.halted:
+                remaining = max_instructions - self.instret
+                if remaining <= 0:
+                    return ("limit", None)
+                block = blocks.get(self.eip)
+                if block is None:
+                    block = self._block_at(self.eip)
+                if block is not None and len(block[0]) <= remaining:
+                    fns = block[0]
+                    ring_append(block[3])
+                    try:
+                        for fn in fns:
+                            fn()
+                    except BaseException:
+                        executed = block[3].index(self.eip)
+                        ring[-1] = block[3][:executed + 1]
+                        self.instret += executed
+                        perf.superstep_entries += 1
+                        perf.superstep_instructions += executed
+                        perf.prepared_hits += executed
+                        raise
+                    count = len(fns)
+                    self.instret += count
+                    perf.superstep_entries += 1
+                    perf.superstep_instructions += count
+                    perf.prepared_hits += count
+                    continue
+                ring_append(self.eip)
                 self.step()
         except CpuFault as fault:
             return ("crash", fault)

@@ -55,9 +55,18 @@ class PerfCounters:
 
     def absorb_dict(self, record):
         """Add a serialized counter dict (shard timing payloads);
-        unknown keys are ignored, missing keys count as zero."""
+        missing keys count as zero.  An unknown key -- a shard payload
+        carrying a counter this build does not track, i.e. dropped
+        data -- warns once per key through the ``repro`` logger
+        instead of disappearing silently."""
         if not record:
             return self
+        for name in record:
+            if name not in _FIELDS:
+                from ..obs.log import warn_once
+                warn_once(("perf-unknown-counter", name),
+                          "PerfCounters.absorb_dict: unknown counter "
+                          "%r ignored (not aggregated)", name)
         for name in _FIELDS:
             setattr(self, name, getattr(self, name)
                     + int(record.get(name, 0)))

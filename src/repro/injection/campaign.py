@@ -125,6 +125,12 @@ class CampaignResult:
     #: :func:`repro.injection.runner.campaign_timing`); observational
     #: metadata only -- never part of any tally or comparison.
     timing: dict | None = None
+    #: serialized metrics registry
+    #: (:class:`repro.obs.metrics.MetricsRegistry`): outcome tallies,
+    #: crash-latency histogram, quarantine/retry counts, plus a
+    #: ``volatile`` section (wall clock, engine counters) that may
+    #: differ between runs.  Observational only, like ``timing``.
+    metrics: dict | None = None
 
     @property
     def total_runs(self):
@@ -184,7 +190,8 @@ def run_campaign(daemon, client_name, client_factory,
                  budget=CONNECTION_INSTRUCTION_BUDGET, progress=None,
                  max_points=None, ranges=None, journal=None,
                  resume=False, retries=0, watchdog=None, workers=None,
-                 daemon_factory=None, fault_model=None):
+                 daemon_factory=None, fault_model=None, trace=None,
+                 metrics=None, forensics=False):
     """Run one full selective-exhaustive campaign.
 
     ``fault_model`` selects the injected fault family by registry name
@@ -209,6 +216,14 @@ def run_campaign(daemon, client_name, client_factory,
     are identical to a serial run, the journal becomes one
     ``<journal>.shardK`` file per worker, and ``daemon_factory``
     optionally overrides how each worker rebuilds its daemon.
+
+    Observability (:mod:`repro.obs`): ``trace`` writes a Chrome-trace
+    span file (parallel runs merge per-shard ``<trace>.shardK``
+    sinks), ``metrics`` writes the serialized metrics registry (also
+    attached as ``CampaignResult.metrics``), and ``forensics=True``
+    captures the last-instructions ring plus a register/flags snapshot
+    on every SD/HANG/HF record.  All three are observational: tables
+    and tallies are byte-identical with any combination enabled.
     """
     if workers is not None and workers > 1:
         from .parallel import ParallelCampaignRunner
@@ -218,7 +233,8 @@ def run_campaign(daemon, client_name, client_factory,
             progress=progress, max_points=max_points, ranges=ranges,
             journal=journal, resume=resume, retries=retries,
             watchdog=watchdog, daemon_factory=daemon_factory,
-            fault_model=fault_model)
+            fault_model=fault_model, trace=trace, metrics=metrics,
+            forensics=forensics)
         return runner.run()
     from .runner import CampaignRunner
     runner = CampaignRunner(daemon, client_name, client_factory,
@@ -227,7 +243,8 @@ def run_campaign(daemon, client_name, client_factory,
                             max_points=max_points, ranges=ranges,
                             journal=journal, resume=resume,
                             retries=retries, watchdog=watchdog,
-                            fault_model=fault_model)
+                            fault_model=fault_model, trace=trace,
+                            metrics=metrics, forensics=forensics)
     return runner.run()
 
 

@@ -64,6 +64,10 @@ class InjectionResult:
     #: (low, high) EIP bounds of the loop body when outcome is HANG
     #: and the instruction-rate probe identified a tight loop.
     hang_eip_range: tuple | None = None
+    #: crash-forensics snapshot (:mod:`repro.obs.forensics`) captured
+    #: at SD/HANG/HF time when the campaign ran with forensics on;
+    #: observational only, never part of any tally.
+    forensics: dict | None = None
 
 
 def classify_completed_run(golden, client, transcript, status):

@@ -40,11 +40,15 @@ from queue import Empty
 
 from ..apps.common import CONNECTION_INSTRUCTION_BUDGET
 from ..emu.perf import PerfCounters
+from ..obs.metrics import MetricsRegistry
+from ..obs.trace import (as_tracer, merge_trace_files,
+                         shard_trace_path, Tracer)
 from .faultmodels import get_fault_model
 from .golden import record_golden
 from .runner import (_point_key, CampaignJournal, campaign_timing,
-                     CampaignRunner, validate_journal_meta, Watchdog,
-                     WatchdogConfig)
+                     CampaignRunner, declare_campaign_metrics,
+                     record_result_metrics, record_runtime_metrics,
+                     validate_journal_meta, Watchdog, WatchdogConfig)
 from .targets import DEFAULT_TARGET_KINDS
 
 #: how long the parent waits on the message queue before checking
@@ -166,6 +170,11 @@ def _shard_worker_main(spec, queue):
         def progress(done, total):
             queue.put(("progress", shard, done, total))
 
+        tracer = None
+        if spec.get("trace") is not None:
+            # tid = shard + 1 gives every worker its own track under
+            # the parent's (tid 0) in the merged trace.
+            tracer = Tracer(sink=spec["trace"], tid=shard + 1)
         runner = CampaignRunner(
             daemon, spec["client_name"], spec["client_factory"],
             encoding=spec["encoding"], kinds=spec["kinds"],
@@ -174,7 +183,9 @@ def _shard_worker_main(spec, queue):
             points=spec["points"], journal=spec["journal"],
             resume=spec["resume"], retries=spec["retries"],
             watchdog=Watchdog(spec["watchdog_config"]),
-            fault_model=spec.get("fault_model"))
+            fault_model=spec.get("fault_model"),
+            trace=tracer, forensics=spec.get("forensics", False),
+            trace_root="shard", trace_attrs={"shard": shard})
         campaign = runner.run()
         timing = dict(campaign.timing or {})
         timing.update(shard=shard, setup=setup,
@@ -185,6 +196,7 @@ def _shard_worker_main(spec, queue):
             "quarantined": [quarantined_to_dict(entry)
                             for entry in campaign.quarantined],
             "timing": timing,
+            "metrics": campaign.metrics,
         }))
     except BaseException:
         queue.put(("error", shard, traceback.format_exc()))
@@ -207,7 +219,8 @@ class ParallelCampaignRunner:
                  budget=CONNECTION_INSTRUCTION_BUDGET, progress=None,
                  max_points=None, ranges=None, journal=None,
                  resume=False, retries=0, watchdog=None,
-                 daemon_factory=None, fault_model=None):
+                 daemon_factory=None, fault_model=None, trace=None,
+                 metrics=None, forensics=False):
         from .campaign import ENCODING_OLD
         if workers < 1:
             raise ValueError("workers must be >= 1, got %r" % workers)
@@ -233,16 +246,52 @@ class ParallelCampaignRunner:
         self.daemon_factory = (daemon_factory if daemon_factory
                                is not None
                                else default_daemon_factory(daemon))
+        #: observability: ``trace`` is normally a sink *path* (each
+        #: worker writes ``<trace>.shardK``; the parent merges them in
+        #: shard order, like journals).  A :class:`Tracer` instance is
+        #: accepted for the parent's own spans, but tracers do not
+        #: cross process boundaries, so workers then emit nothing.
+        #: ``metrics`` is a registry sink path; ``forensics`` passes
+        #: through to every shard runner.
+        self.trace_path = (None if trace is None
+                           or isinstance(trace, Tracer) else str(trace))
+        if self.trace_path is not None:
+            # The parent's own spans stay in memory; the sink path is
+            # written once at the end, as the merge of parent + shard
+            # events (so the file is always one loadable trace).
+            self.tracer = Tracer(sink=None)
+        else:
+            self.tracer = as_tracer(trace)
+        self.metrics_path = metrics
+        self.forensics = forensics
 
     # -- public entry point --------------------------------------------
 
     def run(self):
+        with self.tracer.span("campaign", workers=self.workers) as span:
+            campaign, shard_count = self._run_traced()
+            span.set("experiments", len(campaign.results))
+            span.set("shards", shard_count)
+        if self.trace_path is not None:
+            merge_trace_files(
+                self.trace_path, self.tracer.events(),
+                [shard_trace_path(self.trace_path, shard)
+                 for shard in range(shard_count)])
+        else:
+            self.tracer.close()
+        if self.metrics_path is not None:
+            self.registry.save(self.metrics_path)
+        return campaign
+
+    def _run_traced(self):
         from ..analysis.serialize import (quarantined_from_dict,
                                           result_from_dict)
         from .campaign import CampaignResult
         started = time.monotonic()
-        golden = record_golden(self.daemon, self.client_factory,
-                               self.budget)
+        with self.tracer.span("golden-run") as span:
+            golden = record_golden(self.daemon, self.client_factory,
+                                   self.budget)
+            span.set("coverage_eips", len(golden.coverage))
         points = self._enumerate()
         order = {_point_key(point): index
                  for index, point in enumerate(points)}
@@ -280,17 +329,52 @@ class ParallelCampaignRunner:
         perf.absorb_dict(golden.perf)
         for payload in payloads:
             perf.absorb_dict(payload["timing"].get("perf"))
+        wall_clock = time.monotonic() - started
+        executed = sum(payload["timing"].get("executed", 0)
+                       for payload in payloads)
         campaign.timing = campaign_timing(
-            wall_clock=time.monotonic() - started,
+            wall_clock=wall_clock,
             experiments=len(campaign.results)
             + len(campaign.quarantined),
-            executed=sum(payload["timing"].get("executed", 0)
-                         for payload in payloads),
+            executed=executed,
             workers=max(1, len(shards)),
             shards=sorted((payload["timing"] for payload in payloads),
                           key=lambda timing: timing["shard"]),
             perf=perf.as_dict())
-        return campaign
+        self._merge_metrics(campaign, payloads, done_results,
+                            done_quarantined, order, len(points),
+                            golden, wall_clock, executed,
+                            max(1, len(shards)))
+        return campaign, len(shards)
+
+    def _merge_metrics(self, campaign, payloads, done_results,
+                       done_quarantined, order, total_points, golden,
+                       wall_clock, executed, workers):
+        """Aggregate shard metric registries exactly (the
+        ``absorb_dict`` pattern), then account for what only the
+        parent saw: records it resumed from shard journals itself and
+        its own golden run.  The deterministic section comes out
+        identical to a serial run's; the parent's wall clock and
+        worker count overwrite the shard-local volatile gauges."""
+        from ..analysis.serialize import result_from_dict
+        registry = declare_campaign_metrics(MetricsRegistry())
+        for payload in payloads:                # shard order
+            registry.absorb_dict(payload.get("metrics"))
+        for key in sorted(done_results, key=order.__getitem__):
+            record_result_metrics(
+                registry, result_from_dict(done_results[key]))
+        registry.counter("runtime.resumed", volatile=True).inc(
+            len(done_results) + len(done_quarantined))
+        registry.counter("quarantined").inc(len(done_quarantined))
+        registry.gauge("points").set(total_points)
+        registry.counter("runtime.golden_runs", volatile=True).inc()
+        parent_perf = PerfCounters()
+        parent_perf.absorb_dict(golden.perf)
+        record_runtime_metrics(registry, wall_clock, executed,
+                               perf=parent_perf.as_dict(),
+                               workers=workers)
+        self.registry = registry
+        campaign.metrics = registry.as_dict()
 
     # -- enumeration / resume ------------------------------------------
 
@@ -365,6 +449,9 @@ class ParallelCampaignRunner:
             # model instances are tiny module-level objects, picklable
             # under any start method.
             "fault_model": self.model,
+            "trace": (shard_trace_path(self.trace_path, shard)
+                      if self.trace_path is not None else None),
+            "forensics": self.forensics,
         }
 
     def _run_shards(self, shards, total_points, resumed_points):

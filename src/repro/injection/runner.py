@@ -41,6 +41,10 @@ from ..apps.common import CONNECTION_INSTRUCTION_BUDGET
 from ..emu.machine_exceptions import CpuFault
 from ..emu.perf import PerfCounters
 from ..kernel import ServerHang
+from ..obs.forensics import capture_forensics, make_forensic_ring
+from ..obs.log import get_logger
+from ..obs.metrics import MetricsRegistry
+from ..obs.trace import as_tracer, NULL_TRACER
 from .faultmodels import get_fault_model
 from .golden import record_golden
 from .injector import BreakpointSession
@@ -60,9 +64,13 @@ MAX_CONFIRMATIONS_PER_ROUND = 8
 #: journal format version.  v2 journals predate the fault-model
 #: registry (no ``model`` in meta, legacy point records); v5 aligns
 #: the journal with the campaign-JSON schema and stamps the fault
-#: model.  The reader accepts both (a missing model is
-#: ``branch-bit``), so v2-v4 journals still load and resume.
-JOURNAL_SCHEMA = 5
+#: model; v6 adds the optional per-result ``forensics`` snapshot
+#: (:mod:`repro.obs.forensics`).  The reader accepts all of them (a
+#: missing model is ``branch-bit``, missing forensics is ``None``),
+#: so v2-v5 journals still load and resume.
+JOURNAL_SCHEMA = 6
+
+_LOGGER = get_logger("campaign")
 
 
 class JournalError(RuntimeError):
@@ -104,8 +112,12 @@ class Watchdog:
     """Budgeted executor: runs a process in slices, enforcing the
     wall clock, and probes ``limit`` endings for tight loops."""
 
-    def __init__(self, config=None):
+    def __init__(self, config=None, tracer=None):
         self.config = config if config is not None else WatchdogConfig()
+        #: span tracer (assigned by the runner); probes are counted so
+        #: the metrics registry can report them.
+        self.tracer = tracer if tracer is not None else NULL_TRACER
+        self.probes = 0
 
     def __call__(self, process, budget):
         return self.run(process, budget)
@@ -142,21 +154,30 @@ class Watchdog:
         """Single-step past the budget and measure EIP diversity."""
         config = self.config
         cpu = process.cpu
+        # The probe bypasses the run loops, so feed the forensic ring
+        # here; a HANG snapshot then shows the loop body.
+        ring = getattr(cpu, "forensic_ring", None)
+        self.probes += 1
         seen = set()
-        try:
-            for __ in range(config.probe_instructions):
-                if cpu.halted:
-                    return HangProbe()        # exited: was progressing
-                seen.add(cpu.eip)
-                cpu.step()
-        except (CpuFault, ServerHang):
-            return HangProbe()                # faulted: was progressing
-        except Exception:
-            return HangProbe()                # inconclusive
-        seen.add(cpu.eip)
-        tight = len(seen) <= config.loop_eip_limit
-        return HangProbe(tight_loop=tight, distinct_eips=len(seen),
-                         eip_low=min(seen), eip_high=max(seen))
+        with self.tracer.span("watchdog-probe", cat="watchdog") as span:
+            try:
+                for __ in range(config.probe_instructions):
+                    if cpu.halted:
+                        return HangProbe()    # exited: was progressing
+                    seen.add(cpu.eip)
+                    if ring is not None:
+                        ring.append(cpu.eip)
+                    cpu.step()
+            except (CpuFault, ServerHang):
+                return HangProbe()            # faulted: was progressing
+            except Exception:
+                return HangProbe()            # inconclusive
+            finally:
+                span.set("distinct_eips", len(seen))
+            seen.add(cpu.eip)
+            tight = len(seen) <= config.loop_eip_limit
+            return HangProbe(tight_loop=tight, distinct_eips=len(seen),
+                             eip_low=min(seen), eip_high=max(seen))
 
 
 def refine_limit_outcome(outcome, detail, status):
@@ -202,6 +223,52 @@ def campaign_timing(wall_clock, experiments, executed, workers=1,
     if perf is not None:
         timing["perf"] = perf
     return timing
+
+
+# ----------------------------------------------------------------------
+# Metrics plumbing (shared by the serial and parallel runners so the
+# deterministic section is identical for every worker count)
+
+def declare_campaign_metrics(registry):
+    """Pre-declare the deterministic campaign instruments so every
+    registry -- serial, shard, parallel parent -- carries the same
+    key set even at zero counts."""
+    registry.counter("experiments")
+    registry.counter("activated")
+    registry.counter("quarantined")
+    registry.counter("retry_requeues")
+    registry.histogram("crash_latency")
+    # resumed counts depend on execution history (how often the
+    # campaign was killed and restarted), not on the campaign spec, so
+    # they live with the other run-shape measurements.
+    registry.counter("runtime.resumed", volatile=True)
+    return registry
+
+
+def record_result_metrics(registry, result):
+    """Fold one experiment record into the deterministic section."""
+    registry.counter("experiments").inc()
+    registry.counter("outcome.%s" % result.outcome).inc()
+    if result.activated:
+        registry.counter("activated").inc()
+    if result.crash_latency is not None:
+        registry.histogram("crash_latency").observe(
+            result.crash_latency)
+
+
+def record_runtime_metrics(registry, wall_clock, executed, perf=None,
+                           workers=1):
+    """Operational (volatile) measurements: wall clock, throughput and
+    the execution engine's counters.  These legitimately differ
+    between worker counts -- a parallel campaign performs one golden
+    run per shard plus the parent's -- which is exactly why they live
+    in the registry's volatile section."""
+    registry.gauge("wall_clock_seconds", volatile=True).set(wall_clock)
+    registry.gauge("experiments_per_sec", volatile=True).set(
+        executed / wall_clock if wall_clock > 0 else 0.0)
+    registry.gauge("workers", volatile=True).set(workers)
+    for name, value in (perf or {}).items():
+        registry.counter("engine.%s" % name, volatile=True).inc(value)
 
 
 # ----------------------------------------------------------------------
@@ -361,7 +428,9 @@ class CampaignRunner:
                  budget=CONNECTION_INSTRUCTION_BUDGET, progress=None,
                  max_points=None, ranges=None, journal=None,
                  resume=False, retries=0, watchdog=None, points=None,
-                 fault_model=None):
+                 fault_model=None, trace=None, metrics=None,
+                 forensics=False, trace_root="campaign",
+                 trace_attrs=None):
         from .campaign import ENCODING_OLD
         self.daemon = daemon
         self.client_name = client_name
@@ -381,6 +450,18 @@ class CampaignRunner:
         #: explicit experiment list (one shard of a parallel campaign);
         #: ``None`` enumerates the daemon's auth sections as usual.
         self.points = points
+        #: observability: span tracer (``trace`` is a sink path or a
+        #: :class:`~repro.obs.trace.Tracer`; the root span is named
+        #: ``campaign`` serially, ``shard`` in a worker), metrics sink
+        #: path, and the forensics switch (ring + snapshot capture on
+        #: SD/HANG/HF; off by default so the fast path is untouched).
+        self.tracer = as_tracer(trace)
+        self.metrics_path = metrics
+        self.forensics = forensics
+        self.trace_root = trace_root
+        self.trace_attrs = dict(trace_attrs or {})
+        self.registry = declare_campaign_metrics(MetricsRegistry())
+        self.watchdog.tracer = self.tracer
         # Per-campaign session cache: one live session plus the set of
         # addresses whose breakpoint provably cannot be reached, so a
         # disagreeing address is probed once, not once per bit.
@@ -391,12 +472,25 @@ class CampaignRunner:
     # -- public entry point --------------------------------------------
 
     def run(self):
+        with self.tracer.span(self.trace_root,
+                              **self.trace_attrs) as span:
+            campaign = self._run_traced(span)
+        self.tracer.close()
+        if self.metrics_path is not None:
+            self.registry.save(self.metrics_path)
+        return campaign
+
+    def _run_traced(self, root_span):
         from .campaign import CampaignResult, QuarantinedPoint
         started = time.monotonic()
         self._perf = PerfCounters()
-        golden = record_golden(self.daemon, self.client_factory,
-                               self.budget)
+        with self.tracer.span("golden-run") as span:
+            golden = record_golden(self.daemon, self.client_factory,
+                                   self.budget)
+            span.set("coverage_eips", len(golden.coverage))
         self._perf.absorb_dict(golden.perf)
+        self.registry.counter("runtime.golden_runs",
+                              volatile=True).inc()
         self._golden = golden
         if self.points is not None:
             points = list(self.points)
@@ -409,6 +503,9 @@ class CampaignRunner:
                                                  ranges, self.kinds)
         if self.max_points is not None:
             points = points[:self.max_points]
+        _LOGGER.debug("%s %s (%s, %s): %d experiment(s)",
+                      type(self.daemon).__name__, self.client_name,
+                      self.encoding, self.model.name, len(points))
         campaign = CampaignResult(daemon_name=type(self.daemon).__name__,
                                   client_name=self.client_name,
                                   encoding=self.encoding,
@@ -434,13 +531,29 @@ class CampaignRunner:
                 outcomes=tuple(record["outcomes"]),
                 rounds=record["rounds"]))
         self._retire_session()
+        wall_clock = time.monotonic() - started
+        executed = (len(campaign.results) + len(campaign.quarantined)
+                    - self._resumed)
         campaign.timing = campaign_timing(
-            wall_clock=time.monotonic() - started,
+            wall_clock=wall_clock,
             experiments=len(campaign.results)
             + len(campaign.quarantined),
-            executed=len(campaign.results) + len(campaign.quarantined)
-            - self._resumed,
+            executed=executed,
             perf=self._perf.as_dict())
+        self.registry.counter("runtime.resumed",
+                              volatile=True).inc(self._resumed)
+        self.registry.counter("quarantined").inc(
+            len(campaign.quarantined))
+        self.registry.gauge("points").set(len(points))
+        self.registry.counter("runtime.watchdog_probes",
+                              volatile=True).inc(self.watchdog.probes)
+        record_runtime_metrics(self.registry, wall_clock, executed,
+                               perf=self._perf.as_dict())
+        campaign.metrics = self.registry.as_dict()
+        root_span.set("experiments", len(campaign.results))
+        _LOGGER.debug("%s %s done: %d experiment(s) in %.1fs",
+                      type(self.daemon).__name__, self.client_name,
+                      len(campaign.results), wall_clock)
         return campaign
 
     # -- journal plumbing ----------------------------------------------
@@ -482,8 +595,9 @@ class CampaignRunner:
                 self._resumed += 1
                 continue                      # stays quarantined
             if key in journaled:
-                campaign.results.append(
-                    result_from_dict(journaled[key]))
+                resumed = result_from_dict(journaled[key])
+                campaign.results.append(resumed)
+                record_result_metrics(self.registry, resumed)
                 self._resumed += 1
                 self._report(campaign, quarantined_records, total)
                 continue
@@ -497,12 +611,14 @@ class CampaignRunner:
                 # experiment list, or quarantine once the cap is hit.
                 if pending.round + 1 < MAX_RETRY_ROUNDS:
                     pending.round += 1
+                    self.registry.counter("retry_requeues").inc()
                     queue.append(pending)
                     continue
                 self._quarantine(campaign, pending,
                                  quarantined_records, journal)
             else:
                 campaign.results.append(result)
+                record_result_metrics(self.registry, result)
                 if journal is not None:
                     journal.append_result(result)
             self._report(campaign, quarantined_records, total)
@@ -564,15 +680,37 @@ class CampaignRunner:
     def _harness_fault(self, pending):
         """Convert an escaped exception into a HARNESS_FAULT record;
         the cached session may be corrupted, so drop it (its counters
-        are plain integers and stay trustworthy, so they are kept)."""
+        are plain integers and stay trustworthy, so they are kept).
+        Forensic state is snapshotted *before* the session goes."""
+        forensics = None
+        if self.forensics and self._session is not None:
+            try:
+                forensics = capture_forensics(
+                    self._session.process.cpu)
+            except Exception:
+                forensics = None              # never mask the fault
         self._retire_session()
         detail = traceback.format_exc(limit=8).strip()
         return InjectionResult(point=pending.point,
                                location=pending.location,
                                outcome=HARNESS_FAULT,
-                               detail=detail[-1000:])
+                               detail=detail[-1000:],
+                               forensics=forensics)
 
     def _execute(self, point, location):
+        with self.tracer.span("experiment", point=point.key,
+                              location=location) as span:
+            result = self._execute_inner(point, location)
+            span.set("outcome", result.outcome)
+            if result.crash_latency is not None:
+                span.set("crash_latency", result.crash_latency)
+            if result.hang_eip_range is not None:
+                span.set("hang_eip_range",
+                         ["0x%x" % eip
+                          for eip in result.hang_eip_range])
+            return result
+
+    def _execute_inner(self, point, location):
         golden = self._golden
         if point.instruction_address not in golden.coverage:
             return InjectionResult(point=point, location=location,
@@ -586,8 +724,13 @@ class CampaignRunner:
                 point=point, location=location, outcome=NOT_ACTIVATED,
                 detail="coverage/breakpoint disagreement at 0x%x"
                        % point.instruction_address)
-        status, kernel, client = self.model.apply(
-            session, point, self.encoding, self.daemon.module)
+        ring = session.process.cpu.forensic_ring
+        if ring is not None:
+            ring.clear()
+        with self.tracer.span("injection", cat="experiment") as span:
+            status, kernel, client = self.model.apply(
+                session, point, self.encoding, self.daemon.module)
+            span.set("instret", status.instret)
         outcome, detail = classify_completed_run(
             golden, client, kernel.channel.normalized_transcript(),
             status)
@@ -596,6 +739,10 @@ class CampaignRunner:
         latency = None
         if status.kind == "crash":
             latency = status.instret - session.activation_instret
+        forensics = None
+        if self.forensics and (status.kind == "crash"
+                               or outcome == HANG):
+            forensics = capture_forensics(session.process.cpu)
         return InjectionResult(
             point=point, location=location, outcome=outcome,
             activated=True,
@@ -605,7 +752,8 @@ class CampaignRunner:
             broke_in=client.broke_in(),
             crashed_after_breakin=(outcome == SECURITY_BREAKIN
                                    and status.kind == "crash"),
-            detail=detail, hang_eip_range=eip_range)
+            detail=detail, hang_eip_range=eip_range,
+            forensics=forensics)
 
     def _session_for(self, address):
         """Breakpoint session for *address*, cached across the bits of
@@ -616,13 +764,22 @@ class CampaignRunner:
         if address in self._unreachable:
             return None
         self._retire_session()
-        session = BreakpointSession(self.daemon, self.client_factory,
-                                    address, self.budget,
-                                    run_fn=self.watchdog)
+        with self.tracer.span("client-session", cat="experiment",
+                              address="0x%x" % address) as span:
+            session = BreakpointSession(self.daemon,
+                                        self.client_factory,
+                                        address, self.budget,
+                                        run_fn=self.watchdog)
+            span.set("reached", session.reached)
+        self.registry.counter("runtime.sessions", volatile=True).inc()
         if not session.reached:
             self._unreachable[address] = True
+            self.registry.counter("runtime.sessions_unreachable",
+                                  volatile=True).inc()
             self._perf.absorb(session.process.cpu.perf)
             return None
+        if self.forensics:
+            session.process.cpu.forensic_ring = make_forensic_ring()
         self._session = session
         self._session_address = address
         return session

@@ -1,0 +1,51 @@
+"""Campaign observability: span tracing, metrics, crash forensics.
+
+The paper's claims are observations of *error propagation* -- crash
+latency, activation vs. manifestation, which branch flips open the
+BRK window -- so the pipeline needs a measurement layer of its own:
+
+* :mod:`repro.obs.trace` -- Chrome-trace-event/Perfetto-compatible
+  span tracing for campaign / shard / experiment / golden run /
+  injection / client session / watchdog probe;
+* :mod:`repro.obs.metrics` -- one mergeable registry of counters,
+  gauges and fixed-bucket histograms unifying outcome tallies, the
+  crash-latency distribution, quarantine/retry counts, the execution
+  engine's :class:`~repro.emu.perf.PerfCounters` and per-shard
+  throughput;
+* :mod:`repro.obs.forensics` -- last-N-instruction ring buffer plus
+  register/flags snapshot captured when a run crashes or hangs, and
+  the golden-trace divergence locator;
+* :mod:`repro.obs.ring` -- the bounded-buffer / trace-recorder
+  primitives the above (and :mod:`repro.analysis.propagation`) share;
+* :mod:`repro.obs.log` -- the ``logging``-based campaign reporter.
+
+Everything here is stdlib-only and observational: with no sink or
+ring attached, campaigns execute the exact same instruction stream
+and produce byte-identical tables.
+"""
+
+from __future__ import annotations
+
+from .forensics import (capture_forensics, first_divergence,
+                        format_forensics_record)
+from .log import (configure_logging, get_logger, ProgressReporter,
+                  warn_once)
+from .metrics import MetricsRegistry
+from .ring import RingBuffer, TraceRecorder
+from .trace import merge_trace_files, NULL_TRACER, Tracer
+
+__all__ = [
+    "capture_forensics",
+    "configure_logging",
+    "first_divergence",
+    "format_forensics_record",
+    "get_logger",
+    "merge_trace_files",
+    "MetricsRegistry",
+    "NULL_TRACER",
+    "ProgressReporter",
+    "RingBuffer",
+    "TraceRecorder",
+    "Tracer",
+    "warn_once",
+]

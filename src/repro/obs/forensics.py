@@ -1,0 +1,143 @@
+"""Per-experiment crash forensics.
+
+When an injection ends in SD (a crash), HANG or a harness fault, the
+outcome code alone says nothing about *what the faulty run did*; this
+module captures, at negligible cost, enough state to reconstruct the
+final moments:
+
+* the CPU's **forensic ring** -- the last N executed EIPs, fed by the
+  fast path at basic-block granularity (one append of the block's
+  already-built address tuple per superstep, truncated to the faulting
+  op on a mid-block fault), so enabling it slows campaigns by a few
+  percent and disabling it costs exactly nothing;
+* a **register/flags snapshot** at capture time, with the ring
+  entries decoded to mnemonics through the (warm) decode cache;
+* the **divergence locator** -- :func:`first_divergence` diffs an
+  EIP stream against the golden run's; the ``forensics`` CLI command
+  replays a journaled point through
+  :func:`repro.analysis.propagation.analyze_propagation` to report
+  the first instruction where the faulty run departed.
+
+The captured snapshot is a plain JSON-able dict stored on
+``InjectionResult.forensics`` and journaled (schema v6); it never
+participates in any tally, so tables are byte-identical with
+forensics on or off.
+"""
+
+from __future__ import annotations
+
+from ..x86.flags import FLAG_NAMES
+from ..x86.registers import REG32_NAMES
+from .ring import RingBuffer
+
+#: ring entries retained on the CPU.  Entries are whole basic blocks
+#: (address tuples) or single EIPs, so this comfortably covers the
+#: instruction window below.
+RING_CAPACITY = 64
+
+#: instructions rendered into a snapshot (the "last N" of the record).
+SNAPSHOT_INSTRUCTIONS = 16
+
+#: EFLAGS bits rendered into the snapshot's ``flags`` string, in
+#: conventional display order.
+_FLAG_ORDER = tuple(sorted(FLAG_NAMES, reverse=True))
+
+
+def make_forensic_ring(capacity=RING_CAPACITY):
+    """A ring suitable for ``cpu.forensic_ring``."""
+    return RingBuffer(capacity)
+
+
+def flatten_ring(ring, last_n=SNAPSHOT_INSTRUCTIONS):
+    """The last *last_n* executed EIPs from a forensic ring whose
+    entries are single EIPs (step path) or address tuples (superstep
+    path)."""
+    eips = []
+    for entry in ring:
+        if isinstance(entry, int):
+            eips.append(entry)
+        else:
+            eips.extend(entry)
+    return eips[-last_n:]
+
+
+def _decode_entry(cpu, eip):
+    """Best-effort raw bytes + disassembly for the snapshot; the ring
+    EIPs were just executed, so the decode cache is warm and failures
+    only occur when the faulting fetch itself was undecodable."""
+    try:
+        instruction = cpu.fetch_decode(eip)
+    except Exception:
+        return {"eip": eip, "raw": None, "disasm": "(bad)"}
+    return {"eip": eip, "raw": instruction.raw.hex(),
+            "disasm": str(instruction)}
+
+
+def format_flags(eflags):
+    """Mnemonic rendering of the set EFLAGS bits, e.g. ``"IF SF"``."""
+    names = [FLAG_NAMES[bit] for bit in _FLAG_ORDER if eflags & bit]
+    return " ".join(names)
+
+
+def capture_forensics(cpu, last_n=SNAPSHOT_INSTRUCTIONS):
+    """Snapshot the CPU for a journal record.
+
+    Safe to call from any failure path: with no ring attached the
+    record still carries registers, flags and the final EIP.  Reading
+    ``cpu.eflags`` materialises a pending lazy-flags record, which is
+    the architecturally correct value at capture time.
+    """
+    eflags = cpu.eflags
+    record = {
+        "instret": cpu.instret,
+        "eip": cpu.eip,
+        "regs": {name: cpu.regs[index]
+                 for index, name in enumerate(REG32_NAMES)},
+        "eflags": eflags,
+        "flags": format_flags(eflags),
+    }
+    ring = getattr(cpu, "forensic_ring", None)
+    if ring is not None:
+        record["ring"] = [_decode_entry(cpu, eip)
+                          for eip in flatten_ring(ring, last_n)]
+    return record
+
+
+def first_divergence(golden_eips, eips):
+    """Index of the first position where two EIP streams differ.
+
+    A strict prefix counts as diverging at the shorter stream's end
+    (one run kept executing where the other stopped); identical
+    streams return ``None``.  This is the pure diff both the
+    propagation analyzer and the ``forensics`` CLI replay share.
+    """
+    limit = min(len(golden_eips), len(eips))
+    for index in range(limit):
+        if eips[index] != golden_eips[index]:
+            return index
+    if len(eips) != len(golden_eips):
+        return limit
+    return None
+
+
+def format_forensics_record(record, indent="  "):
+    """Human-readable rendering of a captured snapshot."""
+    lines = []
+    lines.append("%sfinal state: eip=0x%x instret=%d"
+                 % (indent, record["eip"], record["instret"]))
+    regs = record["regs"]
+    lines.append(indent + " ".join(
+        "%s=0x%x" % (name, regs[name]) for name in REG32_NAMES[:4]))
+    lines.append(indent + " ".join(
+        "%s=0x%x" % (name, regs[name]) for name in REG32_NAMES[4:]))
+    lines.append("%seflags=0x%x [%s]" % (indent, record["eflags"],
+                                         record["flags"]))
+    ring = record.get("ring")
+    if ring:
+        lines.append("%slast %d instruction(s):" % (indent, len(ring)))
+        for entry in ring:
+            raw = entry["raw"] or "??"
+            lines.append("%s  %08x: %-16s %s"
+                         % (indent, entry["eip"], raw,
+                            entry["disasm"]))
+    return "\n".join(lines)

@@ -1,0 +1,74 @@
+"""Forensic-ring run loop: execution equivalence with the plain fast
+path and crash-consistent ring contents."""
+
+from __future__ import annotations
+
+from repro.obs.forensics import flatten_ring, make_forensic_ring
+
+from .harness import make_cpu, TEXT_BASE
+
+LOOP = """
+    movl $0, %eax
+    movl $0, %ecx
+loop:
+    addl $3, %eax
+    xorl %ecx, %eax
+    incl %ecx
+    cmpl $200, %ecx
+    jne loop
+"""
+
+CRASH_MID_BLOCK = """
+    movl $1, %eax
+    movl $2, %ebx
+    movl $0, %ecx
+    movl (%ecx), %edx
+    movl $3, %esi
+"""
+
+
+def _run(source, ring=False, budget=10_000):
+    cpu, module = make_cpu(source)
+    if ring:
+        cpu.forensic_ring = make_forensic_ring()
+    status = cpu.run(budget)
+    return cpu, module, status
+
+
+class TestEquivalence:
+    def test_same_architectural_state_with_and_without_ring(self):
+        plain, __, plain_status = _run(LOOP)
+        traced, ___, traced_status = _run(LOOP, ring=True)
+        # ring runs must be observationally identical to plain runs
+        assert traced_status[0] == plain_status[0]
+        assert str(traced_status[1]) == str(plain_status[1])
+        assert traced.instret == plain.instret
+        assert list(traced.regs) == list(plain.regs)
+        assert traced.eip == plain.eip
+        assert traced.eflags == plain.eflags
+
+    def test_ring_follows_execution(self):
+        cpu, module, status = _run(LOOP, ring=True, budget=50)
+        assert status == ("limit", None)
+        eips = flatten_ring(cpu.forensic_ring, last_n=1_000)
+        assert eips, "ring stayed empty"
+        # every recorded EIP lies inside the text section
+        end = TEXT_BASE + len(module.text)
+        assert all(TEXT_BASE <= eip < end for eip in eips)
+
+
+class TestCrashConsistency:
+    def test_mid_block_fault_truncates_to_faulting_op(self):
+        cpu, module, status = _run(CRASH_MID_BLOCK, ring=True)
+        assert status[0] == "crash"
+        eips = flatten_ring(cpu.forensic_ring, last_n=16)
+        # the ring ends at the instruction the crash report points at,
+        # with none of the block's unexecuted successors present
+        assert eips[-1] == cpu.eip
+        plain, __, plain_status = _run(CRASH_MID_BLOCK)
+        assert plain_status[0] == "crash"
+        assert cpu.eip == plain.eip
+        assert cpu.instret == plain.instret
+        # the retired prefix of the block is all there
+        assert eips == [module.text_base + offset
+                        for offset in (0, 5, 10, 15)][:len(eips)]

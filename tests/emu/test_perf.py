@@ -1,0 +1,71 @@
+"""Execution-engine performance counters: serialization round trip
+and the unknown-key warning."""
+
+from __future__ import annotations
+
+import logging
+
+import pytest
+
+from repro.emu.perf import _FIELDS, PerfCounters
+from repro.obs.log import reset_warn_once
+
+
+@pytest.fixture(autouse=True)
+def _fresh_warn_state():
+    reset_warn_once()
+    yield
+    reset_warn_once()
+
+
+def _sample():
+    counters = PerfCounters()
+    for index, name in enumerate(_FIELDS, start=1):
+        setattr(counters, name, index * 10)
+    return counters
+
+
+class TestRoundTrip:
+    def test_as_dict_absorb_dict_round_trip(self):
+        original = _sample()
+        rebuilt = PerfCounters().absorb_dict(original.as_dict())
+        assert rebuilt.as_dict() == original.as_dict()
+
+    def test_absorb_dict_accumulates(self):
+        counters = PerfCounters()
+        counters.absorb_dict(_sample().as_dict())
+        counters.absorb_dict(_sample().as_dict())
+        assert counters.as_dict() == {
+            name: 2 * value
+            for name, value in _sample().as_dict().items()}
+
+    def test_missing_keys_count_as_zero(self):
+        counters = PerfCounters().absorb_dict({"syscalls": 3})
+        assert counters.syscalls == 3
+        assert counters.prepared_hits == 0
+
+    def test_absorb_object(self):
+        counters = PerfCounters().absorb(_sample())
+        assert counters.as_dict() == _sample().as_dict()
+
+
+class TestUnknownKeys:
+    def test_unknown_key_warns_once(self, caplog):
+        counters = PerfCounters()
+        with caplog.at_level(logging.WARNING, logger="repro"):
+            counters.absorb_dict({"syscalls": 1, "mystery": 5})
+            counters.absorb_dict({"mystery": 5})
+        warnings = [record for record in caplog.records
+                    if "mystery" in record.getMessage()]
+        assert len(warnings) == 1
+        # known keys still aggregate, the unknown one is dropped
+        assert counters.syscalls == 1
+        assert not hasattr(counters, "mystery")
+
+    def test_distinct_unknown_keys_each_warn(self, caplog):
+        with caplog.at_level(logging.WARNING, logger="repro"):
+            PerfCounters().absorb_dict({"alpha": 1})
+            PerfCounters().absorb_dict({"beta": 1})
+        messages = [record.getMessage() for record in caplog.records]
+        assert any("alpha" in message for message in messages)
+        assert any("beta" in message for message in messages)

@@ -148,8 +148,17 @@ def test_point_keys_are_distinct_per_model():
 # Campaigns per model (smoke, with journal/resume/shard)
 
 def _strip_timing(payload):
+    """Drop the run-varying observational fields: ``timing``, and the
+    ``volatile`` section of the metrics registry (wall clock, engine
+    counters, resume history).  The deterministic metrics core stays
+    in, so these equivalence checks also pin serial == sharded ==
+    resumed tallies in the registry."""
     payload = dict(payload)
     payload.pop("timing", None)
+    if payload.get("metrics"):
+        metrics = dict(payload["metrics"])
+        metrics.pop("volatile", None)
+        payload["metrics"] = metrics
     return payload
 
 

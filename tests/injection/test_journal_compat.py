@@ -1,5 +1,5 @@
-"""Backward compatibility: pre-registry journals and campaign JSON
-(schema v2-v4) must keep loading and resuming under schema v5."""
+"""Backward compatibility: older journals and campaign JSON
+(schema v2-v5) must keep loading and resuming under schema v6."""
 
 import json
 import os
@@ -15,10 +15,12 @@ from repro.injection.targets import InjectionPoint
 
 FIXTURE = os.path.join(os.path.dirname(__file__), "fixtures",
                        "journal_schema2.jsonl")
+FIXTURE_V5 = os.path.join(os.path.dirname(__file__), "fixtures",
+                          "journal_schema5.jsonl")
 
 
 def test_schema_constants():
-    assert JOURNAL_SCHEMA == 5
+    assert JOURNAL_SCHEMA == 6
 
 
 def test_old_fixture_journal_loads():
@@ -33,18 +35,48 @@ def test_old_fixture_journal_loads():
     assert set(quarantined) == {"804a1d0:0:0"}
 
 
-def _downgrade_journal(path):
-    """Rewrite a v5 journal as its pre-registry (v2) equivalent:
-    schema stamp back, no ``model`` in meta."""
+def test_v5_fixture_journal_loads():
+    """A journal written by schema v5 (model in meta, no per-result
+    forensics) loads unchanged; forensics defaults to None."""
+    meta, results, quarantined = CampaignJournal.load(FIXTURE_V5)
+    assert meta["schema"] == 5
+    assert meta["model"] == "branch-bit"
+    assert set(results) == {"804a1c2:0:3", "804a1c2:1:7"}
+    for record in results.values():
+        result = result_from_dict(record)
+        assert result.forensics is None
+    assert set(quarantined) == {"804a1d0:0:0"}
+
+
+def _downgrade_journal(path, schema=2):
+    """Rewrite a v6 journal as an older equivalent: schema stamp back;
+    for the pre-registry v2 shape, drop ``model`` from meta too."""
     with open(path) as handle:
         lines = [json.loads(line) for line in handle
                  if line.strip()]
     assert lines[0]["type"] == "meta"
-    lines[0]["schema"] = 2
-    del lines[0]["model"]
+    lines[0]["schema"] = schema
+    if schema < 5:
+        del lines[0]["model"]
     with open(path, "w") as handle:
         for record in lines:
             handle.write(json.dumps(record) + "\n")
+
+
+def test_resume_from_v5_journal(ftp_daemon, tmp_path):
+    """A v5 journal (stamped model, no forensics) resumes under v6
+    with identical records and zero re-execution."""
+    journal = str(tmp_path / "v5.jsonl")
+    first = run_campaign(ftp_daemon, "Client1",
+                         FTP_CLIENTS["Client1"], max_points=10,
+                         journal=journal, resume=True)
+    _downgrade_journal(journal, schema=5)
+    resumed = run_campaign(ftp_daemon, "Client1",
+                           FTP_CLIENTS["Client1"], max_points=10,
+                           journal=journal, resume=True)
+    assert resumed.timing["executed"] == 0
+    assert campaign_to_dict(first)["results"] \
+        == campaign_to_dict(resumed)["results"]
 
 
 def test_resume_from_pre_registry_journal(ftp_daemon, tmp_path):
@@ -83,7 +115,7 @@ def test_pre_registry_journal_rejects_non_branch_models(ftp_daemon,
 
 def test_v4_campaign_payload_loads_as_branch_bit(ftp_daemon):
     """Campaign JSON written by schema v4 (no ``fault_model``, legacy
-    point records) round-trips into a v5 CampaignResult."""
+    point records) round-trips into a v6 CampaignResult."""
     campaign = run_campaign(ftp_daemon, "Client1",
                             FTP_CLIENTS["Client1"], max_points=6)
     payload = campaign_to_dict(campaign)
@@ -93,9 +125,9 @@ def test_v4_campaign_payload_loads_as_branch_bit(ftp_daemon):
     loaded = campaign_from_dict(payload)
     assert loaded.fault_model == "branch-bit"
     assert loaded.counts() == campaign.counts()
-    # and the re-serialized form is a clean v5 payload
+    # and the re-serialized form is a clean v6 payload
     upgraded = campaign_to_dict(loaded)
-    assert upgraded["schema"] == 5
+    assert upgraded["schema"] == 6
     assert upgraded["fault_model"] == "branch-bit"
     assert upgraded["results"] == campaign_to_dict(campaign)["results"]
 

@@ -1,0 +1,166 @@
+"""Campaign observability: tables are byte-identical with every flag
+combination, metrics are worker-count-invariant, traces nest, and
+forensics snapshots land in results and journals."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.apps.ftpd import client1
+from repro.injection import run_campaign
+from repro.obs.trace import load_trace_file
+
+SLICE = 60
+
+
+@pytest.fixture(scope="module")
+def plain_campaign(ftp_daemon):
+    return run_campaign(ftp_daemon, "Client1", client1,
+                        max_points=SLICE)
+
+
+def _core(metrics):
+    metrics = dict(metrics)
+    metrics.pop("volatile", None)
+    return metrics
+
+
+class TestTallyInvariance:
+    def test_forensics_does_not_change_tallies(self, ftp_daemon,
+                                               plain_campaign):
+        forensic = run_campaign(ftp_daemon, "Client1", client1,
+                                max_points=SLICE, forensics=True)
+        assert forensic.counts() == plain_campaign.counts()
+        assert forensic.counts(refined=True) \
+            == plain_campaign.counts(refined=True)
+        assert forensic.crash_latencies() \
+            == plain_campaign.crash_latencies()
+        assert forensic.by_location() == plain_campaign.by_location()
+
+    def test_trace_and_metrics_do_not_change_tallies(
+            self, ftp_daemon, plain_campaign, tmp_path):
+        observed = run_campaign(ftp_daemon, "Client1", client1,
+                                max_points=SLICE,
+                                trace=str(tmp_path / "t.json"),
+                                metrics=str(tmp_path / "m.json"))
+        assert observed.counts() == plain_campaign.counts()
+        assert observed.crash_latencies() \
+            == plain_campaign.crash_latencies()
+
+
+class TestMetrics:
+    def test_registry_matches_campaign(self, ftp_daemon, tmp_path):
+        path = tmp_path / "metrics.json"
+        campaign = run_campaign(ftp_daemon, "Client1", client1,
+                                max_points=SLICE, metrics=str(path))
+        saved = json.loads(path.read_text())
+        assert saved == json.loads(json.dumps(campaign.metrics))
+        counters = saved["counters"]
+        assert counters["experiments"] == len(campaign.results)
+        assert counters["activated"] == campaign.activated_count
+        for outcome, count in campaign.counts(refined=True).items():
+            assert counters.get("outcome.%s" % outcome, 0) == count
+        histogram = saved["histograms"]["crash_latency"]
+        assert histogram["count"] == len(campaign.crash_latencies())
+        assert saved["gauges"]["points"] == SLICE
+        assert saved["volatile"]["counters"]["runtime.golden_runs"] == 1
+
+    def test_parallel_deterministic_core_matches_serial(
+            self, ftp_daemon, tmp_path):
+        serial_path = tmp_path / "serial.json"
+        parallel_path = tmp_path / "parallel.json"
+        run_campaign(ftp_daemon, "Client1", client1,
+                     max_points=SLICE, metrics=str(serial_path))
+        run_campaign(ftp_daemon, "Client1", client1,
+                     max_points=SLICE, workers=3,
+                     metrics=str(parallel_path))
+        serial = json.loads(serial_path.read_text())
+        parallel = json.loads(parallel_path.read_text())
+        assert _core(parallel) == _core(serial)
+        # the volatile section reflects the extra per-shard golden runs
+        assert parallel["volatile"]["counters"]["runtime.golden_runs"] \
+            > serial["volatile"]["counters"]["runtime.golden_runs"]
+
+
+class TestTrace:
+    def test_serial_trace_shape(self, ftp_daemon, tmp_path):
+        path = tmp_path / "trace.json"
+        campaign = run_campaign(ftp_daemon, "Client1", client1,
+                                max_points=SLICE, trace=str(path))
+        events = load_trace_file(path)
+        for event in events:
+            for key in ("ph", "ts", "pid", "tid", "name"):
+                assert key in event
+        by_name = {}
+        for event in events:
+            by_name.setdefault(event["name"], []).append(event)
+        (root,) = by_name["campaign"]
+        assert len(by_name["golden-run"]) == 1
+        assert len(by_name["experiment"]) == len(campaign.results)
+        for event in events:
+            # every span falls inside the campaign span
+            assert root["ts"] <= event["ts"]
+            assert (event["ts"] + event.get("dur", 0)
+                    <= root["ts"] + root["dur"])
+        outcomes = sorted(event["args"]["outcome"]
+                          for event in by_name["experiment"])
+        assert outcomes == sorted(result.outcome
+                                  for result in campaign.results)
+
+    def test_parallel_trace_merges_shards(self, ftp_daemon, tmp_path):
+        path = tmp_path / "trace.json"
+        campaign = run_campaign(ftp_daemon, "Client1", client1,
+                                max_points=SLICE, workers=3,
+                                trace=str(path))
+        events = load_trace_file(path)
+        shards = [event for event in events
+                  if event["name"] == "shard"]
+        assert len(shards) == 3
+        assert sorted(event["tid"] for event in shards) == [1, 2, 3]
+        (root,) = [event for event in events
+                   if event["name"] == "campaign"]
+        assert root["tid"] == 0
+        for shard in shards:
+            assert root["ts"] <= shard["ts"]
+            assert (shard["ts"] + shard["dur"]
+                    <= root["ts"] + root["dur"])
+        experiments = [event for event in events
+                       if event["name"] == "experiment"]
+        assert len(experiments) == len(campaign.results)
+
+
+class TestForensics:
+    def test_snapshots_only_on_crash_like_outcomes(self, ftp_daemon):
+        campaign = run_campaign(ftp_daemon, "Client1", client1,
+                                max_points=SLICE, forensics=True)
+        for result in campaign.results:
+            if result.outcome in ("SD", "HANG", "HF"):
+                assert result.forensics is not None
+                assert result.forensics["ring"]
+                if result.outcome == "SD":
+                    # on a crash the ring ends at the faulting
+                    # instruction (HANG snapshots end at the last
+                    # instruction the watchdog probe stepped over)
+                    assert result.forensics["ring"][-1]["eip"] \
+                        == result.forensics["eip"]
+            else:
+                assert result.forensics is None
+
+    def test_forensics_off_leaves_results_bare(self, plain_campaign):
+        assert all(result.forensics is None
+                   for result in plain_campaign.results)
+
+    def test_forensics_survive_journal_resume(self, ftp_daemon,
+                                              tmp_path):
+        journal = str(tmp_path / "journal.jsonl")
+        first = run_campaign(ftp_daemon, "Client1", client1,
+                             max_points=SLICE, forensics=True,
+                             journal=journal, resume=True)
+        resumed = run_campaign(ftp_daemon, "Client1", client1,
+                               max_points=SLICE, forensics=True,
+                               journal=journal, resume=True)
+        assert resumed.timing["executed"] == 0
+        assert [result.forensics for result in resumed.results] \
+            == [result.forensics for result in first.results]

@@ -1,0 +1,99 @@
+"""Logging plumbing: handler idempotence, verbosity mapping,
+warn-once, and the progress reporter."""
+
+from __future__ import annotations
+
+import io
+import logging
+
+import pytest
+
+from repro.obs import (configure_logging, get_logger, ProgressReporter,
+                       warn_once)
+from repro.obs.log import reset_warn_once
+
+
+@pytest.fixture(autouse=True)
+def _clean_state():
+    reset_warn_once()
+    yield
+    reset_warn_once()
+    logger = get_logger()
+    for handler in list(logger.handlers):
+        if handler.get_name() == "repro-cli":
+            logger.removeHandler(handler)
+
+
+def _cli_handlers():
+    return [handler for handler in get_logger().handlers
+            if handler.get_name() == "repro-cli"]
+
+
+class TestConfigureLogging:
+    def test_levels(self):
+        assert configure_logging(-1).level == logging.WARNING
+        assert configure_logging(0).level == logging.INFO
+        assert configure_logging(2).level == logging.DEBUG
+
+    def test_idempotent_no_handler_stacking(self):
+        for __ in range(5):
+            configure_logging(0)
+        assert len(_cli_handlers()) == 1
+
+    def test_stream_receives_messages(self):
+        stream = io.StringIO()
+        configure_logging(0, stream=stream)
+        get_logger("campaign").info("hello %d", 7)
+        assert "hello 7" in stream.getvalue()
+
+    def test_quiet_drops_info(self):
+        stream = io.StringIO()
+        configure_logging(-1, stream=stream)
+        get_logger("campaign").info("progress line")
+        get_logger("campaign").warning("warning line")
+        assert "progress line" not in stream.getvalue()
+        assert "warning line" in stream.getvalue()
+
+
+class TestWarnOnce:
+    def test_second_call_suppressed(self):
+        stream = io.StringIO()
+        configure_logging(0, stream=stream)
+        assert warn_once(("k", 1), "first %s", "warning")
+        assert not warn_once(("k", 1), "first %s", "warning")
+        assert stream.getvalue().count("first warning") == 1
+
+    def test_distinct_keys_both_fire(self):
+        stream = io.StringIO()
+        configure_logging(0, stream=stream)
+        assert warn_once(("k", 1), "one")
+        assert warn_once(("k", 2), "two")
+        assert "one" in stream.getvalue()
+        assert "two" in stream.getvalue()
+
+    def test_reset_allows_repeat(self):
+        configure_logging(0, stream=io.StringIO())
+        warn_once("key", "message")
+        reset_warn_once()
+        assert warn_once("key", "message")
+
+
+class TestProgressReporter:
+    def test_steps_and_completion(self):
+        stream = io.StringIO()
+        configure_logging(0, stream=stream)
+        progress = ProgressReporter(step=250)
+        for done in range(1, 601):
+            progress(done, 600)
+        lines = stream.getvalue().splitlines()
+        assert "250 / 600" in lines[0]
+        assert "500 / 600" in lines[1]
+        assert "600 / 600" in lines[2]
+        assert len(lines) == 3
+
+    def test_silenced_by_quiet(self):
+        stream = io.StringIO()
+        configure_logging(-1, stream=stream)
+        progress = ProgressReporter(step=1)
+        progress(1, 1)
+        assert stream.getvalue() == ""

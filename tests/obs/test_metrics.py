@@ -1,0 +1,122 @@
+"""Metrics registry: instruments, the volatile split, and exact
+shard-style merging."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.obs import MetricsRegistry
+from repro.obs.metrics import Gauge, Histogram, LATENCY_BUCKET_BOUNDS
+
+
+class TestInstruments:
+    def test_counter_get_or_create(self):
+        registry = MetricsRegistry()
+        registry.counter("experiments").inc()
+        registry.counter("experiments").inc(4)
+        assert registry.as_dict()["counters"]["experiments"] == 5
+
+    def test_gauge_policies(self):
+        last = Gauge("g")
+        for value in (3, 1, 7):
+            last.absorb(value)
+        assert last.value == 7
+        total = Gauge("g", merge="sum")
+        for value in (3, 1, 7):
+            total.absorb(value)
+        assert total.value == 11
+        low = Gauge("g", merge="min")
+        high = Gauge("g", merge="max")
+        for value in (3, 1, 7):
+            low.absorb(value)
+            high.absorb(value)
+        assert (low.value, high.value) == (1, 7)
+
+    def test_gauge_rejects_unknown_policy(self):
+        with pytest.raises(ValueError):
+            Gauge("g", merge="average")
+
+    def test_unset_gauge_omitted(self):
+        registry = MetricsRegistry()
+        registry.gauge("points")
+        assert "points" not in registry.as_dict()["gauges"]
+
+    def test_histogram_buckets(self):
+        histogram = Histogram("h", bounds=(1, 2, 4))
+        for value in (0, 1, 2, 3, 4, 5, 100):
+            histogram.observe(value)
+        # inclusive upper edges + one overflow bucket
+        assert histogram.counts == [2, 1, 2, 2]
+        assert histogram.count == 7
+        assert histogram.total == 115
+        assert (histogram.low, histogram.high) == (0, 100)
+
+    def test_default_bounds_are_figure4_axis(self):
+        assert LATENCY_BUCKET_BOUNDS[0] == 1
+        assert LATENCY_BUCKET_BOUNDS[-1] == 2 ** 20
+        histogram = Histogram("crash_latency")
+        assert len(histogram.counts) == len(LATENCY_BUCKET_BOUNDS) + 1
+
+    def test_histogram_bounds_mismatch_raises(self):
+        ours = Histogram("h", bounds=(1, 2))
+        theirs = Histogram("h", bounds=(1, 2, 4))
+        theirs.observe(3)
+        with pytest.raises(ValueError):
+            ours.absorb(theirs.as_dict())
+
+
+def _sample_registry(scale=1):
+    registry = MetricsRegistry()
+    registry.counter("experiments").inc(10 * scale)
+    registry.counter("outcome.SD").inc(3 * scale)
+    registry.gauge("points").set(40)
+    for value in (1, 1, 18, 5000) * scale:
+        registry.histogram("crash_latency").observe(value)
+    registry.counter("engine.prepared_hits", volatile=True).inc(
+        99 * scale)
+    registry.gauge("wall_clock_seconds", volatile=True).set(1.5)
+    return registry
+
+
+class TestMergeAndSerialization:
+    def test_absorb_is_exact(self):
+        # two single-scale registries absorb into one double-scale one
+        merged = MetricsRegistry()
+        merged.absorb_dict(_sample_registry().as_dict())
+        merged.absorb_dict(_sample_registry().as_dict())
+        assert merged.as_dict() == _sample_registry(scale=2).as_dict()
+
+    def test_absorb_empty_is_identity(self):
+        registry = _sample_registry()
+        before = registry.as_dict()
+        registry.absorb_dict(None)
+        registry.absorb_dict({})
+        assert registry.as_dict() == before
+
+    def test_volatile_split(self):
+        payload = _sample_registry().as_dict()
+        assert "engine.prepared_hits" not in payload["counters"]
+        assert payload["volatile"]["counters"][
+            "engine.prepared_hits"] == 99
+        core = _sample_registry().as_dict(include_volatile=False)
+        assert "volatile" not in core
+        stripped = dict(payload)
+        stripped.pop("volatile")
+        assert core == stripped
+
+    def test_absorbed_instruments_keep_volatility(self):
+        merged = MetricsRegistry()
+        merged.absorb_dict(_sample_registry().as_dict())
+        payload = merged.as_dict()
+        assert "engine.prepared_hits" in payload["volatile"]["counters"]
+        assert "experiments" in payload["counters"]
+
+    def test_json_round_trip(self, tmp_path):
+        registry = _sample_registry()
+        path = tmp_path / "metrics.json"
+        registry.save(path)
+        loaded = json.loads(path.read_text())
+        assert loaded == json.loads(json.dumps(registry.as_dict()))
+        assert loaded["schema"] == MetricsRegistry.SCHEMA

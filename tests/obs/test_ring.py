@@ -1,0 +1,69 @@
+"""Bounded-buffer primitives: tail-capture ring, head-capture recorder."""
+
+from __future__ import annotations
+
+from repro.obs import RingBuffer, TraceRecorder
+
+
+class TestRingBuffer:
+    def test_retains_last_capacity_items(self):
+        ring = RingBuffer(4)
+        for value in range(10):
+            ring.append(value)
+        assert ring.snapshot() == [6, 7, 8, 9]
+        assert len(ring) == 4
+
+    def test_unbounded_when_capacity_none(self):
+        ring = RingBuffer(None)
+        ring.extend(range(1000))
+        assert len(ring) == 1000
+
+    def test_last_entry_reassignable(self):
+        # the CPU fast path truncates its final block entry after a
+        # mid-block fault
+        ring = RingBuffer(8)
+        ring.append((1, 2, 3))
+        ring[-1] = (1, 2)
+        assert ring.snapshot() == [(1, 2)]
+
+    def test_iteration_oldest_first(self):
+        ring = RingBuffer(3)
+        ring.extend("abcde")
+        assert list(ring) == ["c", "d", "e"]
+        assert ring[0] == "c" and ring[-1] == "e"
+
+    def test_clear(self):
+        ring = RingBuffer(3)
+        ring.extend(range(3))
+        ring.clear()
+        assert len(ring) == 0
+        assert ring.snapshot() == []
+
+
+class _FakeCpu:
+    def __init__(self, eip, regs):
+        self.eip = eip
+        self.regs = regs
+
+
+class TestTraceRecorder:
+    def test_records_eip_and_regs(self):
+        recorder = TraceRecorder()
+        recorder.hook(_FakeCpu(0x100, [1] * 8), None)
+        recorder.hook(_FakeCpu(0x102, [2] * 8), None)
+        assert recorder.eips == [0x100, 0x102]
+        assert recorder.regs == [(1,) * 8, (2,) * 8]
+
+    def test_head_capture_keeps_first_limit(self):
+        recorder = TraceRecorder(limit=3)
+        for index in range(10):
+            recorder.hook(_FakeCpu(index, [index] * 8), None)
+        assert recorder.eips == [0, 1, 2]
+        assert recorder.dropped == 7
+        assert len(recorder) == 3
+
+    def test_regs_optional(self):
+        recorder = TraceRecorder(record_regs=False)
+        recorder.hook(_FakeCpu(0x100, [0] * 8), None)
+        assert recorder.regs is None
+        assert recorder.eips == [0x100]

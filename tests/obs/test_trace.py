@@ -1,0 +1,127 @@
+"""Span tracing: event shape, attribute bags, sinks, and shard-file
+merging."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.obs import merge_trace_files, NULL_TRACER, Tracer
+from repro.obs.trace import (as_tracer, load_trace_file, NullTracer,
+                             shard_trace_path, write_trace_file)
+
+
+def make_clock(start=1000, tick=10):
+    state = {"now": start - tick}
+
+    def clock():
+        state["now"] += tick
+        return state["now"]
+
+    return clock
+
+
+class TestTracer:
+    def test_span_emits_complete_event(self):
+        tracer = Tracer(clock=make_clock())
+        with tracer.span("campaign", workers=3):
+            pass
+        (event,) = tracer.events()
+        assert event["ph"] == "X"
+        assert event["name"] == "campaign"
+        assert event["ts"] == 1000 and event["dur"] == 10
+        assert event["pid"] == 1 and event["tid"] == 0
+        assert event["args"] == {"workers": 3}
+
+    def test_span_set_adds_args_mid_flight(self):
+        tracer = Tracer(clock=make_clock())
+        with tracer.span("experiment", point="10:0:3") as span:
+            span.set("outcome", "SD")
+        (event,) = tracer.events()
+        assert event["args"] == {"point": "10:0:3", "outcome": "SD"}
+
+    def test_nested_spans_emit_inner_first(self):
+        tracer = Tracer(clock=make_clock())
+        with tracer.span("campaign"):
+            with tracer.span("experiment"):
+                pass
+        inner, outer = tracer.events()
+        assert inner["name"] == "experiment"
+        assert outer["name"] == "campaign"
+        # temporal containment
+        assert outer["ts"] <= inner["ts"]
+        assert (inner["ts"] + inner["dur"]
+                <= outer["ts"] + outer["dur"])
+
+    def test_instant_event(self):
+        tracer = Tracer(clock=make_clock())
+        tracer.instant("checkpoint", note="here")
+        (event,) = tracer.events()
+        assert event["ph"] == "i"
+        assert event["args"] == {"note": "here"}
+
+    def test_memory_mode_is_bounded(self):
+        tracer = Tracer(ring_capacity=4, clock=make_clock())
+        for index in range(10):
+            tracer.instant("e%d" % index)
+        names = [event["name"] for event in tracer.events()]
+        assert names == ["e6", "e7", "e8", "e9"]
+
+    def test_sink_written_on_close(self, tmp_path):
+        sink = tmp_path / "trace.json"
+        tracer = Tracer(sink=sink, clock=make_clock())
+        with tracer.span("campaign"):
+            pass
+        tracer.close()
+        payload = json.loads(sink.read_text())
+        assert payload["displayTimeUnit"] == "ms"
+        assert payload["traceEvents"][0]["name"] == "campaign"
+        assert load_trace_file(sink) == payload["traceEvents"]
+
+    def test_save_without_sink_raises(self):
+        with pytest.raises(ValueError):
+            Tracer().save()
+
+
+class TestNullTracer:
+    def test_null_tracer_is_inert(self):
+        with NULL_TRACER.span("campaign") as span:
+            span.set("k", "v")
+        NULL_TRACER.instant("x")
+        NULL_TRACER.close()
+        assert NULL_TRACER.events() == []
+
+    def test_as_tracer_coercions(self, tmp_path):
+        assert as_tracer(None) is NULL_TRACER
+        tracer = Tracer()
+        assert as_tracer(tracer) is tracer
+        null = NullTracer()
+        assert as_tracer(null) is null
+        sink_bound = as_tracer(str(tmp_path / "t.json"), tid=2)
+        assert sink_bound.sink == str(tmp_path / "t.json")
+        assert sink_bound.tid == 2
+
+
+class TestMerge:
+    def test_merge_preserves_shard_order(self, tmp_path):
+        paths = []
+        for shard in range(3):
+            path = shard_trace_path(str(tmp_path / "trace.json"), shard)
+            write_trace_file(path, [{"name": "shard", "ph": "X",
+                                     "ts": shard, "dur": 1, "pid": 1,
+                                     "tid": shard + 1, "args": {}}])
+            paths.append(path)
+        out = str(tmp_path / "trace.json")
+        parent = [{"name": "campaign", "ph": "X", "ts": 0, "dur": 10,
+                   "pid": 1, "tid": 0, "args": {}}]
+        events = merge_trace_files(out, parent, paths)
+        assert [event["tid"] for event in events] == [0, 1, 2, 3]
+        assert load_trace_file(out) == events
+
+    def test_merge_skips_missing_shard_files(self, tmp_path):
+        out = str(tmp_path / "trace.json")
+        events = merge_trace_files(
+            out, [], [str(tmp_path / "trace.json.shard0")])
+        assert events == []
+        assert load_trace_file(out) == []

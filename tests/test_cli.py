@@ -123,6 +123,75 @@ class TestCampaignCommand:
         assert code == 0
 
 
+class TestObservabilityFlags:
+    def test_trace_and_metrics_sinks(self, tmp_path):
+        import json
+        trace = str(tmp_path / "trace.json")
+        metrics = str(tmp_path / "metrics.json")
+        code, text = run_cli("campaign", "--app", "ftpd",
+                             "--max-points", "40",
+                             "--trace", trace, "--metrics", metrics)
+        assert code == 0
+        assert trace in text and metrics in text
+        with open(trace) as handle:
+            events = json.load(handle)["traceEvents"]
+        assert any(event["name"] == "campaign" for event in events)
+        with open(metrics) as handle:
+            registry = json.load(handle)
+        assert registry["counters"]["experiments"] == 40
+
+    def test_forensics_flag_prints_section(self, tmp_path):
+        journal = str(tmp_path / "run.jsonl")
+        code, text = run_cli("campaign", "--app", "ftpd",
+                             "--max-points", "60",
+                             "--journal", journal, "--forensics")
+        assert code == 0
+        assert "Crash forensics" in text
+        assert "last" in text and "instruction" in text
+        # forensics never changes the journal's record count
+        with open(journal) as handle:
+            assert sum(1 for line in handle) == 61
+
+
+class TestForensicsCommand:
+    def test_renders_journaled_snapshots(self, tmp_path):
+        journal = str(tmp_path / "run.jsonl")
+        code, __ = run_cli("campaign", "--app", "ftpd",
+                           "--max-points", "60",
+                           "--journal", journal, "--forensics")
+        assert code == 0
+        code, text = run_cli("forensics", journal, "--limit", "2")
+        assert code == 0
+        assert "snapshot(s)" in text
+        assert "final state: eip=0x" in text
+        assert "eflags=0x" in text
+
+    def test_divergence_replay(self, tmp_path):
+        journal = str(tmp_path / "run.jsonl")
+        run_cli("campaign", "--app", "ftpd", "--max-points", "60",
+                "--journal", journal, "--forensics")
+        code, text = run_cli("forensics", journal, "--limit", "1",
+                             "--divergence")
+        assert code == 0
+        assert "propagation report" in text
+        assert "diverged" in text
+
+    def test_journal_without_snapshots(self, tmp_path):
+        journal = str(tmp_path / "bare.jsonl")
+        run_cli("campaign", "--app", "ftpd", "--max-points", "24",
+                "--journal", journal)
+        code, text = run_cli("forensics", journal)
+        assert code == 1
+        assert "no forensics snapshots" in text
+
+    def test_unknown_key_rejected(self, tmp_path):
+        journal = str(tmp_path / "run.jsonl")
+        run_cli("campaign", "--app", "ftpd", "--max-points", "60",
+                "--journal", journal, "--forensics")
+        with pytest.raises(SystemExit):
+            run_cli("forensics", journal, "--key", "dead:0:0")
+
+
 class TestRandomCommand:
     def test_small_sample(self):
         code, text = run_cli("random", "--trials", "60", "--seed", "3")
