@@ -36,9 +36,13 @@ from .analysis import (build_histogram, build_table1, build_table3,
                        format_table1, format_table3)
 from .apps.registry import available_daemons, get_daemon_spec
 from .encoding import format_table4, minimum_branch_distance
-from .injection import (available_fault_models, DEFAULT_FAULT_MODEL,
-                        describe_targets, run_campaign,
-                        run_random_campaign)
+from .injection import (available_fault_models, CampaignInterrupted,
+                        DEFAULT_FAULT_MODEL, describe_targets,
+                        run_campaign, run_random_campaign)
+
+#: exit status of a checkpointed (interrupted but resumable) campaign
+#: -- EX_TEMPFAIL: re-running with ``--resume`` will finish the job.
+EXIT_CHECKPOINTED = 75
 from .obs import configure_logging, ProgressReporter
 from .x86 import disassemble_range, format_listing
 
@@ -101,7 +105,12 @@ def cmd_campaign(args, out):
         journal=args.journal, resume=args.resume,
         retries=args.retries, workers=args.workers,
         trace=args.trace, metrics=args.metrics,
-        forensics=args.forensics, progress=_progress(args))
+        forensics=args.forensics, progress=_progress(args),
+        deadline=args.deadline, journal_fsync=args.journal_fsync,
+        journal_salvage=args.journal_salvage,
+        # SIGTERM/SIGINT checkpoint the campaign instead of killing
+        # it; resume with --resume.
+        graceful_signals=True)
     if args.journal:
         if args.workers and args.workers > 1:
             out.write("journal: %s.shard0..%d\n"
@@ -316,6 +325,20 @@ def build_parser():
                                "processes; tallies are identical to "
                                "a serial run (journals become "
                                "per-shard <journal>.shardK files)")
+    campaign.add_argument("--deadline", type=float, default=None,
+                          metavar="SECONDS",
+                          help="checkpoint and exit (status %d) after "
+                               "this much wall clock; the journal "
+                               "stays resumable" % EXIT_CHECKPOINTED)
+    campaign.add_argument("--journal-fsync", type=int, default=None,
+                          metavar="N",
+                          help="fsync the journal every N records "
+                               "(1 = every record); opt-in durability "
+                               "against power loss / host SIGKILL")
+    campaign.add_argument("--journal-salvage", action="store_true",
+                          help="on resume, quarantine corrupt journal "
+                               "lines (re-running their points) "
+                               "instead of refusing the journal")
     _add_obs_args(campaign)
     campaign.add_argument("--forensics", action="store_true",
                           help="capture the last-instructions ring and "
@@ -403,6 +426,10 @@ def main(argv=None, out=None):
                       - getattr(args, "quiet", 0))
     try:
         return args.handler(args, out)
+    except CampaignInterrupted as interrupted:
+        out.write("%s\n" % interrupted)
+        out.write("hint: %s\n" % interrupted.resume_hint())
+        return EXIT_CHECKPOINTED
     except BrokenPipeError:
         # stdout went away (e.g. piped into head); exit quietly.
         return 0

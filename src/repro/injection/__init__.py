@@ -13,9 +13,13 @@ from .faultmodels import (available_fault_models, BranchBitFlip,
 from .golden import GoldenRun, record_golden
 from .injector import (BreakpointSession, plain_run,
                        run_clean_connection, single_injection)
-from .runner import (campaign_timing, CampaignJournal, CampaignRunner,
-                     JournalError, run_resilient_campaign, Watchdog,
-                     WatchdogConfig)
+from .runner import (campaign_timing, CampaignInterrupted,
+                     CampaignJournal, CampaignRunner, JournalError,
+                     JournalLoadReport, run_resilient_campaign,
+                     Watchdog, WatchdogConfig)
+from .chaos import (ChaosAction, ChaosPolicy, corrupt_journal_tail)
+from .supervisor import (ShardSupervisor, SupervisionReport,
+                         SupervisorConfig)
 from .parallel import (discover_shard_journals, load_shard_journals,
                        ParallelCampaignRunner, run_parallel_campaign,
                        shard_journal_path, shard_points)
@@ -48,7 +52,10 @@ __all__ = [
     "record_golden", "BreakpointSession", "plain_run",
     "single_injection", "run_clean_connection", "CampaignRunner",
     "CampaignJournal", "JournalError", "run_resilient_campaign",
-    "campaign_timing", "ParallelCampaignRunner",
+    "campaign_timing", "CampaignInterrupted", "JournalLoadReport",
+    "ChaosAction", "ChaosPolicy", "corrupt_journal_tail",
+    "ShardSupervisor", "SupervisionReport", "SupervisorConfig",
+    "ParallelCampaignRunner",
     "run_parallel_campaign", "shard_points", "shard_journal_path",
     "discover_shard_journals", "load_shard_journals",
     "Watchdog", "WatchdogConfig", "HANG", "HARNESS_FAULT",

@@ -191,7 +191,9 @@ def run_campaign(daemon, client_name, client_factory,
                  max_points=None, ranges=None, journal=None,
                  resume=False, retries=0, watchdog=None, workers=None,
                  daemon_factory=None, fault_model=None, trace=None,
-                 metrics=None, forensics=False):
+                 metrics=None, forensics=False, deadline=None,
+                 graceful_signals=False, journal_fsync=None,
+                 journal_salvage=False, chaos=None, supervisor=None):
     """Run one full selective-exhaustive campaign.
 
     ``fault_model`` selects the injected fault family by registry name
@@ -224,6 +226,19 @@ def run_campaign(daemon, client_name, client_factory,
     captures the last-instructions ring plus a register/flags snapshot
     on every SD/HANG/HF record.  All three are observational: tables
     and tallies are byte-identical with any combination enabled.
+
+    Resilience (:mod:`repro.injection.supervisor`): ``deadline``
+    bounds the campaign's wall clock and ``graceful_signals=True``
+    converts SIGTERM/SIGINT into a clean checkpoint -- both raise
+    :class:`~repro.injection.runner.CampaignInterrupted` with a
+    resumable journal.  ``journal_fsync=N`` fsyncs the journal every N
+    records (durability against power loss), ``journal_salvage=True``
+    quarantines corrupt journal lines on resume instead of raising,
+    ``chaos`` injects harness faults from a
+    :class:`~repro.injection.chaos.ChaosPolicy`, and ``supervisor``
+    overrides the parallel runner's
+    :class:`~repro.injection.supervisor.SupervisorConfig` (restart
+    budget, backoff, heartbeat deadline).
     """
     if workers is not None and workers > 1:
         from .parallel import ParallelCampaignRunner
@@ -234,9 +249,17 @@ def run_campaign(daemon, client_name, client_factory,
             journal=journal, resume=resume, retries=retries,
             watchdog=watchdog, daemon_factory=daemon_factory,
             fault_model=fault_model, trace=trace, metrics=metrics,
-            forensics=forensics)
+            forensics=forensics, deadline=deadline,
+            graceful_signals=graceful_signals,
+            journal_fsync=journal_fsync,
+            journal_salvage=journal_salvage, chaos=chaos,
+            supervisor=supervisor)
         return runner.run()
     from .runner import CampaignRunner
+    # a serial run is "shard 0, attempt 0" to a chaos policy (an
+    # already-built agent passes through).
+    chaos_agent = (chaos.agent(0, 0) if hasattr(chaos, "agent")
+                   else chaos)
     runner = CampaignRunner(daemon, client_name, client_factory,
                             encoding=encoding, kinds=kinds,
                             budget=budget, progress=progress,
@@ -244,7 +267,12 @@ def run_campaign(daemon, client_name, client_factory,
                             journal=journal, resume=resume,
                             retries=retries, watchdog=watchdog,
                             fault_model=fault_model, trace=trace,
-                            metrics=metrics, forensics=forensics)
+                            metrics=metrics, forensics=forensics,
+                            deadline=deadline,
+                            graceful_signals=graceful_signals,
+                            journal_fsync=journal_fsync,
+                            journal_salvage=journal_salvage,
+                            chaos=chaos_agent)
     return runner.run()
 
 

@@ -22,11 +22,19 @@ experiment list can be sharded across processes with no shared state:
   so ``counts()``, Tables 1/3/5 and Figure 4 are byte-identical to a
   serial campaign.
 
-Workers communicate over a single queue: ``progress`` ticks while
-running, one ``done`` payload (plain dicts, via
-:mod:`repro.analysis.serialize`) per shard, or an ``error`` carrying
-the traceback.  Worker crashes therefore surface as exceptions in the
-parent instead of hanging the campaign.
+Each worker incarnation reports over its own pipe (a worker killed
+mid-send -- chaos, SIGKILL, OOM -- can tear only its own channel, not
+a shared queue's write lock); every message is tagged
+``(kind, shard, attempt, ...)``: ``hello`` on startup, ``progress``
+ticks per experiment (doubling as heartbeats), one ``done`` payload
+(plain dicts, via :mod:`repro.analysis.serialize`) per shard,
+``checkpoint`` when a SIGTERM'd worker stops at a journal-consistent
+boundary, or ``error`` carrying the traceback.  The parent side is a
+:class:`~repro.injection.supervisor.ShardSupervisor`: crashed or
+wedged workers are respawned from their own journals, shards that
+exhaust their restart budget are completed in degraded mode by the
+survivors (or inline in the parent), and SIGTERM/SIGINT/``deadline``
+checkpoint the whole campaign into a cleanly resumable state.
 """
 
 from __future__ import annotations
@@ -34,26 +42,24 @@ from __future__ import annotations
 import glob
 import multiprocessing
 import re
+import signal
 import time
 import traceback
-from queue import Empty
 
 from ..apps.common import CONNECTION_INSTRUCTION_BUDGET
 from ..emu.perf import PerfCounters
-from ..obs.metrics import MetricsRegistry
+from ..obs.metrics import MetricsRegistry, record_supervision_metrics
 from ..obs.trace import (as_tracer, merge_trace_files,
                          shard_trace_path, Tracer)
 from .faultmodels import get_fault_model
 from .golden import record_golden
-from .runner import (_point_key, CampaignJournal, campaign_timing,
-                     CampaignRunner, declare_campaign_metrics,
-                     record_result_metrics, record_runtime_metrics,
-                     validate_journal_meta, Watchdog, WatchdogConfig)
+from .runner import (_point_key, CampaignInterrupted, CampaignJournal,
+                     campaign_timing, CampaignRunner,
+                     declare_campaign_metrics, record_result_metrics,
+                     record_runtime_metrics, validate_journal_meta,
+                     Watchdog, WatchdogConfig)
+from .supervisor import ShardSupervisor, SupervisorConfig
 from .targets import DEFAULT_TARGET_KINDS
-
-#: how long the parent waits on the message queue before checking
-#: whether a worker died without reporting.
-_QUEUE_POLL_SECONDS = 1.0
 
 
 # ----------------------------------------------------------------------
@@ -104,18 +110,20 @@ def discover_shard_journals(journal):
                   if _SHARD_SUFFIX.search(path))
 
 
-def load_shard_journals(paths):
+def load_shard_journals(paths, strict=True):
     """Merge a set of shard journals into ``(metas, results,
     quarantined)`` with the latter two keyed by point.  Duplicate keys
     (a point that moved shards between resumes) are harmless: the
     emulator is deterministic, so every copy carries the same record.
+    ``strict=False`` salvage-loads each file (corrupt mid-file lines
+    are quarantined with a warning and their points re-run).
     """
     metas = []
     results = {}
     quarantined = {}
     for path in paths:
         meta, shard_results, shard_quarantined = \
-            CampaignJournal.load(path)
+            CampaignJournal.load(path, strict=strict)
         if meta is not None:
             metas.append(meta)
         results.update(shard_results)
@@ -157,49 +165,91 @@ def shard_points(points, workers):
 # ----------------------------------------------------------------------
 # Worker main
 
-def _shard_worker_main(spec, queue):
-    """Run one shard start-to-finish inside a worker process."""
+def _shard_worker_main(spec, conn):
+    """Run one shard start-to-finish inside a worker process.
+
+    ``conn`` is the write end of this incarnation's private pipe (one
+    writer per pipe, so a worker killed mid-send can tear only its own
+    channel).  Every outbound message is tagged with the shard's
+    *attempt* number, so the supervisor can discard leftovers from a
+    killed incarnation.  SIGTERM/SIGINT handlers are installed before
+    anything else: fork inherits the parent's handlers (which flag
+    the parent's own supervisor, useless in the child), and the
+    parent's checkpoint drain relies on workers converting SIGTERM
+    into a finish-current-experiment, flush-journal checkpoint.
+    """
     shard = spec["shard"]
+    attempt = spec.get("attempt", 0)
+
+    def emit(kind, *rest):
+        try:
+            conn.send((kind, shard, attempt) + rest)
+        except (BrokenPipeError, OSError):
+            pass      # supervisor gone; the journal is still flushed
+
+    stop = {"reason": None}
+
+    def request_stop(signum, frame):
+        stop["reason"] = signal.Signals(signum).name
+
+    try:
+        signal.signal(signal.SIGTERM, request_stop)
+        signal.signal(signal.SIGINT, request_stop)
+    except ValueError:
+        pass          # not this process's main thread (test harness)
     try:
         from ..analysis.serialize import (quarantined_to_dict,
                                           result_to_dict)
+        emit("hello")
         started = time.monotonic()
         daemon = spec["daemon_factory"]()
         setup = time.monotonic() - started
 
         def progress(done, total):
-            queue.put(("progress", shard, done, total))
+            # Always emitted: progress ticks double as the liveness
+            # heartbeat the supervisor's wedge detection relies on.
+            emit("progress", done, total)
 
         tracer = None
         if spec.get("trace") is not None:
             # tid = shard + 1 gives every worker its own track under
             # the parent's (tid 0) in the merged trace.
             tracer = Tracer(sink=spec["trace"], tid=shard + 1)
+        policy = spec.get("chaos")
+        chaos = (policy.agent(shard, attempt)
+                 if policy is not None else None)
         runner = CampaignRunner(
             daemon, spec["client_name"], spec["client_factory"],
             encoding=spec["encoding"], kinds=spec["kinds"],
-            budget=spec["budget"],
-            progress=progress if spec["progress"] else None,
+            budget=spec["budget"], progress=progress,
             points=spec["points"], journal=spec["journal"],
             resume=spec["resume"], retries=spec["retries"],
             watchdog=Watchdog(spec["watchdog_config"]),
             fault_model=spec.get("fault_model"),
             trace=tracer, forensics=spec.get("forensics", False),
-            trace_root="shard", trace_attrs={"shard": shard})
+            trace_root="shard", trace_attrs={"shard": shard},
+            stop_check=lambda: stop["reason"],
+            journal_fsync=spec.get("journal_fsync"),
+            journal_salvage=spec.get("journal_salvage", False),
+            chaos=chaos)
         campaign = runner.run()
         timing = dict(campaign.timing or {})
         timing.update(shard=shard, setup=setup,
                       points=len(spec["points"]))
-        queue.put(("done", shard, {
+        emit("done", {
             "results": [result_to_dict(result)
                         for result in campaign.results],
             "quarantined": [quarantined_to_dict(entry)
                             for entry in campaign.quarantined],
             "timing": timing,
             "metrics": campaign.metrics,
-        }))
+        })
+    except CampaignInterrupted as interrupted:
+        emit("checkpoint", interrupted.completed)
     except BaseException:
-        queue.put(("error", shard, traceback.format_exc()))
+        emit("error", traceback.format_exc())
+    finally:
+        conn.close()
 
 
 # ----------------------------------------------------------------------
@@ -220,7 +270,9 @@ class ParallelCampaignRunner:
                  max_points=None, ranges=None, journal=None,
                  resume=False, retries=0, watchdog=None,
                  daemon_factory=None, fault_model=None, trace=None,
-                 metrics=None, forensics=False):
+                 metrics=None, forensics=False, deadline=None,
+                 graceful_signals=False, journal_fsync=None,
+                 journal_salvage=False, chaos=None, supervisor=None):
         from .campaign import ENCODING_OLD
         if workers < 1:
             raise ValueError("workers must be >= 1, got %r" % workers)
@@ -264,24 +316,59 @@ class ParallelCampaignRunner:
             self.tracer = as_tracer(trace)
         self.metrics_path = metrics
         self.forensics = forensics
+        #: resilience: ``deadline``/``graceful_signals`` trigger the
+        #: supervisor's checkpoint shutdown; ``journal_fsync``/
+        #: ``journal_salvage`` pass through to shard journals;
+        #: ``chaos`` is a :class:`~repro.injection.chaos.ChaosPolicy`;
+        #: ``supervisor`` a :class:`SupervisorConfig` override.
+        self.deadline = deadline
+        self.graceful_signals = graceful_signals
+        self.journal_fsync = journal_fsync
+        self.journal_salvage = journal_salvage
+        self.chaos = chaos
+        self.supervisor_config = (supervisor if supervisor is not None
+                                  else SupervisorConfig())
+        self._supervision = None
 
     # -- public entry point --------------------------------------------
 
     def run(self):
-        with self.tracer.span("campaign", workers=self.workers) as span:
-            campaign, shard_count = self._run_traced()
-            span.set("experiments", len(campaign.results))
-            span.set("shards", shard_count)
+        try:
+            with self.tracer.span("campaign",
+                                  workers=self.workers) as span:
+                campaign, shard_count = self._run_traced()
+                span.set("experiments", len(campaign.results))
+                span.set("shards", shard_count)
+            return campaign
+        finally:
+            # Flush even on a checkpoint exit (CampaignInterrupted):
+            # an interrupted campaign still leaves a loadable merged
+            # trace and a metrics dump with its supervision counters.
+            self._flush_observability()
+
+    def _flush_observability(self):
+        supervision = self._supervision
         if self.trace_path is not None:
+            shard_indices = (supervision.report.shard_indices
+                             if supervision is not None
+                             and supervision.report is not None
+                             else [])
             merge_trace_files(
                 self.trace_path, self.tracer.events(),
                 [shard_trace_path(self.trace_path, shard)
-                 for shard in range(shard_count)])
+                 for shard in shard_indices])
         else:
             self.tracer.close()
         if self.metrics_path is not None:
-            self.registry.save(self.metrics_path)
-        return campaign
+            registry = getattr(self, "registry", None)
+            if registry is None:
+                # Interrupted before the merge: save at least the
+                # declared instruments plus the supervision counters.
+                registry = declare_campaign_metrics(MetricsRegistry())
+                if supervision is not None:
+                    record_supervision_metrics(registry,
+                                               supervision.events)
+            registry.save(self.metrics_path)
 
     def _run_traced(self):
         from ..analysis.serialize import (quarantined_from_dict,
@@ -307,10 +394,15 @@ class ParallelCampaignRunner:
         quarantined = dict(done_quarantined)
         for payload in payloads:
             for record in payload["results"]:
-                results[_record_key(record)] = record
+                key = _record_key(record)
+                # salvaged journals may carry stale keys from an older
+                # run sharing the path; only enumerated points count.
+                if key in order:
+                    results[key] = record
             for record in payload["quarantined"]:
                 key = _point_key(self._quarantine_point(record))
-                quarantined[key] = record
+                if key in order:
+                    quarantined[key] = record
         campaign = CampaignResult(daemon_name=type(self.daemon).__name__,
                                   client_name=self.client_name,
                                   encoding=self.encoding,
@@ -373,6 +465,9 @@ class ParallelCampaignRunner:
         record_runtime_metrics(registry, wall_clock, executed,
                                perf=parent_perf.as_dict(),
                                workers=workers)
+        if self._supervision is not None:
+            record_supervision_metrics(registry,
+                                       self._supervision.events)
         self.registry = registry
         campaign.metrics = registry.as_dict()
 
@@ -394,7 +489,8 @@ class ParallelCampaignRunner:
         if not (self.resume and self.journal_path is not None):
             return {}, {}
         paths = discover_shard_journals(self.journal_path)
-        metas, results, quarantined = load_shard_journals(paths)
+        metas, results, quarantined = load_shard_journals(
+            paths, strict=not self.journal_salvage)
         expected = self._meta()
         for meta in metas:
             validate_journal_meta(meta, expected, self.journal_path)
@@ -426,23 +522,25 @@ class ParallelCampaignRunner:
             return multiprocessing.get_context("fork")
         return multiprocessing.get_context()
 
-    def _spec(self, shard, points):
+    def _spec(self, shard, points, attempt=0):
         journal = None
         if self.journal_path is not None:
             journal = shard_journal_path(self.journal_path, shard)
         return {
             "shard": shard,
+            "attempt": attempt,
             "points": points,
             "client_name": self.client_name,
             "client_factory": self.client_factory,
             "encoding": self.encoding,
             "kinds": self.kinds,
             "budget": self.budget,
-            "progress": self.progress is not None,
             "journal": journal,
             # resume so an existing shard file is appended to (and its
-            # meta validated) instead of truncated.
-            "resume": self.resume,
+            # meta validated) instead of truncated; a respawned worker
+            # (attempt > 0) must always resume its own journal so
+            # already-completed points are never re-run.
+            "resume": self.resume or attempt > 0,
             "retries": self.retries,
             "watchdog_config": self.watchdog_config,
             "daemon_factory": self.daemon_factory,
@@ -452,69 +550,59 @@ class ParallelCampaignRunner:
             "trace": (shard_trace_path(self.trace_path, shard)
                       if self.trace_path is not None else None),
             "forensics": self.forensics,
+            "journal_fsync": self.journal_fsync,
+            "journal_salvage": self.journal_salvage,
+            "chaos": self.chaos,
         }
 
     def _run_shards(self, shards, total_points, resumed_points):
         if not shards:
             return []
-        context = self._context()
-        queue = context.Queue()
-        processes = []
-        for shard, points in enumerate(shards):
-            process = context.Process(
-                target=_shard_worker_main,
-                args=(self._spec(shard, points), queue))
-            process.daemon = True
-            process.start()
-            processes.append(process)
-        try:
-            payloads = self._collect(processes, queue, len(shards),
-                                     total_points, resumed_points)
-        finally:
-            for process in processes:
-                if process.is_alive():
-                    process.terminate()
-            for process in processes:
-                process.join()
-        return payloads
+        supervisor = ShardSupervisor(self, shards,
+                                     total_points=total_points,
+                                     resumed_points=resumed_points,
+                                     config=self.supervisor_config)
+        report = supervisor.run()
+        return report.payloads
 
-    def _collect(self, processes, queue, shard_count, total_points,
-                 resumed_points):
-        payloads = {}
-        shard_progress = {}
-        pending = set(range(shard_count))
-        while pending:
-            try:
-                message = queue.get(timeout=_QUEUE_POLL_SECONDS)
-            except Empty:
-                dead = [shard for shard in pending
-                        if not processes[shard].is_alive()
-                        and processes[shard].exitcode != 0]
-                if dead:
-                    raise RuntimeError(
-                        "shard worker(s) %s died without reporting "
-                        "(exit codes %s)"
-                        % (sorted(dead),
-                           [processes[shard].exitcode
-                            for shard in sorted(dead)]))
-                continue
-            kind = message[0]
-            if kind == "progress":
-                __, shard, done, __total = message
-                shard_progress[shard] = done
-                if self.progress is not None:
-                    self.progress(resumed_points
-                                  + sum(shard_progress.values()),
-                                  total_points)
-            elif kind == "done":
-                __, shard, payload = message
-                payloads[shard] = payload
-                pending.discard(shard)
-            elif kind == "error":
-                __, shard, detail = message
-                raise RuntimeError("shard %d failed:\n%s"
-                                   % (shard, detail))
-        return [payloads[shard] for shard in sorted(payloads)]
+    def _run_inline(self, shard, points, stop_check=None):
+        """Last-resort degraded completion: run *points* in the parent
+        process with its already-working daemon (no factory, no fork).
+        Returns a worker-shaped ``done`` payload."""
+        journal = None
+        if self.journal_path is not None:
+            journal = shard_journal_path(self.journal_path, shard)
+        tracer = None
+        if self.trace_path is not None:
+            tracer = Tracer(sink=shard_trace_path(self.trace_path,
+                                                  shard),
+                            tid=shard + 1)
+        from ..analysis.serialize import (quarantined_to_dict,
+                                          result_to_dict)
+        runner = CampaignRunner(
+            self.daemon, self.client_name, self.client_factory,
+            encoding=self.encoding, kinds=self.kinds,
+            budget=self.budget,
+            points=points, journal=journal, resume=self.resume,
+            retries=self.retries,
+            watchdog=Watchdog(self.watchdog_config),
+            fault_model=self.model, trace=tracer,
+            forensics=self.forensics, trace_root="shard",
+            trace_attrs={"shard": shard, "inline": True},
+            stop_check=stop_check,
+            journal_fsync=self.journal_fsync, journal_salvage=True)
+        campaign = runner.run()
+        timing = dict(campaign.timing or {})
+        timing.update(shard=shard, setup=0.0, points=len(points),
+                      inline=True)
+        return {
+            "results": [result_to_dict(result)
+                        for result in campaign.results],
+            "quarantined": [quarantined_to_dict(entry)
+                            for entry in campaign.quarantined],
+            "timing": timing,
+            "metrics": campaign.metrics,
+        }
 
 
 def run_parallel_campaign(daemon, client_name, client_factory,

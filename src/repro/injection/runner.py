@@ -32,6 +32,9 @@ picks this up with no call-site churn.
 from __future__ import annotations
 
 import json
+import os
+import signal
+import threading
 import time
 import traceback
 from collections import deque
@@ -75,6 +78,36 @@ _LOGGER = get_logger("campaign")
 
 class JournalError(RuntimeError):
     """The journal file does not match the campaign being run."""
+
+
+class CampaignInterrupted(RuntimeError):
+    """A campaign stopped early at a clean checkpoint.
+
+    Raised (never swallowed) when a graceful shutdown was requested --
+    SIGTERM/SIGINT under ``graceful_signals``, an expired
+    ``deadline``, or an external ``stop_check`` -- after the current
+    experiment finished and the journal was flushed and closed.  The
+    journal is guaranteed resumable: re-running the same campaign with
+    ``resume=True`` completes it with tallies identical to an
+    uninterrupted run.
+    """
+
+    def __init__(self, reason, journal=None, completed=0):
+        self.reason = reason
+        self.journal = str(journal) if journal is not None else None
+        self.completed = completed
+        super().__init__(
+            "campaign checkpointed (%s) after %d experiment(s)%s"
+            % (reason, completed,
+               "" if journal is None
+               else "; journal %s is resumable" % self.journal))
+
+    def resume_hint(self):
+        if self.journal is None:
+            return ("no journal was configured; re-run with "
+                    "--journal PATH to make checkpoints resumable")
+        return ("re-run the same campaign with --resume to continue "
+                "from %s" % self.journal)
 
 
 @dataclass
@@ -299,6 +332,22 @@ def validate_journal_meta(meta, expected, path):
                         expected[field_name]))
 
 
+@dataclass
+class JournalLoadReport:
+    """What a salvage load (``strict=False``) had to tolerate."""
+
+    path: str
+    #: ``(line_number, snippet)`` for every quarantined corrupt line.
+    corrupt_lines: list = field(default_factory=list)
+    #: a half-written final line was dropped (SIGKILL mid-append).
+    truncated_tail: bool = False
+    records: int = 0
+
+    @property
+    def corrupt_count(self):
+        return len(self.corrupt_lines)
+
+
 class CampaignJournal:
     """Append-only JSONL record of a campaign in progress.
 
@@ -306,11 +355,23 @@ class CampaignJournal:
     completed experiment and one ``quarantine`` line per quarantined
     point.  A half-written final line (the signature of a SIGKILL
     mid-append) is tolerated on load.
+
+    ``fsync_every`` is the opt-in durability policy: ``flush()`` alone
+    survives a crashed *process* but loses buffered records on power
+    loss or a SIGKILL of the host, so campaigns that must resume
+    across those can fsync every record (``1``) or every N records
+    (amortised).  ``write_hook`` is called with the record index
+    before each append -- the chaos harness uses it to inject ENOSPC
+    faults.
     """
 
-    def __init__(self, path):
+    def __init__(self, path, fsync_every=None, write_hook=None):
         self.path = str(path)
+        self.fsync_every = fsync_every
+        self.write_hook = write_hook
         self._handle = None
+        self._writes = 0
+        self._unsynced = 0
 
     # -- writing -------------------------------------------------------
 
@@ -362,24 +423,48 @@ class CampaignJournal:
                      "outcomes": list(outcomes), "rounds": rounds})
 
     def _write(self, record):
+        if self.write_hook is not None:
+            self.write_hook(self._writes)
         self._handle.write(json.dumps(record) + "\n")
         self._handle.flush()
+        self._writes += 1
+        if self.fsync_every:
+            self._unsynced += 1
+            if self._unsynced >= self.fsync_every:
+                os.fsync(self._handle.fileno())
+                self._unsynced = 0
 
     def close(self):
         if self._handle is not None:
+            if self.fsync_every and self._unsynced:
+                os.fsync(self._handle.fileno())
+                self._unsynced = 0
             self._handle.close()
             self._handle = None
 
     # -- reading -------------------------------------------------------
 
     @staticmethod
-    def load(path):
+    def load(path, strict=True):
         """Parse a journal into ``(meta, results, quarantined)`` with
         the latter two keyed by point.  Tolerates a truncated final
-        line; any other malformed line raises :class:`JournalError`."""
+        line; any other malformed line raises :class:`JournalError`
+        when ``strict`` (the default), or is quarantined with a
+        warning under ``strict=False`` (salvage mode) so an otherwise
+        resumable journal is never stranded -- the points on dropped
+        lines are simply re-run."""
+        meta, results, quarantined, __ = \
+            CampaignJournal.load_with_report(path, strict=strict)
+        return meta, results, quarantined
+
+    @staticmethod
+    def load_with_report(path, strict=True):
+        """:meth:`load` plus the :class:`JournalLoadReport` describing
+        every line salvage had to drop (line numbers included)."""
         meta = None
         results = {}
         quarantined = {}
+        report = JournalLoadReport(path=str(path))
         with open(path) as handle:
             lines = handle.read().splitlines()
         for index, line in enumerate(lines):
@@ -387,21 +472,40 @@ class CampaignJournal:
                 continue
             try:
                 record = json.loads(line)
+                kind = (record.get("type")
+                        if isinstance(record, dict) else None)
+                if kind not in ("meta", "result", "quarantine"):
+                    raise JournalError("unknown journal record %r"
+                                       % kind)
             except json.JSONDecodeError:
                 if index == len(lines) - 1:
+                    report.truncated_tail = True
                     break                     # killed mid-append
-                raise JournalError("corrupt journal line %d in %s"
-                                   % (index + 1, path))
-            kind = record.get("type")
+                if strict:
+                    raise JournalError("corrupt journal line %d in %s"
+                                       % (index + 1, path))
+                report.corrupt_lines.append((index + 1, line[:120]))
+                continue
+            except JournalError:
+                if strict:
+                    raise
+                report.corrupt_lines.append((index + 1, line[:120]))
+                continue
             if kind == "meta":
                 meta = record
             elif kind == "result":
                 results[record["key"]] = record
-            elif kind == "quarantine":
-                quarantined[record["key"]] = record
             else:
-                raise JournalError("unknown journal record %r" % kind)
-        return meta, results, quarantined
+                quarantined[record["key"]] = record
+            report.records += 1
+        if report.corrupt_lines:
+            _LOGGER.warning(
+                "journal %s: salvage quarantined %d corrupt line(s) "
+                "(lines %s); their points will be re-run", path,
+                report.corrupt_count,
+                ", ".join(str(number)
+                          for number, __ in report.corrupt_lines[:8]))
+        return meta, results, quarantined, report
 
 
 # ----------------------------------------------------------------------
@@ -430,7 +534,9 @@ class CampaignRunner:
                  resume=False, retries=0, watchdog=None, points=None,
                  fault_model=None, trace=None, metrics=None,
                  forensics=False, trace_root="campaign",
-                 trace_attrs=None):
+                 trace_attrs=None, deadline=None, stop_check=None,
+                 graceful_signals=False, journal_fsync=None,
+                 journal_salvage=False, chaos=None):
         from .campaign import ENCODING_OLD
         self.daemon = daemon
         self.client_name = client_name
@@ -460,6 +566,22 @@ class CampaignRunner:
         self.forensics = forensics
         self.trace_root = trace_root
         self.trace_attrs = dict(trace_attrs or {})
+        #: graceful-shutdown machinery: ``deadline`` bounds the whole
+        #: campaign's wall clock, ``stop_check`` is an external "please
+        #: checkpoint" poll (returns a falsy value or a reason string),
+        #: and ``graceful_signals`` converts SIGTERM/SIGINT into a
+        #: clean checkpoint between experiments.  All three raise
+        #: :class:`CampaignInterrupted` after closing the journal.
+        self.deadline = deadline
+        self.stop_check = stop_check
+        self.graceful_signals = graceful_signals
+        self._stop_signal = None
+        self._deadline_at = None
+        #: durability / chaos hooks (see :class:`CampaignJournal` and
+        #: :mod:`repro.injection.chaos`).
+        self.journal_fsync = journal_fsync
+        self.journal_salvage = journal_salvage
+        self.chaos = chaos
         self.registry = declare_campaign_metrics(MetricsRegistry())
         self.watchdog.tracer = self.tracer
         # Per-campaign session cache: one live session plus the set of
@@ -472,17 +594,64 @@ class CampaignRunner:
     # -- public entry point --------------------------------------------
 
     def run(self):
-        with self.tracer.span(self.trace_root,
-                              **self.trace_attrs) as span:
-            campaign = self._run_traced(span)
-        self.tracer.close()
-        if self.metrics_path is not None:
-            self.registry.save(self.metrics_path)
-        return campaign
+        restore = self._install_signal_handlers()
+        try:
+            with self.tracer.span(self.trace_root,
+                                  **self.trace_attrs) as span:
+                campaign = self._run_traced(span)
+            return campaign
+        finally:
+            # flush observability sinks even on a checkpoint exit, so
+            # an interrupted campaign still leaves a loadable trace
+            # and (partial) metrics dump behind.
+            restore()
+            self.tracer.close()
+            if self.metrics_path is not None:
+                self.registry.save(self.metrics_path)
+
+    def _install_signal_handlers(self):
+        """Install graceful SIGTERM/SIGINT handlers (flag, not raise:
+        the current experiment finishes and the journal closes before
+        :class:`CampaignInterrupted` surfaces).  Returns the restore
+        callback; a no-op off the main thread or when
+        ``graceful_signals`` is off."""
+        if (not self.graceful_signals
+                or threading.current_thread()
+                is not threading.main_thread()):
+            return lambda: None
+
+        def request_stop(signum, frame):
+            self._stop_signal = signal.Signals(signum).name
+
+        previous = {}
+        for signum in (signal.SIGTERM, signal.SIGINT):
+            previous[signum] = signal.signal(signum, request_stop)
+
+        def restore():
+            for signum, handler in previous.items():
+                signal.signal(signum, handler)
+
+        return restore
+
+    def _interrupt_reason(self):
+        """Why the campaign should checkpoint now, or ``None``."""
+        if self._stop_signal is not None:
+            return self._stop_signal
+        if self.stop_check is not None:
+            reason = self.stop_check()
+            if reason:
+                return (reason if isinstance(reason, str)
+                        else "stop-requested")
+        if (self._deadline_at is not None
+                and time.monotonic() > self._deadline_at):
+            return "deadline"
+        return None
 
     def _run_traced(self, root_span):
         from .campaign import CampaignResult, QuarantinedPoint
         started = time.monotonic()
+        if self.deadline is not None:
+            self._deadline_at = started + self.deadline
         self._perf = PerfCounters()
         with self.tracer.span("golden-run") as span:
             golden = record_golden(self.daemon, self.client_factory,
@@ -514,7 +683,10 @@ class CampaignRunner:
         journaled, quarantined_records = self._load_journal(campaign)
         journal = None
         if self.journal_path is not None:
-            journal = CampaignJournal(self.journal_path)
+            journal = CampaignJournal(
+                self.journal_path, fsync_every=self.journal_fsync,
+                write_hook=(self.chaos.on_journal_write
+                            if self.chaos is not None else None))
             journal.open(self._meta(), append=bool(journaled
                                                    or quarantined_records))
         self._resumed = 0
@@ -570,7 +742,7 @@ class CampaignRunner:
             return {}, {}
         try:
             meta, results, quarantined = CampaignJournal.load(
-                self.journal_path)
+                self.journal_path, strict=not self.journal_salvage)
         except FileNotFoundError:
             return {}, {}
         if meta is not None:
@@ -603,7 +775,17 @@ class CampaignRunner:
                 continue
             queue.append(_PendingPoint(
                 point=point, location=self.model.location(point)))
+        executed = 0
         while queue:
+            reason = self._interrupt_reason()
+            if reason is not None:
+                # Checkpoint: the journal holds every completed
+                # experiment (the finally in _run_traced closes it),
+                # so a resume finishes the campaign identically.
+                raise CampaignInterrupted(
+                    reason, journal=self.journal_path,
+                    completed=len(campaign.results)
+                    + len(quarantined_records))
             pending = queue.popleft()
             result = self._guarded_experiment(pending)
             if result is None:
@@ -622,6 +804,20 @@ class CampaignRunner:
                 if journal is not None:
                     journal.append_result(result)
             self._report(campaign, quarantined_records, total)
+            executed += 1
+            if self.chaos is not None:
+                # After journaling: a chaos kill here leaves the
+                # journal at a deterministic resume boundary.
+                self.chaos.on_point(executed)
+        if self._resumed:
+            # A resume with a mid-journal gap (e.g. a salvaged corrupt
+            # line) re-runs the gap *after* the journaled results;
+            # restore enumeration order so result lists are identical
+            # to an uninterrupted run, like the parallel merge.
+            order = {_point_key(point): index
+                     for index, point in enumerate(points)}
+            campaign.results.sort(
+                key=lambda result: order[_point_key(result.point)])
 
     def _report(self, campaign, quarantined_records, total):
         if self.progress is not None:

@@ -1,0 +1,591 @@
+"""Self-healing supervision for sharded campaigns.
+
+The fail-fast parent loop that :mod:`repro.injection.parallel` started
+with treated any worker anomaly as fatal: a dead process raised, an
+``error`` message raised, and the ``finally`` block terminated healthy
+siblings mid-write.  That is the wrong trade for the long campaigns
+the ROADMAP aims at, where worker failures are routine, not
+exceptional.  :class:`ShardSupervisor` replaces it with a state
+machine per shard::
+
+    RUNNING --crash/wedge/error--> BACKOFF --delay--> RUNNING (respawn)
+       |                              |
+       | done                         | restart budget exhausted
+       v                              v
+      DONE                         FAILED --> degraded completion
+
+* **liveness** -- every worker message doubles as a heartbeat
+  (``progress`` ticks fire per experiment).  A shard is *crashed* when
+  its process is not alive -- regardless of exit code, which is how a
+  worker that exits 0 before sending its ``done`` payload used to hang
+  the parent forever -- and *wedged* when alive but silent past the
+  heartbeat deadline (derived from the watchdog wall-clock limit, so a
+  legitimately slow experiment never trips it).
+* **respawn** -- a crashed or wedged shard is relaunched with
+  exponential backoff, resuming from its own ``<journal>.shardK`` file
+  so journaled points are never re-run.  Messages carry the attempt
+  number; anything from a previous incarnation is discarded as stale.
+* **degraded completion** -- a shard that exhausts its restart budget
+  is marked FAILED while its siblings keep running.  Afterwards the
+  supervisor salvages whatever the failed shard journaled, re-shards
+  its remaining points across as many workers as just finished
+  healthy, and -- as the last resort, e.g. when every worker fails to
+  even build its daemon -- runs the leftovers inline in the parent,
+  which already holds a working daemon.  Only when the inline path
+  fails too does the campaign raise.
+* **checkpoint shutdown** -- SIGTERM/SIGINT in the parent (under
+  ``graceful_signals``) or an expired ``deadline`` forwards SIGTERM to
+  the workers, which finish their current experiment, flush their
+  journals and report a ``checkpoint``; the parent then raises
+  :class:`~repro.injection.runner.CampaignInterrupted` with a one-line
+  resume hint.  Stragglers are SIGKILLed after ``drain_timeout`` --
+  safe, because journals are flushed per record.
+
+Every transition is counted in :attr:`ShardSupervisor.events` (merged
+into the metrics registry as volatile ``supervisor.*`` counters) and
+marked on the parent's trace as instant events, so a recovered
+campaign is visibly recovered, while its Table 1/3/5 and Figure 4
+counts stay byte-identical to an undisturbed serial run.
+"""
+
+from __future__ import annotations
+
+import signal
+import threading
+import time
+from dataclasses import dataclass, field
+from multiprocessing import connection as _mp_connection
+
+from ..obs.log import get_logger
+from ..obs.metrics import MetricsRegistry
+from .runner import (_point_key, CampaignInterrupted, CampaignJournal,
+                     declare_campaign_metrics, JournalError,
+                     record_result_metrics)
+
+_LOGGER = get_logger("supervisor")
+
+#: shard lifecycle states.
+RUNNING = "running"
+BACKOFF = "backoff"
+DONE = "done"
+FAILED = "failed"
+CHECKPOINTED = "checkpointed"
+
+#: every supervision event the report counts (and the metrics registry
+#: exports as ``supervisor.<name>`` volatile counters).
+EVENT_NAMES = ("respawns", "wedged", "worker_errors", "failed_shards",
+               "degraded", "degraded_points", "salvaged_points",
+               "inline_points", "checkpoints", "checkpoint_exits",
+               "stale_messages")
+
+
+@dataclass
+class SupervisorConfig:
+    """Tunables for :class:`ShardSupervisor`.
+
+    ``heartbeat_timeout`` defaults to twice the watchdog's wall-clock
+    limit plus slack, so a worker inside its slowest legal experiment
+    is never declared wedged.  ``dead_grace`` delays the verdict on a
+    non-alive process long enough for its final pipe message to drain
+    (a worker can die microseconds after sending ``done``).
+    """
+
+    max_restarts: int = 2
+    backoff_base: float = 0.5
+    backoff_cap: float = 8.0
+    heartbeat_timeout: float | None = None
+    poll_interval: float = 0.25
+    dead_grace: float = 0.5
+    drain_timeout: float = 30.0
+
+
+@dataclass
+class ShardState:
+    """One shard's supervision record."""
+
+    shard: int
+    points: list
+    max_restarts: int
+    status: str = RUNNING
+    process: object = None
+    #: read end of this incarnation's private message pipe.  One pipe
+    #: per incarnation, one writer per pipe: a worker killed mid-send
+    #: (chaos ``os._exit``, SIGKILL, OOM) can tear only its *own*
+    #: channel -- a shared queue's write lock would stay held forever
+    #: and silently wedge every later writer.
+    conn: object = None
+    attempt: int = 0
+    restarts: int = 0
+    last_beat: float = 0.0
+    resume_due: float = 0.0
+    dead_since: float | None = None
+    payload: dict | None = None
+    failures: list = field(default_factory=list)
+
+
+@dataclass
+class SupervisionReport:
+    """What a supervised run produced and what it survived."""
+
+    payloads: list
+    #: every shard index that existed (including degraded-wave and
+    #: inline shards) -- the set of ``.shardK`` journal/trace files.
+    shard_indices: list
+    events: dict
+    #: ``(shard, detail)`` for every recorded failure, including ones
+    #: later healed by respawn or degraded completion.
+    failures: list
+    interrupted: str | None = None
+
+
+class ShardSupervisor:
+    """Supervises one sharded campaign run to completion.
+
+    Drives the worker fleet of a
+    :class:`~repro.injection.parallel.ParallelCampaignRunner` (the
+    ``runner``), which supplies specs, journal paths, the tracer and
+    the inline fallback.  :meth:`run` returns a
+    :class:`SupervisionReport`; it raises only for a checkpoint
+    (:class:`~repro.injection.runner.CampaignInterrupted`) or when even
+    inline degraded completion cannot finish the campaign.
+    """
+
+    def __init__(self, runner, shards, total_points=0,
+                 resumed_points=0, config=None):
+        self.runner = runner
+        self.shards = [list(points) for points in shards]
+        self.total_points = total_points
+        self.resumed_points = resumed_points
+        self.config = config if config is not None else SupervisorConfig()
+        heartbeat = self.config.heartbeat_timeout
+        if heartbeat is None:
+            wall = runner.watchdog_config.wall_clock_limit or 60.0
+            heartbeat = 2.0 * wall + 30.0
+        self.heartbeat_timeout = heartbeat
+        self.states = {}
+        self.events = {name: 0 for name in EVENT_NAMES}
+        self.progress_by_shard = {}
+        self.stop_reason = None
+        self.report = None
+        self._stop_signal = None
+        self._deadline_at = None
+        self.context = None
+
+    # -- entry point ---------------------------------------------------
+
+    def run(self):
+        runner = self.runner
+        if self.shards:
+            self.context = runner._context()
+            if runner.deadline is not None:
+                self._deadline_at = time.monotonic() + runner.deadline
+            restore = self._install_signal_handlers()
+            try:
+                for shard, points in enumerate(self.shards):
+                    state = ShardState(
+                        shard=shard, points=points,
+                        max_restarts=self.config.max_restarts)
+                    self.states[shard] = state
+                    self._spawn(state)
+                self._supervise()
+                if self.stop_reason is None:
+                    self._degraded_completion()
+                if self.stop_reason is not None:
+                    self._drain_checkpoint()
+            finally:
+                restore()
+                self._reap()
+                self._finalize_report()
+        else:
+            self._finalize_report()
+        if self.stop_reason is not None:
+            raise CampaignInterrupted(self.stop_reason,
+                                      journal=runner.journal_path,
+                                      completed=self._completed())
+        return self.report
+
+    # -- main loop -----------------------------------------------------
+
+    def _supervise(self):
+        while self.stop_reason is None and self._active():
+            self._pump()
+            self.stop_reason = self._interrupt_reason()
+            if self.stop_reason is not None:
+                return
+            now = time.monotonic()
+            for state in list(self.states.values()):
+                if state.status == RUNNING:
+                    self._check_liveness(state, now)
+                elif (state.status == BACKOFF
+                        and now >= state.resume_due):
+                    self._respawn(state)
+
+    def _active(self):
+        return any(state.status in (RUNNING, BACKOFF)
+                   for state in self.states.values())
+
+    def _pump(self):
+        by_conn = {state.conn: state
+                   for state in self.states.values()
+                   if state.conn is not None}
+        if not by_conn:
+            time.sleep(self.config.poll_interval)
+            return
+        ready = _mp_connection.wait(list(by_conn),
+                                    timeout=self.config.poll_interval)
+        for conn in ready:
+            self._drain_conn(by_conn[conn], conn)
+
+    def _drain_conn(self, state, conn):
+        while True:
+            try:
+                if not conn.poll():
+                    return
+                message = conn.recv()
+            except (EOFError, OSError):
+                # Write end gone (worker exited, possibly mid-send)
+                # and the buffer is exhausted; the liveness check
+                # decides what that means.
+                conn.close()
+                if state.conn is conn:
+                    state.conn = None
+                return
+            self._handle(message)
+
+    def _handle(self, message):
+        kind, shard, attempt = message[0], message[1], message[2]
+        state = self.states.get(shard)
+        if state is None or attempt != state.attempt:
+            # a killed incarnation's leftovers must not be mistaken
+            # for its replacement's liveness or results.
+            self.events["stale_messages"] += 1
+            return
+        state.last_beat = time.monotonic()
+        state.dead_since = None
+        if kind == "hello":
+            pass
+        elif kind == "progress":
+            done = message[3]
+            self.progress_by_shard[shard] = done
+            if self.runner.progress is not None:
+                self.runner.progress(self._completed(),
+                                     self.total_points)
+        elif kind == "done":
+            state.payload = message[3]
+            state.status = DONE
+        elif kind == "checkpoint":
+            state.status = CHECKPOINTED
+            self.events["checkpoints"] += 1
+        elif kind == "error":
+            self.events["worker_errors"] += 1
+            self._join(state.process)
+            self._failure(state, "shard %d attempt %d errored:\n%s"
+                          % (shard, attempt, message[3]))
+
+    def _completed(self):
+        return self.resumed_points + sum(self.progress_by_shard.values())
+
+    # -- liveness / failure handling -----------------------------------
+
+    def _check_liveness(self, state, now):
+        process = state.process
+        if not process.is_alive():
+            # Dead regardless of exit code: filtering on a nonzero
+            # exitcode is how a worker that exited 0 before sending
+            # ``done`` used to hang the parent forever.  The grace
+            # period lets an in-flight final message drain first.
+            if state.dead_since is None:
+                state.dead_since = now
+            elif now - state.dead_since >= self.config.dead_grace:
+                self._failure(
+                    state, "shard %d attempt %d died without "
+                    "reporting (exit code %s)"
+                    % (state.shard, state.attempt, process.exitcode))
+        elif now - state.last_beat > self.heartbeat_timeout:
+            self.events["wedged"] += 1
+            # SIGKILL, not SIGTERM: a wedged worker may never reach
+            # its stop_check (time.sleep resumes after a handled
+            # signal), and its journal is flushed per record anyway.
+            process.kill()
+            self._join(process)
+            self._failure(
+                state, "shard %d attempt %d wedged: no heartbeat for "
+                "%.0fs" % (state.shard, state.attempt,
+                           now - state.last_beat))
+
+    def _failure(self, state, detail):
+        state.failures.append(detail)
+        state.dead_since = None
+        if state.restarts >= state.max_restarts:
+            state.status = FAILED
+            self.events["failed_shards"] += 1
+            _LOGGER.warning(
+                "%s after %d restart(s); giving up on shard %d "
+                "(healthy shards continue; its points will be "
+                "recovered afterwards)", detail.splitlines()[0],
+                state.restarts, state.shard)
+            return
+        state.restarts += 1
+        delay = min(self.config.backoff_cap,
+                    self.config.backoff_base
+                    * (2 ** (state.restarts - 1)))
+        state.status = BACKOFF
+        state.resume_due = time.monotonic() + delay
+        _LOGGER.warning("%s; respawning in %.1fs (restart %d/%d)",
+                        detail.splitlines()[0], delay, state.restarts,
+                        state.max_restarts)
+
+    # -- spawning ------------------------------------------------------
+
+    def _spawn(self, state):
+        # Lazy import: tests monkeypatch parallel._shard_worker_main,
+        # and a spawn must resolve the current attribute.
+        from . import parallel
+        spec = self.runner._spec(state.shard, state.points,
+                                 attempt=state.attempt)
+        if state.conn is not None:
+            state.conn.close()
+        reader, writer = self.context.Pipe(duplex=False)
+        process = self.context.Process(
+            target=parallel._shard_worker_main,
+            args=(spec, writer))
+        process.daemon = True
+        process.start()
+        # Drop the parent's copy of the write end so the reader sees
+        # EOF the moment the worker -- the only writer -- exits.
+        writer.close()
+        state.conn = reader
+        state.process = process
+        state.status = RUNNING
+        state.last_beat = time.monotonic()
+        state.dead_since = None
+
+    def _respawn(self, state):
+        self.events["respawns"] += 1
+        state.attempt += 1
+        self.runner.tracer.instant(
+            "supervisor-respawn", cat="supervisor",
+            shard=state.shard, attempt=state.attempt)
+        _LOGGER.info("respawning shard %d (attempt %d), resuming "
+                     "from its journal", state.shard, state.attempt)
+        self._spawn(state)
+
+    # -- degraded completion -------------------------------------------
+
+    def _degraded_completion(self):
+        failed = [state for state in self.states.values()
+                  if state.status == FAILED]
+        if not failed:
+            return
+        self.events["degraded"] += 1
+        self.runner.tracer.instant(
+            "supervisor-degraded", cat="supervisor",
+            shards=sorted(state.shard for state in failed))
+        covered = set()
+        for state in failed:
+            covered.update(self._salvage(state))
+        leftovers = [point for state in failed
+                     for point in state.points
+                     if _point_key(point) not in covered]
+        if not leftovers:
+            return
+        self.events["degraded_points"] += len(leftovers)
+        _LOGGER.warning(
+            "degraded completion: %d point(s) from failed shard(s) %s "
+            "re-sharded across survivors", len(leftovers),
+            sorted(state.shard for state in failed))
+        survivors = sum(1 for state in self.states.values()
+                        if state.status == DONE)
+        remaining = leftovers
+        if survivors:
+            remaining = self._degraded_wave(leftovers, survivors)
+            if self.stop_reason is not None:
+                return
+        if remaining:
+            self._run_inline(remaining)
+
+    def _degraded_wave(self, points, survivors):
+        """Re-shard *points* across as many fresh workers as shards
+        just finished healthy (those worker slots are proven viable);
+        the new shards get no restart budget -- whatever still fails
+        falls through to the inline path."""
+        from .parallel import shard_points
+        next_shard = max(self.states) + 1
+        new_states = []
+        for offset, wave in enumerate(shard_points(points, survivors)):
+            state = ShardState(shard=next_shard + offset, points=wave,
+                               max_restarts=0)
+            self.states[state.shard] = state
+            self._spawn(state)
+            new_states.append(state)
+        self._supervise()
+        if self.stop_reason is not None:
+            return []
+        remaining = []
+        for state in new_states:
+            if state.status != FAILED:
+                continue
+            covered = self._salvage(state)
+            remaining.extend(point for point in state.points
+                             if _point_key(point) not in covered)
+        return remaining
+
+    def _run_inline(self, points):
+        shard = max(self.states) + 1 if self.states else 0
+        state = ShardState(shard=shard, points=list(points),
+                           max_restarts=0)
+        self.states[shard] = state
+        self.events["inline_points"] += len(points)
+        _LOGGER.warning("degraded completion: running %d point(s) "
+                        "inline in the parent process", len(points))
+        try:
+            state.payload = self.runner._run_inline(
+                shard, state.points, stop_check=self._interrupt_reason)
+        except CampaignInterrupted as interrupted:
+            self.stop_reason = interrupted.reason
+            return
+        except Exception as error:
+            details = "\n".join(
+                "shard %d: %s" % (failed.shard, failure)
+                for failed in self.states.values()
+                for failure in failed.failures)
+            raise RuntimeError(
+                "campaign could not self-heal: inline degraded "
+                "completion failed after shard failure(s):\n%s"
+                % details) from error
+        state.status = DONE
+
+    def _salvage(self, state):
+        """Recover what a failed shard already journaled as a
+        synthetic ``done`` payload (with a metrics registry rebuilt
+        from the records, so the deterministic metrics core still
+        aggregates exactly).  Returns the covered point keys."""
+        runner = self.runner
+        if runner.journal_path is None:
+            return set()
+        from .parallel import shard_journal_path
+        path = shard_journal_path(runner.journal_path, state.shard)
+        try:
+            __, results, quarantined, __report = \
+                CampaignJournal.load_with_report(path, strict=False)
+        except (FileNotFoundError, JournalError):
+            return set()
+        if not results and not quarantined:
+            return set()
+        from ..analysis.serialize import result_from_dict
+        registry = declare_campaign_metrics(MetricsRegistry())
+        for record in results.values():
+            record_result_metrics(registry, result_from_dict(record))
+        registry.counter("quarantined").inc(len(quarantined))
+        salvaged = len(results) + len(quarantined)
+        self.events["salvaged_points"] += salvaged
+        state.payload = {
+            "results": list(results.values()),
+            "quarantined": list(quarantined.values()),
+            "timing": {"shard": state.shard, "experiments": salvaged,
+                       "executed": 0, "salvaged": salvaged},
+            "metrics": registry.as_dict(),
+        }
+        _LOGGER.info("salvaged %d journaled record(s) from failed "
+                     "shard %d", salvaged, state.shard)
+        return set(results) | set(quarantined)
+
+    # -- checkpoint shutdown -------------------------------------------
+
+    def _drain_checkpoint(self):
+        self.events["checkpoint_exits"] += 1
+        self.runner.tracer.instant("supervisor-checkpoint",
+                                   cat="supervisor",
+                                   reason=self.stop_reason)
+        _LOGGER.warning("checkpoint requested (%s): draining workers",
+                        self.stop_reason)
+        for state in self.states.values():
+            if state.status == RUNNING and state.process.is_alive():
+                # Workers convert SIGTERM into a finish-current-
+                # experiment, flush-journal checkpoint.
+                state.process.terminate()
+        deadline = time.monotonic() + self.config.drain_timeout
+        while (any(state.status == RUNNING and state.process.is_alive()
+                   for state in self.states.values())
+               and time.monotonic() < deadline):
+            self._pump()
+        self._pump()                  # drain already-queued messages
+        for state in self.states.values():
+            if state.status != RUNNING:
+                continue
+            if state.process.is_alive():
+                # Straggler past the drain budget: SIGKILL is safe,
+                # the journal is flushed after every record.
+                state.process.kill()
+            self._join(state.process)
+            state.status = CHECKPOINTED
+
+    # -- signals / deadline --------------------------------------------
+
+    def _install_signal_handlers(self):
+        if (not self.runner.graceful_signals
+                or threading.current_thread()
+                is not threading.main_thread()):
+            return lambda: None
+
+        def request_stop(signum, frame):
+            self._stop_signal = signal.Signals(signum).name
+
+        previous = {}
+        for signum in (signal.SIGTERM, signal.SIGINT):
+            previous[signum] = signal.signal(signum, request_stop)
+
+        def restore():
+            for signum, handler in previous.items():
+                signal.signal(signum, handler)
+
+        return restore
+
+    def _interrupt_reason(self):
+        if self._stop_signal is not None:
+            return self._stop_signal
+        if (self._deadline_at is not None
+                and time.monotonic() > self._deadline_at):
+            return "deadline"
+        return None
+
+    # -- teardown ------------------------------------------------------
+
+    def _join(self, process, timeout=5.0):
+        process.join(timeout)
+        if process.is_alive():
+            process.kill()
+            process.join(timeout)
+
+    def _reap(self):
+        for state in self.states.values():
+            process = state.process
+            if process is None:
+                continue
+            if process.is_alive():
+                process.terminate()
+        for state in self.states.values():
+            if state.process is not None:
+                self._join(state.process)
+            if state.conn is not None:
+                state.conn.close()
+                state.conn = None
+
+    def _finalize_report(self):
+        failures = [(state.shard, failure)
+                    for __, state in sorted(self.states.items())
+                    for failure in state.failures]
+        if failures and self.stop_reason is None:
+            _LOGGER.warning(
+                "campaign completed despite %d worker failure(s) "
+                "across shard(s) %s", len(failures),
+                sorted({shard for shard, __ in failures}))
+        self.report = SupervisionReport(
+            payloads=[state.payload
+                      for __, state in sorted(self.states.items())
+                      if state.payload is not None],
+            shard_indices=sorted(self.states),
+            events=dict(self.events),
+            failures=failures,
+            interrupted=self.stop_reason)
+        self.runner._supervision = self

@@ -143,6 +143,20 @@ class Histogram:
                          else max(self.high, record["max"]))
 
 
+def record_supervision_metrics(registry, events):
+    """Fold a supervision run's event counts (respawns, wedge kills,
+    degraded transitions, checkpoints; see
+    :data:`repro.injection.supervisor.EVENT_NAMES`) into *registry* as
+    ``supervisor.<event>`` counters.  Volatile by definition: they
+    measure the run's failure history, not the campaign spec -- a
+    chaos-recovered campaign and an undisturbed one still agree on the
+    deterministic core."""
+    for name in sorted(events or {}):
+        registry.counter("supervisor.%s" % name,
+                         volatile=True).inc(events[name])
+    return registry
+
+
 class MetricsRegistry:
     """Named instruments with exact, JSON-round-trippable merging."""
 

@@ -234,5 +234,10 @@ def merge_trace_files(out_path, parent_events, shard_paths):
             events.extend(load_trace_file(path))
         except FileNotFoundError:
             continue
+        except ValueError:
+            # A worker killed mid-save (chaos, SIGKILL of a wedged
+            # shard) can leave a torn sink; the merged trace must
+            # still load.  json.JSONDecodeError subclasses ValueError.
+            continue
     write_trace_file(out_path, events)
     return events

@@ -1,0 +1,136 @@
+"""Chaos harness unit tests: deterministic policies, fire-once agent
+semantics, and journal corruption helpers."""
+
+from __future__ import annotations
+
+import errno
+import json
+
+import pytest
+
+from repro.injection import (ChaosAction, ChaosPolicy,
+                             corrupt_journal_tail)
+from repro.injection.chaos import (ACTION_KINDS, ChaosAgent, FAIL_WRITE,
+                                   KILL, STALL)
+
+
+class TestChaosAction:
+    def test_kinds_are_validated(self):
+        with pytest.raises(ValueError):
+            ChaosAction(kind="set-on-fire", shard=0)
+
+    def test_known_kinds_construct(self):
+        for kind in ACTION_KINDS:
+            assert ChaosAction(kind=kind, shard=0).kind == kind
+
+
+class TestChaosPolicy:
+    def test_seeded_is_deterministic(self):
+        one = ChaosPolicy.seeded(7, shards=3)
+        two = ChaosPolicy.seeded(7, shards=3)
+        assert one.actions == two.actions
+        assert ChaosPolicy.seeded(8, shards=3).actions != one.actions
+
+    def test_seeded_targets_valid_shards(self):
+        policy = ChaosPolicy.seeded(3, shards=4)
+        assert policy.actions
+        assert all(0 <= action.shard < 4 for action in policy.actions)
+
+    def test_agent_filters_by_shard_and_attempt(self):
+        policy = ChaosPolicy(actions=(
+            ChaosAction(kind=KILL, shard=1, attempt=0),
+            ChaosAction(kind=STALL, shard=1, attempt=1),
+        ))
+        assert policy.agent(0, 0) is None
+        assert policy.agent(0, 1) is None
+        agent = policy.agent(1, 0)
+        assert [action.kind
+                for action in agent._point_actions] == [KILL]
+        agent = policy.agent(1, 1)
+        assert [action.kind
+                for action in agent._point_actions] == [STALL]
+
+    def test_describe_mentions_every_action(self):
+        policy = ChaosPolicy(actions=(
+            ChaosAction(kind=KILL, shard=0, after=3),
+            ChaosAction(kind=FAIL_WRITE, shard=2, after=1),
+        ))
+        description = policy.describe()
+        assert KILL in description and FAIL_WRITE in description
+
+
+class TestChaosAgent:
+    def test_kill_fires_once_at_threshold(self, monkeypatch):
+        exits = []
+        monkeypatch.setattr("os._exit", exits.append)
+        agent = ChaosAgent((ChaosAction(kind=KILL, shard=0, after=3,
+                                        exit_code=42),))
+        agent.on_point(1)
+        agent.on_point(2)
+        assert exits == []
+        agent.on_point(3)
+        assert exits == [42]
+        agent.on_point(4)      # fire-once: never re-triggers
+        assert exits == [42]
+
+    def test_stall_sleeps_for_configured_seconds(self, monkeypatch):
+        naps = []
+        monkeypatch.setattr("time.sleep", naps.append)
+        agent = ChaosAgent((ChaosAction(kind=STALL, shard=0, after=1,
+                                        seconds=60.0),))
+        agent.on_point(1)
+        agent.on_point(2)
+        assert naps == [60.0]
+
+    def test_fail_write_raises_enospc_once(self):
+        agent = ChaosAgent((ChaosAction(kind=FAIL_WRITE, shard=0,
+                                        after=2),))
+        agent.on_journal_write(0)
+        agent.on_journal_write(1)
+        with pytest.raises(OSError) as excinfo:
+            agent.on_journal_write(2)
+        assert excinfo.value.errno == errno.ENOSPC
+        agent.on_journal_write(3)  # fire-once
+
+
+class TestCorruptJournalTail:
+    def journal(self, tmp_path, records=6, name="camp.jsonl"):
+        path = tmp_path / name
+        lines = [json.dumps({"type": "meta", "schema": 1})]
+        lines += [json.dumps({"type": "result", "key": "k%d" % index})
+                  for index in range(records)]
+        path.write_text("".join(line + "\n" for line in lines))
+        return path
+
+    def test_garbage_line_spares_the_meta_header(self, tmp_path):
+        path = self.journal(tmp_path)
+        victim = corrupt_journal_tail(path, mode="garbage-line", seed=5)
+        lines = path.read_text().splitlines()
+        assert victim > 1                 # never the meta line
+        assert json.loads(lines[0])["type"] == "meta"
+        with pytest.raises(json.JSONDecodeError):
+            json.loads(lines[victim - 1])
+
+    def test_garbage_line_is_seed_deterministic(self, tmp_path):
+        one = corrupt_journal_tail(self.journal(tmp_path, records=20,
+                                                name="a.jsonl"),
+                                   mode="garbage-line", seed=9)
+        two = corrupt_journal_tail(self.journal(tmp_path, records=20,
+                                                name="b.jsonl"),
+                                   mode="garbage-line", seed=9)
+        assert one == two
+
+    def test_truncate_tail_tears_the_final_line(self, tmp_path):
+        path = self.journal(tmp_path)
+        before = path.read_text().splitlines()
+        corrupt_journal_tail(path, mode="truncate-tail")
+        after = path.read_text()
+        assert not after.endswith("\n")
+        assert len(after) < len("\n".join(before)) + 1
+        torn = after.splitlines()[-1]
+        with pytest.raises(json.JSONDecodeError):
+            json.loads(torn)
+
+    def test_unknown_mode_rejected(self, tmp_path):
+        with pytest.raises(ValueError):
+            corrupt_journal_tail(self.journal(tmp_path), mode="eat")

@@ -9,7 +9,8 @@ import pytest
 
 from repro.analysis import (build_table1, campaign_from_shard_journals)
 from repro.apps.ftpd import client1
-from repro.injection import (JournalError, run_campaign, shard_points)
+from repro.injection import (JournalError, run_campaign, shard_points,
+                             SupervisorConfig)
 from repro.injection.parallel import (default_daemon_factory,
                                       discover_shard_journals,
                                       shard_journal_path)
@@ -200,15 +201,50 @@ class TestShardJournals:
 # ----------------------------------------------------------------------
 # Fault surfacing and daemon reconstruction
 
+FAST_SUPERVISOR = SupervisorConfig(max_restarts=0, backoff_base=0.05,
+                                   poll_interval=0.05, dead_grace=0.2)
+
+
 class TestWorkerFaults:
-    def test_worker_error_raises_in_parent(self, ftp_daemon):
+    def test_worker_error_heals_inline(self, ftp_daemon,
+                                       serial_campaign):
+        # every worker explodes during setup; the supervisor must not
+        # fail the campaign (satellite: one shard's error is no longer
+        # fatal to its siblings) -- with zero survivors it falls back
+        # to running the leftover points inline in the parent.
         def exploding_factory():
             raise RuntimeError("synthetic worker construction fault")
 
+        campaign = run_campaign(ftp_daemon, "Client1", client1,
+                                max_points=SLICE, workers=2,
+                                daemon_factory=exploding_factory,
+                                supervisor=FAST_SUPERVISOR)
+        assert campaign.counts(refined=True) \
+            == serial_campaign.counts(refined=True)
+        counters = campaign.metrics["volatile"]["counters"]
+        assert counters["supervisor.worker_errors"] == 2
+        assert counters["supervisor.failed_shards"] == 2
+        assert counters["supervisor.inline_points"] == SLICE
+
+    def test_unhealable_error_raises_in_parent(self, ftp_daemon,
+                                               monkeypatch):
+        # when even the parent's inline fallback fails, the original
+        # worker fault must surface in the raised error
+        def exploding_factory():
+            raise RuntimeError("synthetic worker construction fault")
+
+        def broken_inline(self, shard, points, stop_check=None):
+            raise RuntimeError("inline fallback broken too")
+
+        from repro.injection.parallel import ParallelCampaignRunner
+        monkeypatch.setattr(ParallelCampaignRunner, "_run_inline",
+                            broken_inline)
         with pytest.raises(RuntimeError) as excinfo:
             run_campaign(ftp_daemon, "Client1", client1,
                          max_points=SLICE, workers=2,
-                         daemon_factory=exploding_factory)
+                         daemon_factory=exploding_factory,
+                         supervisor=FAST_SUPERVISOR)
+        assert "could not self-heal" in str(excinfo.value)
         assert "synthetic worker construction fault" in str(
             excinfo.value)
 

@@ -153,6 +153,61 @@ class TestObservabilityFlags:
             assert sum(1 for line in handle) == 61
 
 
+class TestResilienceFlags:
+    def test_deadline_checkpoint_exits_75_and_resumes(self, tmp_path):
+        journal = str(tmp_path / "run.jsonl")
+        code, text = run_cli("campaign", "--app", "ftpd",
+                             "--max-points", "40",
+                             "--journal", journal,
+                             "--deadline", "0.0")
+        assert code == 75
+        assert "checkpointed (deadline)" in text
+        assert "--resume" in text and journal in text
+        code, text = run_cli("campaign", "--app", "ftpd",
+                             "--max-points", "40",
+                             "--journal", journal, "--resume")
+        assert code == 0
+        assert "Total" in text
+
+    def test_journal_fsync_flag(self, tmp_path):
+        journal = str(tmp_path / "run.jsonl")
+        code, __ = run_cli("campaign", "--app", "ftpd",
+                           "--max-points", "40",
+                           "--journal", journal,
+                           "--journal-fsync", "2")
+        assert code == 0
+        with open(journal) as handle:
+            assert sum(1 for line in handle) == 41
+
+    def test_journal_salvage_flag(self, tmp_path):
+        from repro.injection import corrupt_journal_tail, JournalError
+        journal = str(tmp_path / "run.jsonl")
+        code, __ = run_cli("campaign", "--app", "ftpd",
+                           "--max-points", "40",
+                           "--journal", journal)
+        assert code == 0
+        corrupt_journal_tail(journal, mode="garbage-line", seed=1)
+        with pytest.raises(JournalError):
+            run_cli("campaign", "--app", "ftpd",
+                    "--max-points", "40",
+                    "--journal", journal, "--resume")
+        code, text = run_cli("campaign", "--app", "ftpd",
+                             "--max-points", "40",
+                             "--journal", journal, "--resume",
+                             "--journal-salvage")
+        assert code == 0
+        assert "Total" in text
+
+    def test_parser_accepts_resilience_flags(self):
+        parser = build_parser()
+        args = parser.parse_args(
+            ["campaign", "--deadline", "3600",
+             "--journal-fsync", "8", "--journal-salvage"])
+        assert args.deadline == 3600.0
+        assert args.journal_fsync == 8
+        assert args.journal_salvage is True
+
+
 class TestForensicsCommand:
     def test_renders_journaled_snapshots(self, tmp_path):
         journal = str(tmp_path / "run.jsonl")
