@@ -36,7 +36,27 @@ DEFAULT_THRESHOLD = 0.25
 METRICS = {
     "emulator_speed": ["instructions_per_sec"],
     "table1_ftp_timing": ["experiments_per_sec"],
+    "snapshot_fork": ["experiments_per_sec", "restore_speedup"],
 }
+
+#: a top-level key that marks a result file as carrying gate-worthy
+#: throughput numbers.  Any current result file with such a key that is
+#: neither tracked in METRICS nor explicitly exempted below makes the
+#: gate fail loudly -- silently skipping it would let a regression in a
+#: new benchmark ship unnoticed.
+GATE_KEY_SUFFIX = "_per_sec"
+GATE_KEYS = frozenset({"restore_speedup"})
+
+#: historical timing dumps committed before their benches joined the CI
+#: gate; they carry experiments_per_sec but run outside the gate job,
+#: so there is nothing to compare against.  Additions here must be
+#: deliberate -- a new bench should get a baseline, not an exemption.
+UNTRACKED_OK = frozenset({
+    "table1_ssh_timing",
+    "table3_timing",
+    "table5_ftp_timing",
+    "table5_ssh_timing",
+})
 
 UPDATE_HINT = (
     "If the change is an accepted trade-off (or the baseline machine "
@@ -44,6 +64,33 @@ UPDATE_HINT = (
     "    python benchmarks/check_regression.py --update\n"
     "and commit benchmarks/results/baselines/."
 )
+
+
+def gate_keys_in(payload):
+    """The gate-worthy metric keys present in a result payload."""
+    if not isinstance(payload, dict):
+        return []
+    return sorted(key for key, value in payload.items()
+                  if isinstance(value, (int, float))
+                  and (key.endswith(GATE_KEY_SUFFIX)
+                       or key in GATE_KEYS))
+
+
+def untracked_failures(currents, metrics=None, exempt=UNTRACKED_OK):
+    """Fail loudly for current results carrying gate-worthy metrics
+    that have no committed baseline and no exemption."""
+    failures = []
+    for name in sorted(currents):
+        if name in (metrics or METRICS) or name in exempt:
+            continue
+        keys = gate_keys_in(currents[name])
+        if keys:
+            failures.append(
+                "%s: %s present in benchmarks/results/%s.json but the "
+                "metric is untracked -- add it to METRICS and commit a "
+                "baseline (or exempt the stem in UNTRACKED_OK)"
+                % (name, ", ".join(keys), name))
+    return failures
 
 
 def compare_metric(name, key, baseline_value, current_value,
@@ -91,15 +138,14 @@ def compare_all(baselines, currents, threshold=DEFAULT_THRESHOLD,
                                      current.get(key), threshold)
             if failure:
                 failures.append(failure)
+    failures.extend(untracked_failures(currents, metrics))
     return failures
 
 
 def _load_dir(directory):
     payloads = {}
-    for name in METRICS:
-        path = directory / ("%s.json" % name)
-        if path.exists():
-            payloads[name] = json.loads(path.read_text())
+    for path in sorted(directory.glob("*.json")):
+        payloads[path.stem] = json.loads(path.read_text())
     return payloads
 
 

@@ -108,6 +108,7 @@ def cmd_campaign(args, out):
         forensics=args.forensics, progress=_progress(args),
         deadline=args.deadline, journal_fsync=args.journal_fsync,
         journal_salvage=args.journal_salvage,
+        full_restore=args.full_restore,
         # SIGTERM/SIGINT checkpoint the campaign instead of killing
         # it; resume with --resume.
         graceful_signals=True)
@@ -339,6 +340,11 @@ def build_parser():
                           help="on resume, quarantine corrupt journal "
                                "lines (re-running their points) "
                                "instead of refusing the journal")
+    campaign.add_argument("--full-restore", action="store_true",
+                          help="rewrite every memory region between "
+                               "experiments instead of only pages the "
+                               "previous run dirtied (escape hatch; "
+                               "outcomes are identical either way)")
     _add_obs_args(campaign)
     campaign.add_argument("--forensics", action="store_true",
                           help="capture the last-instructions ring and "

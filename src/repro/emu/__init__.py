@@ -5,13 +5,14 @@ from .machine_exceptions import (BoundRangeFault, BreakpointTrap, CpuFault,
                                  DebugTrap, DivideErrorFault,
                                  GeneralProtectionFault, InvalidOpcodeFault,
                                  OverflowTrap, PageFault)
-from .memory import Memory, Region
+from .memory import Memory, PAGE_SHIFT, PAGE_SIZE, Region
 from .perf import PerfCounters
 from .process import (DEFAULT_MAX_INSTRUCTIONS, ExitStatus, Process,
                       STACK_SIZE, STACK_TOP)
 
 __all__ = [
-    "CPU", "Memory", "Region", "Process", "ExitStatus", "PerfCounters",
+    "CPU", "Memory", "Region", "PAGE_SIZE", "PAGE_SHIFT",
+    "Process", "ExitStatus", "PerfCounters",
     "DEFAULT_MAX_INSTRUCTIONS", "STACK_SIZE", "STACK_TOP", "CpuFault",
     "InvalidOpcodeFault", "GeneralProtectionFault", "PageFault",
     "DivideErrorFault", "BoundRangeFault", "BreakpointTrap",

@@ -95,6 +95,20 @@ class CPU:
         self.decode_cache = {}
         self.prepared = {}        # address -> (fn, instruction, next_eip)
         self.blocks = {}          # address -> basic block of prepared ops
+        #: eviction index: address bucket -> set of block start
+        #: addresses whose byte span touches that bucket.  Lets a
+        #: single-address invalidation check a handful of candidate
+        #: blocks instead of scanning the whole block cache -- the
+        #: invalidation runs once per experiment restore, so it is on
+        #: the campaign hot path.  Entries may be stale (block already
+        #: evicted or rebuilt shorter); they are dropped lazily.
+        self.block_index = {}
+        #: optional list of cache-insert start addresses (decodes,
+        #: prepared ops, blocks) since last drained.  ``None`` (the
+        #: default) disables logging; the snapshot injector enables it
+        #: so a restore can evict exactly the entries built from
+        #: modified text (see :meth:`evict_suspect_decodes`).
+        self.decode_log = None
         self.cacheable = None     # (start, end) range eligible for caching
         self.coverage = None      # optional set of executed EIPs
         self.trace_hook = None    # optional fn(cpu, instruction) per step
@@ -256,6 +270,8 @@ class CPU:
         if self.cacheable and (self.cacheable[0] <= address
                                < self.cacheable[1]):
             self.decode_cache[address] = instruction
+            if self.decode_log is not None:
+                self.decode_log.append(address)
         return instruction
 
     #: longest encodable IA-32 instruction; a cached decode starting
@@ -278,6 +294,7 @@ class CPU:
             self.decode_cache.clear()
             self.prepared.clear()
             self.blocks.clear()
+            self.block_index.clear()
             return
         cache = self.decode_cache
         prepared = self.prepared
@@ -290,11 +307,59 @@ class CPU:
             if entry is not None \
                     and start + len(entry[1].raw) > address:
                 del prepared[start]
-        if self.blocks:
-            dead = [start for start, block in self.blocks.items()
-                    if start <= address < block[2]]
-            for start in dead:
-                del self.blocks[start]
+        candidates = self.block_index.get(
+            address >> self.BLOCK_BUCKET_SHIFT)
+        if candidates:
+            blocks = self.blocks
+            for start in [s for s in candidates
+                          if blocks.get(s) is None
+                          or s <= address < blocks[s][2]]:
+                candidates.discard(start)
+                blocks.pop(start, None)
+
+    def evict_suspect_decodes(self, addresses):
+        """Drop cache entries decoded from since-restored text bytes.
+
+        After a snapshot restore reverts the text segment, the only
+        stale entries are ones *inserted while the bytes at
+        `addresses` were modified* and whose span covers one of those
+        bytes -- everything older was decoded from the identical clean
+        image.  With :attr:`decode_log` enabled those inserts are
+        known exactly, so the steady-state cost is a couple of span
+        checks instead of a 15-byte range scan per modified address;
+        entries decoded from clean suffix code stay warm.  Without a
+        log this falls back to :meth:`invalidate_cache` per address.
+        """
+        log = self.decode_log
+        if log is None:
+            for address in addresses:
+                self.invalidate_cache(address)
+            return
+        if log and addresses:
+            cache = self.decode_cache
+            prepared = self.prepared
+            blocks = self.blocks
+            addrs = tuple(addresses)
+            for start in set(log):
+                end = start
+                cached = cache.get(start)
+                if cached is not None:
+                    end = start + len(cached.raw)
+                entry = prepared.get(start)
+                if entry is not None:
+                    span = start + len(entry[1].raw)
+                    if span > end:
+                        end = span
+                block = blocks.get(start)
+                if block is not None and block[2] > end:
+                    end = block[2]
+                for address in addrs:
+                    if start <= address < end:
+                        cache.pop(start, None)
+                        prepared.pop(start, None)
+                        blocks.pop(start, None)
+                        break
+        del log[:]
 
     # -- prepared-op fast path -----------------------------------------
 
@@ -333,11 +398,17 @@ class CPU:
         if self.cacheable and (self.cacheable[0] <= address
                                < self.cacheable[1]):
             self.prepared[address] = entry
+            if self.decode_log is not None:
+                self.decode_log.append(address)
         return entry
 
     #: basic blocks stop growing at this many instructions; bounds the
     #: cost of an eviction and of an over-long straight-line run.
     MAX_BLOCK_INSTRUCTIONS = 128
+
+    #: granularity of :attr:`block_index` buckets (64-byte lines: a
+    #: typical block spans one or two, keeping candidate sets tiny).
+    BLOCK_BUCKET_SHIFT = 6
 
     def _block_at(self, address):
         """Build (and cache) the basic block starting at *address*.
@@ -398,6 +469,12 @@ class CPU:
             return None
         block = (tuple(fns), frozenset(addrs[1:]), end, tuple(addrs))
         self.blocks[address] = block
+        index = self.block_index
+        for bucket in range(address >> self.BLOCK_BUCKET_SHIFT,
+                            ((end - 1) >> self.BLOCK_BUCKET_SHIFT) + 1):
+            index.setdefault(bucket, set()).add(address)
+        if self.decode_log is not None:
+            self.decode_log.append(address)
         return block
 
     def step(self):

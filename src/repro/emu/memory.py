@@ -27,6 +27,13 @@ _unpack_u32 = struct.Struct("<I").unpack_from
 _pack_u16 = struct.Struct("<H").pack_into
 _pack_u32 = struct.Struct("<I").pack_into
 
+#: Fixed page granularity for dirty tracking.  4 KiB matches the i386
+#: hardware page size the emulated processes believe they run on, and
+#: keeps the restore unit large enough that the per-store bookkeeping
+#: (one set.add) stays cheap relative to the work it saves.
+PAGE_SHIFT = 12
+PAGE_SIZE = 1 << PAGE_SHIFT
+
 
 class Region:
     """A contiguous mapped range of the address space.
@@ -34,22 +41,30 @@ class Region:
     ``end`` is precomputed: regions never resize after mapping
     (snapshot restores replace ``data`` contents in place), and the
     bound is checked on every memory access in the emulator hot loop.
+
+    ``dirty`` holds region-relative page indices touched by any store
+    (including permission-bypassing :meth:`Memory.poke`) since the last
+    :meth:`Memory.clear_dirty`.  Snapshot restore writes back only
+    these pages instead of the whole region.
     """
 
-    __slots__ = ("name", "start", "data", "writable", "end")
+    __slots__ = ("name", "start", "data", "writable", "end", "dirty")
 
     def __init__(self, name, start, size_or_data, writable=True):
         self.name = name
         self.start = start
-        if isinstance(size_or_data, int):
-            self.data = bytearray(size_or_data)
-        else:
-            self.data = bytearray(size_or_data)
+        # bytearray() accepts both an int (zero-filled size) and a
+        # buffer (copied contents), so one construction covers both.
+        self.data = bytearray(size_or_data)
         self.writable = writable
         self.end = start + len(self.data)
+        self.dirty = set()
 
     def contains(self, address):
         return self.start <= address < self.end
+
+    def page_count(self):
+        return (len(self.data) + PAGE_SIZE - 1) >> PAGE_SHIFT
 
 
 class Memory:
@@ -155,7 +170,9 @@ class Memory:
                 raise PageFault(eip, "write", address)
         if not region.writable:
             raise PageFault(eip, "write", address)
-        region.data[address - region.start] = value & 0xFF
+        offset = address - region.start
+        region.dirty.add(offset >> PAGE_SHIFT)
+        region.data[offset] = value & 0xFF
 
     def write16(self, address, value, eip=0):
         address &= 0xFFFFFFFF
@@ -167,7 +184,12 @@ class Memory:
                     or address + 2 > region.end):
                 self._slow_write(address, value, 2, eip)
                 return
-        _pack_u16(region.data, address - region.start, value & 0xFFFF)
+        offset = address - region.start
+        page = offset >> PAGE_SHIFT
+        region.dirty.add(page)
+        if (offset + 1) >> PAGE_SHIFT != page:
+            region.dirty.add(page + 1)
+        _pack_u16(region.data, offset, value & 0xFFFF)
 
     def write32(self, address, value, eip=0):
         address &= 0xFFFFFFFF
@@ -179,7 +201,12 @@ class Memory:
                     or address + 4 > region.end):
                 self._slow_write(address, value, 4, eip)
                 return
-        _pack_u32(region.data, address - region.start, value & 0xFFFFFFFF)
+        offset = address - region.start
+        page = offset >> PAGE_SHIFT
+        region.dirty.add(page)
+        if (offset + 3) >> PAGE_SHIFT != page:
+            region.dirty.add(page + 1)
+        _pack_u32(region.data, offset, value & 0xFFFFFFFF)
 
     def _slow_write(self, address, value, width, eip):
         for i in range(width):
@@ -196,7 +223,20 @@ class Memory:
         region = self._find(address & 0xFFFFFFFF)
         if region is None:
             raise PageFault(0, "poke", address)
-        region.data[(address & 0xFFFFFFFF) - region.start] = value & 0xFF
+        offset = (address & 0xFFFFFFFF) - region.start
+        region.dirty.add(offset >> PAGE_SHIFT)
+        region.data[offset] = value & 0xFF
+
+    # -- dirty-page tracking -------------------------------------------
+
+    def dirty_pages(self):
+        """Map of region name -> sorted region-relative dirty pages."""
+        return {region.name: sorted(region.dirty)
+                for region in self.regions if region.dirty}
+
+    def clear_dirty(self):
+        for region in self.regions:
+            region.dirty.clear()
 
     def peek(self, address):
         """Read one byte ignoring permissions (ptrace PEEKTEXT)."""

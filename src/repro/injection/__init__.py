@@ -12,7 +12,9 @@ from .faultmodels import (available_fault_models, BranchBitFlip,
                           RegisterBitFlip, RegisterInjectionPoint)
 from .golden import GoldenRun, record_golden
 from .injector import (BreakpointSession, plain_run,
-                       run_clean_connection, single_injection)
+                       run_clean_connection, SessionCache,
+                       single_injection)
+from .snapshot import MachineSnapshot
 from .runner import (campaign_timing, CampaignInterrupted,
                      CampaignJournal, CampaignRunner, JournalError,
                      JournalLoadReport, run_resilient_campaign,
@@ -49,7 +51,8 @@ __all__ = [
     "MemoryInjectionPoint",
     "CampaignResult", "ENCODING_OLD", "ENCODING_NEW", "run_campaign",
     "run_both_encodings", "QuarantinedPoint", "GoldenRun",
-    "record_golden", "BreakpointSession", "plain_run",
+    "record_golden", "BreakpointSession", "MachineSnapshot",
+    "SessionCache", "plain_run",
     "single_injection", "run_clean_connection", "CampaignRunner",
     "CampaignJournal", "JournalError", "run_resilient_campaign",
     "campaign_timing", "CampaignInterrupted", "JournalLoadReport",

@@ -193,7 +193,8 @@ def run_campaign(daemon, client_name, client_factory,
                  daemon_factory=None, fault_model=None, trace=None,
                  metrics=None, forensics=False, deadline=None,
                  graceful_signals=False, journal_fsync=None,
-                 journal_salvage=False, chaos=None, supervisor=None):
+                 journal_salvage=False, chaos=None, supervisor=None,
+                 full_restore=False, session_cache=None):
     """Run one full selective-exhaustive campaign.
 
     ``fault_model`` selects the injected fault family by registry name
@@ -239,6 +240,14 @@ def run_campaign(daemon, client_name, client_factory,
     overrides the parallel runner's
     :class:`~repro.injection.supervisor.SupervisorConfig` (restart
     budget, backoff, heartbeat deadline).
+
+    ``full_restore=True`` disables the dirty-page snapshot restore and
+    rewrites every memory region between experiments (the escape
+    hatch; outcomes are byte-identical either way).  ``session_cache``
+    shares breakpoint sessions across sequential serial campaigns --
+    e.g. a fault-model sweep over the same daemon reuses one site
+    snapshot per instruction (ignored by parallel runs, whose workers
+    each keep a private cache).
     """
     if workers is not None and workers > 1:
         from .parallel import ParallelCampaignRunner
@@ -253,7 +262,7 @@ def run_campaign(daemon, client_name, client_factory,
             graceful_signals=graceful_signals,
             journal_fsync=journal_fsync,
             journal_salvage=journal_salvage, chaos=chaos,
-            supervisor=supervisor)
+            supervisor=supervisor, full_restore=full_restore)
         return runner.run()
     from .runner import CampaignRunner
     # a serial run is "shard 0, attempt 0" to a chaos policy (an
@@ -272,7 +281,9 @@ def run_campaign(daemon, client_name, client_factory,
                             graceful_signals=graceful_signals,
                             journal_fsync=journal_fsync,
                             journal_salvage=journal_salvage,
-                            chaos=chaos_agent)
+                            chaos=chaos_agent,
+                            full_restore=full_restore,
+                            session_cache=session_cache)
     return runner.run()
 
 

@@ -10,15 +10,23 @@ CPU, kernel, client) at the breakpoint once and replays only the
 post-activation suffix for each of the instruction's bits.  Outcomes
 are exactly those of a naive per-bit rerun; campaigns just finish
 about an order of magnitude sooner.
+
+The snapshot is a :class:`~repro.injection.snapshot.MachineSnapshot`:
+restore writes back only pages the previous suffix dirtied and clones
+the kernel through the explicit ``clone()`` protocol instead of
+``copy.deepcopy``.  The prefix run depends only on the daemon image
+and the scripted client -- not on the fault model or instruction
+encoding -- so one session (and its snapshot) is reusable across every
+model and bit aimed at that instruction; :class:`SessionCache` keys
+sessions accordingly.
 """
 
 from __future__ import annotations
 
-import copy
-
 from ..apps.common import CONNECTION_INSTRUCTION_BUDGET
 from ..emu import Process
 from ..kernel import ServerHang
+from .snapshot import MachineSnapshot
 
 
 def plain_run(process, budget):
@@ -39,57 +47,135 @@ class BreakpointSession:
     ``run_fn(process, budget)`` executes the post-activation suffix;
     the default simply runs to completion, the fault-tolerant runner
     substitutes a watchdog-instrumented executor.
+
+    ``full_restore=True`` is the escape hatch that rewrites every
+    region instead of only dirtied pages; the test suite cross-checks
+    the two paths for byte-identical outcomes.
     """
 
     def __init__(self, daemon, client_factory, breakpoint_address,
-                 budget=CONNECTION_INSTRUCTION_BUDGET, run_fn=None):
+                 budget=CONNECTION_INSTRUCTION_BUDGET, run_fn=None,
+                 full_restore=False):
         self.daemon = daemon
         self.budget = budget
         self.run_fn = run_fn if run_fn is not None else plain_run
         self.breakpoint_address = breakpoint_address
+        self.full_restore = full_restore
         client = client_factory()
         kernel = daemon.make_kernel(client)
         self.process = Process(daemon.module, kernel)
         #: text addresses poked since the snapshot; the only ones whose
         #: cached decodes can be stale once the snapshot is restored.
         self._dirty = set()
+        #: perf-counter values already credited to a runner; lets a
+        #: session be reused across runners without double counting.
+        self._perf_taken = {}
+        #: restore-path accounting, exposed for tests and benchmarks.
+        self.restore_stats = {"restores": 0, "pristine_skips": 0,
+                              "pages_written": 0, "kernel_reuses": 0,
+                              "kernel_rewinds": 0}
         self.arrival = self.process.run_until(breakpoint_address, budget)
         self.reached = self.arrival.kind == "breakpoint"
         if self.reached:
             self.activation_instret = self.process.cpu.instret
-            self._snap_regions = [bytes(region.data)
-                                  for region in self.process.memory.regions]
-            cpu = self.process.cpu
-            self._snap_cpu = (list(cpu.regs), cpu.eip, cpu.eflags,
-                              list(cpu.segments), cpu.instret)
-            self._snap_kernel = kernel
+            self.snapshot = MachineSnapshot.capture(self.process, kernel)
+            # The pristine kernel lives inside the snapshot; the live
+            # process runs against a clone so no experiment can corrupt
+            # the state every later restore is built from.
+            self._install_kernel(self.snapshot.make_kernel())
+            self._pristine = True
+            # From here on, log cache inserts so each restore can
+            # evict exactly the decodes built from modified text.
+            self.process.cpu.decode_log = []
 
-    def _restore(self):
-        """Reset memory/CPU to the breakpoint and clone kernel+client."""
-        for region, blob in zip(self.process.memory.regions,
-                                self._snap_regions):
-            region.data[:] = blob
-        cpu = self.process.cpu
-        regs, eip, eflags, segments, instret = self._snap_cpu
-        cpu.regs = list(regs)
-        cpu.eip = eip
-        cpu.eflags = eflags
-        cpu.segments = list(segments)
-        cpu.instret = instret
-        cpu.halted = False
-        if hasattr(cpu, "exit_code"):
-            del cpu.exit_code
-        # Text is back to the snapshot image, from which the prefix run
-        # (and every clean suffix decode) was cached -- only decodes
-        # overlapping bytes poked since the snapshot can be stale, so
-        # evict those and keep the rest of the auth-section cache warm.
-        for address in self._dirty:
-            cpu.invalidate_cache(address)
-        self._dirty.clear()
-        kernel = copy.deepcopy(self._snap_kernel)
-        cpu.kernel = kernel
+    def _install_kernel(self, kernel):
+        self.process.cpu.kernel = kernel
         self.process.kernel = kernel
         return kernel
+
+    def _restore(self):
+        """Reset memory/CPU to the breakpoint and clone kernel+client.
+
+        When the machine has not run since the snapshot was captured
+        (or since the last restore) nothing is dirty and the already
+        installed kernel clone has never been touched, so the whole
+        restore is skipped -- the common case for NA fast exits.
+        """
+        if self._pristine:
+            self._pristine = False
+            self.restore_stats["pristine_skips"] += 1
+            return self.process.kernel
+        snapshot = self.snapshot
+        self.restore_stats["restores"] += 1
+        self.restore_stats["pages_written"] += snapshot.restore_memory(
+            self.process.memory, full=self.full_restore)
+        cpu = self.process.cpu
+        snapshot.restore_cpu(cpu)
+        # Text is back to the snapshot image, from which the prefix run
+        # (and every clean suffix decode) was cached -- only decodes
+        # built while bytes poked this experiment were in place can be
+        # stale, so evict those and keep the rest of the cache warm.
+        cpu.evict_suspect_decodes(self._dirty)
+        self._dirty.clear()
+        # Every kernel/client mutation is syscall-gated (the client
+        # only acts inside server_read/server_write), so an unchanged
+        # syscall count proves the installed clone is still pristine
+        # and can serve the next experiment as-is -- the common case
+        # for faults that crash before reaching a system call.
+        # Otherwise the installed clone is rewound in place to the
+        # pristine snapshot state, which is why the kernel returned by
+        # the previous run_with_* call is only guaranteed stable until
+        # the next one.
+        installed = self.process.kernel
+        if installed.syscall_count == snapshot.kernel.syscall_count:
+            self.restore_stats["kernel_reuses"] += 1
+            return installed
+        self.restore_stats["kernel_rewinds"] += 1
+        return installed.rewind_to(snapshot.kernel)
+
+    def fork(self):
+        """Cheap sibling session at the same breakpoint.
+
+        The sibling shares the immutable :class:`MachineSnapshot`
+        (region blobs + pristine kernel) but gets its own memory, CPU
+        and kernel clone, so experiments in one session can never leak
+        into another.  Used by the fork-independence property tests and
+        as the substrate for warm-worker reuse.
+        """
+        if not self.reached:
+            raise RuntimeError("cannot fork: breakpoint at 0x%x was "
+                               "never reached" % self.breakpoint_address)
+        sibling = BreakpointSession.__new__(BreakpointSession)
+        sibling.daemon = self.daemon
+        sibling.budget = self.budget
+        sibling.run_fn = self.run_fn
+        sibling.breakpoint_address = self.breakpoint_address
+        sibling.full_restore = self.full_restore
+        sibling.snapshot = self.snapshot
+        sibling.arrival = self.arrival
+        sibling.reached = True
+        sibling.activation_instret = self.activation_instret
+        sibling._dirty = set()
+        sibling._perf_taken = {}
+        sibling.restore_stats = {"restores": 0, "pristine_skips": 0,
+                                 "pages_written": 0, "kernel_reuses": 0,
+                                 "kernel_rewinds": 0}
+        kernel = self.snapshot.make_kernel()
+        sibling.process = Process(self.daemon.module, kernel,
+                                  memory=self.snapshot.materialize_memory())
+        self.snapshot.restore_cpu(sibling.process.cpu)
+        sibling.process.cpu.decode_log = []
+        sibling._pristine = True
+        return sibling
+
+    def take_perf_delta(self):
+        """Perf counters accumulated since the last call -- the share
+        of this session's work not yet credited to any runner."""
+        counters = self.process.cpu.perf.as_dict()
+        taken = self._perf_taken
+        self._perf_taken = counters
+        return {name: value - taken.get(name, 0)
+                for name, value in counters.items()}
 
     def run_with_flip(self, flip_address, bit):
         """Flip one bit at the breakpoint and run to completion.
@@ -178,6 +264,62 @@ class BreakpointSession:
     def _finish(self, kernel):
         status = self.run_fn(self.process, self.budget)
         return status, kernel, kernel.channel.client
+
+
+class SessionCache:
+    """Reusable :class:`BreakpointSession` store.
+
+    Keyed by (daemon image, client script, budget, site): the prefix
+    run and the snapshot do not depend on the fault model or the
+    instruction encoding, so one cached session serves every model and
+    bit targeting that instruction.  Unreachable sites are remembered
+    so each is probed at most once.
+
+    ``capacity`` bounds resident sessions (LRU eviction); campaigns
+    visit points in address order, so the serial runner uses capacity 1
+    while cross-model sweeps share an unbounded cache.  Not safe for
+    concurrent use from several threads; parallel campaigns give each
+    worker process its own cache.
+    """
+
+    def __init__(self, capacity=None):
+        self.capacity = capacity
+        self._sessions = {}  # key -> session, insertion order = LRU
+        self._unreachable = {}  # key -> arrival ExitStatus
+        self.hits = 0
+        self.misses = 0
+
+    @staticmethod
+    def key(daemon, client_name, budget, address):
+        return (id(daemon), client_name, budget, address)
+
+    def lookup(self, key):
+        session = self._sessions.get(key)
+        if session is not None:
+            self.hits += 1
+            # refresh LRU position
+            del self._sessions[key]
+            self._sessions[key] = session
+        return session
+
+    def unreachable_arrival(self, key):
+        return self._unreachable.get(key)
+
+    def mark_unreachable(self, key, arrival):
+        self._unreachable[key] = arrival
+
+    def store(self, key, session):
+        self.misses += 1
+        self._sessions[key] = session
+        if self.capacity is not None:
+            while len(self._sessions) > self.capacity:
+                oldest = next(iter(self._sessions))
+                del self._sessions[oldest]
+
+    def discard(self, key):
+        """Drop a session whose machine state may be corrupted (e.g.
+        after a harness fault)."""
+        self._sessions.pop(key, None)
 
 
 def single_injection(daemon, client_factory, instruction_address,

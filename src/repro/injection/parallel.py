@@ -231,7 +231,8 @@ def _shard_worker_main(spec, conn):
             stop_check=lambda: stop["reason"],
             journal_fsync=spec.get("journal_fsync"),
             journal_salvage=spec.get("journal_salvage", False),
-            chaos=chaos)
+            chaos=chaos,
+            full_restore=spec.get("full_restore", False))
         campaign = runner.run()
         timing = dict(campaign.timing or {})
         timing.update(shard=shard, setup=setup,
@@ -272,7 +273,8 @@ class ParallelCampaignRunner:
                  daemon_factory=None, fault_model=None, trace=None,
                  metrics=None, forensics=False, deadline=None,
                  graceful_signals=False, journal_fsync=None,
-                 journal_salvage=False, chaos=None, supervisor=None):
+                 journal_salvage=False, chaos=None, supervisor=None,
+                 full_restore=False):
         from .campaign import ENCODING_OLD
         if workers < 1:
             raise ValueError("workers must be >= 1, got %r" % workers)
@@ -328,6 +330,9 @@ class ParallelCampaignRunner:
         self.chaos = chaos
         self.supervisor_config = (supervisor if supervisor is not None
                                   else SupervisorConfig())
+        #: snapshot-restore escape hatch, forwarded to every shard's
+        #: runner (and to inline degraded completions).
+        self.full_restore = full_restore
         self._supervision = None
 
     # -- public entry point --------------------------------------------
@@ -553,6 +558,7 @@ class ParallelCampaignRunner:
             "journal_fsync": self.journal_fsync,
             "journal_salvage": self.journal_salvage,
             "chaos": self.chaos,
+            "full_restore": self.full_restore,
         }
 
     def _run_shards(self, shards, total_points, resumed_points):
@@ -565,10 +571,13 @@ class ParallelCampaignRunner:
         report = supervisor.run()
         return report.payloads
 
-    def _run_inline(self, shard, points, stop_check=None):
+    def _run_inline(self, shard, points, stop_check=None,
+                    session_cache=None):
         """Last-resort degraded completion: run *points* in the parent
         process with its already-working daemon (no factory, no fork).
-        Returns a worker-shaped ``done`` payload."""
+        Returns a worker-shaped ``done`` payload.  ``session_cache``
+        (supervisor-owned) lets successive inline completions reuse
+        breakpoint sessions for sites they share."""
         journal = None
         if self.journal_path is not None:
             journal = shard_journal_path(self.journal_path, shard)
@@ -590,7 +599,9 @@ class ParallelCampaignRunner:
             forensics=self.forensics, trace_root="shard",
             trace_attrs={"shard": shard, "inline": True},
             stop_check=stop_check,
-            journal_fsync=self.journal_fsync, journal_salvage=True)
+            journal_fsync=self.journal_fsync, journal_salvage=True,
+            full_restore=self.full_restore,
+            session_cache=session_cache)
         campaign = runner.run()
         timing = dict(campaign.timing or {})
         timing.update(shard=shard, setup=0.0, points=len(points),

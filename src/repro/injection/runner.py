@@ -50,7 +50,7 @@ from ..obs.metrics import MetricsRegistry
 from ..obs.trace import as_tracer, NULL_TRACER
 from .faultmodels import get_fault_model
 from .golden import record_golden
-from .injector import BreakpointSession
+from .injector import BreakpointSession, SessionCache
 from .outcomes import (classify_completed_run, FAIL_SILENCE_VIOLATION,
                        HANG, HARNESS_FAULT, InjectionResult,
                        NOT_ACTIVATED, SECURITY_BREAKIN)
@@ -536,7 +536,8 @@ class CampaignRunner:
                  forensics=False, trace_root="campaign",
                  trace_attrs=None, deadline=None, stop_check=None,
                  graceful_signals=False, journal_fsync=None,
-                 journal_salvage=False, chaos=None):
+                 journal_salvage=False, chaos=None, full_restore=False,
+                 session_cache=None):
         from .campaign import ENCODING_OLD
         self.daemon = daemon
         self.client_name = client_name
@@ -584,12 +585,18 @@ class CampaignRunner:
         self.chaos = chaos
         self.registry = declare_campaign_metrics(MetricsRegistry())
         self.watchdog.tracer = self.tracer
-        # Per-campaign session cache: one live session plus the set of
-        # addresses whose breakpoint provably cannot be reached, so a
-        # disagreeing address is probed once, not once per bit.
+        #: snapshot-restore escape hatch: rewrite every region instead
+        #: of only dirtied pages (cross-checked in tests).
+        self.full_restore = full_restore
+        # Session cache: points arrive in address order, so a private
+        # cache keeps one live session (plus the unreachable set, so a
+        # disagreeing address is probed once, not once per bit).  A
+        # caller-supplied cache is shared across campaigns -- e.g. a
+        # fault-model sweep reusing one site snapshot per model.
+        self.session_cache = (session_cache if session_cache is not None
+                              else SessionCache(capacity=1))
         self._session = None
         self._session_address = None
-        self._unreachable = {}
 
     # -- public entry point --------------------------------------------
 
@@ -866,25 +873,32 @@ class CampaignRunner:
         return result
 
     def _retire_session(self):
-        """Drop the cached session, folding its CPU's perf counters
-        into the campaign aggregate first."""
+        """Release the live session, folding the share of its CPU perf
+        counters accumulated under this runner into the campaign
+        aggregate.  The session itself stays in the cache for reuse by
+        a later campaign (another fault model or encoding)."""
         if self._session is not None:
-            self._perf.absorb(self._session.process.cpu.perf)
+            self._perf.absorb_dict(self._session.take_perf_delta())
         self._session = None
         self._session_address = None
 
     def _harness_fault(self, pending):
         """Convert an escaped exception into a HARNESS_FAULT record;
-        the cached session may be corrupted, so drop it (its counters
-        are plain integers and stay trustworthy, so they are kept).
-        Forensic state is snapshotted *before* the session goes."""
+        the cached session may be corrupted, so drop it from the cache
+        too (its counters are plain integers and stay trustworthy, so
+        they are kept).  Forensic state is snapshotted *before* the
+        session goes."""
         forensics = None
-        if self.forensics and self._session is not None:
-            try:
-                forensics = capture_forensics(
-                    self._session.process.cpu)
-            except Exception:
-                forensics = None              # never mask the fault
+        if self._session is not None:
+            if self.forensics:
+                try:
+                    forensics = capture_forensics(
+                        self._session.process.cpu)
+                except Exception:
+                    forensics = None          # never mask the fault
+            self.session_cache.discard(SessionCache.key(
+                self.daemon, self.client_name, self.budget,
+                self._session_address))
         self._retire_session()
         detail = traceback.format_exc(limit=8).strip()
         return InjectionResult(point=pending.point,
@@ -953,29 +967,44 @@ class CampaignRunner:
 
     def _session_for(self, address):
         """Breakpoint session for *address*, cached across the bits of
-        one instruction; ``None`` when the breakpoint is unreachable
-        (cached too, so the disagreement is probed only once)."""
+        one instruction (and, through a shared :class:`SessionCache`,
+        across fault models and encodings); ``None`` when the
+        breakpoint is unreachable (cached too, so the disagreement is
+        probed only once)."""
         if self._session_address == address:
             return self._session
-        if address in self._unreachable:
+        key = SessionCache.key(self.daemon, self.client_name,
+                               self.budget, address)
+        if self.session_cache.unreachable_arrival(key) is not None:
             return None
         self._retire_session()
-        with self.tracer.span("client-session", cat="experiment",
-                              address="0x%x" % address) as span:
-            session = BreakpointSession(self.daemon,
-                                        self.client_factory,
-                                        address, self.budget,
-                                        run_fn=self.watchdog)
-            span.set("reached", session.reached)
-        self.registry.counter("runtime.sessions", volatile=True).inc()
-        if not session.reached:
-            self._unreachable[address] = True
-            self.registry.counter("runtime.sessions_unreachable",
+        session = self.session_cache.lookup(key)
+        if session is not None:
+            self.registry.counter("runtime.sessions_reused",
                                   volatile=True).inc()
-            self._perf.absorb(session.process.cpu.perf)
-            return None
-        if self.forensics:
-            session.process.cpu.forensic_ring = make_forensic_ring()
+        else:
+            with self.tracer.span("client-session", cat="experiment",
+                                  address="0x%x" % address) as span:
+                session = BreakpointSession(self.daemon,
+                                            self.client_factory,
+                                            address, self.budget,
+                                            run_fn=self.watchdog)
+                span.set("reached", session.reached)
+            self.registry.counter("runtime.sessions",
+                                  volatile=True).inc()
+            if not session.reached:
+                self.session_cache.mark_unreachable(key, session.arrival)
+                self.registry.counter("runtime.sessions_unreachable",
+                                      volatile=True).inc()
+                self._perf.absorb_dict(session.take_perf_delta())
+                return None
+            self.session_cache.store(key, session)
+        # (Re)bind per-runner policy: a cached session may have been
+        # created by a campaign with different settings.
+        session.run_fn = self.watchdog
+        session.full_restore = self.full_restore
+        session.process.cpu.forensic_ring = (make_forensic_ring()
+                                             if self.forensics else None)
         self._session = session
         self._session_address = address
         return session

@@ -58,6 +58,7 @@ from multiprocessing import connection as _mp_connection
 
 from ..obs.log import get_logger
 from ..obs.metrics import MetricsRegistry
+from .injector import SessionCache
 from .runner import (_point_key, CampaignInterrupted, CampaignJournal,
                      declare_campaign_metrics, JournalError,
                      record_result_metrics)
@@ -170,6 +171,11 @@ class ShardSupervisor:
         self._stop_signal = None
         self._deadline_at = None
         self.context = None
+        # Supervisor-owned breakpoint-session cache for inline
+        # degraded completions: successive inline waves (e.g. after
+        # several shard failures) reuse one site snapshot per
+        # instruction instead of re-running the connection prefix.
+        self._inline_sessions = SessionCache()
 
     # -- entry point ---------------------------------------------------
 
@@ -440,7 +446,8 @@ class ShardSupervisor:
                         "inline in the parent process", len(points))
         try:
             state.payload = self.runner._run_inline(
-                shard, state.points, stop_check=self._interrupt_reason)
+                shard, state.points, stop_check=self._interrupt_reason,
+                session_cache=self._inline_sessions)
         except CampaignInterrupted as interrupted:
             self.stop_reason = interrupted.reason
             return

@@ -66,6 +66,30 @@ class Channel:
     def normalized_transcript(self):
         return tuple(self.transcript)
 
+    # -- snapshot protocol ---------------------------------------------
+
+    def clone(self):
+        """Independent copy of the channel and its attached client.
+
+        Transcript entries are (direction, bytes) tuples -- immutable --
+        so copying the list is enough; the client is cloned through its
+        own protocol so no mutable state is shared with the original.
+        """
+        twin = Channel.__new__(Channel)
+        twin.client = self.client.clone()
+        twin.to_server = bytearray(self.to_server)
+        twin.transcript = list(self.transcript)
+        twin.client.attach(twin)
+        return twin
+
+    def rewind_to(self, pristine):
+        """Reset this channel (a since-run clone of *pristine*) back to
+        *pristine*'s state in place -- no new objects, so the hot
+        restore path reuses memory that is already cache-warm."""
+        self.to_server[:] = pristine.to_server
+        self.transcript[:] = pristine.transcript
+        self.client.rewind_to(pristine.client, self)
+
 
 class ScriptedClient:
     """Base class for protocol clients driven by server output.
@@ -81,6 +105,40 @@ class ScriptedClient:
 
     def attach(self, channel):
         self.channel = channel
+
+    def clone(self):
+        """Independent copy of the client's scripted state.
+
+        Client state across all registered daemons is flat: ints,
+        bools, bytes, strings, and lists/dicts/sets of those.  The
+        generic copy handles every subclass; anything deeper must
+        override.  The clone is detached (``channel=None``) until a
+        Channel adopts it.
+        """
+        twin = object.__new__(type(self))
+        state = twin.__dict__
+        state.update(self.__dict__)
+        state["channel"] = None
+        for name, value in self.__dict__.items():
+            if isinstance(value, (list, set, dict, bytearray)):
+                state[name] = type(value)(value)
+        return twin
+
+    def rewind_to(self, pristine, channel):
+        """Reset this client (a since-run clone of *pristine*) back to
+        *pristine*'s scripted state in place, attached to *channel*.
+
+        Same flat-state contract as :meth:`clone`; the full clear +
+        update means attributes the run added or retyped cannot
+        survive into the next experiment.
+        """
+        state = self.__dict__
+        state.clear()
+        state.update(pristine.__dict__)
+        state["channel"] = channel
+        for name, value in pristine.__dict__.items():
+            if isinstance(value, (list, set, dict, bytearray)):
+                state[name] = type(value)(value)
 
     def send(self, data):
         if isinstance(data, str):

@@ -27,6 +27,11 @@ class FileSystem:
     def read(self, path):
         return self.files[path]
 
+    def clone(self):
+        """Independent copy; file contents are immutable bytes and
+        stay shared."""
+        return FileSystem(self.files)
+
 
 class OpenFile:
     """Kernel-side open file description with a cursor."""
@@ -42,6 +47,11 @@ class OpenFile:
         chunk = self.data[self.position:self.position + count]
         self.position += len(chunk)
         return chunk
+
+    def clone(self):
+        twin = OpenFile(self.path, self.data)
+        twin.position = self.position
+        return twin
 
 
 def default_ftp_files():

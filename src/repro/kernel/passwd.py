@@ -77,6 +77,11 @@ class Account:
     def password_hash(self):
         return crypt13(self.password, self.salt)
 
+    def clone(self):
+        return Account(self.name, self.password, self.uid, self.salt,
+                       self.denied, self.rhosts_allowed,
+                       self.empty_password_ok)
+
 
 @dataclass
 class PasswdDatabase:
@@ -99,6 +104,9 @@ class PasswdDatabase:
 
     def __len__(self):
         return len(self.accounts)
+
+    def clone(self):
+        return PasswdDatabase([account.clone() for account in self])
 
 
 def default_database():

@@ -59,6 +59,52 @@ class Kernel:
     def for_client(cls, client, filesystem=None):
         return cls(Channel(client), filesystem)
 
+    def clone(self):
+        """Independent copy of all per-connection state.
+
+        Replaces ``copy.deepcopy`` on the snapshot-restore path: every
+        mutable field is copied explicitly (channel and open-file
+        cursors through their own ``clone()``), immutable payloads
+        (file bytes, write-event tuples) stay shared.
+        """
+        twin = Kernel.__new__(Kernel)
+        twin.channel = (self.channel.clone()
+                        if self.channel is not None else None)
+        twin.filesystem = self.filesystem.clone()
+        twin.stderr_log = bytearray(self.stderr_log)
+        twin.open_files = {fd: handle.clone()
+                           for fd, handle in self.open_files.items()}
+        twin.next_fd = self.next_fd
+        twin.syscall_count = self.syscall_count
+        twin.write_events = list(self.write_events)
+        return twin
+
+    def rewind_to(self, pristine):
+        """Reset this kernel (a since-run ``clone()`` of *pristine*)
+        back to *pristine*'s state in place, and return it.
+
+        The restore hot path prefers this over a fresh ``clone()``:
+        rewinding mutates the object graph the last experiment already
+        touched instead of allocating a new one, so it costs a few
+        container copies instead of ~ten allocations into cold memory.
+        Callers own the aliasing consequence -- the kernel a
+        ``run_with_*`` call returned is rewound, not replaced, by the
+        next one.  The filesystem is left alone: no syscall mutates it
+        (files are added only at daemon setup; open-file cursors live
+        in ``open_files``).
+        """
+        if self.channel is not None:
+            self.channel.rewind_to(pristine.channel)
+        self.stderr_log[:] = pristine.stderr_log
+        if self.open_files:
+            self.open_files.clear()
+        for fd, handle in pristine.open_files.items():
+            self.open_files[fd] = handle.clone()
+        self.next_fd = pristine.next_fd
+        self.syscall_count = pristine.syscall_count
+        self.write_events[:] = pristine.write_events
+        return self
+
     # ------------------------------------------------------------------
 
     def syscall(self, cpu):

@@ -1,10 +1,11 @@
-"""Memory map semantics: regions, permissions, faults, poke/peek."""
+"""Memory map semantics: regions, permissions, faults, poke/peek,
+dirty-page tracking."""
 
 from __future__ import annotations
 
 import pytest
 
-from repro.emu import Memory, PageFault
+from repro.emu import Memory, PAGE_SIZE, PageFault
 
 
 @pytest.fixture
@@ -99,3 +100,94 @@ class TestRegions:
         # addresses are masked to 32 bits
         memory.write8(0x2000 + 0x100000000, 7)
         assert memory.read8(0x2000) == 7
+
+
+class TestWritableEnforcement:
+    """Every store path must honour ``Region.writable`` -- including
+    the inlined 16/32-bit fast paths and the locality-cache hit case
+    (the cache may point at the read-only region)."""
+
+    @pytest.mark.parametrize("width", [8, 16, 32])
+    def test_all_store_widths_fault_on_text(self, memory, width):
+        # Prime the locality cache onto the read-only region first, so
+        # the fast path (not just _find) sees the permission bit.
+        assert memory.read8(0x1010) == 0x90
+        write = getattr(memory, "write%d" % width)
+        with pytest.raises(PageFault):
+            write(0x1010, 0x5A)
+        assert memory.read8(0x1010) == 0x90
+
+    def test_failed_store_marks_nothing_dirty(self, memory):
+        for width in (8, 16, 32):
+            with pytest.raises(PageFault):
+                getattr(memory, "write%d" % width)(0x1010, 0x5A)
+        assert memory.region_named("text").dirty == set()
+
+    def test_store_to_text_crashes_with_sigsegv(self):
+        """End to end: an emulated store to the text segment must kill
+        the process with a SIGSEGV crash status (the paper's SD
+        category), not silently patch the code."""
+        from repro.emu import Process
+        from repro.kernel import Kernel
+        from repro.x86 import assemble
+        module = assemble("""
+.text
+.global _start
+_start:
+    movl $_start, %ecx
+    movl %eax, (%ecx)
+""")
+        status = Process(module, Kernel()).run()
+        assert status.kind == "crash"
+        assert status.signal == "SIGSEGV"
+        assert status.vector == "#PF"
+
+
+class TestDirtyTracking:
+    @pytest.fixture
+    def big(self):
+        m = Memory()
+        m.map_region("data", 0x10000, PAGE_SIZE * 4)
+        return m
+
+    def test_clean_after_mapping(self, memory):
+        assert memory.dirty_pages() == {}
+
+    def test_write8_marks_page(self, big):
+        big.write8(0x10000 + PAGE_SIZE + 5, 1)
+        assert big.dirty_pages() == {"data": [1]}
+
+    def test_write16_write32_mark_page(self, big):
+        big.write16(0x10000, 0xBEEF)
+        big.write32(0x10000 + 2 * PAGE_SIZE, 0xDEADBEEF)
+        assert big.dirty_pages() == {"data": [0, 2]}
+
+    def test_straddling_store_marks_both_pages(self, big):
+        big.write32(0x10000 + PAGE_SIZE - 2, 0x11223344)
+        big.write16(0x10000 + 3 * PAGE_SIZE - 1, 0x5566)
+        assert big.dirty_pages() == {"data": [0, 1, 2, 3]}
+
+    def test_poke_marks_page(self, memory):
+        memory.poke(0x1004, 0xCC)   # read-only text: poke bypasses
+        assert memory.dirty_pages() == {"text": [0]}
+
+    def test_reads_do_not_mark(self, big):
+        big.read8(0x10000)
+        big.read16(0x10004)
+        big.read32(0x10008)
+        big.peek(0x10000)
+        big.fetch_window(0x10000)
+        assert big.dirty_pages() == {}
+
+    def test_clear_dirty(self, big):
+        big.write8(0x10000, 1)
+        big.clear_dirty()
+        assert big.dirty_pages() == {}
+
+    def test_write_bytes_spanning_pages(self, big):
+        big.write_bytes(0x10000 + PAGE_SIZE - 2, b"abcd")
+        assert big.dirty_pages() == {"data": [0, 1]}
+
+    def test_page_count(self, memory, big):
+        assert memory.region_named("data").page_count() == 1
+        assert big.region_named("data").page_count() == 4

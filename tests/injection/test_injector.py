@@ -81,6 +81,33 @@ class TestBreakpointSession:
             assert shared_kernel.channel.normalized_transcript() \
                 == own_kernel.channel.normalized_transcript()
 
+    def test_full_restore_escape_hatch_equivalent(self, ftp_daemon,
+                                                  covered_points):
+        """``full_restore=True`` rewrites every region instead of only
+        dirtied pages; the two paths must be bit-identical run for
+        run."""
+        point = covered_points[0]
+        dirty = BreakpointSession(ftp_daemon, client1,
+                                  point.instruction_address)
+        full = BreakpointSession(ftp_daemon, client1,
+                                 point.instruction_address,
+                                 full_restore=True)
+        for bit in range(4):
+            status_d, kernel_d, __ = dirty.run_with_flip(
+                point.flip_address, bit)
+            status_f, kernel_f, __ = full.run_with_flip(
+                point.flip_address, bit)
+            assert status_d.kind == status_f.kind
+            assert status_d.instret == status_f.instret
+            assert kernel_d.channel.normalized_transcript() \
+                == kernel_f.channel.normalized_transcript()
+        # both did the same number of restores, but the dirty path
+        # wrote back far fewer pages.
+        assert dirty.restore_stats["restores"] \
+            == full.restore_stats["restores"] == 3
+        assert dirty.restore_stats["pages_written"] \
+            < full.restore_stats["pages_written"]
+
     def test_zero_flip_via_bytes_is_clean(self, ftp_daemon,
                                           covered_points):
         """Writing back the original bytes must reproduce the golden

@@ -1,0 +1,179 @@
+"""The kernel clone() protocol: independent copies, no aliasing.
+
+Snapshot restore hands every experiment a ``Kernel.clone()`` instead
+of a ``copy.deepcopy``; these tests pin down the contract that makes
+that safe -- no mutable object is shared between a kernel and its
+clone, while immutable payloads (file bytes) may be.
+"""
+
+from __future__ import annotations
+
+from repro.kernel import (Account, Channel, FileSystem, Kernel,
+                          PasswdDatabase, ScriptedClient,
+                          default_database, default_ftp_files)
+
+
+class EchoClient(ScriptedClient):
+    def __init__(self):
+        super().__init__()
+        self.seen = []
+        self.pending = [b"one", b"two"]
+
+    def receive(self, data):
+        self.seen.append(data)
+
+    def input_needed(self):
+        if self.pending:
+            self.send(self.pending.pop(0))
+        else:
+            self.close()
+
+
+def make_kernel():
+    kernel = Kernel.for_client(EchoClient(),
+                               FileSystem(default_ftp_files()))
+    kernel.channel.client_send(b"USER alice\r\n")
+    kernel.channel.server_write(b"220 ready\r\n")
+    kernel.stderr_log += b"boot\n"
+    kernel.write_events.append((100, 11))
+    fd = kernel.next_fd
+    kernel.next_fd += 1
+    from repro.kernel import OpenFile
+    kernel.open_files[fd] = OpenFile("/pub/readme.txt",
+                                     kernel.filesystem.read(
+                                         "/pub/readme.txt"))
+    kernel.open_files[fd].read(4)
+    return kernel
+
+
+class TestKernelClone:
+    def test_equal_state(self):
+        kernel = make_kernel()
+        twin = kernel.clone()
+        assert twin.next_fd == kernel.next_fd
+        assert twin.syscall_count == kernel.syscall_count
+        assert bytes(twin.stderr_log) == bytes(kernel.stderr_log)
+        assert twin.write_events == kernel.write_events
+        assert twin.channel.transcript == kernel.channel.transcript
+        assert bytes(twin.channel.to_server) \
+            == bytes(kernel.channel.to_server)
+        assert set(twin.open_files) == set(kernel.open_files)
+        for fd, handle in kernel.open_files.items():
+            assert twin.open_files[fd].path == handle.path
+            assert twin.open_files[fd].position == handle.position
+
+    def test_no_mutable_aliasing(self):
+        kernel = make_kernel()
+        twin = kernel.clone()
+        assert twin.stderr_log is not kernel.stderr_log
+        assert twin.write_events is not kernel.write_events
+        assert twin.open_files is not kernel.open_files
+        assert twin.channel is not kernel.channel
+        assert twin.channel.transcript is not kernel.channel.transcript
+        assert twin.channel.to_server is not kernel.channel.to_server
+        assert twin.channel.client is not kernel.channel.client
+        assert twin.filesystem is not kernel.filesystem
+        assert twin.filesystem.files is not kernel.filesystem.files
+        for fd in kernel.open_files:
+            assert twin.open_files[fd] is not kernel.open_files[fd]
+
+    def test_mutations_do_not_leak(self):
+        kernel = make_kernel()
+        twin = kernel.clone()
+        twin.stderr_log += b"twin only\n"
+        twin.write_events.append((999, 1))
+        twin.channel.server_write(b"230 twin\r\n")
+        twin.channel.client.seen.append(b"twin")
+        next(iter(twin.open_files.values())).read(4)
+        twin.filesystem.add_file("/twin", b"x")
+        assert b"twin only" not in bytes(kernel.stderr_log)
+        assert (999, 1) not in kernel.write_events
+        assert all(b"230 twin" not in chunk
+                   for __, chunk in kernel.channel.transcript)
+        assert b"twin" not in kernel.channel.client.seen
+        positions = [h.position for h in kernel.open_files.values()]
+        assert positions == [4]
+        assert not kernel.filesystem.exists("/twin")
+
+    def test_clone_client_is_detached_then_attached(self):
+        kernel = make_kernel()
+        twin = kernel.clone()
+        # the twin's client must be wired to the twin's channel, so
+        # its sends land in the twin's buffer, not the original's.
+        assert twin.channel.client.channel is twin.channel
+        before = bytes(kernel.channel.to_server)
+        twin.channel.client.send(b"PASS x\r\n")
+        assert bytes(kernel.channel.to_server) == before
+        assert b"PASS x" in bytes(twin.channel.to_server)
+
+
+class TestClientClone:
+    def test_generic_copy_of_flat_state(self):
+        client = EchoClient()
+        client.seen.append(b"hello")
+        twin = client.clone()
+        assert twin.seen == client.seen
+        assert twin.seen is not client.seen
+        assert twin.pending is not client.pending
+        assert twin.channel is None
+        twin.pending.pop()
+        assert len(client.pending) == 2
+
+    def test_registered_daemon_clients_clone_flat(self):
+        """Every registered daemon's scripted clients must be safely
+        cloneable by the generic protocol: no nested mutable
+        containers, which the flat copy would alias."""
+        from repro.apps.registry import (available_daemons,
+                                         get_daemon_spec)
+        flat = (int, bool, bytes, str, float, type(None), tuple)
+        for name in available_daemons():
+            spec = get_daemon_spec(name)
+            for factory in spec.client_factories.values():
+                client = factory()
+                twin = client.clone()
+                for attr, value in client.__dict__.items():
+                    if isinstance(value, (list, set)):
+                        assert getattr(twin, attr) is not value
+                        assert all(isinstance(item, flat)
+                                   for item in value), (name, attr)
+                    elif isinstance(value, dict):
+                        assert getattr(twin, attr) is not value
+                        assert all(isinstance(item, flat)
+                                   for item in value.values()), (name,
+                                                                 attr)
+                    elif attr != "channel":
+                        assert isinstance(value, (flat, bytearray)), \
+                            (name, attr)
+
+
+class TestPasswdClone:
+    def test_database_clone_independent(self):
+        db = default_database()
+        twin = db.clone()
+        assert [a.name for a in twin] == [a.name for a in db]
+        twin.add(Account("mallory", "pw", uid=2000))
+        assert db.lookup("mallory") is None
+        twin.lookup("alice").denied = True
+        assert db.lookup("alice").denied is False
+
+    def test_account_clone_preserves_hash(self):
+        account = Account("alice", "correcthorse", uid=1001, salt="al")
+        assert account.clone().password_hash == account.password_hash
+
+    def test_empty_database(self):
+        assert len(PasswdDatabase().clone()) == 0
+
+
+class TestChannelClone:
+    def test_unattached_kernel_clone(self):
+        kernel = Kernel()
+        twin = kernel.clone()
+        assert twin.channel is None
+
+    def test_channel_clone_records_independently(self):
+        channel = Channel(EchoClient())
+        channel.client_send(b"a")
+        twin = channel.clone()
+        twin.client_send(b"b")
+        assert channel.transcript == [("C", b"a")]
+        assert twin.transcript == [("C", b"ab")]

@@ -83,6 +83,10 @@ class TestEncodingEquivalenceOnOffsets:
                                     point.instruction_address)
         old_status, old_kernel, __ = session.run_with_flip(
             point.flip_address, point.bit)
+        # The kernel handed back by a run is only stable until the
+        # session's next run_with_* call (the restore rewinds it in
+        # place), so take the transcript copy now.
+        old_transcript = old_kernel.channel.normalized_transcript()
         raw = _instruction_bytes(daemon.module, point)
         replacement = inject_under_new_encoding(raw, point.byte_offset,
                                                 point.bit)
@@ -90,7 +94,7 @@ class TestEncodingEquivalenceOnOffsets:
             point.instruction_address, replacement)
         assert old_status.kind == new_status.kind
         assert old_status.instret == new_status.instret
-        assert old_kernel.channel.normalized_transcript() \
+        assert old_transcript \
             == new_kernel.channel.normalized_transcript()
 
 

@@ -65,6 +65,8 @@ class TestCompareAll:
         return {
             "emulator_speed": {"instructions_per_sec": rate},
             "table1_ftp_timing": {"experiments_per_sec": 300.0},
+            "snapshot_fork": {"experiments_per_sec": 300.0,
+                              "restore_speedup": 6.0},
         }
 
     def test_identical_payloads_pass(self):
@@ -101,6 +103,49 @@ class TestCompareAll:
             payload = json.loads(path.read_text())
             for key in keys:
                 assert isinstance(payload.get(key), (int, float))
+
+
+class TestUntrackedMetrics:
+    """A results file carrying gate-worthy numbers must not slide
+    through the gate silently just because nobody added it to
+    METRICS."""
+
+    def test_gate_keys_found_in_payload(self):
+        keys = check_regression.gate_keys_in(
+            {"experiments_per_sec": 10.0, "restore_speedup": 5.0,
+             "note": "text", "pages": 3})
+        assert keys == ["experiments_per_sec", "restore_speedup"]
+
+    def test_non_numeric_and_non_dict_payloads_have_no_gate_keys(self):
+        assert check_regression.gate_keys_in(
+            {"items_per_sec": "fast"}) == []
+        assert check_regression.gate_keys_in([1, 2, 3]) == []
+
+    def test_untracked_result_with_gate_key_fails(self):
+        failures = check_regression.untracked_failures(
+            {"new_bench": {"widgets_per_sec": 9.0}})
+        assert len(failures) == 1
+        assert "new_bench" in failures[0]
+        assert "METRICS" in failures[0]
+
+    def test_untracked_result_without_gate_keys_passes(self):
+        assert check_regression.untracked_failures(
+            {"table5_notes": {"rows": 12, "label": "ok"}}) == []
+
+    def test_exempt_stems_pass(self):
+        currents = {name: {"experiments_per_sec": 1.0}
+                    for name in check_regression.UNTRACKED_OK}
+        assert check_regression.untracked_failures(currents) == []
+
+    def test_compare_all_catches_untracked_results(self):
+        base = {"emulator_speed": {"instructions_per_sec": 1.0},
+                "table1_ftp_timing": {"experiments_per_sec": 1.0},
+                "snapshot_fork": {"experiments_per_sec": 1.0,
+                                  "restore_speedup": 6.0}}
+        current = dict(base)
+        current["new_bench"] = {"widgets_per_sec": 9.0}
+        failures = check_regression.compare_all(base, current)
+        assert any("new_bench" in failure for failure in failures)
 
 
 class TestTable1Diff:
