@@ -1,0 +1,197 @@
+#!/usr/bin/env python
+"""CI pruning gate: equivalence-class pruning must be invisible.
+
+Default (full) mode runs the ftpd branch-bit Client1 cell, both
+encodings, exhaustively and with ``prune=True``, and asserts that the
+rendered Table 1, Table 3 and Table 5, the Figure 4 crash-latency
+histogram, and the deterministic metrics core are *byte-identical* --
+first for a serial pruned run, then for a ``--workers 3`` sharded one
+(classes never straddle shards, so the merge must change nothing).
+It then re-runs the pruned campaign with ``--audit-fraction 0.25``: a
+seeded sample of classes is exhaustively re-executed and any member
+whose outcome diverges from its representative is a hard failure
+(:class:`~repro.injection.pruning.PruningAuditError`).
+
+``cell`` mode is the plugin-matrix entry point: one (daemon x
+fault-model) cell, pruned vs exhaustive, ``counts()`` equality only::
+
+    python benchmarks/check_pruning.py
+    python benchmarks/check_pruning.py cell --daemon pop3d \\
+        --fault-model burst2 --max-points 200
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.analysis import (build_histogram, build_pruning_report,
+                            build_table1, build_table3, build_table5,
+                            format_histogram, format_pruning_report,
+                            format_table1, format_table3,
+                            format_table5)
+from repro.apps.registry import get_daemon_spec
+from repro.injection import (ENCODING_NEW, ENCODING_OLD,
+                             PruningAuditError, run_campaign)
+
+AUDIT_FRACTION = 0.25
+AUDIT_SEED = 2026
+
+
+def deterministic_core(campaign):
+    core = dict(campaign.metrics or {})
+    core.pop("volatile", None)
+    return core
+
+
+def renderings(old, new):
+    """Every paper-shaped product of one (old, new) campaign pair,
+    rendered to its final byte string."""
+    return {
+        "table1": format_table1(build_table1([old])),
+        "table3": format_table3(build_table3([old])),
+        "table5": format_table5(build_table5([(old, new)])),
+        "figure4": format_histogram(
+            build_histogram(old.crash_latencies())),
+        "figure4-new": format_histogram(
+            build_histogram(new.crash_latencies())),
+    }
+
+
+def compare(label, pruned_pair, reference_pair):
+    """Byte-compare every rendering plus the deterministic metrics
+    core; returns failure messages."""
+    failures = []
+    pruned = renderings(*pruned_pair)
+    reference = renderings(*reference_pair)
+    for name in reference:
+        if pruned[name] != reference[name]:
+            failures.append("%s: %s not byte-identical to the "
+                            "exhaustive rendering" % (label, name))
+    for encoding, campaign, ref in (("old", pruned_pair[0],
+                                     reference_pair[0]),
+                                    ("new", pruned_pair[1],
+                                     reference_pair[1])):
+        if deterministic_core(campaign) != deterministic_core(ref):
+            failures.append("%s: deterministic metrics core (%s "
+                            "encoding) diverged" % (label, encoding))
+    return failures
+
+
+def _pruning_counter(campaign, name):
+    counters = (campaign.metrics or {}).get("volatile", {}) \
+        .get("counters", {})
+    return counters.get("pruning.%s" % name, 0)
+
+
+def run_full(args):
+    spec = get_daemon_spec(args.daemon)
+    daemon = spec.build()
+    factory = spec.client_factory(spec.attacker_client)
+    client = spec.attacker_client
+
+    def cell(encoding, **kwargs):
+        return run_campaign(daemon, client, factory,
+                            encoding=encoding,
+                            fault_model=args.fault_model, **kwargs)
+
+    reference = (cell(ENCODING_OLD), cell(ENCODING_NEW))
+    print("reference (exhaustive): %d experiments, counts %r"
+          % (reference[0].total_runs, reference[0].counts()))
+
+    failures = []
+    serial = (cell(ENCODING_OLD, prune=True),
+              cell(ENCODING_NEW, prune=True))
+    failures += compare("pruned-serial", serial, reference)
+    report = build_pruning_report(serial[0])
+    print(format_pruning_report(report))
+
+    sharded = (cell(ENCODING_OLD, prune=True, workers=args.workers),
+               cell(ENCODING_NEW, prune=True, workers=args.workers))
+    failures += compare("pruned-workers%d" % args.workers, sharded,
+                        reference)
+
+    try:
+        audited = cell(ENCODING_OLD, prune=True,
+                       audit_fraction=args.audit_fraction,
+                       audit_seed=args.audit_seed)
+    except PruningAuditError as error:
+        failures.append("audit: divergent class: %s" % error)
+    else:
+        classes = _pruning_counter(audited, "audited_classes")
+        runs = _pruning_counter(audited, "audit_runs")
+        print("audit: %d class(es) exhaustively re-run (%d extra "
+              "experiments), zero divergences" % (classes, runs))
+        if not classes:
+            failures.append("audit: fraction %.2f selected no classes "
+                            "-- the audit never fired"
+                            % args.audit_fraction)
+        failures += compare("pruned-audited", (audited, serial[1]),
+                            reference)
+    return failures
+
+
+def run_cell(args):
+    spec = get_daemon_spec(args.daemon)
+    daemon = spec.build()
+    factory = spec.client_factory(spec.attacker_client)
+
+    def cell(**kwargs):
+        return run_campaign(daemon, spec.attacker_client, factory,
+                            fault_model=args.fault_model,
+                            max_points=args.max_points, **kwargs)
+
+    reference = cell()
+    pruned = cell(prune=True)
+    print("%s x %s: %d points, pruned executed %d, counts %r"
+          % (args.daemon, args.fault_model, reference.total_runs,
+             pruned.timing["executed"], pruned.counts()))
+    failures = []
+    if pruned.counts() != reference.counts():
+        failures.append("%s x %s: counts diverged: %r != %r"
+                        % (args.daemon, args.fault_model,
+                           pruned.counts(), reference.counts()))
+    if pruned.counts(refined=True) != reference.counts(refined=True):
+        failures.append("%s x %s: refined counts diverged"
+                        % (args.daemon, args.fault_model))
+    return failures
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("mode", nargs="?", default="full",
+                        choices=["full", "cell"],
+                        help="full gate (default) or one "
+                             "plugin-matrix cell")
+    parser.add_argument("--daemon", default="ftpd",
+                        help="registered daemon name (default ftpd)")
+    parser.add_argument("--fault-model", default="branch-bit",
+                        help="registered fault model "
+                             "(default branch-bit)")
+    parser.add_argument("--workers", type=int, default=3,
+                        help="shard count for the parallel pass "
+                             "(default 3)")
+    parser.add_argument("--max-points", type=int, default=None,
+                        help="cell mode: truncate the experiment list")
+    parser.add_argument("--audit-fraction", type=float,
+                        default=AUDIT_FRACTION,
+                        help="fraction of classes exhaustively "
+                             "re-run (default 0.25)")
+    parser.add_argument("--audit-seed", type=int, default=AUDIT_SEED,
+                        help="audit sample seed (default 2026)")
+    args = parser.parse_args(argv)
+
+    failures = run_full(args) if args.mode == "full" else run_cell(args)
+    if failures:
+        for failure in failures:
+            print("FAIL: %s" % failure, file=sys.stderr)
+        return 1
+    print("pruning gate passed: pruned campaigns byte-identical to "
+          "exhaustive" + (" (serial, workers=%d, audited)"
+                          % args.workers if args.mode == "full"
+                          else ""))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

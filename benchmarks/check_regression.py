@@ -37,6 +37,7 @@ METRICS = {
     "emulator_speed": ["instructions_per_sec"],
     "table1_ftp_timing": ["experiments_per_sec"],
     "snapshot_fork": ["experiments_per_sec", "restore_speedup"],
+    "pruning": ["points_pruned_frac", "campaign_speedup"],
 }
 
 #: a top-level key that marks a result file as carrying gate-worthy
@@ -45,7 +46,8 @@ METRICS = {
 #: gate fail loudly -- silently skipping it would let a regression in a
 #: new benchmark ship unnoticed.
 GATE_KEY_SUFFIX = "_per_sec"
-GATE_KEYS = frozenset({"restore_speedup"})
+GATE_KEYS = frozenset({"restore_speedup", "points_pruned_frac",
+                       "campaign_speedup"})
 
 #: historical timing dumps committed before their benches joined the CI
 #: gate; they carry experiments_per_sec but run outside the gate job,
@@ -78,7 +80,13 @@ def gate_keys_in(payload):
 
 def untracked_failures(currents, metrics=None, exempt=UNTRACKED_OK):
     """Fail loudly for current results carrying gate-worthy metrics
-    that have no committed baseline and no exemption."""
+    that have no committed baseline and no exemption.
+
+    Both the keys found in the payload and the recognised gate-key
+    set quoted in the message are sorted -- GATE_KEYS is a frozenset,
+    and hash-ordered output would make otherwise-identical failures
+    from different matrix cells diff as changes.
+    """
     failures = []
     for name in sorted(currents):
         if name in (metrics or METRICS) or name in exempt:
@@ -88,8 +96,10 @@ def untracked_failures(currents, metrics=None, exempt=UNTRACKED_OK):
             failures.append(
                 "%s: %s present in benchmarks/results/%s.json but the "
                 "metric is untracked -- add it to METRICS and commit a "
-                "baseline (or exempt the stem in UNTRACKED_OK)"
-                % (name, ", ".join(keys), name))
+                "baseline (or exempt the stem in UNTRACKED_OK); gate "
+                "keys: *%s, %s"
+                % (name, ", ".join(keys), name, GATE_KEY_SUFFIX,
+                   ", ".join(sorted(GATE_KEYS))))
     return failures
 
 

@@ -10,9 +10,10 @@ from .serialize import (campaign_from_dict,
                         quarantined_from_dict, quarantined_to_dict,
                         result_from_dict, result_to_dict,
                         save_campaign)
-from .report import (format_comparison, format_forensics,
-                     format_model_table, format_table1, format_table3,
-                     format_table5)
+from .report import (build_pruning_report, format_comparison,
+                     format_forensics, format_model_table,
+                     format_pruning_report, format_table1,
+                     format_table3, format_table5)
 from .tables import (build_model_table, build_table1, build_table3,
                      build_table5, campaign_label, DistributionColumn,
                      distribution_column, LocationColumn, PAPER_TABLE1,
@@ -29,6 +30,7 @@ __all__ = [
     "quarantined_from_dict",
     "format_table1", "format_table3", "format_table5",
     "format_model_table", "format_comparison", "format_forensics",
+    "build_pruning_report", "format_pruning_report",
     "build_table1",
     "build_table3", "build_table5", "build_model_table",
     "campaign_label",

@@ -77,6 +77,76 @@ def format_model_table(columns, title="Result Distributions by "
     return format_table1(columns, title=title)
 
 
+def build_pruning_report(campaign):
+    """Summarise a campaign's equivalence-class pruning.
+
+    Derived entirely from the journal records (``class_id`` /
+    ``representative`` provenance, schema v7) plus the ``pruning.*``
+    volatile counters when the campaign carries them, so it works on
+    freshly-run, resumed, and deserialized campaigns alike.  Exhaustive
+    campaigns yield an all-``solo`` report with a zero pruning rate.
+    """
+    from collections import Counter
+    from ..injection.pruning import (PRUNE_BYTES, PRUNE_DEAD,
+                                     PRUNE_FAULT, PRUNE_SOLO,
+                                     PRUNE_SUCC)
+    kind_members = Counter()
+    kind_classes = Counter()
+    seen_classes = set()
+    fanned = 0
+    for result in campaign.results:
+        if result.class_id is None:
+            # singleton: the point is its own (unstamped) class.
+            kind_members[PRUNE_SOLO] += 1
+            kind_classes[PRUNE_SOLO] += 1
+            continue
+        kind = result.class_id.split(":", 1)[0]
+        kind_members[kind] += 1
+        if result.class_id not in seen_classes:
+            seen_classes.add(result.class_id)
+            kind_classes[kind] += 1
+        if result.representative != result.point.key:
+            fanned += 1
+    points = len(campaign.results)
+    counters = {}
+    volatile = (campaign.metrics or {}).get("volatile") or {}
+    for name in sorted(volatile.get("counters") or {}):
+        if name.startswith("pruning."):
+            counters[name] = volatile["counters"][name]
+    kinds = {}
+    for kind in (PRUNE_DEAD, PRUNE_BYTES, PRUNE_FAULT, PRUNE_SUCC,
+                 PRUNE_SOLO):
+        kinds[kind] = {"classes": kind_classes.get(kind, 0),
+                       "members": kind_members.get(kind, 0)}
+    return {
+        "points": points,
+        "executed": points - fanned,
+        "fanned_out": fanned,
+        "pruned_frac": (fanned / points) if points else 0.0,
+        "kinds": kinds,
+        "counters": counters,
+    }
+
+
+def format_pruning_report(report, title="Equivalence-class pruning"):
+    """Render :func:`build_pruning_report` output."""
+    lines = [title, "%-6s %10s %10s" % ("kind", "classes", "members")]
+    for kind, row in report["kinds"].items():
+        lines.append("%-6s %10d %10d"
+                     % (kind, row["classes"], row["members"]))
+    lines.append("%-6s %10d %10d"
+                 % ("total",
+                    sum(row["classes"]
+                        for row in report["kinds"].values()),
+                    report["points"]))
+    lines.append("executed %d of %d points (pruning rate %.1f%%)"
+                 % (report["executed"], report["points"],
+                    100.0 * report["pruned_frac"]))
+    for name, value in report["counters"].items():
+        lines.append("%-28s %10d" % (name, value))
+    return "\n".join(lines)
+
+
 def format_comparison(rows, title="Paper vs measured"):
     """Render PaperComparison rows for EXPERIMENTS.md."""
     lines = [title,

@@ -16,9 +16,11 @@ registry (no ``fault_model`` field, and every point record is a
 branch-bit point with no ``ptype`` discriminator); v5 predates the
 observability layer (no per-record ``forensics`` snapshot and no
 campaign ``metrics`` registry dump -- both optional in v6 and simply
-absent from older records).  Older payloads still load, with the
-missing fields defaulted -- a v3/v4 payload loads as a ``branch-bit``
-campaign, which is what it was.
+absent from older records); v6 predates equivalence-class pruning (no
+per-record ``class_id``/``representative`` provenance -- optional in
+v7, absent from exhaustive records).  Older payloads still load, with
+the missing fields defaulted -- a v3/v4 payload loads as a
+``branch-bit`` campaign, which is what it was.
 """
 
 from __future__ import annotations
@@ -29,8 +31,8 @@ from ..injection import faultmodels
 from ..injection.campaign import CampaignResult, QuarantinedPoint
 from ..injection.outcomes import InjectionResult
 
-SCHEMA_VERSION = 6
-_LOADABLE_SCHEMAS = (1, 2, 3, 4, 5, 6)
+SCHEMA_VERSION = 7
+_LOADABLE_SCHEMAS = (1, 2, 3, 4, 5, 6, 7)
 
 
 def campaign_to_dict(campaign):
@@ -83,6 +85,13 @@ def result_to_dict(result):
     # per record unless the campaign actually ran with forensics on.
     if result.forensics is not None:
         record["forensics"] = result.forensics
+    # Same deal for pruning provenance: only multi-member equivalence
+    # classes stamp it, so exhaustive journals are byte-identical to
+    # pre-v7 ones (modulo the schema number).
+    if result.class_id is not None:
+        record["class_id"] = result.class_id
+    if result.representative is not None:
+        record["representative"] = result.representative
     return record
 
 
@@ -104,7 +113,9 @@ def result_from_dict(record):
         detail=record["detail"],
         hang_eip_range=(None if hang_eip_range is None
                         else tuple(hang_eip_range)),
-        forensics=record.get("forensics"))
+        forensics=record.get("forensics"),
+        class_id=record.get("class_id"),
+        representative=record.get("representative"))
 
 
 def quarantined_to_dict(entry):

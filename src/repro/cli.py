@@ -109,6 +109,8 @@ def cmd_campaign(args, out):
         deadline=args.deadline, journal_fsync=args.journal_fsync,
         journal_salvage=args.journal_salvage,
         full_restore=args.full_restore,
+        prune=args.prune, audit_fraction=args.audit_fraction,
+        audit_seed=args.audit_seed,
         # SIGTERM/SIGINT checkpoint the campaign instead of killing
         # it; resume with --resume.
         graceful_signals=True)
@@ -346,6 +348,22 @@ def build_parser():
                                "previous run dirtied (escape hatch; "
                                "outcomes are identical either way)")
     _add_obs_args(campaign)
+    campaign.add_argument("--prune", action="store_true", default=False,
+                          help="partition points into equivalence "
+                               "classes and run one representative per "
+                               "class (tables stay byte-identical to "
+                               "the exhaustive sweep)")
+    campaign.add_argument("--no-prune", dest="prune",
+                          action="store_false",
+                          help="force the exhaustive sweep (default)")
+    campaign.add_argument("--audit-fraction", type=float, default=0.0,
+                          metavar="F",
+                          help="with --prune: exhaustively re-run a "
+                               "seeded fraction F of fanned-out "
+                               "classes and fail on any divergence")
+    campaign.add_argument("--audit-seed", type=int, default=0,
+                          help="seed for the audit class sample "
+                               "(default 0)")
     campaign.add_argument("--forensics", action="store_true",
                           help="capture the last-instructions ring and "
                                "a register/flags snapshot on every "

@@ -676,6 +676,66 @@ class CPU:
             return ("crash", fault)
         return ("exit", getattr(self, "exit_code", 0))
 
+    def run_watched(self, watch, max_instructions):
+        """Run until EIP lands on any address in the *watch* set (before
+        executing it).  A set-valued :meth:`run_until`: supersteps skip
+        the check only for blocks provably disjoint from the watch set,
+        so the fast path keeps its throughput.  Returns one of
+        ``("watched", None)``, ``("exit", code)``, ``("crash", fault)``,
+        ``("limit", None)``.
+        """
+        if self.coverage is not None or self.trace_hook is not None:
+            return self._run_watched_stepwise(watch, max_instructions)
+        perf = self.perf
+        blocks = self.blocks
+        try:
+            while not self.halted:
+                eip = self.eip
+                if eip in watch:
+                    return ("watched", None)
+                if self.instret >= max_instructions:
+                    return ("limit", None)
+                block = blocks.get(eip)
+                if block is None:
+                    block = self._block_at(eip)
+                if (block is not None
+                        and len(block[0]) <= max_instructions
+                        - self.instret
+                        and watch.isdisjoint(block[1])):
+                    fns = block[0]
+                    try:
+                        for fn in fns:
+                            fn()
+                    except BaseException:
+                        executed = block[3].index(self.eip)
+                        self.instret += executed
+                        perf.superstep_entries += 1
+                        perf.superstep_instructions += executed
+                        perf.prepared_hits += executed
+                        raise
+                    count = len(fns)
+                    self.instret += count
+                    perf.superstep_entries += 1
+                    perf.superstep_instructions += count
+                    perf.prepared_hits += count
+                    continue
+                self.step()
+        except CpuFault as fault:
+            return ("crash", fault)
+        return ("exit", getattr(self, "exit_code", 0))
+
+    def _run_watched_stepwise(self, watch, max_instructions):
+        try:
+            while not self.halted:
+                if self.eip in watch:
+                    return ("watched", None)
+                if self.instret >= max_instructions:
+                    return ("limit", None)
+                self.slow_step()
+        except CpuFault as fault:
+            return ("crash", fault)
+        return ("exit", getattr(self, "exit_code", 0))
+
     # ------------------------------------------------------------------
     # Dispatch table construction
 

@@ -147,6 +147,12 @@ class Process:
             return ExitStatus(kind="breakpoint", instret=self.cpu.instret)
         return self._status(outcome, payload)
 
+    def run_watched(self, watch, max_instructions=DEFAULT_MAX_INSTRUCTIONS):
+        outcome, payload = self.cpu.run_watched(watch, max_instructions)
+        if outcome == "watched":
+            return ExitStatus(kind="watched", instret=self.cpu.instret)
+        return self._status(outcome, payload)
+
     def _status(self, outcome, payload):
         if outcome == "exit":
             return ExitStatus(kind="exit", exit_code=payload,

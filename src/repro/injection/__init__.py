@@ -20,6 +20,11 @@ from .runner import (campaign_timing, CampaignInterrupted,
                      JournalLoadReport, run_resilient_campaign,
                      Watchdog, WatchdogConfig)
 from .chaos import (ChaosAction, ChaosPolicy, corrupt_journal_tail)
+from .pruning import (class_is_audited, default_classify,
+                      fan_out_result, GuardedWatchdog, PointClass,
+                      PRUNE_BYTES, PRUNE_DEAD, PRUNE_FAULT,
+                      PRUNE_SOLO, PRUNE_SUCC, PruningAuditError,
+                      PruningPlan, result_signature, SitePlan)
 from .supervisor import (ShardSupervisor, SupervisionReport,
                          SupervisorConfig)
 from .parallel import (discover_shard_journals, load_shard_journals,
@@ -57,6 +62,10 @@ __all__ = [
     "CampaignJournal", "JournalError", "run_resilient_campaign",
     "campaign_timing", "CampaignInterrupted", "JournalLoadReport",
     "ChaosAction", "ChaosPolicy", "corrupt_journal_tail",
+    "PruningAuditError", "PruningPlan", "SitePlan", "PointClass",
+    "GuardedWatchdog", "default_classify", "fan_out_result",
+    "class_is_audited", "result_signature", "PRUNE_DEAD",
+    "PRUNE_BYTES", "PRUNE_FAULT", "PRUNE_SUCC", "PRUNE_SOLO",
     "ShardSupervisor", "SupervisionReport", "SupervisorConfig",
     "ParallelCampaignRunner",
     "run_parallel_campaign", "shard_points", "shard_journal_path",

@@ -194,7 +194,8 @@ def run_campaign(daemon, client_name, client_factory,
                  metrics=None, forensics=False, deadline=None,
                  graceful_signals=False, journal_fsync=None,
                  journal_salvage=False, chaos=None, supervisor=None,
-                 full_restore=False, session_cache=None):
+                 full_restore=False, session_cache=None, prune=False,
+                 audit_fraction=0.0, audit_seed=0):
     """Run one full selective-exhaustive campaign.
 
     ``fault_model`` selects the injected fault family by registry name
@@ -241,6 +242,16 @@ def run_campaign(daemon, client_name, client_factory,
     :class:`~repro.injection.supervisor.SupervisorConfig` (restart
     budget, backoff, heartbeat deadline).
 
+    Pruning (:mod:`repro.injection.pruning`): ``prune=True`` partitions
+    the points into equivalence classes, runs one representative per
+    class and fans the outcome out to every member -- ``counts()``,
+    tables and figures are byte-identical to the exhaustive sweep,
+    journal records carry ``class_id``/``representative`` provenance.
+    ``audit_fraction`` exhaustively re-runs a seeded
+    (``audit_seed``) sample of classes and raises
+    :class:`~repro.injection.pruning.PruningAuditError` on any member
+    whose outcome diverges from its representative.
+
     ``full_restore=True`` disables the dirty-page snapshot restore and
     rewrites every memory region between experiments (the escape
     hatch; outcomes are byte-identical either way).  ``session_cache``
@@ -262,7 +273,9 @@ def run_campaign(daemon, client_name, client_factory,
             graceful_signals=graceful_signals,
             journal_fsync=journal_fsync,
             journal_salvage=journal_salvage, chaos=chaos,
-            supervisor=supervisor, full_restore=full_restore)
+            supervisor=supervisor, full_restore=full_restore,
+            prune=prune, audit_fraction=audit_fraction,
+            audit_seed=audit_seed)
         return runner.run()
     from .runner import CampaignRunner
     # a serial run is "shard 0, attempt 0" to a chaos policy (an
@@ -283,7 +296,9 @@ def run_campaign(daemon, client_name, client_factory,
                             journal_salvage=journal_salvage,
                             chaos=chaos_agent,
                             full_restore=full_restore,
-                            session_cache=session_cache)
+                            session_cache=session_cache, prune=prune,
+                            audit_fraction=audit_fraction,
+                            audit_seed=audit_seed)
     return runner.run()
 
 

@@ -128,6 +128,27 @@ class FaultModel:
         the suffix; returns ``(status, kernel, client)``."""
         raise NotImplementedError
 
+    # -- equivalence-class pruning hooks -------------------------------
+
+    def corrupted_bytes(self, module, point, encoding):
+        """The text image this point's fault writes at its site, or
+        ``None`` for models whose corruption is not a text write.
+        Must agree byte-for-byte with what :meth:`apply` injects --
+        the pruning classifier's static analysis decodes it."""
+        return None
+
+    def classify_points(self, module, points, encoding, coverage,
+                        ranges=None):
+        """Partition *points* into a
+        :class:`~repro.injection.pruning.PruningPlan`.  The default
+        merges dead (never-activated) sites -- sound for every model,
+        since activation is a property of the site alone -- and keeps
+        covered points as singletons.  Text-corrupting models override
+        this with the full static classifier."""
+        from .pruning import default_classify
+        return default_classify(self, module, points, encoding,
+                                coverage, ranges)
+
 
 # ----------------------------------------------------------------------
 # BranchBitFlip -- the paper's model
@@ -183,6 +204,21 @@ class BranchBitFlip(FaultModel):
             return session.run_with_bytes(point.instruction_address,
                                           replacement)
         return session.run_with_flip(point.flip_address, point.bit)
+
+    def corrupted_bytes(self, module, point, encoding):
+        raw = _instruction_bytes(module, point)
+        if encoding == "new":
+            return inject_mask_under_new_encoding(
+                raw, point.byte_offset, 1 << point.bit)
+        replacement = bytearray(raw)
+        replacement[point.byte_offset] ^= 1 << point.bit
+        return bytes(replacement)
+
+    def classify_points(self, module, points, encoding, coverage,
+                        ranges=None):
+        from .pruning import classify_text_points
+        return classify_text_points(self, module, points, encoding,
+                                    coverage, ranges)
 
 
 def _instruction_bytes(module, point):
@@ -291,6 +327,21 @@ class MultiBitBurst(FaultModel):
             replacement = bytes(replacement)
         return session.run_with_bytes(point.instruction_address,
                                       replacement)
+
+    def corrupted_bytes(self, module, point, encoding):
+        raw = _instruction_bytes(module, point)
+        if encoding == "new":
+            return inject_mask_under_new_encoding(
+                raw, point.byte_offset, point.mask)
+        replacement = bytearray(raw)
+        replacement[point.byte_offset] ^= point.mask
+        return bytes(replacement)
+
+    def classify_points(self, module, points, encoding, coverage,
+                        ranges=None):
+        from .pruning import classify_text_points
+        return classify_text_points(self, module, points, encoding,
+                                    coverage, ranges)
 
 
 # ----------------------------------------------------------------------

@@ -68,6 +68,14 @@ class InjectionResult:
     #: at SD/HANG/HF time when the campaign ran with forensics on;
     #: observational only, never part of any tally.
     forensics: dict | None = None
+    #: equivalence-class provenance (:mod:`repro.injection.pruning`):
+    #: set on every member of a multi-point class when the campaign
+    #: ran with pruning on.  ``representative`` is the point key whose
+    #: actual execution this record's outcome was copied from (the
+    #: representative's own record carries its own key).  ``None`` on
+    #: exhaustive campaigns and singleton classes.
+    class_id: str | None = None
+    representative: str | None = None
 
 
 def classify_completed_run(golden, client, transcript, status):

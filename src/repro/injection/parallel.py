@@ -232,7 +232,10 @@ def _shard_worker_main(spec, conn):
             journal_fsync=spec.get("journal_fsync"),
             journal_salvage=spec.get("journal_salvage", False),
             chaos=chaos,
-            full_restore=spec.get("full_restore", False))
+            full_restore=spec.get("full_restore", False),
+            prune=spec.get("prune", False),
+            audit_fraction=spec.get("audit_fraction", 0.0),
+            audit_seed=spec.get("audit_seed", 0))
         campaign = runner.run()
         timing = dict(campaign.timing or {})
         timing.update(shard=shard, setup=setup,
@@ -274,7 +277,8 @@ class ParallelCampaignRunner:
                  metrics=None, forensics=False, deadline=None,
                  graceful_signals=False, journal_fsync=None,
                  journal_salvage=False, chaos=None, supervisor=None,
-                 full_restore=False):
+                 full_restore=False, prune=False, audit_fraction=0.0,
+                 audit_seed=0):
         from .campaign import ENCODING_OLD
         if workers < 1:
             raise ValueError("workers must be >= 1, got %r" % workers)
@@ -333,6 +337,17 @@ class ParallelCampaignRunner:
         #: snapshot-restore escape hatch, forwarded to every shard's
         #: runner (and to inline degraded completions).
         self.full_restore = full_restore
+        #: equivalence-class pruning, forwarded likewise.  Sharding
+        #: keeps whole instructions together (`shard_points`), sites
+        #: never straddle shards, and class membership is a property
+        #: of one site's points -- so every equivalence class lands
+        #: intact inside exactly one shard and the pruned parallel
+        #: merge stays byte-identical to a pruned serial run.  The
+        #: audit sample is keyed on content-derived class ids, so it
+        #: is the same set of classes at any worker count.
+        self.prune = prune
+        self.audit_fraction = audit_fraction
+        self.audit_seed = audit_seed
         self._supervision = None
 
     # -- public entry point --------------------------------------------
@@ -559,6 +574,9 @@ class ParallelCampaignRunner:
             "journal_salvage": self.journal_salvage,
             "chaos": self.chaos,
             "full_restore": self.full_restore,
+            "prune": self.prune,
+            "audit_fraction": self.audit_fraction,
+            "audit_seed": self.audit_seed,
         }
 
     def _run_shards(self, shards, total_points, resumed_points):
@@ -601,6 +619,8 @@ class ParallelCampaignRunner:
             stop_check=stop_check,
             journal_fsync=self.journal_fsync, journal_salvage=True,
             full_restore=self.full_restore,
+            prune=self.prune, audit_fraction=self.audit_fraction,
+            audit_seed=self.audit_seed,
             session_cache=session_cache)
         campaign = runner.run()
         timing = dict(campaign.timing or {})

@@ -68,10 +68,14 @@ MAX_CONFIRMATIONS_PER_ROUND = 8
 #: registry (no ``model`` in meta, legacy point records); v5 aligns
 #: the journal with the campaign-JSON schema and stamps the fault
 #: model; v6 adds the optional per-result ``forensics`` snapshot
-#: (:mod:`repro.obs.forensics`).  The reader accepts all of them (a
-#: missing model is ``branch-bit``, missing forensics is ``None``),
-#: so v2-v5 journals still load and resume.
-JOURNAL_SCHEMA = 6
+#: (:mod:`repro.obs.forensics`); v7 adds the optional per-result
+#: ``class_id``/``representative`` pruning provenance
+#: (:mod:`repro.injection.pruning`).  The reader accepts all of them
+#: (a missing model is ``branch-bit``, missing optional fields are
+#: ``None``), so v2-v6 journals still load and resume -- including
+#: across ``--prune``/``--no-prune`` boundaries, since pruned and
+#: exhaustive journals record the same point keys and outcomes.
+JOURNAL_SCHEMA = 7
 
 _LOGGER = get_logger("campaign")
 
@@ -151,6 +155,9 @@ class Watchdog:
         #: the metrics registry can report them.
         self.tracer = tracer if tracer is not None else NULL_TRACER
         self.probes = 0
+        #: EIPs the most recent probe visited; the pruning guard
+        #: inspects this to notice a watch-window hit past the budget.
+        self.probe_seen = frozenset()
 
     def __call__(self, process, budget):
         return self.run(process, budget)
@@ -191,7 +198,7 @@ class Watchdog:
         # here; a HANG snapshot then shows the loop body.
         ring = getattr(cpu, "forensic_ring", None)
         self.probes += 1
-        seen = set()
+        seen = self.probe_seen = set()
         with self.tracer.span("watchdog-probe", cat="watchdog") as span:
             try:
                 for __ in range(config.probe_instructions):
@@ -537,7 +544,8 @@ class CampaignRunner:
                  trace_attrs=None, deadline=None, stop_check=None,
                  graceful_signals=False, journal_fsync=None,
                  journal_salvage=False, chaos=None, full_restore=False,
-                 session_cache=None):
+                 session_cache=None, prune=False, audit_fraction=0.0,
+                 audit_seed=0):
         from .campaign import ENCODING_OLD
         self.daemon = daemon
         self.client_name = client_name
@@ -597,6 +605,15 @@ class CampaignRunner:
                               else SessionCache(capacity=1))
         self._session = None
         self._session_address = None
+        #: equivalence-class pruning (:mod:`repro.injection.pruning`):
+        #: run one representative per class and fan the outcome out to
+        #: every member.  ``audit_fraction`` exhaustively re-runs a
+        #: seeded sample of multi-member classes and hard-fails on any
+        #: divergent member.
+        self.prune = prune
+        self.audit_fraction = audit_fraction
+        self.audit_seed = audit_seed
+        self._active_guard = None
 
     # -- public entry point --------------------------------------------
 
@@ -697,6 +714,9 @@ class CampaignRunner:
             journal.open(self._meta(), append=bool(journaled
                                                    or quarantined_records))
         self._resumed = 0
+        self._fanned = 0
+        self._extra_runs = 0
+        self._chaos_tick = 0
         try:
             self._run_points(campaign, points, journaled,
                              quarantined_records, journal)
@@ -711,8 +731,11 @@ class CampaignRunner:
                 rounds=record["rounds"]))
         self._retire_session()
         wall_clock = time.monotonic() - started
+        # fanned-out class members were journaled without running;
+        # audit re-executions ran without journaling a record of their
+        # own -- correct the throughput accounting for both.
         executed = (len(campaign.results) + len(campaign.quarantined)
-                    - self._resumed)
+                    - self._resumed - self._fanned + self._extra_runs)
         campaign.timing = campaign_timing(
             wall_clock=wall_clock,
             experiments=len(campaign.results)
@@ -765,6 +788,9 @@ class CampaignRunner:
 
     def _run_points(self, campaign, points, journaled,
                     quarantined_records, journal):
+        if self.prune:
+            return self._run_points_pruned(campaign, points, journaled,
+                                           quarantined_records, journal)
         from ..analysis.serialize import result_from_dict
         total = len(points)
         queue = deque()
@@ -782,7 +808,20 @@ class CampaignRunner:
                 continue
             queue.append(_PendingPoint(
                 point=point, location=self.model.location(point)))
-        executed = 0
+        self._drain_queue(campaign, queue, quarantined_records,
+                          journal, total)
+        if self._resumed:
+            # A resume with a mid-journal gap (e.g. a salvaged corrupt
+            # line) re-runs the gap *after* the journaled results;
+            # restore enumeration order so result lists are identical
+            # to an uninterrupted run, like the parallel merge.
+            self._restore_order(campaign, points)
+
+    def _drain_queue(self, campaign, queue, quarantined_records,
+                     journal, total):
+        """Run pending points one at a time with retry/quarantine
+        semantics (the exhaustive inner loop; pruning reuses it for
+        singleton classes and declassified members)."""
         while queue:
             reason = self._interrupt_reason()
             if reason is not None:
@@ -811,20 +850,249 @@ class CampaignRunner:
                 if journal is not None:
                     journal.append_result(result)
             self._report(campaign, quarantined_records, total)
-            executed += 1
+            self._chaos_tick += 1
             if self.chaos is not None:
                 # After journaling: a chaos kill here leaves the
                 # journal at a deterministic resume boundary.
-                self.chaos.on_point(executed)
-        if self._resumed:
-            # A resume with a mid-journal gap (e.g. a salvaged corrupt
-            # line) re-runs the gap *after* the journaled results;
-            # restore enumeration order so result lists are identical
-            # to an uninterrupted run, like the parallel merge.
-            order = {_point_key(point): index
-                     for index, point in enumerate(points)}
-            campaign.results.sort(
-                key=lambda result: order[_point_key(result.point)])
+                self.chaos.on_point(self._chaos_tick)
+
+    def _restore_order(self, campaign, points):
+        order = {_point_key(point): index
+                 for index, point in enumerate(points)}
+        campaign.results.sort(
+            key=lambda result: order[_point_key(result.point)])
+
+    # -- pruned main loop ----------------------------------------------
+
+    def _run_points_pruned(self, campaign, points, journaled,
+                           quarantined_records, journal):
+        """Class-at-a-time execution (:mod:`repro.injection.pruning`).
+
+        Sites are sealed lazily against their live snapshot, each
+        class runs one representative (guarded when the equivalence
+        argument needs the re-fetch watch) and fans the outcome out to
+        its members.  Results are re-sorted to enumeration order at
+        the end, so the result list is byte-identical to an exhaustive
+        campaign's.
+        """
+        total = len(points)
+        ranges = (self.ranges if self.ranges is not None
+                  else self.daemon.auth_ranges())
+        plan = self.model.classify_points(
+            self.daemon.module, points, self.encoding,
+            self._golden.coverage, ranges)
+        self.registry.counter("pruning.sites",
+                              volatile=True).inc(len(plan.sites))
+        for point in points:
+            if _point_key(point) in quarantined_records:
+                self._resumed += 1            # stays quarantined
+        for site in plan.sites:
+            missing = [key for key in site.keys()
+                       if key not in journaled
+                       and key not in quarantined_records]
+            if missing and not site.sealed:
+                session = self._session_for(site.address)
+                site.seal(session.process.cpu
+                          if session is not None else None)
+            if not site.sealed:
+                # fully journaled and never sealed: replay the records
+                # without paying for a session or classification.
+                self._replay_site(campaign, site, journaled, total,
+                                  quarantined_records)
+                continue
+            self.registry.counter("pruning.classes",
+                                  volatile=True).inc(len(site.classes))
+            for cls in site.classes:
+                reason = self._interrupt_reason()
+                if reason is not None:
+                    raise CampaignInterrupted(
+                        reason, journal=self.journal_path,
+                        completed=len(campaign.results)
+                        + len(quarantined_records))
+                self._run_class(campaign, site, cls, journaled,
+                                quarantined_records, journal, total)
+        self._restore_order(campaign, points)
+
+    def _replay_site(self, campaign, site, journaled, total,
+                     quarantined_records):
+        for key in site.keys():
+            record = journaled.get(key)
+            if record is None:
+                continue                      # quarantined
+            resumed = self._result_from_record(record)
+            campaign.results.append(resumed)
+            record_result_metrics(self.registry, resumed)
+            self._resumed += 1
+        self._report(campaign, quarantined_records, total)
+
+    @staticmethod
+    def _result_from_record(record):
+        from ..analysis.serialize import result_from_dict
+        return result_from_dict(record)
+
+    def _run_class(self, campaign, site, cls, journaled,
+                   quarantined_records, journal, total):
+        from .pruning import GuardedWatchdog, PRUNE_SOLO
+        # Replay journaled members first; the final enumeration-order
+        # sort interleaves them back among the fresh records.
+        missing = []
+        for point in cls.points:
+            key = _point_key(point)
+            if key in quarantined_records:
+                continue
+            record = journaled.get(key)
+            if record is not None:
+                resumed = self._result_from_record(record)
+                campaign.results.append(resumed)
+                record_result_metrics(self.registry, resumed)
+                self._resumed += 1
+            else:
+                missing.append(point)
+        if not missing:
+            self._report(campaign, quarantined_records, total)
+            return
+        if cls.size == 1 or cls.kind == PRUNE_SOLO:
+            # Singletons take the exhaustive path, retries included.
+            self._drain_queue(
+                campaign,
+                deque(_PendingPoint(point=point,
+                                    location=self.model.location(point))
+                      for point in missing),
+                quarantined_records, journal, total)
+            return
+        guard = None
+        if cls.needs_guard:
+            guard = GuardedWatchdog(self.watchdog.config, cls.watch,
+                                    tracer=self.tracer, site=cls.site,
+                                    dispositions=cls.dispositions)
+        representative = cls.representative
+        pending = _PendingPoint(
+            point=representative,
+            location=self.model.location(representative))
+        self._active_guard = guard
+        try:
+            result = self._guarded_experiment(pending)
+        finally:
+            self._active_guard = None
+        self.registry.counter("pruning.rep_runs", volatile=True).inc()
+        if guard is not None:
+            self.watchdog.probes += guard.probes
+        if result is None:
+            # The representative was unstable across confirmations --
+            # the determinism premise of fanning out is gone, so run
+            # every member individually (retry/quarantine as usual).
+            self.registry.counter("pruning.declassified",
+                                  volatile=True).inc()
+            self._drain_queue(
+                campaign,
+                deque(_PendingPoint(point=point,
+                                    location=self.model.location(point))
+                      for point in missing),
+                quarantined_records, journal, total)
+            return
+        if guard is not None and guard.tripped:
+            # The suffix re-fetched the corrupted span: cross-image
+            # equivalence is void.  Dissolve into same-bytes subgroups
+            # (unconditionally sound); the representative's completed
+            # run still stands for its own image.
+            self.registry.counter("pruning.guard_trips",
+                                  volatile=True).inc()
+            self._declassify(campaign, cls, result, missing, journaled,
+                             quarantined_records, journal, total)
+            return
+        self._fan_out(campaign, cls, result, missing, journal, total,
+                      quarantined_records)
+
+    def _declassify(self, campaign, cls, rep_result, missing,
+                    journaled, quarantined_records, journal, total):
+        from .pruning import split_by_image
+        missing_keys = {_point_key(point) for point in missing}
+        for subgroup in split_by_image(self.model, self.daemon.module,
+                                       cls, self.encoding):
+            sub_missing = [point for point in subgroup.points
+                           if _point_key(point) in missing_keys]
+            if not sub_missing:
+                continue
+            if subgroup.representative is cls.representative:
+                # already executed (the tripped run itself)
+                self._fan_out(campaign, subgroup, rep_result,
+                              sub_missing, journal, total,
+                              quarantined_records)
+                continue
+            sub_pending = _PendingPoint(
+                point=subgroup.representative,
+                location=self.model.location(subgroup.representative))
+            result = self._guarded_experiment(sub_pending)
+            self.registry.counter("pruning.rep_runs",
+                                  volatile=True).inc()
+            if result is None:
+                self.registry.counter("pruning.declassified",
+                                      volatile=True).inc()
+                self._drain_queue(
+                    campaign,
+                    deque(_PendingPoint(
+                        point=point,
+                        location=self.model.location(point))
+                        for point in sub_missing),
+                    quarantined_records, journal, total)
+                continue
+            self._fan_out(campaign, subgroup, result, sub_missing,
+                          journal, total, quarantined_records)
+
+    def _fan_out(self, campaign, cls, rep_result, missing, journal,
+                 total, quarantined_records):
+        """Journal the representative's outcome for every missing
+        member (class provenance stamped on multi-member classes) and,
+        when the class is in the audit sample, exhaustively re-run the
+        other members and hard-fail on divergence."""
+        from .pruning import (PruningAuditError, class_is_audited,
+                              fan_out_result, result_signature)
+        stamp = cls.size > 1
+        if stamp:
+            rep_result.class_id = cls.class_id
+            rep_result.representative = _point_key(cls.representative)
+        rep_key = _point_key(cls.representative)
+        emitted = []
+        for point in missing:
+            if _point_key(point) == rep_key:
+                emitted.append(rep_result)
+                continue
+            member = fan_out_result(rep_result, point,
+                                    self.model.location(point))
+            emitted.append(member)
+            self._fanned += 1
+            self.registry.counter("pruning.fanned_out",
+                                  volatile=True).inc()
+        for result in emitted:
+            campaign.results.append(result)
+            record_result_metrics(self.registry, result)
+            if journal is not None:
+                journal.append_result(result)
+        self._report(campaign, quarantined_records, total)
+        self._chaos_tick += 1
+        if self.chaos is not None:
+            self.chaos.on_point(self._chaos_tick)
+        if not (stamp and class_is_audited(cls.class_id,
+                                           self.audit_fraction,
+                                           self.audit_seed)):
+            return
+        self.registry.counter("pruning.audited_classes",
+                              volatile=True).inc()
+        expected = result_signature(rep_result)
+        for point in cls.points:
+            if _point_key(point) == rep_key:
+                continue
+            confirm = self._execute(point, self.model.location(point))
+            self._extra_runs += 1
+            self.registry.counter("pruning.audit_runs",
+                                  volatile=True).inc()
+            got = result_signature(confirm)
+            if got != expected:
+                raise PruningAuditError(
+                    "class %s: member %s diverged from representative "
+                    "%s\n  expected %r\n  got      %r"
+                    % (cls.class_id, _point_key(point), rep_key,
+                       expected, got))
 
     def _report(self, campaign, quarantined_records, total):
         if self.progress is not None:
@@ -937,6 +1205,12 @@ class CampaignRunner:
         ring = session.process.cpu.forensic_ring
         if ring is not None:
             ring.clear()
+        # A guarded representative run (pruning) swaps in the re-fetch
+        # watchdog for exactly this experiment; every other path runs
+        # under the campaign watchdog.
+        session.run_fn = (self._active_guard
+                          if self._active_guard is not None
+                          else self.watchdog)
         with self.tracer.span("injection", cat="experiment") as span:
             status, kernel, client = self.model.apply(
                 session, point, self.encoding, self.daemon.module)

@@ -414,7 +414,16 @@ class ShardSupervisor:
         """Re-shard *points* across as many fresh workers as shards
         just finished healthy (those worker slots are proven viable);
         the new shards get no restart budget -- whatever still fails
-        falls through to the inline path."""
+        falls through to the inline path.
+
+        Pruning survives this path unchanged: degraded-wave and inline
+        runners inherit the parent's ``prune``/``audit_fraction``
+        settings via ``_spec()`` / ``_run_inline``, re-sharding keeps
+        whole instructions (hence whole equivalence classes) together,
+        and class ids are content-derived -- so a leftover subset of a
+        class re-classifies to the same ``class_id`` with a possibly
+        different (equally valid) representative.
+        """
         from .parallel import shard_points
         next_shard = max(self.states) + 1
         new_states = []

@@ -94,11 +94,11 @@ class TestRoundtrip:
         assert entry.point == campaign.results[0].point
         assert rebuilt.quarantined_count == 1
 
-    def test_schema_is_v6_and_stamps_fault_model(self, campaign):
+    def test_schema_is_v7_and_stamps_fault_model(self, campaign):
         from repro.analysis.serialize import SCHEMA_VERSION
         payload = campaign_to_dict(campaign)
-        assert SCHEMA_VERSION == 6
-        assert payload["schema"] == 6
+        assert SCHEMA_VERSION == 7
+        assert payload["schema"] == 7
         assert payload["fault_model"] == "branch-bit"
         assert campaign_from_dict(payload).fault_model == "branch-bit"
 

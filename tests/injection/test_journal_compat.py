@@ -1,5 +1,5 @@
 """Backward compatibility: older journals and campaign JSON
-(schema v2-v5) must keep loading and resuming under schema v6."""
+(schema v2-v6) must keep loading and resuming under schema v7."""
 
 import json
 import os
@@ -20,7 +20,7 @@ FIXTURE_V5 = os.path.join(os.path.dirname(__file__), "fixtures",
 
 
 def test_schema_constants():
-    assert JOURNAL_SCHEMA == 6
+    assert JOURNAL_SCHEMA == 7
 
 
 def test_old_fixture_journal_loads():
@@ -49,8 +49,9 @@ def test_v5_fixture_journal_loads():
 
 
 def _downgrade_journal(path, schema=2):
-    """Rewrite a v6 journal as an older equivalent: schema stamp back;
-    for the pre-registry v2 shape, drop ``model`` from meta too."""
+    """Rewrite a current journal as an older equivalent: schema stamp
+    back; for the pre-registry v2 shape, drop ``model`` from meta
+    too."""
     with open(path) as handle:
         lines = [json.loads(line) for line in handle
                  if line.strip()]
@@ -64,8 +65,8 @@ def _downgrade_journal(path, schema=2):
 
 
 def test_resume_from_v5_journal(ftp_daemon, tmp_path):
-    """A v5 journal (stamped model, no forensics) resumes under v6
-    with identical records and zero re-execution."""
+    """A v5 journal (stamped model, no forensics) resumes under the
+    current schema with identical records and zero re-execution."""
     journal = str(tmp_path / "v5.jsonl")
     first = run_campaign(ftp_daemon, "Client1",
                          FTP_CLIENTS["Client1"], max_points=10,
@@ -115,7 +116,7 @@ def test_pre_registry_journal_rejects_non_branch_models(ftp_daemon,
 
 def test_v4_campaign_payload_loads_as_branch_bit(ftp_daemon):
     """Campaign JSON written by schema v4 (no ``fault_model``, legacy
-    point records) round-trips into a v6 CampaignResult."""
+    point records) round-trips into a v7 CampaignResult."""
     campaign = run_campaign(ftp_daemon, "Client1",
                             FTP_CLIENTS["Client1"], max_points=6)
     payload = campaign_to_dict(campaign)
@@ -125,9 +126,9 @@ def test_v4_campaign_payload_loads_as_branch_bit(ftp_daemon):
     loaded = campaign_from_dict(payload)
     assert loaded.fault_model == "branch-bit"
     assert loaded.counts() == campaign.counts()
-    # and the re-serialized form is a clean v6 payload
+    # and the re-serialized form is a clean v7 payload
     upgraded = campaign_to_dict(loaded)
-    assert upgraded["schema"] == 6
+    assert upgraded["schema"] == 7
     assert upgraded["fault_model"] == "branch-bit"
     assert upgraded["results"] == campaign_to_dict(campaign)["results"]
 

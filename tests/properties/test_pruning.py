@@ -1,0 +1,150 @@
+"""Pruning invariants, property-checked on synthetic records.
+
+Two claims the whole pruning design rests on, exercised over random
+point sets rather than one campaign's worth:
+
+- journal schema v7 is lossless -- a pruned record's point identity
+  (site, byte offset, bit -- which fix the corrupted bytes for a
+  given model) and its ``class_id``/``representative`` provenance
+  survive a JSON round-trip exactly, and exhaustive records stay
+  byte-compatible with pre-v7 journals (no provenance keys at all);
+- fanning a representative's outcome out to its class members
+  preserves every per-outcome tally exactly, including the
+  HANG/HF folding ``counts()`` applies for the paper tables.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import Counter
+
+from hypothesis import given, settings, strategies as st
+
+from repro.analysis import result_from_dict, result_to_dict
+from repro.injection import (ALL_LOCATIONS, CampaignResult,
+                             class_is_audited, fan_out_result,
+                             FOLD_TO_PAPER, InjectionPoint,
+                             InjectionResult, REFINED_OUTCOMES,
+                             result_signature)
+
+points = st.builds(
+    InjectionPoint,
+    instruction_address=st.integers(0x8048000, 0x804FFFF),
+    byte_offset=st.integers(0, 5),
+    bit=st.integers(0, 7),
+    instruction_length=st.integers(1, 6),
+    mnemonic=st.sampled_from(["jz", "jne", "jmp", "call", "loop"]),
+    opcode=st.integers(0, 0xFF),
+    kind=st.sampled_from(["cond_branch", "jump", "call"]),
+)
+
+_ascii = st.text(alphabet=st.characters(min_codepoint=32,
+                                        max_codepoint=126),
+                 max_size=24)
+
+class_ids = st.one_of(
+    st.none(),
+    st.builds("succ:%x:%x".__mod__,
+              st.tuples(st.integers(0x8048000, 0x804FFFF),
+                        st.integers(0x8048000, 0x804FFFF))),
+    st.builds("dead:%x".__mod__, st.integers(0x8048000, 0x804FFFF)),
+)
+
+results = st.builds(
+    InjectionResult,
+    point=points,
+    location=st.sampled_from(ALL_LOCATIONS),
+    outcome=st.sampled_from(REFINED_OUTCOMES),
+    activated=st.booleans(),
+    activation_instret=st.integers(0, 1 << 32),
+    exit_kind=st.sampled_from(["exit", "crash", "limit", "hang"]),
+    exit_code=st.integers(0, 255),
+    signal=st.sampled_from(["", "SIGSEGV #PF", "SIGILL #UD"]),
+    crash_latency=st.one_of(st.none(), st.integers(1, 1 << 20)),
+    broke_in=st.booleans(),
+    crashed_after_breakin=st.booleans(),
+    detail=_ascii,
+    hang_eip_range=st.one_of(
+        st.none(), st.tuples(st.integers(0, 1 << 32),
+                             st.integers(0, 1 << 32))),
+    class_id=class_ids,
+)
+
+
+@st.composite
+def stamped_results(draw):
+    """A record as the pruned runner journals it: provenance present
+    on both fields or on neither."""
+    result = draw(results)
+    if result.class_id is not None:
+        result.representative = draw(points).key
+    return result
+
+
+class TestSchemaRoundTrip:
+    @settings(max_examples=200)
+    @given(stamped_results())
+    def test_v7_record_round_trips_exactly(self, result):
+        record = json.loads(json.dumps(result_to_dict(result)))
+        assert result_from_dict(record) == result
+
+    @settings(max_examples=100)
+    @given(results.filter(lambda r: r.class_id is None))
+    def test_exhaustive_records_carry_no_provenance_keys(self, result):
+        record = result_to_dict(result)
+        assert "class_id" not in record
+        assert "representative" not in record
+
+
+class TestFanOut:
+    @settings(max_examples=100)
+    @given(st.lists(st.tuples(results, st.lists(points, max_size=6)),
+                    max_size=8))
+    def test_fan_out_preserves_per_outcome_tallies(self, classes):
+        pruned = []
+        expected = Counter()
+        expected_refined = Counter()
+        for rep, members in classes:
+            pruned.append(rep)
+            fanned = [fan_out_result(rep, point, rep.location)
+                      for point in members]
+            pruned.extend(fanned)
+            size = 1 + len(members)
+            expected[FOLD_TO_PAPER.get(rep.outcome,
+                                       rep.outcome)] += size
+            expected_refined[rep.outcome] += size
+            for member in fanned:
+                assert result_signature(member) == \
+                    result_signature(rep)
+                assert member.forensics is None
+        campaign = CampaignResult(daemon_name="ftpd",
+                                  client_name="Client1",
+                                  encoding="old", results=pruned)
+        counts = campaign.counts()
+        refined = campaign.counts(refined=True)
+        assert {k: v for k, v in counts.items() if v} == dict(expected)
+        assert {k: v for k, v in refined.items() if v} \
+            == dict(expected_refined)
+
+    @given(results, points)
+    def test_fan_out_rewrites_identity_only(self, rep, point):
+        member = fan_out_result(rep, point, "MISC")
+        assert member.point is point
+        assert member.location == "MISC"
+        assert member.outcome == rep.outcome
+        assert member.class_id == rep.class_id
+
+
+class TestAuditSelection:
+    @given(class_ids.filter(lambda c: c is not None),
+           st.floats(0.0, 1.0), st.integers(0, 1 << 16))
+    def test_deterministic(self, class_id, fraction, seed):
+        first = class_is_audited(class_id, fraction, seed)
+        assert class_is_audited(class_id, fraction, seed) == first
+        assert isinstance(first, bool)
+
+    @given(class_ids.filter(lambda c: c is not None),
+           st.integers(0, 1 << 16))
+    def test_fraction_bounds(self, class_id, seed):
+        assert not class_is_audited(class_id, 0.0, seed)
+        assert class_is_audited(class_id, 1.0, seed)

@@ -67,6 +67,8 @@ class TestCompareAll:
             "table1_ftp_timing": {"experiments_per_sec": 300.0},
             "snapshot_fork": {"experiments_per_sec": 300.0,
                               "restore_speedup": 6.0},
+            "pruning": {"points_pruned_frac": 0.75,
+                        "campaign_speedup": 4.0},
         }
 
     def test_identical_payloads_pass(self):
@@ -127,6 +129,24 @@ class TestUntrackedMetrics:
         assert len(failures) == 1
         assert "new_bench" in failures[0]
         assert "METRICS" in failures[0]
+
+    def test_pruning_metrics_are_gate_worthy(self):
+        keys = check_regression.gate_keys_in(
+            {"points_pruned_frac": 0.75, "campaign_speedup": 4.0,
+             "wall_speedup": 1.3, "kinds": {}})
+        assert keys == ["campaign_speedup", "points_pruned_frac"]
+
+    def test_error_message_lists_gate_keys_sorted(self):
+        """The quoted gate-key set comes from a frozenset; the message
+        must sort it (and the payload keys) so identical failures from
+        different matrix cells diff clean."""
+        failures = check_regression.untracked_failures(
+            {"new_bench": {"widgets_per_sec": 9.0,
+                           "campaign_speedup": 2.0}})
+        assert len(failures) == 1
+        assert "campaign_speedup, widgets_per_sec" in failures[0]
+        expected = ", ".join(sorted(check_regression.GATE_KEYS))
+        assert expected in failures[0]
 
     def test_untracked_result_without_gate_keys_passes(self):
         assert check_regression.untracked_failures(
