@@ -38,6 +38,7 @@ METRICS = {
     "table1_ftp_timing": ["experiments_per_sec"],
     "snapshot_fork": ["experiments_per_sec", "restore_speedup"],
     "pruning": ["points_pruned_frac", "campaign_speedup"],
+    "service_warm": ["service_warm_speedup"],
 }
 
 #: a top-level key that marks a result file as carrying gate-worthy
@@ -47,7 +48,7 @@ METRICS = {
 #: new benchmark ship unnoticed.
 GATE_KEY_SUFFIX = "_per_sec"
 GATE_KEYS = frozenset({"restore_speedup", "points_pruned_frac",
-                       "campaign_speedup"})
+                       "campaign_speedup", "service_warm_speedup"})
 
 #: historical timing dumps committed before their benches joined the CI
 #: gate; they carry experiments_per_sec but run outside the gate job,

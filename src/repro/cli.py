@@ -15,6 +15,12 @@ Commands
 ``forensics``  render the crash-forensics snapshots stored in a
                campaign journal (``--divergence`` replays a point and
                locates where it left the golden path).
+``serve``      run the persistent campaign service: a warm worker
+               fleet behind a Unix socket accepting concurrent
+               campaign submissions (see :mod:`repro.service`).
+``status``     summarise a campaign journal (and its shard files):
+               completed points, quarantines, unit progress,
+               salvageable damage.
 
 Every command takes ``--daemon`` (any daemon registered in
 :mod:`repro.apps.registry`; ``--app`` is a back-compat alias), and
@@ -97,23 +103,43 @@ def cmd_campaign(args, out):
     if args.client not in clients:
         raise SystemExit("unknown client %r (have: %s)"
                          % (args.client, ", ".join(sorted(clients))))
-    campaign = run_campaign(
-        daemon, args.client, clients[args.client],
-        encoding=args.encoding,
-        fault_model=args.fault_model,
-        max_points=args.max_points,
-        journal=args.journal, resume=args.resume,
-        retries=args.retries, workers=args.workers,
-        trace=args.trace, metrics=args.metrics,
-        forensics=args.forensics, progress=_progress(args),
-        deadline=args.deadline, journal_fsync=args.journal_fsync,
-        journal_salvage=args.journal_salvage,
-        full_restore=args.full_restore,
-        prune=args.prune, audit_fraction=args.audit_fraction,
-        audit_seed=args.audit_seed,
-        # SIGTERM/SIGINT checkpoint the campaign instead of killing
-        # it; resume with --resume.
-        graceful_signals=True)
+    if args.workers and args.workers > 1:
+        # thin client of the scheduler/fleet layers: a private warm
+        # fleet runs this one campaign in-process
+        from .injection import run_fleet_campaign
+        campaign = run_fleet_campaign(
+            daemon, args.client, clients[args.client],
+            workers=args.workers, deadline=args.deadline,
+            graceful_signals=True,
+            encoding=args.encoding, fault_model=args.fault_model,
+            max_points=args.max_points,
+            journal=args.journal, resume=args.resume,
+            retries=args.retries,
+            trace=args.trace, metrics=args.metrics,
+            forensics=args.forensics, progress=_progress(args),
+            journal_fsync=args.journal_fsync,
+            journal_salvage=args.journal_salvage,
+            full_restore=args.full_restore,
+            prune=args.prune, audit_fraction=args.audit_fraction,
+            audit_seed=args.audit_seed)
+    else:
+        campaign = run_campaign(
+            daemon, args.client, clients[args.client],
+            encoding=args.encoding,
+            fault_model=args.fault_model,
+            max_points=args.max_points,
+            journal=args.journal, resume=args.resume,
+            retries=args.retries, workers=args.workers,
+            trace=args.trace, metrics=args.metrics,
+            forensics=args.forensics, progress=_progress(args),
+            deadline=args.deadline, journal_fsync=args.journal_fsync,
+            journal_salvage=args.journal_salvage,
+            full_restore=args.full_restore,
+            prune=args.prune, audit_fraction=args.audit_fraction,
+            audit_seed=args.audit_seed,
+            # SIGTERM/SIGINT checkpoint the campaign instead of
+            # killing it; resume with --resume.
+            graceful_signals=True)
     if args.journal:
         if args.workers and args.workers > 1:
             out.write("journal: %s.shard0..%d\n"
@@ -179,10 +205,18 @@ def cmd_table4(args, out):
 def cmd_figure4(args, out):
     daemon, clients = _make_daemon(args.daemon)
     attacker = get_daemon_spec(args.daemon).attacker_client
-    campaign = run_campaign(
-        daemon, attacker, clients[attacker],
-        workers=args.workers, trace=args.trace, metrics=args.metrics,
-        progress=_progress(args))
+    if args.workers and args.workers > 1:
+        from .injection import run_fleet_campaign
+        campaign = run_fleet_campaign(
+            daemon, attacker, clients[attacker],
+            workers=args.workers, graceful_signals=True,
+            trace=args.trace, metrics=args.metrics,
+            progress=_progress(args))
+    else:
+        campaign = run_campaign(
+            daemon, attacker, clients[attacker],
+            workers=args.workers, trace=args.trace,
+            metrics=args.metrics, progress=_progress(args))
     histogram = build_histogram(campaign.crash_latencies())
     out.write(format_histogram(histogram) + "\n")
     _write_timing(out, campaign)
@@ -275,6 +309,80 @@ def _write_divergence(out, meta, record):
         flip_address, point.bit,
         budget=meta.get("budget") or 2_000_000)
     out.write(format_propagation(report) + "\n")
+
+
+def cmd_serve(args, out):
+    from .injection.fleet import FleetConfig
+    from .service import CampaignService
+    config = FleetConfig(workers=args.workers,
+                         session_capacity=args.session_capacity)
+    if args.unit_instructions:
+        config.unit_instructions = args.unit_instructions
+    service = CampaignService(socket_path=args.socket, config=config,
+                              quota=args.quota)
+    out.write("serving on %s (%d workers, quota %d per client)\n"
+              % (service.socket_path, args.workers, args.quota))
+    out.flush()
+    return service.run()
+
+
+def cmd_status(args, out):
+    import os
+    from .injection.parallel import discover_shard_journals
+    from .injection.runner import CampaignJournal, JournalError
+    paths = ([args.journal] if os.path.exists(args.journal) else [])
+    paths += discover_shard_journals(args.journal)
+    if not paths:
+        raise SystemExit("no journal at %s (or %s.shard*)"
+                         % (args.journal, args.journal))
+    results = {}
+    quarantined = {}
+    damage = 0
+    for path in paths:
+        try:
+            meta, shard_results, shard_quarantined, report = \
+                CampaignJournal.load_with_report(path, strict=False)
+        except JournalError as error:
+            out.write("%s: unreadable (%s)\n" % (path, error))
+            damage += 1
+            continue
+        results.update(shard_results)
+        quarantined.update(shard_quarantined)
+        out.write("%s:\n" % path)
+        if meta is not None:
+            out.write("  campaign: %s %s (%s encoding, %s faults, "
+                      "schema v%s)\n"
+                      % (meta.get("daemon"), meta.get("client"),
+                         meta.get("encoding"),
+                         meta.get("model", "branch-bit"),
+                         meta.get("schema")))
+        else:
+            out.write("  campaign: no meta header\n")
+        out.write("  results: %d   quarantined: %d\n"
+                  % (len(shard_results), len(shard_quarantined)))
+        if report.units:
+            last = report.units[-1]
+            out.write("  work units: %d completed (last %s, %d "
+                      "record(s))\n"
+                      % (len(report.units), last.get("unit"),
+                         last.get("records", 0)))
+        if report.corrupt_count or report.truncated_tail:
+            damage += 1
+            notes = []
+            if report.corrupt_count:
+                notes.append("%d corrupt line(s)"
+                             % report.corrupt_count)
+            if report.truncated_tail:
+                notes.append("truncated tail")
+            out.write("  damage: %s (salvageable with "
+                      "--journal-salvage)\n" % ", ".join(notes))
+    out.write("total: %d completed point(s), %d quarantined, across "
+              "%d journal file(s)\n"
+              % (len(results), len(quarantined), len(paths)))
+    out.write("resume with: repro campaign --journal %s --resume%s\n"
+              % (args.journal,
+                 " --journal-salvage" if damage else ""))
+    return 0
 
 
 def build_parser():
@@ -421,6 +529,35 @@ def build_parser():
                            help="replay each shown point and report "
                                 "where it left the golden path")
     forensics.set_defaults(handler=cmd_forensics)
+
+    serve = commands.add_parser(
+        "serve", parents=[verbosity],
+        help="persistent campaign service on a Unix socket (warm "
+             "worker fleet; see repro.service for the protocol)")
+    serve.add_argument("--socket", default=None, metavar="PATH",
+                       help="Unix socket path (default "
+                            "repro-service.sock)")
+    serve.add_argument("--workers", type=int, default=2, metavar="N",
+                       help="long-lived warm workers in the fleet")
+    serve.add_argument("--quota", type=int, default=2, metavar="N",
+                       help="max in-flight campaigns per client "
+                            "connection")
+    serve.add_argument("--unit-instructions", type=int,
+                       default=None, metavar="K",
+                       help="whole instructions per work unit")
+    serve.add_argument("--session-capacity", type=int, default=64,
+                       metavar="N",
+                       help="per-worker breakpoint-session cache "
+                            "bound (LRU)")
+    serve.set_defaults(handler=cmd_serve)
+
+    status = commands.add_parser(
+        "status", parents=[verbosity],
+        help="summarise a campaign journal and its shard files")
+    status.add_argument("journal",
+                        help="journal base path (shard files "
+                             "<journal>.shardK are discovered too)")
+    status.set_defaults(handler=cmd_status)
 
     return parser
 

@@ -27,6 +27,10 @@ from .pruning import (class_is_audited, default_classify,
                       PruningPlan, result_signature, SitePlan)
 from .supervisor import (ShardSupervisor, SupervisionReport,
                          SupervisorConfig)
+from .scheduler import (build_units, CampaignScheduler,
+                        instruction_groups, UNIT_INSTRUCTIONS,
+                        WorkUnit)
+from .fleet import (FleetConfig, run_fleet_campaign, WorkerFleet)
 from .parallel import (discover_shard_journals, load_shard_journals,
                        ParallelCampaignRunner, run_parallel_campaign,
                        shard_journal_path, shard_points)
@@ -67,6 +71,9 @@ __all__ = [
     "class_is_audited", "result_signature", "PRUNE_DEAD",
     "PRUNE_BYTES", "PRUNE_FAULT", "PRUNE_SUCC", "PRUNE_SOLO",
     "ShardSupervisor", "SupervisionReport", "SupervisorConfig",
+    "CampaignScheduler", "WorkUnit", "build_units",
+    "instruction_groups", "UNIT_INSTRUCTIONS",
+    "FleetConfig", "WorkerFleet", "run_fleet_campaign",
     "ParallelCampaignRunner",
     "run_parallel_campaign", "shard_points", "shard_journal_path",
     "discover_shard_journals", "load_shard_journals",

@@ -288,6 +288,11 @@ class SessionCache:
         self._unreachable = {}  # key -> arrival ExitStatus
         self.hits = 0
         self.misses = 0
+        #: sessions dropped by the LRU bound.  A long-lived warm
+        #: worker serving many daemon x model x encoding cells watches
+        #: this to prove the cache is bounded (an evicted site simply
+        #: re-captures on next use, at the usual prefix-run cost).
+        self.evictions = 0
 
     @staticmethod
     def key(daemon, client_name, budget, address):
@@ -315,11 +320,20 @@ class SessionCache:
             while len(self._sessions) > self.capacity:
                 oldest = next(iter(self._sessions))
                 del self._sessions[oldest]
+                self.evictions += 1
 
     def discard(self, key):
         """Drop a session whose machine state may be corrupted (e.g.
         after a harness fault)."""
         self._sessions.pop(key, None)
+
+    def __len__(self):
+        return len(self._sessions)
+
+    def stats(self):
+        """Operational counters, in metrics-registry key style."""
+        return {"sessions": len(self._sessions), "hits": self.hits,
+                "misses": self.misses, "evictions": self.evictions}
 
 
 def single_injection(daemon, client_factory, instruction_address,

@@ -149,13 +149,8 @@ def shard_points(points, workers):
     of one instruction in the same shard (preserving the per-shard
     breakpoint-session amortisation) and distributing instructions
     round-robin for balance."""
-    groups = []
-    for point in points:
-        if (groups and groups[-1][-1].instruction_address
-                == point.instruction_address):
-            groups[-1].append(point)
-        else:
-            groups.append([point])
+    from .scheduler import instruction_groups
+    groups = instruction_groups(points)
     shards = [[] for __ in range(workers)]
     for index, group in enumerate(groups):
         shards[index % workers].extend(group)

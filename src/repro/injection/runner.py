@@ -70,12 +70,15 @@ MAX_CONFIRMATIONS_PER_ROUND = 8
 #: model; v6 adds the optional per-result ``forensics`` snapshot
 #: (:mod:`repro.obs.forensics`); v7 adds the optional per-result
 #: ``class_id``/``representative`` pruning provenance
-#: (:mod:`repro.injection.pruning`).  The reader accepts all of them
-#: (a missing model is ``branch-bit``, missing optional fields are
-#: ``None``), so v2-v6 journals still load and resume -- including
-#: across ``--prune``/``--no-prune`` boundaries, since pruned and
-#: exhaustive journals record the same point keys and outcomes.
-JOURNAL_SCHEMA = 7
+#: (:mod:`repro.injection.pruning`); v8 adds the optional ``unit``
+#: marker line a fleet worker appends after finishing each work unit
+#: (:mod:`repro.injection.scheduler`) -- pure progress metadata, never
+#: part of any tally.  The reader accepts all of them (a missing model
+#: is ``branch-bit``, missing optional fields are ``None``), so v2-v7
+#: journals still load and resume -- including across
+#: ``--prune``/``--no-prune`` boundaries, since pruned and exhaustive
+#: journals record the same point keys and outcomes.
+JOURNAL_SCHEMA = 8
 
 _LOGGER = get_logger("campaign")
 
@@ -349,6 +352,9 @@ class JournalLoadReport:
     #: a half-written final line was dropped (SIGKILL mid-append).
     truncated_tail: bool = False
     records: int = 0
+    #: ``unit`` marker records (schema v8; fleet work-unit progress),
+    #: in file order.
+    units: list = field(default_factory=list)
 
     @property
     def corrupt_count(self):
@@ -429,6 +435,19 @@ class CampaignJournal:
                      "location": location,
                      "outcomes": list(outcomes), "rounds": rounds})
 
+    @staticmethod
+    def mark_unit(path, unit_id, records, campaign=None):
+        """Append a work-unit completion marker (schema v8) to an
+        already-closed journal.  Markers are progress metadata for
+        ``repro status`` and the service: loaders skip them, tallies
+        never see them, and a marker-free journal resumes the same."""
+        marker = {"type": "unit", "unit": unit_id, "records": records}
+        if campaign is not None:
+            marker["campaign"] = campaign
+        with open(path, "a") as handle:
+            handle.write(json.dumps(marker) + "\n")
+            handle.flush()
+
     def _write(self, record):
         if self.write_hook is not None:
             self.write_hook(self._writes)
@@ -481,7 +500,8 @@ class CampaignJournal:
                 record = json.loads(line)
                 kind = (record.get("type")
                         if isinstance(record, dict) else None)
-                if kind not in ("meta", "result", "quarantine"):
+                if kind not in ("meta", "result", "quarantine",
+                                "unit"):
                     raise JournalError("unknown journal record %r"
                                        % kind)
             except json.JSONDecodeError:
@@ -502,6 +522,9 @@ class CampaignJournal:
                 meta = record
             elif kind == "result":
                 results[record["key"]] = record
+            elif kind == "unit":
+                report.units.append(record)
+                continue                      # metadata, not a record
             else:
                 quarantined[record["key"]] = record
             report.records += 1
@@ -545,7 +568,7 @@ class CampaignRunner:
                  graceful_signals=False, journal_fsync=None,
                  journal_salvage=False, chaos=None, full_restore=False,
                  session_cache=None, prune=False, audit_fraction=0.0,
-                 audit_seed=0):
+                 audit_seed=0, golden=None):
         from .campaign import ENCODING_OLD
         self.daemon = daemon
         self.client_name = client_name
@@ -613,6 +636,13 @@ class CampaignRunner:
         self.prune = prune
         self.audit_fraction = audit_fraction
         self.audit_seed = audit_seed
+        #: pre-recorded golden run for this (daemon, client, budget)
+        #: cell.  A warm fleet worker serving its second campaign for
+        #: a cell passes the cached one in, skipping the reference
+        #: execution entirely; ``None`` records a fresh golden run.
+        #: The golden run is deterministic per cell, so outcomes are
+        #: byte-identical either way.
+        self.golden = golden
         self._active_guard = None
 
     # -- public entry point --------------------------------------------
@@ -677,13 +707,22 @@ class CampaignRunner:
         if self.deadline is not None:
             self._deadline_at = started + self.deadline
         self._perf = PerfCounters()
-        with self.tracer.span("golden-run") as span:
-            golden = record_golden(self.daemon, self.client_factory,
-                                   self.budget)
-            span.set("coverage_eips", len(golden.coverage))
-        self._perf.absorb_dict(golden.perf)
-        self.registry.counter("runtime.golden_runs",
-                              volatile=True).inc()
+        if self.golden is not None:
+            # Warm path: the cell's golden run (and its perf share)
+            # was recorded by an earlier campaign; only count the
+            # reuse so warm-vs-cold is measurable.
+            golden = self.golden
+            self.registry.counter("runtime.golden_reused",
+                                  volatile=True).inc()
+        else:
+            with self.tracer.span("golden-run") as span:
+                golden = record_golden(self.daemon,
+                                       self.client_factory,
+                                       self.budget)
+                span.set("coverage_eips", len(golden.coverage))
+            self._perf.absorb_dict(golden.perf)
+            self.registry.counter("runtime.golden_runs",
+                                  volatile=True).inc()
         self._golden = golden
         if self.points is not None:
             points = list(self.points)

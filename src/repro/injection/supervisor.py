@@ -74,10 +74,56 @@ CHECKPOINTED = "checkpointed"
 
 #: every supervision event the report counts (and the metrics registry
 #: exports as ``supervisor.<name>`` volatile counters).
+#: ``pipe_errors`` counts message channels torn while their worker was
+#: still supposed to be RUNNING (killed mid-send) -- the EOF after a
+#: healthy ``done``/``checkpoint`` is normal teardown and not counted.
 EVENT_NAMES = ("respawns", "wedged", "worker_errors", "failed_shards",
                "degraded", "degraded_points", "salvaged_points",
                "inline_points", "checkpoints", "checkpoint_exits",
-               "stale_messages")
+               "stale_messages", "pipe_errors")
+
+
+# ----------------------------------------------------------------------
+# Machinery shared with the fleet supervisor
+# (:mod:`repro.injection.fleet`): the same backoff curve, graceful
+# signal conversion and insistent join, so both supervision styles
+# degrade identically.
+
+def backoff_delay(config, restarts):
+    """Exponential respawn delay for the *restarts*-th restart
+    (1-based), capped."""
+    return min(config.backoff_cap,
+               config.backoff_base * (2 ** (restarts - 1)))
+
+
+def install_stop_handlers(on_stop):
+    """Convert SIGTERM/SIGINT into ``on_stop(signal_name)`` (flag, not
+    raise -- the caller checkpoints at the next clean boundary).
+    Returns the restore callback; a no-op off the main thread, where
+    signal handlers cannot be installed."""
+    if threading.current_thread() is not threading.main_thread():
+        return lambda: None
+
+    def request_stop(signum, frame):
+        on_stop(signal.Signals(signum).name)
+
+    previous = {}
+    for signum in (signal.SIGTERM, signal.SIGINT):
+        previous[signum] = signal.signal(signum, request_stop)
+
+    def restore():
+        for signum, handler in previous.items():
+            signal.signal(signum, handler)
+
+    return restore
+
+
+def join_process(process, timeout=5.0):
+    """Join with a SIGKILL escalation for processes that ignore it."""
+    process.join(timeout)
+    if process.is_alive():
+        process.kill()
+        process.join(timeout)
 
 
 @dataclass
@@ -248,10 +294,21 @@ class ShardSupervisor:
                 if not conn.poll():
                     return
                 message = conn.recv()
-            except (EOFError, OSError):
-                # Write end gone (worker exited, possibly mid-send)
-                # and the buffer is exhausted; the liveness check
-                # decides what that means.
+            except (EOFError, OSError) as error:
+                # Write end gone and the buffer is exhausted.  After a
+                # ``done``/``checkpoint``/``error`` this is normal
+                # teardown; while the shard is still RUNNING it means
+                # the worker died possibly mid-send -- record it
+                # (incarnation included) instead of dropping the tear
+                # silently, then let the liveness check decide what it
+                # means for the shard.
+                if state.status == RUNNING:
+                    self.events["pipe_errors"] += 1
+                    _LOGGER.warning(
+                        "shard %d attempt %d: message channel torn "
+                        "while running (%s); worker presumed dead "
+                        "mid-send", state.shard, state.attempt,
+                        type(error).__name__)
                 conn.close()
                 if state.conn is conn:
                     state.conn = None
@@ -332,9 +389,7 @@ class ShardSupervisor:
                 state.restarts, state.shard)
             return
         state.restarts += 1
-        delay = min(self.config.backoff_cap,
-                    self.config.backoff_base
-                    * (2 ** (state.restarts - 1)))
+        delay = backoff_delay(self.config, state.restarts)
         state.status = BACKOFF
         state.resume_due = time.monotonic() + delay
         _LOGGER.warning("%s; respawning in %.1fs (restart %d/%d)",
@@ -539,23 +594,13 @@ class ShardSupervisor:
     # -- signals / deadline --------------------------------------------
 
     def _install_signal_handlers(self):
-        if (not self.runner.graceful_signals
-                or threading.current_thread()
-                is not threading.main_thread()):
+        if not self.runner.graceful_signals:
             return lambda: None
 
-        def request_stop(signum, frame):
-            self._stop_signal = signal.Signals(signum).name
+        def on_stop(name):
+            self._stop_signal = name
 
-        previous = {}
-        for signum in (signal.SIGTERM, signal.SIGINT):
-            previous[signum] = signal.signal(signum, request_stop)
-
-        def restore():
-            for signum, handler in previous.items():
-                signal.signal(signum, handler)
-
-        return restore
+        return install_stop_handlers(on_stop)
 
     def _interrupt_reason(self):
         if self._stop_signal is not None:
@@ -568,10 +613,7 @@ class ShardSupervisor:
     # -- teardown ------------------------------------------------------
 
     def _join(self, process, timeout=5.0):
-        process.join(timeout)
-        if process.is_alive():
-            process.kill()
-            process.join(timeout)
+        join_process(process, timeout)
 
     def _reap(self):
         for state in self.states.values():

@@ -1,5 +1,5 @@
 """Backward compatibility: older journals and campaign JSON
-(schema v2-v6) must keep loading and resuming under schema v7."""
+(schema v2-v7) must keep loading and resuming under schema v8."""
 
 import json
 import os
@@ -20,7 +20,7 @@ FIXTURE_V5 = os.path.join(os.path.dirname(__file__), "fixtures",
 
 
 def test_schema_constants():
-    assert JOURNAL_SCHEMA == 7
+    assert JOURNAL_SCHEMA == 8
 
 
 def test_old_fixture_journal_loads():

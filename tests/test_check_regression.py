@@ -69,6 +69,7 @@ class TestCompareAll:
                               "restore_speedup": 6.0},
             "pruning": {"points_pruned_frac": 0.75,
                         "campaign_speedup": 4.0},
+            "service_warm": {"service_warm_speedup": 1.4},
         }
 
     def test_identical_payloads_pass(self):

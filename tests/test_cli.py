@@ -277,3 +277,88 @@ class TestParser:
         with pytest.raises(SystemExit):
             build_parser().parse_args(["campaign", "--fault-model",
                                        "cosmic-ray"])
+
+
+class TestWorkersFlag:
+    def test_fleet_path_matches_serial_table(self):
+        # only the runtime summary (wall clock, worker count, parent
+        # syscall tally) may differ; every table line is byte-equal
+        def tables(text):
+            return [line for line in text.splitlines()
+                    if not line.startswith(("timing:", "engine:"))]
+
+        serial_code, serial_text = run_cli(
+            "campaign", "--app", "ftpd", "--client", "Client1",
+            "--max-points", "80")
+        fleet_code, fleet_text = run_cli(
+            "campaign", "--app", "ftpd", "--client", "Client1",
+            "--max-points", "80", "--workers", "2")
+        assert serial_code == fleet_code == 0
+        assert tables(fleet_text) == tables(serial_text)
+        assert "2 workers" in fleet_text
+
+
+class TestStatusCommand:
+    def test_reports_fleet_shard_journals(self, tmp_path):
+        journal = str(tmp_path / "run.jsonl")
+        code, __ = run_cli("campaign", "--app", "ftpd",
+                           "--max-points", "40",
+                           "--journal", journal, "--workers", "2")
+        assert code == 0
+        code, text = run_cli("status", journal)
+        assert code == 0
+        assert ".shard" in text
+        assert "work units:" in text
+        assert "40 completed point(s)" in text
+        assert "resume with: repro campaign --journal %s --resume" \
+            % journal in text
+
+    def test_reports_serial_journal(self, tmp_path):
+        journal = str(tmp_path / "run.jsonl")
+        code, __ = run_cli("campaign", "--app", "ftpd",
+                           "--max-points", "40",
+                           "--journal", journal)
+        assert code == 0
+        code, text = run_cli("status", journal)
+        assert code == 0
+        assert "campaign: FtpDaemon Client1" in text
+        assert "results: 40   quarantined: 0" in text
+
+    def test_flags_damage_as_salvageable(self, tmp_path):
+        from repro.injection import corrupt_journal_tail
+        journal = str(tmp_path / "run.jsonl")
+        run_cli("campaign", "--app", "ftpd", "--max-points", "40",
+                "--journal", journal)
+        corrupt_journal_tail(journal, mode="garbage-line", seed=1)
+        code, text = run_cli("status", journal)
+        assert code == 0
+        assert "damage:" in text
+        assert "--journal-salvage" in text
+
+    def test_missing_journal_exits(self, tmp_path):
+        with pytest.raises(SystemExit):
+            run_cli("status", str(tmp_path / "absent.jsonl"))
+
+
+class TestServeParser:
+    def test_defaults(self):
+        args = build_parser().parse_args(["serve"])
+        assert args.workers == 2
+        assert args.quota == 2
+        assert args.session_capacity == 64
+        assert args.unit_instructions is None
+
+    def test_overrides(self):
+        args = build_parser().parse_args(
+            ["serve", "--socket", "/tmp/x.sock", "--workers", "4",
+             "--quota", "1", "--unit-instructions", "2",
+             "--session-capacity", "16"])
+        assert args.socket == "/tmp/x.sock"
+        assert args.workers == 4
+        assert args.quota == 1
+        assert args.unit_instructions == 2
+        assert args.session_capacity == 16
+
+    def test_status_requires_journal(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["status"])
