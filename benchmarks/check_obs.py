@@ -17,10 +17,19 @@ Validates the trace and metrics files a smoke campaign wrote:
     emulator is deterministic, so any difference is an aggregation
     bug in the shard merge.
 
+``telemetry``
+    the telemetry plane is an observer, not a participant: runs the
+    same campaign four ways in-process (telemetry+sampler off/on,
+    serial and ``--workers N``) and fails unless (a) all four
+    deterministic metrics cores are byte-identical, (b) every event
+    stream is gap-free per campaign, and (c) the guest-sample profile
+    is identical for the serial and sharded runs.
+
 Usage::
 
     python benchmarks/check_obs.py trace smoke-trace.json
     python benchmarks/check_obs.py metrics-equal serial.json sharded.json
+    python benchmarks/check_obs.py telemetry --workers 3
 """
 
 from __future__ import annotations
@@ -122,6 +131,70 @@ def check_metrics_equal(left_path, right_path):
     return failures
 
 
+def check_telemetry(workers=3, max_points=60, out_dir="."):
+    """Run the telemetry-invariance matrix in-process; returns
+    failure messages (the four metrics dumps and both event streams
+    are left in *out_dir* as CI artifacts)."""
+    import tempfile
+
+    from repro.apps.ftpd import client1, FtpDaemon
+    from repro.injection import run_campaign
+    from repro.obs import check_contiguous, EventBus, load_profile
+
+    daemon = FtpDaemon()
+    out = pathlib.Path(out_dir)
+    failures = []
+    cores = {}
+    buses = {}
+
+    with tempfile.TemporaryDirectory() as scratch:
+        scratch = pathlib.Path(scratch)
+
+        def run(label, **kwargs):
+            metrics = out / ("telemetry-%s.metrics.json" % label)
+            run_campaign(daemon, "Client1", client1,
+                         max_points=max_points, metrics=str(metrics),
+                         **kwargs)
+            cores[label] = deterministic_core(
+                json.loads(metrics.read_text()))
+            print("ran %-12s -> %s" % (label, metrics))
+
+        run("off-serial")
+        run("off-workers", workers=workers)
+        for label, worker_count in (("on-serial", None),
+                                    ("on-workers", workers)):
+            buses[label] = EventBus()
+            run(label, workers=worker_count, telemetry=buses[label],
+                telemetry_campaign="gate",
+                profile=str(scratch / (label + ".profile")))
+            buses[label].save(out / ("telemetry-%s.events.jsonl"
+                                     % label))
+
+        baseline = cores["off-serial"]
+        for label, core in sorted(cores.items()):
+            if core != baseline:
+                failures.append(
+                    "deterministic metrics core of %s differs from "
+                    "off-serial" % label)
+        for label, bus in sorted(buses.items()):
+            problems = check_contiguous(bus.events())
+            for problem in problems:
+                failures.append("%s event stream: %s"
+                                % (label, problem))
+            if not any(event["type"] == "campaign-finished"
+                       for event in bus.events()):
+                failures.append("%s event stream never finished"
+                                % label)
+        serial_profile = load_profile(scratch / "on-serial.profile")
+        workers_profile = load_profile(scratch / "on-workers.profile")
+        if serial_profile["samples"] != workers_profile["samples"]:
+            failures.append(
+                "guest-sample profile differs between serial and "
+                "--workers %d (sampling is not deterministic)"
+                % workers)
+    return failures
+
+
 def main(argv=None):
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     commands = parser.add_subparsers(dest="command", required=True)
@@ -133,9 +206,23 @@ def main(argv=None):
         help="two registry dumps share a deterministic core")
     equal.add_argument("left")
     equal.add_argument("right")
+    telemetry = commands.add_parser(
+        "telemetry",
+        help="telemetry/sampler on vs off leaves the deterministic "
+             "core byte-identical (serial and sharded)")
+    telemetry.add_argument("--workers", type=int, default=3)
+    telemetry.add_argument("--max-points", type=int, default=60)
+    telemetry.add_argument("--out-dir", default=".")
     args = parser.parse_args(argv)
 
-    if args.command == "trace":
+    if args.command == "telemetry":
+        failures = check_telemetry(workers=args.workers,
+                                   max_points=args.max_points,
+                                   out_dir=args.out_dir)
+        if not failures:
+            print("telemetry plane is invariant: 4/4 cores "
+                  "identical, streams gap-free, profiles match")
+    elif args.command == "trace":
         failures = []
         for path in args.paths:
             failures.extend(check_trace(path))

@@ -35,6 +35,7 @@ DEFAULT_THRESHOLD = 0.25
 #: looked up in that file's top-level JSON object.
 METRICS = {
     "emulator_speed": ["instructions_per_sec"],
+    "sampler_overhead": ["sampled_instructions_per_sec"],
     "table1_ftp_timing": ["experiments_per_sec"],
     "snapshot_fork": ["experiments_per_sec", "restore_speedup"],
     "pruning": ["points_pruned_frac", "campaign_speedup"],

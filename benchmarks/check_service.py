@@ -6,7 +6,11 @@ Unix socket), submits two campaigns from two concurrent client
 connections -- the ftpd branch-bit cell and the pop3d register-bit
 cell -- and asserts that each streamed result set renders Table 1/3/5
 and Figure 4 inputs byte-identical to an undisturbed serial run of
-the same cell, with an identical deterministic metrics core.
+the same cell, with an identical deterministic metrics core.  A
+third connection subscribes to the telemetry stream for the whole
+concurrent phase: it must not perturb the results, and each
+campaign's event stream must arrive gap-free (contiguous per-campaign
+sequence numbers) ending in ``campaign-finished``.
 
 Then the shutdown path: a third campaign is submitted with a journal
 and the server is SIGTERMed mid-flight; the client must receive a
@@ -40,6 +44,7 @@ from repro.apps.pop3d import (CLIENT_FACTORIES as POP3_CLIENTS,
                               Pop3Daemon)
 from repro.injection import (CampaignResult, run_campaign,
                              run_fleet_campaign)
+from repro.obs import check_contiguous
 from repro.service import ServiceClient
 
 CELLS = {
@@ -114,14 +119,30 @@ def start_server(socket_path, workers):
 
 
 def check_concurrent(socket_path, references, max_points):
-    """Two clients, two campaigns, fully interleaved on one fleet."""
+    """Two clients, two campaigns, fully interleaved on one fleet --
+    with a telemetry subscriber attached for the duration."""
     failures = []
     outputs = {}
+    campaign_ids = {}
+    received = []
+    subscriber = ServiceClient(socket_path)
+    subscriber.subscribe()
+    drained = threading.Event()
+
+    def pump():
+        try:
+            for event in subscriber.telemetry():
+                received.append(event)
+        finally:
+            drained.set()
+
+    threading.Thread(target=pump, daemon=True).start()
 
     def run_cell(name):
         with ServiceClient(socket_path) as client:
             accepted = client.submit(CELLS[name],
                                      max_points=max_points)
+            campaign_ids[name] = accepted["campaign"]
             outputs[name] = client.collect(accepted["campaign"])
 
     threads = [threading.Thread(target=run_cell, args=(name,))
@@ -137,6 +158,28 @@ def check_concurrent(socket_path, references, max_points):
                             references[name])
         print("service %s: %d record(s), counts %r"
               % (name, len(records), done["counts"]))
+
+    # the subscriber saw both campaigns end, with no sequence gaps
+    deadline = time.monotonic() + 60
+    while time.monotonic() < deadline:
+        finished = {event.get("campaign") for event in received
+                    if event.get("type") == "campaign-finished"}
+        if all(cid in finished for cid in campaign_ids.values()):
+            break
+        time.sleep(0.1)
+    subscriber.close()
+    drained.wait(10)
+    for name, cid in sorted(campaign_ids.items()):
+        stream = [event for event in received
+                  if event.get("campaign") == cid]
+        for problem in check_contiguous(stream):
+            failures.append("telemetry %s: %s" % (name, problem))
+        if not stream or stream[-1].get("type") != "campaign-finished":
+            failures.append("telemetry %s: stream never finished "
+                            "(saw %d event(s))" % (name, len(stream)))
+        else:
+            print("telemetry %s: %d event(s), gap-free"
+                  % (name, len(stream)))
     return failures
 
 
@@ -225,7 +268,8 @@ def main(argv=None):
             print("  - " + failure, file=sys.stderr)
         return 1
     print("service gate passed: concurrent submissions serial-"
-          "identical, SIGTERM drain clean and resumable")
+          "identical under a live subscriber, event streams gap-free, "
+          "SIGTERM drain clean and resumable")
     return 0
 
 

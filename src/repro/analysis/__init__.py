@@ -2,6 +2,7 @@
 
 from .histogram import (build_histogram, format_histogram,
                         LatencyHistogram)
+from .htmlreport import build_html_report, write_html_report
 from .propagation import (analyze_propagation, format_propagation,
                           PropagationReport)
 from .serialize import (campaign_from_dict,
@@ -22,6 +23,7 @@ from .tables import (build_model_table, build_table1, build_table3,
 
 __all__ = [
     "build_histogram", "format_histogram", "LatencyHistogram",
+    "build_html_report", "write_html_report",
     "analyze_propagation", "format_propagation", "PropagationReport",
     "campaign_to_dict", "campaign_from_dict",
     "campaign_from_shard_journals", "save_campaign",

@@ -20,7 +20,13 @@ Commands
                campaign submissions (see :mod:`repro.service`).
 ``status``     summarise a campaign journal (and its shard files):
                completed points, quarantines, unit progress,
-               salvageable damage.
+               in-flight units, live ETA, salvageable damage.
+``top``        live terminal view of running campaigns: point a
+               target at a service socket (streams telemetry) or a
+               journal base path (polls markers and shard files).
+``report``     render a self-contained HTML campaign report from a
+               journal (plus optional ``--events`` / ``--profile``
+               artifacts).
 
 Every command takes ``--daemon`` (any daemon registered in
 :mod:`repro.apps.registry`; ``--app`` is a back-compat alias), and
@@ -75,6 +81,40 @@ def _progress(args):
     return ProgressReporter() if args.progress else None
 
 
+def _telemetry_kwargs(args):
+    """Map ``--events`` / ``--profile`` / ``--sample-period`` to the
+    engine's telemetry keywords.  Returns ``(bus, kwargs)``; the bus
+    is ``None`` unless ``--events`` asked for a stream (zero overhead
+    when off: no flag, no object, no emit sites)."""
+    kwargs = {}
+    bus = None
+    if getattr(args, "events", None):
+        from .obs.events import EventBus
+        bus = EventBus()
+        kwargs["telemetry"] = bus
+    if getattr(args, "sample_period", None):
+        from .obs.sampler import Sampler
+        kwargs["sampler"] = Sampler(getattr(args, "sample_period"))
+    if getattr(args, "profile", None):
+        kwargs["profile"] = args.profile
+    return bus, kwargs
+
+
+def _write_telemetry_artifacts(out, args, bus, daemon=None):
+    """Save the event stream and acknowledge the artifact paths (the
+    same contract as the ``trace:`` / ``metrics:`` lines)."""
+    if bus is not None and args.events:
+        bus.save(args.events)
+        out.write("events: %s (%d event(s))\n" % (args.events,
+                                                  len(bus)))
+    if getattr(args, "profile", None):
+        out.write("profile: %s\n" % args.profile)
+        if daemon is not None:
+            from .obs.sampler import hotspot_table, load_profile
+            out.write(hotspot_table(load_profile(args.profile),
+                                    daemon.module) + "\n")
+
+
 def _write_timing(out, campaign):
     timing = campaign.timing
     if not timing:
@@ -103,6 +143,7 @@ def cmd_campaign(args, out):
     if args.client not in clients:
         raise SystemExit("unknown client %r (have: %s)"
                          % (args.client, ", ".join(sorted(clients))))
+    bus, telemetry = _telemetry_kwargs(args)
     if args.workers and args.workers > 1:
         # thin client of the scheduler/fleet layers: a private warm
         # fleet runs this one campaign in-process
@@ -121,7 +162,7 @@ def cmd_campaign(args, out):
             journal_salvage=args.journal_salvage,
             full_restore=args.full_restore,
             prune=args.prune, audit_fraction=args.audit_fraction,
-            audit_seed=args.audit_seed)
+            audit_seed=args.audit_seed, **telemetry)
     else:
         campaign = run_campaign(
             daemon, args.client, clients[args.client],
@@ -139,7 +180,7 @@ def cmd_campaign(args, out):
             audit_seed=args.audit_seed,
             # SIGTERM/SIGINT checkpoint the campaign instead of
             # killing it; resume with --resume.
-            graceful_signals=True)
+            graceful_signals=True, **telemetry)
     if args.journal:
         if args.workers and args.workers > 1:
             out.write("journal: %s.shard0..%d\n"
@@ -150,6 +191,7 @@ def cmd_campaign(args, out):
         out.write("trace: %s\n" % args.trace)
     if args.metrics:
         out.write("metrics: %s\n" % args.metrics)
+    _write_telemetry_artifacts(out, args, bus, daemon=daemon)
     _write_timing(out, campaign)
     if campaign.quarantined_count:
         out.write("quarantined (unstable, excluded from percentages): "
@@ -205,20 +247,23 @@ def cmd_table4(args, out):
 def cmd_figure4(args, out):
     daemon, clients = _make_daemon(args.daemon)
     attacker = get_daemon_spec(args.daemon).attacker_client
+    bus, telemetry = _telemetry_kwargs(args)
     if args.workers and args.workers > 1:
         from .injection import run_fleet_campaign
         campaign = run_fleet_campaign(
             daemon, attacker, clients[attacker],
             workers=args.workers, graceful_signals=True,
             trace=args.trace, metrics=args.metrics,
-            progress=_progress(args))
+            progress=_progress(args), **telemetry)
     else:
         campaign = run_campaign(
             daemon, attacker, clients[attacker],
             workers=args.workers, trace=args.trace,
-            metrics=args.metrics, progress=_progress(args))
+            metrics=args.metrics, progress=_progress(args),
+            **telemetry)
     histogram = build_histogram(campaign.crash_latencies())
     out.write(format_histogram(histogram) + "\n")
+    _write_telemetry_artifacts(out, args, bus, daemon=daemon)
     _write_timing(out, campaign)
     return 0
 
@@ -330,6 +375,7 @@ def cmd_status(args, out):
     import os
     from .injection.parallel import discover_shard_journals
     from .injection.runner import CampaignJournal, JournalError
+    from .obs.top import format_eta, unit_progress
     paths = ([args.journal] if os.path.exists(args.journal) else [])
     paths += discover_shard_journals(args.journal)
     if not paths:
@@ -337,6 +383,7 @@ def cmd_status(args, out):
                          % (args.journal, args.journal))
     results = {}
     quarantined = {}
+    units = []
     damage = 0
     for path in paths:
         try:
@@ -361,11 +408,17 @@ def cmd_status(args, out):
         out.write("  results: %d   quarantined: %d\n"
                   % (len(shard_results), len(shard_quarantined)))
         if report.units:
-            last = report.units[-1]
-            out.write("  work units: %d completed (last %s, %d "
-                      "record(s))\n"
-                      % (len(report.units), last.get("unit"),
-                         last.get("records", 0)))
+            units.extend(report.units)
+            in_flight, done, __, __, __ = unit_progress(report.units)
+            line = "  work units: %d completed" % done
+            if in_flight:
+                shown = [str(marker.get("unit"))
+                         for marker in in_flight[:4]]
+                more = len(in_flight) - len(shown)
+                line += ", %d in flight (%s%s)" % (
+                    len(in_flight), ", ".join(shown),
+                    ", +%d more" % more if more else "")
+            out.write(line + "\n")
         if report.corrupt_count or report.truncated_tail:
             damage += 1
             notes = []
@@ -379,9 +432,135 @@ def cmd_status(args, out):
     out.write("total: %d completed point(s), %d quarantined, across "
               "%d journal file(s)\n"
               % (len(results), len(quarantined), len(paths)))
+    in_flight, __, total_points, first_ts, last_ts = \
+        unit_progress(units)
+    if total_points:
+        completed = len(results)
+        remaining = max(0, total_points - completed)
+        line = ("progress: %d/%d point(s) (%.0f%%)"
+                % (completed, total_points,
+                   100.0 * completed / total_points))
+        if remaining and completed and last_ts and first_ts \
+                and last_ts > first_ts:
+            rate = completed / (last_ts - first_ts)
+            line += ", eta %s at the journaled rate" \
+                % format_eta(remaining / rate)
+        out.write(line + "\n")
     out.write("resume with: repro campaign --journal %s --resume%s\n"
               % (args.journal,
                  " --journal-salvage" if damage else ""))
+    return 0
+
+
+def cmd_top(args, out):
+    import os
+    import stat
+    try:
+        mode = os.stat(args.target).st_mode
+    except OSError:
+        mode = 0
+    if stat.S_ISSOCK(mode):
+        return _top_socket(args, out)
+    return _top_journal(args, out)
+
+
+def _render_frame(out, frame, live):
+    """One frame; live TTY mode repaints in place (ANSI clear)."""
+    if live and getattr(out, "isatty", lambda: False)():
+        out.write("\x1b[2J\x1b[H")
+    out.write(frame + "\n")
+    out.flush()
+
+
+def _top_journal(args, out):
+    """``repro top <journal>``: poll the journal's unit markers and
+    shard files until the campaign looks finished (or forever with a
+    live TTY; ^C exits cleanly)."""
+    import time
+    from .obs.top import render_top, view_from_journals
+    try:
+        while True:
+            try:
+                view = view_from_journals(args.target)
+            except FileNotFoundError as missing:
+                raise SystemExit(str(missing))
+            _render_frame(out, render_top({args.target: view}),
+                          live=not args.once)
+            if args.once or view.finished:
+                return 0
+            time.sleep(args.interval)
+    except KeyboardInterrupt:
+        return 0
+
+
+def _top_socket(args, out):
+    """``repro top <socket>``: subscribe to the service's telemetry
+    plane and fold the live event stream into frames.  A reader
+    thread pumps the blocking line protocol; the main loop renders
+    every ``--interval`` seconds (one frame with ``--once``)."""
+    import threading
+    import time
+    from .obs.top import fold_events, render_top
+    from .service import ServiceClient
+    client = ServiceClient(args.target)
+    received = []
+    drained = threading.Event()
+
+    def pump():
+        try:
+            for event in client.telemetry():
+                received.append(event)
+        finally:
+            drained.set()
+
+    client.subscribe()
+    thread = threading.Thread(target=pump, daemon=True)
+    thread.start()
+    views = {}
+    cursor = 0
+    try:
+        while True:
+            time.sleep(args.interval)
+            batch = received[cursor:]
+            cursor += len(batch)
+            views = fold_events(batch, views)
+            _render_frame(out, render_top(views),
+                          live=not args.once)
+            if args.once or drained.is_set():
+                return 0
+    except KeyboardInterrupt:
+        return 0
+    finally:
+        client.close()
+
+
+def cmd_report(args, out):
+    import os
+    from .analysis.htmlreport import write_html_report
+    from .injection.parallel import discover_shard_journals
+    from .injection.runner import CampaignJournal, JournalError
+    paths = ([args.journal] if os.path.exists(args.journal) else [])
+    paths += discover_shard_journals(args.journal)
+    if not paths:
+        raise SystemExit("no journal at %s (or %s.shard*)"
+                         % (args.journal, args.journal))
+    # Symbolizing hotspots needs the compiled program's module; the
+    # journal meta records which daemon that is.
+    module = None
+    if args.profile:
+        for path in paths:
+            try:
+                meta, __, __, __ = CampaignJournal.load_with_report(
+                    path, strict=False)
+            except JournalError:
+                continue
+            if meta is not None:
+                module = _spec_from_journal_meta(meta).build().module
+                break
+    output = args.out if args.out else args.journal + ".html"
+    write_html_report(output, args.journal, events_path=args.events,
+                      profile_path=args.profile, module=module)
+    out.write("report: %s\n" % output)
     return 0
 
 
@@ -559,6 +738,37 @@ def build_parser():
                              "<journal>.shardK are discovered too)")
     status.set_defaults(handler=cmd_status)
 
+    top = commands.add_parser(
+        "top", parents=[verbosity],
+        help="live campaign progress view (service socket or "
+             "journal)")
+    top.add_argument("target",
+                     help="service Unix socket (streams telemetry) "
+                          "or journal base path (polls markers)")
+    top.add_argument("--interval", type=float, default=1.0,
+                     metavar="SECONDS",
+                     help="refresh period (default 1s)")
+    top.add_argument("--once", action="store_true",
+                     help="render one frame and exit (scripts, CI)")
+    top.set_defaults(handler=cmd_top)
+
+    report = commands.add_parser(
+        "report", parents=[verbosity],
+        help="self-contained HTML campaign report from a journal")
+    report.add_argument("journal",
+                        help="journal base path (shard files "
+                             "<journal>.shardK are discovered too)")
+    report.add_argument("--out", default=None, metavar="FILE",
+                        help="output path (default <journal>.html)")
+    report.add_argument("--events", default=None, metavar="FILE",
+                        help="telemetry stream saved by campaign "
+                             "--events: adds the supervision "
+                             "timeline")
+    report.add_argument("--profile", default=None, metavar="FILE",
+                        help="profile saved by campaign --profile: "
+                             "adds guest hotspot tables")
+    report.set_defaults(handler=cmd_report)
+
     return parser
 
 
@@ -571,6 +781,20 @@ def _add_obs_args(parser):
                         help="write the unified metrics registry "
                              "(outcome tallies, crash-latency "
                              "histogram, engine counters) as JSON")
+    parser.add_argument("--events", default=None, metavar="FILE",
+                        help="write the campaign's telemetry event "
+                             "stream (unit/worker/outcome "
+                             "milestones) as JSONL; replayable by "
+                             "'repro report --events'")
+    parser.add_argument("--profile", default=None, metavar="FILE",
+                        help="write a deterministic guest-EIP "
+                             "sampling profile as JSON (implies the "
+                             "default --sample-period)")
+    parser.add_argument("--sample-period", type=int, default=None,
+                        metavar="N",
+                        help="sample the guest EIP every N retired "
+                             "instructions (default 997 when "
+                             "--profile is set)")
 
 
 def main(argv=None, out=None):

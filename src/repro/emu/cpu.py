@@ -121,6 +121,14 @@ class CPU:
         #: ends with the *faulting* instruction after a crash (it did
         #: not retire; ``instret`` stays exact).
         self.forensic_ring = None
+        #: optional sampling profiler (:mod:`repro.obs.sampler`).
+        #: Same zero-overhead contract as the forensic ring: ``None``
+        #: leaves the plain loops untouched; a sampler switches
+        #: :meth:`run` to the sampling loop, which counts down whole
+        #: supersteps and indexes ``block[3]`` for sampled EIPs.
+        #: When both a ring and a sampler are attached the forensic
+        #: loop wins (crash evidence outranks profiling).
+        self.sampler = None
         self._next_eip = 0
         self._dispatch = self._build_dispatch()
 
@@ -520,6 +528,8 @@ class CPU:
             return self._run_stepwise(max_instructions)
         if self.forensic_ring is not None:
             return self._run_forensic(max_instructions)
+        if self.sampler is not None:
+            return self._run_sampled(max_instructions)
         perf = self.perf
         blocks = self.blocks
         try:
@@ -603,6 +613,76 @@ class CPU:
                 self.step()
         except CpuFault as fault:
             return ("crash", fault)
+        return ("exit", getattr(self, "exit_code", 0))
+
+    def _run_sampled(self, max_instructions):
+        """:meth:`run` with a sampling profiler attached.
+
+        A separate loop (same discipline as :meth:`_run_forensic`) so
+        the plain fast path pays nothing when profiling is off.
+        ``skip`` counts instructions until the next sample; a whole
+        superstep is usually skipped with one comparison and one
+        subtraction, and sampled EIPs come from the prebuilt
+        ``block[3]`` address tuple.  Sampling is in *retired
+        instructions*, so a mid-block fault samples only the ops that
+        retired before the faulting one -- the profile stays exact
+        and deterministic.
+        """
+        perf = self.perf
+        blocks = self.blocks
+        sampler = self.sampler
+        samples = sampler.samples
+        period = sampler.period
+        skip = sampler.skip
+        try:
+            while not self.halted:
+                remaining = max_instructions - self.instret
+                if remaining <= 0:
+                    return ("limit", None)
+                block = blocks.get(self.eip)
+                if block is None:
+                    block = self._block_at(self.eip)
+                if block is not None and len(block[0]) <= remaining:
+                    fns = block[0]
+                    try:
+                        for fn in fns:
+                            fn()
+                    except BaseException:
+                        addrs = block[3]
+                        executed = addrs.index(self.eip)
+                        while skip < executed:
+                            eip = addrs[skip]
+                            samples[eip] = samples.get(eip, 0) + 1
+                            skip += period
+                        skip -= executed
+                        self.instret += executed
+                        perf.superstep_entries += 1
+                        perf.superstep_instructions += executed
+                        perf.prepared_hits += executed
+                        raise
+                    count = len(fns)
+                    if skip < count:
+                        addrs = block[3]
+                        while skip < count:
+                            eip = addrs[skip]
+                            samples[eip] = samples.get(eip, 0) + 1
+                            skip += period
+                    skip -= count
+                    self.instret += count
+                    perf.superstep_entries += 1
+                    perf.superstep_instructions += count
+                    perf.prepared_hits += count
+                    continue
+                if skip == 0:
+                    eip = self.eip
+                    samples[eip] = samples.get(eip, 0) + 1
+                    skip = period
+                self.step()
+                skip -= 1
+        except CpuFault as fault:
+            return ("crash", fault)
+        finally:
+            sampler.skip = skip
         return ("exit", getattr(self, "exit_code", 0))
 
     def _run_stepwise(self, max_instructions):

@@ -195,7 +195,8 @@ def run_campaign(daemon, client_name, client_factory,
                  graceful_signals=False, journal_fsync=None,
                  journal_salvage=False, chaos=None, supervisor=None,
                  full_restore=False, session_cache=None, prune=False,
-                 audit_fraction=0.0, audit_seed=0):
+                 audit_fraction=0.0, audit_seed=0, telemetry=None,
+                 telemetry_campaign=None, sampler=None, profile=None):
     """Run one full selective-exhaustive campaign.
 
     ``fault_model`` selects the injected fault family by registry name
@@ -259,6 +260,16 @@ def run_campaign(daemon, client_name, client_factory,
     e.g. a fault-model sweep over the same daemon reuses one site
     snapshot per instruction (ignored by parallel runs, whose workers
     each keep a private cache).
+
+    Telemetry (:mod:`repro.obs.events` / :mod:`repro.obs.sampler`):
+    ``telemetry`` is an :class:`~repro.obs.events.EventBus` receiving
+    typed campaign events (``telemetry_campaign`` labels them when one
+    bus serves several campaigns); ``sampler`` attaches a
+    deterministic instruction-count sampling profiler (an instance, a
+    period, or ``True`` for the default period) and ``profile`` saves
+    its merged profile JSON at that path.  Both are volatile-only:
+    the deterministic metrics core, tables and figures are
+    byte-identical with telemetry and sampling enabled.
     """
     if workers is not None and workers > 1:
         from .parallel import ParallelCampaignRunner
@@ -275,7 +286,9 @@ def run_campaign(daemon, client_name, client_factory,
             journal_salvage=journal_salvage, chaos=chaos,
             supervisor=supervisor, full_restore=full_restore,
             prune=prune, audit_fraction=audit_fraction,
-            audit_seed=audit_seed)
+            audit_seed=audit_seed, telemetry=telemetry,
+            telemetry_campaign=telemetry_campaign, sampler=sampler,
+            profile=profile)
         return runner.run()
     from .runner import CampaignRunner
     # a serial run is "shard 0, attempt 0" to a chaos policy (an
@@ -296,6 +309,9 @@ def run_campaign(daemon, client_name, client_factory,
                             journal_salvage=journal_salvage,
                             chaos=chaos_agent,
                             full_restore=full_restore,
+                            telemetry=telemetry,
+                            telemetry_campaign=telemetry_campaign,
+                            sampler=sampler, profile=profile,
                             session_cache=session_cache, prune=prune,
                             audit_fraction=audit_fraction,
                             audit_seed=audit_seed)

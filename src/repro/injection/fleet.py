@@ -50,6 +50,7 @@ from ..apps.common import CONNECTION_INSTRUCTION_BUDGET
 from ..emu.perf import PerfCounters
 from ..obs.log import get_logger
 from ..obs.metrics import MetricsRegistry, record_supervision_metrics
+from ..obs.sampler import as_sampler, Sampler
 from ..obs.trace import merge_trace_files, Tracer
 from .faultmodels import get_fault_model
 from .golden import record_golden
@@ -222,6 +223,10 @@ def _run_unit(emit, stop, ctx, unit, daemons, goldens, sessions,
         # progress ticks double as the liveness heartbeat
         emit("progress", cid, unit.unit_id, done, total)
 
+    # per-unit sampler: guest samples are deterministic per unit and
+    # ship home in the payload for the parent to fold together.
+    sampler = (Sampler(ctx["sample_period"])
+               if ctx.get("sample_period") else None)
     runner = CampaignRunner(
         daemon, ctx["client_name"], ctx["client_factory"],
         encoding=ctx["encoding"], kinds=ctx["kinds"],
@@ -237,7 +242,8 @@ def _run_unit(emit, stop, ctx, unit, daemons, goldens, sessions,
         journal_salvage=ctx["journal_salvage"], chaos=chaos,
         full_restore=ctx["full_restore"], session_cache=sessions,
         prune=ctx["prune"], audit_fraction=ctx["audit_fraction"],
-        audit_seed=ctx["audit_seed"], golden=goldens.get(cell))
+        audit_seed=ctx["audit_seed"], golden=goldens.get(cell),
+        sampler=sampler)
     campaign = runner.run()
     goldens[cell] = runner._golden
     # The worker journal accumulates every unit of this campaign, and
@@ -265,6 +271,7 @@ def _run_unit(emit, stop, ctx, unit, daemons, goldens, sessions,
         "timing": timing,
         "metrics": metrics,
         "trace": tracer.events() if tracer is not None else None,
+        "profile": sampler.as_dict() if sampler is not None else None,
     })
 
 
@@ -302,7 +309,8 @@ class FleetCampaignState:
                  trace_path, root_cm, root_span, metrics_path,
                  forensics, journal_fsync, journal_salvage,
                  full_restore, prune, audit_fraction, audit_seed,
-                 progress, on_unit, resumed_quarantined):
+                 progress, on_unit, resumed_quarantined,
+                 telemetry_campaign=None, sampler=None, profile=None):
         self.cid = cid
         self.daemon = daemon
         self.client_name = client_name
@@ -336,6 +344,14 @@ class FleetCampaignState:
         self.progress = progress
         self.on_unit = on_unit
         self.resumed_quarantined = resumed_quarantined
+        #: telemetry label (defaults to the fleet-local cid), the
+        #: parent-side profile sampler worker profiles fold into, and
+        #: where the merged profile is saved at finalize.
+        self.telemetry_campaign = (telemetry_campaign
+                                   if telemetry_campaign is not None
+                                   else cid)
+        self.sampler = sampler
+        self.profile_path = profile
         self.started = time.monotonic()
         #: unit payloads keyed by unit index (exact metric absorption
         #: happens in unit order at finalize).
@@ -384,6 +400,8 @@ class FleetCampaignState:
             "prune": self.prune,
             "audit_fraction": self.audit_fraction,
             "audit_seed": self.audit_seed,
+            "sample_period": (self.sampler.period
+                              if self.sampler is not None else None),
         }
 
 
@@ -414,12 +432,17 @@ class WorkerFleet:
     in-flight unit for the service's graceful shutdown.
     """
 
-    def __init__(self, config=None, chaos=None):
+    def __init__(self, config=None, chaos=None, telemetry=None):
         self.config = config if config is not None else FleetConfig()
         if self.config.workers < 1:
             raise ValueError("workers must be >= 1, got %r"
                              % self.config.workers)
         self.chaos = chaos
+        #: :class:`~repro.obs.events.EventBus` for live campaign
+        #: events (``self.events`` is the supervision counter dict, a
+        #: different thing).  Only the parent emits, on message
+        #: receipt, so per-campaign sequence numbers stay contiguous.
+        self.telemetry = telemetry
         self.slots = {}
         self.campaigns = {}
         self.events = {name: 0 for name in EVENT_NAMES}
@@ -499,6 +522,21 @@ class WorkerFleet:
         slot.last_beat = time.monotonic()
         slot.dead_since = None
 
+    # -- telemetry -----------------------------------------------------
+
+    def _emit(self, state, type, **payload):
+        """Campaign-scoped telemetry event."""
+        if self.telemetry is not None:
+            self.telemetry.emit(type,
+                                campaign=state.telemetry_campaign,
+                                **payload)
+
+    def _emit_fleet(self, type, **payload):
+        """Fleet-scoped (campaign-less) telemetry event: worker
+        lifecycle is shared by every live campaign."""
+        if self.telemetry is not None:
+            self.telemetry.emit(type, **payload)
+
     # -- submission ----------------------------------------------------
 
     def submit(self, daemon, client_name, client_factory,
@@ -509,12 +547,18 @@ class WorkerFleet:
                daemon_factory=None, fault_model=None, trace=None,
                metrics=None, forensics=False, journal_fsync=None,
                journal_salvage=False, full_restore=False, prune=False,
-               audit_fraction=0.0, audit_seed=0, on_unit=None):
+               audit_fraction=0.0, audit_seed=0, on_unit=None,
+               telemetry_campaign=None, sampler=None, profile=None):
         """Submit one campaign; returns its campaign id.
 
         Mirrors :func:`repro.injection.campaign.run_campaign`'s
         options.  ``on_unit(state, unit, payload)`` is called as each
         unit completes (the service streams from it).
+        ``telemetry_campaign`` labels this campaign's events on the
+        fleet's bus (default: the fleet-local cid); ``sampler`` /
+        ``profile`` attach the sampling profiler (workers sample their
+        own units, the parent folds the profiles and saves the merge
+        at ``profile``).
         """
         if not self._started:
             self.start()
@@ -535,13 +579,22 @@ class WorkerFleet:
         root_cm = tracer.span("campaign", workers=self.config.workers,
                               campaign=cid)
         root_span = root_cm.__enter__()
+        if sampler is None and profile is not None:
+            sampler = Sampler()
+        sampler = as_sampler(sampler)
         cell = "%s:%s:%s" % (type(daemon).__name__, client_name,
                              budget)
         golden = self.goldens.get(cell)
         golden_reused = golden is not None
         if golden is None:
             with tracer.span("golden-run") as span:
-                golden = record_golden(daemon, client_factory, budget)
+                if sampler is not None:
+                    with sampler.host_phase("golden-run"):
+                        golden = record_golden(daemon, client_factory,
+                                               budget)
+                else:
+                    golden = record_golden(daemon, client_factory,
+                                           budget)
                 span.set("coverage_eips", len(golden.coverage))
             self.goldens[cell] = golden
         if ranges is None:
@@ -572,8 +625,15 @@ class WorkerFleet:
             ranges, tracer, trace_path, root_cm, root_span, metrics,
             forensics, journal_fsync, journal_salvage, full_restore,
             prune, audit_fraction, audit_seed, progress, on_unit,
-            resumed_quarantined)
+            resumed_quarantined,
+            telemetry_campaign=telemetry_campaign, sampler=sampler,
+            profile=profile)
         self.campaigns[cid] = state
+        self._emit(state, "golden", reused=golden_reused,
+                   coverage_eips=len(golden.coverage))
+        self._emit(state, "campaign-started", points=len(points),
+                   workers=self.config.workers,
+                   resumed=len(scheduler.results))
         heartbeat = self.config.heartbeat_timeout
         if heartbeat is None:
             wall = watchdog_config.wall_clock_limit or 60.0
@@ -689,9 +749,39 @@ class WorkerFleet:
         state.partials.pop(slot.worker, None)
         slot.current = None
         slot.status = IDLE
+        if state.sampler is not None:
+            state.sampler.absorb_dict(payload.get("profile"))
+        self._mark_unit(state, unit, status="done",
+                        records=len(payload["results"])
+                        + len(payload["quarantined"]))
+        self._emit(state, "unit-finished", unit=unit.unit_id,
+                   worker=slot.worker,
+                   results=len(payload["results"]),
+                   quarantined=len(payload["quarantined"]),
+                   completed=scheduler.completed,
+                   total=scheduler.total)
+        if self.telemetry is not None:
+            self.telemetry.emit_outcomes(state.telemetry_campaign,
+                                         payload["results"])
         state.report_progress()
         if state.on_unit is not None:
             state.on_unit(state, unit, payload)
+
+    def _mark_unit(self, state, unit, status, records=0, worker=None):
+        """Parent-side unit marker in the *base* journal (workers own
+        only their ``.shardK`` files, so the base path has a single
+        appender and carries pure progress metadata: ``repro status``
+        and ``repro top`` read in-flight units and the live ETA from
+        it)."""
+        if state.journal is None:
+            return
+        try:
+            CampaignJournal.mark_unit(
+                state.journal, unit.unit_id, records,
+                campaign=state.cid, status=status,
+                total=state.scheduler.total)
+        except OSError:
+            pass          # advisory metadata only, never fatal
 
     def _release_unit(self, slot, state, salvage):
         """Give a unit back to its scheduler (worker checkpointed,
@@ -789,6 +879,9 @@ class WorkerFleet:
         if slot.restarts >= slot.max_restarts:
             slot.status = RETIRED
             self.events["failed_shards"] += 1
+            self._emit_fleet("worker-retired", worker=slot.worker,
+                             incarnation=slot.incarnation,
+                             restarts=slot.restarts)
             _LOGGER.warning(
                 "%s after %d restart(s); retiring worker %d (its "
                 "units migrate to siblings)", detail.splitlines()[0],
@@ -798,6 +891,9 @@ class WorkerFleet:
         delay = backoff_delay(self.config, slot.restarts)
         slot.status = BACKOFF
         slot.resume_due = time.monotonic() + delay
+        self._emit_fleet("worker-backoff", worker=slot.worker,
+                         incarnation=slot.incarnation,
+                         restarts=slot.restarts, delay=round(delay, 3))
         _LOGGER.warning("%s; respawning in %.1fs (restart %d/%d)",
                         detail.splitlines()[0], delay, slot.restarts,
                         slot.max_restarts)
@@ -805,6 +901,9 @@ class WorkerFleet:
     def _respawn(self, slot):
         self.events["respawns"] += 1
         slot.incarnation += 1
+        self._emit_fleet("worker-respawn", worker=slot.worker,
+                         incarnation=slot.incarnation,
+                         restarts=slot.restarts)
         for state in self.campaigns.values():
             state.tracer.instant(
                 "fleet-respawn", cat="supervisor", worker=slot.worker,
@@ -861,6 +960,9 @@ class WorkerFleet:
         slot.current = (state.cid, unit)
         slot.status = BUSY
         slot.last_beat = time.monotonic()
+        self._mark_unit(state, unit, status="started")
+        self._emit(state, "unit-started", unit=unit.unit_id,
+                   worker=slot.worker, points=len(unit.points))
         return True
 
     # -- inline fallback -----------------------------------------------
@@ -910,7 +1012,14 @@ class WorkerFleet:
             full_restore=state.full_restore,
             session_cache=self._inline_sessions,
             prune=state.prune, audit_fraction=state.audit_fraction,
-            audit_seed=state.audit_seed, golden=state.golden)
+            audit_seed=state.audit_seed, golden=state.golden,
+            # inline units run in the parent, feeding the campaign's
+            # own sampler directly (no profile payload to fold).
+            sampler=state.sampler)
+        self._mark_unit(state, unit, status="started")
+        self._emit(state, "unit-started", unit=unit.unit_id,
+                   worker=self._inline_tid, points=len(unit.points),
+                   inline=True)
         campaign = runner.run()
         unit_keys = set(unit.keys)
         quarantined = [entry for entry in campaign.quarantined
@@ -939,6 +1048,18 @@ class WorkerFleet:
         scheduler.complete(unit)
         state.payloads[unit.index] = payload
         state.executed += payload["timing"].get("executed", 0)
+        self._mark_unit(state, unit, status="done",
+                        records=len(payload["results"])
+                        + len(payload["quarantined"]))
+        self._emit(state, "unit-finished", unit=unit.unit_id,
+                   worker=self._inline_tid,
+                   results=len(payload["results"]),
+                   quarantined=len(payload["quarantined"]),
+                   completed=scheduler.completed,
+                   total=scheduler.total, inline=True)
+        if self.telemetry is not None:
+            self.telemetry.emit_outcomes(state.telemetry_campaign,
+                                         payload["results"])
         state.report_progress()
         if state.on_unit is not None:
             state.on_unit(state, unit, payload)
@@ -989,6 +1110,8 @@ class WorkerFleet:
         for state in self.campaigns.values():
             if not state.finished and state.interrupted is None:
                 state.interrupted = reason
+                self._emit(state, "checkpoint", reason=reason,
+                           completed=state.scheduler.completed)
         self._draining = False
 
     # -- finalize ------------------------------------------------------
@@ -1014,11 +1137,21 @@ class WorkerFleet:
                 state.interrupted or "incomplete",
                 journal=state.journal,
                 completed=state.scheduler.completed)
-        campaign, registry = self._merge(state)
+        if state.sampler is not None:
+            with state.sampler.host_phase("merge"):
+                campaign, registry = self._merge(state)
+        else:
+            campaign, registry = self._merge(state)
+        self._emit(state, "campaign-finished",
+                   counts=campaign.counts(),
+                   quarantined=len(campaign.quarantined))
         self._flush_observability(state, registry)
         return campaign
 
     def _flush_observability(self, state, registry):
+        if state.profile_path is not None \
+                and state.sampler is not None:
+            state.sampler.save(state.profile_path)
         if state.trace_path is not None:
             events = list(state.tracer.events())
             for index in sorted(state.payloads):
@@ -1101,7 +1234,7 @@ class WorkerFleet:
 def run_fleet_campaign(daemon, client_name, client_factory, workers=2,
                        fleet=None, config=None, chaos=None,
                        deadline=None, graceful_signals=False,
-                       **options):
+                       telemetry=None, **options):
     """Run one campaign on a (possibly shared) warm fleet.
 
     With ``fleet=None`` a private fleet is started and stopped around
@@ -1116,7 +1249,7 @@ def run_fleet_campaign(daemon, client_name, client_factory, workers=2,
     if fleet is None:
         if config is None:
             config = FleetConfig(workers=workers)
-        fleet = WorkerFleet(config, chaos=chaos)
+        fleet = WorkerFleet(config, chaos=chaos, telemetry=telemetry)
         fleet.start()
     stop = {"reason": None}
     restore = (install_stop_handlers(

@@ -74,6 +74,10 @@ class BreakpointSession:
         self.restore_stats = {"restores": 0, "pristine_skips": 0,
                               "pages_written": 0, "kernel_reuses": 0,
                               "kernel_rewinds": 0}
+        #: optional :class:`repro.obs.sampler.Sampler` attributing the
+        #: restore path's host wall clock (rebound per runner, like
+        #: ``run_fn``); ``None`` keeps restores instrumentation-free.
+        self.sampler = None
         self.arrival = self.process.run_until(breakpoint_address, budget)
         self.reached = self.arrival.kind == "breakpoint"
         if self.reached:
@@ -101,6 +105,13 @@ class BreakpointSession:
         installed kernel clone has never been touched, so the whole
         restore is skipped -- the common case for NA fast exits.
         """
+        sampler = self.sampler
+        if sampler is not None:
+            with sampler.host_phase("restore"):
+                return self._restore_impl()
+        return self._restore_impl()
+
+    def _restore_impl(self):
         if self._pristine:
             self._pristine = False
             self.restore_stats["pristine_skips"] += 1
@@ -157,6 +168,7 @@ class BreakpointSession:
         sibling.activation_instret = self.activation_instret
         sibling._dirty = set()
         sibling._perf_taken = {}
+        sibling.sampler = None
         sibling.restore_stats = {"restores": 0, "pristine_skips": 0,
                                  "pages_written": 0, "kernel_reuses": 0,
                                  "kernel_rewinds": 0}

@@ -49,6 +49,7 @@ import traceback
 from ..apps.common import CONNECTION_INSTRUCTION_BUDGET
 from ..emu.perf import PerfCounters
 from ..obs.metrics import MetricsRegistry, record_supervision_metrics
+from ..obs.sampler import as_sampler, Sampler
 from ..obs.trace import (as_tracer, merge_trace_files,
                          shard_trace_path, Tracer)
 from .faultmodels import get_fault_model
@@ -213,6 +214,12 @@ def _shard_worker_main(spec, conn):
         policy = spec.get("chaos")
         chaos = (policy.agent(shard, attempt)
                  if policy is not None else None)
+        # Guest sampling is deterministic per shard (instruction
+        # counts), so each worker runs its own sampler and ships the
+        # profile dict home in the ``done`` payload for the parent to
+        # fold together (the absorb_dict pattern, like metrics).
+        sampler = (Sampler(spec["sample_period"])
+                   if spec.get("sample_period") else None)
         runner = CampaignRunner(
             daemon, spec["client_name"], spec["client_factory"],
             encoding=spec["encoding"], kinds=spec["kinds"],
@@ -230,7 +237,8 @@ def _shard_worker_main(spec, conn):
             full_restore=spec.get("full_restore", False),
             prune=spec.get("prune", False),
             audit_fraction=spec.get("audit_fraction", 0.0),
-            audit_seed=spec.get("audit_seed", 0))
+            audit_seed=spec.get("audit_seed", 0),
+            sampler=sampler)
         campaign = runner.run()
         timing = dict(campaign.timing or {})
         timing.update(shard=shard, setup=setup,
@@ -242,6 +250,8 @@ def _shard_worker_main(spec, conn):
                             for entry in campaign.quarantined],
             "timing": timing,
             "metrics": campaign.metrics,
+            "profile": (sampler.as_dict()
+                        if sampler is not None else None),
         })
     except CampaignInterrupted as interrupted:
         emit("checkpoint", interrupted.completed)
@@ -273,7 +283,8 @@ class ParallelCampaignRunner:
                  graceful_signals=False, journal_fsync=None,
                  journal_salvage=False, chaos=None, supervisor=None,
                  full_restore=False, prune=False, audit_fraction=0.0,
-                 audit_seed=0):
+                 audit_seed=0, telemetry=None, telemetry_campaign=None,
+                 sampler=None, profile=None):
         from .campaign import ENCODING_OLD
         if workers < 1:
             raise ValueError("workers must be >= 1, got %r" % workers)
@@ -343,6 +354,18 @@ class ParallelCampaignRunner:
         self.prune = prune
         self.audit_fraction = audit_fraction
         self.audit_seed = audit_seed
+        #: telemetry: parent-level campaign events (workers report
+        #: over their pipes; the parent is the only emitter so
+        #: per-campaign sequence numbers stay contiguous).  ``sampler``
+        #: seeds one parent sampler whose period every shard copies;
+        #: shard profiles fold back into it and ``profile`` saves the
+        #: merged result.
+        self.telemetry = telemetry
+        self.telemetry_campaign = telemetry_campaign
+        self.profile_path = profile
+        if sampler is None and profile is not None:
+            sampler = Sampler()
+        self.sampler = as_sampler(sampler)
         self._supervision = None
 
     # -- public entry point --------------------------------------------
@@ -355,6 +378,10 @@ class ParallelCampaignRunner:
                 span.set("experiments", len(campaign.results))
                 span.set("shards", shard_count)
             return campaign
+        except CampaignInterrupted as interrupted:
+            self._emit("checkpoint", reason=interrupted.reason,
+                       completed=interrupted.completed)
+            raise
         finally:
             # Flush even on a checkpoint exit (CampaignInterrupted):
             # an interrupted campaign still leaves a loadable merged
@@ -384,6 +411,13 @@ class ParallelCampaignRunner:
                     record_supervision_metrics(registry,
                                                supervision.events)
             registry.save(self.metrics_path)
+        if self.profile_path is not None and self.sampler is not None:
+            self.sampler.save(self.profile_path)
+
+    def _emit(self, type, **payload):
+        if self.telemetry is not None:
+            self.telemetry.emit(type, campaign=self.telemetry_campaign,
+                                **payload)
 
     def _run_traced(self):
         from ..analysis.serialize import (quarantined_from_dict,
@@ -391,10 +425,21 @@ class ParallelCampaignRunner:
         from .campaign import CampaignResult
         started = time.monotonic()
         with self.tracer.span("golden-run") as span:
-            golden = record_golden(self.daemon, self.client_factory,
-                                   self.budget)
+            if self.sampler is not None:
+                with self.sampler.host_phase("golden-run"):
+                    golden = record_golden(self.daemon,
+                                           self.client_factory,
+                                           self.budget)
+            else:
+                golden = record_golden(self.daemon,
+                                       self.client_factory,
+                                       self.budget)
             span.set("coverage_eips", len(golden.coverage))
+        self._emit("golden", reused=False,
+                   coverage_eips=len(golden.coverage))
         points = self._enumerate()
+        self._emit("campaign-started", points=len(points),
+                   workers=self.workers)
         order = {_point_key(point): index
                  for index, point in enumerate(points)}
         done_results, done_quarantined = self._load_resume(order)
@@ -405,6 +450,10 @@ class ParallelCampaignRunner:
         payloads = self._run_shards(shards, len(points),
                                     len(done_results)
                                     + len(done_quarantined))
+        if self.sampler is not None:
+            with self.sampler.host_phase("merge"):
+                for payload in payloads:       # shard order
+                    self.sampler.absorb_dict(payload.get("profile"))
         results = dict(done_results)
         quarantined = dict(done_quarantined)
         for payload in payloads:
@@ -452,6 +501,11 @@ class ParallelCampaignRunner:
                             done_quarantined, order, len(points),
                             golden, wall_clock, executed,
                             max(1, len(shards)))
+        if self.telemetry is not None:
+            self.telemetry.emit_outcomes(self.telemetry_campaign,
+                                         campaign.results)
+        self._emit("campaign-finished", counts=campaign.counts(),
+                   quarantined=len(campaign.quarantined))
         return campaign, len(shards)
 
     def _merge_metrics(self, campaign, payloads, done_results,
@@ -572,6 +626,8 @@ class ParallelCampaignRunner:
             "prune": self.prune,
             "audit_fraction": self.audit_fraction,
             "audit_seed": self.audit_seed,
+            "sample_period": (self.sampler.period
+                              if self.sampler is not None else None),
         }
 
     def _run_shards(self, shards, total_points, resumed_points):
@@ -616,7 +672,10 @@ class ParallelCampaignRunner:
             full_restore=self.full_restore,
             prune=self.prune, audit_fraction=self.audit_fraction,
             audit_seed=self.audit_seed,
-            session_cache=session_cache)
+            session_cache=session_cache,
+            # inline completions run in the parent, so they feed the
+            # parent's sampler directly (no profile payload to merge).
+            sampler=self.sampler)
         campaign = runner.run()
         timing = dict(campaign.timing or {})
         timing.update(shard=shard, setup=0.0, points=len(points),

@@ -47,6 +47,7 @@ from ..kernel import ServerHang
 from ..obs.forensics import capture_forensics, make_forensic_ring
 from ..obs.log import get_logger
 from ..obs.metrics import MetricsRegistry
+from ..obs.sampler import as_sampler, Sampler
 from ..obs.trace import as_tracer, NULL_TRACER
 from .faultmodels import get_fault_model
 from .golden import record_golden
@@ -436,14 +437,27 @@ class CampaignJournal:
                      "outcomes": list(outcomes), "rounds": rounds})
 
     @staticmethod
-    def mark_unit(path, unit_id, records, campaign=None):
-        """Append a work-unit completion marker (schema v8) to an
+    def mark_unit(path, unit_id, records, campaign=None, status=None,
+                  total=None, ts=None):
+        """Append a work-unit marker (schema v8) to an
         already-closed journal.  Markers are progress metadata for
         ``repro status`` and the service: loaders skip them, tallies
-        never see them, and a marker-free journal resumes the same."""
+        never see them, and a marker-free journal resumes the same.
+
+        ``status`` distinguishes ``started`` markers (a worker picked
+        the unit up; ``repro status`` reports it as in-flight until a
+        completion marker lands) from the default completion marker.
+        ``total`` carries the campaign's total point count and ``ts``
+        a wall-clock stamp, feeding the live ETA -- all advisory,
+        never tallied."""
         marker = {"type": "unit", "unit": unit_id, "records": records}
         if campaign is not None:
             marker["campaign"] = campaign
+        if status is not None:
+            marker["status"] = status
+        if total is not None:
+            marker["total"] = total
+        marker["ts"] = round(time.time() if ts is None else ts, 3)
         with open(path, "a") as handle:
             handle.write(json.dumps(marker) + "\n")
             handle.flush()
@@ -568,7 +582,8 @@ class CampaignRunner:
                  graceful_signals=False, journal_fsync=None,
                  journal_salvage=False, chaos=None, full_restore=False,
                  session_cache=None, prune=False, audit_fraction=0.0,
-                 audit_seed=0, golden=None):
+                 audit_seed=0, golden=None, telemetry=None,
+                 telemetry_campaign=None, sampler=None, profile=None):
         from .campaign import ENCODING_OLD
         self.daemon = daemon
         self.client_name = client_name
@@ -644,6 +659,24 @@ class CampaignRunner:
         #: byte-identical either way.
         self.golden = golden
         self._active_guard = None
+        #: live telemetry plane (:mod:`repro.obs.events`): campaign
+        #: milestones and outcome deltas are emitted into ``telemetry``
+        #: (an :class:`~repro.obs.events.EventBus`) tagged with
+        #: ``telemetry_campaign``.  ``None`` -- the default -- emits
+        #: nothing; every emit site is a single ``is not None`` test,
+        #: and no event carries data the deterministic metrics core
+        #: depends on.
+        self.telemetry = telemetry
+        self.telemetry_campaign = telemetry_campaign
+        self._telemetry_reported = 0
+        #: deterministic sampling profiler (:mod:`repro.obs.sampler`):
+        #: ``sampler`` is a :class:`~repro.obs.sampler.Sampler` (or a
+        #: period int), ``profile`` the JSON sink :meth:`run` saves.
+        #: A sink with no sampler gets a default-period sampler.
+        self.profile_path = profile
+        if sampler is None and profile is not None:
+            sampler = Sampler()
+        self.sampler = as_sampler(sampler)
 
     # -- public entry point --------------------------------------------
 
@@ -654,6 +687,13 @@ class CampaignRunner:
                                   **self.trace_attrs) as span:
                 campaign = self._run_traced(span)
             return campaign
+        except CampaignInterrupted as interrupted:
+            if self.telemetry is not None:
+                self.telemetry.emit(
+                    "checkpoint", campaign=self.telemetry_campaign,
+                    reason=interrupted.reason,
+                    completed=interrupted.completed)
+            raise
         finally:
             # flush observability sinks even on a checkpoint exit, so
             # an interrupted campaign still leaves a loadable trace
@@ -662,6 +702,9 @@ class CampaignRunner:
             self.tracer.close()
             if self.metrics_path is not None:
                 self.registry.save(self.metrics_path)
+            if (self.profile_path is not None
+                    and self.sampler is not None):
+                self.sampler.save(self.profile_path)
 
     def _install_signal_handlers(self):
         """Install graceful SIGTERM/SIGINT handlers (flag, not raise:
@@ -716,14 +759,16 @@ class CampaignRunner:
                                   volatile=True).inc()
         else:
             with self.tracer.span("golden-run") as span:
-                golden = record_golden(self.daemon,
-                                       self.client_factory,
-                                       self.budget)
+                golden = self._record_golden()
                 span.set("coverage_eips", len(golden.coverage))
             self._perf.absorb_dict(golden.perf)
             self.registry.counter("runtime.golden_runs",
                                   volatile=True).inc()
         self._golden = golden
+        if self.telemetry is not None:
+            self.telemetry.emit("golden",
+                                campaign=self.telemetry_campaign,
+                                reused=self.golden is not None)
         if self.points is not None:
             points = list(self.points)
         else:
@@ -738,6 +783,10 @@ class CampaignRunner:
         _LOGGER.debug("%s %s (%s, %s): %d experiment(s)",
                       type(self.daemon).__name__, self.client_name,
                       self.encoding, self.model.name, len(points))
+        if self.telemetry is not None:
+            self.telemetry.emit("campaign-started",
+                                campaign=self.telemetry_campaign,
+                                points=len(points))
         campaign = CampaignResult(daemon_name=type(self.daemon).__name__,
                                   client_name=self.client_name,
                                   encoding=self.encoding,
@@ -788,14 +837,34 @@ class CampaignRunner:
         self.registry.gauge("points").set(len(points))
         self.registry.counter("runtime.watchdog_probes",
                               volatile=True).inc(self.watchdog.probes)
+        dropped = getattr(self.tracer, "spans_dropped", 0)
+        if dropped:
+            self.registry.counter("trace.spans_dropped",
+                                  volatile=True).inc(dropped)
         record_runtime_metrics(self.registry, wall_clock, executed,
                                perf=self._perf.as_dict())
         campaign.metrics = self.registry.as_dict()
+        if self.telemetry is not None:
+            self.telemetry.emit("campaign-finished",
+                                campaign=self.telemetry_campaign,
+                                counts=campaign.counts(),
+                                quarantined=len(campaign.quarantined))
         root_span.set("experiments", len(campaign.results))
         _LOGGER.debug("%s %s done: %d experiment(s) in %.1fs",
                       type(self.daemon).__name__, self.client_name,
                       len(campaign.results), wall_clock)
         return campaign
+
+    def _record_golden(self):
+        """The cold-path reference run, with its host wall clock
+        attributed to the profiler's ``golden-run`` phase when one is
+        attached."""
+        if self.sampler is None:
+            return record_golden(self.daemon, self.client_factory,
+                                 self.budget)
+        with self.sampler.host_phase("golden-run"):
+            return record_golden(self.daemon, self.client_factory,
+                                 self.budget)
 
     # -- journal plumbing ----------------------------------------------
 
@@ -1137,6 +1206,12 @@ class CampaignRunner:
         if self.progress is not None:
             done = len(campaign.results) + len(quarantined_records)
             self.progress(done, total)
+        if self.telemetry is not None:
+            fresh = campaign.results[self._telemetry_reported:]
+            if fresh:
+                self.telemetry.emit_outcomes(self.telemetry_campaign,
+                                             fresh)
+                self._telemetry_reported = len(campaign.results)
 
     def _quarantine(self, campaign, pending, quarantined_records,
                     journal):
@@ -1215,6 +1290,12 @@ class CampaignRunner:
                                forensics=forensics)
 
     def _execute(self, point, location):
+        if self.sampler is not None:
+            with self.sampler.host_phase("experiment"):
+                return self._execute_traced(point, location)
+        return self._execute_traced(point, location)
+
+    def _execute_traced(self, point, location):
         with self.tracer.span("experiment", point=point.key,
                               location=location) as span:
             result = self._execute_inner(point, location)
@@ -1318,6 +1399,8 @@ class CampaignRunner:
         session.full_restore = self.full_restore
         session.process.cpu.forensic_ring = (make_forensic_ring()
                                              if self.forensics else None)
+        session.process.cpu.sampler = self.sampler
+        session.sampler = self.sampler
         self._session = session
         self._session_address = address
         return session

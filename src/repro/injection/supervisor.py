@@ -348,6 +348,14 @@ class ShardSupervisor:
     def _completed(self):
         return self.resumed_points + sum(self.progress_by_shard.values())
 
+    def _emit(self, type, **payload):
+        """Telemetry event through the runner's campaign-scoped bus
+        hook (tests drive the supervisor with bare stand-in runners,
+        hence the getattr)."""
+        emit = getattr(self.runner, "_emit", None)
+        if emit is not None:
+            emit(type, **payload)
+
     # -- liveness / failure handling -----------------------------------
 
     def _check_liveness(self, state, now):
@@ -382,6 +390,9 @@ class ShardSupervisor:
         if state.restarts >= state.max_restarts:
             state.status = FAILED
             self.events["failed_shards"] += 1
+            self._emit("worker-retired", worker=state.shard,
+                       incarnation=state.attempt,
+                       restarts=state.restarts)
             _LOGGER.warning(
                 "%s after %d restart(s); giving up on shard %d "
                 "(healthy shards continue; its points will be "
@@ -392,6 +403,9 @@ class ShardSupervisor:
         delay = backoff_delay(self.config, state.restarts)
         state.status = BACKOFF
         state.resume_due = time.monotonic() + delay
+        self._emit("worker-backoff", worker=state.shard,
+                   incarnation=state.attempt, restarts=state.restarts,
+                   delay=round(delay, 3))
         _LOGGER.warning("%s; respawning in %.1fs (restart %d/%d)",
                         detail.splitlines()[0], delay, state.restarts,
                         state.max_restarts)
@@ -424,6 +438,8 @@ class ShardSupervisor:
     def _respawn(self, state):
         self.events["respawns"] += 1
         state.attempt += 1
+        self._emit("worker-respawn", worker=state.shard,
+                   incarnation=state.attempt, restarts=state.restarts)
         self.runner.tracer.instant(
             "supervisor-respawn", cat="supervisor",
             shard=state.shard, attempt=state.attempt)

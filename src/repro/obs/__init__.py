@@ -12,6 +12,12 @@ BRK window -- so the pipeline needs a measurement layer of its own:
   crash-latency distribution, quarantine/retry counts, the execution
   engine's :class:`~repro.emu.perf.PerfCounters` and per-shard
   throughput;
+* :mod:`repro.obs.events` -- the live telemetry plane: a bounded,
+  per-campaign-sequenced :class:`~repro.obs.events.EventBus` the
+  service streams to ``subscribe`` clients and ``repro top`` renders;
+* :mod:`repro.obs.sampler` -- a deterministic (instruction-count)
+  sampling profiler attributing retired guest instructions to the
+  compiled program's functions and host wall clock to engine phases;
 * :mod:`repro.obs.forensics` -- last-N-instruction ring buffer plus
   register/flags snapshot captured when a run crashes or hangs, and
   the golden-trace divergence locator;
@@ -19,32 +25,47 @@ BRK window -- so the pipeline needs a measurement layer of its own:
   primitives the above (and :mod:`repro.analysis.propagation`) share;
 * :mod:`repro.obs.log` -- the ``logging``-based campaign reporter.
 
-Everything here is stdlib-only and observational: with no sink or
-ring attached, campaigns execute the exact same instruction stream
-and produce byte-identical tables.
+Everything here is stdlib-only and observational: with no sink, ring,
+bus or sampler attached, campaigns execute the exact same instruction
+stream and produce byte-identical tables.
 """
 
 from __future__ import annotations
 
+from .events import (check_contiguous, EventBus, load_event_stream,
+                     merge_event_streams)
 from .forensics import (capture_forensics, first_divergence,
                         format_forensics_record)
 from .log import (configure_logging, get_logger, ProgressReporter,
                   warn_once)
 from .metrics import MetricsRegistry
 from .ring import RingBuffer, TraceRecorder
+from .sampler import (hotspot_table, load_profile, Sampler,
+                      write_collapsed)
+from .top import fold_events, render_top, view_from_journals
 from .trace import merge_trace_files, NULL_TRACER, Tracer
 
 __all__ = [
     "capture_forensics",
+    "check_contiguous",
     "configure_logging",
+    "EventBus",
     "first_divergence",
+    "fold_events",
     "format_forensics_record",
     "get_logger",
+    "hotspot_table",
+    "load_event_stream",
+    "load_profile",
+    "merge_event_streams",
     "merge_trace_files",
     "MetricsRegistry",
     "NULL_TRACER",
     "ProgressReporter",
+    "render_top",
     "RingBuffer",
+    "Sampler",
+    "view_from_journals",
     "TraceRecorder",
     "Tracer",
     "warn_once",

@@ -1,0 +1,189 @@
+"""Typed campaign event bus: the live telemetry plane.
+
+A :class:`EventBus` turns the engine's internal milestones -- unit
+started/finished, outcome-tally deltas, worker respawn/backoff,
+checkpoint, golden reuse -- into a bounded, subscribable stream of
+typed events.  It is the push counterpart of the pull-only artifacts
+PR 5 introduced (trace files, metrics dumps): the service streams it
+to ``subscribe`` clients and ``repro top`` renders it live.
+
+Design constraints, in order:
+
+* **zero overhead when off** -- nothing in the engine constructs a
+  bus by default; every emit site is guarded by ``if bus is not
+  None`` (one attribute test, the same discipline as the forensic
+  ring and the sampler);
+* **deterministic modulo timestamps** -- events carry a per-campaign
+  ``seq`` assigned at emit time in the *parent* process.  Workers do
+  not emit events directly: their unit completions ride the existing
+  pipe-per-incarnation messages and the parent emits on receipt, so
+  one process owns the ordering and subscriber streams are gap-free
+  per campaign (``seq`` is contiguous from 0);
+* **bounded** -- the retained history is a ring (newest
+  :data:`EVENT_RING_CAPACITY` events); live subscribers see every
+  event regardless of the ring, and :attr:`dropped` counts what the
+  ring let go;
+* **mergeable** -- :func:`merge_event_streams` interleaves several
+  buses' histories into one deterministic stream (campaign, seq)
+  for offline analysis.
+
+Event wire shape (one JSON-able dict per event)::
+
+    {"seq": 17, "type": "unit-finished", "campaign": "c0000",
+     "ts": 1723108712.41, ...payload...}
+
+``ts`` is wall clock and explicitly *volatile*: every consumer that
+feeds the deterministic metrics core must ignore it.  The schema
+table lives in DESIGN.md section 17.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+
+from .ring import RingBuffer
+
+#: bounded history: the newest this-many events are retained.
+EVENT_RING_CAPACITY = 4096
+
+#: the closed set of event types (DESIGN.md section 17 documents the
+#: payload of each).  Emitting an unknown type is a programming error
+#: caught eagerly, so the wire format cannot drift silently.
+EVENT_TYPES = frozenset((
+    "campaign-started",     # points, units, warm
+    "golden",               # reused: bool
+    "unit-started",         # unit, worker
+    "unit-finished",        # unit, worker, completed, total
+    "outcomes",             # delta: {outcome: count} for one batch
+    "worker-respawn",       # worker, incarnation
+    "worker-backoff",       # worker, restarts, delay
+    "worker-retired",       # worker, restarts
+    "checkpoint",           # reason, completed
+    "campaign-finished",    # counts, quarantined
+))
+
+
+class EventBus:
+    """Bounded, subscribable, per-campaign-sequenced event stream.
+
+    Thread-safety contract: all emits happen on one thread (the fleet
+    dispatcher or the serial runner); subscribers may be registered
+    from other threads (list append/remove is atomic under the GIL)
+    and their callbacks run on the emitting thread -- the service
+    bridges to asyncio with ``call_soon_threadsafe``.
+    """
+
+    def __init__(self, capacity=EVENT_RING_CAPACITY, clock=None):
+        self._ring = RingBuffer(capacity)
+        self._seqs = {}           # campaign id -> next seq
+        self._subscribers = []
+        self._clock = clock if clock is not None else time.time
+        self.dropped = 0
+        self.emitted = 0
+
+    # -- emitting ------------------------------------------------------
+
+    def emit(self, type, campaign=None, **payload):
+        """Record one event and fan it out to subscribers."""
+        if type not in EVENT_TYPES:
+            raise ValueError("unknown event type %r" % type)
+        seq = self._seqs.get(campaign, 0)
+        self._seqs[campaign] = seq + 1
+        event = {"seq": seq, "type": type, "campaign": campaign,
+                 "ts": self._clock()}
+        event.update(payload)
+        ring = self._ring
+        if ring.capacity is not None and len(ring) == ring.capacity:
+            self.dropped += 1
+        ring.append(event)
+        self.emitted += 1
+        for callback in list(self._subscribers):
+            callback(event)
+        return event
+
+    def emit_outcomes(self, campaign, records):
+        """Tally the outcomes of a completed record batch into one
+        ``outcomes`` delta event (no event when the batch is empty)."""
+        if not records:
+            return None
+        delta = {}
+        for record in records:
+            outcome = (record.get("outcome")
+                       if isinstance(record, dict)
+                       else record.outcome)
+            delta[outcome] = delta.get(outcome, 0) + 1
+        return self.emit("outcomes", campaign=campaign,
+                         delta=dict(sorted(delta.items())))
+
+    # -- subscribing ---------------------------------------------------
+
+    def subscribe(self, callback):
+        """Register ``callback(event_dict)``; returns an unsubscribe
+        callable."""
+        self._subscribers.append(callback)
+
+        def unsubscribe():
+            try:
+                self._subscribers.remove(callback)
+            except ValueError:
+                pass
+        return unsubscribe
+
+    # -- history -------------------------------------------------------
+
+    def events(self):
+        """Retained events, oldest first."""
+        return self._ring.snapshot()
+
+    def save(self, path):
+        """Write the retained history as JSONL (one event per line)."""
+        with open(path, "w") as handle:
+            for event in self.events():
+                handle.write(json.dumps(event) + "\n")
+
+    def __len__(self):
+        return len(self._ring)
+
+
+def load_event_stream(path):
+    """Events from a file written by :meth:`EventBus.save`."""
+    events = []
+    with open(path) as handle:
+        for line in handle:
+            line = line.strip()
+            if line:
+                events.append(json.loads(line))
+    return events
+
+
+def merge_event_streams(*streams):
+    """Interleave several event histories into one deterministic
+    stream ordered by ``(campaign, seq)`` -- timestamps do not
+    participate, so the merge is stable across runs."""
+    merged = []
+    for stream in streams:
+        merged.extend(stream)
+    merged.sort(key=lambda event: (event.get("campaign") or "",
+                                   event.get("seq", 0)))
+    return merged
+
+
+def check_contiguous(events):
+    """Per-campaign gap check: returns a list of human-readable
+    problems (empty when every campaign's ``seq`` runs 0..N-1 with no
+    gaps or duplicates) -- the service gate's core assertion."""
+    problems = []
+    by_campaign = {}
+    for event in events:
+        by_campaign.setdefault(event.get("campaign"), []).append(
+            event.get("seq"))
+    for campaign, seqs in sorted(by_campaign.items(),
+                                 key=lambda item: str(item[0])):
+        expected = list(range(len(seqs)))
+        if sorted(seqs) != expected:
+            problems.append(
+                "campaign %s: sequence gap or duplicate (%d event(s),"
+                " seqs %r...)" % (campaign, len(seqs),
+                                  sorted(seqs)[:10]))
+    return problems

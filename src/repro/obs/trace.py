@@ -35,6 +35,7 @@ from __future__ import annotations
 import json
 import time
 
+from .log import warn_once
 from .ring import RingBuffer
 
 #: in-memory mode keeps this many most-recent events.
@@ -105,6 +106,12 @@ class Tracer:
         self._clock = clock if clock is not None else _now_us
         self._events = ([] if self.sink is not None
                         else RingBuffer(ring_capacity))
+        self._ring = (self._events if self.sink is None else None)
+        #: spans the in-memory ring silently evicted (sink mode never
+        #: drops).  Folded into the ``trace.spans_dropped`` volatile
+        #: metric at campaign finalize; the first drop warns once so
+        #: a truncated ring is never mistaken for a complete trace.
+        self.spans_dropped = 0
 
     def span(self, name, cat="campaign", **attrs):
         """Context manager timing one span; yields a :class:`Span`
@@ -118,6 +125,16 @@ class Tracer:
                     "tid": self.tid, "s": "t", "args": dict(attrs)})
 
     def _emit(self, event):
+        ring = self._ring
+        if (ring is not None and ring.capacity is not None
+                and len(ring) == ring.capacity):
+            self.spans_dropped += 1
+            if self.spans_dropped == 1:
+                warn_once(
+                    "trace-ring-drop",
+                    "in-memory span ring full (capacity %d): oldest "
+                    "spans are being dropped; pass a trace sink path "
+                    "to keep them all", ring.capacity)
         self._events.append(event)
 
     def events(self):
@@ -164,6 +181,7 @@ class NullTracer:
     sink = None
     pid = 1
     tid = 0
+    spans_dropped = 0
 
     def span(self, name, cat="campaign", **attrs):
         return _NULL_SPAN_CONTEXT

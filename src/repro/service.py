@@ -27,6 +27,22 @@ Wire protocol (one JSON object per line, both directions)::
         "SIGTERM", "journal": "...", "completed": 52}
     <- {"event": "error", ...} | {"event": "rejected", "reason": ...}
 
+A second verb subscribes a connection to the fleet's live telemetry
+plane (:mod:`repro.obs.events`)::
+
+    -> {"op": "subscribe"}
+    <- {"event": "subscribed"}
+    <- {"event": "telemetry", "type": "unit-finished",
+        "campaign": "c0000", "seq": 7, "ts": ..., ...}   # per event
+    <- {"event": "telemetry-end"}                        # at drain
+
+Subscribers are pure observers: result streaming, its ordering and
+the deterministic metrics core are byte-for-byte unaffected by any
+number of attached subscribers.  Registration happens on the
+dispatcher thread -- the only thread that emits -- with a replay of
+the bus's ring first, so a subscriber's per-campaign sequence numbers
+are contiguous (gap-free, duplicate-free) from the moment it attaches.
+
 Every streamed record carries its ``order`` index in the campaign's
 enumeration, so a client re-sorts the stream into exactly the serial
 result list no matter how units interleaved -- the scheduler's
@@ -54,6 +70,7 @@ import traceback
 from .injection.campaign import CampaignSpec
 from .injection.fleet import FleetConfig, WorkerFleet
 from .injection.runner import CampaignInterrupted
+from .obs.events import EventBus
 from .obs.log import get_logger
 
 _LOGGER = get_logger("service")
@@ -64,6 +81,7 @@ SUBMIT_OPTIONS = frozenset((
     "max_points", "journal", "resume", "retries", "prune",
     "audit_fraction", "audit_seed", "forensics", "trace", "metrics",
     "journal_fsync", "journal_salvage", "full_restore", "budget",
+    "profile",
 ))
 
 
@@ -108,6 +126,11 @@ class CampaignService:
         self._drain_reason = None
         self._dispatcher = None
         self._streams = set()
+        #: the fleet's live telemetry bus and the asyncio queues of
+        #: attached ``subscribe`` connections (mutated only on the
+        #: dispatcher thread, except for discards on disconnect).
+        self.telemetry = EventBus()
+        self._subscribers = set()
 
     # -- entry point ---------------------------------------------------
 
@@ -118,7 +141,9 @@ class CampaignService:
 
     async def _serve(self):
         self._loop = asyncio.get_running_loop()
-        self.fleet = WorkerFleet(self.config)
+        self.fleet = WorkerFleet(self.config,
+                                 telemetry=self.telemetry)
+        self.telemetry.subscribe(self._on_telemetry)
         self.fleet.start()
         self._dispatcher = threading.Thread(
             target=self._dispatch_loop, name="fleet-dispatcher",
@@ -184,10 +209,17 @@ class CampaignService:
                 await self._handle_request(connection, request)
         except (ConnectionResetError, BrokenPipeError):
             pass
+        except asyncio.CancelledError:
+            # loop teardown with the connection still open (normal for
+            # a subscriber riding out the drain): exit quietly.
+            pass
         finally:
             writer.close()
 
     async def _handle_request(self, connection, request):
+        if request.get("op") == "subscribe":
+            await self._subscribe(connection)
+            return
         if request.get("op") != "submit":
             await self._send(connection, {
                 "event": "rejected",
@@ -225,6 +257,35 @@ class CampaignService:
         task = asyncio.ensure_future(self._stream(connection, events))
         self._streams.add(task)
         task.add_done_callback(self._streams.discard)
+
+    async def _subscribe(self, connection):
+        """Attach this connection to the telemetry plane.  The ack is
+        written before the dispatcher registers the queue, so the
+        ``subscribed`` line always precedes the first telemetry line;
+        registration itself happens on the dispatcher thread (with a
+        ring replay) so sequences arrive contiguous."""
+        await self._send(connection, {"event": "subscribed"})
+        events = asyncio.Queue()
+        self._requests.put(("subscribe", events))
+        task = asyncio.ensure_future(
+            self._stream_telemetry(connection, events))
+        self._streams.add(task)
+        task.add_done_callback(self._streams.discard)
+
+    async def _stream_telemetry(self, connection, events):
+        try:
+            while True:
+                event = await events.get()
+                if event is None:           # drain sentinel
+                    await self._send(connection,
+                                     {"event": "telemetry-end"})
+                    return
+                await self._send(connection,
+                                 {"event": "telemetry", **event})
+        except (ConnectionResetError, BrokenPipeError):
+            pass          # observer went away; campaigns are unmoved
+        finally:
+            self._subscribers.discard(events)
 
     async def _stream(self, connection, events):
         while True:
@@ -269,13 +330,31 @@ class CampaignService:
                     "detail": "service dispatcher crashed"})
             raise
 
+    def _on_telemetry(self, event):
+        """Bus callback (runs on the emitting dispatcher thread):
+        fan the event out to every subscriber queue."""
+        loop = self._loop
+        if loop is None:
+            return
+        for events in list(self._subscribers):
+            self._push(events, dict(event))
+
     def _admit_requests(self):
         while True:
             try:
-                kind, spec, options, events, connection = \
-                    self._requests.get_nowait()
+                item = self._requests.get_nowait()
             except queue.Empty:
                 return
+            kind = item[0]
+            if kind == "subscribe":
+                # Replay the ring, then go live -- all on this thread,
+                # the only emitter, so the hand-off is seamless.
+                events = item[1]
+                for event in self.telemetry.events():
+                    self._push(events, dict(event))
+                self._subscribers.add(events)
+                continue
+            __, spec, options, events, connection = item
             assert kind == "submit"
             try:
                 client = self._submit(spec, options, events,
@@ -368,6 +447,9 @@ class CampaignService:
         for cid in list(self._active):
             client = self._active.pop(cid)
             self._finalize(client)
+        for events in list(self._subscribers):
+            self._push(events, None)      # telemetry-end sentinel
+        self._subscribers.clear()
 
 
 def _default_budget():
@@ -427,6 +509,38 @@ class ServiceClient:
         if event.get("event") != "accepted":
             raise ServiceError("expected accepted, got %r" % event)
         return event
+
+    def subscribe(self):
+        """Attach this connection to the service's telemetry plane
+        (op ``subscribe``).  Use a dedicated connection: telemetry
+        lines interleave with nothing else there, and campaign
+        submissions elsewhere are unaffected."""
+        request = {"op": "subscribe"}
+        self._sock.sendall((json.dumps(request) + "\n").encode())
+        event = self._read()
+        if event.get("event") == "rejected":
+            raise ServiceError(event.get("reason", "rejected"))
+        if event.get("event") != "subscribed":
+            raise ServiceError("expected subscribed, got %r" % event)
+        return event
+
+    def telemetry(self):
+        """Iterate telemetry events until the service drains
+        (``telemetry-end``) or the connection closes.  Non-telemetry
+        events are buffered for their campaign streams."""
+        while True:
+            try:
+                event = self._read()
+            except ServiceError:
+                return                    # connection closed
+            kind = event.get("event")
+            if kind == "telemetry-end":
+                return
+            if kind != "telemetry":
+                self._pending.setdefault(event.get("campaign"),
+                                         []).append(event)
+                continue
+            yield event
 
     def events(self, campaign):
         """Iterate one campaign's events through its terminal event."""

@@ -73,6 +73,10 @@ class Module:
     text_base: int
     data_base: int
     symbols: dict = field(default_factory=dict)
+    #: instruction address -> assembly source line (1-based), the
+    #: "debug info" the sampling profiler resolves hot EIPs against.
+    #: Defaulted for back-compat with pre-recorded modules.
+    lines: dict = field(default_factory=dict)
 
     def address_of(self, name):
         return self.symbols[name].address
@@ -375,6 +379,7 @@ class Assembler:
     def _emit(self, statements):
         symbols = self._layout(statements)
         sections = {"text": bytearray(), "data": bytearray()}
+        line_map = {}
         globals_ = set()
         symbol_sections = {}
         for statement in statements:
@@ -388,6 +393,8 @@ class Assembler:
                 continue
             if statement.kind == "insn":
                 blob = self._encode_insn(statement, symbols, final=True)
+                if statement.section == "text":
+                    line_map[statement.address] = statement.line
             else:
                 blob = self._encode_directive(statement, symbols)
             expected = statement.size
@@ -402,7 +409,7 @@ class Assembler:
             table[name] = Symbol(name, symbol_sections.get(name, "text"),
                                  address, name in globals_)
         return Module(bytes(sections["text"]), bytes(sections["data"]),
-                      self.text_base, self.data_base, table)
+                      self.text_base, self.data_base, table, line_map)
 
     def _encode_directive(self, statement, symbols):
         name, payload, line = (statement.kind, statement.payload,

@@ -1,0 +1,116 @@
+"""HTML campaign report: sections, escaping, self-containment."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.analysis.htmlreport import (build_html_report,
+                                       write_html_report)
+
+
+@pytest.fixture
+def journal(tmp_path):
+    path = tmp_path / "run.jsonl"
+    lines = [{"type": "meta", "schema": 8, "daemon": "FtpDaemon",
+              "client": "Client1", "encoding": "old"}]
+    outcomes = (("NA", None), ("NA", None), ("SD", 12), ("SD", 900),
+                ("FSV", None), ("BRK", None))
+    for index, (outcome, latency) in enumerate(outcomes):
+        lines.append({"type": "result", "key": "k%d" % index,
+                      "outcome": outcome, "location": "2BC",
+                      "crash_latency": latency,
+                      "class_id": ("c0" if index < 2 else None),
+                      "representative": index == 0})
+    lines.append({"type": "unit", "unit": "u0", "status": "started",
+                  "records": 0, "total": 6, "ts": 1.0})
+    lines.append({"type": "unit", "unit": "u0", "status": "done",
+                  "records": 6, "total": 6, "ts": 2.0})
+    path.write_text("".join(json.dumps(line) + "\n"
+                            for line in lines))
+    return str(path)
+
+
+class TestBuild:
+    def test_core_sections_render(self, journal):
+        html = build_html_report(journal, generated="2001-06-01")
+        assert html.startswith("<!DOCTYPE html>")
+        assert "FtpDaemon Client1 (old encoding)" in html
+        assert "Outcome distribution" in html
+        assert "BRK+FSV by location" in html
+        assert "Crash latency (Figure 4)" in html
+        assert "Pruning" in html
+        assert "Work units" in html
+        # optional sections stay out unless their artifact is given
+        assert "Supervision timeline" not in html
+        assert "Guest hotspots" not in html
+
+    def test_outcome_counts_and_quarantine_note(self, journal):
+        html = build_html_report(journal)
+        assert "<td>2</td>" in html           # two NA records
+        assert "quarantined" not in html      # none in this journal
+
+    def test_latency_section_uses_sd_records(self, journal):
+        html = build_html_report(journal)
+        assert "2 SD crash(es)" in html
+
+    def test_pruning_stats(self, journal):
+        html = build_html_report(journal)
+        assert "executed representatives" in html
+        assert "synthesized members" in html
+
+    def test_event_stream_adds_timeline(self, journal):
+        events = [{"seq": 0, "type": "golden", "campaign": "c0",
+                   "ts": 10.0, "reused": False},
+                  {"seq": 1, "type": "campaign-started",
+                   "campaign": "c0", "ts": 10.5, "points": 6},
+                  {"seq": 2, "type": "worker-respawn",
+                   "campaign": None, "ts": 11.0, "worker": 1}]
+        html = build_html_report(journal, events=events)
+        assert "Supervision timeline" in html
+        assert "worker-respawn" in html
+
+    def test_profile_adds_hotspots_without_module(self, journal):
+        profile = {"schema": 1, "period": 997,
+                   "samples": {"experiment": {"0x1000": 5}},
+                   "volatile": {"host_seconds": {"restore": 0.25}}}
+        html = build_html_report(journal, profile=profile)
+        assert "Guest hotspots" in html
+        assert "0x1000" in html
+        assert "Host phases" in html
+
+    def test_is_self_contained(self, journal):
+        html = build_html_report(journal)
+        assert "<script" not in html
+        assert "http://" not in html and "https://" not in html
+
+    def test_title_is_escaped(self, journal):
+        html = build_html_report(journal, title="<x>&amp")
+        assert "<x>" not in html
+        assert "&lt;x&gt;" in html
+
+    def test_missing_journal_raises(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            build_html_report(str(tmp_path / "absent.jsonl"))
+
+
+class TestWrite:
+    def test_write_loads_side_artifacts(self, journal, tmp_path):
+        events_path = tmp_path / "events.jsonl"
+        events_path.write_text(json.dumps(
+            {"seq": 0, "type": "campaign-finished", "campaign": "c0",
+             "ts": 1.0, "counts": {"NA": 2}}) + "\n")
+        profile_path = tmp_path / "profile.json"
+        profile_path.write_text(json.dumps(
+            {"schema": 1, "period": 3,
+             "samples": {"experiment": {"0x10": 1}},
+             "volatile": {"host_seconds": {}}}))
+        output = tmp_path / "report.html"
+        returned = write_html_report(str(output), journal,
+                                     events_path=str(events_path),
+                                     profile_path=str(profile_path))
+        assert returned == str(output)
+        html = output.read_text()
+        assert "Supervision timeline" in html
+        assert "Guest hotspots" in html

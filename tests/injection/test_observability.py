@@ -131,6 +131,92 @@ class TestTrace:
         assert len(experiments) == len(campaign.results)
 
 
+class TestTelemetry:
+    def test_serial_event_stream_is_gap_free(self, ftp_daemon,
+                                             plain_campaign):
+        from repro.obs import check_contiguous, EventBus
+        bus = EventBus()
+        campaign = run_campaign(ftp_daemon, "Client1", client1,
+                                max_points=SLICE, telemetry=bus,
+                                telemetry_campaign="t0")
+        events = bus.events()
+        assert check_contiguous(events) == []
+        assert [event["type"] for event in events[:2]] \
+            == ["golden", "campaign-started"]
+        assert events[-1]["type"] == "campaign-finished"
+        assert events[-1]["counts"] == campaign.counts()
+        delta = {}
+        for event in events:
+            if event["type"] == "outcomes":
+                for outcome, count in event["delta"].items():
+                    delta[outcome] = delta.get(outcome, 0) + count
+        assert delta == {outcome: count for outcome, count
+                         in campaign.counts(refined=True).items()
+                         if count}
+        # telemetry is an observer: tallies are byte-identical
+        assert campaign.counts() == plain_campaign.counts()
+
+    def test_parallel_event_stream_is_gap_free(self, ftp_daemon):
+        from repro.obs import check_contiguous, EventBus
+        bus = EventBus()
+        campaign = run_campaign(ftp_daemon, "Client1", client1,
+                                max_points=SLICE, workers=3,
+                                telemetry=bus,
+                                telemetry_campaign="t0")
+        events = bus.events()
+        assert check_contiguous(events) == []
+        assert events[-1]["type"] == "campaign-finished"
+        assert events[-1]["counts"] == campaign.counts()
+
+    def test_metrics_core_identical_with_telemetry_on(
+            self, ftp_daemon, tmp_path):
+        import json as _json
+        from repro.obs import EventBus
+        plain_path = tmp_path / "plain.json"
+        observed_path = tmp_path / "observed.json"
+        run_campaign(ftp_daemon, "Client1", client1,
+                     max_points=SLICE, metrics=str(plain_path))
+        run_campaign(ftp_daemon, "Client1", client1,
+                     max_points=SLICE, metrics=str(observed_path),
+                     telemetry=EventBus(), telemetry_campaign="t0",
+                     profile=str(tmp_path / "profile.json"))
+        plain = _json.loads(plain_path.read_text())
+        observed = _json.loads(observed_path.read_text())
+        assert _core(observed) == _core(plain)
+
+
+class TestSampledCampaign:
+    def test_profile_is_deterministic_across_worker_counts(
+            self, ftp_daemon, tmp_path):
+        import json as _json
+        serial_path = tmp_path / "serial.json"
+        parallel_path = tmp_path / "parallel.json"
+        serial = run_campaign(ftp_daemon, "Client1", client1,
+                              max_points=SLICE,
+                              profile=str(serial_path))
+        parallel = run_campaign(ftp_daemon, "Client1", client1,
+                                max_points=SLICE, workers=3,
+                                profile=str(parallel_path))
+        assert parallel.counts() == serial.counts()
+
+        def samples(path):
+            return _json.loads(path.read_text())["samples"]
+
+        # guest samples are a pure function of the experiment list:
+        # sharding must not move a single sample
+        assert samples(parallel_path) == samples(serial_path)
+
+    def test_sampling_does_not_change_tallies(self, ftp_daemon,
+                                              plain_campaign,
+                                              tmp_path):
+        sampled = run_campaign(ftp_daemon, "Client1", client1,
+                               max_points=SLICE,
+                               profile=str(tmp_path / "p.json"))
+        assert sampled.counts() == plain_campaign.counts()
+        assert sampled.crash_latencies() \
+            == plain_campaign.crash_latencies()
+
+
 class TestForensics:
     def test_snapshots_only_on_crash_like_outcomes(self, ftp_daemon):
         campaign = run_campaign(ftp_daemon, "Client1", client1,

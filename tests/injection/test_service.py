@@ -138,6 +138,90 @@ class TestServiceEquivalence:
         assert counters.get("runtime.golden_reused", 0) >= 1
 
 
+class TestServiceTelemetry:
+    def test_subscriber_streams_gap_free_without_perturbing_results(
+            self, harness, serial_campaign):
+        from repro.obs import check_contiguous
+        received = []
+        subscriber = ServiceClient(harness.socket_path)
+        subscriber.subscribe()
+        drained = threading.Event()
+
+        def pump():
+            try:
+                for event in subscriber.telemetry():
+                    received.append(event)
+            finally:
+                drained.set()
+
+        reader = threading.Thread(target=pump, daemon=True)
+        reader.start()
+        try:
+            with ServiceClient(harness.socket_path) as client:
+                accepted = client.submit(SPEC, max_points=SLICE)
+                cid = accepted["campaign"]
+                done, records = client.collect(cid)
+            # results are byte-identical to a serial run even with a
+            # live subscriber attached
+            assert_identical(rebuild(done, records), serial_campaign)
+            deadline = time.monotonic() + 30
+            while time.monotonic() < deadline:
+                mine = [event for event in received
+                        if event.get("campaign") == cid]
+                if any(event.get("type") == "campaign-finished"
+                       for event in mine):
+                    break
+                time.sleep(0.05)
+            mine = [event for event in received
+                    if event.get("campaign") == cid]
+            assert check_contiguous(mine) == []
+            kinds = [event["type"] for event in mine]
+            assert kinds[0] == "golden"
+            assert kinds[1] == "campaign-started"
+            assert kinds[-1] == "campaign-finished"
+            assert "unit-finished" in kinds
+        finally:
+            subscriber.close()
+            drained.wait(10)
+
+    def test_late_subscriber_replays_ring_history(self, harness):
+        with ServiceClient(harness.socket_path) as client:
+            accepted = client.submit(SPEC, max_points=SLICE)
+            cid = accepted["campaign"]
+            client.collect(cid)
+        from repro.obs import check_contiguous
+        late = ServiceClient(harness.socket_path)
+        try:
+            late.subscribe()
+            received = []
+            drained = threading.Event()
+
+            def pump():
+                try:
+                    for event in late.telemetry():
+                        received.append(event)
+                finally:
+                    drained.set()
+
+            threading.Thread(target=pump, daemon=True).start()
+            deadline = time.monotonic() + 30
+            while time.monotonic() < deadline:
+                mine = [event for event in received
+                        if event.get("campaign") == cid]
+                if any(event.get("type") == "campaign-finished"
+                       for event in mine):
+                    break
+                time.sleep(0.05)
+            # the finished campaign's whole stream came from the ring
+            mine = [event for event in received
+                    if event.get("campaign") == cid]
+            assert check_contiguous(mine) == []
+            assert mine[-1]["type"] == "campaign-finished"
+        finally:
+            late.close()
+            drained.wait(10)
+
+
 class TestServiceAdmission:
     def test_quota_rejects_excess_in_flight(self, harness):
         with ServiceClient(harness.socket_path) as client:

@@ -64,6 +64,7 @@ class TestCompareAll:
     def _payloads(self, rate):
         return {
             "emulator_speed": {"instructions_per_sec": rate},
+            "sampler_overhead": {"sampled_instructions_per_sec": 900_000.0},
             "table1_ftp_timing": {"experiments_per_sec": 300.0},
             "snapshot_fork": {"experiments_per_sec": 300.0,
                               "restore_speedup": 6.0},

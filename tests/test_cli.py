@@ -340,6 +340,100 @@ class TestStatusCommand:
             run_cli("status", str(tmp_path / "absent.jsonl"))
 
 
+class TestTelemetryFlags:
+    def test_campaign_writes_events_and_profile(self, tmp_path):
+        events = str(tmp_path / "run.events")
+        profile = str(tmp_path / "run.profile")
+        code, text = run_cli("campaign", "--app", "ftpd",
+                             "--max-points", "40",
+                             "--events", events,
+                             "--profile", profile)
+        assert code == 0
+        assert "events: %s" % events in text
+        assert "guest hotspots" in text
+        from repro.obs import check_contiguous, load_event_stream
+        stream = load_event_stream(events)
+        assert check_contiguous(stream) == []
+        assert stream[-1]["type"] == "campaign-finished"
+        from repro.obs import load_profile
+        assert load_profile(profile)["samples"]["experiment"]
+
+    def test_fleet_path_writes_the_same_artifacts(self, tmp_path):
+        events = str(tmp_path / "run.events")
+        profile = str(tmp_path / "run.profile")
+        code, text = run_cli("campaign", "--app", "ftpd",
+                             "--max-points", "40", "--workers", "2",
+                             "--events", events,
+                             "--profile", profile)
+        assert code == 0
+        from repro.obs import check_contiguous, load_event_stream
+        stream = load_event_stream(events)
+        assert check_contiguous(stream) == []
+        kinds = [event["type"] for event in stream]
+        assert "unit-started" in kinds
+        assert "unit-finished" in kinds
+
+    def test_sample_period_parses(self):
+        args = build_parser().parse_args(
+            ["campaign", "--sample-period", "499"])
+        assert args.sample_period == 499
+
+
+class TestTopCommand:
+    def test_journal_mode_renders_once(self, tmp_path):
+        journal = str(tmp_path / "run.jsonl")
+        code, __ = run_cli("campaign", "--app", "ftpd",
+                           "--max-points", "40",
+                           "--journal", journal, "--workers", "2")
+        assert code == 0
+        code, text = run_cli("top", journal, "--once")
+        assert code == 0
+        assert "repro top" in text
+        assert "100.0%" in text
+        assert "40/40 experiments" in text
+
+    def test_missing_target_exits(self, tmp_path):
+        with pytest.raises(SystemExit):
+            run_cli("top", str(tmp_path / "absent.jsonl"), "--once")
+
+
+class TestReportCommand:
+    def test_report_from_fleet_journal(self, tmp_path):
+        journal = str(tmp_path / "run.jsonl")
+        events = str(tmp_path / "run.events")
+        profile = str(tmp_path / "run.profile")
+        code, __ = run_cli("campaign", "--app", "ftpd",
+                           "--max-points", "40", "--workers", "2",
+                           "--journal", journal,
+                           "--events", events, "--profile", profile)
+        assert code == 0
+        output = str(tmp_path / "report.html")
+        code, text = run_cli("report", journal, "--out", output,
+                             "--events", events,
+                             "--profile", profile)
+        assert code == 0
+        assert "report: %s" % output in text
+        import pathlib
+        html = pathlib.Path(output).read_text()
+        assert "Outcome distribution" in html
+        assert "Guest hotspots" in html
+        assert "Supervision timeline" in html
+        # the profile symbolized against the journal's daemon
+        assert "strlen" in html or "main" in html
+
+    def test_default_output_path(self, tmp_path):
+        journal = str(tmp_path / "run.jsonl")
+        run_cli("campaign", "--app", "ftpd", "--max-points", "40",
+                "--journal", journal)
+        code, text = run_cli("report", journal)
+        assert code == 0
+        assert journal + ".html" in text
+
+    def test_missing_journal_exits(self, tmp_path):
+        with pytest.raises(SystemExit):
+            run_cli("report", str(tmp_path / "absent.jsonl"))
+
+
 class TestServeParser:
     def test_defaults(self):
         args = build_parser().parse_args(["serve"])
